@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the FR-FCFS GDDR5 model: sustained
+//! throughput on row-friendly vs row-hostile request streams.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_core::addr::LineAddr;
+use gcache_sim::config::DramTiming;
+use gcache_sim::dram::Dram;
+
+fn drain(requests: &[u64]) -> u64 {
+    let mut dram: Dram<u64> = Dram::new(DramTiming::default(), 4, 2048, 32, 128);
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    let mut now = 0u64;
+    while done < requests.len() {
+        now += 1;
+        while sent < requests.len() && dram.can_accept() {
+            dram.enqueue(LineAddr::new(requests[sent]), false, sent as u64, now).unwrap();
+            sent += 1;
+        }
+        dram.tick(now);
+        while dram.pop_completed(now).is_some() {
+            done += 1;
+        }
+    }
+    now
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let sequential: Vec<u64> = (0..256).collect();
+    let conflict: Vec<u64> = (0..256).map(|i| (i % 2) * 16 * 64 * 4 + (i / 2) * 16 * 8).collect();
+
+    let mut group = c.benchmark_group("dram_drain_256");
+    group.bench_function("row_friendly_stream", |b| {
+        b.iter(|| black_box(drain(black_box(&sequential))))
+    });
+    group.bench_function("row_conflict_stream", |b| {
+        b.iter(|| black_box(drain(black_box(&conflict))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the 2D-mesh NoC: cycle cost when idle vs
+//! saturated, and end-to-end drain of an all-to-all burst.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_sim::icnt::Mesh;
+
+fn drain_all_to_all(width: usize, height: usize, per_node: usize) -> u64 {
+    let mut mesh: Mesh<u32> = Mesh::new(width, height, 8, 2, 1);
+    let nodes = width * height;
+    let mut pending: Vec<(usize, usize, u32)> = Vec::new();
+    for src in 0..nodes {
+        for i in 0..per_node {
+            pending.push((src, (src + 1 + i) % nodes, (src * per_node + i) as u32));
+        }
+    }
+    let total = pending.len();
+    let mut delivered = 0usize;
+    let mut now = 0u64;
+    while delivered < total {
+        now += 1;
+        pending.retain(|&(src, dst, p)| mesh.inject_at(src, dst, 5, p, now).is_err());
+        mesh.tick(now);
+        for n in 0..nodes {
+            while mesh.eject(n).is_some() {
+                delivered += 1;
+            }
+        }
+    }
+    now
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc");
+    group.bench_function("idle_tick_6x4", |b| {
+        let mut mesh: Mesh<u32> = Mesh::new(6, 4, 8, 2, 1);
+        let mut now = 0;
+        b.iter(|| {
+            now += 1;
+            mesh.tick(black_box(now))
+        })
+    });
+    group.bench_function("all_to_all_6x4_x8", |b| {
+        b.iter(|| black_box(drain_all_to_all(6, 4, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablation study of G-Cache's design choices (DESIGN.md §5):
+//!
+//! * hotness threshold `TH_hot`,
+//! * ageing period `M` (§5.1's proposed fix for very large reuse
+//!   distances),
+//! * victim-bit sharing factor `S_v` (§4.1/§4.3's overhead knob),
+//! * epoch length (bypass-switch reset period),
+//! * warp scheduler (LRR vs GTO) interaction.
+//!
+//! Run with `cargo run --release -p gcache-bench --bin ablation`
+//! (`--bench` restricts the benchmark set; default: SPMV, SYRK, KMN).
+
+use gcache_bench::{run, speedup, Cli, Table};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_sim::config::{GpuConfig, L1PolicyKind, WarpSchedKind};
+use gcache_sim::gpu::Gpu;
+use gcache_workloads::Benchmark;
+
+fn gc(cfg: GCacheConfig) -> L1PolicyKind {
+    L1PolicyKind::GCache(cfg)
+}
+
+fn run_with(policy: L1PolicyKind, bench: &dyn Benchmark, mutate: impl FnOnce(&mut GpuConfig)) -> gcache_sim::stats::SimStats {
+    let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
+    mutate(&mut cfg);
+    Gpu::new(cfg).run_kernel(bench).expect("simulation completes")
+}
+
+fn main() {
+    let mut cli = Cli::parse(std::env::args().skip(1));
+    if cli.only.is_empty() {
+        cli.only = vec!["SPMV".into(), "SYRK".into(), "KMN".into()];
+    }
+    let benches = cli.benchmarks();
+
+    // --- TH_hot sweep -----------------------------------------------------
+    let mut th = Table::new(&["Bench", "TH=1", "TH=2 (paper)", "TH=3", "TH=4"]);
+    for b in &benches {
+        eprintln!("[ablation/th_hot] {} ...", b.info().name);
+        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let mut row = vec![b.info().name.to_string()];
+        for t in [1u8, 2, 3, 4] {
+            let cfg = GCacheConfig { th_hot: t, th_hot_victim: 1, ..GCacheConfig::default() };
+            let s = run(gc(cfg), b.as_ref(), None);
+            row.push(speedup(s.speedup_over(&base)));
+        }
+        th.row(row);
+    }
+    println!("## Ablation: hotness threshold TH_hot (GC speedup over BS)\n");
+    println!("{}", th.render());
+
+    // --- Ageing period M (§5.1) -------------------------------------------
+    let mut aging = Table::new(&["Bench", "M=1 (paper)", "M=2", "M=4", "M=8"]);
+    for b in &benches {
+        eprintln!("[ablation/aging] {} ...", b.info().name);
+        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let mut row = vec![b.info().name.to_string()];
+        for m in [1u32, 2, 4, 8] {
+            let cfg = GCacheConfig { aging_period: m, ..GCacheConfig::default() };
+            let s = run(gc(cfg), b.as_ref(), None);
+            row.push(speedup(s.speedup_over(&base)));
+        }
+        aging.row(row);
+    }
+    println!("## Ablation: ageing period M — larger M extends protection reach (§5.1)\n");
+    println!("{}", aging.render());
+
+    // --- Victim-bit sharing S_v (§4.1 / §4.3) ------------------------------
+    let mut share = Table::new(&["Bench", "S_v=1 (paper)", "S_v=4", "S_v=16 (1 bit)"]);
+    for b in &benches {
+        eprintln!("[ablation/share] {} ...", b.info().name);
+        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let mut row = vec![b.info().name.to_string()];
+        for s_v in [1usize, 4, 16] {
+            let s = run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.victim_bit_share = s_v);
+            row.push(speedup(s.speedup_over(&base)));
+        }
+        share.row(row);
+    }
+    println!("## Ablation: victim-bit sharing factor S_v (overhead/accuracy tradeoff)\n");
+    println!("{}", share.render());
+
+    // --- Epoch length -------------------------------------------------------
+    let mut epoch = Table::new(&["Bench", "256", "512 (default)", "2048", "off"]);
+    for b in &benches {
+        eprintln!("[ablation/epoch] {} ...", b.info().name);
+        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let mut row = vec![b.info().name.to_string()];
+        for e in [256u64, 512, 2048, 0] {
+            let s = run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.l1_epoch_len = e);
+            row.push(speedup(s.speedup_over(&base)));
+        }
+        epoch.row(row);
+    }
+    println!("## Ablation: bypass-switch reset epoch\n");
+    println!("{}", epoch.render());
+
+    // --- Scheduler interaction (§6.2) ---------------------------------------
+    let mut sched = Table::new(&["Bench", "LRR BS", "LRR GC", "GTO BS", "GTO GC"]);
+    for b in &benches {
+        eprintln!("[ablation/sched] {} ...", b.info().name);
+        let lrr_bs = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let lrr_gc = run(gc(GCacheConfig::default()), b.as_ref(), None);
+        let gto_bs = run_with(L1PolicyKind::Lru, b.as_ref(), |c| c.warp_sched = WarpSchedKind::Gto);
+        let gto_gc = run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
+            c.warp_sched = WarpSchedKind::Gto
+        });
+        sched.row(vec![
+            b.info().name.to_string(),
+            format!("{:.3}", lrr_bs.ipc()),
+            format!("{:.3} ({})", lrr_gc.ipc(), speedup(lrr_gc.speedup_over(&lrr_bs))),
+            format!("{:.3}", gto_bs.ipc()),
+            format!("{:.3} ({})", gto_gc.ipc(), speedup(gto_gc.speedup_over(&gto_bs))),
+        ]);
+    }
+    println!("## Ablation: warp scheduler interaction (GC works under both, §6.2)\n");
+    println!("{}", sched.render());
+}

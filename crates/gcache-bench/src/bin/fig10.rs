@@ -1,0 +1,63 @@
+//! Figure 10: the 64 KB-L1 scalability study — GC and SPDP-B speedup over
+//! a 64 KB baseline ("even if larger caches are applied, the contention
+//! cannot be eliminated").
+//!
+//! Run with `cargo run --release -p gcache-bench --bin fig10`.
+
+use gcache_bench::{run, speedup, sweep_optimal_pd, Cli, Table};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_sim::config::L1PolicyKind;
+use gcache_sim::stats::geomean;
+use gcache_workloads::Category;
+
+const L1_KB: u64 = 64;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let mut t = Table::new(&["Bench", "Cat", "SPDP-B", "GC"]);
+    let mut spdp_s = Vec::new();
+    let mut gc_s = Vec::new();
+    let mut cats = Vec::new();
+
+    for b in cli.benchmarks() {
+        let info = b.info();
+        eprintln!("[fig10] running {} ...", info.name);
+        let base = run(L1PolicyKind::Lru, b.as_ref(), Some(L1_KB));
+        let (best_pd, _) = sweep_optimal_pd(b.as_ref(), Some(L1_KB));
+        let spdp = run(L1PolicyKind::StaticPdp { pd: best_pd }, b.as_ref(), Some(L1_KB));
+        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), Some(L1_KB));
+        let (ss, gs) = (spdp.speedup_over(&base), gc.speedup_over(&base));
+        t.row(vec![
+            info.name.to_string(),
+            format!("{:?}", info.category),
+            speedup(ss),
+            speedup(gs),
+        ]);
+        spdp_s.push(ss);
+        gc_s.push(gs);
+        cats.push(info.category);
+    }
+
+    for (label, filter) in [
+        ("GM (sensitive)", Some(Category::Sensitive)),
+        ("GM (all)", None),
+    ] {
+        let sel = |v: &[f64]| {
+            geomean(
+                v.iter()
+                    .zip(&cats)
+                    .filter(|(_, c)| filter.is_none_or(|f| **c == f))
+                    .map(|(s, _)| *s),
+            )
+        };
+        t.row(vec![
+            label.to_string(),
+            String::new(),
+            speedup(sel(&spdp_s)),
+            speedup(sel(&gc_s)),
+        ]);
+    }
+
+    println!("## Figure 10: speedup over the 64KB-L1 baseline\n");
+    println!("{}", t.render());
+}

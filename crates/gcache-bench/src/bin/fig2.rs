@@ -1,0 +1,30 @@
+//! Figure 2: L1 reuse-count distribution under the baseline — the
+//! fraction of L1 residencies that end with 0, 1, 2, 3–7 and ≥8 hits.
+//! "Whenever a cache line is never reused it is effectively wasting cache
+//! space."
+//!
+//! Run with `cargo run --release -p gcache-bench --bin fig2`.
+
+use gcache_bench::{pct, run, Cli, Table};
+use gcache_sim::config::L1PolicyKind;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let mut t = Table::new(&["Bench", "0", "1", "2", "3-7", ">=8"]);
+    for b in cli.benchmarks() {
+        let info = b.info();
+        eprintln!("[fig2] running {} ...", info.name);
+        let stats = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let h = &stats.l1.reuse;
+        t.row(vec![
+            info.name.to_string(),
+            pct(h.fraction_zero()),
+            pct(h.fraction_in(1, 1)),
+            pct(h.fraction_in(2, 2)),
+            pct(h.fraction_in(3, 7)),
+            pct(h.fraction_in(8, usize::MAX)),
+        ]);
+    }
+    println!("## Figure 2: L1 reuse-count distribution (BS)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,50 @@
+//! Figures 3 & 4: L1 cache-size sensitivity of the baseline (BS) —
+//! miss rate and speedup at 16/32/64/128 KB L1s, cache-sensitive set.
+//!
+//! Run with `cargo run --release -p gcache-bench --bin fig3_fig4`.
+//! `--all` includes every benchmark (the paper plots only the sensitive
+//! ones).
+
+use gcache_bench::{pct, run, speedup, Cli, Table};
+use gcache_sim::config::L1PolicyKind;
+use gcache_workloads::Category;
+
+const SIZES_KB: [u64; 4] = [16, 32, 64, 128];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.iter().any(|a| a == "--all");
+    let cli = Cli::parse(args.into_iter());
+    let benches: Vec<_> = cli
+        .benchmarks()
+        .into_iter()
+        .filter(|b| all || b.info().category == Category::Sensitive || !cli.only.is_empty())
+        .collect();
+
+    let headers = ["Bench", "16KB", "32KB", "64KB", "128KB"];
+    let mut fig3 = Table::new(&headers);
+    let mut fig4 = Table::new(&headers);
+
+    for b in &benches {
+        let info = b.info();
+        eprintln!("[fig3/4] running {} ...", info.name);
+        let runs: Vec<_> =
+            SIZES_KB.iter().map(|&kb| run(L1PolicyKind::Lru, b.as_ref(), Some(kb))).collect();
+        let base = &runs[1]; // 32 KB is the baseline machine
+        fig3.row(
+            std::iter::once(info.name.to_string())
+                .chain(runs.iter().map(|r| pct(r.l1_miss_rate())))
+                .collect(),
+        );
+        fig4.row(
+            std::iter::once(info.name.to_string())
+                .chain(runs.iter().map(|r| speedup(r.speedup_over(base))))
+                .collect(),
+        );
+    }
+
+    println!("## Figure 3: L1 miss rate vs L1 size (BS, LRU)\n");
+    println!("{}", fig3.render());
+    println!("## Figure 4: speedup vs L1 size (normalised to 32KB)\n");
+    println!("{}", fig4.render());
+}

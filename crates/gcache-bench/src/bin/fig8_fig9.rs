@@ -1,0 +1,69 @@
+//! Figures 8 & 9: IPC speedup (normalised to BS) and L1 miss rate of all
+//! designs — BS-S, PDP-3, PDP-8, SPDP-B, GC — over the 17 benchmarks,
+//! plus geometric means for the cache-sensitive set and overall.
+//!
+//! Run with `cargo run --release -p gcache-bench --bin fig8_fig9`.
+
+use gcache_bench::{designs, pct, run, speedup, sweep_optimal_pd, Cli, Table};
+use gcache_sim::config::L1PolicyKind;
+use gcache_sim::stats::geomean;
+use gcache_workloads::Category;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let benches = cli.benchmarks();
+
+    let design_names = ["BS", "BS-S", "PDP-3", "PDP-8", "SPDP-B", "GC"];
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); design_names.len()];
+    let mut fig8 = Table::new(&["Bench", "Cat", "BS-S", "PDP-3", "PDP-8", "SPDP-B", "GC"]);
+    let mut fig9 = Table::new(&["Bench", "BS", "BS-S", "PDP-3", "PDP-8", "SPDP-B", "GC"]);
+    let mut cats = Vec::new();
+
+    for b in &benches {
+        let info = b.info();
+        eprintln!("[fig8] running {} ...", info.name);
+        let (best_pd, _) = sweep_optimal_pd(b.as_ref(), None);
+        let runs: Vec<_> =
+            designs(best_pd).into_iter().map(|p| run(p, b.as_ref(), None)).collect();
+        let base = &runs[0];
+        assert_eq!(base.design, "BS");
+        let mut f8 = vec![info.name.to_string(), format!("{:?}", info.category)];
+        let mut f9 = vec![info.name.to_string()];
+        for (i, r) in runs.iter().enumerate() {
+            let s = r.speedup_over(base);
+            speedups[i].push(s);
+            if i > 0 {
+                f8.push(speedup(s));
+            }
+            f9.push(pct(r.l1_miss_rate()));
+        }
+        fig8.row(f8);
+        fig9.row(f9);
+        cats.push(info.category);
+    }
+
+    // Geometric means per group.
+    for (label, filter) in [
+        ("GM (sensitive)", Some(Category::Sensitive)),
+        ("GM (all)", None),
+    ] {
+        let mut f8 = vec![label.to_string(), String::new()];
+        for per_design in speedups.iter().skip(1) {
+            let g = geomean(
+                per_design
+                    .iter()
+                    .zip(&cats)
+                    .filter(|(_, c)| filter.is_none_or(|f| **c == f))
+                    .map(|(s, _)| *s),
+            );
+            f8.push(speedup(g));
+        }
+        fig8.row(f8);
+    }
+
+    println!("## Figure 8: IPC speedup over BS (Table 2 machine, 32KB L1)\n");
+    println!("{}", fig8.render());
+    println!("## Figure 9: L1 miss rate of all designs\n");
+    println!("{}", fig9.render());
+    let _ = L1PolicyKind::Lru; // anchor the import used only via `designs`
+}

@@ -1,0 +1,33 @@
+//! Table 3: bypass ratio (bypassed fills / accesses) of G-Cache and
+//! SPDP-B, and the per-benchmark optimal protection distance found by the
+//! SPDP-B sweep.
+//!
+//! Run with `cargo run --release -p gcache-bench --bin table3`.
+
+use gcache_bench::{pct, run, sweep_optimal_pd, Cli, Table};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_sim::config::L1PolicyKind;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let mut t = Table::new(&[
+        "Benchmark",
+        "G-Cache Bypass Ratio",
+        "SPDP-B Bypass Ratio",
+        "Optimal PD of SPDP-B",
+    ]);
+    for b in cli.benchmarks() {
+        let info = b.info();
+        eprintln!("[table3] running {} ...", info.name);
+        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), None);
+        let (best_pd, spdp) = sweep_optimal_pd(b.as_ref(), None);
+        t.row(vec![
+            info.name.to_string(),
+            pct(gc.l1_bypass_ratio()),
+            pct(spdp.l1_bypass_ratio()),
+            format!("{best_pd}"),
+        ]);
+    }
+    println!("## Table 3: bypass control of G-Cache and SPDP-B (32KB 4-way L1)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,212 @@
+//! Address newtypes used throughout the cache model and simulator.
+//!
+//! The model is timing-only: no data values are stored, so an "address" is
+//! the only piece of functional state that flows through the hierarchy.
+//! Newtypes keep byte addresses, line (block) addresses and hardware
+//! identifiers statically distinct.
+
+use std::fmt;
+
+/// A byte address in the simulated global memory space.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::addr::Addr;
+///
+/// let a = Addr::new(0x1000);
+/// assert_eq!(a.to_line(128).raw(), 0x1000 >> 7);
+/// assert_eq!(Addr::new(0x1010).index_in_line(128), 0x10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to the line (block) address for a given line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line_size` is not a power of two.
+    pub fn to_line(self, line_size: u32) -> LineAddr {
+        debug_assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        LineAddr(self.0 >> line_size.trailing_zeros())
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub fn index_in_line(self, line_size: u32) -> u32 {
+        debug_assert!(line_size.is_power_of_two());
+        (self.0 & (line_size as u64 - 1)) as u32
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line (block) address: the byte address divided by the line size.
+///
+/// All caches in the hierarchy share one global line size (128 B in the
+/// paper's configuration), so a `LineAddr` is meaningful hierarchy-wide.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::addr::{Addr, LineAddr};
+///
+/// let line = Addr::new(0x1080).to_line(128);
+/// assert_eq!(line, LineAddr::new(0x21));
+/// assert_eq!(line.to_addr(128), Addr::new(0x1080));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw block number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw block number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line for a given line size.
+    pub fn to_addr(self, line_size: u32) -> Addr {
+        debug_assert!(line_size.is_power_of_two());
+        Addr(self.0 << line_size.trailing_zeros())
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+/// Identifier of a SIMT core (and hence of its private L1 data cache).
+///
+/// Victim bits in the L2 tag array are indexed by `CoreId` (modulo the
+/// sharing factor, see [`crate::victim_bits::VictimBits`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Returns the zero-based core index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifier of a memory partition (one L2 bank + one memory controller).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PartitionId(pub usize);
+
+impl PartitionId {
+    /// Returns the zero-based partition index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "part{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_to_line_round_trip() {
+        let a = Addr::new(0x12345);
+        let line = a.to_line(128);
+        assert_eq!(line.raw(), 0x12345 >> 7);
+        assert_eq!(line.to_addr(128).raw(), (0x12345 >> 7) << 7);
+    }
+
+    #[test]
+    fn addr_offset_within_line() {
+        assert_eq!(Addr::new(0x1000).index_in_line(128), 0);
+        assert_eq!(Addr::new(0x107f).index_in_line(128), 127);
+        assert_eq!(Addr::new(0x1080).index_in_line(128), 0);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(255)), "0xff");
+        assert_eq!(format!("{:?}", LineAddr::new(16)), "LineAddr(0x10)");
+    }
+
+    #[test]
+    fn addresses_in_same_line_share_line_addr() {
+        let base = Addr::new(0x4000);
+        for off in 0..128 {
+            assert_eq!(base.offset(off).to_line(128), base.to_line(128));
+        }
+        assert_ne!(base.offset(128).to_line(128), base.to_line(128));
+    }
+
+    #[test]
+    fn core_and_partition_ids_format() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(PartitionId(7).to_string(), "part7");
+        assert_eq!(CoreId(5).index(), 5);
+        assert_eq!(PartitionId(2).index(), 2);
+    }
+}

@@ -1,0 +1,534 @@
+//! A complete, timing-decoupled cache: tag array + replacement/bypass
+//! policy + write policy + optional victim-bit tracker + statistics.
+//!
+//! The structure is *non-blocking ready*: [`Cache::access`] only looks the
+//! line up (hit/miss), and the owner performs the fill later via
+//! [`Cache::fill`] when the response returns from the next level — exactly
+//! when G-Cache's bypass-on-fill decision must be taken. MSHRs live in the
+//! owning controller (see `gcache-sim`), keeping this type purely about
+//! cache state.
+
+use crate::addr::{CoreId, LineAddr};
+use crate::geometry::CacheGeometry;
+use crate::policy::{AccessKind, FillCtx, FillDecision, ReplacementPolicy};
+use crate::stats::CacheStats;
+use crate::tag_array::{Evicted, TagArray};
+use crate::victim_bits::VictimBits;
+
+/// Write-handling discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WritePolicy {
+    /// GPU L1: stores go straight to the next level and never allocate;
+    /// store hits update the line without dirtying it (memory is updated
+    /// too).
+    WriteThroughNoAllocate,
+    /// GPU L2 / CPU LLC: stores allocate on miss and dirty the line;
+    /// evictions of dirty lines produce write-backs.
+    WriteBackWriteAllocate,
+}
+
+/// Configuration of a [`Cache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Shape of the cache.
+    pub geometry: CacheGeometry,
+    /// Write discipline.
+    pub write_policy: WritePolicy,
+    /// Call the policy's epoch hook every `epoch_len` accesses
+    /// (0 disables). G-Cache closes bypass switches here; dynamic PDP
+    /// re-estimates its protection distance.
+    pub epoch_len: u64,
+}
+
+impl CacheConfig {
+    /// A write-through, no-write-allocate configuration (GPU L1 style).
+    pub fn l1(geometry: CacheGeometry, epoch_len: u64) -> Self {
+        CacheConfig { geometry, write_policy: WritePolicy::WriteThroughNoAllocate, epoch_len }
+    }
+
+    /// A write-back, write-allocate configuration (GPU L2 style).
+    pub fn l2(geometry: CacheGeometry, epoch_len: u64) -> Self {
+        CacheConfig { geometry, write_policy: WritePolicy::WriteBackWriteAllocate, epoch_len }
+    }
+}
+
+/// Result of a lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lookup {
+    /// The line is resident.
+    Hit {
+        /// Victim-bit value observed for the requesting core *before* this
+        /// access set it (always `false` when the cache has no victim-bit
+        /// tracker). A `true` here is the L2-side contention signal that
+        /// must travel back to the requesting L1 with the data.
+        victim_hint: bool,
+    },
+    /// The line is absent. Whether to fetch-and-fill is the caller's
+    /// decision (write-through L1s forward stores without filling).
+    Miss,
+}
+
+impl Lookup {
+    /// Whether the lookup hit.
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit { .. })
+    }
+}
+
+/// Result of a fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FillOutcome {
+    /// The policy refused to cache the line (bypass-on-fill).
+    pub bypassed: bool,
+    /// The line displaced by the fill, if any; `evicted.dirty` means the
+    /// caller must generate a write-back.
+    pub evicted: Option<Evicted>,
+}
+
+/// A complete cache instance.
+///
+/// # Examples
+///
+/// A miniature L1 under the G-Cache policy:
+///
+/// ```
+/// use gcache_core::cache::{Cache, CacheConfig, Lookup};
+/// use gcache_core::geometry::CacheGeometry;
+/// use gcache_core::policy::gcache::GCache;
+/// use gcache_core::policy::{AccessKind, FillCtx};
+/// use gcache_core::addr::{CoreId, LineAddr};
+///
+/// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
+/// let geom = CacheGeometry::new(1024, 2, 128)?;
+/// let mut l1 = Cache::new(CacheConfig::l1(geom, 0), Box::new(GCache::with_defaults(&geom)));
+/// let line = LineAddr::new(0x100);
+/// let core = CoreId(0);
+/// assert_eq!(l1.access(line, AccessKind::Read, core), Lookup::Miss);
+/// // ... request goes to L2; later the response arrives:
+/// l1.fill(FillCtx::plain(line, core), false);
+/// assert!(l1.access(line, AccessKind::Read, core).is_hit());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    tags: TagArray,
+    policy: Box<dyn ReplacementPolicy>,
+    victim_bits: Option<VictimBits>,
+    stats: CacheStats,
+    accesses_since_epoch: u64,
+}
+
+impl Cache {
+    /// Creates a cache with the given policy and no victim-bit tracker.
+    pub fn new(cfg: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        Cache {
+            tags: TagArray::new(cfg.geometry),
+            cfg,
+            policy,
+            victim_bits: None,
+            stats: CacheStats::new(),
+            accesses_since_epoch: 0,
+        }
+    }
+
+    /// Creates a cache with a victim-bit tracker serving `cores` L1 caches
+    /// with sharing factor `share` (an L2 bank in the G-Cache design).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`VictimBits::new`].
+    pub fn with_victim_bits(
+        cfg: CacheConfig,
+        policy: Box<dyn ReplacementPolicy>,
+        cores: usize,
+        share: usize,
+    ) -> Self {
+        let mut cache = Cache::new(cfg, policy);
+        cache.victim_bits = Some(VictimBits::new(&cfg.geometry, cores, share));
+        cache
+    }
+
+    /// The configuration.
+    pub const fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The geometry.
+    pub const fn geometry(&self) -> &CacheGeometry {
+        &self.cfg.geometry
+    }
+
+    /// The policy's display name (e.g. `"GC"`).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Fills the policy's bypass count into the stats before reading them.
+    /// Called implicitly by [`Cache::stats`]? No — bypasses are counted at
+    /// fill time by the cache itself, so this is just the policy's own view
+    /// (useful for cross-checking in tests).
+    pub fn policy_bypasses(&self) -> u64 {
+        self.policy.bypasses()
+    }
+
+    /// Whether `line` is resident (no side effects).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.tags.probe(line).is_some()
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.tags.occupancy()
+    }
+
+    /// Looks up `line` for `core`, updating policy state and statistics.
+    ///
+    /// On a hit the line's recency/protection is refreshed; if this cache
+    /// has a victim-bit tracker and the access is a read, the core's victim
+    /// bit is observed (returned) and set.
+    ///
+    /// On a miss nothing is allocated: the caller decides whether to fetch
+    /// (see the module docs).
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind, core: CoreId) -> Lookup {
+        self.tick_epoch();
+        let set = self.cfg.geometry.set_of(line);
+        let tag = self.cfg.geometry.tag_of(line);
+        self.policy.on_set_access(set);
+        self.policy.observe_access(set, tag);
+
+        match self.tags.probe(line) {
+            Some(way) => {
+                let mark_dirty = kind.is_write()
+                    && self.cfg.write_policy == WritePolicy::WriteBackWriteAllocate;
+                self.tags.touch(set, way, mark_dirty);
+                self.policy.on_hit(set, way);
+                let victim_hint = match (&mut self.victim_bits, kind) {
+                    (Some(vb), AccessKind::Read) => vb.observe(set, way, core),
+                    _ => false,
+                };
+                self.stats.record_access(kind, true);
+                Lookup::Hit { victim_hint }
+            }
+            None => {
+                self.stats.record_access(kind, false);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Installs (or bypasses) a returning fill. `dirty` marks the line
+    /// modified immediately (write-allocate of a store miss).
+    ///
+    /// If this cache has a victim-bit tracker, the inserted line's bits are
+    /// reset and the requesting core's bit is set, so a re-request from the
+    /// same core is detected as contention.
+    ///
+    /// A fill for a line that is already resident (possible when a store
+    /// write-allocates while a load fill is in flight) is a no-op apart
+    /// from dirtying the line if requested.
+    pub fn fill(&mut self, ctx: FillCtx, dirty: bool) -> FillOutcome {
+        let set = self.cfg.geometry.set_of(ctx.line);
+        if let Some(way) = self.tags.probe(ctx.line) {
+            if dirty {
+                self.tags.touch(set, way, true);
+            }
+            return FillOutcome { bypassed: false, evicted: None };
+        }
+        let valid_mask = self.tags.valid_mask(set);
+        match self.policy.fill_decision(set, valid_mask, &ctx) {
+            FillDecision::Bypass => {
+                self.stats.bypassed_fills += 1;
+                FillOutcome { bypassed: true, evicted: None }
+            }
+            FillDecision::Insert { way } => {
+                if valid_mask & (1 << way) != 0 {
+                    self.policy.on_evict(set, way);
+                }
+                let evicted = self.tags.fill(set, way, ctx.line, dirty);
+                if let Some(ev) = &evicted {
+                    self.stats.evictions += 1;
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                    }
+                    self.stats.reuse.record(ev.reuse);
+                }
+                if let Some(vb) = &mut self.victim_bits {
+                    vb.clear(set, way);
+                    vb.observe(set, way, ctx.core);
+                }
+                self.policy.on_insert(set, way, &ctx);
+                self.stats.fills += 1;
+                FillOutcome { bypassed: false, evicted }
+            }
+        }
+    }
+
+    /// Observes (and sets) the victim bit of a *resident* line for `core`
+    /// without touching replacement state — used by an L2 controller to
+    /// attach hints to the secondary (merged) targets of one fill.
+    ///
+    /// Returns `None` if the line is not resident or this cache tracks no
+    /// victim bits.
+    pub fn victim_observe(&mut self, line: LineAddr, core: CoreId) -> Option<bool> {
+        let set = self.cfg.geometry.set_of(line);
+        let way = self.tags.probe(line)?;
+        self.victim_bits.as_mut().map(|vb| vb.observe(set, way, core))
+    }
+
+    /// Records an access this cache intentionally did not service — e.g.
+    /// an atomic the L1 forwards straight to the partition's atomic unit.
+    /// Counted as a miss so access totals stay conserved across the
+    /// hierarchy.
+    pub fn note_uncached_access(&mut self, kind: AccessKind) {
+        self.tick_epoch();
+        self.stats.record_access(kind, false);
+    }
+
+    /// Invalidates a single line if resident, returning it. Used for
+    /// coherence-style invalidations (e.g. an atomic bypassing the L1 must
+    /// drop the stale copy). The residency is folded into the reuse
+    /// histogram like any other eviction.
+    pub fn invalidate_line(&mut self, line: LineAddr) -> Option<Evicted> {
+        let way = self.tags.probe(line)?;
+        let set = self.cfg.geometry.set_of(line);
+        let ev = self.tags.invalidate(set, way)?;
+        self.policy.on_evict(set, way);
+        if let Some(vb) = &mut self.victim_bits {
+            vb.clear(set, way);
+        }
+        self.stats.evictions += 1;
+        self.stats.reuse.record(ev.reuse);
+        if ev.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(ev)
+    }
+
+    /// Invalidates every line, returning the dirty ones (the write-backs a
+    /// real flush would generate) and folding all residencies into the
+    /// reuse histogram. Policy and victim-bit state is notified per line.
+    pub fn flush(&mut self) -> Vec<Evicted> {
+        let mut dirty = Vec::new();
+        let sets = self.cfg.geometry.sets() as usize;
+        let ways = self.cfg.geometry.ways() as usize;
+        for set in 0..sets {
+            for way in 0..ways {
+                if let Some(ev) = self.tags.invalidate(set, way) {
+                    self.policy.on_evict(set, way);
+                    if let Some(vb) = &mut self.victim_bits {
+                        vb.clear(set, way);
+                    }
+                    self.stats.evictions += 1;
+                    self.stats.reuse.record(ev.reuse);
+                    if ev.dirty {
+                        self.stats.writebacks += 1;
+                        dirty.push(ev);
+                    }
+                }
+            }
+        }
+        dirty
+    }
+
+    fn tick_epoch(&mut self) {
+        if self.cfg.epoch_len == 0 {
+            return;
+        }
+        self.accesses_since_epoch += 1;
+        if self.accesses_since_epoch >= self.cfg.epoch_len {
+            self.accesses_since_epoch = 0;
+            self.policy.on_epoch();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::gcache::GCache;
+    use crate::policy::lru::Lru;
+    use crate::policy::pdp::StaticPdp;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(1024, 2, 128).unwrap() // 4 sets, 2 ways
+    }
+
+    fn lru_l1() -> Cache {
+        let g = geom();
+        Cache::new(CacheConfig::l1(g, 0), Box::new(Lru::new(&g)))
+    }
+
+    fn lru_l2(cores: usize) -> Cache {
+        let g = geom();
+        Cache::with_victim_bits(CacheConfig::l2(g, 0), Box::new(Lru::new(&g)), cores, 1)
+    }
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = lru_l1();
+        let line = LineAddr::new(0x40);
+        assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Miss);
+        let out = c.fill(FillCtx::plain(line, C0), false);
+        assert!(!out.bypassed);
+        assert!(out.evicted.is_none());
+        assert!(c.access(line, AccessKind::Read, C0).is_hit());
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn write_through_hit_stays_clean() {
+        let mut c = lru_l1();
+        let line = LineAddr::new(0);
+        c.fill(FillCtx::plain(line, C0), false);
+        c.access(line, AccessKind::Write, C0);
+        let dirty = c.flush();
+        assert!(dirty.is_empty(), "WT cache must never hold dirty lines");
+    }
+
+    #[test]
+    fn write_back_hit_dirties() {
+        let mut c = lru_l2(2);
+        let line = LineAddr::new(0);
+        c.fill(FillCtx::plain(line, C0), false);
+        c.access(line, AccessKind::Write, C0);
+        let dirty = c.flush();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].line, line);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn dirty_fill_writes_back_on_eviction() {
+        let mut c = lru_l2(2);
+        // Fill 3 lines into set 0 (2 ways): first eviction is the dirty one.
+        let l0 = LineAddr::new(0);
+        let l1 = LineAddr::new(4);
+        let l2 = LineAddr::new(8);
+        c.fill(FillCtx::plain(l0, C0), true);
+        c.fill(FillCtx::plain(l1, C0), false);
+        let out = c.fill(FillCtx::plain(l2, C0), false);
+        let ev = out.evicted.expect("eviction");
+        assert_eq!(ev.line, l0);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn victim_bit_round_trip_detects_contention() {
+        let mut c = lru_l2(2);
+        let line = LineAddr::new(0x80);
+        // First request: miss, fill, hint is clean.
+        assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Miss);
+        c.fill(FillCtx::plain(line, C0), false);
+        // Same core re-requests (its L1 evicted the line early): hint set.
+        assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Hit { victim_hint: true });
+        // A different core sees a clean hint first.
+        assert_eq!(c.access(line, AccessKind::Read, C1), Lookup::Hit { victim_hint: false });
+        assert_eq!(c.access(line, AccessKind::Read, C1), Lookup::Hit { victim_hint: true });
+    }
+
+    #[test]
+    fn victim_bits_cleared_on_refill() {
+        let mut c = lru_l2(2);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        c.fill(FillCtx::plain(a, C0), false);
+        c.access(a, AccessKind::Read, C0); // sets C0's bit again (already set by fill)
+        // Evict `a` by filling the set's other way then a third line.
+        c.fill(FillCtx::plain(b, C0), false);
+        c.fill(FillCtx::plain(LineAddr::new(8), C0), false); // evicts `a` (LRU)
+        // `a` returns: its bits must have been cleared with the eviction.
+        c.fill(FillCtx::plain(a, C0), false);
+        assert_eq!(c.access(a, AccessKind::Read, C1), Lookup::Hit { victim_hint: false });
+    }
+
+    #[test]
+    fn writes_do_not_touch_victim_bits() {
+        let mut c = lru_l2(2);
+        let line = LineAddr::new(0);
+        c.fill(FillCtx::plain(line, C1), false);
+        // C0 writes (write-through traffic) — must not set C0's bit.
+        c.access(line, AccessKind::Write, C0);
+        assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Hit { victim_hint: false });
+    }
+
+    #[test]
+    fn fill_of_resident_line_is_noop() {
+        let mut c = lru_l2(2);
+        let line = LineAddr::new(0);
+        c.fill(FillCtx::plain(line, C0), false);
+        let out = c.fill(FillCtx::plain(line, C0), true);
+        assert!(!out.bypassed);
+        assert!(out.evicted.is_none());
+        assert_eq!(c.stats().fills, 1);
+        // The duplicate fill's dirty flag sticks, though.
+        assert_eq!(c.flush().len(), 1);
+    }
+
+    #[test]
+    fn bypass_counted_in_stats() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::l1(g, 0), Box::new(StaticPdp::new(&g, 8)));
+        c.fill(FillCtx::plain(LineAddr::new(0), C0), false);
+        c.fill(FillCtx::plain(LineAddr::new(4), C0), false);
+        let out = c.fill(FillCtx::plain(LineAddr::new(8), C0), false);
+        assert!(out.bypassed);
+        assert_eq!(c.stats().bypassed_fills, 1);
+        assert_eq!(c.policy_bypasses(), 1);
+        assert!(!c.contains(LineAddr::new(8)));
+    }
+
+    #[test]
+    fn reuse_histogram_from_evictions_and_flush() {
+        let mut c = lru_l1();
+        let a = LineAddr::new(0);
+        c.fill(FillCtx::plain(a, C0), false);
+        c.access(a, AccessKind::Read, C0);
+        c.access(a, AccessKind::Read, C0); // reuse = 2
+        c.fill(FillCtx::plain(LineAddr::new(4), C0), false); // reuse 0, resident
+        c.fill(FillCtx::plain(LineAddr::new(8), C0), false); // evicts `a`
+        assert_eq!(c.stats().reuse.bucket(2), 1);
+        c.flush();
+        // The two zero-reuse residents flushed out.
+        assert_eq!(c.stats().reuse.bucket(0), 2);
+        assert_eq!(c.stats().reuse.total(), 3);
+    }
+
+    #[test]
+    fn epoch_resets_gcache_switches() {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::l1(g, 4), Box::new(GCache::with_defaults(&g)));
+        let line = LineAddr::new(0);
+        // 4 accesses trigger one epoch; just verify it doesn't disturb
+        // normal operation (behavioural coverage lives in the policy tests).
+        for _ in 0..10 {
+            if !c.access(line, AccessKind::Read, C0).is_hit() {
+                c.fill(FillCtx::plain(line, C0), false);
+            }
+        }
+        assert!(c.stats().hits() >= 8);
+    }
+
+    #[test]
+    fn occupancy_tracks_fills() {
+        let mut c = lru_l1();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(FillCtx::plain(LineAddr::new(0), C0), false);
+        c.fill(FillCtx::plain(LineAddr::new(1), C0), false);
+        assert_eq!(c.occupancy(), 2);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+}

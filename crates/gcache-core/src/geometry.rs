@@ -1,0 +1,228 @@
+//! Set-associative cache geometry: size, associativity and address mapping.
+
+use crate::addr::LineAddr;
+use std::fmt;
+
+/// Error returned when a [`CacheGeometry`] would be invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Total size, associativity and line size do not produce ≥ 1 set.
+    TooSmall {
+        /// Requested total size in bytes.
+        total_bytes: u64,
+        /// Requested associativity.
+        ways: u32,
+        /// Requested line size in bytes.
+        line_size: u32,
+    },
+    /// A parameter that must be a power of two is not.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::TooSmall { total_bytes, ways, line_size } => write!(
+                f,
+                "cache of {total_bytes} bytes with {ways} ways of {line_size}-byte lines has no sets"
+            ),
+            GeometryError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// The shape of a set-associative cache.
+///
+/// # Examples
+///
+/// The paper's L1 data cache (32 KB, 4-way, 128 B lines → 64 sets):
+///
+/// ```
+/// use gcache_core::geometry::CacheGeometry;
+///
+/// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
+/// let l1 = CacheGeometry::new(32 * 1024, 4, 128)?;
+/// assert_eq!(l1.sets(), 64);
+/// assert_eq!(l1.ways(), 4);
+/// assert_eq!(l1.total_bytes(), 32 * 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheGeometry {
+    sets: u32,
+    ways: u32,
+    line_size: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from a total capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if any parameter is not a power of two or
+    /// the configuration yields zero sets.
+    pub fn new(total_bytes: u64, ways: u32, line_size: u32) -> Result<Self, GeometryError> {
+        for (what, value) in [
+            ("total size", total_bytes),
+            ("associativity", ways as u64),
+            ("line size", line_size as u64),
+        ] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(GeometryError::NotPowerOfTwo { what, value });
+            }
+        }
+        let set_bytes = ways as u64 * line_size as u64;
+        if total_bytes < set_bytes {
+            return Err(GeometryError::TooSmall { total_bytes, ways, line_size });
+        }
+        Ok(CacheGeometry { sets: (total_bytes / set_bytes) as u32, ways, line_size })
+    }
+
+    /// Creates a geometry directly from a set count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::NotPowerOfTwo`] if any parameter is not a
+    /// power of two.
+    pub fn with_sets(sets: u32, ways: u32, line_size: u32) -> Result<Self, GeometryError> {
+        CacheGeometry::new(sets as u64 * ways as u64 * line_size as u64, ways, line_size)
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Associativity (ways per set).
+    pub const fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub const fn line_size(&self) -> u32 {
+        self.line_size
+    }
+
+    /// Total capacity in bytes.
+    pub const fn total_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size as u64
+    }
+
+    /// Total number of lines (sets × ways).
+    pub const fn lines(&self) -> u64 {
+        self.sets as u64 * self.ways as u64
+    }
+
+    /// Set index for a line address (modulo mapping on low line-address bits).
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() & (self.sets as u64 - 1)) as usize
+    }
+
+    /// Tag for a line address (bits above the set index).
+    pub fn tag_of(&self, line: LineAddr) -> u64 {
+        line.raw() >> self.sets.trailing_zeros()
+    }
+
+    /// Reconstructs a line address from a (tag, set) pair.
+    ///
+    /// Inverse of [`CacheGeometry::set_of`] / [`CacheGeometry::tag_of`].
+    pub fn line_of(&self, tag: u64, set: usize) -> LineAddr {
+        LineAddr::new((tag << self.sets.trailing_zeros()) | set as u64)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way {}B-line ({} sets)",
+            self.total_bytes() / 1024,
+            self.ways,
+            self.line_size,
+            self.sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let g = CacheGeometry::new(32 * 1024, 4, 128).unwrap();
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.lines(), 256);
+        assert_eq!(g.to_string(), "32KB 4-way 128B-line (64 sets)");
+    }
+
+    #[test]
+    fn paper_l2_bank_geometry() {
+        let g = CacheGeometry::new(128 * 1024, 16, 128).unwrap();
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.ways(), 16);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            CacheGeometry::new(3000, 4, 128),
+            Err(GeometryError::NotPowerOfTwo { what: "total size", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 3, 128),
+            Err(GeometryError::NotPowerOfTwo { what: "associativity", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(4096, 4, 96),
+            Err(GeometryError::NotPowerOfTwo { what: "line size", .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(0, 4, 128),
+            Err(GeometryError::NotPowerOfTwo { what: "total size", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_too_small() {
+        assert!(matches!(CacheGeometry::new(256, 4, 128), Err(GeometryError::TooSmall { .. })));
+    }
+
+    #[test]
+    fn set_tag_round_trip() {
+        let g = CacheGeometry::new(32 * 1024, 4, 128).unwrap();
+        for raw in [0u64, 1, 63, 64, 65, 0xdead_beef, u32::MAX as u64] {
+            let line = LineAddr::new(raw);
+            let set = g.set_of(line);
+            let tag = g.tag_of(line);
+            assert!(set < g.sets() as usize);
+            assert_eq!(g.line_of(tag, set), line);
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_map_to_consecutive_sets() {
+        let g = CacheGeometry::new(32 * 1024, 4, 128).unwrap();
+        assert_eq!(g.set_of(LineAddr::new(0)), 0);
+        assert_eq!(g.set_of(LineAddr::new(1)), 1);
+        assert_eq!(g.set_of(LineAddr::new(64)), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CacheGeometry::new(256, 4, 128).unwrap_err();
+        assert!(e.to_string().contains("no sets"));
+        let e = CacheGeometry::new(4096, 3, 128).unwrap_err();
+        assert!(e.to_string().contains("power of two"));
+    }
+}

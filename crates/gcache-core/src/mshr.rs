@@ -1,0 +1,228 @@
+//! Miss-Status Holding Registers with same-line merging.
+//!
+//! Both L1s (32 entries per core in the paper's configuration) and L2 banks
+//! use this structure. A primary miss allocates an entry and sends one
+//! request downstream; secondary misses to the same line merge into the
+//! entry. When the fill returns, all merged targets are released at once.
+
+use crate::addr::LineAddr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why an MSHR allocation failed. The requester must stall and retry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrReject {
+    /// All entries are in use and the line has no existing entry.
+    Full,
+    /// The line has an entry but its merge list is at capacity.
+    MergeFull,
+}
+
+impl fmt::Display for MshrReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MshrReject::Full => f.write_str("all MSHR entries in use"),
+            MshrReject::MergeFull => f.write_str("MSHR merge list full"),
+        }
+    }
+}
+
+impl std::error::Error for MshrReject {}
+
+/// Successful MSHR allocation outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrAlloc {
+    /// First miss for this line: the caller must send a request downstream.
+    Primary,
+    /// Merged into an existing entry: no new downstream request.
+    Merged,
+}
+
+/// An MSHR file tracking outstanding misses, generic over the per-request
+/// bookkeeping `T` the owner wants returned when the fill arrives (warp ids,
+/// response destinations, …).
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::mshr::{MshrAlloc, MshrFile};
+/// use gcache_core::addr::LineAddr;
+///
+/// let mut mshr: MshrFile<&str> = MshrFile::new(32, 8);
+/// let line = LineAddr::new(0x10);
+/// assert_eq!(mshr.allocate(line, "warp0"), Ok(MshrAlloc::Primary));
+/// assert_eq!(mshr.allocate(line, "warp7"), Ok(MshrAlloc::Merged));
+/// let targets = mshr.complete(line).expect("entry exists");
+/// assert_eq!(targets, vec!["warp0", "warp7"]);
+/// assert!(mshr.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile<T> {
+    capacity: usize,
+    max_merge: usize,
+    entries: HashMap<LineAddr, Vec<T>>,
+    peak_occupancy: usize,
+    merges: u64,
+}
+
+impl<T> MshrFile<T> {
+    /// Creates an MSHR file with `capacity` entries, each able to hold
+    /// `max_merge` merged targets (including the primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_merge` is zero.
+    pub fn new(capacity: usize, max_merge: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        assert!(max_merge > 0, "MSHR merge depth must be positive");
+        MshrFile {
+            capacity,
+            max_merge,
+            entries: HashMap::with_capacity(capacity),
+            peak_occupancy: 0,
+            merges: 0,
+        }
+    }
+
+    /// Attempts to record a miss for `line` carrying `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrReject`] when the file or the line's merge list is
+    /// full; the access must be replayed later.
+    pub fn allocate(&mut self, line: LineAddr, target: T) -> Result<MshrAlloc, MshrReject> {
+        if let Some(targets) = self.entries.get_mut(&line) {
+            if targets.len() >= self.max_merge {
+                return Err(MshrReject::MergeFull);
+            }
+            targets.push(target);
+            self.merges += 1;
+            return Ok(MshrAlloc::Merged);
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(MshrReject::Full);
+        }
+        self.entries.insert(line, vec![target]);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        Ok(MshrAlloc::Primary)
+    }
+
+    /// Whether an outstanding miss exists for `line`.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Releases the entry for `line`, returning its merged targets in
+    /// allocation order. `None` if no entry exists.
+    pub fn complete(&mut self, line: LineAddr) -> Option<Vec<T>> {
+        self.entries.remove(&line)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a *new* (non-merging) allocation would fail.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Highest entry occupancy seen so far.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Total number of merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Iterates over outstanding lines.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m: MshrFile<u32> = MshrFile::new(2, 4);
+        assert_eq!(m.allocate(LineAddr::new(1), 10), Ok(MshrAlloc::Primary));
+        assert_eq!(m.allocate(LineAddr::new(1), 11), Ok(MshrAlloc::Merged));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut m: MshrFile<u32> = MshrFile::new(2, 4);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        m.allocate(LineAddr::new(2), 0).unwrap();
+        assert_eq!(m.allocate(LineAddr::new(3), 0), Err(MshrReject::Full));
+        // Merging into existing entries still works at capacity.
+        assert_eq!(m.allocate(LineAddr::new(1), 1), Ok(MshrAlloc::Merged));
+    }
+
+    #[test]
+    fn rejects_when_merge_list_full() {
+        let mut m: MshrFile<u32> = MshrFile::new(4, 2);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        m.allocate(LineAddr::new(1), 1).unwrap();
+        assert_eq!(m.allocate(LineAddr::new(1), 2), Err(MshrReject::MergeFull));
+    }
+
+    #[test]
+    fn complete_returns_targets_in_order() {
+        let mut m: MshrFile<u32> = MshrFile::new(4, 8);
+        for t in 0..5 {
+            m.allocate(LineAddr::new(9), t).unwrap();
+        }
+        assert_eq!(m.complete(LineAddr::new(9)), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(m.complete(LineAddr::new(9)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn freed_entry_is_reusable() {
+        let mut m: MshrFile<u32> = MshrFile::new(1, 1);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        assert!(m.is_full());
+        m.complete(LineAddr::new(1)).unwrap();
+        assert!(!m.is_full());
+        assert_eq!(m.allocate(LineAddr::new(2), 0), Ok(MshrAlloc::Primary));
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut m: MshrFile<u32> = MshrFile::new(8, 1);
+        for i in 0..5 {
+            m.allocate(LineAddr::new(i), 0).unwrap();
+        }
+        for i in 0..5 {
+            m.complete(LineAddr::new(i));
+        }
+        assert_eq!(m.peak_occupancy(), 5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _: MshrFile<u32> = MshrFile::new(0, 1);
+    }
+
+    #[test]
+    fn reject_display() {
+        assert!(MshrReject::Full.to_string().contains("entries"));
+        assert!(MshrReject::MergeFull.to_string().contains("merge"));
+    }
+}

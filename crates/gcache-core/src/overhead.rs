@@ -1,0 +1,149 @@
+//! Storage-overhead model for the G-Cache hardware extension (paper §4.3).
+//!
+//! The only non-trivial storage cost of G-Cache is the victim-bit field in
+//! the L2 tag array: `O_v = (P / S_v) × N × M` bits for `P` L1 caches with
+//! sharing factor `S_v` over an `N`-set, `M`-way L2. The per-set bypass
+//! switches in L1 add one bit per set — negligible — and the RRPV field is
+//! shared with the SRRIP baseline.
+
+use std::fmt;
+
+/// Storage-overhead calculator for a G-Cache configuration.
+///
+/// # Examples
+///
+/// The paper's example: a 16-core GPU with a 512-set, 16-way 1 MB L2 needs
+/// 16 KB of victim bits — "essentially 1 KB for each L1 cache on average":
+///
+/// ```
+/// use gcache_core::overhead::OverheadModel;
+///
+/// let m = OverheadModel {
+///     cores: 16,
+///     l2_sets: 512,
+///     l2_ways: 16,
+///     share: 1,
+///     l1_sets: 64,
+/// };
+/// assert_eq!(m.victim_bits(), 16 * 512 * 16);
+/// assert_eq!(m.victim_bytes(), 16 * 1024);
+/// assert!((m.victim_kb_per_core() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverheadModel {
+    /// Number of SIMT cores / L1 caches (`P`).
+    pub cores: u64,
+    /// Total L2 sets across all banks (`N`).
+    pub l2_sets: u64,
+    /// L2 associativity (`M`).
+    pub l2_ways: u64,
+    /// Victim-bit sharing factor (`S_v`, cores per bit).
+    pub share: u64,
+    /// Sets per L1 cache (for the bypass-switch bit count).
+    pub l1_sets: u64,
+}
+
+impl OverheadModel {
+    /// Victim bits per L2 line (`L_v = ⌈P / S_v⌉`).
+    pub const fn bits_per_line(&self) -> u64 {
+        self.cores.div_ceil(self.share)
+    }
+
+    /// Total victim-bit storage in bits (`O_v`).
+    pub const fn victim_bits(&self) -> u64 {
+        self.bits_per_line() * self.l2_sets * self.l2_ways
+    }
+
+    /// Total victim-bit storage in bytes.
+    pub const fn victim_bytes(&self) -> u64 {
+        self.victim_bits() / 8
+    }
+
+    /// Victim-bit storage amortised per core, in KB.
+    pub fn victim_kb_per_core(&self) -> f64 {
+        self.victim_bytes() as f64 / 1024.0 / self.cores as f64
+    }
+
+    /// Bypass-switch storage across all L1s, in bits (1 per L1 set).
+    pub const fn bypass_switch_bits(&self) -> u64 {
+        self.cores * self.l1_sets
+    }
+
+    /// Total G-Cache-specific storage in bits (victim bits + switches).
+    pub const fn total_bits(&self) -> u64 {
+        self.victim_bits() + self.bypass_switch_bits()
+    }
+
+    /// Overhead as a fraction of the L2 data capacity (`line_bytes` per
+    /// line).
+    pub fn fraction_of_l2(&self, line_bytes: u64) -> f64 {
+        let l2_bits = self.l2_sets * self.l2_ways * line_bytes * 8;
+        self.total_bits() as f64 / l2_bits as f64
+    }
+}
+
+impl fmt::Display for OverheadModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} victim bits/line over {}x{} L2 = {} KB (+{} switch bits)",
+            self.bits_per_line(),
+            self.l2_sets,
+            self.l2_ways,
+            self.victim_bytes() / 1024,
+            self.bypass_switch_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> OverheadModel {
+        OverheadModel { cores: 16, l2_sets: 512, l2_ways: 16, share: 1, l1_sets: 64 }
+    }
+
+    #[test]
+    fn paper_section_4_3_example() {
+        let m = paper();
+        assert_eq!(m.victim_bits(), 131_072); // 16 KB
+        assert_eq!(m.victim_bytes() / 1024, 16);
+        assert!((m.victim_kb_per_core() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_divides_cost() {
+        let m = OverheadModel { share: 4, ..paper() };
+        assert_eq!(m.bits_per_line(), 4);
+        assert_eq!(m.victim_bits(), paper().victim_bits() / 4);
+        let all_shared = OverheadModel { share: 16, ..paper() };
+        assert_eq!(all_shared.bits_per_line(), 1);
+    }
+
+    #[test]
+    fn non_dividing_share_rounds_up() {
+        let m = OverheadModel { share: 3, ..paper() };
+        assert_eq!(m.bits_per_line(), 6); // ceil(16/3)
+    }
+
+    #[test]
+    fn switch_bits_are_tiny() {
+        let m = paper();
+        assert_eq!(m.bypass_switch_bits(), 16 * 64);
+        assert!(m.bypass_switch_bits() < m.victim_bits() / 100);
+    }
+
+    #[test]
+    fn fraction_of_l2_is_small() {
+        let m = paper();
+        // 16 KB of bits over a 1 MB L2 ≈ 1.6 %.
+        let frac = m.fraction_of_l2(128);
+        assert!(frac > 0.01 && frac < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn display_mentions_kb() {
+        assert!(paper().to_string().contains("16 KB"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Replacement / bypass / insertion policies.
+//!
+//! Every policy evaluated in the paper is implemented behind one trait,
+//! [`ReplacementPolicy`]:
+//!
+//! | Paper name | Type | Description |
+//! |---|---|---|
+//! | BS | [`lru::Lru`] | LRU replacement, always insert |
+//! | BS-S | [`rrip::Rrip`] | 3-bit SRRIP, always insert |
+//! | GC | [`gcache::GCache`] | SRRIP + adaptive bypass/insertion (the paper's contribution) |
+//! | SPDP-B | [`pdp::StaticPdp`] | static protection-distance policy with bypass |
+//! | PDP-3 / PDP-8 | [`pdp_dyn::DynamicPdp`] | dynamic PDP, PD re-estimated from sampled reuse distances |
+//!
+//! A policy never touches the tag array directly; [`crate::cache::Cache`]
+//! drives it through the trait hooks and applies its decisions.
+
+pub mod gcache;
+pub mod lru;
+pub mod pdp;
+pub mod pdp_dyn;
+pub mod rrip;
+
+use crate::addr::{CoreId, LineAddr};
+use std::fmt;
+
+/// What kind of access is being performed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// A read-modify-write performed by an atomic operation unit.
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether the access modifies the line.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Atomic)
+    }
+}
+
+/// Context accompanying a fill (the response returning from the next level).
+#[derive(Clone, Copy, Debug)]
+pub struct FillCtx {
+    /// The line being filled.
+    pub line: LineAddr,
+    /// Requesting core (used by the L2's victim-bit tracker).
+    pub core: CoreId,
+    /// G-Cache victim-bit hint attached to the response: `true` means the
+    /// next level observed that this L1 requested the same line recently —
+    /// i.e. the line was evicted from L1 before it could be re-used
+    /// (contention).
+    pub victim_hint: bool,
+}
+
+impl FillCtx {
+    /// Convenience constructor for a hint-less fill.
+    pub fn plain(line: LineAddr, core: CoreId) -> Self {
+        FillCtx { line, core, victim_hint: false }
+    }
+}
+
+/// A policy's decision about an incoming fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FillDecision {
+    /// Insert the incoming line into this way (evicting any resident line).
+    Insert {
+        /// Destination way.
+        way: usize,
+    },
+    /// Do not cache the incoming line; forward it to the requester only.
+    Bypass,
+}
+
+/// A cache replacement / bypass / insertion policy.
+///
+/// Implementations hold all their per-set and per-line metadata internally
+/// (RRPVs, LRU stacks, protection counters, bypass switches, …), sized at
+/// construction from the cache geometry.
+pub trait ReplacementPolicy: fmt::Debug + Send {
+    /// Short stable name, used in experiment tables (e.g. `"GC"`).
+    fn name(&self) -> &'static str;
+
+    /// Called once for every access directed at `set`, hit or miss, before
+    /// [`Self::on_hit`] / [`Self::fill_decision`]. PDP uses this to age its
+    /// protection counters.
+    fn on_set_access(&mut self, _set: usize) {}
+
+    /// Called once per access with the line's tag, for policies that sample
+    /// the address stream (dynamic PDP's reuse-distance FIFOs).
+    fn observe_access(&mut self, _set: usize, _tag: u64) {}
+
+    /// Called when an access hits in (set, way).
+    fn on_hit(&mut self, set: usize, way: usize);
+
+    /// Decides where an incoming fill goes. `valid_mask` has bit `w` set iff
+    /// way `w` currently holds a valid line; policies that never bypass must
+    /// return [`FillDecision::Insert`].
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &FillCtx) -> FillDecision;
+
+    /// Called after the line has been installed in (set, way).
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &FillCtx);
+
+    /// Called when a line is evicted or invalidated from (set, way).
+    fn on_evict(&mut self, _set: usize, _way: usize) {}
+
+    /// Periodic epoch boundary (driven by the cache every
+    /// [`crate::cache::CacheConfig::epoch_len`] accesses). G-Cache closes
+    /// its bypass switches here; dynamic PDP re-estimates its PD.
+    fn on_epoch(&mut self) {}
+
+    /// Number of fills this policy chose to bypass (for Table 3).
+    fn bypasses(&self) -> u64 {
+        0
+    }
+}
+
+/// Returns the lowest-numbered invalid way, if any.
+///
+/// Policies should prefer invalid ways before evicting; this helper keeps
+/// that logic identical across implementations.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::policy::first_invalid_way;
+///
+/// assert_eq!(first_invalid_way(0b1011, 4), Some(2));
+/// assert_eq!(first_invalid_way(0b1111, 4), None);
+/// assert_eq!(first_invalid_way(0b0000, 4), Some(0));
+/// ```
+pub fn first_invalid_way(valid_mask: u64, ways: usize) -> Option<usize> {
+    (0..ways).find(|&w| valid_mask & (1 << w) == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_write_predicate() {
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::Atomic.is_write());
+    }
+
+    #[test]
+    fn first_invalid_prefers_lowest() {
+        assert_eq!(first_invalid_way(0b0001, 4), Some(1));
+        assert_eq!(first_invalid_way(0b1110, 4), Some(0));
+        assert_eq!(first_invalid_way(u64::MAX, 16), None);
+    }
+
+    #[test]
+    fn plain_ctx_has_no_hint() {
+        let ctx = FillCtx::plain(LineAddr::new(7), CoreId(2));
+        assert!(!ctx.victim_hint);
+        assert_eq!(ctx.core, CoreId(2));
+        assert_eq!(ctx.line, LineAddr::new(7));
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline reuse profiling of address streams.
+//!
+//! Used by the workload crate's tests to verify that each synthetic
+//! benchmark exhibits the locality structure its real counterpart is known
+//! for, and by the experiment harness to characterise access streams
+//! independently of any cache configuration.
+
+use crate::addr::LineAddr;
+use std::collections::HashMap;
+
+/// Measures LRU **stack distances** (number of distinct lines touched
+/// between consecutive accesses to the same line) and per-line total reuse
+/// counts over an address stream.
+///
+/// The implementation is an O(d) list walk per access — fine for analysis
+/// workloads; the hardware-feasible sampled variant lives in
+/// [`crate::policy::pdp_dyn`].
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::reuse::ReuseProfiler;
+/// use gcache_core::addr::LineAddr;
+///
+/// let mut p = ReuseProfiler::new(64);
+/// let (a, b) = (LineAddr::new(1), LineAddr::new(2));
+/// assert_eq!(p.record(a), None);     // cold
+/// assert_eq!(p.record(b), None);     // cold
+/// assert_eq!(p.record(a), Some(2));  // one distinct line (b) in between
+/// assert_eq!(p.total_accesses(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReuseProfiler {
+    /// LRU stack, most recent first.
+    stack: Vec<LineAddr>,
+    max_depth: usize,
+    /// Per-line lifetime reuse counts.
+    reuse_counts: HashMap<LineAddr, u64>,
+    /// Histogram of stack distances; index d-1 = distance d.
+    distances: Vec<u64>,
+    /// Re-accesses whose distance exceeded `max_depth`.
+    overflow: u64,
+    /// First-ever accesses to a line.
+    cold: u64,
+    accesses: u64,
+}
+
+impl ReuseProfiler {
+    /// Creates a profiler that distinguishes stack distances up to
+    /// `max_depth`; deeper reuse is counted as overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is zero.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth > 0, "profiler depth must be positive");
+        ReuseProfiler {
+            stack: Vec::with_capacity(max_depth + 1),
+            max_depth,
+            reuse_counts: HashMap::new(),
+            distances: vec![0; max_depth],
+            overflow: 0,
+            cold: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Records one access; returns the stack distance (1 = immediate
+    /// re-access) or `None` for a cold or overflowed access.
+    pub fn record(&mut self, line: LineAddr) -> Option<usize> {
+        self.accesses += 1;
+        let distance = match self.stack.iter().position(|&l| l == line) {
+            Some(p) => {
+                self.stack.remove(p);
+                self.distances[p] += 1;
+                Some(p + 1)
+            }
+            None => {
+                // The reuse map is authoritative for "cold": a line may have
+                // fallen off the stack yet still have been seen before.
+                if self.reuse_counts.contains_key(&line) {
+                    self.overflow += 1;
+                } else {
+                    self.cold += 1;
+                }
+                None
+            }
+        };
+        *self.reuse_counts.entry(line).or_insert(0) += 1;
+        self.stack.insert(0, line);
+        self.stack.truncate(self.max_depth);
+        distance
+    }
+
+    /// Total accesses recorded.
+    pub const fn total_accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of distinct lines seen (the stream's footprint, in lines).
+    pub fn footprint(&self) -> usize {
+        self.reuse_counts.len()
+    }
+
+    /// First accesses to never-before-seen lines.
+    pub const fn cold_accesses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Re-accesses whose stack distance exceeded the profiling depth.
+    pub const fn overflow_accesses(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Histogram of stack distances (index `d-1` holds distance `d`).
+    pub fn distance_histogram(&self) -> &[u64] {
+        &self.distances
+    }
+
+    /// Mean stack distance over in-depth re-accesses; `None` if there were
+    /// none.
+    pub fn mean_distance(&self) -> Option<f64> {
+        let total: u64 = self.distances.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let weighted: u64 =
+            self.distances.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        Some(weighted as f64 / total as f64)
+    }
+
+    /// Fraction of all accesses to lines that are never re-accessed
+    /// (streaming fraction of the address stream).
+    pub fn single_use_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        let single: u64 = self.reuse_counts.values().filter(|&&c| c == 1).count() as u64;
+        single as f64 / self.accesses as f64
+    }
+
+    /// Mean lifetime accesses per distinct line (1.0 = pure streaming).
+    pub fn mean_accesses_per_line(&self) -> f64 {
+        if self.reuse_counts.is_empty() {
+            return 0.0;
+        }
+        self.accesses as f64 / self.reuse_counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn cold_accesses_have_no_distance() {
+        let mut p = ReuseProfiler::new(8);
+        for n in 0..5 {
+            assert_eq!(p.record(line(n)), None);
+        }
+        assert_eq!(p.cold_accesses(), 5);
+        assert_eq!(p.footprint(), 5);
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_one() {
+        let mut p = ReuseProfiler::new(8);
+        p.record(line(7));
+        assert_eq!(p.record(line(7)), Some(1));
+        assert_eq!(p.distance_histogram()[0], 1);
+    }
+
+    #[test]
+    fn distance_counts_distinct_intervening_lines() {
+        let mut p = ReuseProfiler::new(8);
+        p.record(line(1));
+        p.record(line(2));
+        p.record(line(2)); // duplicate does not add a distinct line
+        p.record(line(3));
+        assert_eq!(p.record(line(1)), Some(3)); // {2,3} + itself at depth 3
+    }
+
+    #[test]
+    fn overflow_beyond_depth() {
+        let mut p = ReuseProfiler::new(2);
+        p.record(line(1));
+        p.record(line(2));
+        p.record(line(3)); // line 1 falls off the stack
+        assert_eq!(p.record(line(1)), None);
+        assert_eq!(p.overflow_accesses(), 1);
+        assert_eq!(p.cold_accesses(), 3);
+    }
+
+    #[test]
+    fn streaming_stream_is_all_single_use() {
+        let mut p = ReuseProfiler::new(16);
+        for n in 0..100 {
+            p.record(line(n));
+        }
+        assert!((p.single_use_fraction() - 1.0).abs() < 1e-12);
+        assert!((p.mean_accesses_per_line() - 1.0).abs() < 1e-12);
+        assert_eq!(p.mean_distance(), None);
+    }
+
+    #[test]
+    fn hot_loop_has_small_mean_distance() {
+        let mut p = ReuseProfiler::new(16);
+        for _ in 0..50 {
+            for n in 0..4 {
+                p.record(line(n));
+            }
+        }
+        let d = p.mean_distance().unwrap();
+        assert!((d - 4.0).abs() < 0.2, "mean distance {d} should be ~4");
+        assert_eq!(p.footprint(), 4);
+        assert!(p.mean_accesses_per_line() > 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_depth_rejected() {
+        let _ = ReuseProfiler::new(0);
+    }
+}

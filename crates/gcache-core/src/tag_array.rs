@@ -1,0 +1,238 @@
+//! The set-associative tag array shared by every cache in the hierarchy.
+//!
+//! The tag array tracks *which* lines are resident and their state; all
+//! replacement intelligence lives in [`crate::policy`] implementations that
+//! are driven by [`crate::cache::Cache`].
+
+use crate::addr::LineAddr;
+use crate::geometry::CacheGeometry;
+use crate::line::{LineSlot, LineState};
+
+/// A line evicted from the tag array by a fill or invalidation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Address of the evicted line.
+    pub line: LineAddr,
+    /// Whether the line was dirty (needs a write-back).
+    pub dirty: bool,
+    /// How many hits the line received during its residency.
+    pub reuse: u32,
+}
+
+/// Set-associative tag array.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::geometry::CacheGeometry;
+/// use gcache_core::tag_array::TagArray;
+/// use gcache_core::addr::LineAddr;
+///
+/// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
+/// let mut tags = TagArray::new(CacheGeometry::new(1024, 2, 128)?);
+/// let line = LineAddr::new(0x40);
+/// assert_eq!(tags.probe(line), None);
+/// let set = tags.geometry().set_of(line);
+/// tags.fill(set, 0, line, false);
+/// assert_eq!(tags.probe(line), Some(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TagArray {
+    geom: CacheGeometry,
+    slots: Vec<LineSlot>,
+}
+
+impl TagArray {
+    /// Creates an empty tag array of the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let slots = vec![LineSlot::default(); geom.lines() as usize];
+        TagArray { geom, slots }
+    }
+
+    /// The geometry of this array.
+    pub const fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    fn slot_index(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.geom.sets() as usize);
+        debug_assert!(way < self.geom.ways() as usize);
+        set * self.geom.ways() as usize + way
+    }
+
+    /// Read-only view of one slot.
+    pub fn slot(&self, set: usize, way: usize) -> &LineSlot {
+        &self.slots[self.slot_index(set, way)]
+    }
+
+    /// Looks a line up; returns the way on a tag match with valid state.
+    pub fn probe(&self, line: LineAddr) -> Option<usize> {
+        let set = self.geom.set_of(line);
+        let tag = self.geom.tag_of(line);
+        (0..self.geom.ways() as usize).find(|&w| {
+            let s = self.slot(set, w);
+            s.state.is_valid() && s.tag == tag
+        })
+    }
+
+    /// Records a hit on (set, way), bumping the slot's reuse counter.
+    pub fn touch(&mut self, set: usize, way: usize, write: bool) {
+        let idx = self.slot_index(set, way);
+        let slot = &mut self.slots[idx];
+        debug_assert!(slot.state.is_valid(), "touch on invalid slot");
+        slot.reuse = slot.reuse.saturating_add(1);
+        if write {
+            slot.state = LineState::Dirty;
+        }
+    }
+
+    /// Bitmask with bit `w` set iff way `w` of `set` holds a valid line.
+    pub fn valid_mask(&self, set: usize) -> u64 {
+        let mut mask = 0u64;
+        for w in 0..self.geom.ways() as usize {
+            if self.slot(set, w).state.is_valid() {
+                mask |= 1 << w;
+            }
+        }
+        mask
+    }
+
+    /// Installs `line` into (set, way), returning the previously resident
+    /// line if it was valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line` does not map to `set`.
+    pub fn fill(&mut self, set: usize, way: usize, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        debug_assert_eq!(self.geom.set_of(line), set, "line/set mismatch on fill");
+        let tag = self.geom.tag_of(line);
+        let evicted = self.evicted_view(set, way);
+        let idx = self.slot_index(set, way);
+        self.slots[idx].fill(tag, dirty);
+        evicted
+    }
+
+    /// Invalidates (set, way), returning the victim if one was resident.
+    pub fn invalidate(&mut self, set: usize, way: usize) -> Option<Evicted> {
+        let evicted = self.evicted_view(set, way);
+        let idx = self.slot_index(set, way);
+        self.slots[idx].invalidate();
+        evicted
+    }
+
+    fn evicted_view(&self, set: usize, way: usize) -> Option<Evicted> {
+        let slot = self.slot(set, way);
+        slot.state.is_valid().then(|| Evicted {
+            line: self.geom.line_of(slot.tag, set),
+            dirty: slot.state.is_dirty(),
+            reuse: slot.reuse,
+        })
+    }
+
+    /// Number of valid lines across the whole array.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.state.is_valid()).count()
+    }
+
+    /// Iterates over all valid lines as `(set, way, line, state, reuse)`.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, usize, LineAddr, LineState, u32)> + '_ {
+        let ways = self.geom.ways() as usize;
+        self.slots.iter().enumerate().filter(|(_, s)| s.state.is_valid()).map(move |(i, s)| {
+            let set = i / ways;
+            (set, i % ways, self.geom.line_of(s.tag, set), s.state, s.reuse)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TagArray {
+        TagArray::new(CacheGeometry::new(1024, 2, 128).unwrap()) // 4 sets, 2 ways
+    }
+
+    #[test]
+    fn probe_miss_on_empty() {
+        let tags = small();
+        assert_eq!(tags.probe(LineAddr::new(0)), None);
+        assert_eq!(tags.occupancy(), 0);
+    }
+
+    #[test]
+    fn fill_then_probe_hits() {
+        let mut tags = small();
+        let line = LineAddr::new(5); // set 1 (4 sets)
+        let set = tags.geometry().set_of(line);
+        assert_eq!(set, 1);
+        assert_eq!(tags.fill(set, 0, line, false), None);
+        assert_eq!(tags.probe(line), Some(0));
+        assert_eq!(tags.occupancy(), 1);
+    }
+
+    #[test]
+    fn fill_over_valid_returns_evicted() {
+        let mut tags = small();
+        let a = LineAddr::new(4); // set 0
+        let b = LineAddr::new(8); // set 0
+        tags.fill(0, 1, a, false);
+        tags.touch(0, 1, false);
+        tags.touch(0, 1, false);
+        let ev = tags.fill(0, 1, b, false).expect("eviction");
+        assert_eq!(ev.line, a);
+        assert!(!ev.dirty);
+        assert_eq!(ev.reuse, 2);
+        assert_eq!(tags.probe(a), None);
+        assert_eq!(tags.probe(b), Some(1));
+    }
+
+    #[test]
+    fn write_touch_marks_dirty() {
+        let mut tags = small();
+        let a = LineAddr::new(0);
+        tags.fill(0, 0, a, false);
+        tags.touch(0, 0, true);
+        let ev = tags.invalidate(0, 0).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(tags.probe(a), None);
+    }
+
+    #[test]
+    fn dirty_fill_is_dirty() {
+        let mut tags = small();
+        tags.fill(0, 0, LineAddr::new(0), true);
+        assert!(tags.slot(0, 0).state.is_dirty());
+    }
+
+    #[test]
+    fn valid_mask_tracks_ways() {
+        let mut tags = small();
+        assert_eq!(tags.valid_mask(0), 0b00);
+        tags.fill(0, 1, LineAddr::new(0), false);
+        assert_eq!(tags.valid_mask(0), 0b10);
+        tags.fill(0, 0, LineAddr::new(4), false);
+        assert_eq!(tags.valid_mask(0), 0b11);
+        tags.invalidate(0, 1);
+        assert_eq!(tags.valid_mask(0), 0b01);
+    }
+
+    #[test]
+    fn iter_valid_reports_all() {
+        let mut tags = small();
+        tags.fill(0, 0, LineAddr::new(0), false);
+        tags.fill(3, 1, LineAddr::new(7), true);
+        let mut v: Vec<_> = tags.iter_valid().map(|(s, w, l, ..)| (s, w, l.raw())).collect();
+        v.sort_unstable();
+        assert_eq!(v, vec![(0, 0, 0), (3, 1, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "line/set mismatch")]
+    #[cfg(debug_assertions)]
+    fn fill_wrong_set_panics() {
+        let mut tags = small();
+        tags.fill(0, 0, LineAddr::new(1), false);
+    }
+}

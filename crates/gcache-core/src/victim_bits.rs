@@ -1,0 +1,202 @@
+//! The L2 tag-array **victim bits** extension (paper §4.1, Figure 6).
+//!
+//! Each L2 line carries one bit per L1 cache (or per group of `share`
+//! cores, §4.3's overhead reduction). The bit for L1 *p* is set when the L2
+//! services a request for the line from core *p* and cleared when the line
+//! leaves the L2. If the bit is *already set* when core *p* requests the
+//! line again, the L1 fetched this line recently and evicted it before
+//! re-use — contention. The old bit value travels back to the L1 with the
+//! response as the *victim hint* that drives G-Cache's bypass switch.
+
+use crate::addr::CoreId;
+use crate::geometry::CacheGeometry;
+
+/// Per-line victim-bit storage for one L2 bank.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::geometry::CacheGeometry;
+/// use gcache_core::victim_bits::VictimBits;
+/// use gcache_core::addr::CoreId;
+///
+/// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
+/// let geom = CacheGeometry::new(128 * 1024, 16, 128)?;
+/// let mut vb = VictimBits::new(&geom, 16, 1);
+/// // First request from core 3: no contention yet.
+/// assert!(!vb.observe(0, 0, CoreId(3)));
+/// // Second request from core 3 for the same resident line: contention.
+/// assert!(vb.observe(0, 0, CoreId(3)));
+/// // Other cores are tracked independently.
+/// assert!(!vb.observe(0, 0, CoreId(4)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct VictimBits {
+    ways: usize,
+    share: usize,
+    groups: usize,
+    /// One bitmask per line; bit g = group g has requested the line since
+    /// it was filled.
+    bits: Vec<u64>,
+}
+
+impl VictimBits {
+    /// Creates victim-bit storage for an L2 bank of the given geometry,
+    /// serving `cores` L1 caches with `share` cores per bit (the paper's
+    /// `S_v`; 1 = a private bit per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` or `share` is zero, or if the resulting group
+    /// count exceeds 64 (the mask width).
+    pub fn new(geom: &CacheGeometry, cores: usize, share: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(share > 0, "sharing factor must be positive");
+        let groups = cores.div_ceil(share);
+        assert!(groups <= 64, "at most 64 victim-bit groups supported, got {groups}");
+        VictimBits {
+            ways: geom.ways() as usize,
+            share,
+            groups,
+            bits: vec![0; geom.lines() as usize],
+        }
+    }
+
+    /// Number of victim bits per line (`L_v = ⌈P / S_v⌉`, §4.3).
+    pub const fn bits_per_line(&self) -> usize {
+        self.groups
+    }
+
+    /// The sharing factor `S_v`.
+    pub const fn share(&self) -> usize {
+        self.share
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn group_mask(&self, core: CoreId) -> u64 {
+        let group = core.index() / self.share;
+        debug_assert!(group < self.groups, "core {core} outside the configured core count");
+        1u64 << group
+    }
+
+    /// Records that the L2 fulfilled a request for line (set, way) from
+    /// `core`, returning the *previous* bit value — `true` means this L1
+    /// already requested the line recently (contention; the victim hint).
+    pub fn observe(&mut self, set: usize, way: usize, core: CoreId) -> bool {
+        let mask = self.group_mask(core);
+        let i = self.idx(set, way);
+        let old = self.bits[i] & mask != 0;
+        self.bits[i] |= mask;
+        old
+    }
+
+    /// Reads the bit for `core` without setting it.
+    pub fn peek(&self, set: usize, way: usize, core: CoreId) -> bool {
+        self.bits[self.idx(set, way)] & self.group_mask(core) != 0
+    }
+
+    /// Clears all bits of line (set, way) — called when the line is evicted
+    /// from, or newly filled into, the L2.
+    pub fn clear(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        self.bits[i] = 0;
+    }
+
+    /// Total storage cost of this tracker in bits (one `L_v`-bit mask per
+    /// line). See [`crate::overhead`] for the paper's arithmetic.
+    pub fn storage_bits(&self) -> u64 {
+        self.bits.len() as u64 * self.groups as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(128 * 1024, 16, 128).unwrap() // 64 sets, 16 ways
+    }
+
+    #[test]
+    fn first_observe_is_clean() {
+        let mut vb = VictimBits::new(&geom(), 16, 1);
+        assert!(!vb.observe(5, 3, CoreId(0)));
+        assert!(vb.peek(5, 3, CoreId(0)));
+        assert!(!vb.peek(5, 3, CoreId(1)));
+    }
+
+    #[test]
+    fn re_request_detected_per_core() {
+        let mut vb = VictimBits::new(&geom(), 16, 1);
+        assert!(!vb.observe(0, 0, CoreId(7)));
+        assert!(vb.observe(0, 0, CoreId(7)));
+        assert!(!vb.observe(0, 0, CoreId(8)));
+        assert!(vb.observe(0, 0, CoreId(8)));
+    }
+
+    #[test]
+    fn clear_resets_all_cores() {
+        let mut vb = VictimBits::new(&geom(), 16, 1);
+        vb.observe(2, 2, CoreId(0));
+        vb.observe(2, 2, CoreId(15));
+        vb.clear(2, 2);
+        assert!(!vb.observe(2, 2, CoreId(0)));
+        assert!(!vb.peek(2, 2, CoreId(15)));
+    }
+
+    #[test]
+    fn lines_are_independent() {
+        let mut vb = VictimBits::new(&geom(), 16, 1);
+        vb.observe(0, 0, CoreId(0));
+        assert!(!vb.observe(0, 1, CoreId(0)));
+        assert!(!vb.observe(1, 0, CoreId(0)));
+    }
+
+    #[test]
+    fn sharing_factor_groups_cores() {
+        let mut vb = VictimBits::new(&geom(), 16, 4);
+        assert_eq!(vb.bits_per_line(), 4);
+        // Cores 0..4 share bit 0: core 1 request after core 0 looks like a
+        // re-request (the accuracy/overhead tradeoff of §4.1).
+        assert!(!vb.observe(0, 0, CoreId(0)));
+        assert!(vb.observe(0, 0, CoreId(1)));
+        // Core 4 is in the next group.
+        assert!(!vb.observe(0, 0, CoreId(4)));
+    }
+
+    #[test]
+    fn all_cores_share_one_bit() {
+        let mut vb = VictimBits::new(&geom(), 16, 16);
+        assert_eq!(vb.bits_per_line(), 1);
+        assert!(!vb.observe(0, 0, CoreId(0)));
+        assert!(vb.observe(0, 0, CoreId(15)));
+    }
+
+    #[test]
+    fn storage_matches_paper_example() {
+        // §4.3: 16-core GPU, 512-set 16-way L2 (1 MB) -> O_v = 16 K bits per
+        // bank-set... the paper counts P×N×M bits = 16×512×16 = 128 Kbit
+        // = 16 KB over the whole L2.
+        let whole_l2 = CacheGeometry::with_sets(512, 16, 128).unwrap();
+        let vb = VictimBits::new(&whole_l2, 16, 1);
+        assert_eq!(vb.storage_bits(), 16 * 512 * 16);
+        assert_eq!(vb.storage_bits() / 8 / 1024, 16); // 16 KB
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn rejects_too_many_groups() {
+        let _ = VictimBits::new(&geom(), 128, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharing factor")]
+    fn rejects_zero_share() {
+        let _ = VictimBits::new(&geom(), 16, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The memory-access coalescing unit (§2.2).
+//!
+//! Before a warp's per-lane addresses reach the L1, the coalescer groups
+//! them into unique line-sized transactions — the mechanism that captures
+//! most of a GPU's spatial locality. A fully coalesced warp (32 consecutive
+//! 4-byte lanes) produces a single 128 B transaction; a fully divergent
+//! gather produces up to 32.
+
+use gcache_core::addr::{Addr, LineAddr};
+
+/// Coalesces a warp's lane addresses into the deduplicated list of line
+/// transactions, preserving first-touch order.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_sim::coalescer::coalesce;
+/// use gcache_core::addr::Addr;
+///
+/// // 32 consecutive 4-byte accesses: one 128 B transaction.
+/// let lanes: Vec<_> = (0..32).map(|l| Some(Addr::new(0x1000 + l * 4))).collect();
+/// assert_eq!(coalesce(&lanes, 128).len(), 1);
+///
+/// // Stride-128 accesses: one transaction per lane.
+/// let lanes: Vec<_> = (0..32).map(|l| Some(Addr::new(0x1000 + l * 128))).collect();
+/// assert_eq!(coalesce(&lanes, 128).len(), 32);
+/// ```
+pub fn coalesce(lanes: &[Option<Addr>], line_size: u32) -> Vec<LineAddr> {
+    let mut out: Vec<LineAddr> = Vec::new();
+    for addr in lanes.iter().flatten() {
+        let line = addr.to_line(line_size);
+        if !out.contains(&line) {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// Statistics helper: the coalescing efficiency of an access, defined as
+/// `active lanes / (transactions × lanes per line)` — 1.0 for perfectly
+/// coalesced 4-byte accesses, approaching `1/warp_width` for fully
+/// divergent ones. Returns `None` when no lane is active.
+pub fn coalescing_efficiency(lanes: &[Option<Addr>], line_size: u32) -> Option<f64> {
+    let active = lanes.iter().flatten().count();
+    if active == 0 {
+        return None;
+    }
+    let transactions = coalesce(lanes, line_size).len();
+    let lanes_per_line = (line_size / 4) as usize;
+    Some(active as f64 / (transactions * lanes_per_line) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes_from(addrs: &[u64]) -> Vec<Option<Addr>> {
+        addrs.iter().map(|&a| Some(Addr::new(a))).collect()
+    }
+
+    #[test]
+    fn fully_coalesced_single_transaction() {
+        let lanes: Vec<_> = (0..32).map(|l| Some(Addr::new(l * 4))).collect();
+        let t = coalesce(&lanes, 128);
+        assert_eq!(t, vec![LineAddr::new(0)]);
+        assert_eq!(coalescing_efficiency(&lanes, 128), Some(1.0));
+    }
+
+    #[test]
+    fn two_line_straddle() {
+        // 32 x 4 B starting at offset 64: straddles two lines.
+        let lanes: Vec<_> = (0..32).map(|l| Some(Addr::new(64 + l * 4))).collect();
+        let t = coalesce(&lanes, 128);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], LineAddr::new(0));
+        assert_eq!(t[1], LineAddr::new(1));
+    }
+
+    #[test]
+    fn divergent_gather_one_per_lane() {
+        let lanes: Vec<_> = (0..32).map(|l| Some(Addr::new(l * 4096))).collect();
+        assert_eq!(coalesce(&lanes, 128).len(), 32);
+        let eff = coalescing_efficiency(&lanes, 128).unwrap();
+        assert!((eff - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_lanes_dedupe() {
+        let lanes = lanes_from(&[0, 4, 0, 4, 8]);
+        assert_eq!(coalesce(&lanes, 128).len(), 1);
+    }
+
+    #[test]
+    fn inactive_lanes_skipped() {
+        let lanes = vec![None, Some(Addr::new(0)), None, Some(Addr::new(256))];
+        let t = coalesce(&lanes, 128);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], LineAddr::new(2));
+    }
+
+    #[test]
+    fn all_inactive_is_empty() {
+        let lanes: Vec<Option<Addr>> = vec![None; 32];
+        assert!(coalesce(&lanes, 128).is_empty());
+        assert_eq!(coalescing_efficiency(&lanes, 128), None);
+    }
+
+    #[test]
+    fn first_touch_order_preserved() {
+        let lanes = lanes_from(&[512, 0, 256, 0]);
+        let t = coalesce(&lanes, 128);
+        assert_eq!(t, vec![LineAddr::new(4), LineAddr::new(0), LineAddr::new(2)]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Simulator configuration (the paper's Table 2).
+
+use gcache_core::geometry::{CacheGeometry, GeometryError};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
+use std::fmt;
+
+/// Which L1 management policy a design point uses (§5's design names).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum L1PolicyKind {
+    /// `BS` — baseline LRU.
+    Lru,
+    /// `BS-S` — static RRIP with the given RRPV width (paper: 3).
+    Srrip {
+        /// RRPV width in bits.
+        bits: u8,
+    },
+    /// `GC` — the paper's G-Cache policy.
+    GCache(GCacheConfig),
+    /// `SPDP-B` — static PDP with bypass at a fixed protection distance.
+    StaticPdp {
+        /// Protection distance in set accesses.
+        pd: u16,
+    },
+    /// `PDP-3` / `PDP-8` — dynamic PDP.
+    DynamicPdp(DynamicPdpConfig),
+}
+
+impl L1PolicyKind {
+    /// The short design name used in the paper's figures.
+    pub fn design_name(&self) -> &'static str {
+        match self {
+            L1PolicyKind::Lru => "BS",
+            L1PolicyKind::Srrip { .. } => "BS-S",
+            L1PolicyKind::GCache(_) => "GC",
+            L1PolicyKind::StaticPdp { .. } => "SPDP-B",
+            L1PolicyKind::DynamicPdp(cfg) => match cfg.counter_bits {
+                3 => "PDP-3",
+                8 => "PDP-8",
+                _ => "PDP-dyn",
+            },
+        }
+    }
+}
+
+/// Warp scheduling discipline (§2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WarpSchedKind {
+    /// Loose round-robin (the paper's configuration).
+    #[default]
+    Lrr,
+    /// Greedy-then-oldest.
+    Gto,
+}
+
+/// GDDR5 timing parameters in DRAM-clock cycles (Table 2's bottom row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramTiming {
+    /// CAS latency.
+    pub t_cl: u32,
+    /// Row precharge.
+    pub t_rp: u32,
+    /// Row cycle (ACT-to-ACT, same bank).
+    pub t_rc: u32,
+    /// Row active time (ACT-to-PRE minimum).
+    pub t_ras: u32,
+    /// RAS-to-CAS delay.
+    pub t_rcd: u32,
+    /// ACT-to-ACT, different banks.
+    pub t_rrd: u32,
+    /// Data-bus cycles to transfer one 128 B line.
+    pub t_burst: u32,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        // Table 2: GDDR5 1.4 GHz, tCL=12, tRP=12, tRC=40, tRAS=28,
+        // tRCD=12, tRRD=6; 128 B over a 32 B/cycle channel = 4 cycles.
+        DramTiming { t_cl: 12, t_rp: 12, t_rc: 40, t_ras: 28, t_rcd: 12, t_rrd: 6, t_burst: 4 }
+    }
+}
+
+/// Full GPU configuration. [`GpuConfig::fermi`] reproduces Table 2.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Number of SIMT cores.
+    pub cores: usize,
+    /// Threads per warp (SIMT width).
+    pub warp_width: usize,
+    /// Maximum resident warps per core.
+    pub max_warps_per_core: usize,
+    /// Maximum resident threads per core.
+    pub max_threads_per_core: usize,
+    /// Maximum resident CTAs per core.
+    pub max_ctas_per_core: usize,
+    /// L1 data cache geometry (per core).
+    pub l1_geometry: CacheGeometry,
+    /// L1 management policy (the design point under evaluation).
+    pub l1_policy: L1PolicyKind,
+    /// L1 MSHR entries per core.
+    pub l1_mshr_entries: usize,
+    /// Maximum merged targets per L1 MSHR entry.
+    pub l1_mshr_merge: usize,
+    /// L1 policy epoch length in accesses (bypass-switch reset period).
+    pub l1_epoch_len: u64,
+    /// Number of memory partitions (L2 banks / memory controllers).
+    pub partitions: usize,
+    /// Geometry of each L2 bank.
+    pub l2_geometry: CacheGeometry,
+    /// L2 MSHR entries per bank.
+    pub l2_mshr_entries: usize,
+    /// Maximum merged targets per L2 MSHR entry.
+    pub l2_mshr_merge: usize,
+    /// Core cycles between L2 bank ticks (2 models the 700 MHz L2 under a
+    /// 1.4 GHz core clock).
+    pub l2_period: u64,
+    /// L2 pipeline latency in core cycles (tag + data access).
+    pub l2_latency: u64,
+    /// Victim-bit sharing factor `S_v` (1 = private bit per core).
+    pub victim_bit_share: usize,
+    /// Mesh width (nodes per row); cores then partitions are placed
+    /// row-major. `mesh_width × mesh_height ≥ cores + partitions`.
+    pub mesh_width: usize,
+    /// Mesh height.
+    pub mesh_height: usize,
+    /// Channel width in bytes (flit size).
+    pub channel_bytes: u32,
+    /// Router input-queue depth in packets.
+    pub router_queue: usize,
+    /// Per-hop router latency in core cycles.
+    pub hop_latency: u64,
+    /// DRAM banks per memory controller.
+    pub dram_banks: usize,
+    /// DRAM row size in bytes.
+    pub dram_row_bytes: u32,
+    /// DRAM controller queue depth.
+    pub dram_queue: usize,
+    /// GDDR5 timing.
+    pub dram_timing: DramTiming,
+    /// Warp scheduler.
+    pub warp_sched: WarpSchedKind,
+    /// Scratchpad (shared-memory) access latency in core cycles.
+    pub shared_latency: u32,
+    /// Atomic-operation-unit service time per access, in core cycles.
+    pub atomic_latency: u64,
+    /// Hard cap on simulated cycles (guards against livelock); `run_kernel`
+    /// errors out beyond this.
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's baseline configuration (Table 2): 16 cores, 32 KB 4-way
+    /// L1s, 8 × 128 KB 16-way L2 banks, 2D mesh, FR-FCFS GDDR5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if the cache shapes are invalid (they are
+    /// not, for the built-in constants — the error type is exposed so
+    /// callers tweaking geometries get validation for free).
+    pub fn fermi() -> Result<Self, GeometryError> {
+        Ok(GpuConfig {
+            cores: 16,
+            warp_width: 32,
+            max_warps_per_core: 48,
+            max_threads_per_core: 1536,
+            max_ctas_per_core: 8,
+            l1_geometry: CacheGeometry::new(32 * 1024, 4, 128)?,
+            l1_policy: L1PolicyKind::Lru,
+            l1_mshr_entries: 32,
+            l1_mshr_merge: 8,
+            l1_epoch_len: 512,
+            partitions: 8,
+            l2_geometry: CacheGeometry::new(128 * 1024, 16, 128)?,
+            l2_mshr_entries: 32,
+            l2_mshr_merge: 8,
+            l2_period: 2,
+            l2_latency: 24,
+            victim_bit_share: 1,
+            mesh_width: 6,
+            mesh_height: 4,
+            channel_bytes: 32,
+            router_queue: 8,
+            hop_latency: 2,
+            dram_banks: 4,
+            dram_row_bytes: 2048,
+            dram_queue: 32,
+            dram_timing: DramTiming::default(),
+            warp_sched: WarpSchedKind::Lrr,
+            shared_latency: 2,
+            atomic_latency: 4,
+            max_cycles: 200_000_000,
+        })
+    }
+
+    /// Same as [`GpuConfig::fermi`] but with the given L1 policy — the
+    /// one-liner the experiment harness uses for each design point.
+    ///
+    /// # Errors
+    ///
+    /// See [`GpuConfig::fermi`].
+    pub fn fermi_with_policy(policy: L1PolicyKind) -> Result<Self, GeometryError> {
+        let mut cfg = GpuConfig::fermi()?;
+        cfg.l1_policy = policy;
+        Ok(cfg)
+    }
+
+    /// Replaces the per-core L1 with a cache of `kb` KB (same 4-way, 128 B
+    /// organisation) — used by the Figure 3/4/10 size sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] if `kb` is not a power of two ≥ 1.
+    pub fn with_l1_kb(mut self, kb: u64) -> Result<Self, GeometryError> {
+        self.l1_geometry = CacheGeometry::new(kb * 1024, 4, 128)?;
+        Ok(self)
+    }
+
+    /// Line size shared by the whole hierarchy.
+    pub fn line_size(&self) -> u32 {
+        self.l1_geometry.line_size()
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on an inconsistent configuration;
+    /// call at construction time of the GPU.
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "need at least one core");
+        assert!(self.partitions > 0, "need at least one partition");
+        assert!(self.partitions.is_power_of_two(), "partition count must be a power of two");
+        assert!(self.warp_width > 0 && self.warp_width <= 64, "warp width must be 1..=64");
+        assert!(self.max_warps_per_core > 0, "need at least one warp slot");
+        assert!(
+            self.mesh_width * self.mesh_height >= self.cores + self.partitions,
+            "mesh too small: {}x{} < {} nodes",
+            self.mesh_width,
+            self.mesh_height,
+            self.cores + self.partitions
+        );
+        assert_eq!(
+            self.l1_geometry.line_size(),
+            self.l2_geometry.line_size(),
+            "L1 and L2 must share a line size"
+        );
+        assert!(self.dram_row_bytes >= self.line_size(), "DRAM row smaller than a line");
+        assert!(self.l2_period > 0, "l2_period must be positive");
+        assert!(self.max_cycles > 0, "max_cycles must be positive");
+    }
+}
+
+impl fmt::Display for GpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SIMT cores        : {} (x{} SIMT width)", self.cores, self.warp_width)?;
+        writeln!(
+            f,
+            "Resources / core  : {} threads, {} warps, {} CTAs",
+            self.max_threads_per_core, self.max_warps_per_core, self.max_ctas_per_core
+        )?;
+        writeln!(f, "L1D / core        : {} [{}]", self.l1_geometry, self.l1_policy.design_name())?;
+        writeln!(
+            f,
+            "L2 bank           : {} x{} banks, 1:{} clock",
+            self.l2_geometry, self.partitions, self.l2_period
+        )?;
+        writeln!(f, "MSHRs             : {}/core, {}/bank", self.l1_mshr_entries, self.l2_mshr_entries)?;
+        writeln!(
+            f,
+            "Interconnect      : {}x{} mesh, {}B channels",
+            self.mesh_width, self.mesh_height, self.channel_bytes
+        )?;
+        writeln!(
+            f,
+            "DRAM              : FR-FCFS, {} MCs x {} banks, {}B rows",
+            self.partitions, self.dram_banks, self.dram_row_bytes
+        )?;
+        let t = self.dram_timing;
+        write!(
+            f,
+            "GDDR5 timing      : tCL={} tRP={} tRC={} tRAS={} tRCD={} tRRD={}",
+            t.t_cl, t.t_rp, t.t_rc, t.t_ras, t.t_rcd, t.t_rrd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_matches_table_2() {
+        let c = GpuConfig::fermi().unwrap();
+        c.validate();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.warp_width, 32);
+        assert_eq!(c.max_warps_per_core, 48);
+        assert_eq!(c.max_threads_per_core, 1536);
+        assert_eq!(c.l1_geometry.total_bytes(), 32 * 1024);
+        assert_eq!(c.l1_geometry.ways(), 4);
+        assert_eq!(c.l2_geometry.total_bytes(), 128 * 1024);
+        assert_eq!(c.l2_geometry.ways(), 16);
+        assert_eq!(c.partitions, 8);
+        assert_eq!(c.l1_mshr_entries, 32);
+        assert_eq!(c.dram_timing, DramTiming::default());
+    }
+
+    #[test]
+    fn design_names() {
+        assert_eq!(L1PolicyKind::Lru.design_name(), "BS");
+        assert_eq!(L1PolicyKind::Srrip { bits: 3 }.design_name(), "BS-S");
+        assert_eq!(L1PolicyKind::GCache(GCacheConfig::default()).design_name(), "GC");
+        assert_eq!(L1PolicyKind::StaticPdp { pd: 14 }.design_name(), "SPDP-B");
+        assert_eq!(L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp3()).design_name(), "PDP-3");
+        assert_eq!(L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp8()).design_name(), "PDP-8");
+    }
+
+    #[test]
+    fn l1_size_sweep_builder() {
+        let c = GpuConfig::fermi().unwrap().with_l1_kb(64).unwrap();
+        assert_eq!(c.l1_geometry.total_bytes(), 64 * 1024);
+        assert_eq!(c.l1_geometry.ways(), 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh too small")]
+    fn validate_rejects_small_mesh() {
+        let mut c = GpuConfig::fermi().unwrap();
+        c.mesh_width = 2;
+        c.mesh_height = 2;
+        c.validate();
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let c = GpuConfig::fermi().unwrap();
+        let s = c.to_string();
+        assert!(s.contains("16"));
+        assert!(s.contains("FR-FCFS"));
+        assert!(s.contains("tCL=12"));
+    }
+}

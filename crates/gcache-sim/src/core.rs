@@ -1,0 +1,416 @@
+//! The SIMT core: warp contexts, CTA slots, the issue stage, the LD/ST
+//! unit (coalescer → L1 → network), and barrier handling.
+
+use crate::coalescer::coalesce;
+use crate::config::GpuConfig;
+use crate::isa::{Kernel, Op, WarpProgram};
+use crate::l1::{L1Controller, L1Outcome};
+use crate::request::{MemRequest, MemResponse, WarpSlot};
+use gcache_core::addr::{CoreId, LineAddr};
+use gcache_core::cache::CacheConfig;
+use gcache_core::policy::AccessKind;
+use std::collections::VecDeque;
+
+use crate::scheduler::WarpScheduler;
+
+/// Execution state of one warp context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    /// Can issue.
+    Ready,
+    /// Busy with compute/scratchpad until the given cycle.
+    ComputeUntil(u64),
+    /// Blocked until all outstanding memory transactions return.
+    WaitMem,
+    /// Waiting at a CTA barrier.
+    Barrier,
+    /// Program exhausted.
+    Done,
+}
+
+struct Warp {
+    program: Box<dyn WarpProgram>,
+    /// Buffered op that could not issue (structural stall).
+    pending_op: Option<Op>,
+    cta_slot: usize,
+    state: WarpState,
+    outstanding: u32,
+    age: u64,
+}
+
+impl std::fmt::Debug for Warp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Warp")
+            .field("cta_slot", &self.cta_slot)
+            .field("state", &self.state)
+            .field("outstanding", &self.outstanding)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct CtaState {
+    #[allow(dead_code)]
+    cta_id: usize,
+    threads: usize,
+    warp_slots: Vec<usize>,
+    warps_done: usize,
+    at_barrier: usize,
+}
+
+/// Per-core issue/stall statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoreStats {
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Memory instructions among them.
+    pub mem_instructions: u64,
+    /// Coalesced line transactions generated.
+    pub transactions: u64,
+    /// Cycles with no ready warp to issue.
+    pub idle_cycles: u64,
+    /// Issue slots lost because the LD/ST queue was full.
+    pub ldst_full_stalls: u64,
+    /// LD/ST-pipeline cycles lost to MSHR or network backpressure.
+    pub mem_stall_cycles: u64,
+    /// CTAs run to completion on this core.
+    pub ctas_completed: u64,
+}
+
+/// One SIMT core.
+#[derive(Debug)]
+pub struct SimtCore {
+    id: CoreId,
+    warp_width: usize,
+    shared_latency: u32,
+    line_size: u32,
+    max_threads: usize,
+    /// Warp contexts (fixed slot array).
+    warps: Vec<Option<Warp>>,
+    ctas: Vec<Option<CtaState>>,
+    threads_resident: usize,
+    l1: L1Controller,
+    /// Coalesced transactions awaiting L1/network issue, one per cycle.
+    ldst_queue: VecDeque<(LineAddr, AccessKind, WarpSlot)>,
+    ldst_capacity: usize,
+    sched: WarpScheduler,
+    launch_seq: u64,
+    stats: CoreStats,
+}
+
+impl SimtCore {
+    /// Builds a core per `cfg` with the given (already constructed) L1
+    /// policy.
+    pub fn new(
+        id: CoreId,
+        cfg: &GpuConfig,
+        policy: Box<dyn gcache_core::policy::ReplacementPolicy>,
+    ) -> Self {
+        let l1 = L1Controller::new(
+            id,
+            CacheConfig::l1(cfg.l1_geometry, cfg.l1_epoch_len),
+            policy,
+            cfg.l1_mshr_entries,
+            cfg.l1_mshr_merge,
+        );
+        SimtCore {
+            id,
+            warp_width: cfg.warp_width,
+            shared_latency: cfg.shared_latency,
+            line_size: cfg.line_size(),
+            max_threads: cfg.max_threads_per_core,
+            warps: (0..cfg.max_warps_per_core).map(|_| None).collect(),
+            ctas: (0..cfg.max_ctas_per_core).map(|_| None).collect(),
+            threads_resident: 0,
+            l1,
+            ldst_queue: VecDeque::new(),
+            ldst_capacity: 4 * cfg.warp_width,
+            sched: WarpScheduler::new(cfg.warp_sched),
+            launch_seq: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's id.
+    pub const fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Issue statistics.
+    pub const fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The L1 memory unit.
+    pub fn l1(&self) -> &L1Controller {
+        &self.l1
+    }
+
+    /// Mutable access to the L1 (kernel-end flush).
+    pub fn l1_mut(&mut self) -> &mut L1Controller {
+        &mut self.l1
+    }
+
+    /// Number of resident CTAs.
+    pub fn resident_ctas(&self) -> usize {
+        self.ctas.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether `kernel`'s next CTA fits right now.
+    pub fn can_launch(&self, kernel: &dyn Kernel) -> bool {
+        let grid = kernel.grid();
+        let wpc = grid.warps_per_cta(self.warp_width);
+        let free_warp_slots = self.warps.iter().filter(|w| w.is_none()).count();
+        self.ctas.iter().any(|c| c.is_none())
+            && free_warp_slots >= wpc
+            && self.threads_resident + grid.threads_per_cta <= self.max_threads
+    }
+
+    /// Places CTA `cta_id` of `kernel` on this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SimtCore::can_launch`] is false.
+    pub fn launch_cta(&mut self, kernel: &dyn Kernel, cta_id: usize) {
+        assert!(self.can_launch(kernel), "launch_cta without capacity");
+        let grid = kernel.grid();
+        let wpc = grid.warps_per_cta(self.warp_width);
+        let cta_slot = self.ctas.iter().position(|c| c.is_none()).expect("free CTA slot");
+        let mut warp_slots = Vec::with_capacity(wpc);
+        for w in 0..wpc {
+            let slot = self.warps.iter().position(|s| s.is_none()).expect("free warp slot");
+            self.launch_seq += 1;
+            self.warps[slot] = Some(Warp {
+                program: kernel.warp_program(cta_id, w),
+                pending_op: None,
+                cta_slot,
+                state: WarpState::Ready,
+                outstanding: 0,
+                age: self.launch_seq,
+            });
+            warp_slots.push(slot);
+        }
+        self.threads_resident += grid.threads_per_cta;
+        self.ctas[cta_slot] = Some(CtaState {
+            cta_id,
+            threads: grid.threads_per_cta,
+            warp_slots,
+            warps_done: 0,
+            at_barrier: 0,
+        });
+    }
+
+    /// Whether all work (warps, LD/ST queue, outstanding misses) is done.
+    pub fn is_idle(&self) -> bool {
+        self.ctas.iter().all(|c| c.is_none()) && self.ldst_queue.is_empty() && self.l1.quiesced()
+    }
+
+    /// Delivers a memory response from the network.
+    pub fn on_response(&mut self, resp: MemResponse) {
+        match resp.kind {
+            AccessKind::Read => {
+                let woken = self.l1.fill(resp.line, resp.victim_hint);
+                for warp in woken {
+                    self.complete_mem(warp);
+                }
+            }
+            AccessKind::Atomic => self.complete_mem(resp.warp),
+            AccessKind::Write => {}
+        }
+    }
+
+    fn complete_mem(&mut self, slot: WarpSlot) {
+        if let Some(w) = self.warps[slot].as_mut() {
+            debug_assert!(w.outstanding > 0, "memory completion underflow");
+            w.outstanding = w.outstanding.saturating_sub(1);
+            if w.outstanding == 0 && w.state == WarpState::WaitMem {
+                w.state = WarpState::Ready;
+            }
+        }
+    }
+
+    /// One core cycle: LD/ST pipeline then issue. Any generated network
+    /// request is returned for the GPU to inject (at most one per cycle);
+    /// `can_inject` tells the core whether the network can take it.
+    pub fn tick(&mut self, now: u64, can_inject: bool) -> Option<MemRequest> {
+        let request = self.pump_ldst(can_inject);
+        self.issue(now);
+        request
+    }
+
+    /// Processes the head LD/ST transaction.
+    fn pump_ldst(&mut self, can_inject: bool) -> Option<MemRequest> {
+        let &(line, kind, warp) = self.ldst_queue.front()?;
+        // Any access may need to inject (miss/write/atomic): gate on
+        // network space to avoid mutating L1 state and then failing.
+        if !can_inject {
+            self.stats.mem_stall_cycles += 1;
+            return None;
+        }
+        match self.l1.access(line, kind, warp) {
+            L1Outcome::Hit => {
+                self.ldst_queue.pop_front();
+                self.complete_mem(warp);
+                None
+            }
+            L1Outcome::MissMerged => {
+                self.ldst_queue.pop_front();
+                None
+            }
+            L1Outcome::Blocked => {
+                self.stats.mem_stall_cycles += 1;
+                None
+            }
+            L1Outcome::MissPrimary(req) => {
+                self.ldst_queue.pop_front();
+                Some(req)
+            }
+            L1Outcome::WriteForward(req) => {
+                self.ldst_queue.pop_front();
+                // Stores are fire-and-forget: nothing outstanding.
+                Some(req)
+            }
+            L1Outcome::AtomicForward(req) => {
+                self.ldst_queue.pop_front();
+                Some(req)
+            }
+        }
+    }
+
+    /// The issue stage: pick one ready warp, execute its next op.
+    fn issue(&mut self, now: u64) {
+        let slots = self.warps.len();
+        let warps = &self.warps;
+        let picked = self.sched.pick(
+            slots,
+            |s| {
+                warps[s].as_ref().is_some_and(|w| match w.state {
+                    WarpState::Ready => true,
+                    WarpState::ComputeUntil(t) => t <= now,
+                    _ => false,
+                })
+            },
+            |s| warps[s].as_ref().map_or(u64::MAX, |w| w.age),
+        );
+        let Some(slot) = picked else {
+            self.stats.idle_cycles += 1;
+            return;
+        };
+
+        let op = {
+            let w = self.warps[slot].as_mut().expect("picked slot is live");
+            w.state = WarpState::Ready;
+            match w.pending_op.take().or_else(|| w.program.next_op()) {
+                Some(op) => op,
+                None => {
+                    self.retire_warp(slot);
+                    return;
+                }
+            }
+        };
+
+        // Structural check for memory ops: LD/ST queue space for the worst
+        // case (one transaction per lane).
+        if op.is_global_mem() && self.ldst_queue.len() + self.warp_width > self.ldst_capacity {
+            self.stats.ldst_full_stalls += 1;
+            let w = self.warps[slot].as_mut().expect("live");
+            w.pending_op = Some(op);
+            return;
+        }
+
+        self.stats.instructions += 1;
+        match op {
+            Op::Compute { cycles } => {
+                let w = self.warps[slot].as_mut().expect("live");
+                w.state = WarpState::ComputeUntil(now + cycles.max(1) as u64);
+            }
+            Op::Shared => {
+                let w = self.warps[slot].as_mut().expect("live");
+                w.state = WarpState::ComputeUntil(now + self.shared_latency.max(1) as u64);
+            }
+            Op::Barrier => {
+                let cta_slot = {
+                    let w = self.warps[slot].as_mut().expect("live");
+                    w.state = WarpState::Barrier;
+                    w.cta_slot
+                };
+                let cta = self.ctas[cta_slot].as_mut().expect("warp's CTA is live");
+                cta.at_barrier += 1;
+                self.maybe_release_barrier(cta_slot);
+            }
+            Op::Load { addrs } => self.issue_mem(slot, &addrs, AccessKind::Read, true),
+            Op::Atomic { addrs } => self.issue_mem(slot, &addrs, AccessKind::Atomic, true),
+            Op::Store { addrs } => self.issue_mem(slot, &addrs, AccessKind::Write, false),
+        }
+    }
+
+    /// Coalesces a memory op into line transactions and queues them;
+    /// `blocking` ops park the warp until all transactions return.
+    fn issue_mem(
+        &mut self,
+        slot: usize,
+        addrs: &[Option<gcache_core::addr::Addr>],
+        kind: AccessKind,
+        blocking: bool,
+    ) {
+        self.stats.mem_instructions += 1;
+        let lines = coalesce(addrs, self.line_size);
+        let n = lines.len() as u32;
+        self.stats.transactions += n as u64;
+        for line in lines {
+            self.ldst_queue.push_back((line, kind, slot));
+        }
+        if blocking && n > 0 {
+            let w = self.warps[slot].as_mut().expect("live");
+            w.outstanding += n;
+            w.state = WarpState::WaitMem;
+        }
+    }
+
+    /// A warp ran out of ops: mark done, maybe complete the CTA.
+    fn retire_warp(&mut self, slot: usize) {
+        let cta_slot = {
+            let w = self.warps[slot].as_mut().expect("live");
+            w.state = WarpState::Done;
+            w.cta_slot
+        };
+        self.sched.on_slot_freed(slot);
+        let done = {
+            let cta = self.ctas[cta_slot].as_mut().expect("live CTA");
+            cta.warps_done += 1;
+            cta.warps_done == cta.warp_slots.len()
+        };
+        // A finished warp is an implicit barrier arrival for the rest.
+        self.maybe_release_barrier(cta_slot);
+        if done {
+            let cta = self.ctas[cta_slot].take().expect("live CTA");
+            for s in cta.warp_slots {
+                self.warps[s] = None;
+                self.sched.on_slot_freed(s);
+            }
+            self.threads_resident -= cta.threads;
+            self.stats.ctas_completed += 1;
+        }
+    }
+
+    /// Releases a CTA's barrier once every live warp has arrived.
+    fn maybe_release_barrier(&mut self, cta_slot: usize) {
+        let release = {
+            let Some(cta) = self.ctas[cta_slot].as_ref() else { return };
+            cta.at_barrier > 0 && cta.at_barrier + cta.warps_done == cta.warp_slots.len()
+        };
+        if !release {
+            return;
+        }
+        let slots: Vec<usize> = self.ctas[cta_slot].as_ref().expect("live").warp_slots.clone();
+        for s in slots {
+            if let Some(w) = self.warps[s].as_mut() {
+                if w.state == WarpState::Barrier {
+                    w.state = WarpState::Ready;
+                }
+            }
+        }
+        self.ctas[cta_slot].as_mut().expect("live").at_barrier = 0;
+    }
+}
+

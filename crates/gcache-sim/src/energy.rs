@@ -1,0 +1,180 @@
+//! A first-order dynamic-energy model over the simulation's event counts.
+//!
+//! The paper motivates cache management with bandwidth *and energy*
+//! ("reduce memory latency as well as DRAM traffic, which save bandwidth
+//! and energy consumption"). This module turns a run's counters into a
+//! relative energy estimate using per-event costs in the spirit of
+//! CACTI-class numbers (32 nm, normalised to one L1 access = 1.0):
+//! SRAM accesses are cheap, NoC flit traversals moderate, DRAM accesses
+//! two orders of magnitude more expensive. Only *relative* comparisons
+//! between two runs of the same kernel are meaningful.
+
+use crate::stats::SimStats;
+
+/// Per-event energy costs, in units of one L1 access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// One L1 tag+data access.
+    pub l1_access: f64,
+    /// One L2 bank access (larger array, higher associativity).
+    pub l2_access: f64,
+    /// One NoC flit-hop (wire + router).
+    pub noc_flit: f64,
+    /// One DRAM burst (activate amortised in).
+    pub dram_access: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // Ratios follow the usual SRAM/NoC/DRAM orders of magnitude:
+        // a 128 KB 16-way bank costs ~4x a 32 KB 4-way L1; a DRAM burst
+        // costs ~200x.
+        EnergyModel { l1_access: 1.0, l2_access: 4.0, noc_flit: 0.6, dram_access: 200.0 }
+    }
+}
+
+/// Energy breakdown of one run, in L1-access units.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// L1 array energy.
+    pub l1: f64,
+    /// L2 array energy.
+    pub l2: f64,
+    /// Interconnect energy (both networks).
+    pub noc: f64,
+    /// DRAM energy.
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy.
+    pub fn total(&self) -> f64 {
+        self.l1 + self.l2 + self.noc + self.dram
+    }
+
+    /// Energy per committed warp instruction, given the run it came from.
+    pub fn per_instruction(&self, stats: &SimStats) -> f64 {
+        if stats.instructions == 0 {
+            0.0
+        } else {
+            self.total() / stats.instructions as f64
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the dynamic memory-system energy of a finished run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gcache_sim::energy::EnergyModel;
+    /// use gcache_sim::config::GpuConfig;
+    /// use gcache_sim::gpu::Gpu;
+    /// use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
+    /// use gcache_core::addr::Addr;
+    ///
+    /// struct One;
+    /// impl Kernel for One {
+    ///     fn name(&self) -> &str { "one" }
+    ///     fn grid(&self) -> GridDim { GridDim { ctas: 1, threads_per_cta: 32 } }
+    ///     fn warp_program(&self, _: usize, _: usize) -> Box<dyn WarpProgram> {
+    ///         Box::new(TraceProgram::new(vec![Op::strided_load(Addr::new(0), 4, 32)]))
+    ///     }
+    /// }
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let stats = Gpu::new(GpuConfig::fermi()?).run_kernel(&One)?;
+    /// let e = EnergyModel::default().estimate(&stats);
+    /// assert!(e.dram > e.l1, "a single cold miss is DRAM-dominated");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn estimate(&self, stats: &SimStats) -> EnergyBreakdown {
+        EnergyBreakdown {
+            l1: stats.l1.accesses() as f64 * self.l1_access,
+            l2: stats.l2.accesses() as f64 * self.l2_access,
+            noc: (stats.noc_req.flits + stats.noc_resp.flits) as f64 * self.noc_flit,
+            dram: (stats.dram.reads + stats.dram.writes) as f64 * self.dram_access,
+        }
+    }
+
+    /// Relative energy of `candidate` vs `baseline` (same kernel), < 1.0
+    /// meaning the candidate saves energy.
+    pub fn relative(&self, candidate: &SimStats, baseline: &SimStats) -> f64 {
+        let b = self.estimate(baseline).total();
+        if b == 0.0 {
+            1.0
+        } else {
+            self.estimate(candidate).total() / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreStats;
+    use crate::dram::DramStats;
+    use crate::icnt::NocStats;
+    use crate::partition::PartitionStats;
+    use gcache_core::stats::CacheStats;
+
+    fn stats(l1_accesses: u64, l2_accesses: u64, flits: u64, dram: u64) -> SimStats {
+        let mut l1 = CacheStats::new();
+        for _ in 0..l1_accesses {
+            l1.record_access(gcache_core::policy::AccessKind::Read, false);
+        }
+        let mut l2 = CacheStats::new();
+        for _ in 0..l2_accesses {
+            l2.record_access(gcache_core::policy::AccessKind::Read, true);
+        }
+        SimStats {
+            kernel: "t".into(),
+            design: "BS",
+            cycles: 100,
+            instructions: 10,
+            l1,
+            l2,
+            dram: DramStats { reads: dram, ..DramStats::default() },
+            noc_req: NocStats { flits, ..NocStats::default() },
+            noc_resp: NocStats::default(),
+            core: CoreStats::default(),
+            partition: PartitionStats::default(),
+        }
+    }
+
+    #[test]
+    fn dram_dominates() {
+        let e = EnergyModel::default().estimate(&stats(100, 50, 200, 10));
+        assert!(e.dram > e.l1 + e.l2 + e.noc);
+        assert!((e.total() - (100.0 + 200.0 + 120.0 + 2000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_instruction_normalises() {
+        let s = stats(10, 0, 0, 0);
+        let e = EnergyModel::default().estimate(&s);
+        assert!((e.per_instruction(&s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_compares_runs() {
+        let m = EnergyModel::default();
+        let base = stats(100, 100, 100, 100);
+        let better = stats(100, 50, 50, 50);
+        assert!(m.relative(&better, &base) < 1.0);
+        assert!((m.relative(&base, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_runs_are_safe() {
+        let s = stats(0, 0, 0, 0);
+        let e = EnergyModel::default().estimate(&s);
+        assert_eq!(e.total(), 0.0);
+        let mut s0 = s.clone();
+        s0.instructions = 0;
+        assert_eq!(e.per_instruction(&s0), 0.0);
+        assert_eq!(EnergyModel::default().relative(&s, &s), 1.0);
+    }
+}

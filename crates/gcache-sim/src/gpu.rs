@@ -1,0 +1,325 @@
+//! The assembled GPU: cores + request/response meshes + memory partitions,
+//! clocked by a single deterministic cycle loop.
+
+use crate::config::{GpuConfig, L1PolicyKind};
+use crate::core::SimtCore;
+use crate::icnt::Mesh;
+use crate::isa::Kernel;
+use crate::partition::Partition;
+use crate::request::{partition_of, MemRequest, MemResponse};
+use crate::stats::SimStats;
+use gcache_core::addr::{CoreId, PartitionId};
+use gcache_core::geometry::CacheGeometry;
+use gcache_core::policy::gcache::GCache;
+use gcache_core::policy::lru::Lru;
+use gcache_core::policy::pdp::StaticPdp;
+use gcache_core::policy::pdp_dyn::DynamicPdp;
+use gcache_core::policy::rrip::Rrip;
+use gcache_core::policy::ReplacementPolicy;
+use gcache_core::stats::CacheStats;
+use std::fmt;
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured cycle budget was exhausted.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// No forward progress for a long interval — a protocol bug.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Human-readable state summary.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} exhausted"),
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "no progress by cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Builds the L1 policy object for a design point.
+pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> Box<dyn ReplacementPolicy> {
+    match kind {
+        L1PolicyKind::Lru => Box::new(Lru::new(geom)),
+        L1PolicyKind::Srrip { bits } => Box::new(Rrip::srrip(geom, *bits)),
+        L1PolicyKind::GCache(cfg) => Box::new(GCache::new(geom, *cfg)),
+        L1PolicyKind::StaticPdp { pd } => Box::new(StaticPdp::new(geom, *pd)),
+        L1PolicyKind::DynamicPdp(cfg) => Box::new(DynamicPdp::new(geom, *cfg)),
+    }
+}
+
+/// The simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_sim::config::GpuConfig;
+/// use gcache_sim::gpu::Gpu;
+/// use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
+/// use gcache_core::addr::Addr;
+///
+/// struct Tiny;
+/// impl Kernel for Tiny {
+///     fn name(&self) -> &str { "tiny" }
+///     fn grid(&self) -> GridDim { GridDim { ctas: 2, threads_per_cta: 64 } }
+///     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
+///         let base = Addr::new(((cta * 2 + warp) * 4096) as u64);
+///         Box::new(TraceProgram::new(vec![
+///             Op::strided_load(base, 4, 32),
+///             Op::Compute { cycles: 4 },
+///         ]))
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gpu = Gpu::new(GpuConfig::fermi()?);
+/// let stats = gpu.run_kernel(&Tiny)?;
+/// assert_eq!(stats.core.ctas_completed, 2);
+/// assert!(stats.ipc() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    cores: Vec<SimtCore>,
+    partitions: Vec<Partition>,
+    req_net: Mesh<MemRequest>,
+    resp_net: Mesh<MemResponse>,
+    cycle: u64,
+}
+
+impl Gpu {
+    /// Builds a GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is internally inconsistent (see
+    /// [`GpuConfig::validate`]).
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate();
+        let cores = (0..cfg.cores)
+            .map(|i| SimtCore::new(CoreId(i), &cfg, make_l1_policy(&cfg.l1_policy, &cfg.l1_geometry)))
+            .collect();
+        let partitions = (0..cfg.partitions).map(|p| Partition::new(PartitionId(p), &cfg)).collect();
+        let req_net = Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
+        let resp_net = Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
+        Gpu { cfg, cores, partitions, req_net, resp_net, cycle: 0 }
+    }
+
+    /// The active configuration.
+    pub const fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulated cycle.
+    pub const fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn core_node(&self, core: usize) -> usize {
+        core
+    }
+
+    fn part_node(&self, part: usize) -> usize {
+        self.cfg.cores + part
+    }
+
+    fn flits(&self, bytes: u32) -> u32 {
+        bytes.div_ceil(self.cfg.channel_bytes)
+    }
+
+    /// Runs one kernel to completion and returns the aggregated statistics.
+    ///
+    /// A `Gpu` can run several kernels back to back (caches stay warm, as
+    /// on real hardware between dependent launches); statistics accumulate
+    /// across runs except `cycles`/`instructions`, which are reported per
+    /// call via deltas. Use a fresh `Gpu` per measurement for clean stats.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if `max_cycles` is exceeded;
+    /// [`SimError::Deadlock`] if the watchdog detects no forward progress
+    /// (a bug in the simulator or a malformed kernel, e.g. mismatched
+    /// barriers).
+    pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> Result<SimStats, SimError> {
+        let grid = kernel.grid();
+        let total_ctas = grid.ctas;
+        let mut next_cta = 0usize;
+        let mut rr_core = 0usize;
+        let start_cycle = self.cycle;
+
+        // Initial placement: round-robin CTAs over cores until full.
+        next_cta = self.refill_ctas(kernel, next_cta, total_ctas, &mut rr_core);
+
+        let mut last_progress_cycle = self.cycle;
+        let mut last_progress_sig = self.progress_signature();
+
+        loop {
+            if next_cta >= total_ctas && self.all_idle() {
+                break;
+            }
+            self.cycle += 1;
+            let now = self.cycle;
+            if now - start_cycle > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+
+            // Cores issue and feed the request network.
+            for i in 0..self.cores.len() {
+                let node = self.core_node(i);
+                let can_inject = self.req_net.can_inject(node);
+                if let Some(req) = self.cores[i].tick(now, can_inject) {
+                    let part = partition_of(req.line, self.cfg.partitions);
+                    let flits = self.flits(req.packet_bytes(self.cfg.line_size()));
+                    let dst = self.part_node(part.index());
+                    self.req_net
+                        .inject_at(node, dst, flits, req, now)
+                        .expect("injection gated by can_inject");
+                }
+            }
+
+            self.req_net.tick(now);
+            self.resp_net.tick(now);
+
+            // Partitions consume requests, tick, and emit responses.
+            for p in 0..self.partitions.len() {
+                let node = self.part_node(p);
+                while let Some(req) = self.req_net.eject(node) {
+                    self.partitions[p].push_request(req);
+                }
+                self.partitions[p].tick(now);
+                while self.resp_net.can_inject(node) {
+                    let Some(resp) = self.partitions[p].pop_response(now) else { break };
+                    let flits = self.flits(resp.packet_bytes(self.cfg.line_size()));
+                    let dst = self.core_node(resp.core.index());
+                    self.resp_net
+                        .inject_at(node, dst, flits, resp, now)
+                        .expect("injection gated by can_inject");
+                }
+            }
+
+            // Responses wake warps.
+            for i in 0..self.cores.len() {
+                let node = self.core_node(i);
+                while let Some(resp) = self.resp_net.eject(node) {
+                    self.cores[i].on_response(resp);
+                }
+            }
+
+            // Keep cores fed with CTAs.
+            if next_cta < total_ctas {
+                next_cta = self.refill_ctas(kernel, next_cta, total_ctas, &mut rr_core);
+            }
+
+            // Watchdog.
+            if now.is_multiple_of(4096) {
+                let sig = self.progress_signature();
+                if sig == last_progress_sig {
+                    if now - last_progress_cycle > 500_000 {
+                        return Err(SimError::Deadlock { cycle: now, detail: self.debug_state() });
+                    }
+                } else {
+                    last_progress_sig = sig;
+                    last_progress_cycle = now;
+                }
+            }
+        }
+
+        Ok(self.collect_stats(kernel.name(), self.cycle - start_cycle))
+    }
+
+    fn refill_ctas(
+        &mut self,
+        kernel: &dyn Kernel,
+        mut next_cta: usize,
+        total: usize,
+        rr_core: &mut usize,
+    ) -> usize {
+        let n = self.cores.len();
+        let mut stalled = 0;
+        while next_cta < total && stalled < n {
+            let c = *rr_core % n;
+            if self.cores[c].can_launch(kernel) {
+                self.cores[c].launch_cta(kernel, next_cta);
+                next_cta += 1;
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            *rr_core = (*rr_core + 1) % n;
+        }
+        next_cta
+    }
+
+    fn all_idle(&self) -> bool {
+        self.cores.iter().all(SimtCore::is_idle)
+            && self.req_net.is_idle()
+            && self.resp_net.is_idle()
+            && self.partitions.iter().all(Partition::is_idle)
+    }
+
+    fn progress_signature(&self) -> (u64, u64, u64) {
+        let instr: u64 = self.cores.iter().map(|c| c.stats().instructions).sum();
+        let delivered = self.req_net.stats().delivered + self.resp_net.stats().delivered;
+        let dram: u64 = self.partitions.iter().map(|p| p.dram_stats().completed).sum();
+        (instr, delivered, dram)
+    }
+
+    fn debug_state(&self) -> String {
+        let idle_cores = self.cores.iter().filter(|c| c.is_idle()).count();
+        let idle_parts = self.partitions.iter().filter(|p| p.is_idle()).count();
+        format!(
+            "{idle_cores}/{} cores idle, {idle_parts}/{} partitions idle, req_net idle={}, resp_net idle={}",
+            self.cores.len(),
+            self.partitions.len(),
+            self.req_net.is_idle(),
+            self.resp_net.is_idle()
+        )
+    }
+
+    /// Flushes all caches (end-of-measurement) and aggregates statistics.
+    fn collect_stats(&mut self, kernel: &str, cycles: u64) -> SimStats {
+        let mut l1 = CacheStats::new();
+        let mut core = crate::core::CoreStats::default();
+        for c in &mut self.cores {
+            c.l1_mut().cache_mut().flush();
+            l1.merge(c.l1().stats());
+            core.merge(c.stats());
+        }
+        let mut l2 = CacheStats::new();
+        let mut dram = crate::dram::DramStats::default();
+        let mut partition = crate::partition::PartitionStats::default();
+        for p in &mut self.partitions {
+            p.l2_mut().flush();
+            l2.merge(p.l2_stats());
+            dram.merge(p.dram_stats());
+            partition.merge(p.stats());
+        }
+        SimStats {
+            kernel: kernel.to_string(),
+            design: self.cfg.l1_policy.design_name(),
+            cycles,
+            instructions: core.instructions,
+            l1,
+            l2,
+            dram,
+            noc_req: *self.req_net.stats(),
+            noc_resp: *self.resp_net.stats(),
+            core,
+            partition,
+        }
+    }
+}

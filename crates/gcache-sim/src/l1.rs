@@ -1,0 +1,304 @@
+//! The per-core L1 memory unit: data cache (write-through, no-allocate),
+//! MSHRs, and the request-generation rules of §2.2.
+//!
+//! Atomics never touch L1 data (they execute at the partition's atomic
+//! unit); a resident copy of an atomically-updated line is invalidated to
+//! keep the timing model's state machine honest.
+
+use crate::request::{MemRequest, WarpSlot};
+use gcache_core::addr::{CoreId, LineAddr};
+use gcache_core::cache::{Cache, CacheConfig, Lookup};
+use gcache_core::mshr::{MshrAlloc, MshrFile, MshrReject};
+use gcache_core::policy::{AccessKind, FillCtx, ReplacementPolicy};
+use gcache_core::stats::CacheStats;
+
+/// What the core must do after presenting an access to the L1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L1Outcome {
+    /// Load hit: data is available; nothing to send.
+    Hit,
+    /// Load/atomic miss, primary: send the returned request downstream.
+    MissPrimary(MemRequest),
+    /// Load miss merged into an outstanding entry: nothing to send, the
+    /// warp will be woken by the merged fill.
+    MissMerged,
+    /// No MSHR resources: the access must be replayed later.
+    Blocked,
+    /// Store: forwarded downstream regardless of hit/miss (write-through,
+    /// no-allocate).
+    WriteForward(MemRequest),
+    /// Atomic: forwarded to the partition's atomic unit.
+    AtomicForward(MemRequest),
+}
+
+impl L1Outcome {
+    /// The request to inject into the network, if any.
+    pub fn request(&self) -> Option<MemRequest> {
+        match self {
+            L1Outcome::MissPrimary(r) | L1Outcome::WriteForward(r) | L1Outcome::AtomicForward(r) => {
+                Some(*r)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The per-core L1 memory unit.
+#[derive(Debug)]
+pub struct L1Controller {
+    core: CoreId,
+    cache: Cache,
+    mshr: MshrFile<WarpSlot>,
+    replays: u64,
+}
+
+impl L1Controller {
+    /// Creates an L1 for `core` with the given cache configuration, policy
+    /// and MSHR shape.
+    pub fn new(
+        core: CoreId,
+        cfg: CacheConfig,
+        policy: Box<dyn ReplacementPolicy>,
+        mshr_entries: usize,
+        mshr_merge: usize,
+    ) -> Self {
+        L1Controller {
+            core,
+            cache: Cache::new(cfg, policy),
+            mshr: MshrFile::new(mshr_entries, mshr_merge),
+            replays: 0,
+        }
+    }
+
+    /// The owning core.
+    pub const fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Direct access to the cache (flush at kernel end, inspection).
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        &mut self.cache
+    }
+
+    /// Read access to the cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Accesses blocked on MSHR resources (replayed later).
+    pub const fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Whether all misses have been filled.
+    pub fn quiesced(&self) -> bool {
+        self.mshr.is_empty()
+    }
+
+    /// Presents one coalesced transaction to the L1.
+    pub fn access(&mut self, line: LineAddr, kind: AccessKind, warp: WarpSlot) -> L1Outcome {
+        match kind {
+            AccessKind::Write => {
+                // Write-through, no-allocate: update a resident copy (the
+                // access also refreshes replacement state) and forward.
+                let _ = self.cache.access(line, AccessKind::Write, self.core);
+                L1Outcome::WriteForward(MemRequest { line, kind, core: self.core, warp })
+            }
+            AccessKind::Atomic => {
+                // Atomics execute at the memory partition; drop any stale
+                // resident copy and account the access as uncached.
+                self.cache.invalidate_line(line);
+                self.cache.note_uncached_access(AccessKind::Atomic);
+                L1Outcome::AtomicForward(MemRequest { line, kind, core: self.core, warp })
+            }
+            AccessKind::Read => {
+                // Resource check precedes the committed access so a blocked
+                // (replayed) transaction is counted exactly once.
+                if !self.cache.contains(line) {
+                    let alloc = if self.mshr.contains(line) || !self.mshr.is_full() {
+                        self.mshr.allocate(line, warp)
+                    } else {
+                        Err(MshrReject::Full)
+                    };
+                    return match alloc {
+                        Ok(kind_alloc) => {
+                            let lookup = self.cache.access(line, AccessKind::Read, self.core);
+                            debug_assert!(!lookup.is_hit(), "contains() said miss");
+                            match kind_alloc {
+                                MshrAlloc::Primary => L1Outcome::MissPrimary(MemRequest {
+                                    line,
+                                    kind,
+                                    core: self.core,
+                                    warp,
+                                }),
+                                MshrAlloc::Merged => L1Outcome::MissMerged,
+                            }
+                        }
+                        Err(MshrReject::Full | MshrReject::MergeFull) => {
+                            self.replays += 1;
+                            L1Outcome::Blocked
+                        }
+                    };
+                }
+                match self.cache.access(line, AccessKind::Read, self.core) {
+                    Lookup::Hit { .. } => L1Outcome::Hit,
+                    Lookup::Miss => unreachable!("contains() said hit"),
+                }
+            }
+        }
+    }
+
+    /// Handles a returning read fill: applies the (possibly bypassing)
+    /// fill decision with the L2's victim hint and releases the merged
+    /// warps. Returns the warps to wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR entry exists for `line` — a response the L1 never
+    /// requested indicates a protocol bug.
+    pub fn fill(&mut self, line: LineAddr, victim_hint: bool) -> Vec<WarpSlot> {
+        let targets = self
+            .mshr
+            .complete(line)
+            .expect("L1 fill without an outstanding MSHR entry");
+        let ctx = FillCtx { line, core: self.core, victim_hint };
+        let outcome = self.cache.fill(ctx, false);
+        debug_assert!(
+            outcome.evicted.is_none_or(|e| !e.dirty),
+            "write-through L1 evicted a dirty line"
+        );
+        targets
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcache_core::geometry::CacheGeometry;
+    use gcache_core::policy::lru::Lru;
+
+    fn l1() -> L1Controller {
+        let geom = CacheGeometry::new(1024, 2, 128).unwrap();
+        L1Controller::new(
+            CoreId(3),
+            CacheConfig::l1(geom, 0),
+            Box::new(Lru::new(&geom)),
+            4,
+            2,
+        )
+    }
+
+    #[test]
+    fn read_miss_primary_then_merge() {
+        let mut l1 = l1();
+        let line = LineAddr::new(0x10);
+        let o = l1.access(line, AccessKind::Read, 0);
+        let req = match o {
+            L1Outcome::MissPrimary(r) => r,
+            other => panic!("expected primary miss, got {other:?}"),
+        };
+        assert_eq!(req.core, CoreId(3));
+        assert_eq!(req.line, line);
+        assert_eq!(l1.access(line, AccessKind::Read, 1), L1Outcome::MissMerged);
+        let woken = l1.fill(line, false);
+        assert_eq!(woken, vec![0, 1]);
+        assert_eq!(l1.access(line, AccessKind::Read, 2), L1Outcome::Hit);
+        assert!(l1.quiesced());
+    }
+
+    #[test]
+    fn mshr_exhaustion_blocks() {
+        let mut l1 = l1();
+        for i in 0..4 {
+            assert!(matches!(
+                l1.access(LineAddr::new(i), AccessKind::Read, 0),
+                L1Outcome::MissPrimary(_)
+            ));
+        }
+        assert_eq!(l1.access(LineAddr::new(9), AccessKind::Read, 0), L1Outcome::Blocked);
+        assert_eq!(l1.replays(), 1);
+        // Merge-depth exhaustion also blocks.
+        l1.fill(LineAddr::new(0), false);
+        let line = LineAddr::new(10);
+        l1.access(line, AccessKind::Read, 0);
+        l1.access(line, AccessKind::Read, 1);
+        assert_eq!(l1.access(line, AccessKind::Read, 2), L1Outcome::Blocked);
+    }
+
+    #[test]
+    fn stores_always_forward_and_never_allocate() {
+        let mut l1 = l1();
+        let line = LineAddr::new(0x20);
+        let o = l1.access(line, AccessKind::Write, 5);
+        assert!(matches!(o, L1Outcome::WriteForward(_)));
+        assert!(!l1.cache().contains(line), "write miss must not allocate");
+        assert!(l1.quiesced(), "stores must not occupy MSHRs");
+    }
+
+    #[test]
+    fn store_to_resident_line_stays_clean() {
+        let mut l1 = l1();
+        let line = LineAddr::new(0);
+        l1.access(line, AccessKind::Read, 0);
+        l1.fill(line, false);
+        let o = l1.access(line, AccessKind::Write, 0);
+        assert!(matches!(o, L1Outcome::WriteForward(_)));
+        assert!(l1.cache_mut().flush().is_empty(), "WT L1 holds no dirty lines");
+    }
+
+    #[test]
+    fn atomics_forward() {
+        let mut l1 = l1();
+        let o = l1.access(LineAddr::new(4), AccessKind::Atomic, 7);
+        let req = o.request().unwrap();
+        assert_eq!(req.kind, AccessKind::Atomic);
+        assert!(req.wants_response());
+    }
+
+    #[test]
+    fn atomic_invalidates_resident_copy() {
+        let mut l1 = l1();
+        let line = LineAddr::new(0);
+        l1.access(line, AccessKind::Read, 0);
+        l1.fill(line, false);
+        assert!(l1.cache().contains(line));
+        l1.access(line, AccessKind::Atomic, 0);
+        assert!(!l1.cache().contains(line), "atomic must drop the stale L1 copy");
+    }
+
+    #[test]
+    fn bypassed_fill_still_wakes_warps() {
+        use gcache_core::policy::pdp::StaticPdp;
+        let geom = CacheGeometry::new(256, 2, 128).unwrap(); // 1 set, 2 ways
+        let mut l1 = L1Controller::new(
+            CoreId(0),
+            CacheConfig::l1(geom, 0),
+            Box::new(StaticPdp::new(&geom, 16)),
+            4,
+            4,
+        );
+        // Fill both ways (protected), then a third line must bypass.
+        for i in 0..2u64 {
+            l1.access(LineAddr::new(i), AccessKind::Read, 0);
+            l1.fill(LineAddr::new(i), false);
+        }
+        l1.access(LineAddr::new(2), AccessKind::Read, 9);
+        let woken = l1.fill(LineAddr::new(2), false);
+        assert_eq!(woken, vec![9], "bypass must still deliver data");
+        assert!(!l1.cache().contains(LineAddr::new(2)));
+        assert_eq!(l1.stats().bypassed_fills, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding")]
+    fn unsolicited_fill_panics() {
+        let mut l1 = l1();
+        l1.fill(LineAddr::new(0), false);
+    }
+}

@@ -1,0 +1,75 @@
+//! # gcache-sim
+//!
+//! A cycle-level many-core-accelerator (GPU) timing simulator built from
+//! scratch for the G-Cache reproduction (Chen et al., MES '14). It models
+//! the full memory system of the paper's Figure 1 / Table 2:
+//!
+//! * **SIMT cores** — warp contexts, LRR/GTO warp schedulers, CTA barrier
+//!   semantics, an LD/ST unit with a coalescing stage;
+//! * **L1 memory** — per-core write-through/no-allocate data caches with
+//!   MSHRs and any [`gcache_core`] management policy (LRU, SRRIP, G-Cache,
+//!   PDP);
+//! * **interconnect** — separate request/response 2D meshes with XY
+//!   routing, bounded router queues and 32 B-channel serialisation;
+//! * **memory partitions** — write-back/write-allocate L2 banks carrying
+//!   the G-Cache victim-bit extension, atomic-operation units, and
+//!   FR-FCFS GDDR5 DRAM channels.
+//!
+//! Kernels are *abstract instruction streams* ([`isa::Kernel`] /
+//! [`isa::WarpProgram`]); see the `gcache-workloads` crate for generators
+//! reproducing the paper's 17 benchmarks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gcache_sim::config::{GpuConfig, L1PolicyKind};
+//! use gcache_sim::gpu::Gpu;
+//! use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
+//! use gcache_core::addr::Addr;
+//! use gcache_core::policy::gcache::GCacheConfig;
+//!
+//! struct Stream;
+//! impl Kernel for Stream {
+//!     fn name(&self) -> &str { "stream" }
+//!     fn grid(&self) -> GridDim { GridDim { ctas: 4, threads_per_cta: 64 } }
+//!     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
+//!         let tid = cta * 2 + warp;
+//!         Box::new(TraceProgram::new(
+//!             (0..8).map(|i| Op::strided_load(Addr::new(((tid * 8 + i) * 128) as u64), 4, 32)).collect(),
+//!         ))
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = GpuConfig::fermi_with_policy(L1PolicyKind::GCache(GCacheConfig::default()))?;
+//! let stats = Gpu::new(cfg).run_kernel(&Stream)?;
+//! println!("{stats}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coalescer;
+pub mod config;
+pub mod core;
+pub mod dram;
+pub mod energy;
+pub mod gpu;
+pub mod icnt;
+pub mod isa;
+pub mod l1;
+pub mod partition;
+pub mod request;
+pub mod scheduler;
+pub mod stats;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::config::{DramTiming, GpuConfig, L1PolicyKind, WarpSchedKind};
+    pub use crate::energy::{EnergyBreakdown, EnergyModel};
+    pub use crate::gpu::{Gpu, SimError};
+    pub use crate::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
+    pub use crate::stats::{geomean, SimStats};
+}

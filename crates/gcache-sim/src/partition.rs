@@ -1,0 +1,479 @@
+//! A memory partition: one L2 cache bank (write-back, write-allocate, with
+//! the G-Cache victim-bit extension), one Atomic Operation Unit, and one
+//! FR-FCFS GDDR5 memory controller (§2.2, Figure 1).
+//!
+//! The L2 runs at half the core clock (700 MHz vs 1.4 GHz); the caller
+//! gates [`Partition::tick`]'s L2 work accordingly via `l2_period` while
+//! the DRAM ticks every core cycle.
+
+use crate::config::GpuConfig;
+use crate::dram::Dram;
+use crate::request::{partition_local_line, MemRequest, MemResponse, WarpSlot};
+use gcache_core::addr::{CoreId, LineAddr, PartitionId};
+use gcache_core::cache::{Cache, CacheConfig, Lookup};
+use gcache_core::mshr::{MshrAlloc, MshrFile, MshrReject};
+use gcache_core::policy::{AccessKind, FillCtx};
+use gcache_core::policy::lru::Lru;
+use gcache_core::stats::CacheStats;
+use std::collections::VecDeque;
+
+/// A merged requester waiting on one L2 miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum L2Target {
+    /// A load from `core`, waking `warp` — needs a response with data.
+    Read { core: CoreId, warp: WarpSlot },
+    /// An atomic from `core` — needs a response after AOU service.
+    Atomic { core: CoreId, warp: WarpSlot },
+    /// A write-allocate fetch — dirties the fill, no response.
+    Write,
+}
+
+/// DRAM completion token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DramToken {
+    /// Fetch completing for a partition-local line: fill the L2.
+    Fill(LineAddr),
+    /// A write-back finished; no further action.
+    Writeback,
+}
+
+/// Partition-level counters beyond the embedded cache/DRAM stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartitionStats {
+    /// Atomic operations serviced by the AOU.
+    pub atomics: u64,
+    /// Requests stalled because the L2 MSHR or DRAM queue was full.
+    pub stall_cycles: u64,
+}
+
+/// One memory partition.
+#[derive(Debug)]
+pub struct Partition {
+    id: PartitionId,
+    partitions: usize,
+    l2: Cache,
+    mshr: MshrFile<L2Target>,
+    dram: Dram<DramToken>,
+    /// Requests ejected from the request mesh, awaiting L2 service.
+    incoming: VecDeque<MemRequest>,
+    /// Responses ready to inject into the response mesh at `ready_at`.
+    outgoing: VecDeque<(MemResponse, u64)>,
+    l2_period: u64,
+    l2_latency: u64,
+    atomic_latency: u64,
+    aou_busy_until: u64,
+    stats: PartitionStats,
+}
+
+impl Partition {
+    /// Builds the partition described by `cfg`.
+    pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
+        let l2 = Cache::with_victim_bits(
+            CacheConfig::l2(cfg.l2_geometry, 0),
+            Box::new(Lru::new(&cfg.l2_geometry)),
+            cfg.cores,
+            cfg.victim_bit_share,
+        );
+        Partition {
+            id,
+            partitions: cfg.partitions,
+            l2,
+            mshr: MshrFile::new(cfg.l2_mshr_entries, cfg.l2_mshr_merge),
+            dram: Dram::new(
+                cfg.dram_timing,
+                cfg.dram_banks,
+                cfg.dram_row_bytes,
+                cfg.dram_queue,
+                cfg.line_size(),
+            ),
+            incoming: VecDeque::new(),
+            outgoing: VecDeque::new(),
+            l2_period: cfg.l2_period,
+            l2_latency: cfg.l2_latency,
+            atomic_latency: cfg.atomic_latency,
+            aou_busy_until: 0,
+            stats: PartitionStats::default(),
+        }
+    }
+
+    /// This partition's id.
+    pub const fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// L2 bank statistics.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// DRAM channel statistics.
+    pub fn dram_stats(&self) -> &crate::dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// Partition-level counters.
+    pub const fn stats(&self) -> &PartitionStats {
+        &self.stats
+    }
+
+    /// Direct access to the L2 (kernel-end flush, tests).
+    pub fn l2_mut(&mut self) -> &mut Cache {
+        &mut self.l2
+    }
+
+    /// Hands over a request ejected from the request network.
+    pub fn push_request(&mut self, req: MemRequest) {
+        self.incoming.push_back(req);
+    }
+
+    /// Takes one response whose L2 pipeline latency has elapsed.
+    pub fn pop_response(&mut self, now: u64) -> Option<MemResponse> {
+        match self.outgoing.front() {
+            Some((_, ready)) if *ready <= now => self.outgoing.pop_front().map(|(r, _)| r),
+            _ => None,
+        }
+    }
+
+    /// Whether everything has drained: no queued requests, no outstanding
+    /// misses, no pending responses, idle DRAM.
+    pub fn is_idle(&self) -> bool {
+        self.incoming.is_empty()
+            && self.outgoing.is_empty()
+            && self.mshr.is_empty()
+            && self.dram.is_idle()
+    }
+
+    /// Advances the partition by one core cycle.
+    pub fn tick(&mut self, now: u64) {
+        self.dram.tick(now);
+        if now.is_multiple_of(self.l2_period) {
+            self.drain_dram(now);
+            self.serve_one(now);
+        }
+    }
+
+    /// Applies completed DRAM reads: fill the L2, release merged targets.
+    fn drain_dram(&mut self, now: u64) {
+        while let Some(token) = self.dram.pop_completed(now) {
+            let DramToken::Fill(local) = token else { continue };
+            let targets = self
+                .mshr
+                .complete(local)
+                .expect("DRAM fill without an L2 MSHR entry");
+            let dirty = targets.iter().any(|t| matches!(t, L2Target::Write | L2Target::Atomic { .. }));
+            let primary_core = targets
+                .iter()
+                .find_map(|t| match t {
+                    L2Target::Read { core, .. } | L2Target::Atomic { core, .. } => Some(*core),
+                    L2Target::Write => None,
+                })
+                .unwrap_or(CoreId(0));
+            let outcome = self.l2.fill(FillCtx::plain(local, primary_core), dirty);
+            if let Some(ev) = outcome.evicted {
+                if ev.dirty {
+                    // Write-back; drop silently if the DRAM queue is full —
+                    // timing-only model, the data itself is not tracked.
+                    // (Capacity is sized so this is rare; it is counted.)
+                    if self.dram.enqueue(ev.line, true, DramToken::Writeback, now).is_err() {
+                        self.stats.stall_cycles += 1;
+                    }
+                }
+            }
+            let mut first_responder = true;
+            for t in targets {
+                match t {
+                    L2Target::Write => {}
+                    L2Target::Read { core, warp } => {
+                        // The fill already set the primary core's victim
+                        // bit; additional requesters observe their own.
+                        let hint = if first_responder && core == primary_core {
+                            first_responder = false;
+                            false
+                        } else {
+                            self.l2.victim_observe(local, core).unwrap_or(false)
+                        };
+                        self.queue_response(core, warp, local, AccessKind::Read, hint, now);
+                    }
+                    L2Target::Atomic { core, warp } => {
+                        first_responder = false;
+                        let ready = self.aou_admit(now);
+                        self.outgoing.push_back((
+                            MemResponse {
+                                line: self.global(local),
+                                kind: AccessKind::Atomic,
+                                core,
+                                warp,
+                                victim_hint: false,
+                            },
+                            ready,
+                        ));
+                        self.stats.atomics += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves at most one incoming request per L2 cycle.
+    ///
+    /// Resource checks happen *before* the cache access is committed so a
+    /// stalled head-of-line request does not re-access the L2 every tick
+    /// (which would corrupt statistics and policy ageing).
+    fn serve_one(&mut self, now: u64) {
+        let Some(&req) = self.incoming.front() else { return };
+        let local = partition_local_line(req.line, self.partitions);
+
+        // Side-effect-free admission check for the miss path.
+        if !self.l2.contains(local) {
+            if self.mshr.contains(local) {
+                // Will merge; only the merge-list depth can reject.
+                // (Checked by attempting after the access below.)
+            } else if !self.dram.can_accept() || self.mshr.is_full() {
+                self.stats.stall_cycles += 1;
+                return;
+            }
+            // Merge-list-full is the one remaining reject: probe it without
+            // mutating by checking the entry's room via a dry-run allocate
+            // is not possible, so reserve the target first.
+            let target = match req.kind {
+                AccessKind::Write => L2Target::Write,
+                AccessKind::Read => L2Target::Read { core: req.core, warp: req.warp },
+                AccessKind::Atomic => L2Target::Atomic { core: req.core, warp: req.warp },
+            };
+            let was_primary = match self.mshr.allocate(local, target) {
+                Ok(MshrAlloc::Primary) => true,
+                Ok(MshrAlloc::Merged) => false,
+                Err(MshrReject::Full | MshrReject::MergeFull) => {
+                    self.stats.stall_cycles += 1;
+                    return;
+                }
+            };
+            if was_primary {
+                self.dram
+                    .enqueue(local, false, DramToken::Fill(local), now)
+                    .expect("checked can_accept");
+            }
+            // Commit the (secondary or primary) miss to the cache exactly
+            // once.
+            let lookup = self.l2.access(local, req.kind, req.core);
+            debug_assert!(!lookup.is_hit(), "contains() said miss");
+            self.incoming.pop_front();
+            return;
+        }
+
+        // Hit path.
+        match req.kind {
+            AccessKind::Write => {
+                let _ = self.l2.access(local, AccessKind::Write, req.core);
+            }
+            AccessKind::Read => {
+                if let Lookup::Hit { victim_hint } = self.l2.access(local, AccessKind::Read, req.core)
+                {
+                    self.queue_response(req.core, req.warp, local, AccessKind::Read, victim_hint, now);
+                }
+            }
+            AccessKind::Atomic => {
+                let _ = self.l2.access(local, AccessKind::Atomic, req.core);
+                let ready = self.aou_admit(now);
+                self.outgoing.push_back((
+                    MemResponse {
+                        line: req.line,
+                        kind: AccessKind::Atomic,
+                        core: req.core,
+                        warp: req.warp,
+                        victim_hint: false,
+                    },
+                    ready,
+                ));
+                self.stats.atomics += 1;
+            }
+        }
+        self.incoming.pop_front();
+    }
+
+    fn queue_response(
+        &mut self,
+        core: CoreId,
+        warp: WarpSlot,
+        local: LineAddr,
+        kind: AccessKind,
+        victim_hint: bool,
+        now: u64,
+    ) {
+        self.outgoing.push_back((
+            MemResponse { line: self.global(local), kind, core, warp, victim_hint },
+            now + self.l2_latency,
+        ));
+    }
+
+    /// Serialises atomics through the AOU; returns the completion time.
+    fn aou_admit(&mut self, now: u64) -> u64 {
+        let start = self.aou_busy_until.max(now);
+        self.aou_busy_until = start + self.atomic_latency;
+        self.aou_busy_until + self.l2_latency
+    }
+
+    fn global(&self, local: LineAddr) -> LineAddr {
+        crate::request::global_line(local, self.id, self.partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::partition_of;
+
+    fn partition() -> Partition {
+        let cfg = GpuConfig::fermi().unwrap();
+        Partition::new(PartitionId(0), &cfg)
+    }
+
+    /// A line that maps to partition 0.
+    fn line_for_p0(i: u64) -> LineAddr {
+        let line = LineAddr::new(i * 8); // partitions=8 → low 3 bits select
+        assert_eq!(partition_of(line, 8).index(), 0);
+        line
+    }
+
+    fn read(line: LineAddr, core: usize, warp: WarpSlot) -> MemRequest {
+        MemRequest { line, kind: AccessKind::Read, core: CoreId(core), warp }
+    }
+
+    fn run_until_response(p: &mut Partition, start: u64, max: u64) -> (MemResponse, u64) {
+        for now in start..start + max {
+            p.tick(now);
+            if let Some(r) = p.pop_response(now) {
+                return (r, now);
+            }
+        }
+        panic!("no response within {max} cycles");
+    }
+
+    #[test]
+    fn read_miss_goes_to_dram_and_returns() {
+        let mut p = partition();
+        let line = line_for_p0(5);
+        p.push_request(read(line, 2, 7));
+        let (resp, t) = run_until_response(&mut p, 1, 1000);
+        assert_eq!(resp.line, line);
+        assert_eq!(resp.core, CoreId(2));
+        assert_eq!(resp.warp, 7);
+        assert!(!resp.victim_hint, "first request must not carry a hint");
+        assert!(t > 28, "must include DRAM latency, was {t}");
+        assert_eq!(p.l2_stats().misses(), 1);
+        assert_eq!(p.dram_stats().reads, 1);
+    }
+
+    #[test]
+    fn second_read_hits_l2_with_victim_hint() {
+        let mut p = partition();
+        let line = line_for_p0(5);
+        p.push_request(read(line, 2, 7));
+        let (_, t1) = run_until_response(&mut p, 1, 1000);
+        // Same core re-requests: L2 hit, victim bit already set → hint.
+        p.push_request(read(line, 2, 8));
+        let (resp, t2) = run_until_response(&mut p, t1 + 1, 1000);
+        assert!(resp.victim_hint, "re-request from same core must carry the hint");
+        assert!(t2 - t1 < 100, "L2 hit must be much faster than DRAM");
+        // A different core gets a clean hint.
+        p.push_request(read(line, 3, 0));
+        let (resp, _) = run_until_response(&mut p, t2 + 1, 1000);
+        assert!(!resp.victim_hint);
+    }
+
+    #[test]
+    fn merged_reads_release_together() {
+        let mut p = partition();
+        let line = line_for_p0(9);
+        p.push_request(read(line, 0, 1));
+        p.push_request(read(line, 1, 2));
+        let mut responses = Vec::new();
+        for now in 1..2000 {
+            p.tick(now);
+            while let Some(r) = p.pop_response(now) {
+                responses.push(r);
+            }
+            if responses.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(responses.len(), 2);
+        assert_eq!(p.dram_stats().reads, 1, "merged miss must fetch once");
+        let hints: Vec<_> = responses.iter().map(|r| r.victim_hint).collect();
+        assert_eq!(hints, vec![false, false], "distinct cores, first touch each");
+    }
+
+    #[test]
+    fn write_miss_allocates_dirty() {
+        let mut p = partition();
+        let line = line_for_p0(3);
+        p.push_request(MemRequest { line, kind: AccessKind::Write, core: CoreId(0), warp: 0 });
+        for now in 1..2000 {
+            p.tick(now);
+        }
+        assert!(p.is_idle());
+        assert_eq!(p.l2_stats().fills, 1);
+        // The allocated line is dirty: flushing produces one write-back.
+        assert_eq!(p.l2_mut().flush().len(), 1);
+    }
+
+    #[test]
+    fn atomic_returns_response_and_counts() {
+        let mut p = partition();
+        let line = line_for_p0(4);
+        p.push_request(MemRequest { line, kind: AccessKind::Atomic, core: CoreId(1), warp: 3 });
+        let (resp, _) = run_until_response(&mut p, 1, 2000);
+        assert_eq!(resp.kind, AccessKind::Atomic);
+        assert_eq!(p.stats().atomics, 1);
+        // Atomic dirties the line (RMW).
+        assert_eq!(p.l2_mut().flush().len(), 1);
+    }
+
+    #[test]
+    fn aou_serialises_atomics() {
+        let mut p = partition();
+        let line = line_for_p0(4);
+        // Warm the line into L2 first.
+        p.push_request(read(line, 0, 0));
+        let (_, t0) = run_until_response(&mut p, 1, 2000);
+        for w in 0..4 {
+            p.push_request(MemRequest { line, kind: AccessKind::Atomic, core: CoreId(0), warp: w });
+        }
+        let mut times = Vec::new();
+        for now in t0 + 1..t0 + 4000 {
+            p.tick(now);
+            while let Some(r) = p.pop_response(now) {
+                assert_eq!(r.kind, AccessKind::Atomic);
+                times.push(now);
+            }
+            if times.len() == 4 {
+                break;
+            }
+        }
+        assert_eq!(times.len(), 4);
+        // Consecutive AOU completions must be at least atomic_latency apart.
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= 4, "atomics not serialised: {times:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back() {
+        let mut p = partition();
+        // Dirty many distinct lines mapping to the same L2 set to force
+        // dirty evictions. L2 bank: 64 sets, 16 ways.
+        for i in 0..32u64 {
+            let line = LineAddr::new(i * 8 * 64); // same set after local shift
+            p.push_request(MemRequest { line, kind: AccessKind::Write, core: CoreId(0), warp: 0 });
+        }
+        for now in 1..200_000 {
+            p.tick(now);
+            if p.is_idle() {
+                break;
+            }
+        }
+        assert!(p.is_idle(), "partition should drain");
+        assert!(p.l2_stats().writebacks >= 16, "expected dirty evictions");
+        assert!(p.dram_stats().writes >= 1, "write-backs must reach DRAM");
+    }
+}

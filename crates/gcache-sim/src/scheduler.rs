@@ -1,0 +1,125 @@
+//! Warp issue scheduling (§2.2): loose round-robin (the paper's baseline)
+//! and greedy-then-oldest.
+
+use crate::config::WarpSchedKind;
+
+/// Per-core warp scheduler state.
+#[derive(Clone, Debug)]
+pub struct WarpScheduler {
+    kind: WarpSchedKind,
+    rr_next: usize,
+    current: Option<usize>,
+}
+
+impl WarpScheduler {
+    /// Creates a scheduler of the given discipline.
+    pub fn new(kind: WarpSchedKind) -> Self {
+        WarpScheduler { kind, rr_next: 0, current: None }
+    }
+
+    /// Picks the next warp slot to issue from among `slots` slots.
+    ///
+    /// * `is_ready(slot)` — whether the slot can issue this cycle;
+    /// * `age(slot)` — launch order, smaller = older (GTO tie-break).
+    pub fn pick(
+        &mut self,
+        slots: usize,
+        is_ready: impl Fn(usize) -> bool,
+        age: impl Fn(usize) -> u64,
+    ) -> Option<usize> {
+        if slots == 0 {
+            return None;
+        }
+        match self.kind {
+            WarpSchedKind::Lrr => {
+                for k in 0..slots {
+                    let s = (self.rr_next + k) % slots;
+                    if is_ready(s) {
+                        self.rr_next = (s + 1) % slots;
+                        return Some(s);
+                    }
+                }
+                None
+            }
+            WarpSchedKind::Gto => {
+                if let Some(c) = self.current {
+                    if c < slots && is_ready(c) {
+                        return Some(c);
+                    }
+                }
+                let oldest = (0..slots).filter(|&s| is_ready(s)).min_by_key(|&s| (age(s), s));
+                self.current = oldest;
+                oldest
+            }
+        }
+    }
+
+    /// Notifies the scheduler that `slot` was freed (its warp finished);
+    /// GTO must drop a stale greedy pointer.
+    pub fn on_slot_freed(&mut self, slot: usize) {
+        if self.current == Some(slot) {
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrr_rotates_over_ready_warps() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Lrr);
+        let ready = |_: usize| true;
+        let age = |_: usize| 0u64;
+        let picks: Vec<_> = (0..6).map(|_| s.pick(4, ready, age).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn lrr_skips_unready() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Lrr);
+        let ready = |slot: usize| slot % 2 == 1;
+        let age = |_: usize| 0u64;
+        let picks: Vec<_> = (0..4).map(|_| s.pick(4, ready, age).unwrap()).collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn lrr_none_when_nothing_ready() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Lrr);
+        assert_eq!(s.pick(4, |_| false, |_| 0), None);
+        assert_eq!(s.pick(0, |_| true, |_| 0), None);
+    }
+
+    #[test]
+    fn gto_sticks_with_current() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Gto);
+        let age = |slot: usize| slot as u64;
+        assert_eq!(s.pick(4, |_| true, age), Some(0));
+        assert_eq!(s.pick(4, |_| true, age), Some(0), "greedy must stick");
+        // Slot 0 stalls: falls back to the oldest ready.
+        assert_eq!(s.pick(4, |slot| slot != 0, age), Some(1));
+        assert_eq!(s.pick(4, |_| true, age), Some(1), "new greedy warp");
+    }
+
+    #[test]
+    fn gto_prefers_oldest_on_switch() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Gto);
+        // Ages: slot 2 oldest.
+        let age = |slot: usize| [30u64, 20, 10, 40][slot];
+        assert_eq!(s.pick(4, |_| true, age), Some(2));
+    }
+
+    #[test]
+    fn gto_slot_freed_resets_greedy() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Gto);
+        let age = |slot: usize| slot as u64;
+        assert_eq!(s.pick(2, |_| true, age), Some(0));
+        s.on_slot_freed(0);
+        // Slot 0 is re-used by a *new* warp; GTO must re-evaluate by age,
+        // not blindly keep issuing slot 0.
+        let age2 = |slot: usize| [99u64, 1][slot];
+        assert_eq!(s.pick(2, |_| true, age2), Some(1));
+    }
+}

@@ -1,0 +1,219 @@
+//! Aggregated simulation statistics.
+
+use crate::core::CoreStats;
+use crate::dram::DramStats;
+use crate::icnt::NocStats;
+use crate::partition::PartitionStats;
+use gcache_core::stats::CacheStats;
+use std::fmt;
+
+impl CoreStats {
+    /// Accumulates another core's counters.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.instructions += other.instructions;
+        self.mem_instructions += other.mem_instructions;
+        self.transactions += other.transactions;
+        self.idle_cycles += other.idle_cycles;
+        self.ldst_full_stalls += other.ldst_full_stalls;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.ctas_completed += other.ctas_completed;
+    }
+}
+
+impl DramStats {
+    /// Accumulates another channel's counters.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.row_hits += other.row_hits;
+        self.row_opens += other.row_opens;
+        self.row_conflicts += other.row_conflicts;
+        self.total_latency += other.total_latency;
+        self.completed += other.completed;
+    }
+}
+
+impl PartitionStats {
+    /// Accumulates another partition's counters.
+    pub fn merge(&mut self, other: &PartitionStats) {
+        self.atomics += other.atomics;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// Everything a kernel run produced, aggregated across cores/partitions.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Kernel name.
+    pub kernel: String,
+    /// Design name of the L1 policy (e.g. `"GC"`).
+    pub design: &'static str,
+    /// Simulated core cycles.
+    pub cycles: u64,
+    /// Warp instructions issued across all cores.
+    pub instructions: u64,
+    /// Merged L1 statistics (all cores).
+    pub l1: CacheStats,
+    /// Merged L2 statistics (all banks).
+    pub l2: CacheStats,
+    /// Merged DRAM statistics (all channels).
+    pub dram: DramStats,
+    /// Request-network statistics.
+    pub noc_req: NocStats,
+    /// Response-network statistics.
+    pub noc_resp: NocStats,
+    /// Merged core issue statistics.
+    pub core: CoreStats,
+    /// Merged partition statistics.
+    pub partition: PartitionStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle (warp-level); 0 for an empty run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 miss rate over all L1 accesses.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.l1.miss_rate()
+    }
+
+    /// L1 bypass ratio (Table 3).
+    pub fn l1_bypass_ratio(&self) -> f64 {
+        self.l1.bypass_ratio()
+    }
+
+    /// Speedup of this run over a baseline run of the same kernel
+    /// (IPC ratio — cycle ratio would be equivalent for equal work).
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        if baseline.ipc() == 0.0 {
+            0.0
+        } else {
+            self.ipc() / baseline.ipc()
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}]: {} cycles, {} instructions, IPC {:.3}",
+            self.kernel,
+            self.design,
+            self.cycles,
+            self.instructions,
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "  L1: {:.1}% miss, {:.1}% bypass ({} accesses)",
+            self.l1.miss_rate() * 100.0,
+            self.l1.bypass_ratio() * 100.0,
+            self.l1.accesses()
+        )?;
+        writeln!(
+            f,
+            "  L2: {:.1}% miss ({} accesses), {} writebacks",
+            self.l2.miss_rate() * 100.0,
+            self.l2.accesses(),
+            self.l2.writebacks
+        )?;
+        write!(
+            f,
+            "  DRAM: {} reads, {} writes, {:.1}% row hits | NoC mean lat {:.1}/{:.1}",
+            self.dram.reads,
+            self.dram.writes,
+            self.dram.row_hit_rate() * 100.0,
+            self.noc_req.mean_latency(),
+            self.noc_resp.mean_latency()
+        )
+    }
+}
+
+/// Geometric mean of an iterator of positive ratios; 1.0 when empty.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_sim::stats::geomean;
+///
+/// let g = geomean([2.0, 8.0]);
+/// assert!((g - 4.0).abs() < 1e-12);
+/// assert_eq!(geomean(std::iter::empty::<f64>()), 1.0);
+/// ```
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean of non-positive value {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, instructions: u64) -> SimStats {
+        SimStats {
+            kernel: "test".into(),
+            design: "BS",
+            cycles,
+            instructions,
+            l1: CacheStats::new(),
+            l2: CacheStats::new(),
+            dram: DramStats::default(),
+            noc_req: NocStats::default(),
+            noc_resp: NocStats::default(),
+            core: CoreStats::default(),
+            partition: PartitionStats::default(),
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = stats(1000, 2000);
+        let fast = stats(500, 2000);
+        assert!((base.ipc() - 2.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert_eq!(stats(0, 0).ipc(), 0.0);
+        assert_eq!(fast.speedup_over(&stats(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([4.0]) - 4.0).abs() < 1e-12);
+        let g = geomean([1.2, 1.5, 0.9]);
+        assert!(g > 0.9 && g < 1.5);
+    }
+
+    #[test]
+    fn merge_core_stats() {
+        let mut a = CoreStats { instructions: 10, ..CoreStats::default() };
+        let b = CoreStats { instructions: 5, transactions: 7, ..CoreStats::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.transactions, 7);
+    }
+
+    #[test]
+    fn display_contains_sections() {
+        let s = stats(100, 100).to_string();
+        assert!(s.contains("IPC"));
+        assert!(s.contains("L1:"));
+        assert!(s.contains("DRAM:"));
+    }
+}

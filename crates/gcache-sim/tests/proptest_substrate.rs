@@ -1,0 +1,111 @@
+//! Property-based tests of the simulator substrates: the mesh never loses
+//! or duplicates packets, the DRAM model completes everything with sane
+//! timing, and the coalescer is a proper set-partition of active lanes.
+
+use gcache_core::addr::{Addr, LineAddr};
+use gcache_sim::coalescer::coalesce;
+use gcache_sim::config::DramTiming;
+use gcache_sim::dram::Dram;
+use gcache_sim::icnt::Mesh;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every injected packet is delivered exactly once, to the right node,
+    /// regardless of traffic pattern.
+    #[test]
+    fn mesh_delivers_everything_exactly_once(
+        sends in proptest::collection::vec((0usize..12, 0usize..12, 1u32..6), 1..150),
+        width in 3usize..5,
+    ) {
+        let height = 3;
+        let nodes = width * height;
+        let mut mesh: Mesh<usize> = Mesh::new(width, height, 4, 2, 1);
+        let mut pending: Vec<(usize, usize, u32, usize)> = sends
+            .iter()
+            .enumerate()
+            .map(|(id, &(s, d, f))| (s % nodes, d % nodes, f, id))
+            .collect();
+        let total = pending.len();
+        let mut got: Vec<Option<usize>> = vec![None; total]; // delivered at node
+        let mut delivered = 0usize;
+        let mut now = 0u64;
+        while delivered < total {
+            now += 1;
+            prop_assert!(now < 1_000_000, "mesh livelock");
+            pending.retain(|&(s, d, f, id)| mesh.inject_at(s, d, f, id, now).is_err());
+            mesh.tick(now);
+            for n in 0..nodes {
+                while let Some(id) = mesh.eject(n) {
+                    prop_assert!(got[id].is_none(), "packet {} delivered twice", id);
+                    got[id] = Some(n);
+                    delivered += 1;
+                }
+            }
+        }
+        for (id, &(_, d, _)) in sends.iter().enumerate() {
+            prop_assert_eq!(got[id], Some(d % nodes), "packet {} misrouted", id);
+        }
+        prop_assert!(mesh.is_idle());
+    }
+
+    /// The DRAM model completes every request, each no earlier than the
+    /// unloaded minimum latency, and row-hit counting is consistent.
+    #[test]
+    fn dram_completes_everything(
+        reqs in proptest::collection::vec((0u64..4096, any::<bool>()), 1..100),
+    ) {
+        let timing = DramTiming::default();
+        let mut dram: Dram<usize> = Dram::new(timing, 4, 2048, 16, 128);
+        let mut sent = 0usize;
+        let mut arrive = vec![0u64; reqs.len()];
+        let mut done = vec![false; reqs.len()];
+        let mut completed = 0usize;
+        let mut now = 0u64;
+        while completed < reqs.len() {
+            now += 1;
+            prop_assert!(now < 1_000_000, "dram livelock");
+            while sent < reqs.len() && dram.can_accept() {
+                let (line, write) = reqs[sent];
+                dram.enqueue(LineAddr::new(line), write, sent, now).unwrap();
+                arrive[sent] = now;
+                sent += 1;
+            }
+            dram.tick(now);
+            while let Some(id) = dram.pop_completed(now) {
+                prop_assert!(!done[id], "request {} completed twice", id);
+                done[id] = true;
+                completed += 1;
+                let min = (timing.t_cl + timing.t_burst) as u64;
+                prop_assert!(now >= arrive[id] + min, "request {} completed too fast", id);
+            }
+        }
+        prop_assert!(dram.is_idle());
+        let s = dram.stats();
+        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        prop_assert_eq!(s.row_hits + s.row_opens + s.row_conflicts, reqs.len() as u64);
+    }
+
+    /// Coalescing partitions the active lanes: every active lane's line is
+    /// in the output, the output has no duplicates, and it never exceeds
+    /// the active lane count.
+    #[test]
+    fn coalescer_is_a_partition(
+        lanes in proptest::collection::vec(proptest::option::of(0u64..1_000_000), 0..32),
+    ) {
+        let addrs: Vec<Option<Addr>> = lanes.iter().map(|o| o.map(Addr::new)).collect();
+        let out = coalesce(&addrs, 128);
+        let active: Vec<LineAddr> =
+            addrs.iter().flatten().map(|a| a.to_line(128)).collect();
+        for l in &active {
+            prop_assert!(out.contains(l), "active lane's line missing");
+        }
+        for l in &out {
+            prop_assert!(active.contains(l), "phantom line in output");
+        }
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), out.len(), "duplicate transactions");
+        prop_assert!(out.len() <= active.len());
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared address-stream generators.
+//!
+//! Every benchmark builds its per-warp instruction stream from these
+//! primitives so that the timing-relevant properties — coalescing shape,
+//! reuse distances, hot/stream mixture — are explicit and testable.
+
+use gcache_core::addr::Addr;
+use gcache_sim::isa::Op;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Warp width assumed by the generators (Table 2's SIMT width).
+pub const LANES: usize = 32;
+
+/// Line size assumed by the generators.
+pub const LINE: u64 = 128;
+
+/// Base byte address of data region `r` — regions are 64 GB apart so
+/// arrays never alias.
+pub const fn region(r: u64) -> u64 {
+    r << 36
+}
+
+/// Deterministic per-warp RNG: runs are reproducible functions of
+/// (workload seed, cta, warp).
+pub fn warp_rng(seed: u64, cta: usize, warp: usize) -> SmallRng {
+    // SplitMix-style mixing keeps distinct (cta, warp) streams decorrelated.
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + cta as u64))
+        .wrapping_add(0x2545_f491_4f6c_dd1du64.wrapping_mul(1 + warp as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// A fully coalesced load: 32 consecutive 4-byte elements starting at
+/// element `start` of `region_base` — exactly one 128 B transaction when
+/// aligned.
+pub fn coalesced_load(region_base: u64, start_elem: u64) -> Op {
+    Op::strided_load(Addr::new(region_base + start_elem * 4), 4, LANES)
+}
+
+/// A fully coalesced store with the same shape as [`coalesced_load`].
+pub fn coalesced_store(region_base: u64, start_elem: u64) -> Op {
+    Op::strided_store(Addr::new(region_base + start_elem * 4), 4, LANES)
+}
+
+/// A broadcast load: every lane reads the same line (`line_idx` within the
+/// region) — one transaction, the shape of a shared lookup table read.
+pub fn broadcast_load(region_base: u64, line_idx: u64) -> Op {
+    Op::Load { addrs: (0..LANES).map(|_| Some(Addr::new(region_base + line_idx * LINE))).collect() }
+}
+
+/// A gather: lane `l` reads 4-byte element `indices[l]` of the region —
+/// up to 32 transactions depending on how the indices coalesce.
+pub fn gather_load(region_base: u64, indices: &[u64]) -> Op {
+    Op::Load {
+        addrs: (0..LANES)
+            .map(|l| indices.get(l).map(|&i| Addr::new(region_base + i * 4)))
+            .collect(),
+    }
+}
+
+/// A scatter-style atomic: lane `l` updates element `indices[l]`.
+pub fn scatter_atomic(region_base: u64, indices: &[u64]) -> Op {
+    Op::Atomic {
+        addrs: (0..LANES)
+            .map(|l| indices.get(l).map(|&i| Addr::new(region_base + i * 4)))
+            .collect(),
+    }
+}
+
+/// Draws an index with a hot/cold mixture: with probability `hot_frac`
+/// uniform over `0..hot_n`, otherwise uniform over `hot_n..total_n`.
+/// The knob behind skewed gathers (graph hubs, popular hash keys).
+pub fn skewed_index(rng: &mut SmallRng, hot_n: u64, total_n: u64, hot_frac: f64) -> u64 {
+    debug_assert!(hot_n < total_n);
+    if rng.gen_bool(hot_frac) {
+        rng.gen_range(0..hot_n)
+    } else {
+        rng.gen_range(hot_n..total_n)
+    }
+}
+
+/// Lane indices for a "warp-local gather with line-granular locality":
+/// lanes fan out over `span` lines starting at a random line of the hot
+/// region — a common shape for CSR column gathers.
+pub fn clustered_indices(rng: &mut SmallRng, base_line: u64, span: u64) -> Vec<u64> {
+    (0..LANES as u64).map(|_| (base_line + rng.gen_range(0..span)) * (LINE / 4)).collect()
+}
+
+/// A cyclic walk over a hot region of `lines` cache lines.
+///
+/// Walking a shared region of `H` lines cyclically gives every line a
+/// per-L1-set reuse distance of roughly `H / sets` — the single most
+/// important knob for reproducing a benchmark's "optimal protection
+/// distance" (Table 3). `H` below the L1 capacity is cache-friendly;
+/// a few times above it is the LRU-thrash regime the paper targets.
+#[derive(Clone, Debug)]
+pub struct CyclicWalk {
+    region: u64,
+    lines: u64,
+    pos: u64,
+}
+
+impl CyclicWalk {
+    /// Starts a walk over `lines` lines of `region_base` at `phase`.
+    pub fn new(region_base: u64, lines: u64, phase: u64) -> Self {
+        assert!(lines > 0, "walk needs at least one line");
+        CyclicWalk { region: region_base, lines, pos: phase % lines }
+    }
+
+    /// The next line index (absolute, within the region).
+    pub fn next_line(&mut self) -> u64 {
+        let l = self.pos;
+        self.pos = (self.pos + 1) % self.lines;
+        l
+    }
+
+    /// A broadcast load of the next line (shared-table shape).
+    pub fn next_broadcast(&mut self) -> Op {
+        let l = self.next_line();
+        broadcast_load(self.region, l)
+    }
+
+    /// A coalesced load of the next line (dense-tile shape).
+    pub fn next_coalesced(&mut self) -> Op {
+        let l = self.next_line();
+        coalesced_load(self.region, l * (LINE / 4))
+    }
+
+    /// Advances by `span` lines and returns the window's base line —
+    /// gather-flavoured walks touch `[base, base+span)` per step.
+    pub fn next_window(&mut self, span: u64) -> u64 {
+        let base = self.pos;
+        self.pos = (self.pos + span) % self.lines;
+        base
+    }
+
+    /// A clustered gather over the next `span`-line window (CSR-adjacency
+    /// shape: lanes fan out over a few consecutive lines).
+    pub fn next_gather(&mut self, rng: &mut SmallRng, span: u64) -> Op {
+        let base = self.next_window(span);
+        let idx: Vec<u64> = (0..LANES as u64)
+            .map(|_| ((base + rng.gen_range(0..span)) % self.lines) * (LINE / 4) + rng.gen_range(0..LINE / 4))
+            .collect();
+        gather_load(self.region, &idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcache_sim::coalescer::coalesce;
+
+    fn txns(op: &Op) -> usize {
+        match op {
+            Op::Load { addrs } | Op::Store { addrs } | Op::Atomic { addrs } => {
+                coalesce(addrs, LINE as u32).len()
+            }
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn coalesced_load_is_one_transaction() {
+        assert_eq!(txns(&coalesced_load(region(1), 0)), 1);
+        assert_eq!(txns(&coalesced_load(region(1), 32)), 1);
+        // Unaligned start straddles two lines.
+        assert_eq!(txns(&coalesced_load(region(1), 16)), 2);
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        assert_eq!(txns(&broadcast_load(region(2), 77)), 1);
+    }
+
+    #[test]
+    fn gather_spreads() {
+        let idx: Vec<u64> = (0..32).map(|l| l * 1024).collect();
+        assert_eq!(txns(&gather_load(region(0), &idx)), 32);
+        let same: Vec<u64> = vec![5; 32];
+        assert_eq!(txns(&gather_load(region(0), &same)), 1);
+    }
+
+    #[test]
+    fn regions_do_not_alias() {
+        assert!(region(1) > region(0));
+        assert_eq!(region(3) - region(2), 1 << 36);
+    }
+
+    #[test]
+    fn warp_rng_is_deterministic_and_distinct() {
+        let a: u64 = warp_rng(7, 3, 1).gen();
+        let b: u64 = warp_rng(7, 3, 1).gen();
+        let c: u64 = warp_rng(7, 3, 2).gen();
+        let d: u64 = warp_rng(7, 4, 1).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn skewed_index_respects_ranges() {
+        let mut rng = warp_rng(1, 0, 0);
+        let mut hot = 0;
+        for _ in 0..1000 {
+            let i = skewed_index(&mut rng, 16, 1 << 20, 0.7);
+            assert!(i < 1 << 20);
+            if i < 16 {
+                hot += 1;
+            }
+        }
+        assert!((600..800).contains(&hot), "hot draws {hot} out of 1000");
+    }
+
+    #[test]
+    fn clustered_indices_stay_in_span() {
+        let mut rng = warp_rng(2, 0, 0);
+        let idx = clustered_indices(&mut rng, 10, 4);
+        for &i in &idx {
+            let line = i / (LINE / 4);
+            assert!((10..14).contains(&line));
+        }
+    }
+
+    #[test]
+    fn cyclic_walk_wraps() {
+        let mut w = CyclicWalk::new(region(5), 3, 1);
+        let seq: Vec<u64> = (0..6).map(|_| w.next_line()).collect();
+        assert_eq!(seq, vec![1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn cyclic_walk_ops_are_single_transactions() {
+        let mut w = CyclicWalk::new(region(5), 8, 0);
+        assert_eq!(txns(&w.next_broadcast()), 1);
+        assert_eq!(txns(&w.next_coalesced()), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # gcache-workloads
+//!
+//! Synthetic kernel generators reproducing the memory-access patterns of
+//! the 17 benchmarks evaluated in the G-Cache paper (Table 1): Rodinia,
+//! Parboil, Mars (MapReduce), PolyBench and CUDA SDK applications.
+//!
+//! The real benchmarks are CUDA programs; this crate substitutes each with
+//! a deterministic generator that emits the same *locality structure* —
+//! streaming vs hot-table vs thrashing mixtures, coalesced vs divergent
+//! shapes, and per-benchmark reuse-distance scales (calibrated against the
+//! optimal protection distances of the paper's Table 3). Cache-management
+//! studies are sensitive to exactly these properties of the address
+//! stream; see DESIGN.md §2 for the substitution argument.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gcache_workloads::spec::{registry, by_name, Category, Scale};
+//! use gcache_sim::config::GpuConfig;
+//! use gcache_sim::gpu::Gpu;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Run one benchmark...
+//! let spmv = by_name("SPMV", Scale::Test).expect("table 1 benchmark");
+//! let stats = Gpu::new(GpuConfig::fermi()?).run_kernel(spmv.as_ref())?;
+//! assert!(stats.l1.accesses() > 0);
+//!
+//! // ...or iterate the whole of Table 1.
+//! for b in registry(Scale::Test) {
+//!     let info = b.info();
+//!     println!("{:5} {:?}", info.name, info.category);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod graph;
+pub mod linalg;
+pub mod mapreduce;
+pub mod spec;
+pub mod stencil;
+
+pub use spec::{by_name, registry, Benchmark, Category, Scale, WorkloadInfo};

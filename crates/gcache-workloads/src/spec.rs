@@ -1,0 +1,147 @@
+//! Benchmark metadata and the registry of the paper's Table 1.
+
+use gcache_sim::isa::Kernel;
+use std::fmt;
+
+/// Cache-sensitivity class from Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// Large speedup from better L1 management (upper block of Table 1).
+    Sensitive,
+    /// Small but visible benefit (middle block).
+    Moderate,
+    /// No meaningful benefit — must not be *hurt* by G-Cache (lower block).
+    Insensitive,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Sensitive => "Cache Sensitive",
+            Category::Moderate => "Moderately Sensitive",
+            Category::Insensitive => "Cache Insensitive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one benchmark (one row of Table 1).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadInfo {
+    /// Paper abbreviation (e.g. `"BFS"`).
+    pub name: &'static str,
+    /// Full description from Table 1.
+    pub description: &'static str,
+    /// Originating suite.
+    pub suite: &'static str,
+    /// Sensitivity class.
+    pub category: Category,
+}
+
+/// Run-length scaling so tests stay fast while experiments get full-size
+/// runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scale {
+    /// A few thousand accesses; for unit/integration tests.
+    Test,
+    /// The experiment harness size (hundreds of thousands of accesses).
+    #[default]
+    Paper,
+}
+
+impl Scale {
+    /// Multiplies a paper-scale iteration count down for tests.
+    pub fn iters(&self, paper: usize) -> usize {
+        match self {
+            Scale::Test => (paper / 4).max(1),
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Multiplies a paper-scale CTA count down for tests.
+    pub fn ctas(&self, paper: usize) -> usize {
+        match self {
+            Scale::Test => (paper / 4).max(1),
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// A benchmark: a simulator kernel plus its Table 1 row.
+pub trait Benchmark: Kernel {
+    /// The benchmark's Table 1 metadata.
+    fn info(&self) -> WorkloadInfo;
+}
+
+/// Instantiates all 17 benchmarks of Table 1 at the given scale, in the
+/// paper's presentation order.
+pub fn registry(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(crate::graph::Bfs::new(scale)),
+        Box::new(crate::linalg::Kmn::new(scale)),
+        Box::new(crate::mapreduce::Pvc::new(scale)),
+        Box::new(crate::mapreduce::Ssc::new(scale)),
+        Box::new(crate::stencil::Sd2::new(scale)),
+        Box::new(crate::graph::Spmv::new(scale)),
+        Box::new(crate::linalg::Syrk::new(scale)),
+        Box::new(crate::mapreduce::Iix::new(scale)),
+        Box::new(crate::linalg::Fft::new(scale)),
+        Box::new(crate::graph::Cfd::new(scale)),
+        Box::new(crate::mapreduce::Pvr::new(scale)),
+        Box::new(crate::graph::Nw::new(scale)),
+        Box::new(crate::stencil::Sd1::new(scale)),
+        Box::new(crate::linalg::Bp::new(scale)),
+        Box::new(crate::stencil::Stl::new(scale)),
+        Box::new(crate::stencil::Wp::new(scale)),
+        Box::new(crate::linalg::Fwt::new(scale)),
+    ]
+}
+
+/// Looks one benchmark up by its paper abbreviation (case-insensitive).
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
+    registry(scale).into_iter().find(|b| b.info().name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_1() {
+        let all = registry(Scale::Test);
+        assert_eq!(all.len(), 17);
+        let names: Vec<_> = all.iter().map(|b| b.info().name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "BFS", "KMN", "PVC", "SSC", "SD2", "SPMV", "SYRK", "IIX", "FFT", "CFD", "PVR",
+                "NW", "SD1", "BP", "STL", "WP", "FWT"
+            ]
+        );
+        let sensitive = all.iter().filter(|b| b.info().category == Category::Sensitive).count();
+        let moderate = all.iter().filter(|b| b.info().category == Category::Moderate).count();
+        let insensitive =
+            all.iter().filter(|b| b.info().category == Category::Insensitive).count();
+        assert_eq!((sensitive, moderate, insensitive), (8, 4, 5));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("spmv", Scale::Test).is_some());
+        assert!(by_name("SPMV", Scale::Test).is_some());
+        assert!(by_name("nosuch", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn scale_shrinks_tests() {
+        assert!(Scale::Test.iters(100) < Scale::Paper.iters(100));
+        assert_eq!(Scale::Test.iters(2), 1);
+        assert!(Scale::Test.ctas(128) >= 1);
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(Category::Sensitive.to_string(), "Cache Sensitive");
+        assert_eq!(Category::Insensitive.to_string(), "Cache Insensitive");
+    }
+}

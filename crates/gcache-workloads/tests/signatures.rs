@@ -1,0 +1,134 @@
+//! Workload-signature tests: every Table 1 generator must exhibit the
+//! locality class its real counterpart is known for. These run on the raw
+//! address streams (no simulator), using the reuse profiler.
+
+use gcache_core::addr::LineAddr;
+use gcache_core::reuse::ReuseProfiler;
+use gcache_sim::coalescer::coalesce;
+use gcache_sim::isa::Op;
+use gcache_workloads::{registry, by_name, Category, Scale};
+use std::collections::HashSet;
+
+/// Replays the coalesced load stream of a few warps through one profiler,
+/// interleaving warps round-robin the way a core's scheduler would.
+fn interleaved_profile(name: &str, warps: usize) -> ReuseProfiler {
+    let bench = by_name(name, Scale::Paper).expect("table 1 name");
+    let mut streams: Vec<Vec<LineAddr>> = (0..warps)
+        .map(|w| {
+            let mut p = bench.warp_program(w / 4, w % 4);
+            let mut lines = Vec::new();
+            while let Some(op) = p.next_op() {
+                if let Op::Load { addrs } = op {
+                    lines.extend(coalesce(&addrs, 128));
+                }
+            }
+            lines
+        })
+        .collect();
+    let mut prof = ReuseProfiler::new(4096);
+    let mut exhausted = false;
+    let mut idx = 0usize;
+    while !exhausted {
+        exhausted = true;
+        for s in &mut streams {
+            if idx < s.len() {
+                prof.record(s[idx]);
+                exhausted = false;
+            }
+        }
+        idx += 1;
+    }
+    prof
+}
+
+#[test]
+fn streaming_benchmarks_have_no_interleaved_reuse() {
+    for name in ["FWT", "SD1"] {
+        let prof = interleaved_profile(name, 8);
+        assert!(
+            prof.single_use_fraction() > 0.95,
+            "{name}: single-use fraction {:.3}",
+            prof.single_use_fraction()
+        );
+    }
+}
+
+#[test]
+fn sensitive_benchmarks_have_substantial_reuse() {
+    for name in ["SPMV", "SYRK", "KMN", "SSC", "PVC", "IIX", "BFS", "SD2"] {
+        let prof = interleaved_profile(name, 8);
+        let reused = 1.0 - prof.single_use_fraction();
+        assert!(reused > 0.2, "{name}: only {:.3} of accesses see re-use", reused);
+    }
+}
+
+#[test]
+fn hot_regions_are_shared_between_ctas() {
+    // Shared tables (SPMV x, KMN centroids, SYRK tile) must overlap across
+    // CTAs, otherwise no inter-warp contention exists to manage.
+    for name in ["SPMV", "KMN", "SYRK", "SSC"] {
+        let bench = by_name(name, Scale::Paper).unwrap();
+        let lines_of = |cta: usize| -> HashSet<u64> {
+            let mut out = HashSet::new();
+            for warp in 0..4 {
+                let mut p = bench.warp_program(cta, warp);
+                while let Some(op) = p.next_op() {
+                    if let Op::Load { addrs } = op {
+                        out.extend(coalesce(&addrs, 128).iter().map(|l| l.raw()));
+                    }
+                }
+            }
+            out
+        };
+        let a = lines_of(0);
+        let b = lines_of(7);
+        assert!(
+            a.intersection(&b).count() > 0,
+            "{name}: CTAs 0 and 7 share no lines"
+        );
+    }
+}
+
+#[test]
+fn per_benchmark_footprints_are_ordered_by_class() {
+    // The moderate/insensitive split of Table 1 comes from footprint and
+    // reuse scale; sanity-check that KMN's hot region is larger than
+    // SPMV's (the PD-24 vs PD-6 calibration).
+    let kmn = interleaved_profile("KMN", 8);
+    let spmv = interleaved_profile("SPMV", 8);
+    let kmn_d = kmn.mean_distance().expect("KMN reuse");
+    let spmv_d = spmv.mean_distance().expect("SPMV reuse");
+    assert!(
+        kmn_d > spmv_d,
+        "KMN interleaved reuse distance ({kmn_d:.0}) must exceed SPMV's ({spmv_d:.0})"
+    );
+}
+
+#[test]
+fn all_benchmarks_emit_work_at_both_scales() {
+    for scale in [Scale::Test, Scale::Paper] {
+        for b in registry(scale) {
+            let mut p = b.warp_program(0, 0);
+            let mut ops = 0;
+            let mut mem = 0;
+            while let Some(op) = p.next_op() {
+                ops += 1;
+                if op.is_global_mem() {
+                    mem += 1;
+                }
+                assert!(ops < 1_000_000, "{}: runaway program", b.info().name);
+            }
+            assert!(ops > 0, "{}: empty program at {scale:?}", b.info().name);
+            assert!(mem > 0, "{}: no memory traffic at {scale:?}", b.info().name);
+        }
+    }
+}
+
+#[test]
+fn categories_match_table_1_counts() {
+    let all = registry(Scale::Test);
+    let count = |c: Category| all.iter().filter(|b| b.info().category == c).count();
+    assert_eq!(count(Category::Sensitive), 8);
+    assert_eq!(count(Category::Moderate), 4);
+    assert_eq!(count(Category::Insensitive), 5);
+}

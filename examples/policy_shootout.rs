@@ -1,0 +1,51 @@
+//! Policy shootout: one benchmark, every L1 management design from the
+//! paper's evaluation (BS, BS-S, PDP-3, PDP-8, SPDP-B, GC), side by side.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout [BENCH]
+//! ```
+//!
+//! `BENCH` is a Table 1 abbreviation (default: BFS).
+
+use gcache::prelude::*;
+use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "BFS".to_string());
+    let bench = by_name(&name, Scale::Paper)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see Table 1"));
+    let info = bench.info();
+    println!("{} — {} ({}, {})\n", info.name, info.description, info.suite, info.category);
+
+    let designs = [
+        L1PolicyKind::Lru,
+        L1PolicyKind::Srrip { bits: 3 },
+        L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp3()),
+        L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp8()),
+        L1PolicyKind::StaticPdp { pd: 12 },
+        L1PolicyKind::GCache(GCacheConfig::default()),
+    ];
+
+    println!(
+        "{:8} {:>8} {:>9} {:>10} {:>10} {:>9}",
+        "design", "IPC", "speedup", "L1 miss", "bypassed", "DRAM rd"
+    );
+    let mut baseline: Option<SimStats> = None;
+    for policy in designs {
+        let stats = Gpu::new(GpuConfig::fermi_with_policy(policy)?).run_kernel(bench.as_ref())?;
+        let speedup = baseline.as_ref().map_or(1.0, |b| stats.speedup_over(b));
+        println!(
+            "{:8} {:>8.3} {:>8.3}x {:>9.1}% {:>9.1}% {:>9}",
+            stats.design,
+            stats.ipc(),
+            speedup,
+            stats.l1_miss_rate() * 100.0,
+            stats.l1_bypass_ratio() * 100.0,
+            stats.dram.reads,
+        );
+        if baseline.is_none() {
+            baseline = Some(stats);
+        }
+    }
+    Ok(())
+}

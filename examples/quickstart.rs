@@ -1,0 +1,35 @@
+//! Quickstart: run one of the paper's benchmarks on the simulated GPU
+//! under the baseline (LRU) and under G-Cache, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gcache::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // BFS: the paper's most prominent irregular workload — streaming
+    // frontier, hub nodes contended in the L1s.
+    let bfs = by_name("BFS", Scale::Paper).expect("BFS is in Table 1");
+
+    println!("Simulating {} on the Table 2 GPU (16 cores, 32KB L1s)...\n", bfs.name());
+
+    let baseline =
+        Gpu::new(GpuConfig::fermi_with_policy(L1PolicyKind::Lru)?).run_kernel(bfs.as_ref())?;
+    let gcache = Gpu::new(GpuConfig::fermi_with_policy(L1PolicyKind::GCache(
+        GCacheConfig::default(),
+    ))?)
+    .run_kernel(bfs.as_ref())?;
+
+    println!("{baseline}\n");
+    println!("{gcache}\n");
+
+    println!(
+        "G-Cache speedup over baseline: {:.3}x  (miss rate {:.1}% -> {:.1}%, {:.1}% of fills bypassed)",
+        gcache.speedup_over(&baseline),
+        baseline.l1_miss_rate() * 100.0,
+        gcache.l1_miss_rate() * 100.0,
+        gcache.l1_bypass_ratio() * 100.0,
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Cross-crate determinism: every (workload, design) pair must produce
+//! bit-identical statistics across repeated runs — the property that makes
+//! the paper's experiments reproducible.
+
+use gcache::prelude::*;
+use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
+
+fn run_once(name: &str, policy: L1PolicyKind) -> SimStats {
+    let bench = by_name(name, Scale::Test).expect("Table 1 benchmark");
+    Gpu::new(GpuConfig::fermi_with_policy(policy).unwrap())
+        .run_kernel(bench.as_ref())
+        .expect("simulation completes")
+}
+
+fn assert_identical(a: &SimStats, b: &SimStats) {
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.l1.accesses(), b.l1.accesses());
+    assert_eq!(a.l1.hits(), b.l1.hits());
+    assert_eq!(a.l1.bypassed_fills, b.l1.bypassed_fills);
+    assert_eq!(a.l2.accesses(), b.l2.accesses());
+    assert_eq!(a.l2.writebacks, b.l2.writebacks);
+    assert_eq!(a.dram.reads, b.dram.reads);
+    assert_eq!(a.dram.writes, b.dram.writes);
+    assert_eq!(a.dram.row_hits, b.dram.row_hits);
+    assert_eq!(a.noc_req.packets, b.noc_req.packets);
+    assert_eq!(a.noc_resp.packets, b.noc_resp.packets);
+}
+
+#[test]
+fn spmv_is_deterministic_under_every_design() {
+    for policy in [
+        L1PolicyKind::Lru,
+        L1PolicyKind::Srrip { bits: 3 },
+        L1PolicyKind::GCache(GCacheConfig::default()),
+        L1PolicyKind::StaticPdp { pd: 6 },
+        L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp3()),
+    ] {
+        let a = run_once("SPMV", policy);
+        let b = run_once("SPMV", policy);
+        assert_identical(&a, &b);
+    }
+}
+
+#[test]
+fn every_benchmark_is_deterministic_under_gcache() {
+    for bench in registry(Scale::Test) {
+        let name = bench.info().name;
+        let a = run_once(name, L1PolicyKind::GCache(GCacheConfig::default()));
+        let b = run_once(name, L1PolicyKind::GCache(GCacheConfig::default()));
+        assert_identical(&a, &b);
+    }
+}

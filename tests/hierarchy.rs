@@ -1,0 +1,73 @@
+//! Cross-crate conservation invariants: requests never appear or vanish
+//! between the cores, the networks, the L2 banks and DRAM.
+
+use gcache::prelude::*;
+
+fn run(name: &str, policy: L1PolicyKind) -> SimStats {
+    let bench = by_name(name, Scale::Test).expect("Table 1 benchmark");
+    Gpu::new(GpuConfig::fermi_with_policy(policy).unwrap())
+        .run_kernel(bench.as_ref())
+        .expect("simulation completes")
+}
+
+fn check_invariants(s: &SimStats) {
+    let ctx = format!("{} [{}]", s.kernel, s.design);
+
+    // Every coalesced transaction becomes exactly one L1 access.
+    assert_eq!(s.core.transactions, s.l1.accesses(), "{ctx}: txns vs L1 accesses");
+
+    // Networks deliver everything they accept.
+    assert_eq!(s.noc_req.packets, s.noc_req.delivered, "{ctx}: request network lost packets");
+    assert_eq!(s.noc_resp.packets, s.noc_resp.delivered, "{ctx}: response network lost packets");
+
+    // Every request packet reaches an L2 bank.
+    assert_eq!(s.noc_req.delivered, s.l2.accesses(), "{ctx}: L2 sees all requests");
+
+    // DRAM reads = L2 read misses (write misses fetch too: write-allocate),
+    // i.e. one fetch per L2 fill.
+    assert_eq!(s.dram.reads, s.l2.fills, "{ctx}: DRAM fetches vs L2 fills");
+
+    // Dirty evictions + final flush = DRAM writes (write-backs) — DRAM
+    // writes can be slightly lower only if a write-back was dropped on a
+    // full queue, which the partition counts as a stall; tolerate zero.
+    assert!(s.dram.writes <= s.l2.writebacks, "{ctx}: more DRAM writes than write-backs");
+
+    // Bypassed fills never exceed misses.
+    assert!(s.l1.bypassed_fills <= s.l1.misses(), "{ctx}: bypasses bounded by misses");
+
+    // Fills + bypasses = read misses that went out and came back; bounded
+    // by total misses.
+    assert!(s.l1.fills + s.l1.bypassed_fills <= s.l1.misses() + s.l1.evictions, "{ctx}");
+
+    // IPC is positive and bounded by issue width (1/core/cycle).
+    assert!(s.ipc() > 0.0, "{ctx}: zero IPC");
+    assert!(s.ipc() <= 16.0, "{ctx}: IPC beyond issue bandwidth");
+}
+
+#[test]
+fn conservation_holds_for_representative_benchmarks() {
+    for name in ["SPMV", "BFS", "KMN", "FWT", "WP", "NW"] {
+        for policy in [
+            L1PolicyKind::Lru,
+            L1PolicyKind::GCache(GCacheConfig::default()),
+            L1PolicyKind::StaticPdp { pd: 8 },
+        ] {
+            check_invariants(&run(name, policy));
+        }
+    }
+}
+
+#[test]
+fn conservation_holds_for_all_benchmarks_under_baseline() {
+    for bench in registry(Scale::Test) {
+        check_invariants(&run(bench.info().name, L1PolicyKind::Lru));
+    }
+}
+
+#[test]
+fn atomics_flow_through_partitions() {
+    // PVC is the benchmark with atomics: they must reach the AOU.
+    let s = run("PVC", L1PolicyKind::Lru);
+    assert!(s.partition.atomics > 0, "PVC atomics must be serviced");
+    assert_eq!(s.l1.atomics, s.partition.atomics, "every atomic reaches the AOU exactly once");
+}

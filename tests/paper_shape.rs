@@ -1,0 +1,133 @@
+//! The paper's qualitative claims, asserted end-to-end at test scale:
+//! who wins, where, and who must not be hurt.
+
+use gcache::prelude::*;
+
+fn run(name: &str, policy: L1PolicyKind) -> SimStats {
+    let bench = by_name(name, Scale::Test).expect("Table 1 benchmark");
+    Gpu::new(GpuConfig::fermi_with_policy(policy).unwrap())
+        .run_kernel(bench.as_ref())
+        .expect("simulation completes")
+}
+
+fn gc() -> L1PolicyKind {
+    L1PolicyKind::GCache(GCacheConfig::default())
+}
+
+#[test]
+fn gcache_speeds_up_cache_sensitive_benchmarks() {
+    // §5.1: "For cache sensitive benchmarks, GC gets reasonable speedup
+    // over BS". Paper scale: the shrunk test workloads are cold-miss
+    // dominated and show no contention to manage.
+    let mut ratios = Vec::new();
+    for name in ["BFS", "SYRK", "PVC", "IIX"] {
+        let bench = by_name(name, Scale::Paper).unwrap();
+        let bs = Gpu::new(GpuConfig::fermi_with_policy(L1PolicyKind::Lru).unwrap())
+            .run_kernel(bench.as_ref())
+            .unwrap();
+        let g = Gpu::new(GpuConfig::fermi_with_policy(gc()).unwrap())
+            .run_kernel(bench.as_ref())
+            .unwrap();
+        ratios.push(g.speedup_over(&bs));
+    }
+    let gm = geomean(ratios.iter().copied());
+    assert!(gm > 1.04, "GC sensitive-set geomean {gm:.3} must clearly exceed 1");
+}
+
+#[test]
+fn gcache_does_not_hamper_insensitive_benchmarks() {
+    // Table 1's lower block: "not hampered by the proposed design".
+    for name in ["SD1", "BP", "STL", "WP", "FWT"] {
+        let bs = run(name, L1PolicyKind::Lru);
+        let g = run(name, gc());
+        let s = g.speedup_over(&bs);
+        assert!(s > 0.95, "{name}: GC slowdown {s:.3} beyond tolerance");
+    }
+}
+
+#[test]
+fn fwt_never_bypasses() {
+    // Table 3's control row: a pure stream with no re-reference never
+    // triggers contention detection, so GC's bypass ratio is exactly 0.
+    let g = run("FWT", gc());
+    assert_eq!(g.l1.bypassed_fills, 0, "FWT must not bypass");
+}
+
+#[test]
+fn contended_benchmarks_do_bypass() {
+    // Sensitive benchmarks must actually exercise the mechanism. Paper
+    // scale: the shrunk test workloads are dominated by cold misses and
+    // barely heat up the hot regions.
+    for name in ["SPMV", "SYRK", "BFS"] {
+        let bench = by_name(name, Scale::Paper).unwrap();
+        let g = Gpu::new(GpuConfig::fermi_with_policy(gc()).unwrap())
+            .run_kernel(bench.as_ref())
+            .unwrap();
+        assert!(
+            g.l1_bypass_ratio() > 0.01,
+            "{name}: GC bypass ratio {:.3} suspiciously low",
+            g.l1_bypass_ratio()
+        );
+    }
+}
+
+#[test]
+fn replacement_alone_is_not_enough() {
+    // §5.1: "without bypass, 3-bit SRRIP policy almost has no impact" —
+    // the benefit comes from bypassing, so GC > BS-S on a benchmark square
+    // in its comfort zone.
+    let bss = run("SYRK", L1PolicyKind::Srrip { bits: 3 });
+    let g = run("SYRK", gc());
+    assert!(
+        g.ipc() > bss.ipc(),
+        "GC ({:.3}) must beat SRRIP-only ({:.3}) on SYRK",
+        g.ipc(),
+        bss.ipc()
+    );
+}
+
+#[test]
+fn streaming_benchmark_misses_everywhere_under_every_design() {
+    // FWT is the canonical stream: miss rate stays ~100 % no matter the
+    // policy (Figure 9's right edge).
+    for policy in [L1PolicyKind::Lru, gc(), L1PolicyKind::StaticPdp { pd: 4 }] {
+        let s = run("FWT", policy);
+        assert!(s.l1_miss_rate() > 0.95, "FWT miss rate {:.3} under {}", s.l1_miss_rate(), s.design);
+    }
+}
+
+#[test]
+fn bigger_l1_helps_sensitive_benchmarks() {
+    // Figures 3/4 in miniature: 128 KB beats 32 KB on a sensitive
+    // benchmark. Paper scale: the shrunk runs are cold-miss dominated and
+    // size-insensitive.
+    let bench = by_name("SYRK", Scale::Paper).unwrap();
+    let small = Gpu::new(GpuConfig::fermi().unwrap()).run_kernel(bench.as_ref()).unwrap();
+    let big = Gpu::new(GpuConfig::fermi().unwrap().with_l1_kb(128).unwrap())
+        .run_kernel(bench.as_ref())
+        .unwrap();
+    assert!(
+        big.ipc() > small.ipc() * 1.02,
+        "128KB ({:.3}) must beat 32KB ({:.3}) on SYRK",
+        big.ipc(),
+        small.ipc()
+    );
+    assert!(big.l1_miss_rate() < small.l1_miss_rate());
+}
+
+#[test]
+fn victim_bit_sharing_still_works() {
+    // §4.1/§4.3: sharing victim bits between cores trades accuracy for
+    // area but the mechanism must keep functioning.
+    let bench = by_name("SPMV", Scale::Test).unwrap();
+    let mut cfg = GpuConfig::fermi_with_policy(gc()).unwrap();
+    cfg.victim_bit_share = 16; // all cores share one bit
+    let shared = Gpu::new(cfg).run_kernel(bench.as_ref()).unwrap();
+    assert!(shared.l1.bypassed_fills > 0, "shared victim bits must still trigger bypasses");
+    let bs = run("SPMV", L1PolicyKind::Lru);
+    assert!(
+        shared.speedup_over(&bs) > 0.9,
+        "S_v=16 should not collapse performance: {:.3}",
+        shared.speedup_over(&bs)
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based tests pitting the production cache substrate against
+//! simple reference models over randomised access streams.
+
+use gcache::prelude::*;
+use gcache_core::geometry::CacheGeometry;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A straightforward reference LRU cache: per-set deque of line addresses,
+/// most recent first.
+struct RefLru {
+    geom: CacheGeometry,
+    sets: Vec<VecDeque<u64>>,
+}
+
+impl RefLru {
+    fn new(geom: CacheGeometry) -> Self {
+        RefLru { geom, sets: vec![VecDeque::new(); geom.sets() as usize] }
+    }
+
+    /// Returns hit/miss and performs the LRU update + fill.
+    fn access(&mut self, line: LineAddr) -> bool {
+        let set = self.geom.set_of(line);
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&l| l == line.raw()) {
+            q.remove(pos);
+            q.push_front(line.raw());
+            true
+        } else {
+            q.push_front(line.raw());
+            q.truncate(self.geom.ways() as usize);
+            false
+        }
+    }
+}
+
+fn small_geom() -> CacheGeometry {
+    CacheGeometry::new(2048, 4, 128).unwrap() // 4 sets, 4 ways
+}
+
+proptest! {
+    /// The production Cache under LRU, driven access+fill-on-miss, must
+    /// agree hit-for-hit with the reference model.
+    #[test]
+    fn lru_cache_matches_reference(lines in proptest::collection::vec(0u64..64, 1..400)) {
+        let geom = small_geom();
+        let mut dut = Cache::new(CacheConfig::l1(geom, 0), Box::new(Lru::new(&geom)));
+        let mut reference = RefLru::new(geom);
+        for (i, &raw) in lines.iter().enumerate() {
+            let line = LineAddr::new(raw);
+            let dut_hit = dut.access(line, AccessKind::Read, CoreId(0)).is_hit();
+            if !dut_hit {
+                dut.fill(FillCtx::plain(line, CoreId(0)), false);
+            }
+            let ref_hit = reference.access(line);
+            prop_assert_eq!(dut_hit, ref_hit, "divergence at access {} (line {:#x})", i, raw);
+        }
+        // Stats agree with the replay.
+        prop_assert_eq!(dut.stats().accesses(), lines.len() as u64);
+    }
+
+    /// Under any policy, a cache never reports more hits than accesses and
+    /// never holds more lines than its capacity; flush returns the cache to
+    /// empty.
+    #[test]
+    fn cache_global_invariants(
+        lines in proptest::collection::vec(0u64..128, 1..300),
+        policy_idx in 0usize..4,
+        hints in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let geom = small_geom();
+        let policy: Box<dyn ReplacementPolicy> = match policy_idx {
+            0 => Box::new(Lru::new(&geom)),
+            1 => Box::new(Rrip::srrip(&geom, 3)),
+            2 => Box::new(GCache::with_defaults(&geom)),
+            _ => Box::new(StaticPdp::new(&geom, 5)),
+        };
+        let mut dut = Cache::new(CacheConfig::l1(geom, 64), policy);
+        for (i, &raw) in lines.iter().enumerate() {
+            let line = LineAddr::new(raw);
+            if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
+                let hint = hints[i % hints.len()];
+                dut.fill(FillCtx { line, core: CoreId(0), victim_hint: hint }, false);
+            }
+            prop_assert!(dut.occupancy() <= geom.lines() as usize);
+        }
+        let s = dut.stats();
+        prop_assert!(s.hits() <= s.accesses());
+        prop_assert!(s.fills + s.bypassed_fills <= s.accesses());
+        dut.flush();
+        prop_assert_eq!(dut.occupancy(), 0);
+        // After a flush every residency is accounted in the reuse histogram.
+        prop_assert_eq!(dut.stats().reuse.total(), dut.stats().fills);
+    }
+
+    /// A bypassing policy must never bypass when the set has free space.
+    #[test]
+    fn no_bypass_with_free_ways(lines in proptest::collection::vec(0u64..16, 1..64)) {
+        let geom = CacheGeometry::new(1024, 4, 128).unwrap(); // 2 sets
+        let mut dut = Cache::new(CacheConfig::l1(geom, 0), Box::new(StaticPdp::new(&geom, 16)));
+        for &raw in &lines {
+            let line = LineAddr::new(raw);
+            let set = geom.set_of(line);
+            let free_before = (0..geom.ways() as usize).count() > dut_occupancy_of_set(&dut, set, geom);
+            if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
+                let out = dut.fill(FillCtx::plain(line, CoreId(0)), false);
+                if free_before && dut_occupancy_of_set(&dut, set, geom) < geom.ways() as usize && out.bypassed {
+                    prop_assert!(false, "bypassed with a free way available");
+                }
+            }
+        }
+    }
+
+    /// MSHR files conserve targets: everything allocated is returned by
+    /// completions, in order, exactly once.
+    #[test]
+    fn mshr_conserves_targets(ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..200)) {
+        let mut mshr: MshrFile<usize> = MshrFile::new(4, 4);
+        let mut outstanding: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        let mut returned = 0usize;
+        let mut accepted = 0usize;
+        for (i, &(line, complete)) in ops.iter().enumerate() {
+            if complete {
+                let got = mshr.complete(LineAddr::new(line));
+                let expect = outstanding.remove(&line);
+                prop_assert_eq!(got.clone(), expect);
+                returned += got.map_or(0, |v| v.len());
+            } else if mshr.allocate(LineAddr::new(line), i).is_ok() {
+                outstanding.entry(line).or_default().push(i);
+                accepted += 1;
+            }
+        }
+        // Drain the rest.
+        let lines: Vec<_> = mshr.lines().collect();
+        for line in lines {
+            let got = mshr.complete(line).unwrap();
+            let expect = outstanding.remove(&line.raw()).unwrap();
+            prop_assert_eq!(&got, &expect);
+            returned += got.len();
+        }
+        prop_assert_eq!(returned, accepted);
+        prop_assert!(mshr.is_empty());
+        prop_assert!(outstanding.is_empty());
+    }
+}
+
+fn dut_occupancy_of_set(dut: &Cache, set: usize, geom: CacheGeometry) -> usize {
+    // Count occupancy of one set by probing all possible lines of that set
+    // in the small test universe.
+    (0u64..16)
+        .filter(|&raw| geom.set_of(LineAddr::new(raw)) == set && dut.contains(LineAddr::new(raw)))
+        .count()
+}
