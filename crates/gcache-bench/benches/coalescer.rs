@@ -1,27 +1,24 @@
-//! Criterion micro-benchmarks of the coalescing unit on the three
-//! canonical warp shapes.
+//! Micro-benchmarks of the coalescing unit on the three canonical warp
+//! shapes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_bench::microbench::{bench, black_box};
 use gcache_core::addr::Addr;
 use gcache_sim::coalescer::{coalesce, coalescing_efficiency};
 
-fn bench_coalescer(c: &mut Criterion) {
+fn main() {
     let coalesced: Vec<Option<Addr>> = (0..32).map(|l| Some(Addr::new(l * 4))).collect();
     let strided: Vec<Option<Addr>> = (0..32).map(|l| Some(Addr::new(l * 256))).collect();
     let divergent: Vec<Option<Addr>> =
         (0..32).map(|l| Some(Addr::new((l * 7919 % 1024) * 4096))).collect();
 
-    let mut group = c.benchmark_group("coalescer");
     for (name, lanes) in
         [("coalesced", &coalesced), ("strided", &strided), ("divergent", &divergent)]
     {
-        group.bench_function(name, |b| b.iter(|| black_box(coalesce(black_box(lanes), 128))));
-        group.bench_function(format!("{name}/efficiency"), |b| {
-            b.iter(|| black_box(coalescing_efficiency(black_box(lanes), 128)))
+        bench(&format!("coalescer/{name}"), || {
+            black_box(coalesce(black_box(lanes), 128));
+        });
+        bench(&format!("coalescer/{name}/efficiency"), || {
+            black_box(coalescing_efficiency(black_box(lanes), 128));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_coalescer);
-criterion_main!(benches);

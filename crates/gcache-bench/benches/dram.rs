@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of the FR-FCFS GDDR5 model: sustained
-//! throughput on row-friendly vs row-hostile request streams.
+//! Micro-benchmarks of the FR-FCFS GDDR5 model: sustained throughput on
+//! row-friendly vs row-hostile request streams.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_bench::microbench::{bench, black_box};
 use gcache_core::addr::LineAddr;
 use gcache_sim::config::DramTiming;
 use gcache_sim::dram::Dram;
@@ -25,19 +25,14 @@ fn drain(requests: &[u64]) -> u64 {
     now
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn main() {
     let sequential: Vec<u64> = (0..256).collect();
     let conflict: Vec<u64> = (0..256).map(|i| (i % 2) * 16 * 64 * 4 + (i / 2) * 16 * 8).collect();
 
-    let mut group = c.benchmark_group("dram_drain_256");
-    group.bench_function("row_friendly_stream", |b| {
-        b.iter(|| black_box(drain(black_box(&sequential))))
+    bench("dram_drain_256/row_friendly_stream", || {
+        black_box(drain(black_box(&sequential)));
     });
-    group.bench_function("row_conflict_stream", |b| {
-        b.iter(|| black_box(drain(black_box(&conflict))))
+    bench("dram_drain_256/row_conflict_stream", || {
+        black_box(drain(black_box(&conflict)));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_dram);
-criterion_main!(benches);

@@ -1,29 +1,21 @@
-//! Criterion end-to-end benchmark: simulation throughput (wall-clock per
-//! simulated kernel) of the full GPU under the baseline and under G-Cache
-//! — demonstrates the simulator's own performance and that the G-Cache
+//! End-to-end benchmark: simulation throughput (wall-clock per simulated
+//! kernel) of the full GPU under the baseline and under G-Cache —
+//! demonstrates the simulator's own performance and that the G-Cache
 //! machinery adds negligible modelling overhead.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_bench::microbench::{bench, black_box};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
 use gcache_workloads::{by_name, Scale};
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end_spmv_test_scale");
-    group.sample_size(10);
+fn main() {
     for policy in [L1PolicyKind::Lru, L1PolicyKind::GCache(GCacheConfig::default())] {
-        group.bench_function(policy.design_name(), |b| {
-            b.iter(|| {
-                let bench = by_name("SPMV", Scale::Test).unwrap();
-                let cfg = GpuConfig::fermi_with_policy(policy).unwrap();
-                let stats = Gpu::new(cfg).run_kernel(bench.as_ref()).unwrap();
-                black_box(stats.cycles)
-            })
+        bench(&format!("end_to_end_spmv_test_scale/{}", policy.design_name()), || {
+            let bench = by_name("SPMV", Scale::Test).unwrap();
+            let cfg = GpuConfig::fermi_with_policy(policy).unwrap();
+            let stats = Gpu::new(cfg).run_kernel(bench.as_ref()).unwrap();
+            black_box(stats.cycles);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

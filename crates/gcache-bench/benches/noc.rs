@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of the 2D-mesh NoC: cycle cost when idle vs
+//! Micro-benchmarks of the 2D-mesh NoC: cycle cost when idle vs
 //! saturated, and end-to-end drain of an all-to-all burst.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_bench::microbench::{bench, black_box};
 use gcache_sim::icnt::Mesh;
 
 fn drain_all_to_all(width: usize, height: usize, per_node: usize) -> u64 {
@@ -29,21 +29,14 @@ fn drain_all_to_all(width: usize, height: usize, per_node: usize) -> u64 {
     now
 }
 
-fn bench_noc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noc");
-    group.bench_function("idle_tick_6x4", |b| {
-        let mut mesh: Mesh<u32> = Mesh::new(6, 4, 8, 2, 1);
-        let mut now = 0;
-        b.iter(|| {
-            now += 1;
-            mesh.tick(black_box(now))
-        })
+fn main() {
+    let mut mesh: Mesh<u32> = Mesh::new(6, 4, 8, 2, 1);
+    let mut now = 0;
+    bench("noc/idle_tick_6x4", || {
+        now += 1;
+        mesh.tick(black_box(now));
     });
-    group.bench_function("all_to_all_6x4_x8", |b| {
-        b.iter(|| black_box(drain_all_to_all(6, 4, 8)))
+    bench("noc/all_to_all_6x4_x8", || {
+        black_box(drain_all_to_all(6, 4, 8));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_noc);
-criterion_main!(benches);

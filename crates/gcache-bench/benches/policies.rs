@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks comparing the per-access cost of every
-//! management policy on the same synthetic access pattern — evidence for
-//! the paper's §4.3 claim that G-Cache's logic cost is close to plain
-//! RRIP, far below dynamic PDP's sampling machinery.
+//! Micro-benchmarks comparing the per-access cost of every management
+//! policy on the same synthetic access pattern — evidence for the
+//! paper's §4.3 claim that G-Cache's logic cost is close to plain RRIP,
+//! far below dynamic PDP's sampling machinery.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_bench::microbench::{bench, black_box};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::geometry::CacheGeometry;
@@ -12,7 +12,7 @@ use gcache_core::policy::lru::Lru;
 use gcache_core::policy::pdp::StaticPdp;
 use gcache_core::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
 use gcache_core::policy::rrip::Rrip;
-use gcache_core::policy::{AccessKind, FillCtx, ReplacementPolicy};
+use gcache_core::policy::{AccessKind, FillCtx, PolicyKind};
 
 fn mixed_stream(n: usize) -> Vec<LineAddr> {
     // Cyclic hot walk (384 lines) + every 4th access streaming.
@@ -31,42 +31,32 @@ fn mixed_stream(n: usize) -> Vec<LineAddr> {
     out
 }
 
-type PolicyCtor = fn(&CacheGeometry) -> Box<dyn ReplacementPolicy>;
+type PolicyCtor = fn(&CacheGeometry) -> PolicyKind;
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let geom = CacheGeometry::new(32 * 1024, 4, 128).unwrap();
     let stream = mixed_stream(4096);
-    let mut group = c.benchmark_group("policy_access_fill");
 
     let make: Vec<(&str, PolicyCtor)> = vec![
-        ("lru", |g| Box::new(Lru::new(g))),
-        ("srrip3", |g| Box::new(Rrip::srrip(g, 3))),
-        ("gcache", |g| Box::new(GCache::with_defaults(g))),
-        ("spdp8", |g| Box::new(StaticPdp::new(g, 8))),
-        ("pdp3_dyn", |g| Box::new(DynamicPdp::new(g, DynamicPdpConfig::pdp3()))),
+        ("lru", |g| Lru::new(g).into()),
+        ("srrip3", |g| Rrip::srrip(g, 3).into()),
+        ("gcache", |g| GCache::with_defaults(g).into()),
+        ("spdp8", |g| StaticPdp::new(g, 8).into()),
+        ("pdp3_dyn", |g| DynamicPdp::new(g, DynamicPdpConfig::pdp3()).into()),
     ];
 
     for (name, f) in make {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || Cache::new(CacheConfig::l1(geom, 512), f(&geom)),
-                |mut cache| {
-                    for &line in &stream {
-                        if !cache.access(line, AccessKind::Read, CoreId(0)).is_hit() {
-                            cache.fill(
-                                FillCtx { line, core: CoreId(0), victim_hint: line.raw() % 8 == 0 },
-                                false,
-                            );
-                        }
-                    }
-                    black_box(cache.stats().hits())
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        bench(&format!("policy_access_fill/{name}"), || {
+            let mut cache = Cache::new(CacheConfig::l1(geom, 512), f(&geom));
+            for &line in &stream {
+                if !cache.access(line, AccessKind::Read, CoreId(0)).is_hit() {
+                    cache.fill(
+                        FillCtx { line, core: CoreId(0), victim_hint: line.raw() % 8 == 0 },
+                        false,
+                    );
+                }
+            }
+            black_box(cache.stats().hits());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

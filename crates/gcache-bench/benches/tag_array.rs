@@ -1,14 +1,12 @@
-//! Criterion micro-benchmarks of the tag array: probe and fill throughput
-//! at L1 and L2 geometries.
+//! Micro-benchmarks of the tag array: probe and fill throughput at L1
+//! and L2 geometries.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcache_bench::microbench::{bench, black_box};
 use gcache_core::addr::LineAddr;
 use gcache_core::geometry::CacheGeometry;
 use gcache_core::tag_array::TagArray;
 
-fn bench_tag_array(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tag_array");
-
+fn main() {
     for (label, geom) in [
         ("l1_32k_4w", CacheGeometry::new(32 * 1024, 4, 128).unwrap()),
         ("l2_128k_16w", CacheGeometry::new(128 * 1024, 16, 128).unwrap()),
@@ -24,33 +22,25 @@ fn bench_tag_array(c: &mut Criterion) {
             }
         }
 
-        group.bench_function(format!("{label}/probe_hit"), |b| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % filled.len();
-                black_box(tags.probe(black_box(filled[i])))
-            })
+        let mut i = 0;
+        bench(&format!("tag_array/{label}/probe_hit"), || {
+            i = (i + 1) % filled.len();
+            black_box(tags.probe(black_box(filled[i])));
         });
 
-        group.bench_function(format!("{label}/probe_miss"), |b| {
-            b.iter(|| black_box(tags.probe(black_box(LineAddr::new(0xdead_0000)))))
+        bench(&format!("tag_array/{label}/probe_miss"), || {
+            black_box(tags.probe(black_box(LineAddr::new(0xdead_0000))));
         });
 
-        group.bench_function(format!("{label}/fill_evict"), |b| {
-            let mut tag = 100u64;
-            b.iter(|| {
-                tag += 1;
-                let line = geom.line_of(tag, 7);
-                black_box(tags.fill(7, (tag % geom.ways() as u64) as usize, line, false))
-            })
+        let mut tag = 100u64;
+        bench(&format!("tag_array/{label}/fill_evict"), || {
+            tag += 1;
+            let line = geom.line_of(tag, 7);
+            black_box(tags.fill(7, (tag % geom.ways() as u64) as usize, line, false));
         });
 
-        group.bench_function(format!("{label}/valid_mask"), |b| {
-            b.iter(|| black_box(tags.valid_mask(black_box(13))))
+        bench(&format!("tag_array/{label}/valid_mask"), || {
+            black_box(tags.valid_mask(black_box(13)));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tag_array);
-criterion_main!(benches);

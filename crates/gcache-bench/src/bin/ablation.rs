@@ -9,18 +9,35 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin ablation`
 //! (`--bench` restricts the benchmark set; default: SPMV, SYRK, KMN).
+//! `--jobs N` fans the runs out over worker threads; stdout is
+//! byte-identical for every N.
 
+use gcache_bench::sweep::parallel_map;
 use gcache_bench::{run, speedup, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, L1PolicyKind, WarpSchedKind};
 use gcache_sim::gpu::Gpu;
+use gcache_sim::stats::SimStats;
 use gcache_workloads::Benchmark;
+
+/// One ablation run, closed over its exact configuration. Config
+/// mutations don't fit [`gcache_bench::sweep::DesignPoint`], so each grid
+/// cell is a boxed thunk fed through [`parallel_map`] directly.
+type Job<'a> = Box<dyn Fn() -> SimStats + Send + Sync + 'a>;
+
+fn run_jobs(grid: Vec<Job<'_>>, jobs: usize) -> Vec<SimStats> {
+    parallel_map(&grid, jobs, |j| j())
+}
 
 fn gc(cfg: GCacheConfig) -> L1PolicyKind {
     L1PolicyKind::GCache(cfg)
 }
 
-fn run_with(policy: L1PolicyKind, bench: &dyn Benchmark, mutate: impl FnOnce(&mut GpuConfig)) -> gcache_sim::stats::SimStats {
+fn run_with(
+    policy: L1PolicyKind,
+    bench: &dyn Benchmark,
+    mutate: impl FnOnce(&mut GpuConfig),
+) -> SimStats {
     let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
     mutate(&mut cfg);
     Gpu::new(cfg).run_kernel(bench).expect("simulation completes")
@@ -32,16 +49,29 @@ fn main() {
         cli.only = vec!["SPMV".into(), "SYRK".into(), "KMN".into()];
     }
     let benches = cli.benchmarks();
+    let jobs = cli.jobs();
 
     // --- TH_hot sweep -----------------------------------------------------
+    eprintln!("[ablation/th_hot] {} runs on {jobs} jobs ...", benches.len() * 5);
+    let grid: Vec<Job<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+                .chain([1u8, 2, 3, 4].into_iter().map(move |t| {
+                    Box::new(move || {
+                        let cfg =
+                            GCacheConfig { th_hot: t, th_hot_victim: 1, ..GCacheConfig::default() };
+                        run(gc(cfg), b.as_ref(), None)
+                    }) as Job<'_>
+                }))
+        })
+        .collect();
+    let mut results = run_jobs(grid, jobs).into_iter();
     let mut th = Table::new(&["Bench", "TH=1", "TH=2 (paper)", "TH=3", "TH=4"]);
     for b in &benches {
-        eprintln!("[ablation/th_hot] {} ...", b.info().name);
-        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let base = results.next().expect("baseline present");
         let mut row = vec![b.info().name.to_string()];
-        for t in [1u8, 2, 3, 4] {
-            let cfg = GCacheConfig { th_hot: t, th_hot_victim: 1, ..GCacheConfig::default() };
-            let s = run(gc(cfg), b.as_ref(), None);
+        for s in results.by_ref().take(4) {
             row.push(speedup(s.speedup_over(&base)));
         }
         th.row(row);
@@ -50,14 +80,25 @@ fn main() {
     println!("{}", th.render());
 
     // --- Ageing period M (§5.1) -------------------------------------------
+    eprintln!("[ablation/aging] {} runs on {jobs} jobs ...", benches.len() * 5);
+    let grid: Vec<Job<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+                .chain([1u32, 2, 4, 8].into_iter().map(move |m| {
+                    Box::new(move || {
+                        let cfg = GCacheConfig { aging_period: m, ..GCacheConfig::default() };
+                        run(gc(cfg), b.as_ref(), None)
+                    }) as Job<'_>
+                }))
+        })
+        .collect();
+    let mut results = run_jobs(grid, jobs).into_iter();
     let mut aging = Table::new(&["Bench", "M=1 (paper)", "M=2", "M=4", "M=8"]);
     for b in &benches {
-        eprintln!("[ablation/aging] {} ...", b.info().name);
-        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let base = results.next().expect("baseline present");
         let mut row = vec![b.info().name.to_string()];
-        for m in [1u32, 2, 4, 8] {
-            let cfg = GCacheConfig { aging_period: m, ..GCacheConfig::default() };
-            let s = run(gc(cfg), b.as_ref(), None);
+        for s in results.by_ref().take(4) {
             row.push(speedup(s.speedup_over(&base)));
         }
         aging.row(row);
@@ -66,13 +107,26 @@ fn main() {
     println!("{}", aging.render());
 
     // --- Victim-bit sharing S_v (§4.1 / §4.3) ------------------------------
+    eprintln!("[ablation/share] {} runs on {jobs} jobs ...", benches.len() * 4);
+    let grid: Vec<Job<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+                .chain([1usize, 4, 16].into_iter().map(move |s_v| {
+                    Box::new(move || {
+                        run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
+                            c.victim_bit_share = s_v;
+                        })
+                    }) as Job<'_>
+                }))
+        })
+        .collect();
+    let mut results = run_jobs(grid, jobs).into_iter();
     let mut share = Table::new(&["Bench", "S_v=1 (paper)", "S_v=4", "S_v=16 (1 bit)"]);
     for b in &benches {
-        eprintln!("[ablation/share] {} ...", b.info().name);
-        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let base = results.next().expect("baseline present");
         let mut row = vec![b.info().name.to_string()];
-        for s_v in [1usize, 4, 16] {
-            let s = run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.victim_bit_share = s_v);
+        for s in results.by_ref().take(3) {
             row.push(speedup(s.speedup_over(&base)));
         }
         share.row(row);
@@ -81,13 +135,24 @@ fn main() {
     println!("{}", share.render());
 
     // --- Epoch length -------------------------------------------------------
+    eprintln!("[ablation/epoch] {} runs on {jobs} jobs ...", benches.len() * 5);
+    let grid: Vec<Job<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+                .chain([256u64, 512, 2048, 0].into_iter().map(move |e| {
+                    Box::new(move || {
+                        run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.l1_epoch_len = e)
+                    }) as Job<'_>
+                }))
+        })
+        .collect();
+    let mut results = run_jobs(grid, jobs).into_iter();
     let mut epoch = Table::new(&["Bench", "256", "512 (default)", "2048", "off"]);
     for b in &benches {
-        eprintln!("[ablation/epoch] {} ...", b.info().name);
-        let base = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let base = results.next().expect("baseline present");
         let mut row = vec![b.info().name.to_string()];
-        for e in [256u64, 512, 2048, 0] {
-            let s = run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.l1_epoch_len = e);
+        for s in results.by_ref().take(4) {
             row.push(speedup(s.speedup_over(&base)));
         }
         epoch.row(row);
@@ -96,15 +161,31 @@ fn main() {
     println!("{}", epoch.render());
 
     // --- Scheduler interaction (§6.2) ---------------------------------------
+    eprintln!("[ablation/sched] {} runs on {jobs} jobs ...", benches.len() * 4);
+    let grid: Vec<Job<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            [
+                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>,
+                Box::new(|| run(gc(GCacheConfig::default()), b.as_ref(), None)) as Job<'_>,
+                Box::new(|| {
+                    run_with(L1PolicyKind::Lru, b.as_ref(), |c| c.warp_sched = WarpSchedKind::Gto)
+                }) as Job<'_>,
+                Box::new(|| {
+                    run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
+                        c.warp_sched = WarpSchedKind::Gto;
+                    })
+                }) as Job<'_>,
+            ]
+        })
+        .collect();
+    let mut results = run_jobs(grid, jobs).into_iter();
     let mut sched = Table::new(&["Bench", "LRR BS", "LRR GC", "GTO BS", "GTO GC"]);
     for b in &benches {
-        eprintln!("[ablation/sched] {} ...", b.info().name);
-        let lrr_bs = run(L1PolicyKind::Lru, b.as_ref(), None);
-        let lrr_gc = run(gc(GCacheConfig::default()), b.as_ref(), None);
-        let gto_bs = run_with(L1PolicyKind::Lru, b.as_ref(), |c| c.warp_sched = WarpSchedKind::Gto);
-        let gto_gc = run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
-            c.warp_sched = WarpSchedKind::Gto
-        });
+        let lrr_bs = results.next().expect("LRR BS present");
+        let lrr_gc = results.next().expect("LRR GC present");
+        let gto_bs = results.next().expect("GTO BS present");
+        let gto_gc = results.next().expect("GTO GC present");
         sched.row(vec![
             b.info().name.to_string(),
             format!("{:.3}", lrr_bs.ipc()),

@@ -3,8 +3,11 @@
 //! cannot be eliminated").
 //!
 //! Run with `cargo run --release -p gcache-bench --bin fig10`.
+//! `--jobs N` fans the runs out over worker threads; stdout is
+//! byte-identical for every N.
 
-use gcache_bench::{run, speedup, sweep_optimal_pd, Cli, Table};
+use gcache_bench::sweep::{run_design_points, DesignPoint};
+use gcache_bench::{select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::L1PolicyKind;
 use gcache_sim::stats::geomean;
@@ -14,18 +17,45 @@ const L1_KB: u64 = 64;
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
+    let benches = cli.benchmarks();
+    let jobs = cli.jobs();
+
+    // Phase 1: per benchmark, the 64 KB baseline, the SPDP-B candidate
+    // sweep and the GC run — one flat grid.
+    let grid: Vec<DesignPoint<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(DesignPoint {
+                bench: b.as_ref(),
+                policy: L1PolicyKind::Lru,
+                l1_kb: Some(L1_KB),
+            })
+            .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
+                bench: b.as_ref(),
+                policy: L1PolicyKind::StaticPdp { pd },
+                l1_kb: Some(L1_KB),
+            }))
+            .chain(std::iter::once(DesignPoint {
+                bench: b.as_ref(),
+                policy: L1PolicyKind::GCache(GCacheConfig::default()),
+                l1_kb: Some(L1_KB),
+            }))
+        })
+        .collect();
+    eprintln!("[fig10] {} runs on {jobs} jobs ...", grid.len());
+    let mut results = run_design_points(&grid, jobs).into_iter();
+
     let mut t = Table::new(&["Bench", "Cat", "SPDP-B", "GC"]);
     let mut spdp_s = Vec::new();
     let mut gc_s = Vec::new();
     let mut cats = Vec::new();
 
-    for b in cli.benchmarks() {
+    for b in &benches {
         let info = b.info();
-        eprintln!("[fig10] running {} ...", info.name);
-        let base = run(L1PolicyKind::Lru, b.as_ref(), Some(L1_KB));
-        let (best_pd, _) = sweep_optimal_pd(b.as_ref(), Some(L1_KB));
-        let spdp = run(L1PolicyKind::StaticPdp { pd: best_pd }, b.as_ref(), Some(L1_KB));
-        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), Some(L1_KB));
+        let base = results.next().expect("baseline run present");
+        let sweep = results.by_ref().take(PD_CANDIDATES.len());
+        let (_, spdp) = select_optimal_pd(PD_CANDIDATES.iter().copied().zip(sweep));
+        let gc = results.next().expect("GC run present");
         let (ss, gs) = (spdp.speedup_over(&base), gc.speedup_over(&base));
         t.row(vec![
             info.name.to_string(),

@@ -3,8 +3,11 @@
 //! plus geometric means for the cache-sensitive set and overall.
 //!
 //! Run with `cargo run --release -p gcache-bench --bin fig8_fig9`.
+//! `--jobs N` fans the runs out over worker threads; stdout is
+//! byte-identical for every N.
 
-use gcache_bench::{designs, pct, run, speedup, sweep_optimal_pd, Cli, Table};
+use gcache_bench::sweep::{run_design_points, DesignPoint};
+use gcache_bench::{designs, pct, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
 use gcache_sim::config::L1PolicyKind;
 use gcache_sim::stats::geomean;
 use gcache_workloads::Category;
@@ -12,6 +15,43 @@ use gcache_workloads::Category;
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
     let benches = cli.benchmarks();
+    let jobs = cli.jobs();
+
+    // Phase 1: the SPDP-B oracle — every benchmark × candidate PD as one
+    // flat grid, reduced per benchmark afterwards.
+    let pd_grid: Vec<DesignPoint<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            PD_CANDIDATES.iter().map(|&pd| DesignPoint {
+                bench: b.as_ref(),
+                policy: L1PolicyKind::StaticPdp { pd },
+                l1_kb: None,
+            })
+        })
+        .collect();
+    eprintln!("[fig8] SPDP-B sweep: {} runs on {jobs} jobs ...", pd_grid.len());
+    let mut pd_stats = run_design_points(&pd_grid, jobs).into_iter();
+    let best_pds: Vec<u16> = benches
+        .iter()
+        .map(|_| {
+            let chunk = pd_stats.by_ref().take(PD_CANDIDATES.len());
+            select_optimal_pd(PD_CANDIDATES.iter().copied().zip(chunk)).0
+        })
+        .collect();
+
+    // Phase 2: the six Figure 8 designs per benchmark.
+    let design_grid: Vec<DesignPoint<'_>> = benches
+        .iter()
+        .zip(&best_pds)
+        .flat_map(|(b, &pd)| {
+            designs(pd)
+                .into_iter()
+                .map(|policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None })
+        })
+        .collect();
+    eprintln!("[fig8] design grid: {} runs on {jobs} jobs ...", design_grid.len());
+    let per_design = designs(0).len();
+    let mut all = run_design_points(&design_grid, jobs).into_iter();
 
     let design_names = ["BS", "BS-S", "PDP-3", "PDP-8", "SPDP-B", "GC"];
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); design_names.len()];
@@ -21,10 +61,7 @@ fn main() {
 
     for b in &benches {
         let info = b.info();
-        eprintln!("[fig8] running {} ...", info.name);
-        let (best_pd, _) = sweep_optimal_pd(b.as_ref(), None);
-        let runs: Vec<_> =
-            designs(best_pd).into_iter().map(|p| run(p, b.as_ref(), None)).collect();
+        let runs: Vec<_> = all.by_ref().take(per_design).collect();
         let base = &runs[0];
         assert_eq!(base.design, "BS");
         let mut f8 = vec![info.name.to_string(), format!("{:?}", info.category)];
@@ -65,5 +102,4 @@ fn main() {
     println!("{}", fig8.render());
     println!("## Figure 9: L1 miss rate of all designs\n");
     println!("{}", fig9.render());
-    let _ = L1PolicyKind::Lru; // anchor the import used only via `designs`
 }

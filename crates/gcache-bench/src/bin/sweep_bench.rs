@@ -1,0 +1,71 @@
+//! Times the parallel sweep engine against its serial fallback on a fixed
+//! smoke-scale grid (every registered benchmark × the six Figure 8
+//! designs) and writes the measurement to `BENCH_sweep.json`.
+//!
+//! Also acts as an end-to-end determinism check: the run aborts if the
+//! parallel results differ from the serial ones in any field.
+//!
+//! Run with `cargo run --release -p gcache-bench --bin sweep_bench`.
+//! `--jobs N` picks the parallel worker count (default: the host's
+//! available parallelism).
+
+use gcache_bench::sweep::{run_design_points, DesignPoint};
+use gcache_bench::{designs, Cli};
+use gcache_workloads::{registry, Scale};
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let jobs = cli.jobs();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Fixed grid regardless of flags so measurements are comparable run to
+    // run: the full smoke-scale registry × the six designs (SPDP-B pinned
+    // at PD 8 — this is a timing harness, not an experiment).
+    let benches = registry(Scale::Test);
+    let grid: Vec<DesignPoint<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            designs(8)
+                .into_iter()
+                .map(|policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None })
+        })
+        .collect();
+
+    eprintln!("[sweep_bench] grid: {} runs ({} benches x {} designs)", grid.len(), benches.len(), designs(8).len());
+
+    eprintln!("[sweep_bench] serial pass (1 job) ...");
+    let t0 = Instant::now();
+    let serial = run_design_points(&grid, 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("[sweep_bench] parallel pass ({jobs} jobs) ...");
+    let t0 = Instant::now();
+    let parallel = run_design_points(&grid, jobs);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "parallel result {i} diverges from serial"
+        );
+    }
+    eprintln!("[sweep_bench] determinism: parallel results identical to serial");
+
+    let speedup = serial_ms / parallel_ms;
+    let json = format!(
+        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        grid.len(),
+        benches.len(),
+        designs(8).len(),
+        jobs,
+        host_threads,
+        serial_ms,
+        parallel_ms,
+        speedup
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+}

@@ -3,24 +3,50 @@
 //! SPDP-B sweep.
 //!
 //! Run with `cargo run --release -p gcache-bench --bin table3`.
+//! `--jobs N` fans the runs out over worker threads; stdout is
+//! byte-identical for every N.
 
-use gcache_bench::{pct, run, sweep_optimal_pd, Cli, Table};
+use gcache_bench::sweep::{run_design_points, DesignPoint};
+use gcache_bench::{pct, select_optimal_pd, Cli, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::L1PolicyKind;
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
+    let benches = cli.benchmarks();
+    let jobs = cli.jobs();
+
+    // One flat grid: per benchmark, the GC run followed by the SPDP-B
+    // candidate sweep. Chunks are reduced per benchmark afterwards.
+    let grid: Vec<DesignPoint<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            std::iter::once(DesignPoint {
+                bench: b.as_ref(),
+                policy: L1PolicyKind::GCache(GCacheConfig::default()),
+                l1_kb: None,
+            })
+            .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
+                bench: b.as_ref(),
+                policy: L1PolicyKind::StaticPdp { pd },
+                l1_kb: None,
+            }))
+        })
+        .collect();
+    eprintln!("[table3] {} runs on {jobs} jobs ...", grid.len());
+    let mut results = run_design_points(&grid, jobs).into_iter();
+
     let mut t = Table::new(&[
         "Benchmark",
         "G-Cache Bypass Ratio",
         "SPDP-B Bypass Ratio",
         "Optimal PD of SPDP-B",
     ]);
-    for b in cli.benchmarks() {
+    for b in &benches {
         let info = b.info();
-        eprintln!("[table3] running {} ...", info.name);
-        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), None);
-        let (best_pd, spdp) = sweep_optimal_pd(b.as_ref(), None);
+        let gc = results.next().expect("GC run present");
+        let sweep = results.by_ref().take(PD_CANDIDATES.len());
+        let (best_pd, spdp) = select_optimal_pd(PD_CANDIDATES.iter().copied().zip(sweep));
         t.row(vec![
             info.name.to_string(),
             pct(gc.l1_bypass_ratio()),

@@ -18,6 +18,9 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+pub mod sweep;
+
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
 use gcache_sim::config::{GpuConfig, L1PolicyKind};
@@ -30,6 +33,16 @@ use std::fmt::Write as _;
 /// optimum (Table 3's right column).
 pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
 
+/// Usage text printed when argument parsing fails.
+pub const USAGE: &str = "\
+usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
+
+  --quick        use shrunk workloads (smoke-test scale)
+  --bench NAMES  restrict to these benchmarks (paper abbreviations)
+  --jobs N       run sweeps on N worker threads (default: GCACHE_JOBS
+                 env var, else the host's available parallelism);
+                 results are bit-identical for every N";
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Clone, Debug, Default)]
 pub struct Cli {
@@ -37,26 +50,65 @@ pub struct Cli {
     pub quick: bool,
     /// Restrict to these benchmark names (paper abbreviations).
     pub only: Vec<String>,
+    /// Worker-thread count from `--jobs` (`None` = not given; see
+    /// [`Cli::jobs`] for the resolution order).
+    pub jobs: Option<usize>,
 }
 
 impl Cli {
-    /// Parses `std::env::args()`-style arguments.
+    /// Parses `std::env::args()`-style arguments, exiting with the usage
+    /// message on any error (unknown flag, missing or malformed value).
     pub fn parse(args: impl Iterator<Item = String>) -> Cli {
+        Cli::try_parse(args).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Fallible flavour of [`Cli::parse`]: returns a description of the
+    /// first problem instead of exiting.
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         let mut cli = Cli::default();
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => cli.quick = true,
                 "--bench" => {
-                    if let Some(names) = args.next() {
-                        cli.only =
-                            names.split(',').map(|s| s.trim().to_ascii_uppercase()).collect();
-                    }
+                    let names = args.next().ok_or("--bench requires a value")?;
+                    cli.only = names.split(',').map(|s| s.trim().to_ascii_uppercase()).collect();
                 }
-                _ => {}
+                "--jobs" => {
+                    let n = args.next().ok_or("--jobs requires a value")?;
+                    let jobs: usize = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--jobs expects a positive integer, got '{n}'"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    cli.jobs = Some(jobs);
+                }
+                other => return Err(format!("unknown flag '{other}'")),
             }
         }
-        cli
+        Ok(cli)
+    }
+
+    /// The worker-thread count for sweeps: `--jobs` if given, else the
+    /// `GCACHE_JOBS` environment variable, else the host's available
+    /// parallelism. A malformed `GCACHE_JOBS` is ignored with a warning
+    /// on stderr (stdout stays byte-identical across job counts).
+    pub fn jobs(&self) -> usize {
+        if let Some(j) = self.jobs {
+            return j;
+        }
+        if let Ok(v) = std::env::var("GCACHE_JOBS") {
+            match v.trim().parse::<usize>() {
+                Ok(j) if j >= 1 => return j,
+                _ => eprintln!("warning: ignoring malformed GCACHE_JOBS='{v}'"),
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 
     /// The workload scale implied by the flags.
@@ -102,9 +154,22 @@ pub fn run(policy: L1PolicyKind, bench: &dyn Benchmark, l1_kb: Option<u64>) -> S
 /// by construction — the cheapest distance is the "optimal" one, matching
 /// Table 3's PD-4 rows for PVR/SD1/STL.
 pub fn sweep_optimal_pd(bench: &dyn Benchmark, l1_kb: Option<u64>) -> (u16, SimStats) {
+    select_optimal_pd(
+        PD_CANDIDATES.iter().map(|&pd| (pd, run(L1PolicyKind::StaticPdp { pd }, bench, l1_kb))),
+    )
+}
+
+/// The reduction behind [`sweep_optimal_pd`], exposed so parallel sweeps
+/// can run the candidate grid as independent jobs and reduce afterwards:
+/// candidates must be supplied in [`PD_CANDIDATES`] order, and a later
+/// candidate wins only when it beats the incumbent by more than 0.2 %.
+///
+/// # Panics
+///
+/// Panics on an empty candidate list.
+pub fn select_optimal_pd(results: impl IntoIterator<Item = (u16, SimStats)>) -> (u16, SimStats) {
     let mut best: Option<(u16, SimStats)> = None;
-    for &pd in PD_CANDIDATES {
-        let stats = run(L1PolicyKind::StaticPdp { pd }, bench, l1_kb);
+    for (pd, stats) in results {
         let better = best.as_ref().is_none_or(|(_, b)| stats.ipc() > b.ipc() * 1.002);
         if better {
             best = Some((pd, stats));
@@ -205,7 +270,53 @@ mod tests {
     fn cli_defaults_to_all() {
         let cli = Cli::parse(std::iter::empty());
         assert!(!cli.quick);
+        assert!(cli.jobs.is_none());
         assert_eq!(cli.benchmarks().len(), 17);
+    }
+
+    #[test]
+    fn cli_parses_jobs() {
+        let cli = Cli::try_parse(["--jobs", "8"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(cli.jobs, Some(8));
+        assert_eq!(cli.jobs(), 8);
+    }
+
+    #[test]
+    fn cli_rejects_unknown_flags() {
+        let err = Cli::try_parse(["--frobnicate"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("unknown flag '--frobnicate'"), "got: {err}");
+    }
+
+    #[test]
+    fn cli_rejects_malformed_jobs() {
+        let err = Cli::try_parse(["--jobs", "many"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("positive integer"), "got: {err}");
+        let err = Cli::try_parse(["--jobs", "0"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("at least 1"), "got: {err}");
+        let err = Cli::try_parse(["--jobs"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("requires a value"), "got: {err}");
+    }
+
+    #[test]
+    fn cli_rejects_missing_bench_value() {
+        let err = Cli::try_parse(["--bench"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("requires a value"), "got: {err}");
+    }
+
+    #[test]
+    fn select_optimal_pd_prefers_smallest_on_flat_curve() {
+        let flat = |pd: u16, ipc_scale: u64| {
+            let mut s = SimStats::new("X", "SPDP-B");
+            s.cycles = 1000;
+            s.instructions = ipc_scale;
+            (pd, s)
+        };
+        // Flat IPC: first candidate (smallest PD) wins.
+        let (pd, _) = select_optimal_pd([flat(2, 500), flat(4, 500), flat(8, 501)]);
+        assert_eq!(pd, 2, "0.2 % tie band must keep the smallest PD");
+        // A real improvement (> 0.2 %) switches.
+        let (pd, _) = select_optimal_pd([flat(2, 500), flat(8, 600)]);
+        assert_eq!(pd, 8);
     }
 
     #[test]

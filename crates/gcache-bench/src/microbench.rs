@@ -1,0 +1,77 @@
+//! Minimal self-calibrating timing harness for the `benches/` targets.
+//!
+//! The build environment is offline, so the micro-benchmarks cannot pull
+//! in an external harness; this module provides the small subset they
+//! need — warm-up, iteration-count calibration, and a stable one-line
+//! report — with zero dependencies. Each `benches/*.rs` target is a plain
+//! `fn main()` (`harness = false`) built on [`bench`].
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark after calibration.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Measured result of one benchmark: the mean cost per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Iterations actually timed.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Times `f`, returning elapsed wall-clock.
+pub fn time_it(f: impl FnOnce()) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Runs `f` repeatedly — one warm-up pass, then an iteration count
+/// calibrated so the timed region lasts roughly [`TARGET`] — and returns
+/// the mean per-iteration cost.
+pub fn measure(mut f: impl FnMut()) -> Measurement {
+    // Warm-up + calibration estimate.
+    let once = time_it(&mut f).max(Duration::from_nanos(1));
+    let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    Measurement { iters, ns_per_iter: elapsed.as_nanos() as f64 / iters as f64 }
+}
+
+/// Runs and reports one named benchmark (`group/name ... ns/iter`).
+pub fn bench(name: &str, f: impl FnMut()) -> Measurement {
+    let m = measure(f);
+    println!("{name:<40} {:>14.1} ns/iter  ({} iters)", m.ns_per_iter, m.iters);
+    m
+}
+
+/// Re-export so bench targets need only one import for timing + opacity.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_cost() {
+        let mut acc = 0u64;
+        let m = measure(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn time_it_is_monotone() {
+        let d = time_it(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(2));
+    }
+}

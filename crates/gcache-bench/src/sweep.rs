@@ -1,0 +1,184 @@
+//! Parallel sweep engine: a work-stealing job queue over scoped threads.
+//!
+//! Every paper artefact is a grid of fully independent single-threaded
+//! simulations (benchmark × policy × config). This module fans that grid
+//! out over OS threads with zero dependencies: jobs are dealt round-robin
+//! into per-worker deques, idle workers steal from the back of their
+//! neighbours' queues, and results land in pre-allocated slots keyed by
+//! submission index — so the output order (and therefore every table
+//! printed from it) is **bit-identical** to a serial run regardless of
+//! `--jobs`. Each simulation stays single-threaded and seeded; parallelism
+//! never changes what is computed, only when.
+//!
+//! Entry points: [`parallel_map`] for arbitrary job types and
+//! [`run_design_points`] for the common benchmark-grid case.
+
+use crate::run;
+use gcache_sim::config::L1PolicyKind;
+use gcache_sim::stats::SimStats;
+use gcache_workloads::Benchmark;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One cell of an experiment grid: a benchmark run under one L1 policy,
+/// optionally at a non-default L1 capacity.
+#[derive(Clone, Copy)]
+pub struct DesignPoint<'a> {
+    /// The workload.
+    pub bench: &'a dyn Benchmark,
+    /// The L1 management policy under test.
+    pub policy: L1PolicyKind,
+    /// L1 capacity override in KB (`None` = Table 2's 32 KB).
+    pub l1_kb: Option<u64>,
+}
+
+impl std::fmt::Debug for DesignPoint<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignPoint")
+            .field("bench", &self.bench.name())
+            .field("policy", &self.policy)
+            .field("l1_kb", &self.l1_kb)
+            .finish()
+    }
+}
+
+/// Runs a grid of design points on `jobs` worker threads, returning stats
+/// in submission order.
+pub fn run_design_points(points: &[DesignPoint<'_>], jobs: usize) -> Vec<SimStats> {
+    parallel_map(points, jobs, |p| run(p.policy, p.bench, p.l1_kb))
+}
+
+/// Applies `f` to every item on a pool of `jobs` scoped worker threads
+/// and returns the results **in submission order**.
+///
+/// `jobs <= 1` (or a single item) degenerates to a plain serial loop on
+/// the calling thread — the parallel path produces byte-identical results
+/// because `f` is pure per item and slot `i` always holds `f(&items[i])`.
+///
+/// Scheduling is work-stealing: items are dealt round-robin across
+/// per-worker deques; a worker pops from its own queue front and, once
+/// empty, steals from the back of the next non-empty neighbour. The job
+/// set is fixed before any worker starts, so an empty sweep of all queues
+/// means the worker can exit.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (the scope joins all workers
+/// first), and panics if a result slot is left unfilled — impossible
+/// unless `f` panicked.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Deal jobs round-robin so every worker starts with a fair share.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..items.len() {
+        queues[i % workers].lock().unwrap().push_back(i);
+    }
+
+    // One slot per job, keyed by submission index — collection order is
+    // fixed no matter which worker finishes when.
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            s.spawn(move || {
+                while let Some(i) = next_job(queues, w) {
+                    let r = f(&items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker exited without filling its slot"))
+        .collect()
+}
+
+/// Pops the next job for worker `w`: its own queue first (front), then a
+/// steal from the back of the nearest non-empty victim. `None` means all
+/// queues are drained and the worker can exit (the job set is fixed).
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    for off in 1..queues.len() {
+        let victim = (w + off) % queues.len();
+        if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = parallel_map(&items, 1, |&x| x * x + 1);
+        let parallel = parallel_map(&items, 8, |&x| x * x + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order_under_contention() {
+        // Early jobs sleep longest, so completion order is roughly the
+        // reverse of submission order — the collected Vec must still be
+        // in submission order.
+        let items: Vec<usize> = (0..24).collect();
+        let order = AtomicUsize::new(0);
+        let results = parallel_map(&items, 4, |&i| {
+            std::thread::sleep(Duration::from_millis((24 - i) as u64 / 4));
+            (i, order.fetch_add(1, Ordering::SeqCst))
+        });
+        let submitted: Vec<usize> = results.iter().map(|&(i, _)| i).collect();
+        assert_eq!(submitted, items, "slots must follow submission order");
+        let completion: Vec<usize> = results.iter().map(|&(_, c)| c).collect();
+        assert_ne!(
+            completion, submitted,
+            "jobs should have completed out of order under staggered sleeps"
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 8, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = parallel_map(&[10u32, 20], 16, |&x| x + 1);
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -10,7 +10,7 @@
 
 use crate::addr::{CoreId, LineAddr};
 use crate::geometry::CacheGeometry;
-use crate::policy::{AccessKind, FillCtx, FillDecision, ReplacementPolicy};
+use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
 use crate::tag_array::{Evicted, TagArray};
 use crate::victim_bits::VictimBits;
@@ -100,7 +100,7 @@ pub struct FillOutcome {
 ///
 /// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
 /// let geom = CacheGeometry::new(1024, 2, 128)?;
-/// let mut l1 = Cache::new(CacheConfig::l1(geom, 0), Box::new(GCache::with_defaults(&geom)));
+/// let mut l1 = Cache::new(CacheConfig::l1(geom, 0), GCache::with_defaults(&geom));
 /// let line = LineAddr::new(0x100);
 /// let core = CoreId(0);
 /// assert_eq!(l1.access(line, AccessKind::Read, core), Lookup::Miss);
@@ -114,7 +114,7 @@ pub struct FillOutcome {
 pub struct Cache {
     cfg: CacheConfig,
     tags: TagArray,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: PolicyKind,
     victim_bits: Option<VictimBits>,
     stats: CacheStats,
     accesses_since_epoch: u64,
@@ -122,11 +122,16 @@ pub struct Cache {
 
 impl Cache {
     /// Creates a cache with the given policy and no victim-bit tracker.
-    pub fn new(cfg: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    ///
+    /// Any concrete policy converts into [`PolicyKind`], so callers pass
+    /// the policy by value: `Cache::new(cfg, Lru::new(&geom))`. The enum
+    /// keeps the per-access hooks jump-table-dispatched instead of going
+    /// through a `Box<dyn>` vtable — they run on every cache access.
+    pub fn new(cfg: CacheConfig, policy: impl Into<PolicyKind>) -> Self {
         Cache {
             tags: TagArray::new(cfg.geometry),
             cfg,
-            policy,
+            policy: policy.into(),
             victim_bits: None,
             stats: CacheStats::new(),
             accesses_since_epoch: 0,
@@ -141,7 +146,7 @@ impl Cache {
     /// Panics under the same conditions as [`VictimBits::new`].
     pub fn with_victim_bits(
         cfg: CacheConfig,
-        policy: Box<dyn ReplacementPolicy>,
+        policy: impl Into<PolicyKind>,
         cores: usize,
         share: usize,
     ) -> Self {
@@ -362,12 +367,12 @@ mod tests {
 
     fn lru_l1() -> Cache {
         let g = geom();
-        Cache::new(CacheConfig::l1(g, 0), Box::new(Lru::new(&g)))
+        Cache::new(CacheConfig::l1(g, 0), Lru::new(&g))
     }
 
     fn lru_l2(cores: usize) -> Cache {
         let g = geom();
-        Cache::with_victim_bits(CacheConfig::l2(g, 0), Box::new(Lru::new(&g)), cores, 1)
+        Cache::with_victim_bits(CacheConfig::l2(g, 0), Lru::new(&g), cores, 1)
     }
 
     const C0: CoreId = CoreId(0);
@@ -480,7 +485,7 @@ mod tests {
     #[test]
     fn bypass_counted_in_stats() {
         let g = geom();
-        let mut c = Cache::new(CacheConfig::l1(g, 0), Box::new(StaticPdp::new(&g, 8)));
+        let mut c = Cache::new(CacheConfig::l1(g, 0), StaticPdp::new(&g, 8));
         c.fill(FillCtx::plain(LineAddr::new(0), C0), false);
         c.fill(FillCtx::plain(LineAddr::new(4), C0), false);
         let out = c.fill(FillCtx::plain(LineAddr::new(8), C0), false);
@@ -509,7 +514,7 @@ mod tests {
     #[test]
     fn epoch_resets_gcache_switches() {
         let g = geom();
-        let mut c = Cache::new(CacheConfig::l1(g, 4), Box::new(GCache::with_defaults(&g)));
+        let mut c = Cache::new(CacheConfig::l1(g, 4), GCache::with_defaults(&g));
         let line = LineAddr::new(0);
         // 4 accesses trigger one epoch; just verify it doesn't disturb
         // normal operation (behavioural coverage lives in the policy tests).

@@ -124,11 +124,13 @@ impl CacheGeometry {
     }
 
     /// Set index for a line address (modulo mapping on low line-address bits).
+    #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
         (line.raw() & (self.sets as u64 - 1)) as usize
     }
 
     /// Tag for a line address (bits above the set index).
+    #[inline]
     pub fn tag_of(&self, line: LineAddr) -> u64 {
         line.raw() >> self.sets.trailing_zeros()
     }
@@ -136,6 +138,7 @@ impl CacheGeometry {
     /// Reconstructs a line address from a (tag, set) pair.
     ///
     /// Inverse of [`CacheGeometry::set_of`] / [`CacheGeometry::tag_of`].
+    #[inline]
     pub fn line_of(&self, tag: u64, set: usize) -> LineAddr {
         LineAddr::new((tag << self.sets.trailing_zeros()) | set as u64)
     }

@@ -28,7 +28,7 @@
 //! # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
 //! // A 32 KB, 4-way L1 under the G-Cache policy.
 //! let geom = CacheGeometry::new(32 * 1024, 4, 128)?;
-//! let mut l1 = Cache::new(CacheConfig::l1(geom, 4096), Box::new(GCache::with_defaults(&geom)));
+//! let mut l1 = Cache::new(CacheConfig::l1(geom, 4096), GCache::with_defaults(&geom));
 //!
 //! let line = Addr::new(0x1_0000).to_line(128);
 //! if let Lookup::Miss = l1.access(line, AccessKind::Read, CoreId(0)) {
@@ -65,6 +65,7 @@ pub mod mshr;
 pub mod overhead;
 pub mod policy;
 pub mod reuse;
+pub mod rng;
 pub mod stats;
 pub mod tag_array;
 pub mod victim_bits;
@@ -80,6 +81,6 @@ pub mod prelude {
     pub use crate::policy::pdp::StaticPdp;
     pub use crate::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
     pub use crate::policy::rrip::Rrip;
-    pub use crate::policy::{AccessKind, FillCtx, FillDecision, ReplacementPolicy};
+    pub use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
     pub use crate::stats::CacheStats;
 }

@@ -61,6 +61,11 @@ pub struct MshrFile<T> {
     capacity: usize,
     max_merge: usize,
     entries: HashMap<LineAddr, Vec<T>>,
+    /// Recycled target vectors (empty, with their capacity retained), so
+    /// the steady-state miss path allocates nothing: a primary miss pops a
+    /// pooled vector and a completed fill returns it via
+    /// [`MshrFile::recycle`] / [`MshrFile::complete_into`].
+    free: Vec<Vec<T>>,
     peak_occupancy: usize,
     merges: u64,
 }
@@ -79,6 +84,7 @@ impl<T> MshrFile<T> {
             capacity,
             max_merge,
             entries: HashMap::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
             peak_occupancy: 0,
             merges: 0,
         }
@@ -102,7 +108,10 @@ impl<T> MshrFile<T> {
         if self.entries.len() >= self.capacity {
             return Err(MshrReject::Full);
         }
-        self.entries.insert(line, vec![target]);
+        let mut targets =
+            self.free.pop().unwrap_or_else(|| Vec::with_capacity(self.max_merge));
+        targets.push(target);
+        self.entries.insert(line, targets);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         Ok(MshrAlloc::Primary)
     }
@@ -114,8 +123,32 @@ impl<T> MshrFile<T> {
 
     /// Releases the entry for `line`, returning its merged targets in
     /// allocation order. `None` if no entry exists.
+    ///
+    /// Hot paths should hand the vector back with [`MshrFile::recycle`]
+    /// once drained (or use [`MshrFile::complete_into`]) so steady-state
+    /// misses allocate nothing.
     pub fn complete(&mut self, line: LineAddr) -> Option<Vec<T>> {
         self.entries.remove(&line)
+    }
+
+    /// Releases the entry for `line`, appending its targets to `out` (in
+    /// allocation order) and recycling the entry's storage internally.
+    /// Returns the number of targets appended; `None` if no entry exists.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<T>) -> Option<usize> {
+        let mut targets = self.entries.remove(&line)?;
+        let n = targets.len();
+        out.append(&mut targets);
+        self.recycle(targets);
+        Some(n)
+    }
+
+    /// Returns a drained target vector to the internal pool so the next
+    /// primary miss reuses its storage instead of allocating.
+    pub fn recycle(&mut self, mut v: Vec<T>) {
+        v.clear();
+        if self.free.len() < self.capacity {
+            self.free.push(v);
+        }
     }
 
     /// Number of live entries.
@@ -218,6 +251,36 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn rejects_zero_capacity() {
         let _: MshrFile<u32> = MshrFile::new(0, 1);
+    }
+
+    #[test]
+    fn complete_into_appends_and_recycles() {
+        let mut m: MshrFile<u32> = MshrFile::new(4, 8);
+        m.allocate(LineAddr::new(1), 10).unwrap();
+        m.allocate(LineAddr::new(1), 11).unwrap();
+        m.allocate(LineAddr::new(2), 20).unwrap();
+        let mut out = vec![99];
+        assert_eq!(m.complete_into(LineAddr::new(1), &mut out), Some(2));
+        assert_eq!(out, vec![99, 10, 11], "targets append in allocation order");
+        assert_eq!(m.complete_into(LineAddr::new(1), &mut out), None);
+        assert_eq!(out, vec![99, 10, 11], "missing entry leaves out untouched");
+        assert_eq!(m.complete_into(LineAddr::new(2), &mut out), Some(1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn recycled_storage_is_reused() {
+        let mut m: MshrFile<u32> = MshrFile::new(2, 4);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        let v = m.complete(LineAddr::new(1)).unwrap();
+        let ptr = v.as_ptr();
+        let cap = v.capacity();
+        m.recycle(v);
+        m.allocate(LineAddr::new(2), 7).unwrap();
+        let v2 = m.complete(LineAddr::new(2)).unwrap();
+        assert_eq!(v2, vec![7]);
+        assert_eq!(v2.as_ptr(), ptr, "pooled storage must be reused");
+        assert_eq!(v2.capacity(), cap);
     }
 
     #[test]

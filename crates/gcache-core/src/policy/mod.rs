@@ -117,6 +117,139 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
     }
 }
 
+/// Every concrete policy behind one enum, so the cache's per-access hook
+/// calls dispatch through a jump table instead of a `Box<dyn>` vtable —
+/// the policy hooks run on every single cache access, making them the
+/// hottest calls in the simulator.
+///
+/// Constructed via `From` impls from any concrete policy:
+///
+/// ```
+/// use gcache_core::geometry::CacheGeometry;
+/// use gcache_core::policy::lru::Lru;
+/// use gcache_core::policy::{PolicyKind, ReplacementPolicy};
+///
+/// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
+/// let geom = CacheGeometry::new(1024, 2, 128)?;
+/// let policy: PolicyKind = Lru::new(&geom).into();
+/// assert_eq!(policy.name(), "LRU");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub enum PolicyKind {
+    /// LRU (`BS`).
+    Lru(lru::Lru),
+    /// SRRIP / BRRIP (`BS-S`).
+    Rrip(rrip::Rrip),
+    /// Set-duelling DRRIP.
+    Drrip(rrip::Drrip),
+    /// The paper's adaptive bypass/insertion policy (`GC`).
+    GCache(gcache::GCache),
+    /// Static protection-distance policy with bypass (`SPDP-B`).
+    StaticPdp(pdp::StaticPdp),
+    /// Dynamic PDP (`PDP-3` / `PDP-8`).
+    DynamicPdp(pdp_dyn::DynamicPdp),
+}
+
+/// Delegates every trait hook to the active variant with a `match` — the
+/// compiler turns these into direct (often inlined) calls.
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            PolicyKind::Lru($p) => $body,
+            PolicyKind::Rrip($p) => $body,
+            PolicyKind::Drrip($p) => $body,
+            PolicyKind::GCache($p) => $body,
+            PolicyKind::StaticPdp($p) => $body,
+            PolicyKind::DynamicPdp($p) => $body,
+        }
+    };
+}
+
+impl ReplacementPolicy for PolicyKind {
+    #[inline]
+    fn name(&self) -> &'static str {
+        dispatch!(self, p => p.name())
+    }
+
+    #[inline]
+    fn on_set_access(&mut self, set: usize) {
+        dispatch!(self, p => p.on_set_access(set))
+    }
+
+    #[inline]
+    fn observe_access(&mut self, set: usize, tag: u64) {
+        dispatch!(self, p => p.observe_access(set, tag))
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_hit(set, way))
+    }
+
+    #[inline]
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &FillCtx) -> FillDecision {
+        dispatch!(self, p => p.fill_decision(set, valid_mask, ctx))
+    }
+
+    #[inline]
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &FillCtx) {
+        dispatch!(self, p => p.on_insert(set, way, ctx))
+    }
+
+    #[inline]
+    fn on_evict(&mut self, set: usize, way: usize) {
+        dispatch!(self, p => p.on_evict(set, way))
+    }
+
+    #[inline]
+    fn on_epoch(&mut self) {
+        dispatch!(self, p => p.on_epoch())
+    }
+
+    #[inline]
+    fn bypasses(&self) -> u64 {
+        dispatch!(self, p => p.bypasses())
+    }
+}
+
+impl From<lru::Lru> for PolicyKind {
+    fn from(p: lru::Lru) -> Self {
+        PolicyKind::Lru(p)
+    }
+}
+
+impl From<rrip::Rrip> for PolicyKind {
+    fn from(p: rrip::Rrip) -> Self {
+        PolicyKind::Rrip(p)
+    }
+}
+
+impl From<rrip::Drrip> for PolicyKind {
+    fn from(p: rrip::Drrip) -> Self {
+        PolicyKind::Drrip(p)
+    }
+}
+
+impl From<gcache::GCache> for PolicyKind {
+    fn from(p: gcache::GCache) -> Self {
+        PolicyKind::GCache(p)
+    }
+}
+
+impl From<pdp::StaticPdp> for PolicyKind {
+    fn from(p: pdp::StaticPdp) -> Self {
+        PolicyKind::StaticPdp(p)
+    }
+}
+
+impl From<pdp_dyn::DynamicPdp> for PolicyKind {
+    fn from(p: pdp_dyn::DynamicPdp) -> Self {
+        PolicyKind::DynamicPdp(p)
+    }
+}
+
 /// Returns the lowest-numbered invalid way, if any.
 ///
 /// Policies should prefer invalid ways before evicting; this helper keeps

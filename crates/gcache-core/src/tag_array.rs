@@ -56,6 +56,7 @@ impl TagArray {
         &self.geom
     }
 
+    #[inline]
     fn slot_index(&self, set: usize, way: usize) -> usize {
         debug_assert!(set < self.geom.sets() as usize);
         debug_assert!(way < self.geom.ways() as usize);
@@ -63,11 +64,13 @@ impl TagArray {
     }
 
     /// Read-only view of one slot.
+    #[inline]
     pub fn slot(&self, set: usize, way: usize) -> &LineSlot {
         &self.slots[self.slot_index(set, way)]
     }
 
     /// Looks a line up; returns the way on a tag match with valid state.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
         let set = self.geom.set_of(line);
         let tag = self.geom.tag_of(line);
@@ -78,6 +81,7 @@ impl TagArray {
     }
 
     /// Records a hit on (set, way), bumping the slot's reuse counter.
+    #[inline]
     pub fn touch(&mut self, set: usize, way: usize, write: bool) {
         let idx = self.slot_index(set, way);
         let slot = &mut self.slots[idx];
@@ -89,6 +93,7 @@ impl TagArray {
     }
 
     /// Bitmask with bit `w` set iff way `w` of `set` holds a valid line.
+    #[inline]
     pub fn valid_mask(&self, set: usize) -> u64 {
         let mut mask = 0u64;
         for w in 0..self.geom.ways() as usize {

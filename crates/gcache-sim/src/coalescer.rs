@@ -26,14 +26,24 @@ use gcache_core::addr::{Addr, LineAddr};
 /// assert_eq!(coalesce(&lanes, 128).len(), 32);
 /// ```
 pub fn coalesce(lanes: &[Option<Addr>], line_size: u32) -> Vec<LineAddr> {
-    let mut out: Vec<LineAddr> = Vec::new();
+    let mut out = Vec::new();
+    coalesce_into(lanes, line_size, &mut out);
+    out
+}
+
+/// Allocation-free flavour of [`coalesce`]: clears `out` and fills it with
+/// the deduplicated transactions. The core's LD/ST path calls this every
+/// memory instruction with a reused scratch buffer, so the hot loop never
+/// touches the allocator.
+pub fn coalesce_into(lanes: &[Option<Addr>], line_size: u32, out: &mut Vec<LineAddr>) {
+    out.clear();
     for addr in lanes.iter().flatten() {
         let line = addr.to_line(line_size);
+        // A warp has at most 32 lanes, so linear dedup beats any hash/sort.
         if !out.contains(&line) {
             out.push(line);
         }
     }
-    out
 }
 
 /// Statistics helper: the coalescing efficiency of an access, defined as
@@ -110,5 +120,14 @@ mod tests {
         let lanes = lanes_from(&[512, 0, 256, 0]);
         let t = coalesce(&lanes, 128);
         assert_eq!(t, vec![LineAddr::new(4), LineAddr::new(0), LineAddr::new(2)]);
+    }
+
+    #[test]
+    fn coalesce_into_clears_stale_scratch() {
+        let mut scratch = vec![LineAddr::new(99); 7];
+        coalesce_into(&lanes_from(&[0, 4]), 128, &mut scratch);
+        assert_eq!(scratch, vec![LineAddr::new(0)]);
+        coalesce_into(&[], 128, &mut scratch);
+        assert!(scratch.is_empty());
     }
 }

@@ -1,14 +1,14 @@
 //! The SIMT core: warp contexts, CTA slots, the issue stage, the LD/ST
 //! unit (coalescer → L1 → network), and barrier handling.
 
-use crate::coalescer::coalesce;
+use crate::coalescer::coalesce_into;
 use crate::config::GpuConfig;
 use crate::isa::{Kernel, Op, WarpProgram};
 use crate::l1::{L1Controller, L1Outcome};
 use crate::request::{MemRequest, MemResponse, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::CacheConfig;
-use gcache_core::policy::AccessKind;
+use gcache_core::policy::{AccessKind, PolicyKind};
 use std::collections::VecDeque;
 
 use crate::scheduler::WarpScheduler;
@@ -96,16 +96,17 @@ pub struct SimtCore {
     sched: WarpScheduler,
     launch_seq: u64,
     stats: CoreStats,
+    /// Scratch for warps woken by a fill — reused across responses so the
+    /// per-fill path performs no allocation.
+    woken_scratch: Vec<WarpSlot>,
+    /// Scratch for coalesced lines — reused across memory instructions.
+    coalesce_scratch: Vec<LineAddr>,
 }
 
 impl SimtCore {
     /// Builds a core per `cfg` with the given (already constructed) L1
     /// policy.
-    pub fn new(
-        id: CoreId,
-        cfg: &GpuConfig,
-        policy: Box<dyn gcache_core::policy::ReplacementPolicy>,
-    ) -> Self {
+    pub fn new(id: CoreId, cfg: &GpuConfig, policy: impl Into<PolicyKind>) -> Self {
         let l1 = L1Controller::new(
             id,
             CacheConfig::l1(cfg.l1_geometry, cfg.l1_epoch_len),
@@ -123,11 +124,13 @@ impl SimtCore {
             ctas: (0..cfg.max_ctas_per_core).map(|_| None).collect(),
             threads_resident: 0,
             l1,
-            ldst_queue: VecDeque::new(),
+            ldst_queue: VecDeque::with_capacity(4 * cfg.warp_width),
             ldst_capacity: 4 * cfg.warp_width,
             sched: WarpScheduler::new(cfg.warp_sched),
             launch_seq: 0,
             stats: CoreStats::default(),
+            woken_scratch: Vec::with_capacity(cfg.l1_mshr_merge),
+            coalesce_scratch: Vec::with_capacity(cfg.warp_width),
         }
     }
 
@@ -209,10 +212,14 @@ impl SimtCore {
     pub fn on_response(&mut self, resp: MemResponse) {
         match resp.kind {
             AccessKind::Read => {
-                let woken = self.l1.fill(resp.line, resp.victim_hint);
-                for warp in woken {
+                // Borrow dance: take the scratch buffer so `fill_into` and
+                // `complete_mem` don't alias `self`.
+                let mut woken = std::mem::take(&mut self.woken_scratch);
+                self.l1.fill_into(resp.line, resp.victim_hint, &mut woken);
+                for &warp in &woken {
                     self.complete_mem(warp);
                 }
+                self.woken_scratch = woken;
             }
             AccessKind::Atomic => self.complete_mem(resp.warp),
             AccessKind::Write => {}
@@ -354,12 +361,14 @@ impl SimtCore {
         blocking: bool,
     ) {
         self.stats.mem_instructions += 1;
-        let lines = coalesce(addrs, self.line_size);
+        let mut lines = std::mem::take(&mut self.coalesce_scratch);
+        coalesce_into(addrs, self.line_size, &mut lines);
         let n = lines.len() as u32;
         self.stats.transactions += n as u64;
-        for line in lines {
+        for &line in &lines {
             self.ldst_queue.push_back((line, kind, slot));
         }
+        self.coalesce_scratch = lines;
         if blocking && n > 0 {
             let w = self.warps[slot].as_mut().expect("live");
             w.outstanding += n;
@@ -395,22 +404,21 @@ impl SimtCore {
 
     /// Releases a CTA's barrier once every live warp has arrived.
     fn maybe_release_barrier(&mut self, cta_slot: usize) {
-        let release = {
-            let Some(cta) = self.ctas[cta_slot].as_ref() else { return };
-            cta.at_barrier > 0 && cta.at_barrier + cta.warps_done == cta.warp_slots.len()
-        };
-        if !release {
+        // Split borrows: the CTA entry and the warp table are disjoint
+        // fields, so the release loop needs no clone of the slot list.
+        let Self { warps, ctas, .. } = self;
+        let Some(cta) = ctas[cta_slot].as_mut() else { return };
+        if cta.at_barrier == 0 || cta.at_barrier + cta.warps_done != cta.warp_slots.len() {
             return;
         }
-        let slots: Vec<usize> = self.ctas[cta_slot].as_ref().expect("live").warp_slots.clone();
-        for s in slots {
-            if let Some(w) = self.warps[s].as_mut() {
+        for &s in &cta.warp_slots {
+            if let Some(w) = warps[s].as_mut() {
                 if w.state == WarpState::Barrier {
                     w.state = WarpState::Ready;
                 }
             }
         }
-        self.ctas[cta_slot].as_mut().expect("live").at_barrier = 0;
+        cta.at_barrier = 0;
     }
 }
 

@@ -15,7 +15,7 @@ use gcache_core::policy::lru::Lru;
 use gcache_core::policy::pdp::StaticPdp;
 use gcache_core::policy::pdp_dyn::DynamicPdp;
 use gcache_core::policy::rrip::Rrip;
-use gcache_core::policy::ReplacementPolicy;
+use gcache_core::policy::PolicyKind;
 use gcache_core::stats::CacheStats;
 use std::fmt;
 
@@ -49,14 +49,15 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Builds the L1 policy object for a design point.
-pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> Box<dyn ReplacementPolicy> {
+/// Builds the L1 policy for a design point (enum-dispatched: the hooks
+/// run on every cache access, so no `Box<dyn>` vtable on that path).
+pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> PolicyKind {
     match kind {
-        L1PolicyKind::Lru => Box::new(Lru::new(geom)),
-        L1PolicyKind::Srrip { bits } => Box::new(Rrip::srrip(geom, *bits)),
-        L1PolicyKind::GCache(cfg) => Box::new(GCache::new(geom, *cfg)),
-        L1PolicyKind::StaticPdp { pd } => Box::new(StaticPdp::new(geom, *pd)),
-        L1PolicyKind::DynamicPdp(cfg) => Box::new(DynamicPdp::new(geom, *cfg)),
+        L1PolicyKind::Lru => Lru::new(geom).into(),
+        L1PolicyKind::Srrip { bits } => Rrip::srrip(geom, *bits).into(),
+        L1PolicyKind::GCache(cfg) => GCache::new(geom, *cfg).into(),
+        L1PolicyKind::StaticPdp { pd } => StaticPdp::new(geom, *pd).into(),
+        L1PolicyKind::DynamicPdp(cfg) => DynamicPdp::new(geom, *cfg).into(),
     }
 }
 

@@ -42,11 +42,13 @@ struct Router<T> {
 }
 
 impl<T> Router<T> {
-    fn new() -> Self {
+    /// Preallocates every input queue at the backpressure bound so the
+    /// steady-state tick loop never grows a queue mid-simulation.
+    fn new(queue_cap: usize) -> Self {
         Router {
-            inputs: Default::default(),
+            inputs: std::array::from_fn(|_| VecDeque::with_capacity(queue_cap)),
             out_busy: [0; PORTS],
-            delivered: VecDeque::new(),
+            delivered: VecDeque::with_capacity(queue_cap),
             rr: 0,
         }
     }
@@ -145,7 +147,7 @@ impl<T> Mesh<T> {
             queue_cap,
             hop_latency,
             min_serialization: min_serialization.max(1),
-            routers: (0..width * height).map(|_| Router::new()).collect(),
+            routers: (0..width * height).map(|_| Router::new(queue_cap)).collect(),
             stats: NocStats::default(),
         }
     }

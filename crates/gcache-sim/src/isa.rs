@@ -139,7 +139,12 @@ impl GridDim {
 /// The CTA scheduler instantiates warp programs lazily as CTAs are placed
 /// on cores, so arbitrarily large grids cost memory proportional to the
 /// *resident* thread count only.
-pub trait Kernel {
+///
+/// Kernels are `Send + Sync`: a kernel is an immutable description of the
+/// work (all mutable per-warp state lives in the [`WarpProgram`]s it
+/// creates), which lets the sweep engine share one kernel across worker
+/// threads running independent simulations.
+pub trait Kernel: Send + Sync {
     /// Kernel name, used in reports.
     fn name(&self) -> &str;
 

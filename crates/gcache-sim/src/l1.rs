@@ -9,7 +9,7 @@ use crate::request::{MemRequest, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::{Cache, CacheConfig, Lookup};
 use gcache_core::mshr::{MshrAlloc, MshrFile, MshrReject};
-use gcache_core::policy::{AccessKind, FillCtx, ReplacementPolicy};
+use gcache_core::policy::{AccessKind, FillCtx, PolicyKind};
 use gcache_core::stats::CacheStats;
 
 /// What the core must do after presenting an access to the L1.
@@ -58,7 +58,7 @@ impl L1Controller {
     pub fn new(
         core: CoreId,
         cfg: CacheConfig,
-        policy: Box<dyn ReplacementPolicy>,
+        policy: impl Into<PolicyKind>,
         mshr_entries: usize,
         mshr_merge: usize,
     ) -> Self {
@@ -162,9 +162,24 @@ impl L1Controller {
     /// Panics if no MSHR entry exists for `line` — a response the L1 never
     /// requested indicates a protocol bug.
     pub fn fill(&mut self, line: LineAddr, victim_hint: bool) -> Vec<WarpSlot> {
-        let targets = self
-            .mshr
-            .complete(line)
+        let mut woken = Vec::new();
+        self.fill_into(line, victim_hint, &mut woken);
+        woken
+    }
+
+    /// Allocation-free flavour of [`L1Controller::fill`]: clears `out` and
+    /// fills it with the warps to wake, recycling the MSHR entry's storage.
+    /// The per-cycle response path calls this with a scratch buffer owned
+    /// by the core, so steady-state fills perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR entry exists for `line` — a response the L1 never
+    /// requested indicates a protocol bug.
+    pub fn fill_into(&mut self, line: LineAddr, victim_hint: bool, out: &mut Vec<WarpSlot>) {
+        out.clear();
+        self.mshr
+            .complete_into(line, out)
             .expect("L1 fill without an outstanding MSHR entry");
         let ctx = FillCtx { line, core: self.core, victim_hint };
         let outcome = self.cache.fill(ctx, false);
@@ -172,9 +187,7 @@ impl L1Controller {
             outcome.evicted.is_none_or(|e| !e.dirty),
             "write-through L1 evicted a dirty line"
         );
-        targets
     }
-
 }
 
 #[cfg(test)]
@@ -188,7 +201,7 @@ mod tests {
         L1Controller::new(
             CoreId(3),
             CacheConfig::l1(geom, 0),
-            Box::new(Lru::new(&geom)),
+            Lru::new(&geom),
             4,
             2,
         )
@@ -279,7 +292,7 @@ mod tests {
         let mut l1 = L1Controller::new(
             CoreId(0),
             CacheConfig::l1(geom, 0),
-            Box::new(StaticPdp::new(&geom, 16)),
+            StaticPdp::new(&geom, 16),
             4,
             4,
         );

@@ -70,7 +70,7 @@ impl Partition {
     pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
         let l2 = Cache::with_victim_bits(
             CacheConfig::l2(cfg.l2_geometry, 0),
-            Box::new(Lru::new(&cfg.l2_geometry)),
+            Lru::new(&cfg.l2_geometry),
             cfg.cores,
             cfg.victim_bit_share,
         );
@@ -180,7 +180,7 @@ impl Partition {
                 }
             }
             let mut first_responder = true;
-            for t in targets {
+            for &t in &targets {
                 match t {
                     L2Target::Write => {}
                     L2Target::Read { core, warp } => {
@@ -211,6 +211,9 @@ impl Partition {
                     }
                 }
             }
+            // Hand the drained vector's storage back to the MSHR pool so
+            // steady-state fills never touch the allocator.
+            self.mshr.recycle(targets);
         }
     }
 

@@ -69,6 +69,24 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// An empty record for `kernel` under `design` (all counters zero) —
+    /// the starting point for merges, and a convenient test fixture.
+    pub fn new(kernel: &str, design: &'static str) -> Self {
+        SimStats {
+            kernel: kernel.to_string(),
+            design,
+            cycles: 0,
+            instructions: 0,
+            l1: Default::default(),
+            l2: Default::default(),
+            dram: Default::default(),
+            noc_req: Default::default(),
+            noc_resp: Default::default(),
+            core: Default::default(),
+            partition: Default::default(),
+        }
+    }
+
     /// Instructions per cycle (warp-level); 0 for an empty run.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

@@ -28,7 +28,7 @@ impl Kernel for K {
 
 fn core() -> SimtCore {
     let cfg = GpuConfig::fermi().unwrap();
-    SimtCore::new(CoreId(0), &cfg, Box::new(Lru::new(&cfg.l1_geometry)))
+    SimtCore::new(CoreId(0), &cfg, Lru::new(&cfg.l1_geometry))
 }
 
 #[test]

@@ -11,13 +11,13 @@ use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
 use gcache_sim::stats::SimStats;
 
 /// A kernel built from a closure: `(cta, warp) -> Vec<Op>`.
-struct FnKernel<F: Fn(usize, usize) -> Vec<Op>> {
+struct FnKernel<F: Fn(usize, usize) -> Vec<Op> + Send + Sync> {
     name: &'static str,
     grid: GridDim,
     gen: F,
 }
 
-impl<F: Fn(usize, usize) -> Vec<Op>> Kernel for FnKernel<F> {
+impl<F: Fn(usize, usize) -> Vec<Op> + Send + Sync> Kernel for FnKernel<F> {
     fn name(&self) -> &str {
         self.name
     }

@@ -1,59 +1,75 @@
-//! Property-based tests of the simulator substrates: the mesh never loses
-//! or duplicates packets, the DRAM model completes everything with sane
-//! timing, and the coalescer is a proper set-partition of active lanes.
+//! Randomised-property tests of the simulator substrates: the mesh never
+//! loses or duplicates packets, the DRAM model completes everything with
+//! sane timing, and the coalescer is a proper set-partition of active
+//! lanes.
+//!
+//! Each test replays seeded random cases through the dependency-free
+//! [`gcache_core::rng::SmallRng`], so failures reproduce exactly.
 
 use gcache_core::addr::{Addr, LineAddr};
+use gcache_core::rng::SmallRng;
 use gcache_sim::coalescer::coalesce;
 use gcache_sim::config::DramTiming;
 use gcache_sim::dram::Dram;
 use gcache_sim::icnt::Mesh;
-use proptest::prelude::*;
 
-proptest! {
-    /// Every injected packet is delivered exactly once, to the right node,
-    /// regardless of traffic pattern.
-    #[test]
-    fn mesh_delivers_everything_exactly_once(
-        sends in proptest::collection::vec((0usize..12, 0usize..12, 1u32..6), 1..150),
-        width in 3usize..5,
-    ) {
+const CASES: u64 = 48;
+
+/// Every injected packet is delivered exactly once, to the right node,
+/// regardless of traffic pattern.
+#[test]
+fn mesh_delivers_everything_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_1001 ^ case);
+        let width = rng.gen_range(3..5) as usize;
         let height = 3;
         let nodes = width * height;
-        let mut mesh: Mesh<usize> = Mesh::new(width, height, 4, 2, 1);
-        let mut pending: Vec<(usize, usize, u32, usize)> = sends
-            .iter()
-            .enumerate()
-            .map(|(id, &(s, d, f))| (s % nodes, d % nodes, f, id))
+        let n = rng.gen_range(1..150) as usize;
+        let sends: Vec<(usize, usize, u32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..nodes as u64) as usize,
+                    rng.gen_range(0..nodes as u64) as usize,
+                    rng.gen_range(1..6) as u32,
+                )
+            })
             .collect();
+        let mut mesh: Mesh<usize> = Mesh::new(width, height, 4, 2, 1);
+        let mut pending: Vec<(usize, usize, u32, usize)> =
+            sends.iter().enumerate().map(|(id, &(s, d, f))| (s, d, f, id)).collect();
         let total = pending.len();
         let mut got: Vec<Option<usize>> = vec![None; total]; // delivered at node
         let mut delivered = 0usize;
         let mut now = 0u64;
         while delivered < total {
             now += 1;
-            prop_assert!(now < 1_000_000, "mesh livelock");
+            assert!(now < 1_000_000, "case {case}: mesh livelock");
             pending.retain(|&(s, d, f, id)| mesh.inject_at(s, d, f, id, now).is_err());
             mesh.tick(now);
-            for n in 0..nodes {
-                while let Some(id) = mesh.eject(n) {
-                    prop_assert!(got[id].is_none(), "packet {} delivered twice", id);
-                    got[id] = Some(n);
+            for node in 0..nodes {
+                while let Some(id) = mesh.eject(node) {
+                    assert!(got[id].is_none(), "case {case}: packet {id} delivered twice");
+                    got[id] = Some(node);
                     delivered += 1;
                 }
             }
         }
         for (id, &(_, d, _)) in sends.iter().enumerate() {
-            prop_assert_eq!(got[id], Some(d % nodes), "packet {} misrouted", id);
+            assert_eq!(got[id], Some(d), "case {case}: packet {id} misrouted");
         }
-        prop_assert!(mesh.is_idle());
+        assert!(mesh.is_idle(), "case {case}");
     }
+}
 
-    /// The DRAM model completes every request, each no earlier than the
-    /// unloaded minimum latency, and row-hit counting is consistent.
-    #[test]
-    fn dram_completes_everything(
-        reqs in proptest::collection::vec((0u64..4096, any::<bool>()), 1..100),
-    ) {
+/// The DRAM model completes every request, each no earlier than the
+/// unloaded minimum latency, and row-hit counting is consistent.
+#[test]
+fn dram_completes_everything() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_1002 ^ case);
+        let n = rng.gen_range(1..100) as usize;
+        let reqs: Vec<(u64, bool)> =
+            (0..n).map(|_| (rng.gen_range(0..4096), rng.gen_bool(0.5))).collect();
         let timing = DramTiming::default();
         let mut dram: Dram<usize> = Dram::new(timing, 4, 2048, 16, 128);
         let mut sent = 0usize;
@@ -63,7 +79,7 @@ proptest! {
         let mut now = 0u64;
         while completed < reqs.len() {
             now += 1;
-            prop_assert!(now < 1_000_000, "dram livelock");
+            assert!(now < 1_000_000, "case {case}: dram livelock");
             while sent < reqs.len() && dram.can_accept() {
                 let (line, write) = reqs[sent];
                 dram.enqueue(LineAddr::new(line), write, sent, now).unwrap();
@@ -72,40 +88,50 @@ proptest! {
             }
             dram.tick(now);
             while let Some(id) = dram.pop_completed(now) {
-                prop_assert!(!done[id], "request {} completed twice", id);
+                assert!(!done[id], "case {case}: request {id} completed twice");
                 done[id] = true;
                 completed += 1;
                 let min = (timing.t_cl + timing.t_burst) as u64;
-                prop_assert!(now >= arrive[id] + min, "request {} completed too fast", id);
+                assert!(
+                    now >= arrive[id] + min,
+                    "case {case}: request {id} completed too fast"
+                );
             }
         }
-        prop_assert!(dram.is_idle());
+        assert!(dram.is_idle(), "case {case}");
         let s = dram.stats();
-        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
-        prop_assert_eq!(s.row_hits + s.row_opens + s.row_conflicts, reqs.len() as u64);
+        assert_eq!(s.reads + s.writes, reqs.len() as u64, "case {case}");
+        assert_eq!(
+            s.row_hits + s.row_opens + s.row_conflicts,
+            reqs.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    /// Coalescing partitions the active lanes: every active lane's line is
-    /// in the output, the output has no duplicates, and it never exceeds
-    /// the active lane count.
-    #[test]
-    fn coalescer_is_a_partition(
-        lanes in proptest::collection::vec(proptest::option::of(0u64..1_000_000), 0..32),
-    ) {
-        let addrs: Vec<Option<Addr>> = lanes.iter().map(|o| o.map(Addr::new)).collect();
+/// Coalescing partitions the active lanes: every active lane's line is in
+/// the output, the output has no duplicates, and it never exceeds the
+/// active lane count.
+#[test]
+fn coalescer_is_a_partition() {
+    for case in 0..CASES * 4 {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_1003 ^ case);
+        let n = rng.gen_range(0..33) as usize;
+        let addrs: Vec<Option<Addr>> = (0..n)
+            .map(|_| rng.gen_bool(0.8).then(|| Addr::new(rng.gen_range(0..1_000_000))))
+            .collect();
         let out = coalesce(&addrs, 128);
-        let active: Vec<LineAddr> =
-            addrs.iter().flatten().map(|a| a.to_line(128)).collect();
+        let active: Vec<LineAddr> = addrs.iter().flatten().map(|a| a.to_line(128)).collect();
         for l in &active {
-            prop_assert!(out.contains(l), "active lane's line missing");
+            assert!(out.contains(l), "case {case}: active lane's line missing");
         }
         for l in &out {
-            prop_assert!(active.contains(l), "phantom line in output");
+            assert!(active.contains(l), "case {case}: phantom line in output");
         }
         let mut dedup = out.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), out.len(), "duplicate transactions");
-        prop_assert!(out.len() <= active.len());
+        assert_eq!(dedup.len(), out.len(), "case {case}: duplicate transactions");
+        assert!(out.len() <= active.len(), "case {case}");
     }
 }

@@ -5,9 +5,8 @@
 //! reuse distances, hot/stream mixture — are explicit and testable.
 
 use gcache_core::addr::Addr;
+use gcache_core::rng::SmallRng;
 use gcache_sim::isa::Op;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Warp width assumed by the generators (Table 2's SIMT width).
 pub const LANES: usize = 32;
@@ -191,10 +190,10 @@ mod tests {
 
     #[test]
     fn warp_rng_is_deterministic_and_distinct() {
-        let a: u64 = warp_rng(7, 3, 1).gen();
-        let b: u64 = warp_rng(7, 3, 1).gen();
-        let c: u64 = warp_rng(7, 3, 2).gen();
-        let d: u64 = warp_rng(7, 4, 1).gen();
+        let a: u64 = warp_rng(7, 3, 1).next_u64();
+        let b: u64 = warp_rng(7, 3, 1).next_u64();
+        let c: u64 = warp_rng(7, 3, 2).next_u64();
+        let d: u64 = warp_rng(7, 4, 1).next_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d);

@@ -22,7 +22,6 @@ use crate::gen::{
 };
 use crate::spec::{Benchmark, Category, Scale, WorkloadInfo};
 use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
-use rand::Rng;
 
 const CTAS: usize = 128;
 const TPC: usize = 128; // 4 warps per CTA

@@ -17,7 +17,6 @@
 use crate::gen::{coalesced_load, coalesced_store, region, warp_rng, CyclicWalk, LINE};
 use crate::spec::{Benchmark, Category, Scale, WorkloadInfo};
 use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
-use rand::Rng;
 
 const CTAS: usize = 128;
 const TPC: usize = 128;
@@ -111,7 +110,7 @@ impl Syrk {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
         // Tile sized for a per-set footprint of 9 — SYRK's optimal PD.
-        Syrk { ctas: scale.ctas(CTAS), iters: scale.iters(32), tile_lines: 576, seed: 0x5e4 }
+        Syrk { ctas: scale.ctas(CTAS), iters: scale.iters(32), tile_lines: 576, seed: 0x777 }
     }
 }
 

@@ -13,12 +13,12 @@ use gcache_core::geometry::CacheGeometry;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One 2-way L1 set under G-Cache (Figure 7's configuration).
     let l1_geom = CacheGeometry::new(256, 2, 128)?;
-    let mut l1 = Cache::new(CacheConfig::l1(l1_geom, 0), Box::new(GCache::with_defaults(&l1_geom)));
+    let mut l1 = Cache::new(CacheConfig::l1(l1_geom, 0), GCache::with_defaults(&l1_geom));
 
     // A small L2 with one victim bit per core.
     let l2_geom = CacheGeometry::new(16 * 1024, 16, 128)?;
     let mut l2 =
-        Cache::with_victim_bits(CacheConfig::l2(l2_geom, 0), Box::new(Lru::new(&l2_geom)), 2, 1);
+        Cache::with_victim_bits(CacheConfig::l2(l2_geom, 0), Lru::new(&l2_geom), 2, 1);
 
     let core = CoreId(0);
     let a1 = LineAddr::new(0); // hot

@@ -1,10 +1,13 @@
-//! Property-based tests pitting the production cache substrate against
-//! simple reference models over randomised access streams.
+//! Randomised-property tests pitting the production cache substrate
+//! against simple reference models over seeded random access streams
+//! (dependency-free [`gcache_core::rng::SmallRng`], exact reproduction).
 
 use gcache::prelude::*;
 use gcache_core::geometry::CacheGeometry;
-use proptest::prelude::*;
+use gcache_core::rng::SmallRng;
 use std::collections::VecDeque;
+
+const CASES: u64 = 64;
 
 /// A straightforward reference LRU cache: per-set deque of line addresses,
 /// most recent first.
@@ -38,13 +41,16 @@ fn small_geom() -> CacheGeometry {
     CacheGeometry::new(2048, 4, 128).unwrap() // 4 sets, 4 ways
 }
 
-proptest! {
-    /// The production Cache under LRU, driven access+fill-on-miss, must
-    /// agree hit-for-hit with the reference model.
-    #[test]
-    fn lru_cache_matches_reference(lines in proptest::collection::vec(0u64..64, 1..400)) {
+/// The production Cache under LRU, driven access+fill-on-miss, must agree
+/// hit-for-hit with the reference model.
+#[test]
+fn lru_cache_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_2001 ^ case);
+        let n = rng.gen_range(1..400) as usize;
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
         let geom = small_geom();
-        let mut dut = Cache::new(CacheConfig::l1(geom, 0), Box::new(Lru::new(&geom)));
+        let mut dut = Cache::new(CacheConfig::l1(geom, 0), Lru::new(&geom));
         let mut reference = RefLru::new(geom);
         for (i, &raw) in lines.iter().enumerate() {
             let line = LineAddr::new(raw);
@@ -53,77 +59,94 @@ proptest! {
                 dut.fill(FillCtx::plain(line, CoreId(0)), false);
             }
             let ref_hit = reference.access(line);
-            prop_assert_eq!(dut_hit, ref_hit, "divergence at access {} (line {:#x})", i, raw);
+            assert_eq!(
+                dut_hit, ref_hit,
+                "case {case}: divergence at access {i} (line {raw:#x})"
+            );
         }
         // Stats agree with the replay.
-        prop_assert_eq!(dut.stats().accesses(), lines.len() as u64);
+        assert_eq!(dut.stats().accesses(), lines.len() as u64, "case {case}");
     }
+}
 
-    /// Under any policy, a cache never reports more hits than accesses and
-    /// never holds more lines than its capacity; flush returns the cache to
-    /// empty.
-    #[test]
-    fn cache_global_invariants(
-        lines in proptest::collection::vec(0u64..128, 1..300),
-        policy_idx in 0usize..4,
-        hints in proptest::collection::vec(any::<bool>(), 1..300),
-    ) {
+/// Under any policy, a cache never reports more hits than accesses and
+/// never holds more lines than its capacity; flush returns the cache to
+/// empty.
+#[test]
+fn cache_global_invariants() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_2002 ^ case);
         let geom = small_geom();
-        let policy: Box<dyn ReplacementPolicy> = match policy_idx {
-            0 => Box::new(Lru::new(&geom)),
-            1 => Box::new(Rrip::srrip(&geom, 3)),
-            2 => Box::new(GCache::with_defaults(&geom)),
-            _ => Box::new(StaticPdp::new(&geom, 5)),
+        let policy: PolicyKind = match rng.gen_range(0..4) {
+            0 => Lru::new(&geom).into(),
+            1 => Rrip::srrip(&geom, 3).into(),
+            2 => GCache::with_defaults(&geom).into(),
+            _ => StaticPdp::new(&geom, 5).into(),
         };
         let mut dut = Cache::new(CacheConfig::l1(geom, 64), policy);
-        for (i, &raw) in lines.iter().enumerate() {
-            let line = LineAddr::new(raw);
+        let n = rng.gen_range(1..300) as usize;
+        for _ in 0..n {
+            let line = LineAddr::new(rng.gen_range(0..128));
             if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
-                let hint = hints[i % hints.len()];
+                let hint = rng.gen_bool(0.5);
                 dut.fill(FillCtx { line, core: CoreId(0), victim_hint: hint }, false);
             }
-            prop_assert!(dut.occupancy() <= geom.lines() as usize);
+            assert!(dut.occupancy() <= geom.lines() as usize, "case {case}");
         }
         let s = dut.stats();
-        prop_assert!(s.hits() <= s.accesses());
-        prop_assert!(s.fills + s.bypassed_fills <= s.accesses());
+        assert!(s.hits() <= s.accesses(), "case {case}");
+        assert!(s.fills + s.bypassed_fills <= s.accesses(), "case {case}");
         dut.flush();
-        prop_assert_eq!(dut.occupancy(), 0);
+        assert_eq!(dut.occupancy(), 0, "case {case}");
         // After a flush every residency is accounted in the reuse histogram.
-        prop_assert_eq!(dut.stats().reuse.total(), dut.stats().fills);
+        assert_eq!(dut.stats().reuse.total(), dut.stats().fills, "case {case}");
     }
+}
 
-    /// A bypassing policy must never bypass when the set has free space.
-    #[test]
-    fn no_bypass_with_free_ways(lines in proptest::collection::vec(0u64..16, 1..64)) {
+/// A bypassing policy must never bypass when the set has free space.
+#[test]
+fn no_bypass_with_free_ways() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_2003 ^ case);
         let geom = CacheGeometry::new(1024, 4, 128).unwrap(); // 2 sets
-        let mut dut = Cache::new(CacheConfig::l1(geom, 0), Box::new(StaticPdp::new(&geom, 16)));
-        for &raw in &lines {
+        let mut dut = Cache::new(CacheConfig::l1(geom, 0), StaticPdp::new(&geom, 16));
+        let n = rng.gen_range(1..64) as usize;
+        for _ in 0..n {
+            let raw = rng.gen_range(0..16);
             let line = LineAddr::new(raw);
             let set = geom.set_of(line);
-            let free_before = (0..geom.ways() as usize).count() > dut_occupancy_of_set(&dut, set, geom);
+            let free_before =
+                (0..geom.ways() as usize).count() > dut_occupancy_of_set(&dut, set, geom);
             if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
                 let out = dut.fill(FillCtx::plain(line, CoreId(0)), false);
-                if free_before && dut_occupancy_of_set(&dut, set, geom) < geom.ways() as usize && out.bypassed {
-                    prop_assert!(false, "bypassed with a free way available");
+                if free_before
+                    && dut_occupancy_of_set(&dut, set, geom) < geom.ways() as usize
+                    && out.bypassed
+                {
+                    panic!("case {case}: bypassed with a free way available");
                 }
             }
         }
     }
+}
 
-    /// MSHR files conserve targets: everything allocated is returned by
-    /// completions, in order, exactly once.
-    #[test]
-    fn mshr_conserves_targets(ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..200)) {
+/// MSHR files conserve targets: everything allocated is returned by
+/// completions, in order, exactly once.
+#[test]
+fn mshr_conserves_targets() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_2004 ^ case);
+        let n = rng.gen_range(1..200) as usize;
         let mut mshr: MshrFile<usize> = MshrFile::new(4, 4);
         let mut outstanding: std::collections::HashMap<u64, Vec<usize>> = Default::default();
         let mut returned = 0usize;
         let mut accepted = 0usize;
-        for (i, &(line, complete)) in ops.iter().enumerate() {
-            if complete {
+        for i in 0..n {
+            let line = rng.gen_range(0..8);
+            if rng.gen_bool(0.5) {
                 let got = mshr.complete(LineAddr::new(line));
                 let expect = outstanding.remove(&line);
-                prop_assert_eq!(got.clone(), expect);
+                assert_eq!(got.clone(), expect, "case {case}");
                 returned += got.map_or(0, |v| v.len());
             } else if mshr.allocate(LineAddr::new(line), i).is_ok() {
                 outstanding.entry(line).or_default().push(i);
@@ -135,12 +158,12 @@ proptest! {
         for line in lines {
             let got = mshr.complete(line).unwrap();
             let expect = outstanding.remove(&line.raw()).unwrap();
-            prop_assert_eq!(&got, &expect);
+            assert_eq!(&got, &expect, "case {case}");
             returned += got.len();
         }
-        prop_assert_eq!(returned, accepted);
-        prop_assert!(mshr.is_empty());
-        prop_assert!(outstanding.is_empty());
+        assert_eq!(returned, accepted, "case {case}");
+        assert!(mshr.is_empty(), "case {case}");
+        assert!(outstanding.is_empty(), "case {case}");
     }
 }
 
