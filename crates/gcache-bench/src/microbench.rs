@@ -4,7 +4,7 @@
 //! in an external harness; this module provides the small subset they
 //! need — warm-up, iteration-count calibration, and a stable one-line
 //! report — with zero dependencies. Each `benches/*.rs` target is a plain
-//! `fn main()` (`harness = false`) built on [`bench`].
+//! `fn main()` (`harness = false`) built on [`bench()`].
 
 use std::time::{Duration, Instant};
 
@@ -28,7 +28,7 @@ pub fn time_it(f: impl FnOnce()) -> Duration {
 }
 
 /// Runs `f` repeatedly — one warm-up pass, then an iteration count
-/// calibrated so the timed region lasts roughly [`TARGET`] — and returns
+/// calibrated so the timed region lasts roughly 200 ms — and returns
 /// the mean per-iteration cost.
 pub fn measure(mut f: impl FnMut()) -> Measurement {
     // Warm-up + calibration estimate.

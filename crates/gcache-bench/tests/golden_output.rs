@@ -1,0 +1,54 @@
+//! Golden-output equivalence gate for the componentized memory hierarchy.
+//!
+//! The experiment binaries' stdout at test scale (`--quick`, three
+//! benchmarks spanning the cache-sensitive/insensitive spectrum, CFD
+//! exercising G-Cache bypass) was captured before the
+//! `CacheController`/`Clocked` refactor and committed under
+//! `tests/golden/`. These tests rerun the same commands and byte-compare:
+//! any divergence means a simulator behavior change, which must be
+//! intentional and accompanied by regenerated goldens **and** regenerated
+//! `results/*.txt` (see EXPERIMENTS.md).
+//!
+//! Progress chatter goes to stderr by design, so only stdout is compared.
+
+use std::process::Command;
+
+const BENCHES: &str = "BFS,CFD,STL";
+
+fn run_quick(bin: &str, golden: &str) {
+    let out = Command::new(bin)
+        .args(["--quick", "--bench", BENCHES])
+        .output()
+        .expect("spawn experiment binary");
+    assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("experiment output is UTF-8");
+    if stdout != golden {
+        // A plain assert_eq! on multi-kilobyte tables is unreadable; show
+        // the first diverging line instead.
+        for (i, (got, want)) in stdout.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(got, want, "first divergence at stdout line {}", i + 1);
+        }
+        assert_eq!(
+            stdout.lines().count(),
+            golden.lines().count(),
+            "line count differs from golden"
+        );
+        panic!("stdout differs from golden only in line endings or trailing bytes");
+    }
+}
+
+#[test]
+fn fig8_fig9_quick_stdout_matches_pre_refactor_golden() {
+    run_quick(
+        env!("CARGO_BIN_EXE_fig8_fig9"),
+        include_str!("golden/fig8_fig9_quick.txt"),
+    );
+}
+
+#[test]
+fn table3_quick_stdout_matches_pre_refactor_golden() {
+    run_quick(
+        env!("CARGO_BIN_EXE_table3"),
+        include_str!("golden/table3_quick.txt"),
+    );
+}

@@ -1,0 +1,426 @@
+//! A generic non-blocking cache controller: one [`Cache`] (tags + policy +
+//! write discipline + optional victim-bit side channel) combined with one
+//! [`MshrFile`] and the miss-handling state machine that connects them.
+//!
+//! Both levels of the simulated hierarchy are thin adapters over this type:
+//!
+//! * a GPU **L1** is a `CacheController` over a write-through/no-allocate
+//!   [`Cache`] with [`AtomicHandling::Forward`] — stores and atomics are
+//!   forwarded downstream, reads run the allocate-on-miss machine;
+//! * a GPU **L2 bank** is a `CacheController` over a write-back/allocate
+//!   [`Cache`] built with victim bits ([`Cache::with_victim_bits`]) and
+//!   [`AtomicHandling::Execute`] — every access kind runs the same machine,
+//!   and atomics are executed locally (by the owning partition's AOU).
+//!
+//! The controller is timing-free: the owner decides *when* to call
+//! [`CacheController::access`] and [`CacheController::fill_with`], and keeps
+//! any external resource gating (DRAM queue space, network credits) outside.
+//! `T` is the per-request bookkeeping returned when a fill releases the
+//! entry's merged targets (warp slots for an L1, response destinations for
+//! an L2).
+
+use crate::addr::{CoreId, LineAddr};
+use crate::cache::{Cache, FillOutcome, Lookup, WritePolicy};
+use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
+use crate::policy::{AccessKind, FillCtx};
+use crate::stats::CacheStats;
+
+/// How the controller treats [`AccessKind::Atomic`] accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AtomicHandling {
+    /// Atomics run the normal lookup/allocate machine and are executed at
+    /// this level (GPU L2: the partition's atomic unit works on L2 data).
+    Execute,
+    /// Atomics never touch this cache's data: a stale resident copy is
+    /// invalidated, the access is counted as uncached, and the caller must
+    /// forward the request downstream (GPU L1).
+    Forward,
+}
+
+/// What the owner must do after presenting one access to the controller.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControllerOutcome {
+    /// The line is resident; replacement state was refreshed.
+    Hit {
+        /// Victim-bit value observed for the requesting core (always
+        /// `false` without a victim-bit tracker) — the L2-side contention
+        /// signal that travels back with read responses.
+        victim_hint: bool,
+    },
+    /// First miss for this line: an MSHR entry was allocated and the owner
+    /// must send one request downstream.
+    MissPrimary,
+    /// Miss merged into an outstanding entry: nothing to send; the target
+    /// is released by the matching [`CacheController::fill_with`].
+    MissMerged,
+    /// The access does not allocate at this level (write-through store,
+    /// forwarded atomic): the owner must send it downstream as-is.
+    Forward,
+    /// No MSHR resources; the access must be replayed later. No cache or
+    /// MSHR state was modified and no statistics were recorded.
+    Blocked(MshrReject),
+}
+
+/// The fill decision an owner supplies to [`CacheController::fill_with`]
+/// once the merged targets are known.
+#[derive(Clone, Copy, Debug)]
+pub struct FillParams {
+    /// Requesting core recorded in the victim-bit tracker (L2) or carried
+    /// through to the policy's fill context (L1).
+    pub core: CoreId,
+    /// Victim hint attached to the fill (L1: the hint the L2 returned).
+    pub victim_hint: bool,
+    /// Install the line already dirty (write-allocate of a store miss).
+    pub dirty: bool,
+}
+
+/// A cache plus its MSHR file plus the shared miss-handling state machine.
+///
+/// # Examples
+///
+/// ```
+/// use gcache_core::addr::{CoreId, LineAddr};
+/// use gcache_core::cache::{Cache, CacheConfig};
+/// use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
+/// use gcache_core::geometry::CacheGeometry;
+/// use gcache_core::policy::lru::Lru;
+/// use gcache_core::policy::AccessKind;
+///
+/// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
+/// let geom = CacheGeometry::new(1024, 2, 128)?;
+/// let cache = Cache::new(CacheConfig::l1(geom, 0), Lru::new(&geom));
+/// let mut ctrl: CacheController<usize> =
+///     CacheController::new(cache, 4, 2, AtomicHandling::Forward);
+///
+/// let line = LineAddr::new(0x10);
+/// let out = ctrl.access(line, AccessKind::Read, CoreId(0), 7);
+/// assert_eq!(out, ControllerOutcome::MissPrimary);
+/// let mut woken = Vec::new();
+/// ctrl.fill_with(line, &mut woken, |_| FillParams {
+///     core: CoreId(0),
+///     victim_hint: false,
+///     dirty: false,
+/// });
+/// assert_eq!(woken, vec![7]);
+/// assert!(ctrl.contains(line));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CacheController<T> {
+    cache: Cache,
+    mshr: MshrFile<T>,
+    atomics: AtomicHandling,
+    blocked: u64,
+}
+
+impl<T> CacheController<T> {
+    /// Wraps `cache` (already configured with its write policy, policy and
+    /// optional victim-bit tracker) with an MSHR file of `mshr_entries`
+    /// entries × `mshr_merge` merged targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MshrFile::new`].
+    pub fn new(
+        cache: Cache,
+        mshr_entries: usize,
+        mshr_merge: usize,
+        atomics: AtomicHandling,
+    ) -> Self {
+        CacheController {
+            cache,
+            mshr: MshrFile::new(mshr_entries, mshr_merge),
+            atomics,
+            blocked: 0,
+        }
+    }
+
+    /// Presents one access.
+    ///
+    /// `target` is recorded in the MSHR on the miss path and released by
+    /// the matching [`CacheController::fill_with`]; it is dropped on every
+    /// other outcome.
+    ///
+    /// The resource check precedes the committed cache access, so a
+    /// [`ControllerOutcome::Blocked`] access can be replayed later without
+    /// having perturbed statistics, policy ageing or epoch counters.
+    pub fn access(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        core: CoreId,
+        target: T,
+    ) -> ControllerOutcome {
+        match (kind, self.cache.config().write_policy, self.atomics) {
+            (AccessKind::Write, WritePolicy::WriteThroughNoAllocate, _) => {
+                // Update a resident copy (the access also refreshes
+                // replacement state) and forward downstream.
+                let _ = self.cache.access(line, AccessKind::Write, core);
+                return ControllerOutcome::Forward;
+            }
+            (AccessKind::Atomic, _, AtomicHandling::Forward) => {
+                // Executed at the next level; drop any stale resident copy
+                // and account the access as uncached.
+                self.cache.invalidate_line(line);
+                self.cache.note_uncached_access(AccessKind::Atomic);
+                return ControllerOutcome::Forward;
+            }
+            _ => {}
+        }
+
+        if !self.cache.contains(line) {
+            return match self.mshr.allocate(line, target) {
+                Ok(alloc) => {
+                    let lookup = self.cache.access(line, kind, core);
+                    debug_assert!(!lookup.is_hit(), "contains() said miss");
+                    match alloc {
+                        MshrAlloc::Primary => ControllerOutcome::MissPrimary,
+                        MshrAlloc::Merged => ControllerOutcome::MissMerged,
+                    }
+                }
+                Err(reject) => {
+                    self.blocked += 1;
+                    ControllerOutcome::Blocked(reject)
+                }
+            };
+        }
+        match self.cache.access(line, kind, core) {
+            Lookup::Hit { victim_hint } => ControllerOutcome::Hit { victim_hint },
+            Lookup::Miss => unreachable!("contains() said hit"),
+        }
+    }
+
+    /// Handles a returning fill: releases the MSHR entry for `line` into
+    /// `out` (cleared first; targets appear in allocation order), asks the
+    /// owner for the fill parameters — `decide` sees the released targets,
+    /// so an L2 can derive dirtiness and the primary requester from them —
+    /// and applies the (possibly bypassing) fill to the cache.
+    ///
+    /// The entry's storage is recycled internally, so steady-state fills
+    /// with a reused `out` buffer perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR entry exists for `line` — a fill this controller
+    /// never requested indicates a protocol bug.
+    pub fn fill_with(
+        &mut self,
+        line: LineAddr,
+        out: &mut Vec<T>,
+        decide: impl FnOnce(&[T]) -> FillParams,
+    ) -> FillOutcome {
+        out.clear();
+        self.mshr
+            .complete_into(line, out)
+            .expect("fill without an outstanding MSHR entry");
+        let p = decide(out);
+        self.cache.fill(
+            FillCtx { line, core: p.core, victim_hint: p.victim_hint },
+            p.dirty,
+        )
+    }
+
+    /// Whether `line` is resident in the cache (no side effects).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.cache.contains(line)
+    }
+
+    /// Whether a miss for `line` is already outstanding (would merge).
+    pub fn pending_miss(&self, line: LineAddr) -> bool {
+        self.mshr.contains(line)
+    }
+
+    /// Whether a *new* (non-merging) miss would be rejected.
+    pub fn mshr_full(&self) -> bool {
+        self.mshr.is_full()
+    }
+
+    /// Whether all outstanding misses have been filled.
+    pub fn quiesced(&self) -> bool {
+        self.mshr.is_empty()
+    }
+
+    /// Accesses rejected for lack of MSHR resources (to be replayed).
+    pub const fn blocked(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Read access to the wrapped cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Direct access to the wrapped cache (kernel-end flush, victim-bit
+    /// observation for secondary fill targets, tests).
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        &mut self.cache
+    }
+
+    /// Read access to the MSHR file (occupancy statistics, tests).
+    pub fn mshr(&self) -> &MshrFile<T> {
+        &self.mshr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::geometry::CacheGeometry;
+    use crate::policy::lru::Lru;
+    use crate::policy::pdp::StaticPdp;
+
+    const C0: CoreId = CoreId(0);
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(1024, 2, 128).unwrap()
+    }
+
+    fn l1_style() -> CacheController<usize> {
+        let g = geom();
+        CacheController::new(
+            Cache::new(CacheConfig::l1(g, 0), Lru::new(&g)),
+            4,
+            2,
+            AtomicHandling::Forward,
+        )
+    }
+
+    fn l2_style() -> CacheController<usize> {
+        let g = geom();
+        CacheController::new(
+            Cache::with_victim_bits(CacheConfig::l2(g, 0), Lru::new(&g), 2, 1),
+            4,
+            4,
+            AtomicHandling::Execute,
+        )
+    }
+
+    fn fill(ctrl: &mut CacheController<usize>, line: LineAddr, dirty: bool) -> Vec<usize> {
+        let mut out = Vec::new();
+        ctrl.fill_with(line, &mut out, |_| FillParams { core: C0, victim_hint: false, dirty });
+        out
+    }
+
+    #[test]
+    fn write_through_stores_forward_without_allocating() {
+        let mut c = l1_style();
+        let line = LineAddr::new(0x20);
+        assert_eq!(c.access(line, AccessKind::Write, C0, 0), ControllerOutcome::Forward);
+        assert!(!c.contains(line));
+        assert!(c.quiesced(), "forwarded stores must not occupy MSHRs");
+    }
+
+    #[test]
+    fn forwarded_atomic_invalidates_resident_copy() {
+        let mut c = l1_style();
+        let line = LineAddr::new(0);
+        c.access(line, AccessKind::Read, C0, 0);
+        fill(&mut c, line, false);
+        assert!(c.contains(line));
+        assert_eq!(c.access(line, AccessKind::Atomic, C0, 1), ControllerOutcome::Forward);
+        assert!(!c.contains(line), "atomic must drop the stale copy");
+    }
+
+    #[test]
+    fn primary_then_merge_then_blocked() {
+        let mut c = l1_style();
+        let line = LineAddr::new(0x10);
+        assert_eq!(c.access(line, AccessKind::Read, C0, 10), ControllerOutcome::MissPrimary);
+        assert_eq!(c.access(line, AccessKind::Read, C0, 11), ControllerOutcome::MissMerged);
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0, 12),
+            ControllerOutcome::Blocked(MshrReject::MergeFull)
+        );
+        assert_eq!(c.blocked(), 1);
+        // A blocked access records nothing: two misses committed so far.
+        assert_eq!(c.stats().misses(), 2);
+        assert_eq!(fill(&mut c, line, false), vec![10, 11]);
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0, 13),
+            ControllerOutcome::Hit { victim_hint: false }
+        );
+    }
+
+    #[test]
+    fn entry_exhaustion_blocks_with_full() {
+        let mut c = l1_style();
+        for i in 0..4 {
+            assert_eq!(
+                c.access(LineAddr::new(i), AccessKind::Read, C0, 0),
+                ControllerOutcome::MissPrimary
+            );
+        }
+        assert_eq!(
+            c.access(LineAddr::new(9), AccessKind::Read, C0, 0),
+            ControllerOutcome::Blocked(MshrReject::Full)
+        );
+    }
+
+    #[test]
+    fn write_back_stores_allocate_and_dirty() {
+        let mut c = l2_style();
+        let line = LineAddr::new(3);
+        assert_eq!(c.access(line, AccessKind::Write, C0, 0), ControllerOutcome::MissPrimary);
+        let targets = fill(&mut c, line, true);
+        assert_eq!(targets, vec![0]);
+        assert_eq!(c.cache_mut().flush().len(), 1, "write-allocated line must be dirty");
+    }
+
+    #[test]
+    fn executed_atomic_runs_the_miss_machine() {
+        let mut c = l2_style();
+        let line = LineAddr::new(4);
+        assert_eq!(c.access(line, AccessKind::Atomic, C0, 5), ControllerOutcome::MissPrimary);
+        fill(&mut c, line, true);
+        assert_eq!(
+            c.access(line, AccessKind::Atomic, C0, 6),
+            ControllerOutcome::Hit { victim_hint: false }
+        );
+    }
+
+    #[test]
+    fn victim_hint_surfaces_on_read_hits() {
+        let mut c = l2_style();
+        let line = LineAddr::new(0x80);
+        c.access(line, AccessKind::Read, C0, 0);
+        fill(&mut c, line, false);
+        // Fill set C0's victim bit; a re-read from C0 observes it.
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0, 1),
+            ControllerOutcome::Hit { victim_hint: true }
+        );
+    }
+
+    #[test]
+    fn bypassing_fill_still_releases_targets() {
+        let g = CacheGeometry::new(256, 2, 128).unwrap(); // 1 set, 2 ways
+        let mut c: CacheController<usize> = CacheController::new(
+            Cache::new(CacheConfig::l1(g, 0), StaticPdp::new(&g, 16)),
+            4,
+            4,
+            AtomicHandling::Forward,
+        );
+        for i in 0..2u64 {
+            c.access(LineAddr::new(i), AccessKind::Read, C0, 0);
+            fill(&mut c, LineAddr::new(i), false);
+        }
+        c.access(LineAddr::new(2), AccessKind::Read, C0, 9);
+        assert_eq!(fill(&mut c, LineAddr::new(2), false), vec![9]);
+        assert!(!c.contains(LineAddr::new(2)));
+        assert_eq!(c.stats().bypassed_fills, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an outstanding")]
+    fn unsolicited_fill_panics() {
+        let mut c = l1_style();
+        fill(&mut c, LineAddr::new(0), false);
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`policy`] | LRU, SRRIP/BRRIP, G-Cache, static & dynamic PDP |
 //! | [`victim_bits`] | the L2 tag extension of §4.1 |
 //! | [`cache`] | the assembled cache (lookup / fill / flush) |
+//! | [`controller`] | cache + MSHRs + the generic miss-handling machine |
 //! | [`reuse`] | offline reuse profiling (Figure 2 infrastructure) |
 //! | [`overhead`] | the storage-cost arithmetic of §4.3 |
 //! | [`stats`] | counters and reuse histograms |
@@ -59,6 +60,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod controller;
 pub mod geometry;
 pub mod line;
 pub mod mshr;
@@ -74,6 +76,9 @@ pub mod victim_bits;
 pub mod prelude {
     pub use crate::addr::{Addr, CoreId, LineAddr, PartitionId};
     pub use crate::cache::{Cache, CacheConfig, FillOutcome, Lookup, WritePolicy};
+    pub use crate::controller::{
+        AtomicHandling, CacheController, ControllerOutcome, FillParams,
+    };
     pub use crate::geometry::CacheGeometry;
     pub use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
     pub use crate::policy::gcache::{GCache, GCacheConfig};

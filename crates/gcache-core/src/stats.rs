@@ -89,7 +89,7 @@ impl ReuseHistogram {
 }
 
 /// Counters for a single cache.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Load accesses.
     pub reads: u64,

@@ -1,0 +1,109 @@
+//! The common clocking contract of every simulated component.
+//!
+//! The GPU's cycle loop no longer hard-codes its topology as control flow:
+//! each hardware block implements [`Clocked`] (self-contained components:
+//! meshes, partitions, DRAM channels) or [`ClockedWith`] (components that
+//! exchange messages through ports on each tick: the core array and the
+//! memory system, both talking to the interconnect), and the
+//! [`crate::gpu::Gpu`] driver just ticks them in pipeline order. The
+//! [`Watchdog`] factors out the forward-progress check that guards the
+//! loop against protocol deadlocks.
+
+/// A self-contained component advanced one core cycle at a time.
+pub trait Clocked {
+    /// Advances the component to cycle `now`. Called exactly once per
+    /// simulated core cycle, with `now` strictly increasing.
+    fn tick(&mut self, now: u64);
+
+    /// Whether all internal work has drained (used for the end-of-kernel
+    /// barrier: the GPU stops when every component is idle).
+    fn is_idle(&self) -> bool;
+}
+
+/// A component that exchanges messages with its neighbours through a port
+/// bundle `P` while ticking — e.g. the SIMT core array draining response
+/// ports and feeding request ports of the interconnect.
+pub trait ClockedWith<P: ?Sized> {
+    /// Advances the component to cycle `now`, receiving and sending
+    /// through `ports`.
+    fn tick_with(&mut self, now: u64, ports: &mut P);
+
+    /// Whether all internal work has drained.
+    fn is_idle(&self) -> bool;
+}
+
+/// Detects stalled simulations: samples a progress signature every
+/// `interval` cycles and reports a deadlock once the signature has not
+/// changed for more than `patience` cycles.
+#[derive(Debug)]
+pub struct Watchdog<S> {
+    interval: u64,
+    patience: u64,
+    last_progress_cycle: u64,
+    last_sig: S,
+}
+
+impl<S: PartialEq> Watchdog<S> {
+    /// Creates a watchdog sampling every `interval` cycles, declaring a
+    /// deadlock after `patience` cycles without change. `now` and `sig`
+    /// seed the baseline.
+    pub fn new(interval: u64, patience: u64, now: u64, sig: S) -> Self {
+        assert!(interval > 0, "watchdog interval must be positive");
+        Watchdog { interval, patience, last_progress_cycle: now, last_sig: sig }
+    }
+
+    /// Samples progress at cycle `now`. `sig` is only evaluated on sample
+    /// cycles (multiples of the interval). Returns `true` when the
+    /// signature has been stuck past the patience window — a deadlock.
+    pub fn observe(&mut self, now: u64, sig: impl FnOnce() -> S) -> bool {
+        if !now.is_multiple_of(self.interval) {
+            return false;
+        }
+        let sig = sig();
+        if sig == self.last_sig {
+            now - self.last_progress_cycle > self.patience
+        } else {
+            self.last_sig = sig;
+            self.last_progress_cycle = now;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_fires_only_after_patience() {
+        let mut w = Watchdog::new(4, 10, 0, 0u64);
+        for now in 1..=10 {
+            assert!(!w.observe(now, || 0), "within patience at {now}");
+        }
+        // Cycle 12 is a sample point with now - 0 = 12 > 10.
+        assert!(!w.observe(11, || 0), "not a sample cycle");
+        assert!(w.observe(12, || 0));
+    }
+
+    #[test]
+    fn watchdog_resets_on_progress() {
+        let mut w = Watchdog::new(4, 10, 0, 0u64);
+        assert!(!w.observe(8, || 1), "signature changed");
+        for now in 9..=18 {
+            assert!(!w.observe(now, || 1), "within renewed patience at {now}");
+        }
+        assert!(w.observe(20, || 1));
+    }
+
+    #[test]
+    fn signature_closure_runs_only_on_sample_cycles() {
+        let mut w = Watchdog::new(4096, 10, 0, 0u64);
+        let mut evaluated = false;
+        // 17 is not a multiple of 4096: the closure must not run.
+        assert!(!w.observe(17, || {
+            evaluated = true;
+            0
+        }));
+        assert!(!evaluated, "signature must not be computed off-sample");
+    }
+}

@@ -1,8 +1,13 @@
 //! Simulator configuration (the paper's Table 2).
 
+use crate::system::Topology;
 use gcache_core::geometry::{CacheGeometry, GeometryError};
-use gcache_core::policy::gcache::GCacheConfig;
-use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
+use gcache_core::policy::gcache::{GCache, GCacheConfig};
+use gcache_core::policy::lru::Lru;
+use gcache_core::policy::pdp::StaticPdp;
+use gcache_core::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
+use gcache_core::policy::rrip::Rrip;
+use gcache_core::policy::PolicyKind;
 use std::fmt;
 
 /// Which L1 management policy a design point uses (§5's design names).
@@ -40,6 +45,18 @@ impl L1PolicyKind {
                 _ => "PDP-dyn",
             },
         }
+    }
+}
+
+/// Builds the L1 policy for a design point (enum-dispatched: the hooks
+/// run on every cache access, so no `Box<dyn>` vtable on that path).
+pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> PolicyKind {
+    match kind {
+        L1PolicyKind::Lru => Lru::new(geom).into(),
+        L1PolicyKind::Srrip { bits } => Rrip::srrip(geom, *bits).into(),
+        L1PolicyKind::GCache(cfg) => GCache::new(geom, *cfg).into(),
+        L1PolicyKind::StaticPdp { pd } => StaticPdp::new(geom, *pd).into(),
+        L1PolicyKind::DynamicPdp(cfg) => DynamicPdp::new(geom, *cfg).into(),
     }
 }
 
@@ -218,6 +235,20 @@ impl GpuConfig {
     /// Line size shared by the whole hierarchy.
     pub fn line_size(&self) -> u32 {
         self.l1_geometry.line_size()
+    }
+
+    /// The node placement on the mesh — topology as data: cores occupy
+    /// nodes `0..cores` row-major, partitions the next `partitions` nodes.
+    /// Components address each other through this table (see
+    /// [`crate::system`]), so alternative placements only change this
+    /// method.
+    pub fn topology(&self) -> Topology {
+        Topology {
+            mesh_width: self.mesh_width,
+            mesh_height: self.mesh_height,
+            core_nodes: (0..self.cores).collect(),
+            part_nodes: (self.cores..self.cores + self.partitions).collect(),
+        }
     }
 
     /// Validates cross-field invariants.

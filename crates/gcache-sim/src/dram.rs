@@ -284,6 +284,16 @@ impl<T> Dram<T> {
     }
 }
 
+impl<T> crate::clocked::Clocked for Dram<T> {
+    fn tick(&mut self, now: u64) {
+        Dram::tick(self, now);
+    }
+
+    fn is_idle(&self) -> bool {
+        Dram::is_idle(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,23 +1,17 @@
-//! The assembled GPU: cores + request/response meshes + memory partitions,
-//! clocked by a single deterministic cycle loop.
+//! The assembled GPU: a thin deterministic driver over the
+//! [`crate::system`] components — core array ⇄ interconnect ⇄ memory
+//! system — ticked in pipeline order each cycle and guarded by a
+//! forward-progress [`Watchdog`].
 
-use crate::config::{GpuConfig, L1PolicyKind};
-use crate::core::SimtCore;
-use crate::icnt::Mesh;
+use crate::clocked::{Clocked, ClockedWith, Watchdog};
+use crate::config::GpuConfig;
 use crate::isa::Kernel;
-use crate::partition::Partition;
-use crate::request::{partition_of, MemRequest, MemResponse};
 use crate::stats::SimStats;
-use gcache_core::addr::{CoreId, PartitionId};
-use gcache_core::geometry::CacheGeometry;
-use gcache_core::policy::gcache::GCache;
-use gcache_core::policy::lru::Lru;
-use gcache_core::policy::pdp::StaticPdp;
-use gcache_core::policy::pdp_dyn::DynamicPdp;
-use gcache_core::policy::rrip::Rrip;
-use gcache_core::policy::PolicyKind;
+use crate::system::{CoreComplex, Interconnect, MemorySystem};
 use gcache_core::stats::CacheStats;
 use std::fmt;
+
+pub use crate::config::make_l1_policy;
 
 /// Why a simulation could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,17 +43,10 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Builds the L1 policy for a design point (enum-dispatched: the hooks
-/// run on every cache access, so no `Box<dyn>` vtable on that path).
-pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> PolicyKind {
-    match kind {
-        L1PolicyKind::Lru => Lru::new(geom).into(),
-        L1PolicyKind::Srrip { bits } => Rrip::srrip(geom, *bits).into(),
-        L1PolicyKind::GCache(cfg) => GCache::new(geom, *cfg).into(),
-        L1PolicyKind::StaticPdp { pd } => StaticPdp::new(geom, *pd).into(),
-        L1PolicyKind::DynamicPdp(cfg) => DynamicPdp::new(geom, *cfg).into(),
-    }
-}
+/// Sampling interval of the forward-progress watchdog, in cycles.
+const WATCHDOG_INTERVAL: u64 = 4096;
+/// Cycles without progress before the watchdog declares a deadlock.
+const WATCHDOG_PATIENCE: u64 = 500_000;
 
 /// The simulated GPU.
 ///
@@ -95,10 +82,9 @@ pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> PolicyKind {
 #[derive(Debug)]
 pub struct Gpu {
     cfg: GpuConfig,
-    cores: Vec<SimtCore>,
-    partitions: Vec<Partition>,
-    req_net: Mesh<MemRequest>,
-    resp_net: Mesh<MemResponse>,
+    cores: CoreComplex,
+    icnt: Interconnect,
+    mem: MemorySystem,
     cycle: u64,
 }
 
@@ -111,13 +97,10 @@ impl Gpu {
     /// [`GpuConfig::validate`]).
     pub fn new(cfg: GpuConfig) -> Self {
         cfg.validate();
-        let cores = (0..cfg.cores)
-            .map(|i| SimtCore::new(CoreId(i), &cfg, make_l1_policy(&cfg.l1_policy, &cfg.l1_geometry)))
-            .collect();
-        let partitions = (0..cfg.partitions).map(|p| Partition::new(PartitionId(p), &cfg)).collect();
-        let req_net = Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
-        let resp_net = Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
-        Gpu { cfg, cores, partitions, req_net, resp_net, cycle: 0 }
+        let cores = CoreComplex::new(&cfg);
+        let icnt = Interconnect::new(&cfg, cfg.topology());
+        let mem = MemorySystem::new(&cfg);
+        Gpu { cfg, cores, icnt, mem, cycle: 0 }
     }
 
     /// The active configuration.
@@ -128,18 +111,6 @@ impl Gpu {
     /// Current simulated cycle.
     pub const fn cycle(&self) -> u64 {
         self.cycle
-    }
-
-    fn core_node(&self, core: usize) -> usize {
-        core
-    }
-
-    fn part_node(&self, part: usize) -> usize {
-        self.cfg.cores + part
-    }
-
-    fn flits(&self, bytes: u32) -> u32 {
-        bytes.div_ceil(self.cfg.channel_bytes)
     }
 
     /// Runs one kernel to completion and returns the aggregated statistics.
@@ -156,20 +127,17 @@ impl Gpu {
     /// (a bug in the simulator or a malformed kernel, e.g. mismatched
     /// barriers).
     pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> Result<SimStats, SimError> {
-        let grid = kernel.grid();
-        let total_ctas = grid.ctas;
-        let mut next_cta = 0usize;
-        let mut rr_core = 0usize;
         let start_cycle = self.cycle;
-
-        // Initial placement: round-robin CTAs over cores until full.
-        next_cta = self.refill_ctas(kernel, next_cta, total_ctas, &mut rr_core);
-
-        let mut last_progress_cycle = self.cycle;
-        let mut last_progress_sig = self.progress_signature();
+        self.cores.begin_kernel(kernel);
+        let mut watchdog = Watchdog::new(
+            WATCHDOG_INTERVAL,
+            WATCHDOG_PATIENCE,
+            self.cycle,
+            self.progress_signature(),
+        );
 
         loop {
-            if next_cta >= total_ctas && self.all_idle() {
+            if self.cores.fully_dispatched() && self.all_idle() {
                 break;
             }
             self.cycle += 1;
@@ -178,116 +146,47 @@ impl Gpu {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
             }
 
-            // Cores issue and feed the request network.
-            for i in 0..self.cores.len() {
-                let node = self.core_node(i);
-                let can_inject = self.req_net.can_inject(node);
-                if let Some(req) = self.cores[i].tick(now, can_inject) {
-                    let part = partition_of(req.line, self.cfg.partitions);
-                    let flits = self.flits(req.packet_bytes(self.cfg.line_size()));
-                    let dst = self.part_node(part.index());
-                    self.req_net
-                        .inject_at(node, dst, flits, req, now)
-                        .expect("injection gated by can_inject");
-                }
-            }
+            // One pipeline pass: cores (drain responses, issue, inject
+            // requests) → both meshes → memory (drain requests, tick,
+            // inject responses) → CTA dispatch.
+            self.cores.tick_with(now, &mut self.icnt);
+            self.icnt.tick(now);
+            self.mem.tick_with(now, &mut self.icnt);
+            self.cores.dispatch(kernel);
 
-            self.req_net.tick(now);
-            self.resp_net.tick(now);
-
-            // Partitions consume requests, tick, and emit responses.
-            for p in 0..self.partitions.len() {
-                let node = self.part_node(p);
-                while let Some(req) = self.req_net.eject(node) {
-                    self.partitions[p].push_request(req);
-                }
-                self.partitions[p].tick(now);
-                while self.resp_net.can_inject(node) {
-                    let Some(resp) = self.partitions[p].pop_response(now) else { break };
-                    let flits = self.flits(resp.packet_bytes(self.cfg.line_size()));
-                    let dst = self.core_node(resp.core.index());
-                    self.resp_net
-                        .inject_at(node, dst, flits, resp, now)
-                        .expect("injection gated by can_inject");
-                }
-            }
-
-            // Responses wake warps.
-            for i in 0..self.cores.len() {
-                let node = self.core_node(i);
-                while let Some(resp) = self.resp_net.eject(node) {
-                    self.cores[i].on_response(resp);
-                }
-            }
-
-            // Keep cores fed with CTAs.
-            if next_cta < total_ctas {
-                next_cta = self.refill_ctas(kernel, next_cta, total_ctas, &mut rr_core);
-            }
-
-            // Watchdog.
-            if now.is_multiple_of(4096) {
-                let sig = self.progress_signature();
-                if sig == last_progress_sig {
-                    if now - last_progress_cycle > 500_000 {
-                        return Err(SimError::Deadlock { cycle: now, detail: self.debug_state() });
-                    }
-                } else {
-                    last_progress_sig = sig;
-                    last_progress_cycle = now;
-                }
+            let (cores, icnt, mem) = (&self.cores, &self.icnt, &self.mem);
+            if watchdog.observe(now, || Self::signature_of(cores, icnt, mem)) {
+                return Err(SimError::Deadlock { cycle: now, detail: self.debug_state() });
             }
         }
 
         Ok(self.collect_stats(kernel.name(), self.cycle - start_cycle))
     }
 
-    fn refill_ctas(
-        &mut self,
-        kernel: &dyn Kernel,
-        mut next_cta: usize,
-        total: usize,
-        rr_core: &mut usize,
-    ) -> usize {
-        let n = self.cores.len();
-        let mut stalled = 0;
-        while next_cta < total && stalled < n {
-            let c = *rr_core % n;
-            if self.cores[c].can_launch(kernel) {
-                self.cores[c].launch_cta(kernel, next_cta);
-                next_cta += 1;
-                stalled = 0;
-            } else {
-                stalled += 1;
-            }
-            *rr_core = (*rr_core + 1) % n;
-        }
-        next_cta
+    fn all_idle(&self) -> bool {
+        ClockedWith::<Interconnect>::is_idle(&self.cores)
+            && self.icnt.is_idle()
+            && ClockedWith::<Interconnect>::is_idle(&self.mem)
     }
 
-    fn all_idle(&self) -> bool {
-        self.cores.iter().all(SimtCore::is_idle)
-            && self.req_net.is_idle()
-            && self.resp_net.is_idle()
-            && self.partitions.iter().all(Partition::is_idle)
+    fn signature_of(cores: &CoreComplex, icnt: &Interconnect, mem: &MemorySystem) -> (u64, u64, u64) {
+        let delivered = icnt.req_stats().delivered + icnt.resp_stats().delivered;
+        (cores.instructions(), delivered, mem.dram_completed())
     }
 
     fn progress_signature(&self) -> (u64, u64, u64) {
-        let instr: u64 = self.cores.iter().map(|c| c.stats().instructions).sum();
-        let delivered = self.req_net.stats().delivered + self.resp_net.stats().delivered;
-        let dram: u64 = self.partitions.iter().map(|p| p.dram_stats().completed).sum();
-        (instr, delivered, dram)
+        Self::signature_of(&self.cores, &self.icnt, &self.mem)
     }
 
     fn debug_state(&self) -> String {
-        let idle_cores = self.cores.iter().filter(|c| c.is_idle()).count();
-        let idle_parts = self.partitions.iter().filter(|p| p.is_idle()).count();
+        let idle_cores = self.cores.cores().iter().filter(|c| c.is_idle()).count();
+        let idle_parts = self.mem.partitions().iter().filter(|p| p.is_idle()).count();
         format!(
             "{idle_cores}/{} cores idle, {idle_parts}/{} partitions idle, req_net idle={}, resp_net idle={}",
-            self.cores.len(),
-            self.partitions.len(),
-            self.req_net.is_idle(),
-            self.resp_net.is_idle()
+            self.cores.cores().len(),
+            self.mem.partitions().len(),
+            self.icnt.req_stats().delivered == self.icnt.req_stats().packets,
+            self.icnt.resp_stats().delivered == self.icnt.resp_stats().packets
         )
     }
 
@@ -295,7 +194,7 @@ impl Gpu {
     fn collect_stats(&mut self, kernel: &str, cycles: u64) -> SimStats {
         let mut l1 = CacheStats::new();
         let mut core = crate::core::CoreStats::default();
-        for c in &mut self.cores {
+        for c in self.cores.cores_mut() {
             c.l1_mut().cache_mut().flush();
             l1.merge(c.l1().stats());
             core.merge(c.stats());
@@ -303,7 +202,7 @@ impl Gpu {
         let mut l2 = CacheStats::new();
         let mut dram = crate::dram::DramStats::default();
         let mut partition = crate::partition::PartitionStats::default();
-        for p in &mut self.partitions {
+        for p in self.mem.partitions_mut() {
             p.l2_mut().flush();
             l2.merge(p.l2_stats());
             dram.merge(p.dram_stats());
@@ -317,8 +216,8 @@ impl Gpu {
             l1,
             l2,
             dram,
-            noc_req: *self.req_net.stats(),
-            noc_resp: *self.resp_net.stats(),
+            noc_req: *self.icnt.req_stats(),
+            noc_resp: *self.icnt.resp_stats(),
             core,
             partition,
         }

@@ -308,6 +308,16 @@ impl<T> Mesh<T> {
     }
 }
 
+impl<T> crate::clocked::Clocked for Mesh<T> {
+    fn tick(&mut self, now: u64) {
+        Mesh::tick(self, now);
+    }
+
+    fn is_idle(&self) -> bool {
+        Mesh::is_idle(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

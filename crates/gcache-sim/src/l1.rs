@@ -1,15 +1,18 @@
-//! The per-core L1 memory unit: data cache (write-through, no-allocate),
-//! MSHRs, and the request-generation rules of §2.2.
+//! The per-core L1 memory unit: a thin adapter over the generic
+//! [`CacheController`] configured write-through/no-allocate with forwarded
+//! atomics, plus the request-generation rules of §2.2.
 //!
 //! Atomics never touch L1 data (they execute at the partition's atomic
 //! unit); a resident copy of an atomically-updated line is invalidated to
-//! keep the timing model's state machine honest.
+//! keep the timing model's state machine honest. All of that lives in the
+//! shared controller — this type only translates [`ControllerOutcome`]s
+//! into the [`MemRequest`]s the core must inject.
 
 use crate::request::{MemRequest, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr};
-use gcache_core::cache::{Cache, CacheConfig, Lookup};
-use gcache_core::mshr::{MshrAlloc, MshrFile, MshrReject};
-use gcache_core::policy::{AccessKind, FillCtx, PolicyKind};
+use gcache_core::cache::{Cache, CacheConfig};
+use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
+use gcache_core::policy::{AccessKind, PolicyKind};
 use gcache_core::stats::CacheStats;
 
 /// What the core must do after presenting an access to the L1.
@@ -47,9 +50,7 @@ impl L1Outcome {
 #[derive(Debug)]
 pub struct L1Controller {
     core: CoreId,
-    cache: Cache,
-    mshr: MshrFile<WarpSlot>,
-    replays: u64,
+    ctrl: CacheController<WarpSlot>,
 }
 
 impl L1Controller {
@@ -64,9 +65,12 @@ impl L1Controller {
     ) -> Self {
         L1Controller {
             core,
-            cache: Cache::new(cfg, policy),
-            mshr: MshrFile::new(mshr_entries, mshr_merge),
-            replays: 0,
+            ctrl: CacheController::new(
+                Cache::new(cfg, policy),
+                mshr_entries,
+                mshr_merge,
+                AtomicHandling::Forward,
+            ),
         }
     }
 
@@ -77,79 +81,42 @@ impl L1Controller {
 
     /// Cache statistics.
     pub fn stats(&self) -> &CacheStats {
-        self.cache.stats()
+        self.ctrl.stats()
     }
 
     /// Direct access to the cache (flush at kernel end, inspection).
     pub fn cache_mut(&mut self) -> &mut Cache {
-        &mut self.cache
+        self.ctrl.cache_mut()
     }
 
     /// Read access to the cache.
     pub fn cache(&self) -> &Cache {
-        &self.cache
+        self.ctrl.cache()
     }
 
     /// Accesses blocked on MSHR resources (replayed later).
     pub const fn replays(&self) -> u64 {
-        self.replays
+        self.ctrl.blocked()
     }
 
     /// Whether all misses have been filled.
     pub fn quiesced(&self) -> bool {
-        self.mshr.is_empty()
+        self.ctrl.quiesced()
     }
 
     /// Presents one coalesced transaction to the L1.
     pub fn access(&mut self, line: LineAddr, kind: AccessKind, warp: WarpSlot) -> L1Outcome {
-        match kind {
-            AccessKind::Write => {
-                // Write-through, no-allocate: update a resident copy (the
-                // access also refreshes replacement state) and forward.
-                let _ = self.cache.access(line, AccessKind::Write, self.core);
-                L1Outcome::WriteForward(MemRequest { line, kind, core: self.core, warp })
-            }
-            AccessKind::Atomic => {
-                // Atomics execute at the memory partition; drop any stale
-                // resident copy and account the access as uncached.
-                self.cache.invalidate_line(line);
-                self.cache.note_uncached_access(AccessKind::Atomic);
-                L1Outcome::AtomicForward(MemRequest { line, kind, core: self.core, warp })
-            }
-            AccessKind::Read => {
-                // Resource check precedes the committed access so a blocked
-                // (replayed) transaction is counted exactly once.
-                if !self.cache.contains(line) {
-                    let alloc = if self.mshr.contains(line) || !self.mshr.is_full() {
-                        self.mshr.allocate(line, warp)
-                    } else {
-                        Err(MshrReject::Full)
-                    };
-                    return match alloc {
-                        Ok(kind_alloc) => {
-                            let lookup = self.cache.access(line, AccessKind::Read, self.core);
-                            debug_assert!(!lookup.is_hit(), "contains() said miss");
-                            match kind_alloc {
-                                MshrAlloc::Primary => L1Outcome::MissPrimary(MemRequest {
-                                    line,
-                                    kind,
-                                    core: self.core,
-                                    warp,
-                                }),
-                                MshrAlloc::Merged => L1Outcome::MissMerged,
-                            }
-                        }
-                        Err(MshrReject::Full | MshrReject::MergeFull) => {
-                            self.replays += 1;
-                            L1Outcome::Blocked
-                        }
-                    };
-                }
-                match self.cache.access(line, AccessKind::Read, self.core) {
-                    Lookup::Hit { .. } => L1Outcome::Hit,
-                    Lookup::Miss => unreachable!("contains() said hit"),
-                }
-            }
+        let request = MemRequest { line, kind, core: self.core, warp };
+        match self.ctrl.access(line, kind, self.core, warp) {
+            ControllerOutcome::Hit { .. } => L1Outcome::Hit,
+            ControllerOutcome::MissPrimary => L1Outcome::MissPrimary(request),
+            ControllerOutcome::MissMerged => L1Outcome::MissMerged,
+            ControllerOutcome::Blocked(_) => L1Outcome::Blocked,
+            ControllerOutcome::Forward => match kind {
+                AccessKind::Write => L1Outcome::WriteForward(request),
+                AccessKind::Atomic => L1Outcome::AtomicForward(request),
+                AccessKind::Read => unreachable!("reads are never forwarded"),
+            },
         }
     }
 
@@ -177,12 +144,10 @@ impl L1Controller {
     /// Panics if no MSHR entry exists for `line` — a response the L1 never
     /// requested indicates a protocol bug.
     pub fn fill_into(&mut self, line: LineAddr, victim_hint: bool, out: &mut Vec<WarpSlot>) {
-        out.clear();
-        self.mshr
-            .complete_into(line, out)
-            .expect("L1 fill without an outstanding MSHR entry");
-        let ctx = FillCtx { line, core: self.core, victim_hint };
-        let outcome = self.cache.fill(ctx, false);
+        let core = self.core;
+        let outcome = self
+            .ctrl
+            .fill_with(line, out, |_| FillParams { core, victim_hint, dirty: false });
         debug_assert!(
             outcome.evicted.is_none_or(|e| !e.dirty),
             "write-through L1 evicted a dirty line"

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clocked;
 pub mod coalescer;
 pub mod config;
 pub mod core;
@@ -61,15 +62,20 @@ pub mod icnt;
 pub mod isa;
 pub mod l1;
 pub mod partition;
+pub mod port;
 pub mod request;
 pub mod scheduler;
 pub mod stats;
+pub mod system;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
+    pub use crate::clocked::{Clocked, ClockedWith, Watchdog};
     pub use crate::config::{DramTiming, GpuConfig, L1PolicyKind, WarpSchedKind};
     pub use crate::energy::{EnergyBreakdown, EnergyModel};
     pub use crate::gpu::{Gpu, SimError};
     pub use crate::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
+    pub use crate::port::{RxPort, TxPort};
     pub use crate::stats::{geomean, SimStats};
+    pub use crate::system::{CoreComplex, Interconnect, MemorySystem, Topology};
 }

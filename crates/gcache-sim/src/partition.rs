@@ -2,18 +2,26 @@
 //! the G-Cache victim-bit extension), one Atomic Operation Unit, and one
 //! FR-FCFS GDDR5 memory controller (§2.2, Figure 1).
 //!
+//! The L2 bank is a thin adapter over the generic
+//! [`CacheController`] — the same miss-handling machine the L1 uses, here
+//! wrapped around a write-back/allocate cache with victim bits and
+//! [`AtomicHandling::Execute`]. The partition keeps only what is genuinely
+//! partition-level: DRAM admission gating, response scheduling, and the
+//! AOU serialisation.
+//!
 //! The L2 runs at half the core clock (700 MHz vs 1.4 GHz); the caller
 //! gates [`Partition::tick`]'s L2 work accordingly via `l2_period` while
 //! the DRAM ticks every core cycle.
 
+use crate::clocked::Clocked;
 use crate::config::GpuConfig;
 use crate::dram::Dram;
 use crate::request::{partition_local_line, MemRequest, MemResponse, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr, PartitionId};
-use gcache_core::cache::{Cache, CacheConfig, Lookup};
-use gcache_core::mshr::{MshrAlloc, MshrFile, MshrReject};
-use gcache_core::policy::{AccessKind, FillCtx};
+use gcache_core::cache::{Cache, CacheConfig};
+use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
 use gcache_core::policy::lru::Lru;
+use gcache_core::policy::AccessKind;
 use gcache_core::stats::CacheStats;
 use std::collections::VecDeque;
 
@@ -51,13 +59,15 @@ pub struct PartitionStats {
 pub struct Partition {
     id: PartitionId,
     partitions: usize,
-    l2: Cache,
-    mshr: MshrFile<L2Target>,
+    l2: CacheController<L2Target>,
     dram: Dram<DramToken>,
     /// Requests ejected from the request mesh, awaiting L2 service.
     incoming: VecDeque<MemRequest>,
     /// Responses ready to inject into the response mesh at `ready_at`.
     outgoing: VecDeque<(MemResponse, u64)>,
+    /// Scratch for fill targets — reused across DRAM completions so the
+    /// steady-state fill path performs no heap allocation.
+    target_scratch: Vec<L2Target>,
     l2_period: u64,
     l2_latency: u64,
     atomic_latency: u64,
@@ -68,7 +78,7 @@ pub struct Partition {
 impl Partition {
     /// Builds the partition described by `cfg`.
     pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
-        let l2 = Cache::with_victim_bits(
+        let l2_cache = Cache::with_victim_bits(
             CacheConfig::l2(cfg.l2_geometry, 0),
             Lru::new(&cfg.l2_geometry),
             cfg.cores,
@@ -77,8 +87,12 @@ impl Partition {
         Partition {
             id,
             partitions: cfg.partitions,
-            l2,
-            mshr: MshrFile::new(cfg.l2_mshr_entries, cfg.l2_mshr_merge),
+            l2: CacheController::new(
+                l2_cache,
+                cfg.l2_mshr_entries,
+                cfg.l2_mshr_merge,
+                AtomicHandling::Execute,
+            ),
             dram: Dram::new(
                 cfg.dram_timing,
                 cfg.dram_banks,
@@ -88,6 +102,7 @@ impl Partition {
             ),
             incoming: VecDeque::new(),
             outgoing: VecDeque::new(),
+            target_scratch: Vec::with_capacity(cfg.l2_mshr_merge),
             l2_period: cfg.l2_period,
             l2_latency: cfg.l2_latency,
             atomic_latency: cfg.atomic_latency,
@@ -118,7 +133,7 @@ impl Partition {
 
     /// Direct access to the L2 (kernel-end flush, tests).
     pub fn l2_mut(&mut self) -> &mut Cache {
-        &mut self.l2
+        self.l2.cache_mut()
     }
 
     /// Hands over a request ejected from the request network.
@@ -139,7 +154,7 @@ impl Partition {
     pub fn is_idle(&self) -> bool {
         self.incoming.is_empty()
             && self.outgoing.is_empty()
-            && self.mshr.is_empty()
+            && self.l2.quiesced()
             && self.dram.is_idle()
     }
 
@@ -154,21 +169,27 @@ impl Partition {
 
     /// Applies completed DRAM reads: fill the L2, release merged targets.
     fn drain_dram(&mut self, now: u64) {
+        let mut targets = std::mem::take(&mut self.target_scratch);
         while let Some(token) = self.dram.pop_completed(now) {
             let DramToken::Fill(local) = token else { continue };
-            let targets = self
-                .mshr
-                .complete(local)
-                .expect("DRAM fill without an L2 MSHR entry");
-            let dirty = targets.iter().any(|t| matches!(t, L2Target::Write | L2Target::Atomic { .. }));
-            let primary_core = targets
-                .iter()
-                .find_map(|t| match t {
-                    L2Target::Read { core, .. } | L2Target::Atomic { core, .. } => Some(*core),
-                    L2Target::Write => None,
-                })
-                .unwrap_or(CoreId(0));
-            let outcome = self.l2.fill(FillCtx::plain(local, primary_core), dirty);
+            // The fill decision derives from the merged targets: any store
+            // or atomic among them dirties the allocate, and the first
+            // responder becomes the primary core whose victim bit the fill
+            // sets.
+            let mut primary_core = CoreId(0);
+            let outcome = self.l2.fill_with(local, &mut targets, |ts| {
+                let dirty =
+                    ts.iter().any(|t| matches!(t, L2Target::Write | L2Target::Atomic { .. }));
+                let core = ts
+                    .iter()
+                    .find_map(|t| match t {
+                        L2Target::Read { core, .. } | L2Target::Atomic { core, .. } => Some(*core),
+                        L2Target::Write => None,
+                    })
+                    .unwrap_or(CoreId(0));
+                primary_core = core;
+                FillParams { core, victim_hint: false, dirty }
+            });
             if let Some(ev) = outcome.evicted {
                 if ev.dirty {
                     // Write-back; drop silently if the DRAM queue is full —
@@ -190,7 +211,7 @@ impl Partition {
                             first_responder = false;
                             false
                         } else {
-                            self.l2.victim_observe(local, core).unwrap_or(false)
+                            self.l2.cache_mut().victim_observe(local, core).unwrap_or(false)
                         };
                         self.queue_response(core, warp, local, AccessKind::Read, hint, now);
                     }
@@ -211,84 +232,70 @@ impl Partition {
                     }
                 }
             }
-            // Hand the drained vector's storage back to the MSHR pool so
-            // steady-state fills never touch the allocator.
-            self.mshr.recycle(targets);
         }
+        targets.clear();
+        self.target_scratch = targets;
     }
 
     /// Serves at most one incoming request per L2 cycle.
     ///
-    /// Resource checks happen *before* the cache access is committed so a
-    /// stalled head-of-line request does not re-access the L2 every tick
-    /// (which would corrupt statistics and policy ageing).
+    /// External-resource checks (DRAM queue space, MSHR entries) happen
+    /// *before* the controller access is committed so a stalled
+    /// head-of-line request does not re-access the L2 every tick (which
+    /// would corrupt statistics and policy ageing).
     fn serve_one(&mut self, now: u64) {
         let Some(&req) = self.incoming.front() else { return };
         let local = partition_local_line(req.line, self.partitions);
 
-        // Side-effect-free admission check for the miss path.
-        if !self.l2.contains(local) {
-            if self.mshr.contains(local) {
-                // Will merge; only the merge-list depth can reject.
-                // (Checked by attempting after the access below.)
-            } else if !self.dram.can_accept() || self.mshr.is_full() {
+        // A primary miss needs both a DRAM queue slot and a free MSHR
+        // entry; merging misses sidestep both.
+        if !self.l2.contains(local)
+            && !self.l2.pending_miss(local)
+            && (!self.dram.can_accept() || self.l2.mshr_full())
+        {
+            self.stats.stall_cycles += 1;
+            return;
+        }
+
+        let target = match req.kind {
+            AccessKind::Write => L2Target::Write,
+            AccessKind::Read => L2Target::Read { core: req.core, warp: req.warp },
+            AccessKind::Atomic => L2Target::Atomic { core: req.core, warp: req.warp },
+        };
+        match self.l2.access(local, req.kind, req.core, target) {
+            ControllerOutcome::Blocked(_) => {
+                // Merge-list depth exhausted: replay next L2 cycle.
                 self.stats.stall_cycles += 1;
                 return;
             }
-            // Merge-list-full is the one remaining reject: probe it without
-            // mutating by checking the entry's room via a dry-run allocate
-            // is not possible, so reserve the target first.
-            let target = match req.kind {
-                AccessKind::Write => L2Target::Write,
-                AccessKind::Read => L2Target::Read { core: req.core, warp: req.warp },
-                AccessKind::Atomic => L2Target::Atomic { core: req.core, warp: req.warp },
-            };
-            let was_primary = match self.mshr.allocate(local, target) {
-                Ok(MshrAlloc::Primary) => true,
-                Ok(MshrAlloc::Merged) => false,
-                Err(MshrReject::Full | MshrReject::MergeFull) => {
-                    self.stats.stall_cycles += 1;
-                    return;
-                }
-            };
-            if was_primary {
+            ControllerOutcome::MissPrimary => {
                 self.dram
                     .enqueue(local, false, DramToken::Fill(local), now)
                     .expect("checked can_accept");
             }
-            // Commit the (secondary or primary) miss to the cache exactly
-            // once.
-            let lookup = self.l2.access(local, req.kind, req.core);
-            debug_assert!(!lookup.is_hit(), "contains() said miss");
-            self.incoming.pop_front();
-            return;
-        }
-
-        // Hit path.
-        match req.kind {
-            AccessKind::Write => {
-                let _ = self.l2.access(local, AccessKind::Write, req.core);
-            }
-            AccessKind::Read => {
-                if let Lookup::Hit { victim_hint } = self.l2.access(local, AccessKind::Read, req.core)
-                {
+            ControllerOutcome::MissMerged => {}
+            ControllerOutcome::Hit { victim_hint } => match req.kind {
+                AccessKind::Write => {}
+                AccessKind::Read => {
                     self.queue_response(req.core, req.warp, local, AccessKind::Read, victim_hint, now);
                 }
-            }
-            AccessKind::Atomic => {
-                let _ = self.l2.access(local, AccessKind::Atomic, req.core);
-                let ready = self.aou_admit(now);
-                self.outgoing.push_back((
-                    MemResponse {
-                        line: req.line,
-                        kind: AccessKind::Atomic,
-                        core: req.core,
-                        warp: req.warp,
-                        victim_hint: false,
-                    },
-                    ready,
-                ));
-                self.stats.atomics += 1;
+                AccessKind::Atomic => {
+                    let ready = self.aou_admit(now);
+                    self.outgoing.push_back((
+                        MemResponse {
+                            line: req.line,
+                            kind: AccessKind::Atomic,
+                            core: req.core,
+                            warp: req.warp,
+                            victim_hint: false,
+                        },
+                        ready,
+                    ));
+                    self.stats.atomics += 1;
+                }
+            },
+            ControllerOutcome::Forward => {
+                unreachable!("the L2 allocates writes and executes atomics locally")
             }
         }
         self.incoming.pop_front();
@@ -318,6 +325,16 @@ impl Partition {
 
     fn global(&self, local: LineAddr) -> LineAddr {
         crate::request::global_line(local, self.id, self.partitions)
+    }
+}
+
+impl Clocked for Partition {
+    fn tick(&mut self, now: u64) {
+        Partition::tick(self, now);
+    }
+
+    fn is_idle(&self) -> bool {
+        Partition::is_idle(self)
     }
 }
 

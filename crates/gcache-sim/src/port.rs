@@ -1,0 +1,29 @@
+//! Typed one-way message ports connecting [`Clocked`](crate::clocked)
+//! components.
+//!
+//! A port pair is how a component sees its neighbour: the core array holds
+//! an `RxPort<MemResponse>` + `TxPort<MemRequest>` view of the
+//! interconnect, a memory partition the mirror image. Components never
+//! name each other — the [`crate::system::Interconnect`] hands out port
+//! views bound to the right mesh node, so alternative hierarchies only
+//! change the wiring, not the components.
+
+/// The sending end of a typed channel.
+pub trait TxPort<M> {
+    /// Whether a message can be accepted right now (backpressure).
+    fn can_send(&self) -> bool;
+
+    /// Sends `msg` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called when [`TxPort::can_send`] is false — senders
+    /// must gate on it first.
+    fn send(&mut self, msg: M, now: u64);
+}
+
+/// The receiving end of a typed channel.
+pub trait RxPort<M> {
+    /// Takes one delivered message, if any.
+    fn recv(&mut self) -> Option<M>;
+}

@@ -1,0 +1,417 @@
+//! The componentized GPU system: node placement as data
+//! ([`Topology`]), the dual-mesh interconnect with typed port views
+//! ([`Interconnect`]), the SIMT core array ([`CoreComplex`]) and the
+//! memory-partition array ([`MemorySystem`]).
+//!
+//! [`crate::gpu::Gpu`] is only a driver over these components: it ticks
+//! them in pipeline order (cores → interconnect → memory) and watches for
+//! progress. Components talk exclusively through [`TxPort`]/[`RxPort`]
+//! views handed out by the interconnect, so an alternative hierarchy (more
+//! levels, different placement, a shared L1.5) is a new wiring, not a new
+//! cycle loop.
+
+use crate::clocked::{Clocked, ClockedWith};
+use crate::config::GpuConfig;
+use crate::core::SimtCore;
+use crate::icnt::{Mesh, NocStats};
+use crate::isa::Kernel;
+use crate::partition::Partition;
+use crate::port::{RxPort, TxPort};
+use crate::request::{partition_of, MemRequest, MemResponse};
+use gcache_core::addr::{CoreId, PartitionId};
+
+/// Node placement of cores and partitions on the mesh — the topology as
+/// data, built by [`GpuConfig::topology`]. Components index through it
+/// instead of hard-coding a placement rule.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Mesh width in nodes.
+    pub mesh_width: usize,
+    /// Mesh height in nodes.
+    pub mesh_height: usize,
+    /// Mesh node of each core, indexed by core id.
+    pub core_nodes: Vec<usize>,
+    /// Mesh node of each memory partition, indexed by partition id.
+    pub part_nodes: Vec<usize>,
+}
+
+impl Topology {
+    /// Total mesh nodes.
+    pub fn nodes(&self) -> usize {
+        self.mesh_width * self.mesh_height
+    }
+}
+
+/// The request/response mesh pair plus everything needed to address and
+/// serialise packets: the [`Topology`] and the channel geometry.
+#[derive(Debug)]
+pub struct Interconnect {
+    topo: Topology,
+    req: Mesh<MemRequest>,
+    resp: Mesh<MemResponse>,
+    line_size: u32,
+    channel_bytes: u32,
+    partitions: usize,
+}
+
+impl Interconnect {
+    /// Builds the two meshes described by `cfg`, placed per `topo`.
+    pub fn new(cfg: &GpuConfig, topo: Topology) -> Self {
+        let req =
+            Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
+        let resp =
+            Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
+        Interconnect {
+            topo,
+            req,
+            resp,
+            line_size: cfg.line_size(),
+            channel_bytes: cfg.channel_bytes,
+            partitions: cfg.partitions,
+        }
+    }
+
+    /// The node placement.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Request-mesh statistics.
+    pub fn req_stats(&self) -> &NocStats {
+        self.req.stats()
+    }
+
+    /// Response-mesh statistics.
+    pub fn resp_stats(&self) -> &NocStats {
+        self.resp.stats()
+    }
+
+    /// The port pair a core sees: responses in, requests out.
+    pub fn core_ports(&mut self, core: usize) -> (MeshRx<'_, MemResponse>, ReqTx<'_>) {
+        let Interconnect { topo, req, resp, line_size, channel_bytes, partitions } = self;
+        let node = topo.core_nodes[core];
+        (
+            MeshRx { mesh: resp, node },
+            ReqTx {
+                mesh: req,
+                topo,
+                src: node,
+                line_size: *line_size,
+                channel_bytes: *channel_bytes,
+                partitions: *partitions,
+            },
+        )
+    }
+
+    /// The port pair a partition sees: requests in, responses out.
+    pub fn partition_ports(&mut self, part: usize) -> (MeshRx<'_, MemRequest>, RespTx<'_>) {
+        let Interconnect { topo, req, resp, line_size, channel_bytes, .. } = self;
+        let node = topo.part_nodes[part];
+        (
+            MeshRx { mesh: req, node },
+            RespTx {
+                mesh: resp,
+                topo,
+                src: node,
+                line_size: *line_size,
+                channel_bytes: *channel_bytes,
+            },
+        )
+    }
+}
+
+impl Clocked for Interconnect {
+    fn tick(&mut self, now: u64) {
+        self.req.tick(now);
+        self.resp.tick(now);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.req.is_idle() && self.resp.is_idle()
+    }
+}
+
+/// Receiving port view: delivered packets at one mesh node.
+#[derive(Debug)]
+pub struct MeshRx<'a, M> {
+    mesh: &'a mut Mesh<M>,
+    node: usize,
+}
+
+impl<M> RxPort<M> for MeshRx<'_, M> {
+    fn recv(&mut self) -> Option<M> {
+        self.mesh.eject(self.node)
+    }
+}
+
+/// Sending port view onto the request mesh: routes each request to the
+/// node of the partition owning its line and serialises it into
+/// channel-width flits.
+#[derive(Debug)]
+pub struct ReqTx<'a> {
+    mesh: &'a mut Mesh<MemRequest>,
+    topo: &'a Topology,
+    src: usize,
+    line_size: u32,
+    channel_bytes: u32,
+    partitions: usize,
+}
+
+impl TxPort<MemRequest> for ReqTx<'_> {
+    fn can_send(&self) -> bool {
+        self.mesh.can_inject(self.src)
+    }
+
+    fn send(&mut self, msg: MemRequest, now: u64) {
+        let part = partition_of(msg.line, self.partitions);
+        let dst = self.topo.part_nodes[part.index()];
+        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        self.mesh
+            .inject_at(self.src, dst, flits, msg, now)
+            .expect("injection gated by can_send");
+    }
+}
+
+/// Sending port view onto the response mesh: routes each response to the
+/// node of its destination core.
+#[derive(Debug)]
+pub struct RespTx<'a> {
+    mesh: &'a mut Mesh<MemResponse>,
+    topo: &'a Topology,
+    src: usize,
+    line_size: u32,
+    channel_bytes: u32,
+}
+
+impl TxPort<MemResponse> for RespTx<'_> {
+    fn can_send(&self) -> bool {
+        self.mesh.can_inject(self.src)
+    }
+
+    fn send(&mut self, msg: MemResponse, now: u64) {
+        let dst = self.topo.core_nodes[msg.core.index()];
+        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        self.mesh
+            .inject_at(self.src, dst, flits, msg, now)
+            .expect("injection gated by can_send");
+    }
+}
+
+/// The SIMT core array plus the CTA dispatcher.
+#[derive(Debug)]
+pub struct CoreComplex {
+    cores: Vec<SimtCore>,
+    next_cta: usize,
+    total_ctas: usize,
+    rr_core: usize,
+}
+
+impl CoreComplex {
+    /// Builds `cfg.cores` SIMT cores, each with a freshly constructed L1
+    /// policy instance for the configured design point.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let cores = (0..cfg.cores)
+            .map(|i| {
+                SimtCore::new(
+                    CoreId(i),
+                    cfg,
+                    crate::config::make_l1_policy(&cfg.l1_policy, &cfg.l1_geometry),
+                )
+            })
+            .collect();
+        CoreComplex { cores, next_cta: 0, total_ctas: 0, rr_core: 0 }
+    }
+
+    /// Starts a kernel launch: resets the dispatcher and performs the
+    /// initial round-robin CTA placement.
+    pub fn begin_kernel(&mut self, kernel: &dyn Kernel) {
+        self.next_cta = 0;
+        self.total_ctas = kernel.grid().ctas;
+        self.rr_core = 0;
+        self.dispatch(kernel);
+    }
+
+    /// Round-robins pending CTAs over cores with free resources.
+    pub fn dispatch(&mut self, kernel: &dyn Kernel) {
+        let n = self.cores.len();
+        let mut stalled = 0;
+        while self.next_cta < self.total_ctas && stalled < n {
+            let c = self.rr_core % n;
+            if self.cores[c].can_launch(kernel) {
+                self.cores[c].launch_cta(kernel, self.next_cta);
+                self.next_cta += 1;
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            self.rr_core = (self.rr_core + 1) % n;
+        }
+    }
+
+    /// Whether every CTA of the current kernel has been placed on a core.
+    pub fn fully_dispatched(&self) -> bool {
+        self.next_cta >= self.total_ctas
+    }
+
+    /// The core array.
+    pub fn cores(&self) -> &[SimtCore] {
+        &self.cores
+    }
+
+    /// Mutable core array (kernel-end flush, stat collection).
+    pub fn cores_mut(&mut self) -> &mut [SimtCore] {
+        &mut self.cores
+    }
+
+    /// Total instructions issued across all cores (progress signature).
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+}
+
+impl ClockedWith<Interconnect> for CoreComplex {
+    /// One core-array cycle: each core first drains its response port
+    /// (waking warps), then runs its LD/ST pipeline and issue stage,
+    /// injecting at most one request if the network has room.
+    fn tick_with(&mut self, now: u64, icnt: &mut Interconnect) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let (mut rx, mut tx) = icnt.core_ports(i);
+            while let Some(resp) = rx.recv() {
+                core.on_response(resp);
+            }
+            let can_inject = tx.can_send();
+            if let Some(req) = core.tick(now, can_inject) {
+                tx.send(req, now);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.cores.iter().all(SimtCore::is_idle)
+    }
+}
+
+/// The memory-partition array (L2 banks + AOUs + DRAM channels).
+#[derive(Debug)]
+pub struct MemorySystem {
+    partitions: Vec<Partition>,
+}
+
+impl MemorySystem {
+    /// Builds `cfg.partitions` memory partitions.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        MemorySystem {
+            partitions: (0..cfg.partitions).map(|p| Partition::new(PartitionId(p), cfg)).collect(),
+        }
+    }
+
+    /// The partition array.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Mutable partition array (kernel-end flush, stat collection).
+    pub fn partitions_mut(&mut self) -> &mut [Partition] {
+        &mut self.partitions
+    }
+
+    /// Total DRAM transactions completed (progress signature).
+    pub fn dram_completed(&self) -> u64 {
+        self.partitions.iter().map(|p| p.dram_stats().completed).sum()
+    }
+}
+
+impl ClockedWith<Interconnect> for MemorySystem {
+    /// One memory-system cycle: each partition drains its request port,
+    /// advances L2/AOU/DRAM, and injects ready responses while the
+    /// response mesh has room.
+    fn tick_with(&mut self, now: u64, icnt: &mut Interconnect) {
+        for (p, part) in self.partitions.iter_mut().enumerate() {
+            let (mut rx, mut tx) = icnt.partition_ports(p);
+            while let Some(req) = rx.recv() {
+                part.push_request(req);
+            }
+            part.tick(now);
+            while tx.can_send() {
+                let Some(resp) = part.pop_response(now) else { break };
+                tx.send(resp, now);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.partitions.iter().all(Partition::is_idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcache_core::addr::LineAddr;
+    use gcache_core::policy::AccessKind;
+
+    #[test]
+    fn topology_places_cores_then_partitions() {
+        let cfg = GpuConfig::fermi().unwrap();
+        let topo = cfg.topology();
+        assert_eq!(topo.core_nodes, (0..16).collect::<Vec<_>>());
+        assert_eq!(topo.part_nodes, (16..24).collect::<Vec<_>>());
+        assert_eq!(topo.nodes(), 24);
+    }
+
+    #[test]
+    fn request_port_routes_to_owning_partition() {
+        let cfg = GpuConfig::fermi().unwrap();
+        let mut icnt = Interconnect::new(&cfg, cfg.topology());
+        // Line 5 lives in partition 5 (low-bit interleaving, node 16 + 5).
+        let req = MemRequest {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(0),
+            warp: 0,
+        };
+        {
+            let (_, mut tx) = icnt.core_ports(0);
+            assert!(tx.can_send());
+            tx.send(req, 0);
+        }
+        let mut got = None;
+        for now in 1..200 {
+            icnt.tick(now);
+            let (mut rx, _) = icnt.partition_ports(5);
+            if let Some(r) = rx.recv() {
+                got = Some(r);
+                break;
+            }
+        }
+        assert_eq!(got, Some(req));
+        assert!(icnt.is_idle());
+    }
+
+    #[test]
+    fn response_port_routes_to_destination_core() {
+        let cfg = GpuConfig::fermi().unwrap();
+        let mut icnt = Interconnect::new(&cfg, cfg.topology());
+        let resp = MemResponse {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(7),
+            warp: 3,
+            victim_hint: true,
+        };
+        {
+            let (_, mut tx) = icnt.partition_ports(5);
+            tx.send(resp, 0);
+        }
+        let mut got = None;
+        for now in 1..200 {
+            icnt.tick(now);
+            let (mut rx, _) = icnt.core_ports(7);
+            if let Some(r) = rx.recv() {
+                got = Some(r);
+                break;
+            }
+        }
+        assert_eq!(got, Some(resp));
+    }
+}

@@ -12,4 +12,17 @@ cargo test -q --workspace
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> golden-output equivalence (release binaries vs tests/golden)"
+# The same byte-compare the gcache-bench integration test performs in the
+# debug profile, repeated here against the release binaries: optimization
+# level must never change a simulated number.
+for exp in fig8_fig9 table3; do
+  diff "crates/gcache-bench/tests/golden/${exp}_quick.txt" \
+       <(./target/release/"$exp" --quick --bench BFS,CFD,STL 2>/dev/null) \
+    || { echo "golden mismatch: $exp"; exit 1; }
+done
+
 echo "==> all checks passed"
