@@ -1,18 +1,28 @@
 //! Times the parallel sweep engine against its serial fallback on a fixed
 //! smoke-scale grid (every registered benchmark × the six Figure 8
-//! designs) and writes the measurement to `BENCH_sweep.json`.
+//! designs), measures the idle-cycle fast-forward benefit — both on the
+//! grid and on full-scale single runs — and writes the measurements to
+//! `BENCH_sweep.json`.
 //!
 //! Also acts as an end-to-end determinism check: the run aborts if the
-//! parallel results differ from the serial ones in any field.
+//! parallel results differ from the serial ones, or if fast-forwarding
+//! changes any statistic, in any field.
 //!
 //! Run with `cargo run --release -p gcache-bench --bin sweep_bench`.
 //! `--jobs N` picks the parallel worker count (default: the host's
 //! available parallelism).
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{designs, Cli};
+use gcache_bench::{designs, run, set_fast_forward, Cli};
+use gcache_sim::config::L1PolicyKind;
 use gcache_workloads::{registry, Scale};
+use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Full-scale benchmarks timed individually with the fast-forward on/off:
+/// BFS is cache-sensitive and latency-bound (long idle stretches), SPMV is
+/// a large streaming workload.
+const FULLSCALE_BENCHES: &[&str] = &["BFS", "SPMV"];
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
@@ -34,7 +44,14 @@ fn main() {
 
     eprintln!("[sweep_bench] grid: {} runs ({} benches x {} designs)", grid.len(), benches.len(), designs(8).len());
 
-    eprintln!("[sweep_bench] serial pass (1 job) ...");
+    eprintln!("[sweep_bench] serial pass, fast-forward off (1 job) ...");
+    set_fast_forward(false);
+    let t0 = Instant::now();
+    let serial_no_ff = run_design_points(&grid, 1);
+    let serial_no_ff_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("[sweep_bench] serial pass, fast-forward on (1 job) ...");
+    set_fast_forward(true);
     let t0 = Instant::now();
     let serial = run_design_points(&grid, 1);
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -45,6 +62,7 @@ fn main() {
     let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial.len(), serial_no_ff.len());
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
         assert_eq!(
             format!("{s:?}"),
@@ -52,19 +70,86 @@ fn main() {
             "parallel result {i} diverges from serial"
         );
     }
-    eprintln!("[sweep_bench] determinism: parallel results identical to serial");
+    for (i, (s, n)) in serial.iter().zip(&serial_no_ff).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{n:?}"),
+            "fast-forward result {i} diverges from the plain cycle loop"
+        );
+    }
+    eprintln!("[sweep_bench] determinism: parallel and fast-forward results identical to serial");
+
+    // Fast-forward benefit where it matters: full-scale single runs under
+    // the LRU baseline, timed with the clock jumping and plain.
+    let paper = registry(Scale::Paper);
+    let mut fullscale_json = String::new();
+    let (mut ff_on_total_ms, mut ff_off_total_ms) = (0.0f64, 0.0f64);
+    for (i, name) in FULLSCALE_BENCHES.iter().enumerate() {
+        let bench = paper
+            .iter()
+            .find(|b| b.info().name == *name)
+            .expect("full-scale benchmark is registered");
+
+        // Best of three per side: single-run wall clock on a loaded host
+        // is noisy, and the minimum is the least-disturbed observation.
+        let time_side = |ff: bool| {
+            set_fast_forward(ff);
+            let mut best: Option<(f64, _)> = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let stats = run(L1PolicyKind::Lru, bench.as_ref(), None);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                if let Some((_, prev)) = &best {
+                    assert_eq!(
+                        format!("{stats:?}"),
+                        format!("{prev:?}"),
+                        "full-scale {name} is not run-to-run deterministic"
+                    );
+                }
+                if best.as_ref().is_none_or(|(b, _)| ms < *b) {
+                    best = Some((ms, stats));
+                }
+            }
+            best.expect("three timed runs")
+        };
+
+        eprintln!("[sweep_bench] full-scale {name}, fast-forward on (best of 3) ...");
+        let (on_ms, fast) = time_side(true);
+        eprintln!("[sweep_bench] full-scale {name}, fast-forward off (best of 3) ...");
+        let (off_ms, slow) = time_side(false);
+        set_fast_forward(true);
+
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{slow:?}"),
+            "fast-forward diverges on full-scale {name}"
+        );
+        ff_on_total_ms += on_ms;
+        ff_off_total_ms += off_ms;
+        let sep = if i + 1 < FULLSCALE_BENCHES.len() { "," } else { "" };
+        let _ = write!(
+            fullscale_json,
+            "\n    {{ \"bench\": \"{name}\", \"ff_on_ms\": {on_ms:.1}, \"ff_off_ms\": {off_ms:.1}, \"speedup\": {:.3} }}{sep}",
+            off_ms / on_ms
+        );
+        eprintln!("[sweep_bench] {name}: {off_ms:.0} ms -> {on_ms:.0} ms ({:.2}x)", off_ms / on_ms);
+    }
 
     let speedup = serial_ms / parallel_ms;
     let json = format!(
-        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_no_ff_ms\": {:.1},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"grid_fastforward_speedup\": {:.3},\n  \"fullscale\": [{}\n  ],\n  \"fastforward_speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
         grid.len(),
         benches.len(),
         designs(8).len(),
         jobs,
         host_threads,
+        serial_no_ff_ms,
         serial_ms,
         parallel_ms,
-        speedup
+        speedup,
+        serial_no_ff_ms / serial_ms,
+        fullscale_json,
+        ff_off_total_ms / ff_on_total_ms,
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     print!("{json}");

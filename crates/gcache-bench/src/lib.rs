@@ -28,6 +28,24 @@ use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
 use gcache_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide fast-forward switch (default on), so every [`run`] call in
+/// a binary honours a single `--no-fast-forward` on its command line
+/// without threading a flag through the sweep plumbing. Stats are
+/// bit-identical either way — the flag exists for cross-checking and for
+/// profiling the plain cycle loop.
+static FAST_FORWARD: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables idle-cycle fast-forward for subsequent [`run`]s.
+pub fn set_fast_forward(on: bool) {
+    FAST_FORWARD.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`run`] will simulate with idle-cycle fast-forward.
+pub fn fast_forward_enabled() -> bool {
+    FAST_FORWARD.load(Ordering::Relaxed)
+}
 
 /// Candidate protection distances swept to find SPDP-B's per-benchmark
 /// optimum (Table 3's right column).
@@ -36,12 +54,16 @@ pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
 /// Usage text printed when argument parsing fails.
 pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
+                    [--no-fast-forward]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
   --jobs N       run sweeps on N worker threads (default: GCACHE_JOBS
                  env var, else the host's available parallelism);
-                 results are bit-identical for every N";
+                 results are bit-identical for every N
+  --no-fast-forward
+                 tick every cycle instead of skipping provably idle
+                 ones; slower, bit-identical output (cross-checking)";
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -53,16 +75,20 @@ pub struct Cli {
     /// Worker-thread count from `--jobs` (`None` = not given; see
     /// [`Cli::jobs`] for the resolution order).
     pub jobs: Option<usize>,
+    /// Tick every cycle instead of fast-forwarding over idle ones.
+    pub no_fast_forward: bool,
 }
 
 impl Cli {
     /// Parses `std::env::args()`-style arguments, exiting with the usage
     /// message on any error (unknown flag, missing or malformed value).
     pub fn parse(args: impl Iterator<Item = String>) -> Cli {
-        Cli::try_parse(args).unwrap_or_else(|e| {
+        let cli = Cli::try_parse(args).unwrap_or_else(|e| {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
-        })
+        });
+        set_fast_forward(!cli.no_fast_forward);
+        cli
     }
 
     /// Fallible flavour of [`Cli::parse`]: returns a description of the
@@ -88,6 +114,7 @@ impl Cli {
                     }
                     cli.jobs = Some(jobs);
                 }
+                "--no-fast-forward" => cli.no_fast_forward = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -99,16 +126,26 @@ impl Cli {
     /// parallelism. A malformed `GCACHE_JOBS` is ignored with a warning
     /// on stderr (stdout stays byte-identical across job counts).
     pub fn jobs(&self) -> usize {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let oversubscribed = |j: usize, source: &str| {
+            if j > host {
+                eprintln!(
+                    "warning: {source} = {j} exceeds the host's available \
+                     parallelism ({host}); workers will contend for CPUs"
+                );
+            }
+            j
+        };
         if let Some(j) = self.jobs {
-            return j;
+            return oversubscribed(j, "--jobs");
         }
         if let Ok(v) = std::env::var("GCACHE_JOBS") {
             match v.trim().parse::<usize>() {
-                Ok(j) if j >= 1 => return j,
+                Ok(j) if j >= 1 => return oversubscribed(j, "GCACHE_JOBS"),
                 _ => eprintln!("warning: ignoring malformed GCACHE_JOBS='{v}'"),
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        host
     }
 
     /// The workload scale implied by the flags.
@@ -141,6 +178,7 @@ pub fn run(policy: L1PolicyKind, bench: &dyn Benchmark, l1_kb: Option<u64>) -> S
     if let Some(kb) = l1_kb {
         cfg = cfg.with_l1_kb(kb).expect("valid L1 size");
     }
+    cfg.fast_forward = fast_forward_enabled();
     Gpu::new(cfg)
         .run_kernel(bench)
         .unwrap_or_else(|e| panic!("{} under {policy:?} failed: {e}", bench.info().name))
@@ -279,6 +317,16 @@ mod tests {
         let cli = Cli::try_parse(["--jobs", "8"].iter().map(|s| s.to_string())).unwrap();
         assert_eq!(cli.jobs, Some(8));
         assert_eq!(cli.jobs(), 8);
+    }
+
+    #[test]
+    fn cli_parses_no_fast_forward() {
+        // Via try_parse only: Cli::parse flips the process-wide switch,
+        // which would race with concurrently running simulation tests.
+        let cli = Cli::try_parse(["--no-fast-forward"].iter().map(|s| s.to_string())).unwrap();
+        assert!(cli.no_fast_forward);
+        let cli = Cli::try_parse(std::iter::empty()).unwrap();
+        assert!(!cli.no_fast_forward);
     }
 
     #[test]

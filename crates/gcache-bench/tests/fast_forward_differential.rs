@@ -1,0 +1,60 @@
+//! Differential gate for idle-cycle fast-forward (see `gcache_sim::clocked`
+//! module docs): every benchmark × design point at test scale is simulated
+//! twice — once jumping the clock over provably idle cycles, once ticking
+//! every cycle — and the *entire* [`SimStats`] struct must match, not just
+//! the rendered tables. Cycle counts, per-core stall/idle accounting,
+//! replay counters, NoC and DRAM stats are all covered by comparing the
+//! `Debug` renderings field for field.
+//!
+//! `GpuConfig::fast_forward` is set directly on per-run configs (never via
+//! the bench crate's process-wide switch) so this test cannot race with
+//! concurrently running tests in the same process.
+
+use gcache_sim::config::GpuConfig;
+use gcache_sim::gpu::Gpu;
+use gcache_sim::stats::SimStats;
+use gcache_workloads::{Benchmark, Scale};
+
+fn simulate(bench: &dyn Benchmark, cfg: &GpuConfig, fast_forward: bool) -> SimStats {
+    let mut cfg = cfg.clone();
+    cfg.fast_forward = fast_forward;
+    Gpu::new(cfg)
+        .run_kernel(bench)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bench.info().name))
+}
+
+#[test]
+fn fast_forward_stats_match_plain_loop() {
+    // BFS (cache-sensitive), CFD (moderate, exercises G-Cache bypass),
+    // STL (streaming/insensitive) — same spectrum the golden tests use.
+    let names = ["BFS", "CFD", "STL"];
+    let benches: Vec<_> = gcache_workloads::registry(Scale::Test)
+        .into_iter()
+        .filter(|b| names.contains(&b.info().name))
+        .collect();
+    assert_eq!(benches.len(), names.len(), "benchmark registry changed");
+
+    for bench in &benches {
+        for policy in gcache_bench::designs(6) {
+            let cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
+            let fast = simulate(bench.as_ref(), &cfg, true);
+            let slow = simulate(bench.as_ref(), &cfg, false);
+            assert_eq!(
+                fast.cycles,
+                slow.cycles,
+                "{} / {}: fast-forward changed the cycle count",
+                bench.info().name,
+                fast.design,
+            );
+            // SimStats has no PartialEq; its Debug rendering covers every
+            // field (and nested stats struct) by derivation.
+            assert_eq!(
+                format!("{fast:?}"),
+                format!("{slow:?}"),
+                "{} / {}: fast-forward changed the statistics",
+                bench.info().name,
+                fast.design,
+            );
+        }
+    }
+}

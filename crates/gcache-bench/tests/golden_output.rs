@@ -16,8 +16,13 @@ use std::process::Command;
 const BENCHES: &str = "BFS,CFD,STL";
 
 fn run_quick(bin: &str, golden: &str) {
+    run_quick_with(bin, &[], golden);
+}
+
+fn run_quick_with(bin: &str, extra_args: &[&str], golden: &str) {
     let out = Command::new(bin)
         .args(["--quick", "--bench", BENCHES])
+        .args(extra_args)
         .output()
         .expect("spawn experiment binary");
     assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
@@ -50,5 +55,25 @@ fn table3_quick_stdout_matches_pre_refactor_golden() {
     run_quick(
         env!("CARGO_BIN_EXE_table3"),
         include_str!("golden/table3_quick.txt"),
+    );
+}
+
+#[test]
+fn fig10_quick_stdout_matches_golden() {
+    run_quick(
+        env!("CARGO_BIN_EXE_fig10"),
+        include_str!("golden/fig10_quick.txt"),
+    );
+}
+
+/// Disabling idle-cycle fast-forward must reproduce the same bytes the
+/// (fast-forwarding) golden was captured with — the end-to-end complement
+/// of the stats-level differential test.
+#[test]
+fn fig8_fig9_quick_without_fast_forward_matches_golden() {
+    run_quick_with(
+        env!("CARGO_BIN_EXE_fig8_fig9"),
+        &["--no-fast-forward"],
+        include_str!("golden/fig8_fig9_quick.txt"),
     );
 }

@@ -221,6 +221,34 @@ impl<T> CacheController<T> {
         )
     }
 
+    /// Whether presenting (`line`, `kind`) right now would return
+    /// [`ControllerOutcome::Blocked`] — a side-effect-free probe mirroring
+    /// the resource gating of [`CacheController::access`], so an idle-cycle
+    /// fast-forward driver can tell a head-of-line access that will retire
+    /// next cycle from one parked on MSHR resources (freed only by a fill).
+    pub fn would_block(&self, line: LineAddr, kind: AccessKind) -> bool {
+        match (kind, self.cache.config().write_policy, self.atomics) {
+            // Same dispatch as `access`: these paths always forward.
+            (AccessKind::Write, WritePolicy::WriteThroughNoAllocate, _)
+            | (AccessKind::Atomic, _, AtomicHandling::Forward) => false,
+            _ => {
+                !self.cache.contains(line)
+                    && if self.mshr.contains(line) {
+                        self.mshr.merge_full(line)
+                    } else {
+                        self.mshr.is_full()
+                    }
+            }
+        }
+    }
+
+    /// Bulk-records `n` blocked replay attempts: a fast-forward driver that
+    /// skips `n` cycles on which a blocked access would have been
+    /// re-presented must account the replays it elided.
+    pub fn note_blocked(&mut self, n: u64) {
+        self.blocked += n;
+    }
+
     /// Whether `line` is resident in the cache (no side effects).
     pub fn contains(&self, line: LineAddr) -> bool {
         self.cache.contains(line)

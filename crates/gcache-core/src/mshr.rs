@@ -121,6 +121,13 @@ impl<T> MshrFile<T> {
         self.entries.contains_key(&line)
     }
 
+    /// Whether `line` has an entry whose merge list is at capacity — a
+    /// further [`MshrFile::allocate`] for it would return
+    /// [`MshrReject::MergeFull`]. `false` when no entry exists.
+    pub fn merge_full(&self, line: LineAddr) -> bool {
+        self.entries.get(&line).is_some_and(|t| t.len() >= self.max_merge)
+    }
+
     /// Releases the entry for `line`, returning its merged targets in
     /// allocation order. `None` if no entry exists.
     ///

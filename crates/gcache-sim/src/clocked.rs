@@ -8,16 +8,49 @@
 //! [`crate::gpu::Gpu`] driver just ticks them in pipeline order. The
 //! [`Watchdog`] factors out the forward-progress check that guards the
 //! loop against protocol deadlocks.
+//!
+//! # Idle-cycle fast-forward
+//!
+//! Both traits carry a `next_event` hook: a **lower bound** on the
+//! earliest cycle strictly after `now` at which ticking the component
+//! could change any observable state — statistics included — assuming no
+//! external input arrives in between. The driver jumps the global clock
+//! to the minimum bound across components instead of ticking cycle by
+//! cycle, and calls `skip` so per-cycle stall accounting is replayed in
+//! bulk. Undershooting a bound merely costs no-op ticks; *overshooting
+//! would change simulated results*, so when in doubt an implementation
+//! must return `Some(now + 1)` (the default), which simply disables
+//! fast-forward for that component.
 
 /// A self-contained component advanced one core cycle at a time.
 pub trait Clocked {
     /// Advances the component to cycle `now`. Called exactly once per
-    /// simulated core cycle, with `now` strictly increasing.
+    /// simulated core cycle, with `now` strictly increasing — except on
+    /// cycles the driver proved event-free via [`Clocked::next_event`],
+    /// which may be skipped entirely (see [`Clocked::skip`]).
     fn tick(&mut self, now: u64);
 
     /// Whether all internal work has drained (used for the end-of-kernel
     /// barrier: the GPU stops when every component is idle).
     fn is_idle(&self) -> bool;
+
+    /// A lower bound on the earliest cycle `> now` at which ticking this
+    /// component could change any observable state (statistics included),
+    /// given no external input; `None` means fully drained — nothing will
+    /// ever happen again without input. The conservative default returns
+    /// `Some(now + 1)`: never skip.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
+
+    /// Accounts for `cycles` skipped cycles (`now + 1 ..= now + cycles`)
+    /// that the driver proved event-free for *every* component:
+    /// bulk-advances any per-cycle counters this component would have
+    /// incremented had it been ticked. The default does nothing — correct
+    /// for components whose event-free ticks are pure no-ops.
+    fn skip(&mut self, now: u64, cycles: u64) {
+        let _ = (now, cycles);
+    }
 }
 
 /// A component that exchanges messages with its neighbours through a port
@@ -30,6 +63,27 @@ pub trait ClockedWith<P: ?Sized> {
 
     /// Whether all internal work has drained.
     fn is_idle(&self) -> bool;
+
+    /// [`Clocked::next_event`], with read-only port visibility: the bound
+    /// may depend on port state (e.g. whether the network can accept an
+    /// injection), which is constant across an event-free gap.
+    fn next_event(&self, now: u64, ports: &P) -> Option<u64> {
+        let _ = ports;
+        Some(now + 1)
+    }
+
+    /// [`Clocked::skip`], with read-only port visibility.
+    fn skip(&mut self, now: u64, cycles: u64, ports: &P) {
+        let _ = (now, cycles, ports);
+    }
+}
+
+/// The minimum of two event bounds, treating `None` as "drained".
+pub fn min_event(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, y) => x.or(y),
+    }
 }
 
 /// Detects stalled simulations: samples a progress signature every
@@ -50,6 +104,14 @@ impl<S: PartialEq> Watchdog<S> {
     pub fn new(interval: u64, patience: u64, now: u64, sig: S) -> Self {
         assert!(interval > 0, "watchdog interval must be positive");
         Watchdog { interval, patience, last_progress_cycle: now, last_sig: sig }
+    }
+
+    /// The first sampling cycle strictly after `now`. A fast-forwarding
+    /// driver must not jump past it: skipping non-sample cycles is exact
+    /// ([`Watchdog::observe`] is a no-op on them), but deadlocks must be
+    /// detected on the same schedule as cycle-by-cycle execution.
+    pub fn next_sample(&self, now: u64) -> u64 {
+        (now / self.interval + 1) * self.interval
     }
 
     /// Samples progress at cycle `now`. `sig` is only evaluated on sample
@@ -93,6 +155,24 @@ mod tests {
             assert!(!w.observe(now, || 1), "within renewed patience at {now}");
         }
         assert!(w.observe(20, || 1));
+    }
+
+    #[test]
+    fn min_event_treats_none_as_no_event() {
+        assert_eq!(min_event(Some(3), Some(7)), Some(3));
+        assert_eq!(min_event(Some(5), None), Some(5));
+        assert_eq!(min_event(None, Some(9)), Some(9));
+        assert_eq!(min_event(None, None), None);
+    }
+
+    #[test]
+    fn next_sample_lands_on_the_observation_grid() {
+        let w = Watchdog::new(4096, 10, 0, 0u64);
+        assert_eq!(w.next_sample(0), 4096);
+        assert_eq!(w.next_sample(1), 4096);
+        assert_eq!(w.next_sample(4095), 4096);
+        // A sample cycle's next sample is the following one, never itself.
+        assert_eq!(w.next_sample(4096), 8192);
     }
 
     #[test]

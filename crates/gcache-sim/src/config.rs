@@ -163,6 +163,11 @@ pub struct GpuConfig {
     /// Hard cap on simulated cycles (guards against livelock); `run_kernel`
     /// errors out beyond this.
     pub max_cycles: u64,
+    /// Skip provably idle cycles by jumping the global clock to the next
+    /// component event (see `clocked`'s module docs). Results are
+    /// bit-identical either way; disable to cross-check or to profile the
+    /// plain cycle loop.
+    pub fast_forward: bool,
 }
 
 impl GpuConfig {
@@ -206,6 +211,7 @@ impl GpuConfig {
             shared_latency: 2,
             atomic_latency: 4,
             max_cycles: 200_000_000,
+            fast_forward: true,
         })
     }
 

@@ -245,6 +245,84 @@ impl SimtCore {
         request
     }
 
+    /// A lower bound on this core's next state-changing cycle, given that
+    /// no external input (responses, network drain) arrives — so
+    /// `can_inject` is frozen across the gap. `None` means the core can
+    /// only be woken from outside. Per-cycle stall accounting over the
+    /// skipped gap is replayed by [`SimtCore::skip`].
+    pub fn next_event(&self, now: u64, can_inject: bool) -> Option<u64> {
+        // The head LD/ST transaction retires next cycle unless it is
+        // parked on network backpressure or on L1 MSHR resources (both
+        // freed only by external events).
+        if let Some(&(line, kind, _)) = self.ldst_queue.front() {
+            if can_inject && !self.l1.would_block(line, kind) {
+                return Some(now + 1);
+            }
+        }
+        // The issue stage acts at the earliest cycle any warp is
+        // pickable: Ready warps next cycle (even a warp that just lost
+        // arbitration, or one parked on a full LD/ST queue — its
+        // structural stall is per-cycle accounting that must be ticked),
+        // compute-bound warps when their op retires.
+        let mut ev: Option<u64> = None;
+        for w in self.warps.iter().flatten() {
+            match w.state {
+                WarpState::Ready => return Some(now + 1),
+                WarpState::ComputeUntil(t) => {
+                    let t = t.max(now + 1);
+                    if t == now + 1 {
+                        return Some(t);
+                    }
+                    ev = Some(ev.map_or(t, |e| e.min(t)));
+                }
+                WarpState::WaitMem | WarpState::Barrier | WarpState::Done => {}
+            }
+        }
+        ev
+    }
+
+    /// Whether the head LD/ST transaction is ready to go and parked only
+    /// on network backpressure — the one wake condition
+    /// [`SimtCore::next_event`] cannot bound by a cycle number, so the
+    /// caller re-checks it against the live network each cycle.
+    pub fn head_waiting_on_inject(&self) -> bool {
+        self.ldst_queue.front().is_some_and(|&(line, kind, _)| !self.l1.would_block(line, kind))
+    }
+
+    /// Whether any LD/ST transaction is queued. Stable across event-free
+    /// cycles (the queue is touched only by [`SimtCore::tick`]), and when
+    /// false, [`SimtCore::skip`] never reads its `can_inject` argument —
+    /// so gated callers can skip probing the network altogether.
+    pub fn has_ldst_head(&self) -> bool {
+        !self.ldst_queue.is_empty()
+    }
+
+    /// Replays the per-cycle accounting of `cycles` skipped event-free
+    /// cycles (`now + 1 ..= now + cycles`): on each of them the head
+    /// LD/ST transaction (if any) would have stalled, the issue stage
+    /// would have found no pickable warp, and the scheduler would have
+    /// applied its (idempotent) no-candidate transition.
+    pub fn skip(&mut self, now: u64, cycles: u64, can_inject: bool) {
+        if cycles == 0 {
+            return;
+        }
+        debug_assert!(
+            self.next_event(now, can_inject).is_none_or(|t| t > now + cycles),
+            "fast-forward skipped into a live cycle"
+        );
+        if let Some(&(line, kind, _)) = self.ldst_queue.front() {
+            self.stats.mem_stall_cycles += cycles;
+            if can_inject {
+                // With network space, each skipped cycle would have
+                // re-presented the access and recorded a blocked replay.
+                debug_assert!(self.l1.would_block(line, kind));
+                self.l1.note_blocked(cycles);
+            }
+        }
+        self.stats.idle_cycles += cycles;
+        self.sched.note_idle();
+    }
+
     /// Processes the head LD/ST transaction.
     fn pump_ldst(&mut self, can_inject: bool) -> Option<MemRequest> {
         let &(line, kind, warp) = self.ldst_queue.front()?;

@@ -73,7 +73,10 @@ struct Bank {
 
 #[derive(Debug)]
 struct Pending<T> {
-    line: LineAddr,
+    /// Bank/row of `line`, fixed at enqueue so the per-cycle scheduler
+    /// scans never redo the division-heavy address mapping.
+    bank: usize,
+    row: u64,
     write: bool,
     token: T,
     arrived: u64,
@@ -121,6 +124,13 @@ pub struct Dram<T> {
     completions: Vec<Completion<T>>,
     bus_busy_until: u64,
     last_activate_any: u64,
+    /// When set, [`Dram::tick`] elides scheduler scans on cycles provably
+    /// below the [`Dram::next_event`] bound (reject passes mutate nothing,
+    /// so the elision is exact). Off by default so the plain loop stays
+    /// the reference implementation.
+    event_gated: bool,
+    /// Cached scan wake-up cycle; 0 forces a scan (reset on enqueue).
+    wake: u64,
     stats: DramStats,
 }
 
@@ -144,8 +154,16 @@ impl<T> Dram<T> {
             completions: Vec::new(),
             bus_busy_until: 0,
             last_activate_any: 0,
+            event_gated: false,
+            wake: 0,
             stats: DramStats::default(),
         }
+    }
+
+    /// Enables or disables the internal scan elision (see `event_gated`).
+    pub fn set_event_gating(&mut self, on: bool) {
+        self.event_gated = on;
+        self.wake = 0;
     }
 
     /// The statistics so far.
@@ -180,7 +198,9 @@ impl<T> Dram<T> {
         if self.queue.len() >= self.queue_cap {
             return Err(DramQueueFull);
         }
-        self.queue.push(Pending { line, write, token, arrived: now });
+        let (bank, row) = self.map(line);
+        self.queue.push(Pending { bank, row, write, token, arrived: now });
+        self.wake = 0;
         Ok(())
     }
 
@@ -197,20 +217,95 @@ impl<T> Dram<T> {
         Some(c.token)
     }
 
+    /// Earliest data-ready cycle among buffered completions, if any.
+    /// (Completions are drained by the owner via [`Dram::pop_completed`],
+    /// so they are the owner's event, not [`Dram::tick`]'s.)
+    pub fn next_completion(&self) -> Option<u64> {
+        self.completions.iter().map(|c| c.ready_at).min()
+    }
+
+    /// A lower bound on the next cycle [`Dram::tick`] can commit a CAS:
+    /// the minimum over pending requests of the earliest cycle their
+    /// bank-state path (row hit / closed / conflict) satisfies every
+    /// timing constraint the scheduler checks, including data-bus
+    /// availability. Bank state cannot change on event-free cycles (the
+    /// reject paths of `tick` mutate nothing), so per-request paths are
+    /// stable across the gap; cross-request arbitration is ignored — it
+    /// can only push the real commit later, never earlier.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let t = self.timing;
+        let mut ev: Option<u64> = None;
+        for p in &self.queue {
+            let (row, b) = (p.row, &self.banks[p.bank]);
+            let ready = match b.open_row {
+                // Row hit: CAS at `t0`, data at `t0 + tCL` must clear the bus.
+                Some(open) if open == row => {
+                    b.ready_at.max(self.bus_busy_until.saturating_sub(t.t_cl as u64))
+                }
+                // Conflict: precharge gated by tRAS/tRC/tRRD; CAS lands at
+                // `t0 + tRP + tRCD`.
+                Some(_) => b
+                    .ready_at
+                    .max(b.activated_at + t.t_ras as u64)
+                    .max((b.activated_at + t.t_rc as u64).saturating_sub(t.t_rp as u64))
+                    .max(
+                        (self.last_activate_any + t.t_rrd as u64)
+                            .saturating_sub(t.t_rp as u64),
+                    )
+                    .max(
+                        self.bus_busy_until
+                            .saturating_sub((t.t_cl + t.t_rp + t.t_rcd) as u64),
+                    ),
+                // Closed bank: activate gated by tRRD; CAS lands at `t0 + tRCD`.
+                None => b
+                    .ready_at
+                    .max(self.last_activate_any + t.t_rrd as u64)
+                    .max(self.bus_busy_until.saturating_sub((t.t_cl + t.t_rcd) as u64)),
+            }
+            .max(now + 1);
+            if ready == now + 1 {
+                return Some(ready);
+            }
+            ev = Some(ev.map_or(ready, |e| e.min(ready)));
+        }
+        ev
+    }
+
     /// Advances the controller by one cycle: issues at most one CAS (FR:
     /// oldest row hit first; FCFS otherwise).
     pub fn tick(&mut self, now: u64) {
         if self.queue.is_empty() {
             return;
         }
+        // A commit at cycle `c` requires the chosen request's whole timing
+        // path to be feasible at `c`, so `c` is at least the
+        // [`Dram::next_event`] bound; every earlier tick is a pure no-op
+        // (the reject paths below mutate nothing) and may be elided.
+        if self.event_gated {
+            if now < self.wake {
+                return;
+            }
+            self.tick_scan(now);
+            // Recompute from post-pass state: a commit already updated the
+            // bank/bus bookkeeping, so the bound stays exact either way.
+            self.wake = self.next_event(now).unwrap_or(u64::MAX);
+        } else {
+            self.tick_scan(now);
+        }
+    }
+
+    /// One FR-FCFS scheduling pass (the body of [`Dram::tick`]).
+    fn tick_scan(&mut self, now: u64) {
         let t = self.timing;
         // First-ready pass: the oldest request whose bank has its row open
         // and is ready, and for which the data bus is free at CAS+tCL.
         let mut choice: Option<(usize, bool)> = None; // (queue idx, is_row_hit)
         for (i, p) in self.queue.iter().enumerate() {
-            let (bank_id, row) = self.map(p.line);
-            let bank = &self.banks[bank_id];
-            if bank.ready_at <= now && bank.open_row == Some(row) {
+            let bank = &self.banks[p.bank];
+            if bank.ready_at <= now && bank.open_row == Some(p.row) {
                 choice = Some((i, true));
                 break;
             }
@@ -219,8 +314,7 @@ impl<T> Dram<T> {
             // FCFS pass: oldest request whose bank can start an
             // activate/precharge sequence now.
             for (i, p) in self.queue.iter().enumerate() {
-                let (bank_id, row) = self.map(p.line);
-                let bank = &self.banks[bank_id];
+                let bank = &self.banks[p.bank];
                 if bank.ready_at > now {
                     continue;
                 }
@@ -243,11 +337,10 @@ impl<T> Dram<T> {
                         }
                     }
                 }
-                let _ = row;
             }
         }
         let Some((idx, row_hit)) = choice else { return };
-        let (bank_id, row) = self.map(self.queue[idx].line);
+        let (bank_id, row) = (self.queue[idx].bank, self.queue[idx].row);
 
         // Compute CAS time and make sure the data bus is free for the burst.
         let cas_at = if row_hit {
@@ -291,6 +384,10 @@ impl<T> crate::clocked::Clocked for Dram<T> {
 
     fn is_idle(&self) -> bool {
         Dram::is_idle(self)
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Dram::next_event(self, now)
     }
 }
 

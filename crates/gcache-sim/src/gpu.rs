@@ -3,7 +3,7 @@
 //! system — ticked in pipeline order each cycle and guarded by a
 //! forward-progress [`Watchdog`].
 
-use crate::clocked::{Clocked, ClockedWith, Watchdog};
+use crate::clocked::{min_event, Clocked, ClockedWith, Watchdog};
 use crate::config::GpuConfig;
 use crate::isa::Kernel;
 use crate::stats::SimStats;
@@ -140,6 +140,35 @@ impl Gpu {
             if self.cores.fully_dispatched() && self.all_idle() {
                 break;
             }
+
+            // Idle-cycle fast-forward: jump straight to the earliest cycle
+            // at which any component can make progress. The bound is
+            // conservative (see `clocked`'s module docs), the watchdog's
+            // sampling grid and the cycle-limit check are preserved by
+            // capping the jump, and the cores bulk-account the skipped
+            // cycles — so stats match the plain loop bit for bit.
+            if self.cfg.fast_forward {
+                let prev = self.cycle;
+                let mut ev = self.cores.next_event(prev, &self.icnt);
+                if ev != Some(prev + 1) {
+                    ev = min_event(ev, Clocked::next_event(&self.icnt, prev));
+                }
+                if ev != Some(prev + 1) {
+                    ev = min_event(ev, self.mem.next_event(prev, &self.icnt));
+                }
+                let cap = watchdog
+                    .next_sample(prev)
+                    .min(start_cycle + self.cfg.max_cycles + 1);
+                let target = ev.unwrap_or(cap).min(cap).max(prev + 1);
+                let gap = target - prev - 1;
+                if gap > 0 {
+                    // Only the cores account per cycle; everything else is
+                    // a pure no-op across the gap.
+                    self.cores.skip(prev, gap, &self.icnt);
+                    self.cycle = target - 1;
+                }
+            }
+
             self.cycle += 1;
             let now = self.cycle;
             if now - start_cycle > self.cfg.max_cycles {

@@ -24,6 +24,10 @@ const PORTS: usize = 5;
 #[derive(Clone, Debug)]
 struct InFlight<T> {
     dst: usize,
+    /// Output port at the router currently holding the packet — the XY
+    /// route is fixed per hop, so it is computed once when the packet
+    /// enters the router rather than on every arbitration scan.
+    out: usize,
     flits: u32,
     payload: T,
     /// Earliest cycle this packet may leave its current router.
@@ -109,6 +113,34 @@ pub struct Mesh<T> {
     min_serialization: u32,
     routers: Vec<Router<T>>,
     stats: NocStats,
+    /// When event gating is on, [`Mesh::tick`] returns immediately on
+    /// cycles before `wake` — a no-op tick would scan every router for
+    /// nothing. `wake` bounds the next cycle a queued packet could *move*;
+    /// it is maintained incrementally by the tick loop itself and reset by
+    /// [`Mesh::inject_at`] (the only external way the mesh gains work).
+    event_gated: bool,
+    wake: u64,
+    /// Per-router movement bound, same contract as `wake` but per node:
+    /// while `now < rwake[n]` router `n` provably cannot move a packet, so
+    /// the gated tick skips it without touching its queues. Undershooting
+    /// (pushes clamp it to the packet's arrival cycle even when the packet
+    /// lands mid-queue) costs a fruitless visit, never correctness.
+    rwake: Vec<u64>,
+    /// Packets sitting in `delivered` queues, kept as a counter so
+    /// [`crate::clocked::Clocked::next_event`] need not scan for them.
+    /// Pending deliveries pin the *consumer's* next tick at `now + 1`, but
+    /// do not require the mesh itself to tick (ejection is pull-based).
+    pending: usize,
+    /// Per-node `delivered` queue lengths, mirrored into a flat array so
+    /// the per-cycle "anything for me?" probes of gated consumers read one
+    /// contiguous counter instead of touching the router.
+    delivered_len: Vec<u32>,
+    /// Per-node local input queue lengths, mirrored likewise for the
+    /// injection-capacity probes.
+    local_len: Vec<u32>,
+    /// Packets sitting in any input queue (injected or between hops), so
+    /// the end-of-kernel idle barrier is a pair of counter reads.
+    in_network: usize,
 }
 
 /// Error returned by [`Mesh::inject`] when the source's local input queue
@@ -149,7 +181,23 @@ impl<T> Mesh<T> {
             min_serialization: min_serialization.max(1),
             routers: (0..width * height).map(|_| Router::new(queue_cap)).collect(),
             stats: NocStats::default(),
+            event_gated: false,
+            wake: 0,
+            rwake: vec![0; width * height],
+            pending: 0,
+            delivered_len: vec![0; width * height],
+            local_len: vec![0; width * height],
+            in_network: 0,
         }
+    }
+
+    /// Enables or disables idle-cycle gating of [`Mesh::tick`]. Gated and
+    /// ungated meshes are cycle-for-cycle identical in every observable —
+    /// gating only elides ticks that provably would not move a packet.
+    pub fn set_event_gating(&mut self, on: bool) {
+        self.event_gated = on;
+        self.wake = 0;
+        self.rwake.fill(0);
     }
 
     /// Number of nodes.
@@ -164,9 +212,7 @@ impl<T> Mesh<T> {
 
     /// Whether any packet is still queued or in flight.
     pub fn is_idle(&self) -> bool {
-        self.routers.iter().all(|r| {
-            r.inputs.iter().all(VecDeque::is_empty) && r.delivered.is_empty()
-        })
+        self.in_network == 0 && self.pending == 0
     }
 
     fn coords(&self, node: usize) -> (usize, usize) {
@@ -214,7 +260,7 @@ impl<T> Mesh<T> {
 
     /// Whether a packet can currently be injected at `node`.
     pub fn can_inject(&self, node: usize) -> bool {
-        self.routers[node].inputs[LOCAL].len() < self.queue_cap
+        (self.local_len[node] as usize) < self.queue_cap
     }
 
     /// Injects a packet of `bytes_to_flits(bytes)` flits at `node` bound
@@ -241,14 +287,16 @@ impl<T> Mesh<T> {
         now: u64,
     ) -> Result<(), InjectFull> {
         assert!(node < self.nodes() && dst < self.nodes(), "node out of range");
-        let router = &mut self.routers[node];
-        if router.inputs[LOCAL].len() >= self.queue_cap {
+        if self.local_len[node] as usize >= self.queue_cap {
             self.stats.inject_fails += 1;
             return Err(InjectFull);
         }
         let flits = flits.max(self.min_serialization);
+        let out = self.route(node, dst);
+        let router = &mut self.routers[node];
         router.inputs[LOCAL].push_back(InFlight {
             dst,
+            out,
             flits,
             payload,
             ready_at: now + 1,
@@ -256,54 +304,179 @@ impl<T> Mesh<T> {
         });
         self.stats.packets += 1;
         self.stats.flits += flits as u64;
+        self.local_len[node] += 1;
+        self.in_network += 1;
+        // New work: the gated tick must look again no matter what it
+        // concluded from the pre-injection state.
+        self.wake = 0;
+        self.rwake[node] = 0;
         Ok(())
+    }
+
+    /// Whether any delivered packet awaits ejection at `node`.
+    pub fn has_delivered(&self, node: usize) -> bool {
+        self.delivered_len[node] > 0
     }
 
     /// Takes one delivered packet at `node`, if any.
     pub fn eject(&mut self, node: usize) -> Option<T> {
-        self.routers[node].delivered.pop_front().map(|(p, _)| p)
+        if self.delivered_len[node] == 0 {
+            return None;
+        }
+        let popped = self.routers[node].delivered.pop_front().map(|(p, _)| p);
+        if popped.is_some() {
+            self.pending -= 1;
+            self.delivered_len[node] -= 1;
+        }
+        popped
+    }
+
+    /// A lower bound on the next cycle the mesh (or its consumers) can
+    /// make progress: the earliest cycle any queued head packet clears
+    /// both its pipeline delay (`ready_at`) and its output port's
+    /// serialisation window, or `now + 1` while delivered packets await
+    /// ejection (the consumer drains them on its next tick). Downstream
+    /// backpressure is deliberately ignored — it can only delay a head
+    /// further, and a too-early bound just costs a no-op tick.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut ev: Option<u64> = None;
+        for r in &self.routers {
+            if !r.delivered.is_empty() {
+                return Some(now + 1);
+            }
+            for head in r.inputs.iter().filter_map(VecDeque::front) {
+                let t = head.ready_at.max(r.out_busy[head.out]).max(now + 1);
+                if t == now + 1 {
+                    return Some(t);
+                }
+                ev = Some(ev.map_or(t, |e| e.min(t)));
+            }
+        }
+        ev
     }
 
     /// Advances the network by one cycle.
     pub fn tick(&mut self, now: u64) {
+        if self.event_gated && now < self.wake {
+            return;
+        }
+        // Earliest cycle any packet could move after this tick, maintained
+        // incrementally while the loop runs (only when gating is on). An
+        // undershoot merely costs a no-op tick, so pushes into routers we
+        // have already passed just clamp to their arrival time.
+        let mut wake_min = u64::MAX;
         for node in 0..self.routers.len() {
-            // For each output port, pick one eligible input (round-robin).
-            for out in 0..PORTS {
-                if self.routers[node].out_busy[out] > now {
+            if self.event_gated {
+                // The cached bound says this router cannot move anything
+                // yet; carry it into the mesh-level bound and move on
+                // without touching the router's queues at all.
+                let rw = self.rwake[node];
+                if now < rw {
+                    wake_min = wake_min.min(rw);
                     continue;
                 }
-                let start = self.routers[node].rr;
-                let mut chosen: Option<usize> = None;
-                for k in 0..PORTS {
-                    let input = (start + k) % PORTS;
-                    if let Some(head) = self.routers[node].inputs[input].front() {
-                        if head.ready_at <= now && self.route(node, head.dst) == out {
-                            chosen = Some(input);
-                            break;
-                        }
-                    }
-                }
-                let Some(input) = chosen else { continue };
-                // Check downstream space before dequeuing.
-                if out == LOCAL {
-                    let mut pkt = self.routers[node].inputs[input].pop_front().expect("head");
-                    pkt.ready_at = 0;
-                    self.stats.delivered += 1;
-                    self.stats.total_latency += now.saturating_sub(pkt.injected_at);
-                    self.routers[node].delivered.push_back((pkt.payload, now));
-                } else {
-                    let next = self.neighbour(node, out);
-                    let in_port = Self::opposite(out);
-                    if self.routers[next].inputs[in_port].len() >= self.queue_cap {
+            } else if self.routers[node].inputs.iter().all(VecDeque::is_empty) {
+                // A router with no queued packets can neither move nor
+                // deliver anything; skipping it touches no state the full
+                // scan would.
+                continue;
+            }
+            // Cache each input head's (ready_at, output port). Routes are
+            // a pure function of the packet, and a head only changes when
+            // its queue is popped below — so refreshing the cache at pops
+            // keeps it exact while the per-output arbitration scans become
+            // plain array compares.
+            let mut heads: [Option<(u64, usize)>; PORTS] = std::array::from_fn(|input| {
+                self.routers[node].inputs[input]
+                    .front()
+                    .map(|head| (head.ready_at, head.out))
+            });
+            // If every head is still in its pipeline delay, the scan below
+            // would choose nothing and mutate nothing — skip it.
+            if heads.iter().flatten().any(|&(ready_at, _)| ready_at <= now) {
+                // For each output port, pick one eligible input
+                // (round-robin).
+                for out in 0..PORTS {
+                    if self.routers[node].out_busy[out] > now {
                         continue;
                     }
-                    let mut pkt = self.routers[node].inputs[input].pop_front().expect("head");
-                    self.routers[node].out_busy[out] = now + pkt.flits as u64;
-                    pkt.ready_at = now + self.hop_latency;
-                    self.routers[next].inputs[in_port].push_back(pkt);
+                    let start = self.routers[node].rr;
+                    let mut chosen: Option<usize> = None;
+                    for k in 0..PORTS {
+                        let input = (start + k) % PORTS;
+                        if let Some((ready_at, route)) = heads[input] {
+                            if ready_at <= now && route == out {
+                                chosen = Some(input);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(input) = chosen else { continue };
+                    // Check downstream space before dequeuing.
+                    if out == LOCAL {
+                        let mut pkt = self.routers[node].inputs[input].pop_front().expect("head");
+                        pkt.ready_at = 0;
+                        self.stats.delivered += 1;
+                        self.stats.total_latency += now.saturating_sub(pkt.injected_at);
+                        self.routers[node].delivered.push_back((pkt.payload, now));
+                        self.pending += 1;
+                        self.delivered_len[node] += 1;
+                        self.in_network -= 1;
+                        if input == LOCAL {
+                            self.local_len[node] -= 1;
+                        }
+                    } else {
+                        let next = self.neighbour(node, out);
+                        let in_port = Self::opposite(out);
+                        if self.routers[next].inputs[in_port].len() >= self.queue_cap {
+                            continue;
+                        }
+                        let mut pkt = self.routers[node].inputs[input].pop_front().expect("head");
+                        self.routers[node].out_busy[out] = now + pkt.flits as u64;
+                        pkt.ready_at = now + self.hop_latency;
+                        pkt.out = self.route(next, pkt.dst);
+                        // `in_port` is never LOCAL (only N/E/S/W have
+                        // opposites), so only the source side can shrink a
+                        // local queue here.
+                        self.routers[next].inputs[in_port].push_back(pkt);
+                        if input == LOCAL {
+                            self.local_len[node] -= 1;
+                        }
+                        // The moved packet's next hop; `next` may already
+                        // be behind us in this scan, so fold its arrival
+                        // into both bounds here.
+                        let arrival = now + self.hop_latency;
+                        wake_min = wake_min.min(arrival);
+                        self.rwake[next] = self.rwake[next].min(arrival);
+                    }
+                    heads[input] = self.routers[node].inputs[input]
+                        .front()
+                        .map(|head| (head.ready_at, head.out));
+                    self.routers[node].rr = (input + 1) % PORTS;
                 }
-                self.routers[node].rr = (input + 1) % PORTS;
             }
+            if self.event_gated {
+                // Remaining heads (post-move, with this tick's updated
+                // serialisation windows): each is immovable until both its
+                // pipeline delay and its output's busy window pass. A head
+                // blocked only by downstream backpressure yields a bound
+                // ≤ now, clamped to "retry next cycle".
+                let mut cand = u64::MAX;
+                for &(ready_at, out) in heads.iter().flatten() {
+                    cand = cand.min(ready_at.max(self.routers[node].out_busy[out]));
+                }
+                if cand != u64::MAX {
+                    cand = cand.max(now + 1);
+                }
+                // A plain store is safe: nodes are scanned in index order,
+                // so a packet pushed into this router by a later node
+                // clamps `rwake` at push time, after this store runs.
+                self.rwake[node] = cand;
+                wake_min = wake_min.min(cand);
+            }
+        }
+        if self.event_gated {
+            self.wake = wake_min;
         }
     }
 }
@@ -315,6 +488,20 @@ impl<T> crate::clocked::Clocked for Mesh<T> {
 
     fn is_idle(&self) -> bool {
         Mesh::is_idle(self)
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        if self.event_gated {
+            // Delivered packets pin the consumer's next tick; otherwise
+            // `wake` is exactly the movement bound, maintained
+            // incrementally (a fresh injection parks it at 0 = "look next
+            // tick").
+            if self.pending > 0 {
+                return Some(now + 1);
+            }
+            return if self.wake == u64::MAX { None } else { Some(self.wake.max(now + 1)) };
+        }
+        Mesh::next_event(self, now)
     }
 }
 

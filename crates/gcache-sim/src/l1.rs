@@ -99,6 +99,20 @@ impl L1Controller {
         self.ctrl.blocked()
     }
 
+    /// Whether presenting (`line`, `kind`) right now would return
+    /// [`L1Outcome::Blocked`] — side-effect-free, for fast-forward
+    /// probing. A blocked access can only unblock via a returning fill,
+    /// so the probe's answer is stable across event-free cycles.
+    pub fn would_block(&self, line: LineAddr, kind: AccessKind) -> bool {
+        self.ctrl.would_block(line, kind)
+    }
+
+    /// Bulk-records `n` skipped replay attempts of a blocked access (the
+    /// per-cycle counterpart is inside [`L1Controller::access`]).
+    pub fn note_blocked(&mut self, n: u64) {
+        self.ctrl.note_blocked(n);
+    }
+
     /// Whether all misses have been filled.
     pub fn quiesced(&self) -> bool {
         self.ctrl.quiesced()

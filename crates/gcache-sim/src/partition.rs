@@ -78,6 +78,14 @@ pub struct Partition {
 impl Partition {
     /// Builds the partition described by `cfg`.
     pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
+        let mut dram = Dram::new(
+            cfg.dram_timing,
+            cfg.dram_banks,
+            cfg.dram_row_bytes,
+            cfg.dram_queue,
+            cfg.line_size(),
+        );
+        dram.set_event_gating(cfg.fast_forward);
         let l2_cache = Cache::with_victim_bits(
             CacheConfig::l2(cfg.l2_geometry, 0),
             Lru::new(&cfg.l2_geometry),
@@ -93,13 +101,7 @@ impl Partition {
                 cfg.l2_mshr_merge,
                 AtomicHandling::Execute,
             ),
-            dram: Dram::new(
-                cfg.dram_timing,
-                cfg.dram_banks,
-                cfg.dram_row_bytes,
-                cfg.dram_queue,
-                cfg.line_size(),
-            ),
+            dram,
             incoming: VecDeque::new(),
             outgoing: VecDeque::new(),
             target_scratch: Vec::with_capacity(cfg.l2_mshr_merge),
@@ -156,6 +158,32 @@ impl Partition {
             && self.outgoing.is_empty()
             && self.l2.quiesced()
             && self.dram.is_idle()
+    }
+
+    /// A lower bound on the partition's next state-changing cycle
+    /// (`None` = fully drained). Queued incoming work pins the bound to
+    /// the next L2 tick — a stalled head-of-line request mutates stall
+    /// statistics there, so those cycles must be ticked, never skipped.
+    /// Everything else derives from response readiness and DRAM timing;
+    /// a buffered DRAM completion is applied at the first L2 tick at or
+    /// after its data-ready cycle.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let next_l2_tick = (now / self.l2_period + 1) * self.l2_period;
+        let mut ev: Option<u64> = None;
+        let mut fold = |t: u64| ev = Some(ev.map_or(t, |e| e.min(t)));
+        if let Some(&(_, ready)) = self.outgoing.front() {
+            fold(ready.max(now + 1));
+        }
+        if !self.incoming.is_empty() {
+            fold(next_l2_tick);
+        }
+        if let Some(ready) = self.dram.next_completion() {
+            fold(ready.max(now + 1).div_ceil(self.l2_period) * self.l2_period);
+        }
+        if let Some(t) = self.dram.next_event(now) {
+            fold(t);
+        }
+        ev
     }
 
     /// Advances the partition by one core cycle.
@@ -335,6 +363,10 @@ impl Clocked for Partition {
 
     fn is_idle(&self) -> bool {
         Partition::is_idle(self)
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Partition::next_event(self, now)
     }
 }
 

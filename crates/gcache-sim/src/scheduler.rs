@@ -61,6 +61,17 @@ impl WarpScheduler {
             self.current = None;
         }
     }
+
+    /// Applies the state transition of a [`WarpScheduler::pick`] that
+    /// found no ready slot, without the closures: LRR keeps its rotation
+    /// pointer, GTO drops its greedy pointer. The transition is
+    /// idempotent, so one call stands in for any number of consecutive
+    /// idle cycles — which is exactly how the fast-forward path uses it.
+    pub fn note_idle(&mut self) {
+        if self.kind == WarpSchedKind::Gto {
+            self.current = None;
+        }
+    }
 }
 
 #[cfg(test)]

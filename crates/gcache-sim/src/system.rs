@@ -10,7 +10,7 @@
 //! levels, different placement, a shared L1.5) is a new wiring, not a new
 //! cycle loop.
 
-use crate::clocked::{Clocked, ClockedWith};
+use crate::clocked::{min_event, Clocked, ClockedWith};
 use crate::config::GpuConfig;
 use crate::core::SimtCore;
 use crate::icnt::{Mesh, NocStats};
@@ -57,10 +57,12 @@ pub struct Interconnect {
 impl Interconnect {
     /// Builds the two meshes described by `cfg`, placed per `topo`.
     pub fn new(cfg: &GpuConfig, topo: Topology) -> Self {
-        let req =
+        let mut req =
             Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
-        let resp =
+        let mut resp =
             Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
+        req.set_event_gating(cfg.fast_forward);
+        resp.set_event_gating(cfg.fast_forward);
         Interconnect {
             topo,
             req,
@@ -103,6 +105,27 @@ impl Interconnect {
         )
     }
 
+    /// Whether core `core`'s local request-mesh port currently has room —
+    /// the read-only flavour of its `ReqTx::can_send` view, used by the
+    /// fast-forward probes. The answer is stable across event-free
+    /// cycles: the queue drains only through mesh movement and fills only
+    /// through the owning core's own injections.
+    pub fn can_inject_core(&self, core: usize) -> bool {
+        self.req.can_inject(self.topo.core_nodes[core])
+    }
+
+    /// Whether a response awaits ejection at core `core`'s port — the
+    /// "external input" test of the gated core loop, answerable without
+    /// borrowing the port pair.
+    pub fn resp_pending_core(&self, core: usize) -> bool {
+        self.resp.has_delivered(self.topo.core_nodes[core])
+    }
+
+    /// Whether a request awaits ejection at partition `part`'s port.
+    pub fn req_pending_part(&self, part: usize) -> bool {
+        self.req.has_delivered(self.topo.part_nodes[part])
+    }
+
     /// The port pair a partition sees: requests in, responses out.
     pub fn partition_ports(&mut self, part: usize) -> (MeshRx<'_, MemRequest>, RespTx<'_>) {
         let Interconnect { topo, req, resp, line_size, channel_bytes, .. } = self;
@@ -128,6 +151,10 @@ impl Clocked for Interconnect {
 
     fn is_idle(&self) -> bool {
         self.req.is_idle() && self.resp.is_idle()
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        min_event(self.req.next_event(now), self.resp.next_event(now))
     }
 }
 
@@ -204,6 +231,27 @@ pub struct CoreComplex {
     next_cta: usize,
     total_ctas: usize,
     rr_core: usize,
+    /// Per-core event gating (the fast-forward flag of the config): a core
+    /// whose cached wake-up cycle lies in the future is not ticked — its
+    /// per-cycle stall accounting is replayed by [`SimtCore::skip`]
+    /// instead, which is cycle-for-cycle identical and much cheaper than
+    /// scanning 48 warp slots.
+    ff: bool,
+    /// Per-core lower bound on the next cycle the core can make progress
+    /// without external input (`u64::MAX` = only external input wakes it).
+    /// Refreshed after every real tick; reset on CTA launch.
+    wake: Vec<u64>,
+    /// Whether the core's LD/ST head is parked purely on network
+    /// backpressure — the live `can_inject` state overrides `wake` then.
+    wake_on_inject: Vec<bool>,
+    /// Whether the core has any LD/ST transaction queued. When it does
+    /// not, skipped cycles need no `can_inject` answer (the stall
+    /// accounting never consults it), so the gated loop avoids probing
+    /// the request mesh.
+    has_head: Vec<bool>,
+    /// `ctas_completed` sum at the last dispatch scan: CTA capacity can
+    /// only grow when this advances, so the scan is elided otherwise.
+    last_ctas_completed: u64,
 }
 
 impl CoreComplex {
@@ -219,7 +267,17 @@ impl CoreComplex {
                 )
             })
             .collect();
-        CoreComplex { cores, next_cta: 0, total_ctas: 0, rr_core: 0 }
+        CoreComplex {
+            cores,
+            next_cta: 0,
+            total_ctas: 0,
+            rr_core: 0,
+            ff: cfg.fast_forward,
+            wake: vec![0; cfg.cores],
+            wake_on_inject: vec![false; cfg.cores],
+            has_head: vec![false; cfg.cores],
+            last_ctas_completed: u64::MAX,
+        }
     }
 
     /// Starts a kernel launch: resets the dispatcher and performs the
@@ -228,17 +286,31 @@ impl CoreComplex {
         self.next_cta = 0;
         self.total_ctas = kernel.grid().ctas;
         self.rr_core = 0;
+        self.last_ctas_completed = u64::MAX;
         self.dispatch(kernel);
     }
 
     /// Round-robins pending CTAs over cores with free resources.
+    ///
+    /// On cycles where no CTA finished since the last scan, capacity
+    /// cannot have grown and the scan is skipped under event gating —
+    /// state-identically, because a fruitless scan advances the
+    /// round-robin cursor by exactly one full lap.
     pub fn dispatch(&mut self, kernel: &dyn Kernel) {
+        if self.ff && self.next_cta < self.total_ctas {
+            let completed: u64 = self.cores.iter().map(|c| c.stats().ctas_completed).sum();
+            if completed == self.last_ctas_completed {
+                return;
+            }
+            self.last_ctas_completed = completed;
+        }
         let n = self.cores.len();
         let mut stalled = 0;
         while self.next_cta < self.total_ctas && stalled < n {
             let c = self.rr_core % n;
             if self.cores[c].can_launch(kernel) {
                 self.cores[c].launch_cta(kernel, self.next_cta);
+                self.wake[c] = 0;
                 self.next_cta += 1;
                 stalled = 0;
             } else {
@@ -275,6 +347,26 @@ impl ClockedWith<Interconnect> for CoreComplex {
     /// injecting at most one request if the network has room.
     fn tick_with(&mut self, now: u64, icnt: &mut Interconnect) {
         for (i, core) in self.cores.iter_mut().enumerate() {
+            // Gated pre-check, ordered cheapest-first and touching only
+            // what the verdict needs: the cached wake bound, then the
+            // response port (external input overrides everything), and
+            // the request mesh only when a queued LD/ST head makes the
+            // answer matter — for stall accounting or for the
+            // backpressure wake-up.
+            if self.ff && now < self.wake[i] && !icnt.resp_pending_core(i) {
+                if !self.has_head[i] {
+                    // No LD/ST head: skipped-cycle accounting never reads
+                    // `can_inject`.
+                    core.skip(now - 1, 1, false);
+                    continue;
+                }
+                let can_inject = icnt.can_inject_core(i);
+                if !(can_inject && self.wake_on_inject[i]) {
+                    // Provably event-free core cycle: replay accounting.
+                    core.skip(now - 1, 1, can_inject);
+                    continue;
+                }
+            }
             let (mut rx, mut tx) = icnt.core_ports(i);
             while let Some(resp) = rx.recv() {
                 core.on_response(resp);
@@ -283,11 +375,58 @@ impl ClockedWith<Interconnect> for CoreComplex {
             if let Some(req) = core.tick(now, can_inject) {
                 tx.send(req, now);
             }
+            if self.ff {
+                // Refresh against post-tick state; the send above may have
+                // filled the injection queue.
+                let can_inject = tx.can_send();
+                self.wake[i] = core.next_event(now, can_inject).unwrap_or(u64::MAX);
+                self.wake_on_inject[i] = !can_inject && core.head_waiting_on_inject();
+                self.has_head[i] = core.has_ldst_head();
+            }
         }
     }
 
     fn is_idle(&self) -> bool {
         self.cores.iter().all(SimtCore::is_idle)
+    }
+
+    /// Minimum of the per-core bounds. CTA dispatch needs no bound of its
+    /// own: a launch requires a core to free resources first, which
+    /// requires a pickable warp — already bounded at `now + 1` — and on
+    /// event-free cycles the round-robin dispatch scan is a no-op (its
+    /// cursor advances exactly one full lap).
+    fn next_event(&self, now: u64, icnt: &Interconnect) -> Option<u64> {
+        let mut ev: Option<u64> = None;
+        for (i, core) in self.cores.iter().enumerate() {
+            // Under event gating the cached per-core bounds are current
+            // (ticked cores were just refreshed, skipped cores are
+            // unchanged since theirs were computed), so the warp scan is
+            // elided.
+            let e = if self.ff {
+                if self.wake[i] <= now + 1
+                    || (self.wake_on_inject[i] && icnt.can_inject_core(i))
+                {
+                    Some(now + 1)
+                } else if self.wake[i] == u64::MAX {
+                    None
+                } else {
+                    Some(self.wake[i])
+                }
+            } else {
+                core.next_event(now, icnt.can_inject_core(i))
+            };
+            if e == Some(now + 1) {
+                return e;
+            }
+            ev = min_event(ev, e);
+        }
+        ev
+    }
+
+    fn skip(&mut self, now: u64, cycles: u64, icnt: &Interconnect) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.skip(now, cycles, icnt.can_inject_core(i));
+        }
     }
 }
 
@@ -295,6 +434,12 @@ impl ClockedWith<Interconnect> for CoreComplex {
 #[derive(Debug)]
 pub struct MemorySystem {
     partitions: Vec<Partition>,
+    /// Per-partition event gating, mirroring [`CoreComplex`]: a partition
+    /// whose cached wake-up cycle lies ahead (and that received no request
+    /// this cycle) is skipped outright — its event-free tick is a pure
+    /// no-op, so unlike cores there is no accounting to replay.
+    ff: bool,
+    wake: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -302,6 +447,8 @@ impl MemorySystem {
     pub fn new(cfg: &GpuConfig) -> Self {
         MemorySystem {
             partitions: (0..cfg.partitions).map(|p| Partition::new(PartitionId(p), cfg)).collect(),
+            ff: cfg.fast_forward,
+            wake: vec![0; cfg.partitions],
         }
     }
 
@@ -327,6 +474,11 @@ impl ClockedWith<Interconnect> for MemorySystem {
     /// response mesh has room.
     fn tick_with(&mut self, now: u64, icnt: &mut Interconnect) {
         for (p, part) in self.partitions.iter_mut().enumerate() {
+            if self.ff && now < self.wake[p] && !icnt.req_pending_part(p) {
+                // No queued input and no internal event due: the whole
+                // partition cycle is a no-op.
+                continue;
+            }
             let (mut rx, mut tx) = icnt.partition_ports(p);
             while let Some(req) = rx.recv() {
                 part.push_request(req);
@@ -336,11 +488,33 @@ impl ClockedWith<Interconnect> for MemorySystem {
                 let Some(resp) = part.pop_response(now) else { break };
                 tx.send(resp, now);
             }
+            if self.ff {
+                self.wake[p] = part.next_event(now).unwrap_or(u64::MAX);
+            }
         }
     }
 
     fn is_idle(&self) -> bool {
         self.partitions.iter().all(Partition::is_idle)
+    }
+
+    fn next_event(&self, now: u64, _icnt: &Interconnect) -> Option<u64> {
+        if self.ff {
+            // The cached per-partition bounds are current (same argument
+            // as for the cores); arrival of new requests is bounded by the
+            // request mesh's own next event.
+            let m = self.wake.iter().copied().min().unwrap_or(u64::MAX);
+            return if m == u64::MAX { None } else { Some(m.max(now + 1)) };
+        }
+        let mut ev: Option<u64> = None;
+        for p in &self.partitions {
+            let e = p.next_event(now);
+            if e == Some(now + 1) {
+                return e;
+            }
+            ev = min_event(ev, e);
+        }
+        ev
     }
 }
 

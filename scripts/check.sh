@@ -19,10 +19,17 @@ echo "==> golden-output equivalence (release binaries vs tests/golden)"
 # The same byte-compare the gcache-bench integration test performs in the
 # debug profile, repeated here against the release binaries: optimization
 # level must never change a simulated number.
-for exp in fig8_fig9 table3; do
+for exp in fig8_fig9 table3 fig10; do
   diff "crates/gcache-bench/tests/golden/${exp}_quick.txt" \
        <(./target/release/"$exp" --quick --bench BFS,CFD,STL 2>/dev/null) \
     || { echo "golden mismatch: $exp"; exit 1; }
 done
+
+echo "==> fast-forward differential (release, --no-fast-forward vs golden)"
+# Ticking every cycle must reproduce the same bytes the fast-forwarding
+# golden was captured with.
+diff crates/gcache-bench/tests/golden/fig8_fig9_quick.txt \
+     <(./target/release/fig8_fig9 --quick --bench BFS,CFD,STL --no-fast-forward 2>/dev/null) \
+  || { echo "fast-forward divergence: fig8_fig9"; exit 1; }
 
 echo "==> all checks passed"
