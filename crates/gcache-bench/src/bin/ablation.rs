@@ -15,7 +15,7 @@
 use gcache_bench::sweep::parallel_map;
 use gcache_bench::{run, speedup, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
-use gcache_sim::config::{GpuConfig, L1PolicyKind, WarpSchedKind};
+use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind, WarpSchedKind};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
 use gcache_workloads::Benchmark;
@@ -56,12 +56,12 @@ fn main() {
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
                 .chain([1u8, 2, 3, 4].into_iter().map(move |t| {
                     Box::new(move || {
                         let cfg =
                             GCacheConfig { th_hot: t, th_hot_victim: 1, ..GCacheConfig::default() };
-                        run(gc(cfg), b.as_ref(), None)
+                        run(gc(cfg), b.as_ref(), None, Hierarchy::Flat)
                     }) as Job<'_>
                 }))
         })
@@ -84,11 +84,11 @@ fn main() {
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
                 .chain([1u32, 2, 4, 8].into_iter().map(move |m| {
                     Box::new(move || {
                         let cfg = GCacheConfig { aging_period: m, ..GCacheConfig::default() };
-                        run(gc(cfg), b.as_ref(), None)
+                        run(gc(cfg), b.as_ref(), None, Hierarchy::Flat)
                     }) as Job<'_>
                 }))
         })
@@ -111,7 +111,7 @@ fn main() {
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
                 .chain([1usize, 4, 16].into_iter().map(move |s_v| {
                     Box::new(move || {
                         run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
@@ -139,7 +139,7 @@ fn main() {
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>)
+            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
                 .chain([256u64, 512, 2048, 0].into_iter().map(move |e| {
                     Box::new(move || {
                         run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.l1_epoch_len = e)
@@ -166,8 +166,8 @@ fn main() {
         .iter()
         .flat_map(|b| {
             [
-                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None)) as Job<'_>,
-                Box::new(|| run(gc(GCacheConfig::default()), b.as_ref(), None)) as Job<'_>,
+                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
+                Box::new(|| run(gc(GCacheConfig::default()), b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
                 Box::new(|| {
                     run_with(L1PolicyKind::Lru, b.as_ref(), |c| c.warp_sched = WarpSchedKind::Gto)
                 }) as Job<'_>,

@@ -10,7 +10,7 @@
 
 use gcache_bench::{run, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::energy::EnergyModel;
 
 fn main() {
@@ -27,8 +27,8 @@ fn main() {
     for b in cli.benchmarks() {
         let info = b.info();
         eprintln!("[energy] running {} ...", info.name);
-        let bs = run(L1PolicyKind::Lru, b.as_ref(), None);
-        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), None);
+        let bs = run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat);
+        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), None, Hierarchy::Flat);
         let flits = |s: &gcache_sim::stats::SimStats| s.noc_req.flits + s.noc_resp.flits;
         let dram = |s: &gcache_sim::stats::SimStats| s.dram.reads + s.dram.writes;
         t.row(vec![

@@ -9,7 +9,7 @@
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
 use gcache_workloads::Category;
 
@@ -29,16 +29,19 @@ fn main() {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::Lru,
                 l1_kb: Some(L1_KB),
+                hierarchy: Hierarchy::Flat,
             })
             .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::StaticPdp { pd },
                 l1_kb: Some(L1_KB),
+                hierarchy: Hierarchy::Flat,
             }))
             .chain(std::iter::once(DesignPoint {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::GCache(GCacheConfig::default()),
                 l1_kb: Some(L1_KB),
+                hierarchy: Hierarchy::Flat,
             }))
         })
         .collect();

@@ -6,7 +6,7 @@
 //! Run with `cargo run --release -p gcache-bench --bin fig2`.
 
 use gcache_bench::{pct, run, Cli, Table};
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
@@ -14,7 +14,7 @@ fn main() {
     for b in cli.benchmarks() {
         let info = b.info();
         eprintln!("[fig2] running {} ...", info.name);
-        let stats = run(L1PolicyKind::Lru, b.as_ref(), None);
+        let stats = run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat);
         let h = &stats.l1.reuse;
         t.row(vec![
             info.name.to_string(),

@@ -6,7 +6,7 @@
 //! ones).
 
 use gcache_bench::{pct, run, speedup, Cli, Table};
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::Category;
 
 const SIZES_KB: [u64; 4] = [16, 32, 64, 128];
@@ -29,7 +29,7 @@ fn main() {
         let info = b.info();
         eprintln!("[fig3/4] running {} ...", info.name);
         let runs: Vec<_> =
-            SIZES_KB.iter().map(|&kb| run(L1PolicyKind::Lru, b.as_ref(), Some(kb))).collect();
+            SIZES_KB.iter().map(|&kb| run(L1PolicyKind::Lru, b.as_ref(), Some(kb), Hierarchy::Flat)).collect();
         let base = &runs[1]; // 32 KB is the baseline machine
         fig3.row(
             std::iter::once(info.name.to_string())

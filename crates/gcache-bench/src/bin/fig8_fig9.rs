@@ -8,7 +8,7 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{designs, pct, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
 use gcache_workloads::Category;
 
@@ -26,6 +26,7 @@ fn main() {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::StaticPdp { pd },
                 l1_kb: None,
+                hierarchy: Hierarchy::Flat,
             })
         })
         .collect();
@@ -46,7 +47,12 @@ fn main() {
         .flat_map(|(b, &pd)| {
             designs(pd)
                 .into_iter()
-                .map(|policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None })
+                .map(|policy| DesignPoint {
+                    bench: b.as_ref(),
+                    policy,
+                    l1_kb: None,
+                    hierarchy: Hierarchy::Flat,
+                })
         })
         .collect();
     eprintln!("[fig8] design grid: {} runs on {jobs} jobs ...", design_grid.len());

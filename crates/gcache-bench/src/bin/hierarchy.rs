@@ -1,0 +1,108 @@
+//! Hierarchy sweep: the cache hierarchy's *shape* as a design axis.
+//!
+//! For each hierarchy shape — the flat Table 2 machine plus clustered
+//! machines with a shared L1.5 between the private L1s and the L2 — this
+//! tables the BS / BS-S / G-Cache IPC, the G-Cache speedup over flat BS,
+//! and the G-Cache L1 and L1.5 miss rates over the Figure 8 benchmark
+//! set. It turns ROADMAP's "multi-hierarchy sweeps" bullet into a running
+//! experiment: does a shared intermediate level still leave room for
+//! adaptive bypass, and how much L1 thrash does it absorb?
+//!
+//! Run with `cargo run --release -p gcache-bench --bin hierarchy`.
+//! `--hierarchy flat,c4,c8:128` overrides the swept shapes, `--jobs N`
+//! fans the grid out over worker threads; stdout is byte-identical for
+//! every N.
+
+use gcache_bench::sweep::{run_design_points, DesignPoint};
+use gcache_bench::{pct, speedup, Cli, Table};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
+use gcache_sim::stats::geomean;
+
+/// The three policies the shape comparison runs: baseline LRU, static
+/// RRIP, and the paper's G-Cache.
+fn policies() -> [L1PolicyKind; 3] {
+    [
+        L1PolicyKind::Lru,
+        L1PolicyKind::Srrip { bits: 3 },
+        L1PolicyKind::GCache(GCacheConfig::default()),
+    ]
+}
+
+/// Short shape label for table headings: `flat`, `c4/64KB`, ...
+fn label(h: Hierarchy) -> String {
+    match h {
+        Hierarchy::Flat => "flat".to_string(),
+        Hierarchy::SharedL15 { cluster_size, kb } => format!("c{cluster_size}/{kb}KB"),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let benches = cli.benchmarks();
+    let jobs = cli.jobs();
+    let shapes = cli.hierarchies(&[
+        Hierarchy::Flat,
+        Hierarchy::SharedL15 { cluster_size: 4, kb: 64 },
+        Hierarchy::SharedL15 { cluster_size: 8, kb: 64 },
+    ]);
+
+    // One flat grid: benchmark-major, then shape, then policy — so each
+    // benchmark's runs are contiguous and the flat/BS baseline of a
+    // benchmark is the first run of its chunk.
+    let grid: Vec<DesignPoint<'_>> = benches
+        .iter()
+        .flat_map(|b| {
+            shapes.iter().flat_map(move |&hierarchy| {
+                policies()
+                    .into_iter()
+                    .map(move |policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None, hierarchy })
+            })
+        })
+        .collect();
+    eprintln!("[hierarchy] grid: {} runs on {jobs} jobs ...", grid.len());
+    let all = run_design_points(&grid, jobs);
+
+    let per_bench = shapes.len() * policies().len();
+    for (si, &shape) in shapes.iter().enumerate() {
+        let mut table = Table::new(&[
+            "Bench",
+            "BS IPC",
+            "BS-S IPC",
+            "GC IPC",
+            "GC vs flat BS",
+            "GC L1 miss",
+            "GC L1.5 miss",
+        ]);
+        let mut gc_speedups = Vec::new();
+        for (bi, b) in benches.iter().enumerate() {
+            let chunk = &all[bi * per_bench..(bi + 1) * per_bench];
+            // Chunk layout mirrors grid construction: shape-major.
+            let flat_bs = &chunk[0];
+            let runs = &chunk[si * policies().len()..(si + 1) * policies().len()];
+            let (bs, bss, gc) = (&runs[0], &runs[1], &runs[2]);
+            let s = gc.speedup_over(flat_bs);
+            gc_speedups.push(s);
+            table.row(vec![
+                b.info().name.to_string(),
+                format!("{:.3}", bs.ipc()),
+                format!("{:.3}", bss.ipc()),
+                format!("{:.3}", gc.ipc()),
+                speedup(s),
+                pct(gc.l1_miss_rate()),
+                if shape == Hierarchy::Flat { "-".to_string() } else { pct(gc.l15_miss_rate()) },
+            ]);
+        }
+        table.row(vec![
+            "GM (all)".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            speedup(geomean(gc_speedups.iter().copied())),
+            String::new(),
+            String::new(),
+        ]);
+        println!("## Hierarchy {}: BS / BS-S / GC over the Figure 8 set\n", label(shape));
+        println!("{}", table.render());
+    }
+}

@@ -14,7 +14,7 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{designs, run, set_fast_forward, Cli};
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::{registry, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -29,20 +29,29 @@ fn main() {
     let jobs = cli.jobs();
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
-    // Fixed grid regardless of flags so measurements are comparable run to
-    // run: the full smoke-scale registry × the six designs (SPDP-B pinned
-    // at PD 8 — this is a timing harness, not an experiment).
+    // Fixed default grid so measurements are comparable run to run: the
+    // full smoke-scale registry × the six designs (SPDP-B pinned at PD 8 —
+    // this is a timing harness, not an experiment). `--hierarchy` multiplies
+    // the grid by extra hierarchy shapes; the default stays flat-only so
+    // `BENCH_sweep.json` numbers remain comparable across revisions.
+    let shapes = cli.hierarchies(&[Hierarchy::Flat]);
     let benches = registry(Scale::Test);
-    let grid: Vec<DesignPoint<'_>> = benches
-        .iter()
-        .flat_map(|b| {
-            designs(8)
-                .into_iter()
-                .map(|policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None })
-        })
-        .collect();
+    let mut grid: Vec<DesignPoint<'_>> = Vec::new();
+    for b in &benches {
+        for &hierarchy in &shapes {
+            for policy in designs(8) {
+                grid.push(DesignPoint { bench: b.as_ref(), policy, l1_kb: None, hierarchy });
+            }
+        }
+    }
 
-    eprintln!("[sweep_bench] grid: {} runs ({} benches x {} designs)", grid.len(), benches.len(), designs(8).len());
+    eprintln!(
+        "[sweep_bench] grid: {} runs ({} benches x {} shapes x {} designs)",
+        grid.len(),
+        benches.len(),
+        shapes.len(),
+        designs(8).len()
+    );
 
     eprintln!("[sweep_bench] serial pass, fast-forward off (1 job) ...");
     set_fast_forward(false);
@@ -97,7 +106,7 @@ fn main() {
             let mut best: Option<(f64, _)> = None;
             for _ in 0..3 {
                 let t0 = Instant::now();
-                let stats = run(L1PolicyKind::Lru, bench.as_ref(), None);
+                let stats = run(L1PolicyKind::Lru, bench.as_ref(), None, Hierarchy::Flat);
                 let ms = t0.elapsed().as_secs_f64() * 1e3;
                 if let Some((_, prev)) = &best {
                     assert_eq!(

@@ -9,7 +9,7 @@
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{pct, select_optimal_pd, Cli, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
@@ -25,11 +25,13 @@ fn main() {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::GCache(GCacheConfig::default()),
                 l1_kb: None,
+                hierarchy: Hierarchy::Flat,
             })
             .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::StaticPdp { pd },
                 l1_kb: None,
+                hierarchy: Hierarchy::Flat,
             }))
         })
         .collect();

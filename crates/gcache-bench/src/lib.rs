@@ -23,7 +23,7 @@ pub mod sweep;
 
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
-use gcache_sim::config::{GpuConfig, L1PolicyKind};
+use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
 use gcache_workloads::{Benchmark, Scale};
@@ -54,13 +54,18 @@ pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
 /// Usage text printed when argument parsing fails.
 pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
-                    [--no-fast-forward]
+                    [--hierarchy SHAPE[,SHAPE...]] [--no-fast-forward]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
   --jobs N       run sweeps on N worker threads (default: GCACHE_JOBS
                  env var, else the host's available parallelism);
                  results are bit-identical for every N
+  --hierarchy SHAPES
+                 memory-hierarchy shapes to sweep: 'flat' (Table 2
+                 machine) or 'cN[:KB]' for N-core clusters sharing a
+                 KB-sized L1.5 (default 64 KB), e.g.
+                 --hierarchy flat,c4,c8:128
   --no-fast-forward
                  tick every cycle instead of skipping provably idle
                  ones; slower, bit-identical output (cross-checking)";
@@ -75,8 +80,40 @@ pub struct Cli {
     /// Worker-thread count from `--jobs` (`None` = not given; see
     /// [`Cli::jobs`] for the resolution order).
     pub jobs: Option<usize>,
+    /// Hierarchy shapes from `--hierarchy` (empty = the binary's default,
+    /// usually just [`Hierarchy::Flat`]).
+    pub hierarchy: Vec<Hierarchy>,
     /// Tick every cycle instead of fast-forwarding over idle ones.
     pub no_fast_forward: bool,
+}
+
+/// Parses one `--hierarchy` shape: `flat`, `cN` or `cN:KB` (cluster size
+/// `N`, shared L1.5 of `KB` kilobytes, default 64). The shape is validated
+/// against the Table 2 machine immediately so errors surface at the
+/// command line, not mid-sweep.
+pub fn parse_hierarchy(s: &str) -> Result<Hierarchy, String> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("flat") {
+        return Ok(Hierarchy::Flat);
+    }
+    let body = s
+        .strip_prefix('c')
+        .ok_or_else(|| format!("hierarchy shape '{s}' must be 'flat' or 'cN[:KB]'"))?;
+    let (size, kb) = match body.split_once(':') {
+        Some((size, kb)) => (size, kb),
+        None => (body, "64"),
+    };
+    let cluster_size: usize = size
+        .parse()
+        .map_err(|_| format!("hierarchy shape '{s}': cluster size must be an integer"))?;
+    let kb: u64 =
+        kb.parse().map_err(|_| format!("hierarchy shape '{s}': KB must be an integer"))?;
+    let hierarchy = Hierarchy::SharedL15 { cluster_size, kb };
+    GpuConfig::fermi()
+        .expect("valid config")
+        .with_hierarchy(hierarchy)
+        .map_err(|e| format!("hierarchy shape '{s}': {e}"))?;
+    Ok(hierarchy)
 }
 
 impl Cli {
@@ -113,6 +150,11 @@ impl Cli {
                         return Err("--jobs must be at least 1".into());
                     }
                     cli.jobs = Some(jobs);
+                }
+                "--hierarchy" => {
+                    let shapes = args.next().ok_or("--hierarchy requires a value")?;
+                    cli.hierarchy =
+                        shapes.split(',').map(parse_hierarchy).collect::<Result<_, _>>()?;
                 }
                 "--no-fast-forward" => cli.no_fast_forward = true,
                 other => return Err(format!("unknown flag '{other}'")),
@@ -157,6 +199,17 @@ impl Cli {
         }
     }
 
+    /// The hierarchy shapes to sweep: `--hierarchy` if given, else
+    /// `default` (each binary picks its own — most sweep only the flat
+    /// Table 2 machine).
+    pub fn hierarchies(&self, default: &[Hierarchy]) -> Vec<Hierarchy> {
+        if self.hierarchy.is_empty() {
+            default.to_vec()
+        } else {
+            self.hierarchy.clone()
+        }
+    }
+
     /// The selected benchmarks.
     pub fn benchmarks(&self) -> Vec<Box<dyn Benchmark>> {
         gcache_workloads::registry(self.scale())
@@ -167,17 +220,27 @@ impl Cli {
 }
 
 /// Runs one benchmark under one L1 policy on the Table 2 machine,
-/// optionally overriding the L1 capacity (KB).
+/// optionally overriding the L1 capacity (KB) and the memory-hierarchy
+/// shape (`Hierarchy::Flat` = the paper's machine).
 ///
 /// # Panics
 ///
 /// Panics if the simulation fails (cycle limit / deadlock) — experiment
-/// configurations are expected to complete.
-pub fn run(policy: L1PolicyKind, bench: &dyn Benchmark, l1_kb: Option<u64>) -> SimStats {
+/// configurations are expected to complete — or if `hierarchy` does not
+/// fit the machine (pre-validate shapes with [`parse_hierarchy`]).
+pub fn run(
+    policy: L1PolicyKind,
+    bench: &dyn Benchmark,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+) -> SimStats {
     let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
     if let Some(kb) = l1_kb {
         cfg = cfg.with_l1_kb(kb).expect("valid L1 size");
     }
+    cfg = cfg
+        .with_hierarchy(hierarchy)
+        .unwrap_or_else(|e| panic!("invalid hierarchy {hierarchy:?}: {e}"));
     cfg.fast_forward = fast_forward_enabled();
     Gpu::new(cfg)
         .run_kernel(bench)
@@ -192,9 +255,9 @@ pub fn run(policy: L1PolicyKind, bench: &dyn Benchmark, l1_kb: Option<u64>) -> S
 /// by construction — the cheapest distance is the "optimal" one, matching
 /// Table 3's PD-4 rows for PVR/SD1/STL.
 pub fn sweep_optimal_pd(bench: &dyn Benchmark, l1_kb: Option<u64>) -> (u16, SimStats) {
-    select_optimal_pd(
-        PD_CANDIDATES.iter().map(|&pd| (pd, run(L1PolicyKind::StaticPdp { pd }, bench, l1_kb))),
-    )
+    select_optimal_pd(PD_CANDIDATES.iter().map(|&pd| {
+        (pd, run(L1PolicyKind::StaticPdp { pd }, bench, l1_kb, Hierarchy::Flat))
+    }))
 }
 
 /// The reduction behind [`sweep_optimal_pd`], exposed so parallel sweeps

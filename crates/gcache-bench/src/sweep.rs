@@ -14,14 +14,14 @@
 //! [`run_design_points`] for the common benchmark-grid case.
 
 use crate::run;
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::SimStats;
 use gcache_workloads::Benchmark;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// One cell of an experiment grid: a benchmark run under one L1 policy,
-/// optionally at a non-default L1 capacity.
+/// optionally at a non-default L1 capacity or hierarchy shape.
 #[derive(Clone, Copy)]
 pub struct DesignPoint<'a> {
     /// The workload.
@@ -30,6 +30,8 @@ pub struct DesignPoint<'a> {
     pub policy: L1PolicyKind,
     /// L1 capacity override in KB (`None` = Table 2's 32 KB).
     pub l1_kb: Option<u64>,
+    /// Memory-hierarchy shape (`Hierarchy::Flat` = Table 2's machine).
+    pub hierarchy: Hierarchy,
 }
 
 impl std::fmt::Debug for DesignPoint<'_> {
@@ -38,6 +40,7 @@ impl std::fmt::Debug for DesignPoint<'_> {
             .field("bench", &self.bench.name())
             .field("policy", &self.policy)
             .field("l1_kb", &self.l1_kb)
+            .field("hierarchy", &self.hierarchy)
             .finish()
     }
 }
@@ -45,7 +48,7 @@ impl std::fmt::Debug for DesignPoint<'_> {
 /// Runs a grid of design points on `jobs` worker threads, returning stats
 /// in submission order.
 pub fn run_design_points(points: &[DesignPoint<'_>], jobs: usize) -> Vec<SimStats> {
-    parallel_map(points, jobs, |p| run(p.policy, p.bench, p.l1_kb))
+    parallel_map(points, jobs, |p| run(p.policy, p.bench, p.l1_kb, p.hierarchy))
 }
 
 /// Applies `f` to every item on a pool of `jobs` scoped worker threads

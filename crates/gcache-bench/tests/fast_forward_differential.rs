@@ -10,7 +10,7 @@
 //! the bench crate's process-wide switch) so this test cannot race with
 //! concurrently running tests in the same process.
 
-use gcache_sim::config::GpuConfig;
+use gcache_sim::config::{GpuConfig, Hierarchy};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
 use gcache_workloads::{Benchmark, Scale};
@@ -34,27 +34,38 @@ fn fast_forward_stats_match_plain_loop() {
         .collect();
     assert_eq!(benches.len(), names.len(), "benchmark registry changed");
 
+    // The clustered hierarchy adds a third clocked component between the
+    // interconnect and the partitions, so its `next_event` bound is part of
+    // the differential too: a too-optimistic bound would skip an L1.5
+    // wake-up and change cycle counts.
+    let shapes = [Hierarchy::Flat, Hierarchy::SharedL15 { cluster_size: 4, kb: 64 }];
+
     for bench in &benches {
         for policy in gcache_bench::designs(6) {
-            let cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
-            let fast = simulate(bench.as_ref(), &cfg, true);
-            let slow = simulate(bench.as_ref(), &cfg, false);
-            assert_eq!(
-                fast.cycles,
-                slow.cycles,
-                "{} / {}: fast-forward changed the cycle count",
-                bench.info().name,
-                fast.design,
-            );
-            // SimStats has no PartialEq; its Debug rendering covers every
-            // field (and nested stats struct) by derivation.
-            assert_eq!(
-                format!("{fast:?}"),
-                format!("{slow:?}"),
-                "{} / {}: fast-forward changed the statistics",
-                bench.info().name,
-                fast.design,
-            );
+            for &hierarchy in &shapes {
+                let cfg = GpuConfig::fermi_with_policy(policy)
+                    .expect("valid config")
+                    .with_hierarchy(hierarchy)
+                    .expect("valid hierarchy");
+                let fast = simulate(bench.as_ref(), &cfg, true);
+                let slow = simulate(bench.as_ref(), &cfg, false);
+                assert_eq!(
+                    fast.cycles,
+                    slow.cycles,
+                    "{} / {} / {hierarchy:?}: fast-forward changed the cycle count",
+                    bench.info().name,
+                    fast.design,
+                );
+                // SimStats has no PartialEq; its Debug rendering covers every
+                // field (and nested stats struct) by derivation.
+                assert_eq!(
+                    format!("{fast:?}"),
+                    format!("{slow:?}"),
+                    "{} / {} / {hierarchy:?}: fast-forward changed the statistics",
+                    bench.info().name,
+                    fast.design,
+                );
+            }
         }
     }
 }

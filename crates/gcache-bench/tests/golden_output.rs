@@ -66,6 +66,14 @@ fn fig10_quick_stdout_matches_golden() {
     );
 }
 
+#[test]
+fn ablation_quick_stdout_matches_golden() {
+    run_quick(
+        env!("CARGO_BIN_EXE_ablation"),
+        include_str!("golden/ablation_quick.txt"),
+    );
+}
+
 /// Disabling idle-cycle fast-forward must reproduce the same bytes the
 /// (fast-forwarding) golden was captured with — the end-to-end complement
 /// of the stats-level differential test.

@@ -4,16 +4,24 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::designs;
-use gcache_sim::config::L1PolicyKind;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::{by_name, Scale};
 
-fn small_grid(benches: &[Box<dyn gcache_workloads::Benchmark>]) -> Vec<DesignPoint<'_>> {
+/// Benchmarks × hierarchy shapes × the six Figure 8 designs. The clustered
+/// shape exercises the shared-L1.5 path under the scheduler as well: a
+/// worker interleaving must not perturb cluster-level MSHR merging either.
+fn small_grid<'a>(
+    benches: &'a [Box<dyn gcache_workloads::Benchmark>],
+    shapes: &[Hierarchy],
+) -> Vec<DesignPoint<'a>> {
     benches
         .iter()
         .flat_map(|b| {
-            designs(8)
-                .into_iter()
-                .map(|policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None })
+            shapes.iter().flat_map(move |&hierarchy| {
+                designs(8)
+                    .into_iter()
+                    .map(move |policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None, hierarchy })
+            })
         })
         .collect()
 }
@@ -24,7 +32,8 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         .iter()
         .map(|n| by_name(n, Scale::Test).expect("benchmark registered"))
         .collect();
-    let grid = small_grid(&benches);
+    let shapes = [Hierarchy::Flat, Hierarchy::SharedL15 { cluster_size: 4, kb: 64 }];
+    let grid = small_grid(&benches, &shapes);
 
     let serial = run_design_points(&grid, 1);
     for jobs in [2, 4, 8] {
@@ -51,8 +60,18 @@ fn results_follow_submission_order() {
     let benches: Vec<_> =
         [by_name("SPMV", Scale::Test).expect("benchmark registered")].into_iter().collect();
     let grid = vec![
-        DesignPoint { bench: benches[0].as_ref(), policy: L1PolicyKind::Lru, l1_kb: None },
-        DesignPoint { bench: benches[0].as_ref(), policy: L1PolicyKind::Lru, l1_kb: Some(64) },
+        DesignPoint {
+            bench: benches[0].as_ref(),
+            policy: L1PolicyKind::Lru,
+            l1_kb: None,
+            hierarchy: Hierarchy::Flat,
+        },
+        DesignPoint {
+            bench: benches[0].as_ref(),
+            policy: L1PolicyKind::Lru,
+            l1_kb: Some(64),
+            hierarchy: Hierarchy::Flat,
+        },
     ];
     let out = run_design_points(&grid, 4);
     assert_eq!(out.len(), 2);

@@ -13,7 +13,7 @@ use crate::geometry::CacheGeometry;
 use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
 use crate::tag_array::{Evicted, TagArray};
-use crate::victim_bits::VictimBits;
+use crate::victim_bits::{CoreGrouping, VictimBits};
 
 /// Write-handling discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -139,7 +139,8 @@ impl Cache {
     }
 
     /// Creates a cache with a victim-bit tracker serving `cores` L1 caches
-    /// with sharing factor `share` (an L2 bank in the G-Cache design).
+    /// with the modular sharing factor `share` (an L2 bank in the flat
+    /// G-Cache design).
     ///
     /// # Panics
     ///
@@ -150,8 +151,19 @@ impl Cache {
         cores: usize,
         share: usize,
     ) -> Self {
+        Cache::with_victim_grouping(cfg, policy, CoreGrouping::modular(cores, share))
+    }
+
+    /// Creates a cache with a victim-bit tracker over an injected
+    /// core→group map (e.g. derived from a cluster topology, see
+    /// [`CoreGrouping`]).
+    pub fn with_victim_grouping(
+        cfg: CacheConfig,
+        policy: impl Into<PolicyKind>,
+        grouping: CoreGrouping,
+    ) -> Self {
         let mut cache = Cache::new(cfg, policy);
-        cache.victim_bits = Some(VictimBits::new(&cfg.geometry, cores, share));
+        cache.victim_bits = Some(VictimBits::with_grouping(&cfg.geometry, grouping));
         cache
     }
 

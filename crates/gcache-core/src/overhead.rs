@@ -44,6 +44,19 @@ pub struct OverheadModel {
 }
 
 impl OverheadModel {
+    /// The paper's flat Table 2 machine: 16 cores, a private victim bit
+    /// per core (`S_v = 1`) over the 512-set 16-way L2 — 16 KB of bits.
+    pub const fn paper_flat() -> Self {
+        OverheadModel { cores: 16, l2_sets: 512, l2_ways: 16, share: 1, l1_sets: 64 }
+    }
+
+    /// §4.3's clustered overhead-reduction configuration: the same machine
+    /// with all 16 cores sharing one bit (`S_v = 16`), as when every core
+    /// group hangs off a shared cache level — 1 KB of bits total.
+    pub const fn paper_clustered_s16() -> Self {
+        OverheadModel { share: 16, ..OverheadModel::paper_flat() }
+    }
+
     /// Victim bits per L2 line (`L_v = ⌈P / S_v⌉`).
     pub const fn bits_per_line(&self) -> u64 {
         self.cores.div_ceil(self.share)
@@ -57,6 +70,11 @@ impl OverheadModel {
     /// Total victim-bit storage in bytes.
     pub const fn victim_bytes(&self) -> u64 {
         self.victim_bits() / 8
+    }
+
+    /// Total victim-bit storage in KB.
+    pub fn victim_kb(&self) -> f64 {
+        self.victim_bytes() as f64 / 1024.0
     }
 
     /// Victim-bit storage amortised per core, in KB.
@@ -101,7 +119,7 @@ mod tests {
     use super::*;
 
     fn paper() -> OverheadModel {
-        OverheadModel { cores: 16, l2_sets: 512, l2_ways: 16, share: 1, l1_sets: 64 }
+        OverheadModel::paper_flat()
     }
 
     #[test]
@@ -119,6 +137,19 @@ mod tests {
         assert_eq!(m.victim_bits(), paper().victim_bits() / 4);
         let all_shared = OverheadModel { share: 16, ..paper() };
         assert_eq!(all_shared.bits_per_line(), 1);
+    }
+
+    #[test]
+    fn clustered_s16_is_1kb() {
+        // §4.3: sharing the bit across all 16 cores shrinks O_v from
+        // 16×512×16 bits (16 KB) to 1×512×16 bits = 8192 b = 1 KB.
+        let m = OverheadModel::paper_clustered_s16();
+        assert_eq!(m.bits_per_line(), 1);
+        assert_eq!(m.victim_bits(), 512 * 16);
+        assert_eq!(m.victim_bytes(), 1024);
+        assert!((m.victim_kb() - 1.0).abs() < 1e-12);
+        assert_eq!(m.victim_bytes(), paper().victim_bytes() / 16);
+        assert!(m.to_string().contains("1 KB"), "got: {m}");
     }
 
     #[test]

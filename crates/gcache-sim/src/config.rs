@@ -60,6 +60,49 @@ pub fn make_l1_policy(kind: &L1PolicyKind, geom: &CacheGeometry) -> PolicyKind {
     }
 }
 
+/// The shape of the on-chip cache hierarchy — a sweepable design axis.
+///
+/// `Flat` is Table 2's machine: private L1s talk straight to the L2 banks
+/// over the mesh. `SharedL15` interposes a cluster-shared cache level: every
+/// `cluster_size` consecutive cores route their memory traffic through one
+/// write-through/no-allocate L1.5 sitting on its own mesh node (see
+/// [`crate::l15`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Hierarchy {
+    /// Private L1s directly over the L2 banks (Table 2's default).
+    #[default]
+    Flat,
+    /// Core clusters with a shared L1.5 between the L1s and the L2.
+    SharedL15 {
+        /// Cores per cluster (must evenly divide the core count).
+        cluster_size: usize,
+        /// Capacity of each shared L1.5 in KB (a power of two).
+        kb: u64,
+    },
+}
+
+/// Associativity of the shared L1.5 (fixed organisation, between the L1's
+/// 4 ways and the L2 bank's 16).
+pub const L15_WAYS: u32 = 8;
+
+impl Hierarchy {
+    /// Number of cluster nodes this hierarchy adds to the mesh (0 = flat).
+    pub const fn clusters(&self, cores: usize) -> usize {
+        match self {
+            Hierarchy::Flat => 0,
+            Hierarchy::SharedL15 { cluster_size, .. } => cores / *cluster_size,
+        }
+    }
+
+    /// Short shape label for sweep tables: `flat`, `c4/64KB`.
+    pub fn label(&self) -> String {
+        match self {
+            Hierarchy::Flat => "flat".to_string(),
+            Hierarchy::SharedL15 { cluster_size, kb } => format!("c{cluster_size}/{kb}KB"),
+        }
+    }
+}
+
 /// Warp scheduling discipline (§2.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum WarpSchedKind {
@@ -135,6 +178,11 @@ pub struct GpuConfig {
     pub l2_latency: u64,
     /// Victim-bit sharing factor `S_v` (1 = private bit per core).
     pub victim_bit_share: usize,
+    /// Shape of the cache hierarchy (flat, or cluster-shared L1.5s).
+    pub hierarchy: Hierarchy,
+    /// L1.5 pipeline latency in core cycles (tag + data access); only
+    /// meaningful under [`Hierarchy::SharedL15`].
+    pub l15_latency: u64,
     /// Mesh width (nodes per row); cores then partitions are placed
     /// row-major. `mesh_width × mesh_height ≥ cores + partitions`.
     pub mesh_width: usize,
@@ -198,6 +246,8 @@ impl GpuConfig {
             l2_period: 2,
             l2_latency: 24,
             victim_bit_share: 1,
+            hierarchy: Hierarchy::Flat,
+            l15_latency: 12,
             mesh_width: 6,
             mesh_height: 4,
             channel_bytes: 32,
@@ -238,22 +288,88 @@ impl GpuConfig {
         Ok(self)
     }
 
+    /// Reshapes the cache hierarchy, growing the mesh as needed to seat
+    /// the cluster nodes. `Hierarchy::Flat` is a no-op, so threading a
+    /// hierarchy through an experiment grid is behaviour-preserving for
+    /// flat points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message if `cluster_size` does not evenly
+    /// divide the core count, nests incompatibly with `victim_bit_share`,
+    /// or the L1.5 capacity is not a valid cache geometry.
+    pub fn with_hierarchy(mut self, hierarchy: Hierarchy) -> Result<Self, String> {
+        if let Hierarchy::SharedL15 { cluster_size, kb } = hierarchy {
+            if cluster_size == 0 || !self.cores.is_multiple_of(cluster_size) {
+                return Err(format!(
+                    "cluster size {cluster_size} must evenly divide the {} cores",
+                    self.cores
+                ));
+            }
+            let share = self.victim_bit_share;
+            if !share.is_multiple_of(cluster_size) && !cluster_size.is_multiple_of(share) {
+                return Err(format!(
+                    "victim_bit_share {share} and cluster_size {cluster_size} must nest \
+                     (one must evenly divide the other)"
+                ));
+            }
+            CacheGeometry::new(kb * 1024, L15_WAYS, self.line_size())
+                .map_err(|e| format!("invalid L1.5 capacity {kb} KB: {e}"))?;
+            let nodes = self.cores + self.partitions + self.cores / cluster_size;
+            while self.mesh_width * self.mesh_height < nodes {
+                self.mesh_height += 1;
+            }
+        }
+        self.hierarchy = hierarchy;
+        Ok(self)
+    }
+
+    /// The geometry of each shared L1.5, `None` on the flat machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is invalid —
+    /// [`GpuConfig::with_hierarchy`] and [`GpuConfig::validate`] reject
+    /// such shapes up front.
+    pub fn l15_geometry(&self) -> Option<CacheGeometry> {
+        match self.hierarchy {
+            Hierarchy::Flat => None,
+            Hierarchy::SharedL15 { kb, .. } => Some(
+                CacheGeometry::new(kb * 1024, L15_WAYS, self.line_size())
+                    .expect("validated L1.5 geometry"),
+            ),
+        }
+    }
+
     /// Line size shared by the whole hierarchy.
     pub fn line_size(&self) -> u32 {
         self.l1_geometry.line_size()
     }
 
     /// The node placement on the mesh — topology as data: cores occupy
-    /// nodes `0..cores` row-major, partitions the next `partitions` nodes.
-    /// Components address each other through this table (see
+    /// nodes `0..cores` row-major, partitions the next `partitions` nodes,
+    /// and (under [`Hierarchy::SharedL15`]) cluster nodes follow the
+    /// partitions. The cluster map assigns `cluster_size` consecutive
+    /// cores to each cluster, so the cores of one cluster are contiguous
+    /// on the mesh. Components address each other through this table (see
     /// [`crate::system`]), so alternative placements only change this
     /// method.
     pub fn topology(&self) -> Topology {
+        let parts_end = self.cores + self.partitions;
+        let (cluster_of, cluster_nodes) = match self.hierarchy {
+            Hierarchy::Flat => ((0..self.cores).collect(), Vec::new()),
+            Hierarchy::SharedL15 { cluster_size, .. } => (
+                (0..self.cores).map(|c| c / cluster_size).collect(),
+                (parts_end..parts_end + self.hierarchy.clusters(self.cores)).collect(),
+            ),
+        };
         Topology {
             mesh_width: self.mesh_width,
             mesh_height: self.mesh_height,
             core_nodes: (0..self.cores).collect(),
-            part_nodes: (self.cores..self.cores + self.partitions).collect(),
+            part_nodes: (self.cores..parts_end).collect(),
+            cluster_of,
+            cluster_nodes,
         }
     }
 
@@ -270,11 +386,35 @@ impl GpuConfig {
         assert!(self.warp_width > 0 && self.warp_width <= 64, "warp width must be 1..=64");
         assert!(self.max_warps_per_core > 0, "need at least one warp slot");
         assert!(
-            self.mesh_width * self.mesh_height >= self.cores + self.partitions,
+            self.victim_bit_share > 0 && self.cores.is_multiple_of(self.victim_bit_share),
+            "victim_bit_share {} must evenly divide the {} cores",
+            self.victim_bit_share,
+            self.cores
+        );
+        if let Hierarchy::SharedL15 { cluster_size, kb } = self.hierarchy {
+            assert!(
+                cluster_size > 0 && self.cores.is_multiple_of(cluster_size),
+                "cluster size {cluster_size} must evenly divide the {} cores",
+                self.cores
+            );
+            assert!(
+                self.victim_bit_share.is_multiple_of(cluster_size)
+                    || cluster_size.is_multiple_of(self.victim_bit_share),
+                "victim_bit_share {} and cluster_size {cluster_size} must nest",
+                self.victim_bit_share
+            );
+            assert!(
+                CacheGeometry::new(kb * 1024, L15_WAYS, self.line_size()).is_ok(),
+                "invalid L1.5 capacity {kb} KB"
+            );
+        }
+        let nodes = self.cores + self.partitions + self.hierarchy.clusters(self.cores);
+        assert!(
+            self.mesh_width * self.mesh_height >= nodes,
             "mesh too small: {}x{} < {} nodes",
             self.mesh_width,
             self.mesh_height,
-            self.cores + self.partitions
+            nodes
         );
         assert_eq!(
             self.l1_geometry.line_size(),
@@ -296,6 +436,15 @@ impl fmt::Display for GpuConfig {
             self.max_threads_per_core, self.max_warps_per_core, self.max_ctas_per_core
         )?;
         writeln!(f, "L1D / core        : {} [{}]", self.l1_geometry, self.l1_policy.design_name())?;
+        if let Hierarchy::SharedL15 { cluster_size, kb } = self.hierarchy {
+            writeln!(
+                f,
+                "L1.5 / cluster    : {} KB x{} clusters ({} cores each)",
+                kb,
+                self.hierarchy.clusters(self.cores),
+                cluster_size
+            )?;
+        }
         writeln!(
             f,
             "L2 bank           : {} x{} banks, 1:{} clock",
@@ -367,6 +516,61 @@ mod tests {
         c.mesh_width = 2;
         c.mesh_height = 2;
         c.validate();
+    }
+
+    #[test]
+    fn with_hierarchy_flat_is_identity() {
+        let c = GpuConfig::fermi().unwrap().with_hierarchy(Hierarchy::Flat).unwrap();
+        assert_eq!(c.hierarchy, Hierarchy::Flat);
+        assert_eq!((c.mesh_width, c.mesh_height), (6, 4));
+        c.validate();
+    }
+
+    #[test]
+    fn with_hierarchy_grows_mesh_for_cluster_nodes() {
+        let h = Hierarchy::SharedL15 { cluster_size: 4, kb: 64 };
+        let c = GpuConfig::fermi().unwrap().with_hierarchy(h).unwrap();
+        assert_eq!(c.hierarchy, h);
+        // 16 cores + 8 partitions + 4 clusters = 28 nodes > 6x4.
+        assert!(c.mesh_width * c.mesh_height >= 28);
+        c.validate();
+        assert_eq!(c.l15_geometry().unwrap().total_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn with_hierarchy_rejects_non_dividing_cluster_size() {
+        let h = Hierarchy::SharedL15 { cluster_size: 5, kb: 64 };
+        let err = GpuConfig::fermi().unwrap().with_hierarchy(h).unwrap_err();
+        assert!(err.contains("evenly divide"), "got: {err}");
+        let h = Hierarchy::SharedL15 { cluster_size: 0, kb: 64 };
+        assert!(GpuConfig::fermi().unwrap().with_hierarchy(h).is_err());
+    }
+
+    #[test]
+    fn with_hierarchy_rejects_incompatible_share() {
+        // Sharing factor 6 neither divides nor is divided by cluster size
+        // 4: victim-bit groups would straddle cluster boundaries.
+        let mut c = GpuConfig::fermi().unwrap();
+        c.victim_bit_share = 6;
+        let h = Hierarchy::SharedL15 { cluster_size: 4, kb: 64 };
+        let err = c.with_hierarchy(h).unwrap_err();
+        assert!(err.contains("nest"), "got: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "victim_bit_share")]
+    fn validate_rejects_non_dividing_share() {
+        let mut c = GpuConfig::fermi().unwrap();
+        c.victim_bit_share = 3; // does not divide 16
+        c.validate();
+    }
+
+    #[test]
+    fn hierarchy_labels() {
+        assert_eq!(Hierarchy::Flat.label(), "flat");
+        assert_eq!(Hierarchy::SharedL15 { cluster_size: 4, kb: 64 }.label(), "c4/64KB");
+        assert_eq!(Hierarchy::Flat.clusters(16), 0);
+        assert_eq!(Hierarchy::SharedL15 { cluster_size: 8, kb: 32 }.clusters(16), 2);
     }
 
     #[test]

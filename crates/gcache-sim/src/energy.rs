@@ -135,6 +135,7 @@ mod tests {
             cycles: 100,
             instructions: 10,
             l1,
+            l15: CacheStats::new(),
             l2,
             dram: DramStats { reads: dram, ..DramStats::default() },
             noc_req: NocStats { flits, ..NocStats::default() },

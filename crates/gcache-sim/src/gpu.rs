@@ -1,13 +1,13 @@
 //! The assembled GPU: a thin deterministic driver over the
-//! [`crate::system`] components — core array ⇄ interconnect ⇄ memory
-//! system — ticked in pipeline order each cycle and guarded by a
-//! forward-progress [`Watchdog`].
+//! [`crate::system`] components — core array ⇄ interconnect ⇄ (optional
+//! cluster caches) ⇄ memory system — ticked in pipeline order each cycle
+//! and guarded by a forward-progress [`Watchdog`].
 
 use crate::clocked::{min_event, Clocked, ClockedWith, Watchdog};
 use crate::config::GpuConfig;
 use crate::isa::Kernel;
 use crate::stats::SimStats;
-use crate::system::{CoreComplex, Interconnect, MemorySystem};
+use crate::system::{ClusterComplex, CoreComplex, Interconnect, MemorySystem};
 use gcache_core::stats::CacheStats;
 use std::fmt;
 
@@ -84,6 +84,7 @@ pub struct Gpu {
     cfg: GpuConfig,
     cores: CoreComplex,
     icnt: Interconnect,
+    clusters: ClusterComplex,
     mem: MemorySystem,
     cycle: u64,
 }
@@ -99,8 +100,9 @@ impl Gpu {
         cfg.validate();
         let cores = CoreComplex::new(&cfg);
         let icnt = Interconnect::new(&cfg, cfg.topology());
+        let clusters = ClusterComplex::new(&cfg, icnt.topology());
         let mem = MemorySystem::new(&cfg);
-        Gpu { cfg, cores, icnt, mem, cycle: 0 }
+        Gpu { cfg, cores, icnt, clusters, mem, cycle: 0 }
     }
 
     /// The active configuration.
@@ -153,6 +155,9 @@ impl Gpu {
                 if ev != Some(prev + 1) {
                     ev = min_event(ev, Clocked::next_event(&self.icnt, prev));
                 }
+                if ev != Some(prev + 1) && !self.clusters.is_empty() {
+                    ev = min_event(ev, self.clusters.next_event(prev, &self.icnt));
+                }
                 if ev != Some(prev + 1) {
                     ev = min_event(ev, self.mem.next_event(prev, &self.icnt));
                 }
@@ -176,10 +181,14 @@ impl Gpu {
             }
 
             // One pipeline pass: cores (drain responses, issue, inject
-            // requests) → both meshes → memory (drain requests, tick,
-            // inject responses) → CTA dispatch.
+            // requests) → both meshes → cluster caches (when clustered) →
+            // memory (drain requests, tick, inject responses) → CTA
+            // dispatch.
             self.cores.tick_with(now, &mut self.icnt);
             self.icnt.tick(now);
+            if !self.clusters.is_empty() {
+                self.clusters.tick_with(now, &mut self.icnt);
+            }
             self.mem.tick_with(now, &mut self.icnt);
             self.cores.dispatch(kernel);
 
@@ -195,6 +204,7 @@ impl Gpu {
     fn all_idle(&self) -> bool {
         ClockedWith::<Interconnect>::is_idle(&self.cores)
             && self.icnt.is_idle()
+            && ClockedWith::<Interconnect>::is_idle(&self.clusters)
             && ClockedWith::<Interconnect>::is_idle(&self.mem)
     }
 
@@ -228,6 +238,11 @@ impl Gpu {
             l1.merge(c.l1().stats());
             core.merge(c.stats());
         }
+        let mut l15 = CacheStats::new();
+        for cl in self.clusters.clusters_mut() {
+            cl.cache_mut().flush();
+            l15.merge(cl.stats());
+        }
         let mut l2 = CacheStats::new();
         let mut dram = crate::dram::DramStats::default();
         let mut partition = crate::partition::PartitionStats::default();
@@ -243,6 +258,7 @@ impl Gpu {
             cycles,
             instructions: core.instructions,
             l1,
+            l15,
             l2,
             dram,
             noc_req: *self.icnt.req_stats(),

@@ -1,0 +1,386 @@
+//! A shared per-cluster L1.5 cache — the "new hierarchy level" the
+//! component model exists for (see README, "Adding a new hierarchy
+//! level").
+//!
+//! Like the per-core L1, the L1.5 is a thin adapter over the generic
+//! [`CacheController`]: a write-through/no-allocate cache with
+//! [`AtomicHandling::Forward`], addressed by *global* line addresses (the
+//! partition interleaving is stripped only at the L2 banks). It sits at
+//! its cluster's mesh node and talks exclusively through
+//! [`RxPort`]/[`TxPort`] views, so the component is testable against fake
+//! ports and the cycle loop never changes:
+//!
+//! * request mesh: core requests eject here; L1.5 misses, stores and
+//!   atomics inject onwards to the owning partition;
+//! * response mesh: partition responses eject here (fills / atomic
+//!   completions); per-core responses inject back to the cores.
+//!
+//! The L2's victim hint passes through unchanged on fills: the forwarded
+//! miss carries the primary requester's core id, the L2 observes that
+//! core's victim bit, and every core the fill releases receives the same
+//! hint — faithful to the clustered sharing model of §4.3, where one
+//! victim bit serves the whole cluster. L1.5 hits themselves carry no
+//! hint (the level keeps no victim bits of its own).
+
+use crate::config::GpuConfig;
+use crate::port::{RxPort, TxPort};
+use crate::request::{MemRequest, MemResponse, WarpSlot};
+use gcache_core::addr::CoreId;
+use gcache_core::cache::{Cache, CacheConfig};
+use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
+use gcache_core::policy::lru::Lru;
+use gcache_core::policy::AccessKind;
+use gcache_core::stats::CacheStats;
+use std::collections::VecDeque;
+
+/// A merged requester waiting on one L1.5 miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct L15Target {
+    core: CoreId,
+    warp: WarpSlot,
+}
+
+/// One cluster's shared L1.5 cache.
+#[derive(Debug)]
+pub struct L15Cluster {
+    ctrl: CacheController<L15Target>,
+    /// Requests ejected from the request mesh, awaiting service.
+    incoming: VecDeque<MemRequest>,
+    /// Misses/stores/atomics to forward towards the partitions.
+    forward: VecDeque<MemRequest>,
+    /// Responses ready to inject into the response mesh at `ready_at`.
+    outgoing: VecDeque<(MemResponse, u64)>,
+    /// Scratch for fill targets — reused so the steady-state fill path
+    /// performs no heap allocation.
+    target_scratch: Vec<L15Target>,
+    latency: u64,
+    /// Cycles the head-of-line request was parked on MSHR resources.
+    stall_cycles: u64,
+}
+
+impl L15Cluster {
+    /// Builds one shared L1.5 from the configured [`Hierarchy`]
+    /// (`cfg.hierarchy` must be `SharedL15`). The MSHR file reuses the
+    /// per-core L1 sizing — the level in front of it already rate-limits
+    /// each core to one request per cycle.
+    ///
+    /// [`Hierarchy`]: crate::config::Hierarchy
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let geom = cfg.l15_geometry().expect("L15Cluster requires a SharedL15 hierarchy");
+        let cache = Cache::new(CacheConfig::l1(geom, 0), Lru::new(&geom));
+        L15Cluster {
+            ctrl: CacheController::new(
+                cache,
+                cfg.l1_mshr_entries,
+                cfg.l1_mshr_merge,
+                AtomicHandling::Forward,
+            ),
+            incoming: VecDeque::new(),
+            forward: VecDeque::new(),
+            outgoing: VecDeque::new(),
+            target_scratch: Vec::with_capacity(cfg.l1_mshr_merge),
+            latency: cfg.l15_latency,
+            stall_cycles: 0,
+        }
+    }
+
+    /// L1.5 cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        self.ctrl.stats()
+    }
+
+    /// Cycles the head-of-line request was parked on MSHR resources.
+    pub const fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Direct access to the cache (kernel-end flush, tests).
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        self.ctrl.cache_mut()
+    }
+
+    /// Whether everything has drained: no queued traffic in either
+    /// direction and no outstanding misses.
+    pub fn is_idle(&self) -> bool {
+        self.incoming.is_empty()
+            && self.forward.is_empty()
+            && self.outgoing.is_empty()
+            && self.ctrl.quiesced()
+    }
+
+    /// A lower bound on the cluster's next state-changing cycle (`None` =
+    /// nothing internal pending; outstanding fills arrive through the
+    /// response mesh, whose own `next_event` bounds them). Queued traffic
+    /// pins the bound to the next cycle — a stalled head-of-line request
+    /// mutates stall statistics there, so those cycles must be ticked.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        let mut ev: Option<u64> = None;
+        let mut fold = |t: u64| ev = Some(ev.map_or(t, |e: u64| e.min(t)));
+        if let Some(&(_, ready)) = self.outgoing.front() {
+            fold(ready.max(now + 1));
+        }
+        if !self.incoming.is_empty() || !self.forward.is_empty() {
+            fold(now + 1);
+        }
+        ev
+    }
+
+    /// One L1.5 cycle against its two mesh views: drain both ejection
+    /// sides, serve at most one request, then inject while there is room.
+    /// Generic over the port views so the component tests drive it with
+    /// plain queue fakes.
+    pub fn tick<RQ, RS>(&mut self, now: u64, req_io: &mut RQ, resp_io: &mut RS)
+    where
+        RQ: RxPort<MemRequest> + TxPort<MemRequest>,
+        RS: RxPort<MemResponse> + TxPort<MemResponse>,
+    {
+        while let Some(resp) = resp_io.recv() {
+            self.on_response(resp, now);
+        }
+        while let Some(req) = req_io.recv() {
+            self.incoming.push_back(req);
+        }
+        self.serve_one(now);
+        while TxPort::can_send(req_io) {
+            let Some(&req) = self.forward.front() else { break };
+            req_io.send(req, now);
+            self.forward.pop_front();
+        }
+        while TxPort::can_send(resp_io) {
+            let Some(resp) = self.pop_response(now) else { break };
+            resp_io.send(resp, now);
+        }
+    }
+
+    /// Applies one returning partition response: read fills release their
+    /// merged targets (each receiving the L2's victim hint unchanged),
+    /// atomic completions pass straight through to the requesting core.
+    fn on_response(&mut self, resp: MemResponse, now: u64) {
+        match resp.kind {
+            AccessKind::Read => {
+                let mut targets = std::mem::take(&mut self.target_scratch);
+                self.ctrl.fill_with(resp.line, &mut targets, |_| FillParams {
+                    core: resp.core,
+                    victim_hint: resp.victim_hint,
+                    dirty: false,
+                });
+                for t in &targets {
+                    self.outgoing.push_back((
+                        MemResponse { core: t.core, warp: t.warp, ..resp },
+                        now,
+                    ));
+                }
+                targets.clear();
+                self.target_scratch = targets;
+            }
+            AccessKind::Atomic => self.outgoing.push_back((resp, now)),
+            AccessKind::Write => unreachable!("stores are fire-and-forget"),
+        }
+    }
+
+    /// Serves at most one incoming request per cycle. The MSHR resource
+    /// check precedes the committed access (as in the partitions) so a
+    /// stalled head-of-line request does not perturb statistics or policy
+    /// ageing while it waits.
+    fn serve_one(&mut self, now: u64) {
+        let Some(&req) = self.incoming.front() else { return };
+        if self.ctrl.would_block(req.line, req.kind) {
+            self.stall_cycles += 1;
+            return;
+        }
+        let target = L15Target { core: req.core, warp: req.warp };
+        match self.ctrl.access(req.line, req.kind, req.core, target) {
+            ControllerOutcome::Blocked(_) => unreachable!("gated by would_block"),
+            // Forward the original request: the L2 sees the primary
+            // requester's core id, so its victim bits observe real cores.
+            ControllerOutcome::MissPrimary | ControllerOutcome::Forward => {
+                self.forward.push_back(req);
+            }
+            ControllerOutcome::MissMerged => {}
+            ControllerOutcome::Hit { .. } => {
+                // Only reads reach the hit path under write-through/
+                // forward-atomics. An L1.5 hit never carries a hint: the
+                // level keeps no victim bits (hints ride fills instead).
+                self.outgoing.push_back((
+                    MemResponse {
+                        line: req.line,
+                        kind: AccessKind::Read,
+                        core: req.core,
+                        warp: req.warp,
+                        victim_hint: false,
+                    },
+                    now + self.latency,
+                ));
+            }
+        }
+        self.incoming.pop_front();
+    }
+
+    /// Takes one response whose pipeline latency has elapsed.
+    fn pop_response(&mut self, now: u64) -> Option<MemResponse> {
+        match self.outgoing.front() {
+            Some((_, ready)) if *ready <= now => self.outgoing.pop_front().map(|(r, _)| r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Hierarchy;
+    use gcache_core::addr::LineAddr;
+
+    /// Queue-backed fake of a mesh port pair: `to_l15` is what the mesh
+    /// would deliver, `from_l15` collects injections.
+    struct FakeIo<M> {
+        to_l15: VecDeque<M>,
+        from_l15: Vec<M>,
+        blocked: bool,
+    }
+
+    impl<M> Default for FakeIo<M> {
+        fn default() -> Self {
+            FakeIo { to_l15: VecDeque::new(), from_l15: Vec::new(), blocked: false }
+        }
+    }
+
+    impl<M> RxPort<M> for FakeIo<M> {
+        fn recv(&mut self) -> Option<M> {
+            self.to_l15.pop_front()
+        }
+    }
+
+    impl<M> TxPort<M> for FakeIo<M> {
+        fn can_send(&self) -> bool {
+            !self.blocked
+        }
+
+        fn send(&mut self, msg: M, _now: u64) {
+            self.from_l15.push(msg);
+        }
+    }
+
+    fn cluster() -> L15Cluster {
+        let cfg = GpuConfig::fermi()
+            .unwrap()
+            .with_hierarchy(Hierarchy::SharedL15 { cluster_size: 4, kb: 64 })
+            .unwrap();
+        L15Cluster::new(&cfg)
+    }
+
+    fn read(line: u64, core: usize, warp: WarpSlot) -> MemRequest {
+        MemRequest {
+            line: LineAddr::new(line),
+            kind: AccessKind::Read,
+            core: CoreId(core),
+            warp,
+        }
+    }
+
+    fn io() -> (FakeIo<MemRequest>, FakeIo<MemResponse>) {
+        (FakeIo::default(), FakeIo::default())
+    }
+
+    #[test]
+    fn miss_forwards_then_fill_releases_and_later_reads_hit() {
+        let mut l15 = cluster();
+        let (mut rq, mut rs) = io();
+        rq.to_l15.push_back(read(5, 0, 7));
+        l15.tick(0, &mut rq, &mut rs);
+        assert_eq!(rq.from_l15, vec![read(5, 0, 7)], "primary miss must forward");
+        assert!(rs.from_l15.is_empty());
+
+        // A second core merges while the miss is outstanding.
+        rq.to_l15.push_back(read(5, 2, 3));
+        l15.tick(1, &mut rq, &mut rs);
+        assert_eq!(rq.from_l15.len(), 1, "merged miss must not forward");
+
+        // The fill releases both targets with the L2's hint attached.
+        rs.to_l15.push_back(MemResponse {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(0),
+            warp: 7,
+            victim_hint: true,
+        });
+        l15.tick(2, &mut rq, &mut rs);
+        assert_eq!(rs.from_l15.len(), 2);
+        assert_eq!(
+            rs.from_l15.iter().map(|r| (r.core, r.warp, r.victim_hint)).collect::<Vec<_>>(),
+            vec![(CoreId(0), 7, true), (CoreId(2), 3, true)],
+            "both cores get the fill's hint, in allocation order"
+        );
+
+        // A later read hits after the pipeline latency, without a hint.
+        rq.to_l15.push_back(read(5, 1, 9));
+        let t = 10;
+        l15.tick(t, &mut rq, &mut rs);
+        assert_eq!(rq.from_l15.len(), 1, "hit must not forward");
+        assert_eq!(rs.from_l15.len(), 2, "hit response waits out the latency");
+        let mut served_at = None;
+        for now in t + 1..t + 40 {
+            l15.tick(now, &mut rq, &mut rs);
+            if rs.from_l15.len() == 3 {
+                served_at = Some(now);
+                break;
+            }
+        }
+        assert_eq!(served_at, Some(t + 12), "fermi l15_latency is 12");
+        assert!(!rs.from_l15[2].victim_hint);
+        assert_eq!(l15.stats().hits(), 1);
+        assert!(l15.is_idle());
+    }
+
+    #[test]
+    fn stores_and_atomics_pass_through() {
+        let mut l15 = cluster();
+        let (mut rq, mut rs) = io();
+        let write = MemRequest {
+            line: LineAddr::new(8),
+            kind: AccessKind::Write,
+            core: CoreId(1),
+            warp: 0,
+        };
+        let atomic = MemRequest { kind: AccessKind::Atomic, warp: 4, ..write };
+        rq.to_l15.push_back(write);
+        l15.tick(0, &mut rq, &mut rs);
+        rq.to_l15.push_back(atomic);
+        l15.tick(1, &mut rq, &mut rs);
+        assert_eq!(rq.from_l15, vec![write, atomic]);
+        // The atomic's completion passes straight through to the core.
+        rs.to_l15.push_back(MemResponse {
+            line: atomic.line,
+            kind: AccessKind::Atomic,
+            core: atomic.core,
+            warp: atomic.warp,
+            victim_hint: false,
+        });
+        l15.tick(2, &mut rq, &mut rs);
+        assert_eq!(rs.from_l15.len(), 1);
+        assert_eq!(rs.from_l15[0].kind, AccessKind::Atomic);
+        assert!(l15.is_idle());
+    }
+
+    #[test]
+    fn backpressure_holds_forwards_and_pins_next_event() {
+        let mut l15 = cluster();
+        let (mut rq, mut rs) = io();
+        rq.blocked = true;
+        rq.to_l15.push_back(read(5, 0, 0));
+        l15.tick(0, &mut rq, &mut rs);
+        assert!(rq.from_l15.is_empty(), "blocked port must hold the forward");
+        assert_eq!(l15.next_event(0), Some(1), "held forward pins the bound");
+        assert!(!l15.is_idle());
+        rq.blocked = false;
+        l15.tick(1, &mut rq, &mut rs);
+        assert_eq!(rq.from_l15.len(), 1);
+    }
+
+    #[test]
+    fn quiet_cluster_reports_no_internal_event() {
+        let l15 = cluster();
+        assert_eq!(l15.next_event(0), None);
+        assert!(l15.is_idle());
+    }
+}

@@ -61,6 +61,7 @@ pub mod gpu;
 pub mod icnt;
 pub mod isa;
 pub mod l1;
+pub mod l15;
 pub mod partition;
 pub mod port;
 pub mod request;
@@ -77,5 +78,5 @@ pub mod prelude {
     pub use crate::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
     pub use crate::port::{RxPort, TxPort};
     pub use crate::stats::{geomean, SimStats};
-    pub use crate::system::{CoreComplex, Interconnect, MemorySystem, Topology};
+    pub use crate::system::{ClusterComplex, CoreComplex, Interconnect, MemorySystem, Topology};
 }

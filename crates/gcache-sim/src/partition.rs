@@ -86,11 +86,13 @@ impl Partition {
             cfg.line_size(),
         );
         dram.set_event_gating(cfg.fast_forward);
-        let l2_cache = Cache::with_victim_bits(
+        // The core→group map comes from the topology, so on a clustered
+        // machine victim bits follow the cluster layout (§4.3) instead of
+        // bare core-index arithmetic.
+        let l2_cache = Cache::with_victim_grouping(
             CacheConfig::l2(cfg.l2_geometry, 0),
             Lru::new(&cfg.l2_geometry),
-            cfg.cores,
-            cfg.victim_bit_share,
+            cfg.topology().victim_grouping(cfg.victim_bit_share),
         );
         Partition {
             id,

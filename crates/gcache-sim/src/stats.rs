@@ -54,6 +54,9 @@ pub struct SimStats {
     pub instructions: u64,
     /// Merged L1 statistics (all cores).
     pub l1: CacheStats,
+    /// Merged shared-L1.5 statistics (all clusters); all-zero on a flat
+    /// machine, which has no L1.5 level.
+    pub l15: CacheStats,
     /// Merged L2 statistics (all banks).
     pub l2: CacheStats,
     /// Merged DRAM statistics (all channels).
@@ -78,6 +81,7 @@ impl SimStats {
             cycles: 0,
             instructions: 0,
             l1: Default::default(),
+            l15: Default::default(),
             l2: Default::default(),
             dram: Default::default(),
             noc_req: Default::default(),
@@ -99,6 +103,11 @@ impl SimStats {
     /// L1 miss rate over all L1 accesses.
     pub fn l1_miss_rate(&self) -> f64 {
         self.l1.miss_rate()
+    }
+
+    /// Shared-L1.5 miss rate over all L1.5 accesses (0 on a flat machine).
+    pub fn l15_miss_rate(&self) -> f64 {
+        self.l15.miss_rate()
     }
 
     /// L1 bypass ratio (Table 3).
@@ -135,6 +144,14 @@ impl fmt::Display for SimStats {
             self.l1.bypass_ratio() * 100.0,
             self.l1.accesses()
         )?;
+        if self.l15.accesses() > 0 {
+            writeln!(
+                f,
+                "  L1.5: {:.1}% miss ({} accesses)",
+                self.l15.miss_rate() * 100.0,
+                self.l15.accesses()
+            )?;
+        }
         writeln!(
             f,
             "  L2: {:.1}% miss ({} accesses), {} writebacks",
@@ -191,6 +208,7 @@ mod tests {
             cycles,
             instructions,
             l1: CacheStats::new(),
+            l15: CacheStats::new(),
             l2: CacheStats::new(),
             dram: DramStats::default(),
             noc_req: NocStats::default(),

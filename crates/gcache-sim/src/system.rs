@@ -15,14 +15,16 @@ use crate::config::GpuConfig;
 use crate::core::SimtCore;
 use crate::icnt::{Mesh, NocStats};
 use crate::isa::Kernel;
+use crate::l15::L15Cluster;
 use crate::partition::Partition;
 use crate::port::{RxPort, TxPort};
 use crate::request::{partition_of, MemRequest, MemResponse};
 use gcache_core::addr::{CoreId, PartitionId};
+use gcache_core::victim_bits::CoreGrouping;
 
-/// Node placement of cores and partitions on the mesh — the topology as
-/// data, built by [`GpuConfig::topology`]. Components index through it
-/// instead of hard-coding a placement rule.
+/// Node placement of cores, partitions and (optionally) cluster caches on
+/// the mesh — the topology as data, built by [`GpuConfig::topology`].
+/// Components index through it instead of hard-coding a placement rule.
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// Mesh width in nodes.
@@ -33,12 +35,53 @@ pub struct Topology {
     pub core_nodes: Vec<usize>,
     /// Mesh node of each memory partition, indexed by partition id.
     pub part_nodes: Vec<usize>,
+    /// Cluster of each core, indexed by core id. Total: defined for every
+    /// core even on a flat machine (where it is the identity and no
+    /// cluster nodes exist).
+    pub cluster_of: Vec<usize>,
+    /// Mesh node of each cluster's shared L1.5; empty = flat wiring (cores
+    /// talk straight to the partitions).
+    pub cluster_nodes: Vec<usize>,
 }
 
 impl Topology {
     /// Total mesh nodes.
     pub fn nodes(&self) -> usize {
         self.mesh_width * self.mesh_height
+    }
+
+    /// Number of cluster caches (0 = flat).
+    pub fn clusters(&self) -> usize {
+        self.cluster_nodes.len()
+    }
+
+    /// Whether core traffic routes through cluster nodes.
+    pub fn is_clustered(&self) -> bool {
+        !self.cluster_nodes.is_empty()
+    }
+
+    /// The victim-bit core→group map this topology induces for sharing
+    /// factor `share` (§4.3): on a clustered machine with `share` ≥ the
+    /// cluster size, whole clusters share a bit — the map goes through
+    /// `cluster_of`, not through core-index arithmetic, so it stays
+    /// correct under any cluster placement. A `share` below the cluster
+    /// size subdivides each cluster modularly (the two must nest, see
+    /// [`GpuConfig::validate`]), and a flat machine uses the paper's plain
+    /// modular grouping.
+    pub fn victim_grouping(&self, share: usize) -> CoreGrouping {
+        let cores = self.core_nodes.len();
+        if !self.is_clustered() {
+            return CoreGrouping::modular(cores, share);
+        }
+        let cluster_size = cores / self.clusters();
+        if share >= cluster_size {
+            let clusters_per_group = share / cluster_size;
+            CoreGrouping::from_map(
+                self.cluster_of.iter().map(|&c| c / clusters_per_group).collect(),
+            )
+        } else {
+            CoreGrouping::modular(cores, share)
+        }
     }
 }
 
@@ -88,16 +131,21 @@ impl Interconnect {
         self.resp.stats()
     }
 
-    /// The port pair a core sees: responses in, requests out.
+    /// The port pair a core sees: responses in, requests out. On a
+    /// clustered topology the request view routes to the core's cluster
+    /// node instead of straight to the owning partition — the wiring
+    /// changes, the core does not.
     pub fn core_ports(&mut self, core: usize) -> (MeshRx<'_, MemResponse>, ReqTx<'_>) {
         let Interconnect { topo, req, resp, line_size, channel_bytes, partitions } = self;
         let node = topo.core_nodes[core];
+        let via = topo.is_clustered().then(|| topo.cluster_nodes[topo.cluster_of[core]]);
         (
             MeshRx { mesh: resp, node },
             ReqTx {
                 mesh: req,
                 topo,
                 src: node,
+                via,
                 line_size: *line_size,
                 channel_bytes: *channel_bytes,
                 partitions: *partitions,
@@ -126,16 +174,58 @@ impl Interconnect {
         self.req.has_delivered(self.topo.part_nodes[part])
     }
 
-    /// The port pair a partition sees: requests in, responses out.
+    /// Whether a request awaits ejection at cluster `cluster`'s node.
+    pub fn req_pending_cluster(&self, cluster: usize) -> bool {
+        self.req.has_delivered(self.topo.cluster_nodes[cluster])
+    }
+
+    /// Whether a response awaits ejection at cluster `cluster`'s node.
+    pub fn resp_pending_cluster(&self, cluster: usize) -> bool {
+        self.resp.has_delivered(self.topo.cluster_nodes[cluster])
+    }
+
+    /// The port pair a partition sees: requests in, responses out. On a
+    /// clustered topology the response view routes back to the requesting
+    /// core's cluster node (the L1.5 fills and re-distributes).
     pub fn partition_ports(&mut self, part: usize) -> (MeshRx<'_, MemRequest>, RespTx<'_>) {
         let Interconnect { topo, req, resp, line_size, channel_bytes, .. } = self;
         let node = topo.part_nodes[part];
+        let to_clusters = topo.is_clustered();
         (
             MeshRx { mesh: req, node },
             RespTx {
                 mesh: resp,
                 topo,
                 src: node,
+                to_clusters,
+                line_size: *line_size,
+                channel_bytes: *channel_bytes,
+            },
+        )
+    }
+
+    /// The combined port views a cluster's shared L1.5 sees on the two
+    /// meshes: on the request mesh it ejects its cores' requests and
+    /// injects misses towards the owning partitions; on the response mesh
+    /// it ejects partition responses and injects per-core responses. Both
+    /// views sit at the cluster's own node.
+    pub fn cluster_io(&mut self, cluster: usize) -> (ClusterReqIo<'_>, ClusterRespIo<'_>) {
+        let Interconnect { topo, req, resp, line_size, channel_bytes, partitions } = self;
+        let topo = &*topo;
+        let node = topo.cluster_nodes[cluster];
+        (
+            ClusterReqIo {
+                mesh: req,
+                topo,
+                node,
+                line_size: *line_size,
+                channel_bytes: *channel_bytes,
+                partitions: *partitions,
+            },
+            ClusterRespIo {
+                mesh: resp,
+                topo,
+                node,
                 line_size: *line_size,
                 channel_bytes: *channel_bytes,
             },
@@ -172,13 +262,15 @@ impl<M> RxPort<M> for MeshRx<'_, M> {
 }
 
 /// Sending port view onto the request mesh: routes each request to the
-/// node of the partition owning its line and serialises it into
-/// channel-width flits.
+/// node of the partition owning its line — or, when the source core hangs
+/// off a cluster cache, to that cluster's node (`via`) — and serialises it
+/// into channel-width flits.
 #[derive(Debug)]
 pub struct ReqTx<'a> {
     mesh: &'a mut Mesh<MemRequest>,
     topo: &'a Topology,
     src: usize,
+    via: Option<usize>,
     line_size: u32,
     channel_bytes: u32,
     partitions: usize,
@@ -190,8 +282,10 @@ impl TxPort<MemRequest> for ReqTx<'_> {
     }
 
     fn send(&mut self, msg: MemRequest, now: u64) {
-        let part = partition_of(msg.line, self.partitions);
-        let dst = self.topo.part_nodes[part.index()];
+        let dst = match self.via {
+            Some(node) => node,
+            None => self.topo.part_nodes[partition_of(msg.line, self.partitions).index()],
+        };
         let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.src, dst, flits, msg, now)
@@ -200,12 +294,14 @@ impl TxPort<MemRequest> for ReqTx<'_> {
 }
 
 /// Sending port view onto the response mesh: routes each response to the
-/// node of its destination core.
+/// node of its destination core — or, on a clustered topology, to that
+/// core's cluster node, where the L1.5 fills and re-distributes.
 #[derive(Debug)]
 pub struct RespTx<'a> {
     mesh: &'a mut Mesh<MemResponse>,
     topo: &'a Topology,
     src: usize,
+    to_clusters: bool,
     line_size: u32,
     channel_bytes: u32,
 }
@@ -216,10 +312,80 @@ impl TxPort<MemResponse> for RespTx<'_> {
     }
 
     fn send(&mut self, msg: MemResponse, now: u64) {
-        let dst = self.topo.core_nodes[msg.core.index()];
+        let core = msg.core.index();
+        let dst = if self.to_clusters {
+            self.topo.cluster_nodes[self.topo.cluster_of[core]]
+        } else {
+            self.topo.core_nodes[core]
+        };
         let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.src, dst, flits, msg, now)
+            .expect("injection gated by can_send");
+    }
+}
+
+/// A cluster cache's combined view of the request mesh: requests from its
+/// cores eject here ([`RxPort`]), and misses inject towards the partition
+/// owning each line ([`TxPort`]).
+#[derive(Debug)]
+pub struct ClusterReqIo<'a> {
+    mesh: &'a mut Mesh<MemRequest>,
+    topo: &'a Topology,
+    node: usize,
+    line_size: u32,
+    channel_bytes: u32,
+    partitions: usize,
+}
+
+impl RxPort<MemRequest> for ClusterReqIo<'_> {
+    fn recv(&mut self) -> Option<MemRequest> {
+        self.mesh.eject(self.node)
+    }
+}
+
+impl TxPort<MemRequest> for ClusterReqIo<'_> {
+    fn can_send(&self) -> bool {
+        self.mesh.can_inject(self.node)
+    }
+
+    fn send(&mut self, msg: MemRequest, now: u64) {
+        let dst = self.topo.part_nodes[partition_of(msg.line, self.partitions).index()];
+        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        self.mesh
+            .inject_at(self.node, dst, flits, msg, now)
+            .expect("injection gated by can_send");
+    }
+}
+
+/// A cluster cache's combined view of the response mesh: partition
+/// responses eject here ([`RxPort`]), and per-core responses inject
+/// towards each destination core ([`TxPort`]).
+#[derive(Debug)]
+pub struct ClusterRespIo<'a> {
+    mesh: &'a mut Mesh<MemResponse>,
+    topo: &'a Topology,
+    node: usize,
+    line_size: u32,
+    channel_bytes: u32,
+}
+
+impl RxPort<MemResponse> for ClusterRespIo<'_> {
+    fn recv(&mut self) -> Option<MemResponse> {
+        self.mesh.eject(self.node)
+    }
+}
+
+impl TxPort<MemResponse> for ClusterRespIo<'_> {
+    fn can_send(&self) -> bool {
+        self.mesh.can_inject(self.node)
+    }
+
+    fn send(&mut self, msg: MemResponse, now: u64) {
+        let dst = self.topo.core_nodes[msg.core.index()];
+        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        self.mesh
+            .inject_at(self.node, dst, flits, msg, now)
             .expect("injection gated by can_send");
     }
 }
@@ -518,9 +684,97 @@ impl ClockedWith<Interconnect> for MemorySystem {
     }
 }
 
+/// The cluster-cache array — one shared L1.5 per core cluster. Empty on a
+/// flat machine, where every method is a no-op so the flat pipeline pays
+/// nothing for the extra hierarchy level.
+#[derive(Debug)]
+pub struct ClusterComplex {
+    clusters: Vec<L15Cluster>,
+    /// Per-cluster event gating, mirroring [`MemorySystem`]: a cluster
+    /// whose cached wake-up cycle lies ahead and that has no traffic
+    /// waiting at its node is skipped outright.
+    ff: bool,
+    wake: Vec<u64>,
+}
+
+impl ClusterComplex {
+    /// Builds one shared L1.5 per cluster of `topo` (none when flat).
+    pub fn new(cfg: &GpuConfig, topo: &Topology) -> Self {
+        let n = topo.clusters();
+        ClusterComplex {
+            clusters: (0..n).map(|_| L15Cluster::new(cfg)).collect(),
+            ff: cfg.fast_forward,
+            wake: vec![0; n],
+        }
+    }
+
+    /// Whether the machine is flat (no cluster caches to tick).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster-cache array.
+    pub fn clusters(&self) -> &[L15Cluster] {
+        &self.clusters
+    }
+
+    /// Mutable cluster-cache array (kernel-end flush, stat collection).
+    pub fn clusters_mut(&mut self) -> &mut [L15Cluster] {
+        &mut self.clusters
+    }
+}
+
+impl ClockedWith<Interconnect> for ClusterComplex {
+    /// One cluster-array cycle: each L1.5 drains both its mesh ports,
+    /// serves one request, and injects ready forwards/responses while the
+    /// meshes have room.
+    fn tick_with(&mut self, now: u64, icnt: &mut Interconnect) {
+        for (c, cluster) in self.clusters.iter_mut().enumerate() {
+            if self.ff
+                && now < self.wake[c]
+                && !icnt.req_pending_cluster(c)
+                && !icnt.resp_pending_cluster(c)
+            {
+                // No queued input on either mesh and no internal event
+                // due: the whole cluster cycle is a no-op.
+                continue;
+            }
+            let (mut req_io, mut resp_io) = icnt.cluster_io(c);
+            cluster.tick(now, &mut req_io, &mut resp_io);
+            if self.ff {
+                self.wake[c] = cluster.next_event(now).unwrap_or(u64::MAX);
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.clusters.iter().all(L15Cluster::is_idle)
+    }
+
+    fn next_event(&self, now: u64, _icnt: &Interconnect) -> Option<u64> {
+        if self.ff {
+            // The cached per-cluster bounds are current (same argument as
+            // for the partitions); arrival of new traffic is bounded by
+            // each mesh's own next event.
+            let m = self.wake.iter().copied().min().unwrap_or(u64::MAX);
+            return if m == u64::MAX { None } else { Some(m.max(now + 1)) };
+        }
+        let mut ev: Option<u64> = None;
+        for cluster in &self.clusters {
+            let e = cluster.next_event(now);
+            if e == Some(now + 1) {
+                return e;
+            }
+            ev = min_event(ev, e);
+        }
+        ev
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Hierarchy;
     use gcache_core::addr::LineAddr;
     use gcache_core::policy::AccessKind;
 
@@ -531,6 +785,77 @@ mod tests {
         assert_eq!(topo.core_nodes, (0..16).collect::<Vec<_>>());
         assert_eq!(topo.part_nodes, (16..24).collect::<Vec<_>>());
         assert_eq!(topo.nodes(), 24);
+        assert!(!topo.is_clustered());
+        assert_eq!(topo.cluster_of.len(), 16);
+    }
+
+    fn clustered_cfg(cluster_size: usize) -> GpuConfig {
+        GpuConfig::fermi()
+            .unwrap()
+            .with_hierarchy(Hierarchy::SharedL15 { cluster_size, kb: 64 })
+            .unwrap()
+    }
+
+    #[test]
+    fn clustered_topology_places_cluster_nodes_after_partitions() {
+        let cfg = clustered_cfg(4);
+        let topo = cfg.topology();
+        assert_eq!(topo.clusters(), 4);
+        assert_eq!(topo.cluster_nodes, (24..28).collect::<Vec<_>>());
+        assert!(topo.nodes() >= 28);
+        // Every core belongs to exactly one cluster, contiguously: cores
+        // 0..4 → cluster 0, 4..8 → cluster 1, and so on.
+        assert_eq!(topo.cluster_of.len(), 16);
+        for (core, &cluster) in topo.cluster_of.iter().enumerate() {
+            assert_eq!(cluster, core / 4, "core {core}");
+        }
+        for cluster in 0..topo.clusters() {
+            assert_eq!(topo.cluster_of.iter().filter(|&&c| c == cluster).count(), 4);
+        }
+    }
+
+    #[test]
+    fn victim_grouping_flat_matches_modular() {
+        let topo = GpuConfig::fermi().unwrap().topology();
+        let g = topo.victim_grouping(4);
+        assert_eq!(g.groups(), 4);
+        for core in 0..16 {
+            assert_eq!(g.group_of(core), core / 4, "core {core}");
+        }
+    }
+
+    #[test]
+    fn victim_grouping_share_equal_to_cluster_follows_cluster_map() {
+        let topo = clustered_cfg(4).topology();
+        let g = topo.victim_grouping(4);
+        assert_eq!(g.groups(), 4);
+        for core in 0..16 {
+            assert_eq!(g.group_of(core), topo.cluster_of[core], "core {core}");
+        }
+    }
+
+    #[test]
+    fn victim_grouping_share_spanning_clusters_merges_them() {
+        // share 8 on 4-core clusters: two whole clusters per victim bit.
+        let topo = clustered_cfg(4).topology();
+        let g = topo.victim_grouping(8);
+        assert_eq!(g.groups(), 2);
+        for core in 0..16 {
+            assert_eq!(g.group_of(core), topo.cluster_of[core] / 2, "core {core}");
+        }
+    }
+
+    #[test]
+    fn victim_grouping_share_below_cluster_subdivides_it() {
+        // share 4 on 8-core clusters: two groups per cluster, and no group
+        // straddles a cluster boundary (cores per cluster are contiguous).
+        let topo = clustered_cfg(8).topology();
+        let g = topo.victim_grouping(4);
+        assert_eq!(g.groups(), 4);
+        for core in 0..16 {
+            assert_eq!(g.group_of(core), core / 4, "core {core}");
+            assert_eq!(g.group_of(core) / 2, topo.cluster_of[core], "core {core}");
+        }
     }
 
     #[test]
@@ -587,5 +912,72 @@ mod tests {
             }
         }
         assert_eq!(got, Some(resp));
+    }
+
+    /// Runs the mesh until `recv` yields a packet at its node (or panics).
+    fn pump<M, F>(icnt: &mut Interconnect, mut recv: F) -> M
+    where
+        F: FnMut(&mut Interconnect) -> Option<M>,
+    {
+        for now in 1..200 {
+            icnt.tick(now);
+            if let Some(m) = recv(icnt) {
+                return m;
+            }
+        }
+        panic!("packet never arrived");
+    }
+
+    #[test]
+    fn clustered_requests_route_via_cluster_node() {
+        let cfg = clustered_cfg(4);
+        let mut icnt = Interconnect::new(&cfg, cfg.topology());
+        let req = MemRequest {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(6), // cluster 1
+            warp: 0,
+        };
+        {
+            let (_, mut tx) = icnt.core_ports(6);
+            tx.send(req, 0);
+        }
+        // The request ejects at cluster 1's node, not at partition 5.
+        let got = pump(&mut icnt, |icnt| icnt.cluster_io(1).0.recv());
+        assert_eq!(got, req);
+        // Forwarding from the cluster node reaches the owning partition.
+        {
+            let (mut req_io, _) = icnt.cluster_io(1);
+            assert!(TxPort::can_send(&req_io));
+            req_io.send(got, 0);
+        }
+        let got = pump(&mut icnt, |icnt| icnt.partition_ports(5).0.recv());
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn clustered_responses_route_via_cluster_node_then_core() {
+        let cfg = clustered_cfg(4);
+        let mut icnt = Interconnect::new(&cfg, cfg.topology());
+        let resp = MemResponse {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(13), // cluster 3
+            warp: 2,
+            victim_hint: true,
+        };
+        {
+            let (_, mut tx) = icnt.partition_ports(5);
+            tx.send(resp, 0);
+        }
+        let got = pump(&mut icnt, |icnt| icnt.cluster_io(3).1.recv());
+        assert_eq!(got, resp);
+        {
+            let (_, mut resp_io) = icnt.cluster_io(3);
+            assert!(TxPort::can_send(&resp_io));
+            resp_io.send(got, 0);
+        }
+        let got = pump(&mut icnt, |icnt| icnt.core_ports(13).0.recv());
+        assert_eq!(got, resp);
     }
 }

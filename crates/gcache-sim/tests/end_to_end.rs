@@ -5,7 +5,7 @@
 use gcache_core::addr::Addr;
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
-use gcache_sim::config::{GpuConfig, L1PolicyKind, WarpSchedKind};
+use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind, WarpSchedKind};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
 use gcache_sim::stats::SimStats;
@@ -237,6 +237,81 @@ fn every_design_point_runs_the_same_kernel() {
         assert_eq!(stats.instructions, 256, "design {d:?}");
         assert_eq!(stats.design, d.design_name());
     }
+}
+
+fn run_clustered(policy: L1PolicyKind, cluster_size: usize, kernel: &dyn Kernel) -> SimStats {
+    let cfg = GpuConfig::fermi_with_policy(policy)
+        .unwrap()
+        .with_hierarchy(Hierarchy::SharedL15 { cluster_size, kb: 64 })
+        .unwrap();
+    Gpu::new(cfg).run_kernel(kernel).expect("clustered simulation completes")
+}
+
+#[test]
+fn flat_runs_report_no_l15_traffic() {
+    let stats = run(L1PolicyKind::Lru, &streaming_kernel(8, 8));
+    assert_eq!(stats.l15.accesses(), 0);
+    assert_eq!(stats.l15_miss_rate(), 0.0);
+}
+
+#[test]
+fn clustered_hierarchy_completes_same_work_as_flat() {
+    for cluster_size in [4, 8] {
+        let flat = run(L1PolicyKind::Lru, &streaming_kernel(24, 8));
+        let clustered = run_clustered(L1PolicyKind::Lru, cluster_size, &streaming_kernel(24, 8));
+        assert_eq!(clustered.core.ctas_completed, 24, "c{cluster_size}");
+        assert_eq!(clustered.instructions, flat.instructions, "c{cluster_size}");
+        assert_eq!(clustered.l1.accesses(), flat.l1.accesses(), "c{cluster_size}");
+        // Every L1 miss, store and atomic passes through the L1.5.
+        assert!(clustered.l15.accesses() > 0, "c{cluster_size}");
+        // Streaming lines are fresh everywhere: L1.5 misses dominate, and
+        // every L1.5 miss reaches the L2 exactly as in the flat machine.
+        assert_eq!(clustered.l2.accesses(), flat.l2.accesses(), "c{cluster_size}");
+        assert_eq!(clustered.dram.reads, flat.dram.reads, "c{cluster_size}");
+    }
+}
+
+#[test]
+fn shared_l15_absorbs_l1_thrash() {
+    // Each warp cyclically scans 6 lines of one L1 set: 6 tags over the
+    // 4-way L1 is LRU's cyclic-eviction pathology, so the L1 misses every
+    // round — but the set fits in the 8-way L1.5, so from the second
+    // round on those misses hit the shared cluster cache instead of
+    // travelling to the L2.
+    let thrash = FnKernel {
+        name: "l1thrash",
+        grid: GridDim { ctas: 16, threads_per_cta: 32 },
+        gen: |_, _| {
+            (0..4u64)
+                .flat_map(|_| (0..6u64).map(|j| Op::strided_load(Addr::new(j * 64 * 128), 4, 32)))
+                .collect()
+        },
+    };
+    let flat = run(L1PolicyKind::Lru, &thrash);
+    let clustered = run_clustered(L1PolicyKind::Lru, 4, &thrash);
+    assert_eq!(clustered.instructions, flat.instructions);
+    assert!(clustered.l15.accesses() > 0);
+    assert!(
+        clustered.l15.hits() > 0,
+        "repeat L1 misses should hit the shared L1.5: {:?}",
+        clustered.l15
+    );
+    assert!(
+        clustered.l2.accesses() < flat.l2.accesses(),
+        "the L1.5 should absorb L2 traffic: clustered {} vs flat {}",
+        clustered.l2.accesses(),
+        flat.l2.accesses()
+    );
+}
+
+#[test]
+fn clustered_runs_are_deterministic() {
+    let a = run_clustered(L1PolicyKind::GCache(GCacheConfig::default()), 4, &hot_kernel(12, 32));
+    let b = run_clustered(L1PolicyKind::GCache(GCacheConfig::default()), 4, &hot_kernel(12, 32));
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.l15.hits(), b.l15.hits());
+    assert_eq!(a.l2.accesses(), b.l2.accesses());
+    assert_eq!(a.dram.reads, b.dram.reads);
 }
 
 /// The headline behavioural test: an inter-warp thrashing kernel where

@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -19,7 +22,7 @@ echo "==> golden-output equivalence (release binaries vs tests/golden)"
 # The same byte-compare the gcache-bench integration test performs in the
 # debug profile, repeated here against the release binaries: optimization
 # level must never change a simulated number.
-for exp in fig8_fig9 table3 fig10; do
+for exp in fig8_fig9 table3 fig10 ablation; do
   diff "crates/gcache-bench/tests/golden/${exp}_quick.txt" \
        <(./target/release/"$exp" --quick --bench BFS,CFD,STL 2>/dev/null) \
     || { echo "golden mismatch: $exp"; exit 1; }
