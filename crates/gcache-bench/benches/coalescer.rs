@@ -8,12 +8,15 @@ use gcache_sim::coalescer::{coalesce, coalescing_efficiency};
 fn main() {
     let coalesced: Vec<Option<Addr>> = (0..32).map(|l| Some(Addr::new(l * 4))).collect();
     let strided: Vec<Option<Addr>> = (0..32).map(|l| Some(Addr::new(l * 256))).collect();
-    let divergent: Vec<Option<Addr>> =
-        (0..32).map(|l| Some(Addr::new((l * 7919 % 1024) * 4096))).collect();
+    let divergent: Vec<Option<Addr>> = (0..32)
+        .map(|l| Some(Addr::new((l * 7919 % 1024) * 4096)))
+        .collect();
 
-    for (name, lanes) in
-        [("coalesced", &coalesced), ("strided", &strided), ("divergent", &divergent)]
-    {
+    for (name, lanes) in [
+        ("coalesced", &coalesced),
+        ("strided", &strided),
+        ("divergent", &divergent),
+    ] {
         bench(&format!("coalescer/{name}"), || {
             black_box(coalesce(black_box(lanes), 128));
         });

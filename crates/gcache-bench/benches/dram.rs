@@ -14,7 +14,8 @@ fn drain(requests: &[u64]) -> u64 {
     while done < requests.len() {
         now += 1;
         while sent < requests.len() && dram.can_accept() {
-            dram.enqueue(LineAddr::new(requests[sent]), false, sent as u64, now).unwrap();
+            dram.enqueue(LineAddr::new(requests[sent]), false, sent as u64, now)
+                .unwrap();
             sent += 1;
         }
         dram.tick(now);
@@ -27,7 +28,9 @@ fn drain(requests: &[u64]) -> u64 {
 
 fn main() {
     let sequential: Vec<u64> = (0..256).collect();
-    let conflict: Vec<u64> = (0..256).map(|i| (i % 2) * 16 * 64 * 4 + (i / 2) * 16 * 8).collect();
+    let conflict: Vec<u64> = (0..256)
+        .map(|i| (i % 2) * 16 * 64 * 4 + (i / 2) * 16 * 8)
+        .collect();
 
     bench("dram_drain_256/row_friendly_stream", || {
         black_box(drain(black_box(&sequential)));

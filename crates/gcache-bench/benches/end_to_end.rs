@@ -10,12 +10,18 @@ use gcache_sim::gpu::Gpu;
 use gcache_workloads::{by_name, Scale};
 
 fn main() {
-    for policy in [L1PolicyKind::Lru, L1PolicyKind::GCache(GCacheConfig::default())] {
-        bench(&format!("end_to_end_spmv_test_scale/{}", policy.design_name()), || {
-            let bench = by_name("SPMV", Scale::Test).unwrap();
-            let cfg = GpuConfig::fermi_with_policy(policy).unwrap();
-            let stats = Gpu::new(cfg).run_kernel(bench.as_ref()).unwrap();
-            black_box(stats.cycles);
-        });
+    for policy in [
+        L1PolicyKind::Lru,
+        L1PolicyKind::GCache(GCacheConfig::default()),
+    ] {
+        bench(
+            &format!("end_to_end_spmv_test_scale/{}", policy.design_name()),
+            || {
+                let bench = by_name("SPMV", Scale::Test).unwrap();
+                let cfg = GpuConfig::fermi_with_policy(policy).unwrap();
+                let stats = Gpu::new(cfg).run_kernel(bench.as_ref()).unwrap();
+                black_box(stats.cycles);
+            },
+        );
     }
 }

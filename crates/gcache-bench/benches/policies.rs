@@ -42,7 +42,9 @@ fn main() {
         ("srrip3", |g| Rrip::srrip(g, 3).into()),
         ("gcache", |g| GCache::with_defaults(g).into()),
         ("spdp8", |g| StaticPdp::new(g, 8).into()),
-        ("pdp3_dyn", |g| DynamicPdp::new(g, DynamicPdpConfig::pdp3()).into()),
+        ("pdp3_dyn", |g| {
+            DynamicPdp::new(g, DynamicPdpConfig::pdp3()).into()
+        }),
     ];
 
     for (name, f) in make {
@@ -51,7 +53,11 @@ fn main() {
             for &line in &stream {
                 if !cache.access(line, AccessKind::Read, CoreId(0)).is_hit() {
                     cache.fill(
-                        FillCtx { line, core: CoreId(0), victim_hint: line.raw() % 8 == 0 },
+                        FillCtx {
+                            line,
+                            core: CoreId(0),
+                            victim_hint: line.raw() % 8 == 0,
+                        },
                         false,
                     );
                 }

@@ -9,7 +9,10 @@ use gcache_core::tag_array::TagArray;
 fn main() {
     for (label, geom) in [
         ("l1_32k_4w", CacheGeometry::new(32 * 1024, 4, 128).unwrap()),
-        ("l2_128k_16w", CacheGeometry::new(128 * 1024, 16, 128).unwrap()),
+        (
+            "l2_128k_16w",
+            CacheGeometry::new(128 * 1024, 16, 128).unwrap(),
+        ),
     ] {
         // Warm array: fill every slot.
         let mut tags = TagArray::new(geom);

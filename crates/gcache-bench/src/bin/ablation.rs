@@ -40,7 +40,9 @@ fn run_with(
 ) -> SimStats {
     let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
     mutate(&mut cfg);
-    Gpu::new(cfg).run_kernel(bench).expect("simulation completes")
+    Gpu::new(cfg)
+        .run_kernel(bench)
+        .expect("simulation completes")
 }
 
 fn main() {
@@ -52,18 +54,26 @@ fn main() {
     let jobs = cli.jobs();
 
     // --- TH_hot sweep -----------------------------------------------------
-    eprintln!("[ablation/th_hot] {} runs on {jobs} jobs ...", benches.len() * 5);
+    eprintln!(
+        "[ablation/th_hot] {} runs on {jobs} jobs ...",
+        benches.len() * 5
+    );
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
-                .chain([1u8, 2, 3, 4].into_iter().map(move |t| {
-                    Box::new(move || {
-                        let cfg =
-                            GCacheConfig { th_hot: t, th_hot_victim: 1, ..GCacheConfig::default() };
-                        run(gc(cfg), b.as_ref(), None, Hierarchy::Flat)
-                    }) as Job<'_>
-                }))
+            std::iter::once(
+                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
+            )
+            .chain([1u8, 2, 3, 4].into_iter().map(move |t| {
+                Box::new(move || {
+                    let cfg = GCacheConfig {
+                        th_hot: t,
+                        th_hot_victim: 1,
+                        ..GCacheConfig::default()
+                    };
+                    run(gc(cfg), b.as_ref(), None, Hierarchy::Flat)
+                }) as Job<'_>
+            }))
         })
         .collect();
     let mut results = run_jobs(grid, jobs).into_iter();
@@ -80,17 +90,25 @@ fn main() {
     println!("{}", th.render());
 
     // --- Ageing period M (§5.1) -------------------------------------------
-    eprintln!("[ablation/aging] {} runs on {jobs} jobs ...", benches.len() * 5);
+    eprintln!(
+        "[ablation/aging] {} runs on {jobs} jobs ...",
+        benches.len() * 5
+    );
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
-                .chain([1u32, 2, 4, 8].into_iter().map(move |m| {
-                    Box::new(move || {
-                        let cfg = GCacheConfig { aging_period: m, ..GCacheConfig::default() };
-                        run(gc(cfg), b.as_ref(), None, Hierarchy::Flat)
-                    }) as Job<'_>
-                }))
+            std::iter::once(
+                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
+            )
+            .chain([1u32, 2, 4, 8].into_iter().map(move |m| {
+                Box::new(move || {
+                    let cfg = GCacheConfig {
+                        aging_period: m,
+                        ..GCacheConfig::default()
+                    };
+                    run(gc(cfg), b.as_ref(), None, Hierarchy::Flat)
+                }) as Job<'_>
+            }))
         })
         .collect();
     let mut results = run_jobs(grid, jobs).into_iter();
@@ -107,18 +125,23 @@ fn main() {
     println!("{}", aging.render());
 
     // --- Victim-bit sharing S_v (§4.1 / §4.3) ------------------------------
-    eprintln!("[ablation/share] {} runs on {jobs} jobs ...", benches.len() * 4);
+    eprintln!(
+        "[ablation/share] {} runs on {jobs} jobs ...",
+        benches.len() * 4
+    );
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
-                .chain([1usize, 4, 16].into_iter().map(move |s_v| {
-                    Box::new(move || {
-                        run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
-                            c.victim_bit_share = s_v;
-                        })
-                    }) as Job<'_>
-                }))
+            std::iter::once(
+                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
+            )
+            .chain([1usize, 4, 16].into_iter().map(move |s_v| {
+                Box::new(move || {
+                    run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
+                        c.victim_bit_share = s_v;
+                    })
+                }) as Job<'_>
+            }))
         })
         .collect();
     let mut results = run_jobs(grid, jobs).into_iter();
@@ -135,16 +158,23 @@ fn main() {
     println!("{}", share.render());
 
     // --- Epoch length -------------------------------------------------------
-    eprintln!("[ablation/epoch] {} runs on {jobs} jobs ...", benches.len() * 5);
+    eprintln!(
+        "[ablation/epoch] {} runs on {jobs} jobs ...",
+        benches.len() * 5
+    );
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
-            std::iter::once(Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>)
-                .chain([256u64, 512, 2048, 0].into_iter().map(move |e| {
-                    Box::new(move || {
-                        run_with(gc(GCacheConfig::default()), b.as_ref(), |c| c.l1_epoch_len = e)
-                    }) as Job<'_>
-                }))
+            std::iter::once(
+                Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
+            )
+            .chain([256u64, 512, 2048, 0].into_iter().map(move |e| {
+                Box::new(move || {
+                    run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
+                        c.l1_epoch_len = e
+                    })
+                }) as Job<'_>
+            }))
         })
         .collect();
     let mut results = run_jobs(grid, jobs).into_iter();
@@ -161,15 +191,27 @@ fn main() {
     println!("{}", epoch.render());
 
     // --- Scheduler interaction (§6.2) ---------------------------------------
-    eprintln!("[ablation/sched] {} runs on {jobs} jobs ...", benches.len() * 4);
+    eprintln!(
+        "[ablation/sched] {} runs on {jobs} jobs ...",
+        benches.len() * 4
+    );
     let grid: Vec<Job<'_>> = benches
         .iter()
         .flat_map(|b| {
             [
                 Box::new(|| run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
-                Box::new(|| run(gc(GCacheConfig::default()), b.as_ref(), None, Hierarchy::Flat)) as Job<'_>,
                 Box::new(|| {
-                    run_with(L1PolicyKind::Lru, b.as_ref(), |c| c.warp_sched = WarpSchedKind::Gto)
+                    run(
+                        gc(GCacheConfig::default()),
+                        b.as_ref(),
+                        None,
+                        Hierarchy::Flat,
+                    )
+                }) as Job<'_>,
+                Box::new(|| {
+                    run_with(L1PolicyKind::Lru, b.as_ref(), |c| {
+                        c.warp_sched = WarpSchedKind::Gto
+                    })
                 }) as Job<'_>,
                 Box::new(|| {
                     run_with(gc(GCacheConfig::default()), b.as_ref(), |c| {
@@ -189,9 +231,17 @@ fn main() {
         sched.row(vec![
             b.info().name.to_string(),
             format!("{:.3}", lrr_bs.ipc()),
-            format!("{:.3} ({})", lrr_gc.ipc(), speedup(lrr_gc.speedup_over(&lrr_bs))),
+            format!(
+                "{:.3} ({})",
+                lrr_gc.ipc(),
+                speedup(lrr_gc.speedup_over(&lrr_bs))
+            ),
             format!("{:.3}", gto_bs.ipc()),
-            format!("{:.3} ({})", gto_gc.ipc(), speedup(gto_gc.speedup_over(&gto_bs))),
+            format!(
+                "{:.3} ({})",
+                gto_gc.ipc(),
+                speedup(gto_gc.speedup_over(&gto_bs))
+            ),
         ]);
     }
     println!("## Ablation: warp scheduler interaction (GC works under both, §6.2)\n");

@@ -28,7 +28,12 @@ fn main() {
         let info = b.info();
         eprintln!("[energy] running {} ...", info.name);
         let bs = run(L1PolicyKind::Lru, b.as_ref(), None, Hierarchy::Flat);
-        let gc = run(L1PolicyKind::GCache(GCacheConfig::default()), b.as_ref(), None, Hierarchy::Flat);
+        let gc = run(
+            L1PolicyKind::GCache(GCacheConfig::default()),
+            b.as_ref(),
+            None,
+            Hierarchy::Flat,
+        );
         let flits = |s: &gcache_sim::stats::SimStats| s.noc_req.flits + s.noc_resp.flits;
         let dram = |s: &gcache_sim::stats::SimStats| s.dram.reads + s.dram.writes;
         t.row(vec![

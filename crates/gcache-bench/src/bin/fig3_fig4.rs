@@ -28,8 +28,10 @@ fn main() {
     for b in &benches {
         let info = b.info();
         eprintln!("[fig3/4] running {} ...", info.name);
-        let runs: Vec<_> =
-            SIZES_KB.iter().map(|&kb| run(L1PolicyKind::Lru, b.as_ref(), Some(kb), Hierarchy::Flat)).collect();
+        let runs: Vec<_> = SIZES_KB
+            .iter()
+            .map(|&kb| run(L1PolicyKind::Lru, b.as_ref(), Some(kb), Hierarchy::Flat))
+            .collect();
         let base = &runs[1]; // 32 KB is the baseline machine
         fig3.row(
             std::iter::once(info.name.to_string())

@@ -30,7 +30,10 @@ fn main() {
             })
         })
         .collect();
-    eprintln!("[fig8] SPDP-B sweep: {} runs on {jobs} jobs ...", pd_grid.len());
+    eprintln!(
+        "[fig8] SPDP-B sweep: {} runs on {jobs} jobs ...",
+        pd_grid.len()
+    );
     let mut pd_stats = run_design_points(&pd_grid, jobs).into_iter();
     let best_pds: Vec<u16> = benches
         .iter()
@@ -45,17 +48,18 @@ fn main() {
         .iter()
         .zip(&best_pds)
         .flat_map(|(b, &pd)| {
-            designs(pd)
-                .into_iter()
-                .map(|policy| DesignPoint {
-                    bench: b.as_ref(),
-                    policy,
-                    l1_kb: None,
-                    hierarchy: Hierarchy::Flat,
-                })
+            designs(pd).into_iter().map(|policy| DesignPoint {
+                bench: b.as_ref(),
+                policy,
+                l1_kb: None,
+                hierarchy: Hierarchy::Flat,
+            })
         })
         .collect();
-    eprintln!("[fig8] design grid: {} runs on {jobs} jobs ...", design_grid.len());
+    eprintln!(
+        "[fig8] design grid: {} runs on {jobs} jobs ...",
+        design_grid.len()
+    );
     let per_design = designs(0).len();
     let mut all = run_design_points(&design_grid, jobs).into_iter();
 

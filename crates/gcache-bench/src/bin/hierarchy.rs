@@ -43,8 +43,14 @@ fn main() {
     let jobs = cli.jobs();
     let shapes = cli.hierarchies(&[
         Hierarchy::Flat,
-        Hierarchy::SharedL15 { cluster_size: 4, kb: 64 },
-        Hierarchy::SharedL15 { cluster_size: 8, kb: 64 },
+        Hierarchy::SharedL15 {
+            cluster_size: 4,
+            kb: 64,
+        },
+        Hierarchy::SharedL15 {
+            cluster_size: 8,
+            kb: 64,
+        },
     ]);
 
     // One flat grid: benchmark-major, then shape, then policy — so each
@@ -54,9 +60,12 @@ fn main() {
         .iter()
         .flat_map(|b| {
             shapes.iter().flat_map(move |&hierarchy| {
-                policies()
-                    .into_iter()
-                    .map(move |policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None, hierarchy })
+                policies().into_iter().map(move |policy| DesignPoint {
+                    bench: b.as_ref(),
+                    policy,
+                    l1_kb: None,
+                    hierarchy,
+                })
             })
         })
         .collect();
@@ -90,7 +99,11 @@ fn main() {
                 format!("{:.3}", gc.ipc()),
                 speedup(s),
                 pct(gc.l1_miss_rate()),
-                if shape == Hierarchy::Flat { "-".to_string() } else { pct(gc.l15_miss_rate()) },
+                if shape == Hierarchy::Flat {
+                    "-".to_string()
+                } else {
+                    pct(gc.l15_miss_rate())
+                },
             ]);
         }
         table.row(vec![
@@ -102,7 +115,10 @@ fn main() {
             String::new(),
             String::new(),
         ]);
-        println!("## Hierarchy {}: BS / BS-S / GC over the Figure 8 set\n", label(shape));
+        println!(
+            "## Hierarchy {}: BS / BS-S / GC over the Figure 8 set\n",
+            label(shape)
+        );
         println!("{}", table.render());
     }
 }

@@ -27,7 +27,9 @@ const FULLSCALE_BENCHES: &[&str] = &["BFS", "SPMV"];
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
     let jobs = cli.jobs();
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // Fixed default grid so measurements are comparable run to run: the
     // full smoke-scale registry × the six designs (SPDP-B pinned at PD 8 —
@@ -40,7 +42,12 @@ fn main() {
     for b in &benches {
         for &hierarchy in &shapes {
             for policy in designs(8) {
-                grid.push(DesignPoint { bench: b.as_ref(), policy, l1_kb: None, hierarchy });
+                grid.push(DesignPoint {
+                    bench: b.as_ref(),
+                    policy,
+                    l1_kb: None,
+                    hierarchy,
+                });
             }
         }
     }
@@ -135,13 +142,20 @@ fn main() {
         );
         ff_on_total_ms += on_ms;
         ff_off_total_ms += off_ms;
-        let sep = if i + 1 < FULLSCALE_BENCHES.len() { "," } else { "" };
+        let sep = if i + 1 < FULLSCALE_BENCHES.len() {
+            ","
+        } else {
+            ""
+        };
         let _ = write!(
             fullscale_json,
             "\n    {{ \"bench\": \"{name}\", \"ff_on_ms\": {on_ms:.1}, \"ff_off_ms\": {off_ms:.1}, \"speedup\": {:.3} }}{sep}",
             off_ms / on_ms
         );
-        eprintln!("[sweep_bench] {name}: {off_ms:.0} ms -> {on_ms:.0} ms ({:.2}x)", off_ms / on_ms);
+        eprintln!(
+            "[sweep_bench] {name}: {off_ms:.0} ms -> {on_ms:.0} ms ({:.2}x)",
+            off_ms / on_ms
+        );
     }
 
     let speedup = serial_ms / parallel_ms;

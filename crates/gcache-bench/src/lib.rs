@@ -106,8 +106,9 @@ pub fn parse_hierarchy(s: &str) -> Result<Hierarchy, String> {
     let cluster_size: usize = size
         .parse()
         .map_err(|_| format!("hierarchy shape '{s}': cluster size must be an integer"))?;
-    let kb: u64 =
-        kb.parse().map_err(|_| format!("hierarchy shape '{s}': KB must be an integer"))?;
+    let kb: u64 = kb
+        .parse()
+        .map_err(|_| format!("hierarchy shape '{s}': KB must be an integer"))?;
     let hierarchy = Hierarchy::SharedL15 { cluster_size, kb };
     GpuConfig::fermi()
         .expect("valid config")
@@ -138,7 +139,10 @@ impl Cli {
                 "--quick" => cli.quick = true,
                 "--bench" => {
                     let names = args.next().ok_or("--bench requires a value")?;
-                    cli.only = names.split(',').map(|s| s.trim().to_ascii_uppercase()).collect();
+                    cli.only = names
+                        .split(',')
+                        .map(|s| s.trim().to_ascii_uppercase())
+                        .collect();
                 }
                 "--jobs" => {
                     let n = args.next().ok_or("--jobs requires a value")?;
@@ -153,8 +157,10 @@ impl Cli {
                 }
                 "--hierarchy" => {
                     let shapes = args.next().ok_or("--hierarchy requires a value")?;
-                    cli.hierarchy =
-                        shapes.split(',').map(parse_hierarchy).collect::<Result<_, _>>()?;
+                    cli.hierarchy = shapes
+                        .split(',')
+                        .map(parse_hierarchy)
+                        .collect::<Result<_, _>>()?;
                 }
                 "--no-fast-forward" => cli.no_fast_forward = true,
                 other => return Err(format!("unknown flag '{other}'")),
@@ -168,7 +174,9 @@ impl Cli {
     /// parallelism. A malformed `GCACHE_JOBS` is ignored with a warning
     /// on stderr (stdout stays byte-identical across job counts).
     pub fn jobs(&self) -> usize {
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let oversubscribed = |j: usize, source: &str| {
             if j > host {
                 eprintln!(
@@ -256,7 +264,15 @@ pub fn run(
 /// Table 3's PD-4 rows for PVR/SD1/STL.
 pub fn sweep_optimal_pd(bench: &dyn Benchmark, l1_kb: Option<u64>) -> (u16, SimStats) {
     select_optimal_pd(PD_CANDIDATES.iter().map(|&pd| {
-        (pd, run(L1PolicyKind::StaticPdp { pd }, bench, l1_kb, Hierarchy::Flat))
+        (
+            pd,
+            run(
+                L1PolicyKind::StaticPdp { pd },
+                bench,
+                l1_kb,
+                Hierarchy::Flat,
+            ),
+        )
     }))
 }
 
@@ -271,7 +287,9 @@ pub fn sweep_optimal_pd(bench: &dyn Benchmark, l1_kb: Option<u64>) -> (u16, SimS
 pub fn select_optimal_pd(results: impl IntoIterator<Item = (u16, SimStats)>) -> (u16, SimStats) {
     let mut best: Option<(u16, SimStats)> = None;
     for (pd, stats) in results {
-        let better = best.as_ref().is_none_or(|(_, b)| stats.ipc() > b.ipc() * 1.002);
+        let better = best
+            .as_ref()
+            .is_none_or(|(_, b)| stats.ipc() > b.ipc() * 1.002);
         if better {
             best = Some((pd, stats));
         }
@@ -302,7 +320,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (stringified cells).
@@ -360,7 +381,9 @@ mod tests {
     #[test]
     fn cli_parses_flags() {
         let cli = Cli::parse(
-            ["--quick", "--bench", "spmv,BFS"].iter().map(|s| s.to_string()),
+            ["--quick", "--bench", "spmv,BFS"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert!(cli.quick);
         assert_eq!(cli.only, vec!["SPMV", "BFS"]);

@@ -39,13 +39,19 @@ pub fn measure(mut f: impl FnMut()) -> Measurement {
         f();
     }
     let elapsed = start.elapsed();
-    Measurement { iters, ns_per_iter: elapsed.as_nanos() as f64 / iters as f64 }
+    Measurement {
+        iters,
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+    }
 }
 
 /// Runs and reports one named benchmark (`group/name ... ns/iter`).
 pub fn bench(name: &str, f: impl FnMut()) -> Measurement {
     let m = measure(f);
-    println!("{name:<40} {:>14.1} ns/iter  ({} iters)", m.ns_per_iter, m.iters);
+    println!(
+        "{name:<40} {:>14.1} ns/iter  ({} iters)",
+        m.ns_per_iter, m.iters
+    );
     m
 }
 

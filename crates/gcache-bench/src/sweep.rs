@@ -48,7 +48,9 @@ impl std::fmt::Debug for DesignPoint<'_> {
 /// Runs a grid of design points on `jobs` worker threads, returning stats
 /// in submission order.
 pub fn run_design_points(points: &[DesignPoint<'_>], jobs: usize) -> Vec<SimStats> {
-    parallel_map(points, jobs, |p| run(p.policy, p.bench, p.l1_kb, p.hierarchy))
+    parallel_map(points, jobs, |p| {
+        run(p.policy, p.bench, p.l1_kb, p.hierarchy)
+    })
 }
 
 /// Applies `f` to every item on a pool of `jobs` scoped worker threads
@@ -107,7 +109,11 @@ where
 
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker exited without filling its slot"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker exited without filling its slot")
+        })
         .collect()
 }
 

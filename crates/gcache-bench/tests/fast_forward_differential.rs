@@ -38,7 +38,13 @@ fn fast_forward_stats_match_plain_loop() {
     // interconnect and the partitions, so its `next_event` bound is part of
     // the differential too: a too-optimistic bound would skip an L1.5
     // wake-up and change cycle counts.
-    let shapes = [Hierarchy::Flat, Hierarchy::SharedL15 { cluster_size: 4, kb: 64 }];
+    let shapes = [
+        Hierarchy::Flat,
+        Hierarchy::SharedL15 {
+            cluster_size: 4,
+            kb: 64,
+        },
+    ];
 
     for bench in &benches {
         for policy in gcache_bench::designs(6) {

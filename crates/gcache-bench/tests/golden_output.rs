@@ -25,7 +25,11 @@ fn run_quick_with(bin: &str, extra_args: &[&str], golden: &str) {
         .args(extra_args)
         .output()
         .expect("spawn experiment binary");
-    assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).expect("experiment output is UTF-8");
     if stdout != golden {
         // A plain assert_eq! on multi-kilobyte tables is unreadable; show

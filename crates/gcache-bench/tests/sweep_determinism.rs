@@ -2,8 +2,8 @@
 //! results come back in submission order with every stat byte-identical
 //! to a serial run, for any worker count.
 
-use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::designs;
+use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::{by_name, Scale};
 
@@ -18,9 +18,12 @@ fn small_grid<'a>(
         .iter()
         .flat_map(|b| {
             shapes.iter().flat_map(move |&hierarchy| {
-                designs(8)
-                    .into_iter()
-                    .map(move |policy| DesignPoint { bench: b.as_ref(), policy, l1_kb: None, hierarchy })
+                designs(8).into_iter().map(move |policy| DesignPoint {
+                    bench: b.as_ref(),
+                    policy,
+                    l1_kb: None,
+                    hierarchy,
+                })
             })
         })
         .collect()
@@ -32,7 +35,13 @@ fn parallel_sweep_is_byte_identical_to_serial() {
         .iter()
         .map(|n| by_name(n, Scale::Test).expect("benchmark registered"))
         .collect();
-    let shapes = [Hierarchy::Flat, Hierarchy::SharedL15 { cluster_size: 4, kb: 64 }];
+    let shapes = [
+        Hierarchy::Flat,
+        Hierarchy::SharedL15 {
+            cluster_size: 4,
+            kb: 64,
+        },
+    ];
     let grid = small_grid(&benches, &shapes);
 
     let serial = run_design_points(&grid, 1);
@@ -57,8 +66,9 @@ fn results_follow_submission_order() {
     // between slots would trip the per-slot comparison above. Here we
     // check the cheap structural half: grid length in, same length out,
     // and the L1 capacity override lands on the right slot.
-    let benches: Vec<_> =
-        [by_name("SPMV", Scale::Test).expect("benchmark registered")].into_iter().collect();
+    let benches: Vec<_> = [by_name("SPMV", Scale::Test).expect("benchmark registered")]
+        .into_iter()
+        .collect();
     let grid = vec![
         DesignPoint {
             bench: benches[0].as_ref(),

@@ -38,7 +38,10 @@ impl Addr {
     ///
     /// Panics in debug builds if `line_size` is not a power of two.
     pub fn to_line(self, line_size: u32) -> LineAddr {
-        debug_assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 >> line_size.trailing_zeros())
     }
 

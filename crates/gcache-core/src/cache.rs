@@ -43,12 +43,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A write-through, no-write-allocate configuration (GPU L1 style).
     pub fn l1(geometry: CacheGeometry, epoch_len: u64) -> Self {
-        CacheConfig { geometry, write_policy: WritePolicy::WriteThroughNoAllocate, epoch_len }
+        CacheConfig {
+            geometry,
+            write_policy: WritePolicy::WriteThroughNoAllocate,
+            epoch_len,
+        }
     }
 
     /// A write-back, write-allocate configuration (GPU L2 style).
     pub fn l2(geometry: CacheGeometry, epoch_len: u64) -> Self {
-        CacheConfig { geometry, write_policy: WritePolicy::WriteBackWriteAllocate, epoch_len }
+        CacheConfig {
+            geometry,
+            write_policy: WritePolicy::WriteBackWriteAllocate,
+            epoch_len,
+        }
     }
 }
 
@@ -222,8 +230,8 @@ impl Cache {
 
         match self.tags.probe(line) {
             Some(way) => {
-                let mark_dirty = kind.is_write()
-                    && self.cfg.write_policy == WritePolicy::WriteBackWriteAllocate;
+                let mark_dirty =
+                    kind.is_write() && self.cfg.write_policy == WritePolicy::WriteBackWriteAllocate;
                 self.tags.touch(set, way, mark_dirty);
                 self.policy.on_hit(set, way);
                 let victim_hint = match (&mut self.victim_bits, kind) {
@@ -256,13 +264,19 @@ impl Cache {
             if dirty {
                 self.tags.touch(set, way, true);
             }
-            return FillOutcome { bypassed: false, evicted: None };
+            return FillOutcome {
+                bypassed: false,
+                evicted: None,
+            };
         }
         let valid_mask = self.tags.valid_mask(set);
         match self.policy.fill_decision(set, valid_mask, &ctx) {
             FillDecision::Bypass => {
                 self.stats.bypassed_fills += 1;
-                FillOutcome { bypassed: true, evicted: None }
+                FillOutcome {
+                    bypassed: true,
+                    evicted: None,
+                }
             }
             FillDecision::Insert { way } => {
                 if valid_mask & (1 << way) != 0 {
@@ -282,7 +296,10 @@ impl Cache {
                 }
                 self.policy.on_insert(set, way, &ctx);
                 self.stats.fills += 1;
-                FillOutcome { bypassed: false, evicted }
+                FillOutcome {
+                    bypassed: false,
+                    evicted,
+                }
             }
         }
     }
@@ -296,7 +313,9 @@ impl Cache {
     pub fn victim_observe(&mut self, line: LineAddr, core: CoreId) -> Option<bool> {
         let set = self.cfg.geometry.set_of(line);
         let way = self.tags.probe(line)?;
-        self.victim_bits.as_mut().map(|vb| vb.observe(set, way, core))
+        self.victim_bits
+            .as_mut()
+            .map(|vb| vb.observe(set, way, core))
     }
 
     /// Records an access this cache intentionally did not service — e.g.
@@ -450,10 +469,19 @@ mod tests {
         assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Miss);
         c.fill(FillCtx::plain(line, C0), false);
         // Same core re-requests (its L1 evicted the line early): hint set.
-        assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Hit { victim_hint: true });
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0),
+            Lookup::Hit { victim_hint: true }
+        );
         // A different core sees a clean hint first.
-        assert_eq!(c.access(line, AccessKind::Read, C1), Lookup::Hit { victim_hint: false });
-        assert_eq!(c.access(line, AccessKind::Read, C1), Lookup::Hit { victim_hint: true });
+        assert_eq!(
+            c.access(line, AccessKind::Read, C1),
+            Lookup::Hit { victim_hint: false }
+        );
+        assert_eq!(
+            c.access(line, AccessKind::Read, C1),
+            Lookup::Hit { victim_hint: true }
+        );
     }
 
     #[test]
@@ -463,12 +491,15 @@ mod tests {
         let b = LineAddr::new(4);
         c.fill(FillCtx::plain(a, C0), false);
         c.access(a, AccessKind::Read, C0); // sets C0's bit again (already set by fill)
-        // Evict `a` by filling the set's other way then a third line.
+                                           // Evict `a` by filling the set's other way then a third line.
         c.fill(FillCtx::plain(b, C0), false);
         c.fill(FillCtx::plain(LineAddr::new(8), C0), false); // evicts `a` (LRU)
-        // `a` returns: its bits must have been cleared with the eviction.
+                                                             // `a` returns: its bits must have been cleared with the eviction.
         c.fill(FillCtx::plain(a, C0), false);
-        assert_eq!(c.access(a, AccessKind::Read, C1), Lookup::Hit { victim_hint: false });
+        assert_eq!(
+            c.access(a, AccessKind::Read, C1),
+            Lookup::Hit { victim_hint: false }
+        );
     }
 
     #[test]
@@ -478,7 +509,10 @@ mod tests {
         c.fill(FillCtx::plain(line, C1), false);
         // C0 writes (write-through traffic) — must not set C0's bit.
         c.access(line, AccessKind::Write, C0);
-        assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Hit { victim_hint: false });
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0),
+            Lookup::Hit { victim_hint: false }
+        );
     }
 
     #[test]

@@ -216,7 +216,11 @@ impl<T> CacheController<T> {
             .expect("fill without an outstanding MSHR entry");
         let p = decide(out);
         self.cache.fill(
-            FillCtx { line, core: p.core, victim_hint: p.victim_hint },
+            FillCtx {
+                line,
+                core: p.core,
+                victim_hint: p.victim_hint,
+            },
             p.dirty,
         )
     }
@@ -332,7 +336,11 @@ mod tests {
 
     fn fill(ctrl: &mut CacheController<usize>, line: LineAddr, dirty: bool) -> Vec<usize> {
         let mut out = Vec::new();
-        ctrl.fill_with(line, &mut out, |_| FillParams { core: C0, victim_hint: false, dirty });
+        ctrl.fill_with(line, &mut out, |_| FillParams {
+            core: C0,
+            victim_hint: false,
+            dirty,
+        });
         out
     }
 
@@ -340,7 +348,10 @@ mod tests {
     fn write_through_stores_forward_without_allocating() {
         let mut c = l1_style();
         let line = LineAddr::new(0x20);
-        assert_eq!(c.access(line, AccessKind::Write, C0, 0), ControllerOutcome::Forward);
+        assert_eq!(
+            c.access(line, AccessKind::Write, C0, 0),
+            ControllerOutcome::Forward
+        );
         assert!(!c.contains(line));
         assert!(c.quiesced(), "forwarded stores must not occupy MSHRs");
     }
@@ -352,7 +363,10 @@ mod tests {
         c.access(line, AccessKind::Read, C0, 0);
         fill(&mut c, line, false);
         assert!(c.contains(line));
-        assert_eq!(c.access(line, AccessKind::Atomic, C0, 1), ControllerOutcome::Forward);
+        assert_eq!(
+            c.access(line, AccessKind::Atomic, C0, 1),
+            ControllerOutcome::Forward
+        );
         assert!(!c.contains(line), "atomic must drop the stale copy");
     }
 
@@ -360,8 +374,14 @@ mod tests {
     fn primary_then_merge_then_blocked() {
         let mut c = l1_style();
         let line = LineAddr::new(0x10);
-        assert_eq!(c.access(line, AccessKind::Read, C0, 10), ControllerOutcome::MissPrimary);
-        assert_eq!(c.access(line, AccessKind::Read, C0, 11), ControllerOutcome::MissMerged);
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0, 10),
+            ControllerOutcome::MissPrimary
+        );
+        assert_eq!(
+            c.access(line, AccessKind::Read, C0, 11),
+            ControllerOutcome::MissMerged
+        );
         assert_eq!(
             c.access(line, AccessKind::Read, C0, 12),
             ControllerOutcome::Blocked(MshrReject::MergeFull)
@@ -395,17 +415,27 @@ mod tests {
     fn write_back_stores_allocate_and_dirty() {
         let mut c = l2_style();
         let line = LineAddr::new(3);
-        assert_eq!(c.access(line, AccessKind::Write, C0, 0), ControllerOutcome::MissPrimary);
+        assert_eq!(
+            c.access(line, AccessKind::Write, C0, 0),
+            ControllerOutcome::MissPrimary
+        );
         let targets = fill(&mut c, line, true);
         assert_eq!(targets, vec![0]);
-        assert_eq!(c.cache_mut().flush().len(), 1, "write-allocated line must be dirty");
+        assert_eq!(
+            c.cache_mut().flush().len(),
+            1,
+            "write-allocated line must be dirty"
+        );
     }
 
     #[test]
     fn executed_atomic_runs_the_miss_machine() {
         let mut c = l2_style();
         let line = LineAddr::new(4);
-        assert_eq!(c.access(line, AccessKind::Atomic, C0, 5), ControllerOutcome::MissPrimary);
+        assert_eq!(
+            c.access(line, AccessKind::Atomic, C0, 5),
+            ControllerOutcome::MissPrimary
+        );
         fill(&mut c, line, true);
         assert_eq!(
             c.access(line, AccessKind::Atomic, C0, 6),

@@ -83,9 +83,17 @@ impl CacheGeometry {
         }
         let set_bytes = ways as u64 * line_size as u64;
         if total_bytes < set_bytes {
-            return Err(GeometryError::TooSmall { total_bytes, ways, line_size });
+            return Err(GeometryError::TooSmall {
+                total_bytes,
+                ways,
+                line_size,
+            });
         }
-        Ok(CacheGeometry { sets: (total_bytes / set_bytes) as u32, ways, line_size })
+        Ok(CacheGeometry {
+            sets: (total_bytes / set_bytes) as u32,
+            ways,
+            line_size,
+        })
     }
 
     /// Creates a geometry directly from a set count.
@@ -95,7 +103,11 @@ impl CacheGeometry {
     /// Returns [`GeometryError::NotPowerOfTwo`] if any parameter is not a
     /// power of two.
     pub fn with_sets(sets: u32, ways: u32, line_size: u32) -> Result<Self, GeometryError> {
-        CacheGeometry::new(sets as u64 * ways as u64 * line_size as u64, ways, line_size)
+        CacheGeometry::new(
+            sets as u64 * ways as u64 * line_size as u64,
+            ways,
+            line_size,
+        )
     }
 
     /// Number of sets.
@@ -180,25 +192,40 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheGeometry::new(3000, 4, 128),
-            Err(GeometryError::NotPowerOfTwo { what: "total size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "total size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 3, 128),
-            Err(GeometryError::NotPowerOfTwo { what: "associativity", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 4, 96),
-            Err(GeometryError::NotPowerOfTwo { what: "line size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(0, 4, 128),
-            Err(GeometryError::NotPowerOfTwo { what: "total size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "total size",
+                ..
+            })
         ));
     }
 
     #[test]
     fn rejects_too_small() {
-        assert!(matches!(CacheGeometry::new(256, 4, 128), Err(GeometryError::TooSmall { .. })));
+        assert!(matches!(
+            CacheGeometry::new(256, 4, 128),
+            Err(GeometryError::TooSmall { .. })
+        ));
     }
 
     #[test]

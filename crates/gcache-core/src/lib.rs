@@ -76,9 +76,7 @@ pub mod victim_bits;
 pub mod prelude {
     pub use crate::addr::{Addr, CoreId, LineAddr, PartitionId};
     pub use crate::cache::{Cache, CacheConfig, FillOutcome, Lookup, WritePolicy};
-    pub use crate::controller::{
-        AtomicHandling, CacheController, ControllerOutcome, FillParams,
-    };
+    pub use crate::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
     pub use crate::geometry::CacheGeometry;
     pub use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
     pub use crate::policy::gcache::{GCache, GCacheConfig};

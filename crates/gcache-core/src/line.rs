@@ -58,7 +58,11 @@ impl LineSlot {
     /// Resets the slot to hold a freshly filled line.
     pub fn fill(&mut self, tag: u64, dirty: bool) {
         self.tag = tag;
-        self.state = if dirty { LineState::Dirty } else { LineState::Clean };
+        self.state = if dirty {
+            LineState::Dirty
+        } else {
+            LineState::Clean
+        };
         self.reuse = 0;
     }
 
@@ -84,7 +88,10 @@ mod tests {
 
     #[test]
     fn fill_resets_reuse() {
-        let mut slot = LineSlot { reuse: 9, ..LineSlot::default() };
+        let mut slot = LineSlot {
+            reuse: 9,
+            ..LineSlot::default()
+        };
         slot.fill(0x42, false);
         assert_eq!(slot.reuse, 0);
         assert_eq!(slot.tag, 0x42);

@@ -108,8 +108,10 @@ impl<T> MshrFile<T> {
         if self.entries.len() >= self.capacity {
             return Err(MshrReject::Full);
         }
-        let mut targets =
-            self.free.pop().unwrap_or_else(|| Vec::with_capacity(self.max_merge));
+        let mut targets = self
+            .free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.max_merge));
         targets.push(target);
         self.entries.insert(line, targets);
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
@@ -125,7 +127,9 @@ impl<T> MshrFile<T> {
     /// further [`MshrFile::allocate`] for it would return
     /// [`MshrReject::MergeFull`]. `false` when no entry exists.
     pub fn merge_full(&self, line: LineAddr) -> bool {
-        self.entries.get(&line).is_some_and(|t| t.len() >= self.max_merge)
+        self.entries
+            .get(&line)
+            .is_some_and(|t| t.len() >= self.max_merge)
     }
 
     /// Releases the entry for `line`, returning its merged targets in

@@ -47,14 +47,23 @@ impl OverheadModel {
     /// The paper's flat Table 2 machine: 16 cores, a private victim bit
     /// per core (`S_v = 1`) over the 512-set 16-way L2 — 16 KB of bits.
     pub const fn paper_flat() -> Self {
-        OverheadModel { cores: 16, l2_sets: 512, l2_ways: 16, share: 1, l1_sets: 64 }
+        OverheadModel {
+            cores: 16,
+            l2_sets: 512,
+            l2_ways: 16,
+            share: 1,
+            l1_sets: 64,
+        }
     }
 
     /// §4.3's clustered overhead-reduction configuration: the same machine
     /// with all 16 cores sharing one bit (`S_v = 16`), as when every core
     /// group hangs off a shared cache level — 1 KB of bits total.
     pub const fn paper_clustered_s16() -> Self {
-        OverheadModel { share: 16, ..OverheadModel::paper_flat() }
+        OverheadModel {
+            share: 16,
+            ..OverheadModel::paper_flat()
+        }
     }
 
     /// Victim bits per L2 line (`L_v = ⌈P / S_v⌉`).
@@ -132,10 +141,16 @@ mod tests {
 
     #[test]
     fn sharing_divides_cost() {
-        let m = OverheadModel { share: 4, ..paper() };
+        let m = OverheadModel {
+            share: 4,
+            ..paper()
+        };
         assert_eq!(m.bits_per_line(), 4);
         assert_eq!(m.victim_bits(), paper().victim_bits() / 4);
-        let all_shared = OverheadModel { share: 16, ..paper() };
+        let all_shared = OverheadModel {
+            share: 16,
+            ..paper()
+        };
         assert_eq!(all_shared.bits_per_line(), 1);
     }
 
@@ -154,7 +169,10 @@ mod tests {
 
     #[test]
     fn non_dividing_share_rounds_up() {
-        let m = OverheadModel { share: 3, ..paper() };
+        let m = OverheadModel {
+            share: 3,
+            ..paper()
+        };
         assert_eq!(m.bits_per_line(), 6); // ceil(16/3)
     }
 

@@ -58,7 +58,10 @@ impl GCacheConfig {
 
     /// The paper's base design plus the §5.1 adaptive-ageing extension.
     pub fn adaptive() -> Self {
-        GCacheConfig { adaptive_aging: true, ..GCacheConfig::default() }
+        GCacheConfig {
+            adaptive_aging: true,
+            ..GCacheConfig::default()
+        }
     }
 }
 
@@ -78,7 +81,10 @@ impl GCacheConfig {
     fn validate(&self) {
         assert!((1..=7).contains(&self.rrpv_bits), "rrpv_bits must be 1..=7");
         let max = (1u8 << self.rrpv_bits) - 1;
-        assert!(self.th_hot >= 1 && self.th_hot <= max, "th_hot out of range");
+        assert!(
+            self.th_hot >= 1 && self.th_hot <= max,
+            "th_hot out of range"
+        );
         assert!(
             self.th_hot_victim >= 1 && self.th_hot_victim <= self.th_hot,
             "th_hot_victim must be in 1..=th_hot"
@@ -215,7 +221,11 @@ impl ReplacementPolicy for GCache {
             return FillDecision::Insert { way };
         }
 
-        let threshold = if ctx.victim_hint { self.cfg.th_hot_victim } else { self.cfg.th_hot };
+        let threshold = if ctx.victim_hint {
+            self.cfg.th_hot_victim
+        } else {
+            self.cfg.th_hot
+        };
         if self.switch[set] && self.table.all_below(set, valid_mask, threshold) {
             // Protect the hot resident lines; the bypass victim could be a
             // hot line in the future, so reduce the hotness of the resident
@@ -233,7 +243,10 @@ impl ReplacementPolicy for GCache {
         // Replace the coldest line directly (no SRRIP ageing loop: that
         // would saturate every RRPV and erase the absolute hotness the
         // bypass test reads; G-Cache ages through bypasses instead).
-        let way = self.table.find_coldest(set, valid_mask).expect("set is full, victim exists");
+        let way = self
+            .table
+            .find_coldest(set, valid_mask)
+            .expect("set is full, victim exists");
         FillDecision::Insert { way }
     }
 
@@ -241,7 +254,11 @@ impl ReplacementPolicy for GCache {
         // Insertion treats hot and cold blocks differently: a block that
         // provably lost locality to contention inserts hot, anything else
         // (potentially streaming) inserts with SRRIP's long prediction.
-        let rrpv = if ctx.victim_hint { 0 } else { self.table.max() - 1 };
+        let rrpv = if ctx.victim_hint {
+            0
+        } else {
+            self.table.max() - 1
+        };
         self.table.set(set, way, rrpv);
     }
 
@@ -285,7 +302,10 @@ mod tests {
     }
 
     fn hinted() -> FillCtx {
-        FillCtx { victim_hint: true, ..plain() }
+        FillCtx {
+            victim_hint: true,
+            ..plain()
+        }
     }
 
     #[test]
@@ -300,7 +320,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "th_hot_victim")]
     fn rejects_victim_threshold_above_hot() {
-        let cfg = GCacheConfig { th_hot: 2, th_hot_victim: 3, ..GCacheConfig::default() };
+        let cfg = GCacheConfig {
+            th_hot: 2,
+            th_hot_victim: 3,
+            ..GCacheConfig::default()
+        };
         let _ = GCache::new(&geom(2), cfg);
     }
 
@@ -312,7 +336,10 @@ mod tests {
         gc.on_hit(0, 0);
         gc.on_hit(0, 1);
         // All lines hot, but no victim hint ever arrived: normal SRRIP fill.
-        assert!(matches!(gc.fill_decision(0, 0b11, &plain()), FillDecision::Insert { .. }));
+        assert!(matches!(
+            gc.fill_decision(0, 0b11, &plain()),
+            FillDecision::Insert { .. }
+        ));
         assert_eq!(gc.bypasses(), 0);
         assert!(!gc.switch_open(0));
     }
@@ -349,7 +376,10 @@ mod tests {
         let mut gc = GCache::with_defaults(&geom(2));
         gc.on_insert(0, 0, &plain());
         gc.on_hit(0, 0);
-        assert_eq!(gc.fill_decision(0, 0b01, &hinted()), FillDecision::Insert { way: 1 });
+        assert_eq!(
+            gc.fill_decision(0, 0b01, &hinted()),
+            FillDecision::Insert { way: 1 }
+        );
         assert_eq!(gc.bypasses(), 0);
     }
 
@@ -363,8 +393,11 @@ mod tests {
         gc.on_hit(0, 1); // both RRPV 0
         assert_eq!(gc.fill_decision(0, 0b11, &hinted()), FillDecision::Bypass); // ages to 1
         assert_eq!(gc.fill_decision(0, 0b11, &plain()), FillDecision::Bypass); // ages to 2
-        // Now RRPVs are 2 >= th_hot: next plain fill inserts via SRRIP.
-        assert!(matches!(gc.fill_decision(0, 0b11, &plain()), FillDecision::Insert { .. }));
+                                                                               // Now RRPVs are 2 >= th_hot: next plain fill inserts via SRRIP.
+        assert!(matches!(
+            gc.fill_decision(0, 0b11, &plain()),
+            FillDecision::Insert { .. }
+        ));
         assert_eq!(gc.bypasses(), 2);
     }
 
@@ -385,8 +418,11 @@ mod tests {
         gc.on_hit(0, 0);
         gc.on_hit(0, 1);
         gc.table.age_set(0, 0b11); // not part of the policy API: direct setup
-        // ...but a hinted fill does not (1 >= th_hot_victim = 1).
-        assert!(matches!(gc.fill_decision(0, 0b11, &hinted()), FillDecision::Insert { .. }));
+                                   // ...but a hinted fill does not (1 >= th_hot_victim = 1).
+        assert!(matches!(
+            gc.fill_decision(0, 0b11, &hinted()),
+            FillDecision::Insert { .. }
+        ));
     }
 
     #[test]
@@ -412,12 +448,18 @@ mod tests {
         // After the reset the same hot set no longer bypasses plain fills.
         gc.on_hit(0, 0);
         gc.on_hit(0, 1);
-        assert!(matches!(gc.fill_decision(0, 0b11, &plain()), FillDecision::Insert { .. }));
+        assert!(matches!(
+            gc.fill_decision(0, 0b11, &plain()),
+            FillDecision::Insert { .. }
+        ));
     }
 
     #[test]
     fn aging_period_slows_ageing() {
-        let cfg = GCacheConfig { aging_period: 2, ..GCacheConfig::default() };
+        let cfg = GCacheConfig {
+            aging_period: 2,
+            ..GCacheConfig::default()
+        };
         let mut gc = GCache::new(&geom(2), cfg);
         gc.on_insert(0, 0, &plain());
         gc.on_insert(0, 1, &plain());
@@ -499,6 +541,9 @@ mod tests {
         assert!(gc.switch_open(0));
         assert!(!gc.switch_open(1));
         // Set 1 with closed switch: no bypass.
-        assert!(matches!(gc.fill_decision(1, 0b11, &plain()), FillDecision::Insert { .. }));
+        assert!(matches!(
+            gc.fill_decision(1, 0b11, &plain()),
+            FillDecision::Insert { .. }
+        ));
     }
 }

@@ -102,8 +102,14 @@ mod tests {
     #[test]
     fn prefers_invalid_ways_in_order() {
         let mut lru = policy(4);
-        assert_eq!(lru.fill_decision(0, 0b0000, &ctx()), FillDecision::Insert { way: 0 });
-        assert_eq!(lru.fill_decision(0, 0b0101, &ctx()), FillDecision::Insert { way: 1 });
+        assert_eq!(
+            lru.fill_decision(0, 0b0000, &ctx()),
+            FillDecision::Insert { way: 0 }
+        );
+        assert_eq!(
+            lru.fill_decision(0, 0b0101, &ctx()),
+            FillDecision::Insert { way: 1 }
+        );
     }
 
     #[test]
@@ -116,7 +122,10 @@ mod tests {
         lru.on_hit(0, 0);
         lru.on_hit(0, 2);
         lru.on_hit(0, 3);
-        assert_eq!(lru.fill_decision(0, 0b1111, &ctx()), FillDecision::Insert { way: 1 });
+        assert_eq!(
+            lru.fill_decision(0, 0b1111, &ctx()),
+            FillDecision::Insert { way: 1 }
+        );
     }
 
     #[test]
@@ -125,7 +134,10 @@ mod tests {
         lru.on_insert(0, 0, &ctx());
         lru.on_insert(0, 1, &ctx());
         // way 0 is older.
-        assert_eq!(lru.fill_decision(0, 0b11, &ctx()), FillDecision::Insert { way: 0 });
+        assert_eq!(
+            lru.fill_decision(0, 0b11, &ctx()),
+            FillDecision::Insert { way: 0 }
+        );
     }
 
     #[test]
@@ -136,8 +148,14 @@ mod tests {
         lru.on_insert(1, 0, &ctx());
         lru.on_insert(1, 1, &ctx());
         lru.on_hit(0, 0); // does not affect set 1
-        assert_eq!(lru.fill_decision(1, 0b11, &ctx()), FillDecision::Insert { way: 0 });
-        assert_eq!(lru.fill_decision(0, 0b11, &ctx()), FillDecision::Insert { way: 1 });
+        assert_eq!(
+            lru.fill_decision(1, 0b11, &ctx()),
+            FillDecision::Insert { way: 0 }
+        );
+        assert_eq!(
+            lru.fill_decision(0, 0b11, &ctx()),
+            FillDecision::Insert { way: 1 }
+        );
     }
 
     #[test]
@@ -146,7 +164,10 @@ mod tests {
         lru.on_insert(0, 0, &ctx());
         lru.on_insert(0, 1, &ctx());
         for _ in 0..100 {
-            assert!(matches!(lru.fill_decision(0, 0b11, &ctx()), FillDecision::Insert { .. }));
+            assert!(matches!(
+                lru.fill_decision(0, 0b11, &ctx()),
+                FillDecision::Insert { .. }
+            ));
         }
         assert_eq!(lru.bypasses(), 0);
     }

@@ -58,7 +58,11 @@ pub struct FillCtx {
 impl FillCtx {
     /// Convenience constructor for a hint-less fill.
     pub fn plain(line: LineAddr, core: CoreId) -> Self {
-        FillCtx { line, core, victim_hint: false }
+        FillCtx {
+            line,
+            core,
+            victim_hint: false,
+        }
     }
 }
 

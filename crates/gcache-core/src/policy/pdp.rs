@@ -26,7 +26,10 @@ pub(crate) struct RpdTable {
 
 impl RpdTable {
     pub(crate) fn new(geom: &CacheGeometry) -> Self {
-        RpdTable { ways: geom.ways() as usize, rpd: vec![0; geom.lines() as usize] }
+        RpdTable {
+            ways: geom.ways() as usize,
+            rpd: vec![0; geom.lines() as usize],
+        }
     }
 
     pub(crate) fn ways(&self) -> usize {
@@ -95,7 +98,11 @@ impl StaticPdp {
     /// Panics if `pd` is zero.
     pub fn new(geom: &CacheGeometry, pd: u16) -> Self {
         assert!(pd > 0, "protection distance must be positive");
-        StaticPdp { table: RpdTable::new(geom), pd, bypasses: 0 }
+        StaticPdp {
+            table: RpdTable::new(geom),
+            pd,
+            bypasses: 0,
+        }
     }
 
     /// The configured protection distance.
@@ -206,14 +213,20 @@ mod tests {
         p.on_set_access(0);
         p.on_set_access(0);
         p.on_hit(0, 1);
-        assert_eq!(p.fill_decision(0, 0b11, &ctx()), FillDecision::Insert { way: 0 });
+        assert_eq!(
+            p.fill_decision(0, 0b11, &ctx()),
+            FillDecision::Insert { way: 0 }
+        );
     }
 
     #[test]
     fn prefers_invalid_way() {
         let mut p = StaticPdp::new(&geom(2), 2);
         p.on_insert(0, 0, &ctx());
-        assert_eq!(p.fill_decision(0, 0b01, &ctx()), FillDecision::Insert { way: 1 });
+        assert_eq!(
+            p.fill_decision(0, 0b01, &ctx()),
+            FillDecision::Insert { way: 1 }
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl DynamicPdpConfig {
 
     /// The paper's PDP-8 configuration.
     pub fn pdp8() -> Self {
-        DynamicPdpConfig { counter_bits: 8, ..DynamicPdpConfig::pdp3() }
+        DynamicPdpConfig {
+            counter_bits: 8,
+            ..DynamicPdpConfig::pdp3()
+        }
     }
 
     /// Maximum PD representable by the RPD counters.
@@ -65,7 +68,10 @@ impl DynamicPdpConfig {
     }
 
     fn validate(&self) {
-        assert!((1..=15).contains(&self.counter_bits), "counter_bits must be 1..=15");
+        assert!(
+            (1..=15).contains(&self.counter_bits),
+            "counter_bits must be 1..=15"
+        );
         assert!(self.sampler_depth > 0, "sampler_depth must be positive");
         assert!(self.rdd_bins > 0, "rdd_bins must be positive");
         assert!(self.sample_every > 0, "sample_every must be positive");

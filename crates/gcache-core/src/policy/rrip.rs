@@ -39,7 +39,10 @@ impl RrpvTable {
     ///
     /// Panics if `bits` is 0 or greater than 7.
     pub fn new(geom: &CacheGeometry, bits: u8) -> Self {
-        assert!((1..=7).contains(&bits), "RRPV width must be 1..=7 bits, got {bits}");
+        assert!(
+            (1..=7).contains(&bits),
+            "RRPV width must be 1..=7 bits, got {bits}"
+        );
         let max = (1u8 << bits) - 1;
         RrpvTable {
             ways: geom.ways() as usize,
@@ -172,7 +175,11 @@ impl Rrip {
     ///
     /// Panics if `bits` is outside `1..=7`.
     pub fn srrip(geom: &CacheGeometry, bits: u8) -> Self {
-        Rrip { table: RrpvTable::new(geom, bits), mode: InsertionMode::Long, insertions: 0 }
+        Rrip {
+            table: RrpvTable::new(geom, bits),
+            mode: InsertionMode::Long,
+            insertions: 0,
+        }
     }
 
     /// Bimodal RRIP: distant insertion except every `period`-th fill.
@@ -226,7 +233,10 @@ impl ReplacementPolicy for Rrip {
         if let Some(way) = first_invalid_way(valid_mask, self.table.ways()) {
             return FillDecision::Insert { way };
         }
-        let way = self.table.find_victim(set, valid_mask).expect("set is full, victim exists");
+        let way = self
+            .table
+            .find_victim(set, valid_mask)
+            .expect("set is full, victim exists");
         FillDecision::Insert { way }
     }
 
@@ -336,7 +346,10 @@ impl ReplacementPolicy for Drrip {
         if let Some(way) = first_invalid_way(valid_mask, self.table.ways()) {
             return FillDecision::Insert { way };
         }
-        let way = self.table.find_victim(set, valid_mask).expect("set is full");
+        let way = self
+            .table
+            .find_victim(set, valid_mask)
+            .expect("set is full");
         FillDecision::Insert { way }
     }
 
@@ -471,7 +484,10 @@ mod tests {
     fn srrip_prefers_invalid() {
         let g = geom(2);
         let mut p = Rrip::srrip(&g, 3);
-        assert_eq!(p.fill_decision(0, 0b01, &ctx()), FillDecision::Insert { way: 1 });
+        assert_eq!(
+            p.fill_decision(0, 0b01, &ctx()),
+            FillDecision::Insert { way: 1 }
+        );
     }
 
     #[test]
@@ -548,7 +564,10 @@ mod tests {
                 distant += 1;
             }
         }
-        assert!(distant >= 29, "BRRIP insertion must be mostly distant, got {distant}");
+        assert!(
+            distant >= 29,
+            "BRRIP insertion must be mostly distant, got {distant}"
+        );
     }
 
     #[test]

@@ -124,8 +124,12 @@ impl ReuseProfiler {
         if total == 0 {
             return None;
         }
-        let weighted: u64 =
-            self.distances.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        let weighted: u64 = self
+            .distances
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
         Some(weighted as f64 / total as f64)
     }
 

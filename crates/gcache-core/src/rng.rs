@@ -90,7 +90,10 @@ impl SmallRng {
     /// Panics if `p` is not within `0.0..=1.0`.
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
         // 53 uniform mantissa bits, same construction as a uniform f64 draw.
         ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }

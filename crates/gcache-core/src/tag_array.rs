@@ -142,12 +142,24 @@ impl TagArray {
     }
 
     /// Iterates over all valid lines as `(set, way, line, state, reuse)`.
-    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, usize, LineAddr, LineState, u32)> + '_ {
+    pub fn iter_valid(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, LineAddr, LineState, u32)> + '_ {
         let ways = self.geom.ways() as usize;
-        self.slots.iter().enumerate().filter(|(_, s)| s.state.is_valid()).map(move |(i, s)| {
-            let set = i / ways;
-            (set, i % ways, self.geom.line_of(s.tag, set), s.state, s.reuse)
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state.is_valid())
+            .map(move |(i, s)| {
+                let set = i / ways;
+                (
+                    set,
+                    i % ways,
+                    self.geom.line_of(s.tag, set),
+                    s.state,
+                    s.reuse,
+                )
+            })
     }
 }
 
@@ -228,7 +240,10 @@ mod tests {
         let mut tags = small();
         tags.fill(0, 0, LineAddr::new(0), false);
         tags.fill(3, 1, LineAddr::new(7), true);
-        let mut v: Vec<_> = tags.iter_valid().map(|(s, w, l, ..)| (s, w, l.raw())).collect();
+        let mut v: Vec<_> = tags
+            .iter_valid()
+            .map(|(s, w, l, ..)| (s, w, l.raw()))
+            .collect();
         v.sort_unstable();
         assert_eq!(v, vec![(0, 0, 0), (3, 1, 7)]);
     }

@@ -65,8 +65,15 @@ impl CoreGrouping {
     /// Panics if the map is empty or names a group id ≥ 64 (the mask
     /// width).
     pub fn from_map(group_of: Vec<usize>) -> Self {
-        let groups = group_of.iter().max().map(|&g| g + 1).expect("need at least one core");
-        assert!(groups <= 64, "at most 64 victim-bit groups supported, got {groups}");
+        let groups = group_of
+            .iter()
+            .max()
+            .map(|&g| g + 1)
+            .expect("need at least one core");
+        assert!(
+            groups <= 64,
+            "at most 64 victim-bit groups supported, got {groups}"
+        );
         CoreGrouping { group_of, groups }
     }
 

@@ -42,7 +42,11 @@ struct ReferenceL1 {
 
 impl ReferenceL1 {
     fn new(cache: Cache) -> Self {
-        ReferenceL1 { cache, mshr: MshrFile::new(MSHR_ENTRIES, MSHR_MERGE), replays: 0 }
+        ReferenceL1 {
+            cache,
+            mshr: MshrFile::new(MSHR_ENTRIES, MSHR_MERGE),
+            replays: 0,
+        }
     }
 
     fn access(&mut self, line: LineAddr, kind: AccessKind, target: u32) -> Step {
@@ -86,8 +90,18 @@ impl ReferenceL1 {
     }
 
     fn fill(&mut self, line: LineAddr) -> Vec<u32> {
-        let targets = self.mshr.complete(line).expect("fill without an outstanding MSHR entry");
-        self.cache.fill(FillCtx { line, core: CORE, victim_hint: false }, false);
+        let targets = self
+            .mshr
+            .complete(line)
+            .expect("fill without an outstanding MSHR entry");
+        self.cache.fill(
+            FillCtx {
+                line,
+                core: CORE,
+                victim_hint: false,
+            },
+            false,
+        );
         targets
     }
 }
@@ -128,10 +142,21 @@ fn run_differential(policy: impl Into<PolicyKind> + Clone, epoch_len: u64, seed:
             let line = outstanding.swap_remove(idx);
             let ref_targets = reference.fill(line);
             ctrl.fill_with(line, &mut fill_buf, |targets| {
-                assert_eq!(targets, ref_targets.as_slice(), "fill targets differ at step {step}");
-                FillParams { core: CORE, victim_hint: false, dirty: false }
+                assert_eq!(
+                    targets,
+                    ref_targets.as_slice(),
+                    "fill targets differ at step {step}"
+                );
+                FillParams {
+                    core: CORE,
+                    victim_hint: false,
+                    dirty: false,
+                }
             });
-            assert_eq!(fill_buf, ref_targets, "released targets differ at step {step}");
+            assert_eq!(
+                fill_buf, ref_targets,
+                "released targets differ at step {step}"
+            );
         }
 
         // A 64-line footprint over a 32-line cache: misses and evictions
@@ -145,16 +170,35 @@ fn run_differential(policy: impl Into<PolicyKind> + Clone, epoch_len: u64, seed:
 
         let expected = reference.access(line, kind, step);
         let got = step_of(ctrl.access(line, kind, CORE, step));
-        assert_eq!(got, expected, "outcome diverged at step {step} ({kind:?} {line:?})");
+        assert_eq!(
+            got, expected,
+            "outcome diverged at step {step} ({kind:?} {line:?})"
+        );
         if expected == Step::MissSend {
             outstanding.push(line);
         }
 
         // Statistics must agree after every step, not just at the end.
-        assert_eq!(ctrl.stats(), reference.cache.stats(), "cache stats diverged at step {step}");
-        assert_eq!(ctrl.blocked(), reference.replays, "blocked count diverged at step {step}");
-        assert_eq!(ctrl.mshr().len(), reference.mshr.len(), "MSHR occupancy diverged at step {step}");
-        assert_eq!(ctrl.mshr().merges(), reference.mshr.merges(), "merge count diverged at step {step}");
+        assert_eq!(
+            ctrl.stats(),
+            reference.cache.stats(),
+            "cache stats diverged at step {step}"
+        );
+        assert_eq!(
+            ctrl.blocked(),
+            reference.replays,
+            "blocked count diverged at step {step}"
+        );
+        assert_eq!(
+            ctrl.mshr().len(),
+            reference.mshr.len(),
+            "MSHR occupancy diverged at step {step}"
+        );
+        assert_eq!(
+            ctrl.mshr().merges(),
+            reference.mshr.merges(),
+            "merge count diverged at step {step}"
+        );
     }
 
     // Drain the remaining misses and compare the final quiescent state.
@@ -168,7 +212,11 @@ fn run_differential(policy: impl Into<PolicyKind> + Clone, epoch_len: u64, seed:
         assert_eq!(fill_buf, ref_targets, "drain targets differ");
     }
     assert!(ctrl.quiesced() && reference.mshr.is_empty());
-    assert_eq!(ctrl.stats(), reference.cache.stats(), "final stats diverged");
+    assert_eq!(
+        ctrl.stats(),
+        reference.cache.stats(),
+        "final stats diverged"
+    );
 }
 
 #[test]

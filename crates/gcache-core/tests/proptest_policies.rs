@@ -46,7 +46,13 @@ fn free_ways_are_used_first() {
         let mut rng = SmallRng::seed_from_u64(0x5eed_0001 ^ case);
         let n = rng.gen_range(1..200) as usize;
         let ops: Vec<(usize, u64, bool)> = (0..n)
-            .map(|_| (rng.gen_range(0..4) as usize, rng.gen_range(0..64), rng.gen_bool(0.5)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..4) as usize,
+                    rng.gen_range(0..64),
+                    rng.gen_bool(0.5),
+                )
+            })
             .collect();
         for mut policy in all_policies() {
             let name = policy.name();
@@ -153,7 +159,10 @@ fn pd_estimator_bounds() {
         let overflow = rng.gen_range(0..100);
         let cap = rng.gen_range(1..32) as u16;
         if let Some(pd) = estimate_pd(&rdd, overflow, cap) {
-            assert!(pd >= 1 && pd <= cap, "case {case}: pd {pd} outside 1..={cap}");
+            assert!(
+                pd >= 1 && pd <= cap,
+                "case {case}: pd {pd} outside 1..={cap}"
+            );
             assert!(
                 rdd.iter().take(pd as usize).any(|&c| c > 0),
                 "case {case}: chosen pd covers no observed reuse"
@@ -209,7 +218,11 @@ fn gcache_bypass_accounting() {
         // Pre-fill all sets, promote everything hot.
         for set in 0..4 {
             for way in 0..4 {
-                gc.on_insert(set, way, &FillCtx::plain(LineAddr::new(set as u64), CoreId(0)));
+                gc.on_insert(
+                    set,
+                    way,
+                    &FillCtx::plain(LineAddr::new(set as u64), CoreId(0)),
+                );
                 gc.on_hit(set, way);
             }
         }
@@ -218,7 +231,11 @@ fn gcache_bypass_accounting() {
             let set = rng.gen_range(0..4) as usize;
             let hint = rng.gen_bool(0.5);
             let switch_before = gc.switch_open(set);
-            let ctx = FillCtx { line: LineAddr::new(set as u64), core: CoreId(0), victim_hint: hint };
+            let ctx = FillCtx {
+                line: LineAddr::new(set as u64),
+                core: CoreId(0),
+                victim_hint: hint,
+            };
             match gc.fill_decision(set, 0b1111, &ctx) {
                 FillDecision::Bypass => {
                     bypasses += 1;

@@ -103,7 +103,12 @@ impl<S: PartialEq> Watchdog<S> {
     /// seed the baseline.
     pub fn new(interval: u64, patience: u64, now: u64, sig: S) -> Self {
         assert!(interval > 0, "watchdog interval must be positive");
-        Watchdog { interval, patience, last_progress_cycle: now, last_sig: sig }
+        Watchdog {
+            interval,
+            patience,
+            last_progress_cycle: now,
+            last_sig: sig,
+        }
     }
 
     /// The first sampling cycle strictly after `now`. A fast-forwarding

@@ -119,7 +119,10 @@ mod tests {
     fn first_touch_order_preserved() {
         let lanes = lanes_from(&[512, 0, 256, 0]);
         let t = coalesce(&lanes, 128);
-        assert_eq!(t, vec![LineAddr::new(4), LineAddr::new(0), LineAddr::new(2)]);
+        assert_eq!(
+            t,
+            vec![LineAddr::new(4), LineAddr::new(0), LineAddr::new(2)]
+        );
     }
 
     #[test]

@@ -136,7 +136,15 @@ impl Default for DramTiming {
     fn default() -> Self {
         // Table 2: GDDR5 1.4 GHz, tCL=12, tRP=12, tRC=40, tRAS=28,
         // tRCD=12, tRRD=6; 128 B over a 32 B/cycle channel = 4 cycles.
-        DramTiming { t_cl: 12, t_rp: 12, t_rc: 40, t_ras: 28, t_rcd: 12, t_rrd: 6, t_burst: 4 }
+        DramTiming {
+            t_cl: 12,
+            t_rp: 12,
+            t_rc: 40,
+            t_ras: 28,
+            t_rcd: 12,
+            t_rrd: 6,
+            t_burst: 4,
+        }
     }
 }
 
@@ -382,8 +390,14 @@ impl GpuConfig {
     pub fn validate(&self) {
         assert!(self.cores > 0, "need at least one core");
         assert!(self.partitions > 0, "need at least one partition");
-        assert!(self.partitions.is_power_of_two(), "partition count must be a power of two");
-        assert!(self.warp_width > 0 && self.warp_width <= 64, "warp width must be 1..=64");
+        assert!(
+            self.partitions.is_power_of_two(),
+            "partition count must be a power of two"
+        );
+        assert!(
+            self.warp_width > 0 && self.warp_width <= 64,
+            "warp width must be 1..=64"
+        );
         assert!(self.max_warps_per_core > 0, "need at least one warp slot");
         assert!(
             self.victim_bit_share > 0 && self.cores.is_multiple_of(self.victim_bit_share),
@@ -421,7 +435,10 @@ impl GpuConfig {
             self.l2_geometry.line_size(),
             "L1 and L2 must share a line size"
         );
-        assert!(self.dram_row_bytes >= self.line_size(), "DRAM row smaller than a line");
+        assert!(
+            self.dram_row_bytes >= self.line_size(),
+            "DRAM row smaller than a line"
+        );
         assert!(self.l2_period > 0, "l2_period must be positive");
         assert!(self.max_cycles > 0, "max_cycles must be positive");
     }
@@ -429,13 +446,22 @@ impl GpuConfig {
 
 impl fmt::Display for GpuConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "SIMT cores        : {} (x{} SIMT width)", self.cores, self.warp_width)?;
+        writeln!(
+            f,
+            "SIMT cores        : {} (x{} SIMT width)",
+            self.cores, self.warp_width
+        )?;
         writeln!(
             f,
             "Resources / core  : {} threads, {} warps, {} CTAs",
             self.max_threads_per_core, self.max_warps_per_core, self.max_ctas_per_core
         )?;
-        writeln!(f, "L1D / core        : {} [{}]", self.l1_geometry, self.l1_policy.design_name())?;
+        writeln!(
+            f,
+            "L1D / core        : {} [{}]",
+            self.l1_geometry,
+            self.l1_policy.design_name()
+        )?;
         if let Hierarchy::SharedL15 { cluster_size, kb } = self.hierarchy {
             writeln!(
                 f,
@@ -450,7 +476,11 @@ impl fmt::Display for GpuConfig {
             "L2 bank           : {} x{} banks, 1:{} clock",
             self.l2_geometry, self.partitions, self.l2_period
         )?;
-        writeln!(f, "MSHRs             : {}/core, {}/bank", self.l1_mshr_entries, self.l2_mshr_entries)?;
+        writeln!(
+            f,
+            "MSHRs             : {}/core, {}/bank",
+            self.l1_mshr_entries, self.l2_mshr_entries
+        )?;
         writeln!(
             f,
             "Interconnect      : {}x{} mesh, {}B channels",
@@ -495,10 +525,19 @@ mod tests {
     fn design_names() {
         assert_eq!(L1PolicyKind::Lru.design_name(), "BS");
         assert_eq!(L1PolicyKind::Srrip { bits: 3 }.design_name(), "BS-S");
-        assert_eq!(L1PolicyKind::GCache(GCacheConfig::default()).design_name(), "GC");
+        assert_eq!(
+            L1PolicyKind::GCache(GCacheConfig::default()).design_name(),
+            "GC"
+        );
         assert_eq!(L1PolicyKind::StaticPdp { pd: 14 }.design_name(), "SPDP-B");
-        assert_eq!(L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp3()).design_name(), "PDP-3");
-        assert_eq!(L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp8()).design_name(), "PDP-8");
+        assert_eq!(
+            L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp3()).design_name(),
+            "PDP-3"
+        );
+        assert_eq!(
+            L1PolicyKind::DynamicPdp(DynamicPdpConfig::pdp8()).design_name(),
+            "PDP-8"
+        );
     }
 
     #[test]
@@ -520,7 +559,10 @@ mod tests {
 
     #[test]
     fn with_hierarchy_flat_is_identity() {
-        let c = GpuConfig::fermi().unwrap().with_hierarchy(Hierarchy::Flat).unwrap();
+        let c = GpuConfig::fermi()
+            .unwrap()
+            .with_hierarchy(Hierarchy::Flat)
+            .unwrap();
         assert_eq!(c.hierarchy, Hierarchy::Flat);
         assert_eq!((c.mesh_width, c.mesh_height), (6, 4));
         c.validate();
@@ -528,7 +570,10 @@ mod tests {
 
     #[test]
     fn with_hierarchy_grows_mesh_for_cluster_nodes() {
-        let h = Hierarchy::SharedL15 { cluster_size: 4, kb: 64 };
+        let h = Hierarchy::SharedL15 {
+            cluster_size: 4,
+            kb: 64,
+        };
         let c = GpuConfig::fermi().unwrap().with_hierarchy(h).unwrap();
         assert_eq!(c.hierarchy, h);
         // 16 cores + 8 partitions + 4 clusters = 28 nodes > 6x4.
@@ -539,10 +584,16 @@ mod tests {
 
     #[test]
     fn with_hierarchy_rejects_non_dividing_cluster_size() {
-        let h = Hierarchy::SharedL15 { cluster_size: 5, kb: 64 };
+        let h = Hierarchy::SharedL15 {
+            cluster_size: 5,
+            kb: 64,
+        };
         let err = GpuConfig::fermi().unwrap().with_hierarchy(h).unwrap_err();
         assert!(err.contains("evenly divide"), "got: {err}");
-        let h = Hierarchy::SharedL15 { cluster_size: 0, kb: 64 };
+        let h = Hierarchy::SharedL15 {
+            cluster_size: 0,
+            kb: 64,
+        };
         assert!(GpuConfig::fermi().unwrap().with_hierarchy(h).is_err());
     }
 
@@ -552,7 +603,10 @@ mod tests {
         // 4: victim-bit groups would straddle cluster boundaries.
         let mut c = GpuConfig::fermi().unwrap();
         c.victim_bit_share = 6;
-        let h = Hierarchy::SharedL15 { cluster_size: 4, kb: 64 };
+        let h = Hierarchy::SharedL15 {
+            cluster_size: 4,
+            kb: 64,
+        };
         let err = c.with_hierarchy(h).unwrap_err();
         assert!(err.contains("nest"), "got: {err}");
     }
@@ -568,9 +622,23 @@ mod tests {
     #[test]
     fn hierarchy_labels() {
         assert_eq!(Hierarchy::Flat.label(), "flat");
-        assert_eq!(Hierarchy::SharedL15 { cluster_size: 4, kb: 64 }.label(), "c4/64KB");
+        assert_eq!(
+            Hierarchy::SharedL15 {
+                cluster_size: 4,
+                kb: 64
+            }
+            .label(),
+            "c4/64KB"
+        );
         assert_eq!(Hierarchy::Flat.clusters(16), 0);
-        assert_eq!(Hierarchy::SharedL15 { cluster_size: 8, kb: 32 }.clusters(16), 2);
+        assert_eq!(
+            Hierarchy::SharedL15 {
+                cluster_size: 8,
+                kb: 32
+            }
+            .clusters(16),
+            2
+        );
     }
 
     #[test]

@@ -178,10 +178,18 @@ impl SimtCore {
         assert!(self.can_launch(kernel), "launch_cta without capacity");
         let grid = kernel.grid();
         let wpc = grid.warps_per_cta(self.warp_width);
-        let cta_slot = self.ctas.iter().position(|c| c.is_none()).expect("free CTA slot");
+        let cta_slot = self
+            .ctas
+            .iter()
+            .position(|c| c.is_none())
+            .expect("free CTA slot");
         let mut warp_slots = Vec::with_capacity(wpc);
         for w in 0..wpc {
-            let slot = self.warps.iter().position(|s| s.is_none()).expect("free warp slot");
+            let slot = self
+                .warps
+                .iter()
+                .position(|s| s.is_none())
+                .expect("free warp slot");
             self.launch_seq += 1;
             self.warps[slot] = Some(Warp {
                 program: kernel.warp_program(cta_id, w),
@@ -286,7 +294,9 @@ impl SimtCore {
     /// [`SimtCore::next_event`] cannot bound by a cycle number, so the
     /// caller re-checks it against the live network each cycle.
     pub fn head_waiting_on_inject(&self) -> bool {
-        self.ldst_queue.front().is_some_and(|&(line, kind, _)| !self.l1.would_block(line, kind))
+        self.ldst_queue
+            .front()
+            .is_some_and(|&(line, kind, _)| !self.l1.would_block(line, kind))
     }
 
     /// Whether any LD/ST transaction is queued. Stable across event-free
@@ -307,7 +317,8 @@ impl SimtCore {
             return;
         }
         debug_assert!(
-            self.next_event(now, can_inject).is_none_or(|t| t > now + cycles),
+            self.next_event(now, can_inject)
+                .is_none_or(|t| t > now + cycles),
             "fast-forward skipped into a live cycle"
         );
         if let Some(&(line, kind, _)) = self.ldst_queue.front() {
@@ -485,7 +496,9 @@ impl SimtCore {
         // Split borrows: the CTA entry and the warp table are disjoint
         // fields, so the release loop needs no clone of the slot list.
         let Self { warps, ctas, .. } = self;
-        let Some(cta) = ctas[cta_slot].as_mut() else { return };
+        let Some(cta) = ctas[cta_slot].as_mut() else {
+            return;
+        };
         if cta.at_barrier == 0 || cta.at_barrier + cta.warps_done != cta.warp_slots.len() {
             return;
         }
@@ -499,4 +512,3 @@ impl SimtCore {
         cta.at_barrier = 0;
     }
 }
-

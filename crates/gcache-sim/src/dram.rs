@@ -141,14 +141,27 @@ impl<T> Dram<T> {
     /// # Panics
     ///
     /// Panics if `banks`/`queue_cap` are zero or `row_bytes < line_size`.
-    pub fn new(timing: DramTiming, banks: usize, row_bytes: u32, queue_cap: usize, line_size: u32) -> Self {
+    pub fn new(
+        timing: DramTiming,
+        banks: usize,
+        row_bytes: u32,
+        queue_cap: usize,
+        line_size: u32,
+    ) -> Self {
         assert!(banks > 0, "need at least one bank");
         assert!(queue_cap > 0, "queue capacity must be positive");
         assert!(row_bytes >= line_size, "row smaller than a line");
         Dram {
             timing,
             lines_per_row: (row_bytes / line_size) as u64,
-            banks: vec![Bank { open_row: None, ready_at: 0, activated_at: 0 }; banks],
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: 0,
+                    activated_at: 0
+                };
+                banks
+            ],
             queue_cap,
             queue: Vec::with_capacity(queue_cap),
             completions: Vec::new(),
@@ -194,12 +207,24 @@ impl<T> Dram<T> {
     /// # Errors
     ///
     /// Returns [`DramQueueFull`] when the controller queue is full.
-    pub fn enqueue(&mut self, line: LineAddr, write: bool, token: T, now: u64) -> Result<(), DramQueueFull> {
+    pub fn enqueue(
+        &mut self,
+        line: LineAddr,
+        write: bool,
+        token: T,
+        now: u64,
+    ) -> Result<(), DramQueueFull> {
         if self.queue.len() >= self.queue_cap {
             return Err(DramQueueFull);
         }
         let (bank, row) = self.map(line);
-        self.queue.push(Pending { bank, row, write, token, arrived: now });
+        self.queue.push(Pending {
+            bank,
+            row,
+            write,
+            token,
+            arrived: now,
+        });
         self.wake = 0;
         Ok(())
     }
@@ -242,28 +267,25 @@ impl<T> Dram<T> {
             let (row, b) = (p.row, &self.banks[p.bank]);
             let ready = match b.open_row {
                 // Row hit: CAS at `t0`, data at `t0 + tCL` must clear the bus.
-                Some(open) if open == row => {
-                    b.ready_at.max(self.bus_busy_until.saturating_sub(t.t_cl as u64))
-                }
+                Some(open) if open == row => b
+                    .ready_at
+                    .max(self.bus_busy_until.saturating_sub(t.t_cl as u64)),
                 // Conflict: precharge gated by tRAS/tRC/tRRD; CAS lands at
                 // `t0 + tRP + tRCD`.
                 Some(_) => b
                     .ready_at
                     .max(b.activated_at + t.t_ras as u64)
                     .max((b.activated_at + t.t_rc as u64).saturating_sub(t.t_rp as u64))
-                    .max(
-                        (self.last_activate_any + t.t_rrd as u64)
-                            .saturating_sub(t.t_rp as u64),
-                    )
+                    .max((self.last_activate_any + t.t_rrd as u64).saturating_sub(t.t_rp as u64))
                     .max(
                         self.bus_busy_until
                             .saturating_sub((t.t_cl + t.t_rp + t.t_rcd) as u64),
                     ),
                 // Closed bank: activate gated by tRRD; CAS lands at `t0 + tRCD`.
-                None => b
-                    .ready_at
-                    .max(self.last_activate_any + t.t_rrd as u64)
-                    .max(self.bus_busy_until.saturating_sub((t.t_cl + t.t_rcd) as u64)),
+                None => b.ready_at.max(self.last_activate_any + t.t_rrd as u64).max(
+                    self.bus_busy_until
+                        .saturating_sub((t.t_cl + t.t_rcd) as u64),
+                ),
             }
             .max(now + 1);
             if ready == now + 1 {
@@ -373,7 +395,11 @@ impl<T> Dram<T> {
         self.bus_busy_until = data_at + t.t_burst as u64;
         let done_at = data_at + t.t_burst as u64;
         self.stats.total_latency += done_at.saturating_sub(p.arrived);
-        self.completions.push(Completion { token: p.token, ready_at: done_at, write: p.write });
+        self.completions.push(Completion {
+            token: p.token,
+            ready_at: done_at,
+            write: p.write,
+        });
     }
 }
 
@@ -450,7 +476,7 @@ mod tests {
     fn fr_fcfs_prefers_row_hit() {
         let mut d = dram();
         run_one(&mut d, 0, false, 1, 0); // opens bank0/row0
-        // Enqueue a conflict (bank0, other row) then a row hit (bank0, row0).
+                                         // Enqueue a conflict (bank0, other row) then a row hit (bank0, row0).
         d.enqueue(LineAddr::new(64 * 16), false, 10, 100).unwrap();
         d.enqueue(LineAddr::new(2), false, 11, 100).unwrap();
         let mut order = Vec::new();
@@ -533,7 +559,11 @@ mod tests {
         }
         assert_eq!(done, 64);
         // 64 consecutive lines = 4 rows of 16 lines: 60/64 row hits.
-        assert!(d.stats().row_hit_rate() > 0.8, "hit rate {}", d.stats().row_hit_rate());
+        assert!(
+            d.stats().row_hit_rate() > 0.8,
+            "hit rate {}",
+            d.stats().row_hit_rate()
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ impl Default for EnergyModel {
         // Ratios follow the usual SRAM/NoC/DRAM orders of magnitude:
         // a 128 KB 16-way bank costs ~4x a 32 KB 4-way L1; a DRAM burst
         // costs ~200x.
-        EnergyModel { l1_access: 1.0, l2_access: 4.0, noc_flit: 0.6, dram_access: 200.0 }
+        EnergyModel {
+            l1_access: 1.0,
+            l2_access: 4.0,
+            noc_flit: 0.6,
+            dram_access: 200.0,
+        }
     }
 }
 
@@ -137,8 +142,14 @@ mod tests {
             l1,
             l15: CacheStats::new(),
             l2,
-            dram: DramStats { reads: dram, ..DramStats::default() },
-            noc_req: NocStats { flits, ..NocStats::default() },
+            dram: DramStats {
+                reads: dram,
+                ..DramStats::default()
+            },
+            noc_req: NocStats {
+                flits,
+                ..NocStats::default()
+            },
             noc_resp: NocStats::default(),
             core: CoreStats::default(),
             partition: PartitionStats::default(),

@@ -102,7 +102,14 @@ impl Gpu {
         let icnt = Interconnect::new(&cfg, cfg.topology());
         let clusters = ClusterComplex::new(&cfg, icnt.topology());
         let mem = MemorySystem::new(&cfg);
-        Gpu { cfg, cores, icnt, clusters, mem, cycle: 0 }
+        Gpu {
+            cfg,
+            cores,
+            icnt,
+            clusters,
+            mem,
+            cycle: 0,
+        }
     }
 
     /// The active configuration.
@@ -177,7 +184,9 @@ impl Gpu {
             self.cycle += 1;
             let now = self.cycle;
             if now - start_cycle > self.cfg.max_cycles {
-                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
             }
 
             // One pipeline pass: cores (drain responses, issue, inject
@@ -194,7 +203,10 @@ impl Gpu {
 
             let (cores, icnt, mem) = (&self.cores, &self.icnt, &self.mem);
             if watchdog.observe(now, || Self::signature_of(cores, icnt, mem)) {
-                return Err(SimError::Deadlock { cycle: now, detail: self.debug_state() });
+                return Err(SimError::Deadlock {
+                    cycle: now,
+                    detail: self.debug_state(),
+                });
             }
         }
 
@@ -208,7 +220,11 @@ impl Gpu {
             && ClockedWith::<Interconnect>::is_idle(&self.mem)
     }
 
-    fn signature_of(cores: &CoreComplex, icnt: &Interconnect, mem: &MemorySystem) -> (u64, u64, u64) {
+    fn signature_of(
+        cores: &CoreComplex,
+        icnt: &Interconnect,
+        mem: &MemorySystem,
+    ) -> (u64, u64, u64) {
         let delivered = icnt.req_stats().delivered + icnt.resp_stats().delivered;
         (cores.instructions(), delivered, mem.dram_completed())
     }

@@ -179,7 +179,9 @@ impl<T> Mesh<T> {
             queue_cap,
             hop_latency,
             min_serialization: min_serialization.max(1),
-            routers: (0..width * height).map(|_| Router::new(queue_cap)).collect(),
+            routers: (0..width * height)
+                .map(|_| Router::new(queue_cap))
+                .collect(),
             stats: NocStats::default(),
             event_gated: false,
             wake: 0,
@@ -269,7 +271,13 @@ impl<T> Mesh<T> {
     /// # Errors
     ///
     /// Returns [`InjectFull`] when the node's local queue is full.
-    pub fn inject(&mut self, node: usize, dst: usize, flits: u32, payload: T) -> Result<(), InjectFull> {
+    pub fn inject(
+        &mut self,
+        node: usize,
+        dst: usize,
+        flits: u32,
+        payload: T,
+    ) -> Result<(), InjectFull> {
         self.inject_at(node, dst, flits, payload, 0)
     }
 
@@ -286,7 +294,10 @@ impl<T> Mesh<T> {
         payload: T,
         now: u64,
     ) -> Result<(), InjectFull> {
-        assert!(node < self.nodes() && dst < self.nodes(), "node out of range");
+        assert!(
+            node < self.nodes() && dst < self.nodes(),
+            "node out of range"
+        );
         if self.local_len[node] as usize >= self.queue_cap {
             self.stats.inject_fails += 1;
             return Err(InjectFull);
@@ -499,7 +510,11 @@ impl<T> crate::clocked::Clocked for Mesh<T> {
             if self.pending > 0 {
                 return Some(now + 1);
             }
-            return if self.wake == u64::MAX { None } else { Some(self.wake.max(now + 1)) };
+            return if self.wake == u64::MAX {
+                None
+            } else {
+                Some(self.wake.max(now + 1))
+            };
         }
         Mesh::next_event(self, now)
     }
@@ -590,7 +605,10 @@ mod tests {
         let mut sent = 0;
         for src in 0..16 {
             for i in 0..4u32 {
-                if mesh.inject(src, (src + 5) % 16, 4, src as u32 * 100 + i).is_ok() {
+                if mesh
+                    .inject(src, (src + 5) % 16, 4, src as u32 * 100 + i)
+                    .is_ok()
+                {
                     sent += 1;
                 }
             }

@@ -50,20 +50,26 @@ impl Op {
     /// size).
     pub fn strided_load(base: Addr, stride: u64, lanes: usize) -> Op {
         Op::Load {
-            addrs: (0..lanes).map(|l| Some(base.offset(l as u64 * stride))).collect(),
+            addrs: (0..lanes)
+                .map(|l| Some(base.offset(l as u64 * stride)))
+                .collect(),
         }
     }
 
     /// Builds a store with the same shape as [`Op::strided_load`].
     pub fn strided_store(base: Addr, stride: u64, lanes: usize) -> Op {
         Op::Store {
-            addrs: (0..lanes).map(|l| Some(base.offset(l as u64 * stride))).collect(),
+            addrs: (0..lanes)
+                .map(|l| Some(base.offset(l as u64 * stride)))
+                .collect(),
         }
     }
 
     /// Builds a load from an explicit per-lane address list.
     pub fn gather(addrs: Vec<Option<Addr>>) -> Op {
-        Op::Load { addrs: addrs.into_boxed_slice() }
+        Op::Load {
+            addrs: addrs.into_boxed_slice(),
+        }
     }
 
     /// Whether the op sends traffic into the memory hierarchy.
@@ -103,7 +109,9 @@ pub struct TraceProgram {
 impl TraceProgram {
     /// Wraps a list of ops.
     pub fn new(ops: Vec<Op>) -> Self {
-        TraceProgram { ops: ops.into_iter() }
+        TraceProgram {
+            ops: ops.into_iter(),
+        }
     }
 }
 
@@ -196,7 +204,10 @@ mod tests {
 
     #[test]
     fn grid_dim_arithmetic() {
-        let g = GridDim { ctas: 10, threads_per_cta: 100 };
+        let g = GridDim {
+            ctas: 10,
+            threads_per_cta: 100,
+        };
         assert_eq!(g.warps_per_cta(32), 4); // 100/32 rounded up
         assert_eq!(g.total_threads(), 1000);
     }

@@ -38,9 +38,9 @@ impl L1Outcome {
     /// The request to inject into the network, if any.
     pub fn request(&self) -> Option<MemRequest> {
         match self {
-            L1Outcome::MissPrimary(r) | L1Outcome::WriteForward(r) | L1Outcome::AtomicForward(r) => {
-                Some(*r)
-            }
+            L1Outcome::MissPrimary(r)
+            | L1Outcome::WriteForward(r)
+            | L1Outcome::AtomicForward(r) => Some(*r),
             _ => None,
         }
     }
@@ -120,7 +120,12 @@ impl L1Controller {
 
     /// Presents one coalesced transaction to the L1.
     pub fn access(&mut self, line: LineAddr, kind: AccessKind, warp: WarpSlot) -> L1Outcome {
-        let request = MemRequest { line, kind, core: self.core, warp };
+        let request = MemRequest {
+            line,
+            kind,
+            core: self.core,
+            warp,
+        };
         match self.ctrl.access(line, kind, self.core, warp) {
             ControllerOutcome::Hit { .. } => L1Outcome::Hit,
             ControllerOutcome::MissPrimary => L1Outcome::MissPrimary(request),
@@ -159,9 +164,11 @@ impl L1Controller {
     /// requested indicates a protocol bug.
     pub fn fill_into(&mut self, line: LineAddr, victim_hint: bool, out: &mut Vec<WarpSlot>) {
         let core = self.core;
-        let outcome = self
-            .ctrl
-            .fill_with(line, out, |_| FillParams { core, victim_hint, dirty: false });
+        let outcome = self.ctrl.fill_with(line, out, |_| FillParams {
+            core,
+            victim_hint,
+            dirty: false,
+        });
         debug_assert!(
             outcome.evicted.is_none_or(|e| !e.dirty),
             "write-through L1 evicted a dirty line"
@@ -177,13 +184,7 @@ mod tests {
 
     fn l1() -> L1Controller {
         let geom = CacheGeometry::new(1024, 2, 128).unwrap();
-        L1Controller::new(
-            CoreId(3),
-            CacheConfig::l1(geom, 0),
-            Lru::new(&geom),
-            4,
-            2,
-        )
+        L1Controller::new(CoreId(3), CacheConfig::l1(geom, 0), Lru::new(&geom), 4, 2)
     }
 
     #[test]
@@ -213,7 +214,10 @@ mod tests {
                 L1Outcome::MissPrimary(_)
             ));
         }
-        assert_eq!(l1.access(LineAddr::new(9), AccessKind::Read, 0), L1Outcome::Blocked);
+        assert_eq!(
+            l1.access(LineAddr::new(9), AccessKind::Read, 0),
+            L1Outcome::Blocked
+        );
         assert_eq!(l1.replays(), 1);
         // Merge-depth exhaustion also blocks.
         l1.fill(LineAddr::new(0), false);
@@ -241,7 +245,10 @@ mod tests {
         l1.fill(line, false);
         let o = l1.access(line, AccessKind::Write, 0);
         assert!(matches!(o, L1Outcome::WriteForward(_)));
-        assert!(l1.cache_mut().flush().is_empty(), "WT L1 holds no dirty lines");
+        assert!(
+            l1.cache_mut().flush().is_empty(),
+            "WT L1 holds no dirty lines"
+        );
     }
 
     #[test]
@@ -261,7 +268,10 @@ mod tests {
         l1.fill(line, false);
         assert!(l1.cache().contains(line));
         l1.access(line, AccessKind::Atomic, 0);
-        assert!(!l1.cache().contains(line), "atomic must drop the stale L1 copy");
+        assert!(
+            !l1.cache().contains(line),
+            "atomic must drop the stale L1 copy"
+        );
     }
 
     #[test]

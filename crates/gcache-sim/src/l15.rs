@@ -66,7 +66,9 @@ impl L15Cluster {
     ///
     /// [`Hierarchy`]: crate::config::Hierarchy
     pub fn new(cfg: &GpuConfig) -> Self {
-        let geom = cfg.l15_geometry().expect("L15Cluster requires a SharedL15 hierarchy");
+        let geom = cfg
+            .l15_geometry()
+            .expect("L15Cluster requires a SharedL15 hierarchy");
         let cache = Cache::new(CacheConfig::l1(geom, 0), Lru::new(&geom));
         L15Cluster {
             ctrl: CacheController::new(
@@ -142,12 +144,16 @@ impl L15Cluster {
         }
         self.serve_one(now);
         while TxPort::can_send(req_io) {
-            let Some(&req) = self.forward.front() else { break };
+            let Some(&req) = self.forward.front() else {
+                break;
+            };
             req_io.send(req, now);
             self.forward.pop_front();
         }
         while TxPort::can_send(resp_io) {
-            let Some(resp) = self.pop_response(now) else { break };
+            let Some(resp) = self.pop_response(now) else {
+                break;
+            };
             resp_io.send(resp, now);
         }
     }
@@ -159,14 +165,19 @@ impl L15Cluster {
         match resp.kind {
             AccessKind::Read => {
                 let mut targets = std::mem::take(&mut self.target_scratch);
-                self.ctrl.fill_with(resp.line, &mut targets, |_| FillParams {
-                    core: resp.core,
-                    victim_hint: resp.victim_hint,
-                    dirty: false,
-                });
+                self.ctrl
+                    .fill_with(resp.line, &mut targets, |_| FillParams {
+                        core: resp.core,
+                        victim_hint: resp.victim_hint,
+                        dirty: false,
+                    });
                 for t in &targets {
                     self.outgoing.push_back((
-                        MemResponse { core: t.core, warp: t.warp, ..resp },
+                        MemResponse {
+                            core: t.core,
+                            warp: t.warp,
+                            ..resp
+                        },
                         now,
                     ));
                 }
@@ -183,12 +194,17 @@ impl L15Cluster {
     /// stalled head-of-line request does not perturb statistics or policy
     /// ageing while it waits.
     fn serve_one(&mut self, now: u64) {
-        let Some(&req) = self.incoming.front() else { return };
+        let Some(&req) = self.incoming.front() else {
+            return;
+        };
         if self.ctrl.would_block(req.line, req.kind) {
             self.stall_cycles += 1;
             return;
         }
-        let target = L15Target { core: req.core, warp: req.warp };
+        let target = L15Target {
+            core: req.core,
+            warp: req.warp,
+        };
         match self.ctrl.access(req.line, req.kind, req.core, target) {
             ControllerOutcome::Blocked(_) => unreachable!("gated by would_block"),
             // Forward the original request: the L2 sees the primary
@@ -241,7 +257,11 @@ mod tests {
 
     impl<M> Default for FakeIo<M> {
         fn default() -> Self {
-            FakeIo { to_l15: VecDeque::new(), from_l15: Vec::new(), blocked: false }
+            FakeIo {
+                to_l15: VecDeque::new(),
+                from_l15: Vec::new(),
+                blocked: false,
+            }
         }
     }
 
@@ -264,7 +284,10 @@ mod tests {
     fn cluster() -> L15Cluster {
         let cfg = GpuConfig::fermi()
             .unwrap()
-            .with_hierarchy(Hierarchy::SharedL15 { cluster_size: 4, kb: 64 })
+            .with_hierarchy(Hierarchy::SharedL15 {
+                cluster_size: 4,
+                kb: 64,
+            })
             .unwrap();
         L15Cluster::new(&cfg)
     }
@@ -288,7 +311,11 @@ mod tests {
         let (mut rq, mut rs) = io();
         rq.to_l15.push_back(read(5, 0, 7));
         l15.tick(0, &mut rq, &mut rs);
-        assert_eq!(rq.from_l15, vec![read(5, 0, 7)], "primary miss must forward");
+        assert_eq!(
+            rq.from_l15,
+            vec![read(5, 0, 7)],
+            "primary miss must forward"
+        );
         assert!(rs.from_l15.is_empty());
 
         // A second core merges while the miss is outstanding.
@@ -307,7 +334,10 @@ mod tests {
         l15.tick(2, &mut rq, &mut rs);
         assert_eq!(rs.from_l15.len(), 2);
         assert_eq!(
-            rs.from_l15.iter().map(|r| (r.core, r.warp, r.victim_hint)).collect::<Vec<_>>(),
+            rs.from_l15
+                .iter()
+                .map(|r| (r.core, r.warp, r.victim_hint))
+                .collect::<Vec<_>>(),
             vec![(CoreId(0), 7, true), (CoreId(2), 3, true)],
             "both cores get the fill's hint, in allocation order"
         );
@@ -342,7 +372,11 @@ mod tests {
             core: CoreId(1),
             warp: 0,
         };
-        let atomic = MemRequest { kind: AccessKind::Atomic, warp: 4, ..write };
+        let atomic = MemRequest {
+            kind: AccessKind::Atomic,
+            warp: 4,
+            ..write
+        };
         rq.to_l15.push_back(write);
         l15.tick(0, &mut rq, &mut rs);
         rq.to_l15.push_back(atomic);

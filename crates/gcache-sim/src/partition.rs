@@ -201,15 +201,18 @@ impl Partition {
     fn drain_dram(&mut self, now: u64) {
         let mut targets = std::mem::take(&mut self.target_scratch);
         while let Some(token) = self.dram.pop_completed(now) {
-            let DramToken::Fill(local) = token else { continue };
+            let DramToken::Fill(local) = token else {
+                continue;
+            };
             // The fill decision derives from the merged targets: any store
             // or atomic among them dirties the allocate, and the first
             // responder becomes the primary core whose victim bit the fill
             // sets.
             let mut primary_core = CoreId(0);
             let outcome = self.l2.fill_with(local, &mut targets, |ts| {
-                let dirty =
-                    ts.iter().any(|t| matches!(t, L2Target::Write | L2Target::Atomic { .. }));
+                let dirty = ts
+                    .iter()
+                    .any(|t| matches!(t, L2Target::Write | L2Target::Atomic { .. }));
                 let core = ts
                     .iter()
                     .find_map(|t| match t {
@@ -218,14 +221,22 @@ impl Partition {
                     })
                     .unwrap_or(CoreId(0));
                 primary_core = core;
-                FillParams { core, victim_hint: false, dirty }
+                FillParams {
+                    core,
+                    victim_hint: false,
+                    dirty,
+                }
             });
             if let Some(ev) = outcome.evicted {
                 if ev.dirty {
                     // Write-back; drop silently if the DRAM queue is full —
                     // timing-only model, the data itself is not tracked.
                     // (Capacity is sized so this is rare; it is counted.)
-                    if self.dram.enqueue(ev.line, true, DramToken::Writeback, now).is_err() {
+                    if self
+                        .dram
+                        .enqueue(ev.line, true, DramToken::Writeback, now)
+                        .is_err()
+                    {
                         self.stats.stall_cycles += 1;
                     }
                 }
@@ -241,7 +252,10 @@ impl Partition {
                             first_responder = false;
                             false
                         } else {
-                            self.l2.cache_mut().victim_observe(local, core).unwrap_or(false)
+                            self.l2
+                                .cache_mut()
+                                .victim_observe(local, core)
+                                .unwrap_or(false)
                         };
                         self.queue_response(core, warp, local, AccessKind::Read, hint, now);
                     }
@@ -274,7 +288,9 @@ impl Partition {
     /// head-of-line request does not re-access the L2 every tick (which
     /// would corrupt statistics and policy ageing).
     fn serve_one(&mut self, now: u64) {
-        let Some(&req) = self.incoming.front() else { return };
+        let Some(&req) = self.incoming.front() else {
+            return;
+        };
         let local = partition_local_line(req.line, self.partitions);
 
         // A primary miss needs both a DRAM queue slot and a free MSHR
@@ -289,8 +305,14 @@ impl Partition {
 
         let target = match req.kind {
             AccessKind::Write => L2Target::Write,
-            AccessKind::Read => L2Target::Read { core: req.core, warp: req.warp },
-            AccessKind::Atomic => L2Target::Atomic { core: req.core, warp: req.warp },
+            AccessKind::Read => L2Target::Read {
+                core: req.core,
+                warp: req.warp,
+            },
+            AccessKind::Atomic => L2Target::Atomic {
+                core: req.core,
+                warp: req.warp,
+            },
         };
         match self.l2.access(local, req.kind, req.core, target) {
             ControllerOutcome::Blocked(_) => {
@@ -307,7 +329,14 @@ impl Partition {
             ControllerOutcome::Hit { victim_hint } => match req.kind {
                 AccessKind::Write => {}
                 AccessKind::Read => {
-                    self.queue_response(req.core, req.warp, local, AccessKind::Read, victim_hint, now);
+                    self.queue_response(
+                        req.core,
+                        req.warp,
+                        local,
+                        AccessKind::Read,
+                        victim_hint,
+                        now,
+                    );
                 }
                 AccessKind::Atomic => {
                     let ready = self.aou_admit(now);
@@ -341,7 +370,13 @@ impl Partition {
         now: u64,
     ) {
         self.outgoing.push_back((
-            MemResponse { line: self.global(local), kind, core, warp, victim_hint },
+            MemResponse {
+                line: self.global(local),
+                kind,
+                core,
+                warp,
+                victim_hint,
+            },
             now + self.l2_latency,
         ));
     }
@@ -390,7 +425,12 @@ mod tests {
     }
 
     fn read(line: LineAddr, core: usize, warp: WarpSlot) -> MemRequest {
-        MemRequest { line, kind: AccessKind::Read, core: CoreId(core), warp }
+        MemRequest {
+            line,
+            kind: AccessKind::Read,
+            core: CoreId(core),
+            warp,
+        }
     }
 
     fn run_until_response(p: &mut Partition, start: u64, max: u64) -> (MemResponse, u64) {
@@ -427,7 +467,10 @@ mod tests {
         // Same core re-requests: L2 hit, victim bit already set → hint.
         p.push_request(read(line, 2, 8));
         let (resp, t2) = run_until_response(&mut p, t1 + 1, 1000);
-        assert!(resp.victim_hint, "re-request from same core must carry the hint");
+        assert!(
+            resp.victim_hint,
+            "re-request from same core must carry the hint"
+        );
         assert!(t2 - t1 < 100, "L2 hit must be much faster than DRAM");
         // A different core gets a clean hint.
         p.push_request(read(line, 3, 0));
@@ -454,14 +497,23 @@ mod tests {
         assert_eq!(responses.len(), 2);
         assert_eq!(p.dram_stats().reads, 1, "merged miss must fetch once");
         let hints: Vec<_> = responses.iter().map(|r| r.victim_hint).collect();
-        assert_eq!(hints, vec![false, false], "distinct cores, first touch each");
+        assert_eq!(
+            hints,
+            vec![false, false],
+            "distinct cores, first touch each"
+        );
     }
 
     #[test]
     fn write_miss_allocates_dirty() {
         let mut p = partition();
         let line = line_for_p0(3);
-        p.push_request(MemRequest { line, kind: AccessKind::Write, core: CoreId(0), warp: 0 });
+        p.push_request(MemRequest {
+            line,
+            kind: AccessKind::Write,
+            core: CoreId(0),
+            warp: 0,
+        });
         for now in 1..2000 {
             p.tick(now);
         }
@@ -475,7 +527,12 @@ mod tests {
     fn atomic_returns_response_and_counts() {
         let mut p = partition();
         let line = line_for_p0(4);
-        p.push_request(MemRequest { line, kind: AccessKind::Atomic, core: CoreId(1), warp: 3 });
+        p.push_request(MemRequest {
+            line,
+            kind: AccessKind::Atomic,
+            core: CoreId(1),
+            warp: 3,
+        });
         let (resp, _) = run_until_response(&mut p, 1, 2000);
         assert_eq!(resp.kind, AccessKind::Atomic);
         assert_eq!(p.stats().atomics, 1);
@@ -491,7 +548,12 @@ mod tests {
         p.push_request(read(line, 0, 0));
         let (_, t0) = run_until_response(&mut p, 1, 2000);
         for w in 0..4 {
-            p.push_request(MemRequest { line, kind: AccessKind::Atomic, core: CoreId(0), warp: w });
+            p.push_request(MemRequest {
+                line,
+                kind: AccessKind::Atomic,
+                core: CoreId(0),
+                warp: w,
+            });
         }
         let mut times = Vec::new();
         for now in t0 + 1..t0 + 4000 {
@@ -518,7 +580,12 @@ mod tests {
         // dirty evictions. L2 bank: 64 sets, 16 ways.
         for i in 0..32u64 {
             let line = LineAddr::new(i * 8 * 64); // same set after local shift
-            p.push_request(MemRequest { line, kind: AccessKind::Write, core: CoreId(0), warp: 0 });
+            p.push_request(MemRequest {
+                line,
+                kind: AccessKind::Write,
+                core: CoreId(0),
+                warp: 0,
+            });
         }
         for now in 1..200_000 {
             p.tick(now);

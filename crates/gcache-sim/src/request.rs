@@ -91,7 +91,9 @@ mod tests {
 
     #[test]
     fn consecutive_lines_interleave() {
-        let p: Vec<_> = (0..16).map(|l| partition_of(LineAddr::new(l), 8).index()).collect();
+        let p: Vec<_> = (0..16)
+            .map(|l| partition_of(LineAddr::new(l), 8).index())
+            .collect();
         assert_eq!(p, vec![0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
@@ -107,9 +109,20 @@ mod tests {
 
     #[test]
     fn packet_sizes() {
-        let read = MemRequest { line: LineAddr::new(0), kind: AccessKind::Read, core: CoreId(0), warp: 0 };
-        let write = MemRequest { kind: AccessKind::Write, ..read };
-        let atomic = MemRequest { kind: AccessKind::Atomic, ..read };
+        let read = MemRequest {
+            line: LineAddr::new(0),
+            kind: AccessKind::Read,
+            core: CoreId(0),
+            warp: 0,
+        };
+        let write = MemRequest {
+            kind: AccessKind::Write,
+            ..read
+        };
+        let atomic = MemRequest {
+            kind: AccessKind::Atomic,
+            ..read
+        };
         assert_eq!(read.packet_bytes(128), 8);
         assert_eq!(write.packet_bytes(128), 136);
         assert_eq!(atomic.packet_bytes(128), 16);
@@ -125,7 +138,10 @@ mod tests {
             victim_hint: false,
         };
         assert_eq!(resp.packet_bytes(128), 136);
-        let at = MemResponse { kind: AccessKind::Atomic, ..resp };
+        let at = MemResponse {
+            kind: AccessKind::Atomic,
+            ..resp
+        };
         assert_eq!(at.packet_bytes(128), 40);
     }
 }

@@ -14,7 +14,11 @@ pub struct WarpScheduler {
 impl WarpScheduler {
     /// Creates a scheduler of the given discipline.
     pub fn new(kind: WarpSchedKind) -> Self {
-        WarpScheduler { kind, rr_next: 0, current: None }
+        WarpScheduler {
+            kind,
+            rr_next: 0,
+            current: None,
+        }
     }
 
     /// Picks the next warp slot to issue from among `slots` slots.
@@ -47,7 +51,9 @@ impl WarpScheduler {
                         return Some(c);
                     }
                 }
-                let oldest = (0..slots).filter(|&s| is_ready(s)).min_by_key(|&s| (age(s), s));
+                let oldest = (0..slots)
+                    .filter(|&s| is_ready(s))
+                    .min_by_key(|&s| (age(s), s));
                 self.current = oldest;
                 oldest
             }

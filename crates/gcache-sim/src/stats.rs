@@ -238,8 +238,15 @@ mod tests {
 
     #[test]
     fn merge_core_stats() {
-        let mut a = CoreStats { instructions: 10, ..CoreStats::default() };
-        let b = CoreStats { instructions: 5, transactions: 7, ..CoreStats::default() };
+        let mut a = CoreStats {
+            instructions: 10,
+            ..CoreStats::default()
+        };
+        let b = CoreStats {
+            instructions: 5,
+            transactions: 7,
+            ..CoreStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 15);
         assert_eq!(a.transactions, 7);

@@ -77,7 +77,10 @@ impl Topology {
         if share >= cluster_size {
             let clusters_per_group = share / cluster_size;
             CoreGrouping::from_map(
-                self.cluster_of.iter().map(|&c| c / clusters_per_group).collect(),
+                self.cluster_of
+                    .iter()
+                    .map(|&c| c / clusters_per_group)
+                    .collect(),
             )
         } else {
             CoreGrouping::modular(cores, share)
@@ -100,10 +103,20 @@ pub struct Interconnect {
 impl Interconnect {
     /// Builds the two meshes described by `cfg`, placed per `topo`.
     pub fn new(cfg: &GpuConfig, topo: Topology) -> Self {
-        let mut req =
-            Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
-        let mut resp =
-            Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.router_queue, cfg.hop_latency, 1);
+        let mut req = Mesh::new(
+            cfg.mesh_width,
+            cfg.mesh_height,
+            cfg.router_queue,
+            cfg.hop_latency,
+            1,
+        );
+        let mut resp = Mesh::new(
+            cfg.mesh_width,
+            cfg.mesh_height,
+            cfg.router_queue,
+            cfg.hop_latency,
+            1,
+        );
         req.set_event_gating(cfg.fast_forward);
         resp.set_event_gating(cfg.fast_forward);
         Interconnect {
@@ -136,9 +149,18 @@ impl Interconnect {
     /// node instead of straight to the owning partition — the wiring
     /// changes, the core does not.
     pub fn core_ports(&mut self, core: usize) -> (MeshRx<'_, MemResponse>, ReqTx<'_>) {
-        let Interconnect { topo, req, resp, line_size, channel_bytes, partitions } = self;
+        let Interconnect {
+            topo,
+            req,
+            resp,
+            line_size,
+            channel_bytes,
+            partitions,
+        } = self;
         let node = topo.core_nodes[core];
-        let via = topo.is_clustered().then(|| topo.cluster_nodes[topo.cluster_of[core]]);
+        let via = topo
+            .is_clustered()
+            .then(|| topo.cluster_nodes[topo.cluster_of[core]]);
         (
             MeshRx { mesh: resp, node },
             ReqTx {
@@ -188,7 +210,14 @@ impl Interconnect {
     /// clustered topology the response view routes back to the requesting
     /// core's cluster node (the L1.5 fills and re-distributes).
     pub fn partition_ports(&mut self, part: usize) -> (MeshRx<'_, MemRequest>, RespTx<'_>) {
-        let Interconnect { topo, req, resp, line_size, channel_bytes, .. } = self;
+        let Interconnect {
+            topo,
+            req,
+            resp,
+            line_size,
+            channel_bytes,
+            ..
+        } = self;
         let node = topo.part_nodes[part];
         let to_clusters = topo.is_clustered();
         (
@@ -210,7 +239,14 @@ impl Interconnect {
     /// it ejects partition responses and injects per-core responses. Both
     /// views sit at the cluster's own node.
     pub fn cluster_io(&mut self, cluster: usize) -> (ClusterReqIo<'_>, ClusterRespIo<'_>) {
-        let Interconnect { topo, req, resp, line_size, channel_bytes, partitions } = self;
+        let Interconnect {
+            topo,
+            req,
+            resp,
+            line_size,
+            channel_bytes,
+            partitions,
+        } = self;
         let topo = &*topo;
         let node = topo.cluster_nodes[cluster];
         (
@@ -286,7 +322,9 @@ impl TxPort<MemRequest> for ReqTx<'_> {
             Some(node) => node,
             None => self.topo.part_nodes[partition_of(msg.line, self.partitions).index()],
         };
-        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        let flits = msg
+            .packet_bytes(self.line_size)
+            .div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.src, dst, flits, msg, now)
             .expect("injection gated by can_send");
@@ -318,7 +356,9 @@ impl TxPort<MemResponse> for RespTx<'_> {
         } else {
             self.topo.core_nodes[core]
         };
-        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        let flits = msg
+            .packet_bytes(self.line_size)
+            .div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.src, dst, flits, msg, now)
             .expect("injection gated by can_send");
@@ -351,7 +391,9 @@ impl TxPort<MemRequest> for ClusterReqIo<'_> {
 
     fn send(&mut self, msg: MemRequest, now: u64) {
         let dst = self.topo.part_nodes[partition_of(msg.line, self.partitions).index()];
-        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        let flits = msg
+            .packet_bytes(self.line_size)
+            .div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.node, dst, flits, msg, now)
             .expect("injection gated by can_send");
@@ -383,7 +425,9 @@ impl TxPort<MemResponse> for ClusterRespIo<'_> {
 
     fn send(&mut self, msg: MemResponse, now: u64) {
         let dst = self.topo.core_nodes[msg.core.index()];
-        let flits = msg.packet_bytes(self.line_size).div_ceil(self.channel_bytes);
+        let flits = msg
+            .packet_bytes(self.line_size)
+            .div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.node, dst, flits, msg, now)
             .expect("injection gated by can_send");
@@ -569,9 +613,7 @@ impl ClockedWith<Interconnect> for CoreComplex {
             // unchanged since theirs were computed), so the warp scan is
             // elided.
             let e = if self.ff {
-                if self.wake[i] <= now + 1
-                    || (self.wake_on_inject[i] && icnt.can_inject_core(i))
-                {
+                if self.wake[i] <= now + 1 || (self.wake_on_inject[i] && icnt.can_inject_core(i)) {
                     Some(now + 1)
                 } else if self.wake[i] == u64::MAX {
                     None
@@ -612,7 +654,9 @@ impl MemorySystem {
     /// Builds `cfg.partitions` memory partitions.
     pub fn new(cfg: &GpuConfig) -> Self {
         MemorySystem {
-            partitions: (0..cfg.partitions).map(|p| Partition::new(PartitionId(p), cfg)).collect(),
+            partitions: (0..cfg.partitions)
+                .map(|p| Partition::new(PartitionId(p), cfg))
+                .collect(),
             ff: cfg.fast_forward,
             wake: vec![0; cfg.partitions],
         }
@@ -630,7 +674,10 @@ impl MemorySystem {
 
     /// Total DRAM transactions completed (progress signature).
     pub fn dram_completed(&self) -> u64 {
-        self.partitions.iter().map(|p| p.dram_stats().completed).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.dram_stats().completed)
+            .sum()
     }
 }
 
@@ -651,7 +698,9 @@ impl ClockedWith<Interconnect> for MemorySystem {
             }
             part.tick(now);
             while tx.can_send() {
-                let Some(resp) = part.pop_response(now) else { break };
+                let Some(resp) = part.pop_response(now) else {
+                    break;
+                };
                 tx.send(resp, now);
             }
             if self.ff {
@@ -670,7 +719,11 @@ impl ClockedWith<Interconnect> for MemorySystem {
             // as for the cores); arrival of new requests is bounded by the
             // request mesh's own next event.
             let m = self.wake.iter().copied().min().unwrap_or(u64::MAX);
-            return if m == u64::MAX { None } else { Some(m.max(now + 1)) };
+            return if m == u64::MAX {
+                None
+            } else {
+                Some(m.max(now + 1))
+            };
         }
         let mut ev: Option<u64> = None;
         for p in &self.partitions {
@@ -757,7 +810,11 @@ impl ClockedWith<Interconnect> for ClusterComplex {
             // for the partitions); arrival of new traffic is bounded by
             // each mesh's own next event.
             let m = self.wake.iter().copied().min().unwrap_or(u64::MAX);
-            return if m == u64::MAX { None } else { Some(m.max(now + 1)) };
+            return if m == u64::MAX {
+                None
+            } else {
+                Some(m.max(now + 1))
+            };
         }
         let mut ev: Option<u64> = None;
         for cluster in &self.clusters {
@@ -792,7 +849,10 @@ mod tests {
     fn clustered_cfg(cluster_size: usize) -> GpuConfig {
         GpuConfig::fermi()
             .unwrap()
-            .with_hierarchy(Hierarchy::SharedL15 { cluster_size, kb: 64 })
+            .with_hierarchy(Hierarchy::SharedL15 {
+                cluster_size,
+                kb: 64,
+            })
             .unwrap()
     }
 

@@ -36,7 +36,13 @@ fn launch_capacity_limits() {
     let mut c = core();
     // 8 CTA slots, 48 warp slots, 1536 threads. 256-thread CTAs: 6 fit
     // (thread limit), not 8.
-    let k = K { grid: GridDim { ctas: 100, threads_per_cta: 256 }, ops: vec![] };
+    let k = K {
+        grid: GridDim {
+            ctas: 100,
+            threads_per_cta: 256,
+        },
+        ops: vec![],
+    };
     let mut launched = 0;
     while c.can_launch(&k) {
         c.launch_cta(&k, launched);
@@ -50,7 +56,13 @@ fn launch_capacity_limits() {
 fn cta_slot_count_limits() {
     let mut c = core();
     // Tiny CTAs: the 8 CTA slots bind first.
-    let k = K { grid: GridDim { ctas: 100, threads_per_cta: 32 }, ops: vec![] };
+    let k = K {
+        grid: GridDim {
+            ctas: 100,
+            threads_per_cta: 32,
+        },
+        ops: vec![],
+    };
     let mut launched = 0;
     while c.can_launch(&k) {
         c.launch_cta(&k, launched);
@@ -63,7 +75,13 @@ fn cta_slot_count_limits() {
 fn warp_slot_count_limits() {
     let mut c = core();
     // 12 warps per CTA (384 threads): 48 warp slots bind at 4 CTAs.
-    let k = K { grid: GridDim { ctas: 100, threads_per_cta: 384 }, ops: vec![] };
+    let k = K {
+        grid: GridDim {
+            ctas: 100,
+            threads_per_cta: 384,
+        },
+        ops: vec![],
+    };
     let mut launched = 0;
     while c.can_launch(&k) {
         c.launch_cta(&k, launched);
@@ -75,7 +93,13 @@ fn warp_slot_count_limits() {
 #[test]
 fn empty_programs_retire_immediately() {
     let mut c = core();
-    let k = K { grid: GridDim { ctas: 1, threads_per_cta: 64 }, ops: vec![] };
+    let k = K {
+        grid: GridDim {
+            ctas: 1,
+            threads_per_cta: 64,
+        },
+        ops: vec![],
+    };
     c.launch_cta(&k, 0);
     assert!(!c.is_idle());
     for now in 1..10 {
@@ -90,7 +114,10 @@ fn empty_programs_retire_immediately() {
 fn compute_occupies_one_issue_slot_per_warp() {
     let mut c = core();
     let k = K {
-        grid: GridDim { ctas: 1, threads_per_cta: 64 },
+        grid: GridDim {
+            ctas: 1,
+            threads_per_cta: 64,
+        },
         ops: vec![Op::Compute { cycles: 10 }, Op::Compute { cycles: 10 }],
     };
     c.launch_cta(&k, 0);
@@ -108,8 +135,14 @@ fn compute_occupies_one_issue_slot_per_warp() {
 fn load_blocks_until_response() {
     let mut c = core();
     let k = K {
-        grid: GridDim { ctas: 1, threads_per_cta: 32 },
-        ops: vec![Op::strided_load(Addr::new(0), 4, 32), Op::Compute { cycles: 1 }],
+        grid: GridDim {
+            ctas: 1,
+            threads_per_cta: 32,
+        },
+        ops: vec![
+            Op::strided_load(Addr::new(0), 4, 32),
+            Op::Compute { cycles: 1 },
+        ],
     };
     c.launch_cta(&k, 0);
     // Tick until the request pops out.
@@ -150,8 +183,14 @@ fn load_blocks_until_response() {
 fn stores_do_not_block() {
     let mut c = core();
     let k = K {
-        grid: GridDim { ctas: 1, threads_per_cta: 32 },
-        ops: vec![Op::strided_store(Addr::new(0), 4, 32), Op::Compute { cycles: 1 }],
+        grid: GridDim {
+            ctas: 1,
+            threads_per_cta: 32,
+        },
+        ops: vec![
+            Op::strided_store(Addr::new(0), 4, 32),
+            Op::Compute { cycles: 1 },
+        ],
     };
     c.launch_cta(&k, 0);
     for now in 1..100 {
@@ -168,7 +207,10 @@ fn stores_do_not_block() {
 fn network_backpressure_stalls_ldst() {
     let mut c = core();
     let k = K {
-        grid: GridDim { ctas: 1, threads_per_cta: 32 },
+        grid: GridDim {
+            ctas: 1,
+            threads_per_cta: 32,
+        },
         ops: vec![Op::strided_load(Addr::new(0), 4, 32)],
     };
     c.launch_cta(&k, 0);
@@ -177,7 +219,11 @@ fn network_backpressure_stalls_ldst() {
         assert!(c.tick(now, false).is_none());
     }
     assert!(c.stats().mem_stall_cycles > 0);
-    assert_eq!(c.l1().stats().accesses(), 0, "access must not commit while stalled");
+    assert_eq!(
+        c.l1().stats().accesses(),
+        0,
+        "access must not commit while stalled"
+    );
     // Release the backpressure.
     let mut got = false;
     for now in 50..100 {
@@ -193,7 +239,10 @@ fn network_backpressure_stalls_ldst() {
 fn l1_hit_completes_without_network() {
     let mut c = core();
     let k = K {
-        grid: GridDim { ctas: 1, threads_per_cta: 32 },
+        grid: GridDim {
+            ctas: 1,
+            threads_per_cta: 32,
+        },
         ops: vec![
             Op::strided_load(Addr::new(0), 4, 32),
             Op::strided_load(Addr::new(0), 4, 32), // same line: hit

@@ -31,14 +31,19 @@ impl<F: Fn(usize, usize) -> Vec<Op> + Send + Sync> Kernel for FnKernel<F> {
 
 fn run(policy: L1PolicyKind, kernel: &dyn Kernel) -> SimStats {
     let cfg = GpuConfig::fermi_with_policy(policy).unwrap();
-    Gpu::new(cfg).run_kernel(kernel).expect("simulation completes")
+    Gpu::new(cfg)
+        .run_kernel(kernel)
+        .expect("simulation completes")
 }
 
 /// Pure streaming: every warp reads its own fresh lines once.
 fn streaming_kernel(ctas: usize, loads: usize) -> impl Kernel {
     FnKernel {
         name: "stream",
-        grid: GridDim { ctas, threads_per_cta: 128 },
+        grid: GridDim {
+            ctas,
+            threads_per_cta: 128,
+        },
         gen: move |cta, warp| {
             let wid = (cta * 4 + warp) as u64;
             (0..loads)
@@ -52,7 +57,10 @@ fn streaming_kernel(ctas: usize, loads: usize) -> impl Kernel {
 fn hot_kernel(ctas: usize, iters: usize) -> impl Kernel {
     FnKernel {
         name: "hot",
-        grid: GridDim { ctas, threads_per_cta: 128 },
+        grid: GridDim {
+            ctas,
+            threads_per_cta: 128,
+        },
         gen: move |_, _| {
             (0..iters)
                 .map(|i| Op::strided_load(Addr::new(((i % 4) * 128) as u64), 4, 32))
@@ -65,7 +73,10 @@ fn hot_kernel(ctas: usize, iters: usize) -> impl Kernel {
 fn empty_grid_finishes_immediately() {
     let k = FnKernel {
         name: "empty",
-        grid: GridDim { ctas: 0, threads_per_cta: 64 },
+        grid: GridDim {
+            ctas: 0,
+            threads_per_cta: 64,
+        },
         gen: |_, _| vec![],
     };
     let stats = run(L1PolicyKind::Lru, &k);
@@ -89,8 +100,16 @@ fn all_ctas_complete_and_counts_add_up() {
 #[test]
 fn streaming_misses_everywhere() {
     let stats = run(L1PolicyKind::Lru, &streaming_kernel(20, 16));
-    assert!(stats.l1_miss_rate() > 0.99, "streaming L1 miss rate {}", stats.l1_miss_rate());
-    assert!(stats.l2.miss_rate() > 0.99, "streaming L2 miss rate {}", stats.l2.miss_rate());
+    assert!(
+        stats.l1_miss_rate() > 0.99,
+        "streaming L1 miss rate {}",
+        stats.l1_miss_rate()
+    );
+    assert!(
+        stats.l2.miss_rate() > 0.99,
+        "streaming L2 miss rate {}",
+        stats.l2.miss_rate()
+    );
     assert_eq!(stats.dram.reads, stats.l2.misses());
     // Figure 2's signature: all residencies end with zero reuse.
     assert!((stats.l1.reuse.fraction_zero() - 1.0).abs() < 1e-9);
@@ -138,14 +157,25 @@ fn barrier_synchronises_whole_cta() {
             ops
         }
     }
-    let grid = GridDim { ctas: 1, threads_per_cta: 128 };
+    let grid = GridDim {
+        ctas: 1,
+        threads_per_cta: 128,
+    };
     let with = run(
         L1PolicyKind::Lru,
-        &FnKernel { name: "barrier", grid, gen: gen(true) },
+        &FnKernel {
+            name: "barrier",
+            grid,
+            gen: gen(true),
+        },
     );
     let without = run(
         L1PolicyKind::Lru,
-        &FnKernel { name: "nobarrier", grid, gen: gen(false) },
+        &FnKernel {
+            name: "nobarrier",
+            grid,
+            gen: gen(false),
+        },
     );
     assert!(
         with.cycles > without.cycles + 400,
@@ -161,26 +191,39 @@ fn barrier_synchronises_whole_cta() {
 fn atomics_complete_and_serialise() {
     let k = FnKernel {
         name: "atomics",
-        grid: GridDim { ctas: 8, threads_per_cta: 64 },
+        grid: GridDim {
+            ctas: 8,
+            threads_per_cta: 64,
+        },
         gen: |_, _| {
             // Every warp atomically updates the same line: heavy AOU
             // serialisation at one partition.
-            vec![Op::Atomic { addrs: (0..32).map(|_| Some(Addr::new(0))).collect() }]
+            vec![Op::Atomic {
+                addrs: (0..32).map(|_| Some(Addr::new(0))).collect(),
+            }]
         },
     };
     let stats = run(L1PolicyKind::Lru, &k);
     assert_eq!(stats.core.ctas_completed, 8);
-    assert_eq!(stats.partition.atomics, 16, "8 CTAs x 2 warps, 1 coalesced atomic each");
+    assert_eq!(
+        stats.partition.atomics, 16,
+        "8 CTAs x 2 warps, 1 coalesced atomic each"
+    );
 }
 
 #[test]
 fn stores_write_through_to_l2_and_dram() {
     let k = FnKernel {
         name: "stores",
-        grid: GridDim { ctas: 4, threads_per_cta: 64 },
+        grid: GridDim {
+            ctas: 4,
+            threads_per_cta: 64,
+        },
         gen: |cta, warp| {
             let wid = (cta * 2 + warp) as u64;
-            (0..8).map(|i| Op::strided_store(Addr::new((wid * 8 + i) * 4096), 4, 32)).collect()
+            (0..8)
+                .map(|i| Op::strided_store(Addr::new((wid * 8 + i) * 4096), 4, 32))
+                .collect()
         },
     };
     let stats = run(L1PolicyKind::Lru, &k);
@@ -207,11 +250,16 @@ fn gto_and_lrr_both_complete() {
 fn divergent_loads_generate_many_transactions() {
     let k = FnKernel {
         name: "divergent",
-        grid: GridDim { ctas: 2, threads_per_cta: 32 },
+        grid: GridDim {
+            ctas: 2,
+            threads_per_cta: 32,
+        },
         gen: |cta, _| {
             // Each lane touches its own line: 32 transactions per load.
             vec![Op::gather(
-                (0..32).map(|l| Some(Addr::new((cta * 32 + l) as u64 * 128 * 64))).collect(),
+                (0..32)
+                    .map(|l| Some(Addr::new((cta * 32 + l) as u64 * 128 * 64)))
+                    .collect(),
             )]
         },
     };
@@ -242,9 +290,14 @@ fn every_design_point_runs_the_same_kernel() {
 fn run_clustered(policy: L1PolicyKind, cluster_size: usize, kernel: &dyn Kernel) -> SimStats {
     let cfg = GpuConfig::fermi_with_policy(policy)
         .unwrap()
-        .with_hierarchy(Hierarchy::SharedL15 { cluster_size, kb: 64 })
+        .with_hierarchy(Hierarchy::SharedL15 {
+            cluster_size,
+            kb: 64,
+        })
         .unwrap();
-    Gpu::new(cfg).run_kernel(kernel).expect("clustered simulation completes")
+    Gpu::new(cfg)
+        .run_kernel(kernel)
+        .expect("clustered simulation completes")
 }
 
 #[test]
@@ -261,12 +314,20 @@ fn clustered_hierarchy_completes_same_work_as_flat() {
         let clustered = run_clustered(L1PolicyKind::Lru, cluster_size, &streaming_kernel(24, 8));
         assert_eq!(clustered.core.ctas_completed, 24, "c{cluster_size}");
         assert_eq!(clustered.instructions, flat.instructions, "c{cluster_size}");
-        assert_eq!(clustered.l1.accesses(), flat.l1.accesses(), "c{cluster_size}");
+        assert_eq!(
+            clustered.l1.accesses(),
+            flat.l1.accesses(),
+            "c{cluster_size}"
+        );
         // Every L1 miss, store and atomic passes through the L1.5.
         assert!(clustered.l15.accesses() > 0, "c{cluster_size}");
         // Streaming lines are fresh everywhere: L1.5 misses dominate, and
         // every L1.5 miss reaches the L2 exactly as in the flat machine.
-        assert_eq!(clustered.l2.accesses(), flat.l2.accesses(), "c{cluster_size}");
+        assert_eq!(
+            clustered.l2.accesses(),
+            flat.l2.accesses(),
+            "c{cluster_size}"
+        );
         assert_eq!(clustered.dram.reads, flat.dram.reads, "c{cluster_size}");
     }
 }
@@ -280,7 +341,10 @@ fn shared_l15_absorbs_l1_thrash() {
     // travelling to the L2.
     let thrash = FnKernel {
         name: "l1thrash",
-        grid: GridDim { ctas: 16, threads_per_cta: 32 },
+        grid: GridDim {
+            ctas: 16,
+            threads_per_cta: 32,
+        },
         gen: |_, _| {
             (0..4u64)
                 .flat_map(|_| (0..6u64).map(|j| Op::strided_load(Addr::new(j * 64 * 128), 4, 32)))
@@ -306,8 +370,16 @@ fn shared_l15_absorbs_l1_thrash() {
 
 #[test]
 fn clustered_runs_are_deterministic() {
-    let a = run_clustered(L1PolicyKind::GCache(GCacheConfig::default()), 4, &hot_kernel(12, 32));
-    let b = run_clustered(L1PolicyKind::GCache(GCacheConfig::default()), 4, &hot_kernel(12, 32));
+    let a = run_clustered(
+        L1PolicyKind::GCache(GCacheConfig::default()),
+        4,
+        &hot_kernel(12, 32),
+    );
+    let b = run_clustered(
+        L1PolicyKind::GCache(GCacheConfig::default()),
+        4,
+        &hot_kernel(12, 32),
+    );
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.l15.hits(), b.l15.hits());
     assert_eq!(a.l2.accesses(), b.l2.accesses());
@@ -328,7 +400,10 @@ fn gcache_beats_lru_on_thrashing_kernel() {
     // work per core.
     let thrash = FnKernel {
         name: "thrash",
-        grid: GridDim { ctas: 128, threads_per_cta: 128 },
+        grid: GridDim {
+            ctas: 128,
+            threads_per_cta: 128,
+        },
         gen: |cta, warp| {
             let core = (cta % 16) as u64;
             let w = ((cta / 16) * 4 + warp) as u64; // core-local warp index
@@ -356,7 +431,10 @@ fn gcache_beats_lru_on_thrashing_kernel() {
         gc.l1_miss_rate(),
         bs.l1_miss_rate()
     );
-    assert!(gc.l1.bypassed_fills > 0, "GC should have bypassed some fills");
+    assert!(
+        gc.l1.bypassed_fills > 0,
+        "GC should have bypassed some fills"
+    );
     let speedup = gc.speedup_over(&bs);
     assert!(speedup > 1.02, "GC speedup over BS was {speedup:.3}");
     // The paper's §5.1 finding: replacement policy alone (BS-S) barely

@@ -35,8 +35,11 @@ fn mesh_delivers_everything_exactly_once() {
             })
             .collect();
         let mut mesh: Mesh<usize> = Mesh::new(width, height, 4, 2, 1);
-        let mut pending: Vec<(usize, usize, u32, usize)> =
-            sends.iter().enumerate().map(|(id, &(s, d, f))| (s, d, f, id)).collect();
+        let mut pending: Vec<(usize, usize, u32, usize)> = sends
+            .iter()
+            .enumerate()
+            .map(|(id, &(s, d, f))| (s, d, f, id))
+            .collect();
         let total = pending.len();
         let mut got: Vec<Option<usize>> = vec![None; total]; // delivered at node
         let mut delivered = 0usize;
@@ -48,7 +51,10 @@ fn mesh_delivers_everything_exactly_once() {
             mesh.tick(now);
             for node in 0..nodes {
                 while let Some(id) = mesh.eject(node) {
-                    assert!(got[id].is_none(), "case {case}: packet {id} delivered twice");
+                    assert!(
+                        got[id].is_none(),
+                        "case {case}: packet {id} delivered twice"
+                    );
                     got[id] = Some(node);
                     delivered += 1;
                 }
@@ -68,8 +74,9 @@ fn dram_completes_everything() {
     for case in 0..CASES {
         let mut rng = SmallRng::seed_from_u64(0x5eed_1002 ^ case);
         let n = rng.gen_range(1..100) as usize;
-        let reqs: Vec<(u64, bool)> =
-            (0..n).map(|_| (rng.gen_range(0..4096), rng.gen_bool(0.5))).collect();
+        let reqs: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0..4096), rng.gen_bool(0.5)))
+            .collect();
         let timing = DramTiming::default();
         let mut dram: Dram<usize> = Dram::new(timing, 4, 2048, 16, 128);
         let mut sent = 0usize;
@@ -118,7 +125,10 @@ fn coalescer_is_a_partition() {
         let mut rng = SmallRng::seed_from_u64(0x5eed_1003 ^ case);
         let n = rng.gen_range(0..33) as usize;
         let addrs: Vec<Option<Addr>> = (0..n)
-            .map(|_| rng.gen_bool(0.8).then(|| Addr::new(rng.gen_range(0..1_000_000))))
+            .map(|_| {
+                rng.gen_bool(0.8)
+                    .then(|| Addr::new(rng.gen_range(0..1_000_000)))
+            })
             .collect();
         let out = coalesce(&addrs, 128);
         let active: Vec<LineAddr> = addrs.iter().flatten().map(|a| a.to_line(128)).collect();
@@ -131,7 +141,11 @@ fn coalescer_is_a_partition() {
         let mut dedup = out.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), out.len(), "case {case}: duplicate transactions");
+        assert_eq!(
+            dedup.len(),
+            out.len(),
+            "case {case}: duplicate transactions"
+        );
         assert!(out.len() <= active.len(), "case {case}");
     }
 }

@@ -47,7 +47,11 @@ pub fn coalesced_store(region_base: u64, start_elem: u64) -> Op {
 /// A broadcast load: every lane reads the same line (`line_idx` within the
 /// region) — one transaction, the shape of a shared lookup table read.
 pub fn broadcast_load(region_base: u64, line_idx: u64) -> Op {
-    Op::Load { addrs: (0..LANES).map(|_| Some(Addr::new(region_base + line_idx * LINE))).collect() }
+    Op::Load {
+        addrs: (0..LANES)
+            .map(|_| Some(Addr::new(region_base + line_idx * LINE)))
+            .collect(),
+    }
 }
 
 /// A gather: lane `l` reads 4-byte element `indices[l]` of the region —
@@ -85,7 +89,9 @@ pub fn skewed_index(rng: &mut SmallRng, hot_n: u64, total_n: u64, hot_frac: f64)
 /// lanes fan out over `span` lines starting at a random line of the hot
 /// region — a common shape for CSR column gathers.
 pub fn clustered_indices(rng: &mut SmallRng, base_line: u64, span: u64) -> Vec<u64> {
-    (0..LANES as u64).map(|_| (base_line + rng.gen_range(0..span)) * (LINE / 4)).collect()
+    (0..LANES as u64)
+        .map(|_| (base_line + rng.gen_range(0..span)) * (LINE / 4))
+        .collect()
 }
 
 /// A cyclic walk over a hot region of `lines` cache lines.
@@ -106,7 +112,11 @@ impl CyclicWalk {
     /// Starts a walk over `lines` lines of `region_base` at `phase`.
     pub fn new(region_base: u64, lines: u64, phase: u64) -> Self {
         assert!(lines > 0, "walk needs at least one line");
-        CyclicWalk { region: region_base, lines, pos: phase % lines }
+        CyclicWalk {
+            region: region_base,
+            lines,
+            pos: phase % lines,
+        }
     }
 
     /// The next line index (absolute, within the region).
@@ -141,7 +151,10 @@ impl CyclicWalk {
     pub fn next_gather(&mut self, rng: &mut SmallRng, span: u64) -> Op {
         let base = self.next_window(span);
         let idx: Vec<u64> = (0..LANES as u64)
-            .map(|_| ((base + rng.gen_range(0..span)) % self.lines) * (LINE / 4) + rng.gen_range(0..LINE / 4))
+            .map(|_| {
+                ((base + rng.gen_range(0..span)) % self.lines) * (LINE / 4)
+                    + rng.gen_range(0..LINE / 4)
+            })
             .collect();
         gather_load(self.region, &idx)
     }

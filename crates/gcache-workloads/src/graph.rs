@@ -17,8 +17,8 @@
 //!   helps (Table 3: optimal PD 68), G-Cache's ageing cannot reach it.
 
 use crate::gen::{
-    clustered_indices, coalesced_load, coalesced_store, gather_load, region,
-    warp_rng, CyclicWalk, LINE,
+    clustered_indices, coalesced_load, coalesced_store, gather_load, region, warp_rng, CyclicWalk,
+    LINE,
 };
 use crate::spec::{Benchmark, Category, Scale, WorkloadInfo};
 use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
@@ -44,7 +44,12 @@ pub struct Bfs {
 impl Bfs {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Bfs { ctas: scale.ctas(CTAS), iters: scale.iters(32), hot_lines: 896, seed: 0xbf5 }
+        Bfs {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(32),
+            hot_lines: 896,
+            seed: 0xbf5,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ impl Kernel for Bfs {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -76,7 +84,10 @@ impl Kernel for Bfs {
             // Cold adjacency of low-degree nodes: clustered gather over the
             // long tail (effectively streaming).
             let base = rng.gen_range(0..tail_lines);
-            ops.push(gather_load(region(2), &clustered_indices(&mut rng, base, 2)));
+            ops.push(gather_load(
+                region(2),
+                &clustered_indices(&mut rng, base, 2),
+            ));
             ops.push(Op::Compute { cycles: 2 });
         }
         Box::new(TraceProgram::new(ops))
@@ -108,7 +119,12 @@ pub struct Spmv {
 impl Spmv {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Spmv { ctas: scale.ctas(CTAS), rows: scale.iters(48), x_lines: 384, seed: 0x59a7 }
+        Spmv {
+            ctas: scale.ctas(CTAS),
+            rows: scale.iters(48),
+            x_lines: 384,
+            seed: 0x59a7,
+        }
     }
 }
 
@@ -118,7 +134,10 @@ impl Kernel for Spmv {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -178,7 +197,12 @@ pub struct Cfd {
 impl Cfd {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Cfd { ctas: scale.ctas(CTAS), iters: scale.iters(40), cell_lines: 1536, seed: 0xcfd }
+        Cfd {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(40),
+            cell_lines: 1536,
+            seed: 0xcfd,
+        }
     }
 }
 
@@ -188,7 +212,10 @@ impl Kernel for Cfd {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -202,7 +229,10 @@ impl Kernel for Cfd {
             // Neighbour cells: clustered gathers over the shared mesh.
             for _ in 0..2 {
                 let base = rng.gen_range(0..self.cell_lines - 8);
-                ops.push(gather_load(region(2), &clustered_indices(&mut rng, base, 8)));
+                ops.push(gather_load(
+                    region(2),
+                    &clustered_indices(&mut rng, base, 8),
+                ));
             }
             ops.push(Op::Compute { cycles: 4 });
             ops.push(coalesced_store(region(3), (w * self.iters as u64 + i) * 32));
@@ -240,7 +270,11 @@ impl Nw {
         // 2 line touches per iteration over a 64-line slice: 96 iterations
         // walk the slice three times, so every line is re-used twice at
         // reuse distance 64 (≈ 32 per L1 set with 32 warps on 64 sets).
-        Nw { ctas: scale.ctas(CTAS), iters: scale.iters(96), slice_lines: 64 }
+        Nw {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(96),
+            slice_lines: 64,
+        }
     }
 }
 
@@ -250,7 +284,10 @@ impl Kernel for Nw {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -315,8 +352,12 @@ mod tests {
     #[test]
     fn different_warps_differ() {
         let bfs = Bfs::new(Scale::Test);
-        let ops_a: Vec<_> = std::iter::from_fn(|| bfs.warp_program(0, 0).next_op()).take(1).collect();
-        let ops_b: Vec<_> = std::iter::from_fn(|| bfs.warp_program(0, 1).next_op()).take(1).collect();
+        let ops_a: Vec<_> = std::iter::from_fn(|| bfs.warp_program(0, 0).next_op())
+            .take(1)
+            .collect();
+        let ops_b: Vec<_> = std::iter::from_fn(|| bfs.warp_program(0, 1).next_op())
+            .take(1)
+            .collect();
         // First op is a frontier load at a warp-specific offset.
         assert_ne!(format!("{ops_a:?}"), format!("{ops_b:?}"));
     }
@@ -341,7 +382,11 @@ mod tests {
     #[test]
     fn nw_walk_revisits_its_slice() {
         use gcache_core::reuse::ReuseProfiler;
-        let nw = Nw { ctas: 1, iters: 200, slice_lines: 16 };
+        let nw = Nw {
+            ctas: 1,
+            iters: 200,
+            slice_lines: 16,
+        };
         let mut prof = ReuseProfiler::new(64);
         let mut p = nw.warp_program(0, 0);
         while let Some(op) = p.next_op() {

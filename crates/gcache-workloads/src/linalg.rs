@@ -58,7 +58,10 @@ impl Kernel for Kmn {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -78,7 +81,10 @@ impl Kernel for Kmn {
             }
             ops.push(Op::Compute { cycles: 4 });
             // Membership update.
-            ops.push(coalesced_store(region(2), (w * self.points as u64 + p) * 32));
+            ops.push(coalesced_store(
+                region(2),
+                (w * self.points as u64 + p) * 32,
+            ));
         }
         Box::new(TraceProgram::new(ops))
     }
@@ -110,7 +116,12 @@ impl Syrk {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
         // Tile sized for a per-set footprint of 9 — SYRK's optimal PD.
-        Syrk { ctas: scale.ctas(CTAS), iters: scale.iters(32), tile_lines: 576, seed: 0x777 }
+        Syrk {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(32),
+            tile_lines: 576,
+            seed: 0x777,
+        }
     }
 }
 
@@ -120,7 +131,10 @@ impl Kernel for Syrk {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -128,7 +142,11 @@ impl Kernel for Syrk {
         let w = wid(cta, warp);
         // Rows of A: a shared hot tile cyclically re-read by every warp in
         // the rank-K inner loop (phase-shifted per warp).
-        let mut a = CyclicWalk::new(region(0), self.tile_lines, rng.gen_range(0..self.tile_lines));
+        let mut a = CyclicWalk::new(
+            region(0),
+            self.tile_lines,
+            rng.gen_range(0..self.tile_lines),
+        );
         let mut ops = Vec::new();
         for i in 0..self.iters as u64 {
             for _ in 0..6 {
@@ -167,7 +185,12 @@ pub struct Fft {
 impl Fft {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Fft { ctas: scale.ctas(CTAS), stages: 6, butterflies: scale.iters(8), twiddle_lines: 512 }
+        Fft {
+            ctas: scale.ctas(CTAS),
+            stages: 6,
+            butterflies: scale.iters(8),
+            twiddle_lines: 512,
+        }
     }
 }
 
@@ -177,7 +200,10 @@ impl Kernel for Fft {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -191,7 +217,10 @@ impl Kernel for Fft {
                 let base = w * 512 + b * 2 * stride_lines;
                 // The two butterfly inputs, `stride` lines apart.
                 ops.push(coalesced_load(region(0), (base % (1 << 20)) * elems));
-                ops.push(coalesced_load(region(0), ((base + stride_lines) % (1 << 20)) * elems));
+                ops.push(coalesced_load(
+                    region(0),
+                    ((base + stride_lines) % (1 << 20)) * elems,
+                ));
                 // Twiddle factors: shared table walk.
                 ops.push(walk.next_broadcast());
                 ops.push(Op::Compute { cycles: 3 });
@@ -226,7 +255,11 @@ pub struct Bp {
 impl Bp {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Bp { ctas: scale.ctas(CTAS), iters: scale.iters(48), act_lines: 32 }
+        Bp {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(48),
+            act_lines: 32,
+        }
     }
 }
 
@@ -236,7 +269,10 @@ impl Kernel for Bp {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -278,7 +314,11 @@ pub struct Fwt {
 impl Fwt {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Fwt { ctas: scale.ctas(CTAS), stages: 4, per_stage: scale.iters(12) }
+        Fwt {
+            ctas: scale.ctas(CTAS),
+            stages: 4,
+            per_stage: scale.iters(12),
+        }
     }
 }
 
@@ -288,7 +328,10 @@ impl Kernel for Fwt {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -344,7 +387,10 @@ mod tests {
     fn fwt_is_pure_streaming() {
         let prof = profile_loads(&Fwt::new(Scale::Test), 0, 0, 256);
         assert_eq!(prof.overflow_accesses(), 0);
-        assert!((prof.single_use_fraction() - 1.0).abs() < 1e-9, "FWT must never re-use a line");
+        assert!(
+            (prof.single_use_fraction() - 1.0).abs() < 1e-9,
+            "FWT must never re-use a line"
+        );
     }
 
     #[test]
@@ -358,7 +404,13 @@ mod tests {
 
     #[test]
     fn kmn_reuse_distance_is_table_sized() {
-        let kmn = Kmn { ctas: 1, points: 300, walk_per_point: 12, table_lines: 96, seed: 1 };
+        let kmn = Kmn {
+            ctas: 1,
+            points: 300,
+            walk_per_point: 12,
+            table_lines: 96,
+            seed: 1,
+        };
         let prof = profile_loads(&kmn, 0, 0, 256);
         let d = prof.mean_distance().expect("centroid walk re-uses lines");
         // One full table walk between re-uses: distance ≈ table + stream.

@@ -15,8 +15,8 @@
 //!   little locality to save (moderate; SPDP-B's optimal PD is tiny).
 
 use crate::gen::{
-    clustered_indices, coalesced_load, gather_load, region, scatter_atomic, skewed_index,
-    warp_rng, CyclicWalk, LINE,
+    clustered_indices, coalesced_load, gather_load, region, scatter_atomic, skewed_index, warp_rng,
+    CyclicWalk, LINE,
 };
 use crate::spec::{Benchmark, Category, Scale, WorkloadInfo};
 use gcache_sim::isa::{GridDim, Kernel, Op, TraceProgram, WarpProgram};
@@ -43,7 +43,12 @@ impl Pvc {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
         // Bucket set sized for a per-set footprint of 10 — PVC's PD.
-        Pvc { ctas: scale.ctas(CTAS), iters: scale.iters(40), hot_lines: 640, seed: 0x9c }
+        Pvc {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(40),
+            hot_lines: 640,
+            seed: 0x9c,
+        }
     }
 }
 
@@ -53,7 +58,10 @@ impl Kernel for Pvc {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -74,7 +82,10 @@ impl Kernel for Pvc {
             // Count update: clustered atomic into the hot buckets.
             if i % 4 == 3 {
                 let base = rng.gen_range(0..self.hot_lines - 2);
-                ops.push(scatter_atomic(region(1), &clustered_indices(&mut rng, base, 1)));
+                ops.push(scatter_atomic(
+                    region(1),
+                    &clustered_indices(&mut rng, base, 1),
+                ));
             }
             ops.push(Op::Compute { cycles: 2 });
         }
@@ -106,7 +117,12 @@ pub struct Ssc {
 impl Ssc {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Ssc { ctas: scale.ctas(CTAS), pairs: scale.iters(20), table_lines: 1280, seed: 0x55c }
+        Ssc {
+            ctas: scale.ctas(CTAS),
+            pairs: scale.iters(20),
+            table_lines: 1280,
+            seed: 0x55c,
+        }
     }
 }
 
@@ -116,7 +132,10 @@ impl Kernel for Ssc {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -124,8 +143,11 @@ impl Kernel for Ssc {
         let w = wid(cta, warp);
         // Document feature vectors: the shared hot table re-walked by all
         // warps — per-set footprint ≈ 20, SSC's optimal PD.
-        let mut table =
-            CyclicWalk::new(region(2), self.table_lines, rng.gen_range(0..self.table_lines));
+        let mut table = CyclicWalk::new(
+            region(2),
+            self.table_lines,
+            rng.gen_range(0..self.table_lines),
+        );
         let mut ops = Vec::new();
         for p in 0..self.pairs as u64 {
             for _ in 0..3u64 {
@@ -167,7 +189,12 @@ impl Iix {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
         // Dictionary sized for a per-set footprint of 12 — IIX's PD.
-        Iix { ctas: scale.ctas(CTAS), iters: scale.iters(40), dict_lines: 768, seed: 0x11c }
+        Iix {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(40),
+            dict_lines: 768,
+            seed: 0x11c,
+        }
     }
 }
 
@@ -177,15 +204,21 @@ impl Kernel for Iix {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
         let mut rng = warp_rng(self.seed, cta, warp);
         let w = wid(cta, warp);
         // Common words' dictionary entries: shared hot walk.
-        let mut dict =
-            CyclicWalk::new(region(1), self.dict_lines, rng.gen_range(0..self.dict_lines));
+        let mut dict = CyclicWalk::new(
+            region(1),
+            self.dict_lines,
+            rng.gen_range(0..self.dict_lines),
+        );
         let mut ops = Vec::new();
         for i in 0..self.iters as u64 {
             // Input text: streaming.
@@ -196,7 +229,10 @@ impl Kernel for Iix {
             }
             // Postings append: cold clustered writes' read-for-ownership.
             let base = rng.gen_range(0..1 << 12);
-            ops.push(gather_load(region(2), &clustered_indices(&mut rng, base, 1)));
+            ops.push(gather_load(
+                region(2),
+                &clustered_indices(&mut rng, base, 1),
+            ));
             ops.push(Op::Compute { cycles: 2 });
         }
         Box::new(TraceProgram::new(ops))
@@ -228,7 +264,12 @@ pub struct Pvr {
 impl Pvr {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Pvr { ctas: scale.ctas(CTAS), iters: scale.iters(48), rank_lines: 1 << 16, seed: 0x9f4 }
+        Pvr {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(48),
+            rank_lines: 1 << 16,
+            seed: 0x9f4,
+        }
     }
 }
 
@@ -238,7 +279,10 @@ impl Kernel for Pvr {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -328,6 +372,10 @@ mod tests {
                 }
             }
         }
-        assert!(lines.len() > 2000, "PVR footprint {} lines too small", lines.len());
+        assert!(
+            lines.len() > 2000,
+            "PVR footprint {} lines too small",
+            lines.len()
+        );
     }
 }

@@ -99,7 +99,9 @@ pub fn registry(scale: Scale) -> Vec<Box<dyn Benchmark>> {
 
 /// Looks one benchmark up by its paper abbreviation (case-insensitive).
 pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
-    registry(scale).into_iter().find(|b| b.info().name.eq_ignore_ascii_case(name))
+    registry(scale)
+        .into_iter()
+        .find(|b| b.info().name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -118,10 +120,18 @@ mod tests {
                 "NW", "SD1", "BP", "STL", "WP", "FWT"
             ]
         );
-        let sensitive = all.iter().filter(|b| b.info().category == Category::Sensitive).count();
-        let moderate = all.iter().filter(|b| b.info().category == Category::Moderate).count();
-        let insensitive =
-            all.iter().filter(|b| b.info().category == Category::Insensitive).count();
+        let sensitive = all
+            .iter()
+            .filter(|b| b.info().category == Category::Sensitive)
+            .count();
+        let moderate = all
+            .iter()
+            .filter(|b| b.info().category == Category::Moderate)
+            .count();
+        let insensitive = all
+            .iter()
+            .filter(|b| b.info().category == Category::Insensitive)
+            .count();
         assert_eq!((sensitive, moderate, insensitive), (8, 4, 5));
     }
 

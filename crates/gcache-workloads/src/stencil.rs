@@ -41,7 +41,11 @@ pub struct Sd2 {
 impl Sd2 {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Sd2 { ctas: scale.ctas(CTAS), cols: scale.iters(16), sweeps: 3 }
+        Sd2 {
+            ctas: scale.ctas(CTAS),
+            cols: scale.iters(16),
+            sweeps: 3,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ impl Kernel for Sd2 {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -72,7 +79,10 @@ impl Kernel for Sd2 {
                 // warps at shifted phases, not inside one warp's window).
                 let base = walk.next_window(3);
                 for dr in 0..3u64 {
-                    ops.push(coalesced_load(region(0), ((base + dr) % grid_lines) * elems()));
+                    ops.push(coalesced_load(
+                        region(0),
+                        ((base + dr) % grid_lines) * elems(),
+                    ));
                 }
                 ops.push(Op::Compute { cycles: 3 });
                 ops.push(coalesced_store(
@@ -107,7 +117,10 @@ pub struct Sd1 {
 impl Sd1 {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Sd1 { ctas: scale.ctas(CTAS), cols: scale.iters(32) }
+        Sd1 {
+            ctas: scale.ctas(CTAS),
+            cols: scale.iters(32),
+        }
     }
 }
 
@@ -117,7 +130,10 @@ impl Kernel for Sd1 {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -162,7 +178,11 @@ pub struct Stl {
 impl Stl {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Stl { ctas: scale.ctas(CTAS), iters: scale.iters(28), boundary_lines: 640 }
+        Stl {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(28),
+            boundary_lines: 640,
+        }
     }
 }
 
@@ -172,7 +192,10 @@ impl Kernel for Stl {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -190,7 +213,10 @@ impl Kernel for Stl {
                 ops.push(broadcast_load(region(2), line));
             }
             ops.push(Op::Compute { cycles: 3 });
-            ops.push(coalesced_store(region(1), (w * self.iters as u64 + i) * elems()));
+            ops.push(coalesced_store(
+                region(1),
+                (w * self.iters as u64 + i) * elems(),
+            ));
         }
         Box::new(TraceProgram::new(ops))
     }
@@ -221,7 +247,11 @@ pub struct Wp {
 impl Wp {
     /// Creates the benchmark at `scale`.
     pub fn new(scale: Scale) -> Self {
-        Wp { ctas: scale.ctas(CTAS), iters: scale.iters(16), const_lines: 896 }
+        Wp {
+            ctas: scale.ctas(CTAS),
+            iters: scale.iters(16),
+            const_lines: 896,
+        }
     }
 }
 
@@ -231,7 +261,10 @@ impl Kernel for Wp {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: TPC }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: TPC,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -244,9 +277,15 @@ impl Kernel for Wp {
             }
             // Physics constants: shared table, cyclically re-read but
             // drowned by 8:1 stream pressure.
-            ops.push(broadcast_load(region(9), (w * self.iters as u64 + i) % self.const_lines));
+            ops.push(broadcast_load(
+                region(9),
+                (w * self.iters as u64 + i) % self.const_lines,
+            ));
             ops.push(Op::Compute { cycles: 5 });
-            ops.push(coalesced_store(region(10), (w * self.iters as u64 + i) * 32));
+            ops.push(coalesced_store(
+                region(10),
+                (w * self.iters as u64 + i) * 32,
+            ));
         }
         Box::new(TraceProgram::new(ops))
     }
@@ -300,7 +339,10 @@ mod tests {
             }
         }
         assert!(shared > 0, "SD2 warps must share image lines");
-        assert!(seen.len() <= 1024, "all loads stay inside the wrapped image");
+        assert!(
+            seen.len() <= 1024,
+            "all loads stay inside the wrapped image"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use gcache_core::addr::LineAddr;
 use gcache_core::reuse::ReuseProfiler;
 use gcache_sim::coalescer::coalesce;
 use gcache_sim::isa::Op;
-use gcache_workloads::{registry, by_name, Category, Scale};
+use gcache_workloads::{by_name, registry, Category, Scale};
 use std::collections::HashSet;
 
 /// Replays the coalesced load stream of a few warps through one profiler,
@@ -58,7 +58,11 @@ fn sensitive_benchmarks_have_substantial_reuse() {
     for name in ["SPMV", "SYRK", "KMN", "SSC", "PVC", "IIX", "BFS", "SD2"] {
         let prof = interleaved_profile(name, 8);
         let reused = 1.0 - prof.single_use_fraction();
-        assert!(reused > 0.2, "{name}: only {:.3} of accesses see re-use", reused);
+        assert!(
+            reused > 0.2,
+            "{name}: only {:.3} of accesses see re-use",
+            reused
+        );
     }
 }
 

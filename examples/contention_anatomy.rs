@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A small L2 with one victim bit per core.
     let l2_geom = CacheGeometry::new(16 * 1024, 16, 128)?;
-    let mut l2 =
-        Cache::with_victim_bits(CacheConfig::l2(l2_geom, 0), Lru::new(&l2_geom), 2, 1);
+    let mut l2 = Cache::with_victim_bits(CacheConfig::l2(l2_geom, 0), Lru::new(&l2_geom), 2, 1);
 
     let core = CoreId(0);
     let a1 = LineAddr::new(0); // hot
@@ -43,7 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         false
                     }
                 };
-                let fill = l1.fill(FillCtx { line, core, victim_hint: hint }, false);
+                let fill = l1.fill(
+                    FillCtx {
+                        line,
+                        core,
+                        victim_hint: hint,
+                    },
+                    false,
+                );
                 match (hint, fill.bypassed) {
                     (true, true) => "L1 miss, hint=1 -> BYPASSED".to_string(),
                     (true, false) => "L1 miss, hint=1 -> inserted hot".to_string(),
@@ -56,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let s = l1.stats();
-    println!("\nL1 totals: {} accesses, {} hits, {} fills, {} bypassed", s.accesses(), s.hits(), s.fills, s.bypassed_fills);
+    println!(
+        "\nL1 totals: {} accesses, {} hits, {} fills, {} bypassed",
+        s.accesses(),
+        s.hits(),
+        s.fills,
+        s.bypassed_fills
+    );
     println!("The hot lines survive; the b-stream is kept out of the set.");
     Ok(())
 }

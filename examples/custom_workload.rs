@@ -23,7 +23,10 @@ impl Kernel for Histogram {
     }
 
     fn grid(&self) -> GridDim {
-        GridDim { ctas: self.ctas, threads_per_cta: 128 }
+        GridDim {
+            ctas: self.ctas,
+            threads_per_cta: 128,
+        }
     }
 
     fn warp_program(&self, cta: usize, warp: usize) -> Box<dyn WarpProgram> {
@@ -51,12 +54,16 @@ impl Kernel for Histogram {
                 self.hot_bins_lines + next() % (self.hot_bins_lines * 64)
             };
             ops.push(Op::Load {
-                addrs: (0..32).map(|_| Some(Addr::new((1 << 36) + line * 128))).collect(),
+                addrs: (0..32)
+                    .map(|_| Some(Addr::new((1 << 36) + line * 128)))
+                    .collect(),
             });
             // Count bump (coalesced atomic on the same bin line).
             if i % 4 == 0 {
                 ops.push(Op::Atomic {
-                    addrs: (0..32).map(|_| Some(Addr::new((1 << 36) + line * 128))).collect(),
+                    addrs: (0..32)
+                        .map(|_| Some(Addr::new((1 << 36) + line * 128)))
+                        .collect(),
                 });
             }
         }
@@ -65,7 +72,11 @@ impl Kernel for Histogram {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = Histogram { ctas: 32, items_per_warp: 24, hot_bins_lines: 512 };
+    let kernel = Histogram {
+        ctas: 32,
+        items_per_warp: 24,
+        hot_bins_lines: 512,
+    };
 
     println!("Custom kernel '{}' on the Table 2 GPU:\n", kernel.name());
     let bs = Gpu::new(GpuConfig::fermi_with_policy(L1PolicyKind::Lru)?).run_kernel(&kernel)?;
@@ -78,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{gc}\n");
     println!(
         "verdict: G-Cache {} this kernel ({:+.1}% IPC)",
-        if gc.ipc() >= bs.ipc() { "helps" } else { "does not help" },
+        if gc.ipc() >= bs.ipc() {
+            "helps"
+        } else {
+            "does not help"
+        },
         (gc.speedup_over(&bs) - 1.0) * 100.0
     );
     Ok(())

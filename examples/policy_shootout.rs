@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = by_name(&name, Scale::Paper)
         .unwrap_or_else(|| panic!("unknown benchmark {name:?}; see Table 1"));
     let info = bench.info();
-    println!("{} — {} ({}, {})\n", info.name, info.description, info.suite, info.category);
+    println!(
+        "{} — {} ({}, {})\n",
+        info.name, info.description, info.suite, info.category
+    );
 
     let designs = [
         L1PolicyKind::Lru,

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // frontier, hub nodes contended in the L1s.
     let bfs = by_name("BFS", Scale::Paper).expect("BFS is in Table 1");
 
-    println!("Simulating {} on the Table 2 GPU (16 cores, 32KB L1s)...\n", bfs.name());
+    println!(
+        "Simulating {} on the Table 2 GPU (16 cores, 32KB L1s)...\n",
+        bfs.name()
+    );
 
     let baseline =
         Gpu::new(GpuConfig::fermi_with_policy(L1PolicyKind::Lru)?).run_kernel(bfs.as_ref())?;

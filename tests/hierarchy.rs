@@ -14,14 +14,28 @@ fn check_invariants(s: &SimStats) {
     let ctx = format!("{} [{}]", s.kernel, s.design);
 
     // Every coalesced transaction becomes exactly one L1 access.
-    assert_eq!(s.core.transactions, s.l1.accesses(), "{ctx}: txns vs L1 accesses");
+    assert_eq!(
+        s.core.transactions,
+        s.l1.accesses(),
+        "{ctx}: txns vs L1 accesses"
+    );
 
     // Networks deliver everything they accept.
-    assert_eq!(s.noc_req.packets, s.noc_req.delivered, "{ctx}: request network lost packets");
-    assert_eq!(s.noc_resp.packets, s.noc_resp.delivered, "{ctx}: response network lost packets");
+    assert_eq!(
+        s.noc_req.packets, s.noc_req.delivered,
+        "{ctx}: request network lost packets"
+    );
+    assert_eq!(
+        s.noc_resp.packets, s.noc_resp.delivered,
+        "{ctx}: response network lost packets"
+    );
 
     // Every request packet reaches an L2 bank.
-    assert_eq!(s.noc_req.delivered, s.l2.accesses(), "{ctx}: L2 sees all requests");
+    assert_eq!(
+        s.noc_req.delivered,
+        s.l2.accesses(),
+        "{ctx}: L2 sees all requests"
+    );
 
     // DRAM reads = L2 read misses (write misses fetch too: write-allocate),
     // i.e. one fetch per L2 fill.
@@ -30,14 +44,23 @@ fn check_invariants(s: &SimStats) {
     // Dirty evictions + final flush = DRAM writes (write-backs) — DRAM
     // writes can be slightly lower only if a write-back was dropped on a
     // full queue, which the partition counts as a stall; tolerate zero.
-    assert!(s.dram.writes <= s.l2.writebacks, "{ctx}: more DRAM writes than write-backs");
+    assert!(
+        s.dram.writes <= s.l2.writebacks,
+        "{ctx}: more DRAM writes than write-backs"
+    );
 
     // Bypassed fills never exceed misses.
-    assert!(s.l1.bypassed_fills <= s.l1.misses(), "{ctx}: bypasses bounded by misses");
+    assert!(
+        s.l1.bypassed_fills <= s.l1.misses(),
+        "{ctx}: bypasses bounded by misses"
+    );
 
     // Fills + bypasses = read misses that went out and came back; bounded
     // by total misses.
-    assert!(s.l1.fills + s.l1.bypassed_fills <= s.l1.misses() + s.l1.evictions, "{ctx}");
+    assert!(
+        s.l1.fills + s.l1.bypassed_fills <= s.l1.misses() + s.l1.evictions,
+        "{ctx}"
+    );
 
     // IPC is positive and bounded by issue width (1/core/cycle).
     assert!(s.ipc() > 0.0, "{ctx}: zero IPC");
@@ -69,5 +92,8 @@ fn atomics_flow_through_partitions() {
     // PVC is the benchmark with atomics: they must reach the AOU.
     let s = run("PVC", L1PolicyKind::Lru);
     assert!(s.partition.atomics > 0, "PVC atomics must be serviced");
-    assert_eq!(s.l1.atomics, s.partition.atomics, "every atomic reaches the AOU exactly once");
+    assert_eq!(
+        s.l1.atomics, s.partition.atomics,
+        "every atomic reaches the AOU exactly once"
+    );
 }

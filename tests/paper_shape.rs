@@ -31,7 +31,10 @@ fn gcache_speeds_up_cache_sensitive_benchmarks() {
         ratios.push(g.speedup_over(&bs));
     }
     let gm = geomean(ratios.iter().copied());
-    assert!(gm > 1.04, "GC sensitive-set geomean {gm:.3} must clearly exceed 1");
+    assert!(
+        gm > 1.04,
+        "GC sensitive-set geomean {gm:.3} must clearly exceed 1"
+    );
 }
 
 #[test]
@@ -92,7 +95,12 @@ fn streaming_benchmark_misses_everywhere_under_every_design() {
     // policy (Figure 9's right edge).
     for policy in [L1PolicyKind::Lru, gc(), L1PolicyKind::StaticPdp { pd: 4 }] {
         let s = run("FWT", policy);
-        assert!(s.l1_miss_rate() > 0.95, "FWT miss rate {:.3} under {}", s.l1_miss_rate(), s.design);
+        assert!(
+            s.l1_miss_rate() > 0.95,
+            "FWT miss rate {:.3} under {}",
+            s.l1_miss_rate(),
+            s.design
+        );
     }
 }
 
@@ -102,7 +110,9 @@ fn bigger_l1_helps_sensitive_benchmarks() {
     // benchmark. Paper scale: the shrunk runs are cold-miss dominated and
     // size-insensitive.
     let bench = by_name("SYRK", Scale::Paper).unwrap();
-    let small = Gpu::new(GpuConfig::fermi().unwrap()).run_kernel(bench.as_ref()).unwrap();
+    let small = Gpu::new(GpuConfig::fermi().unwrap())
+        .run_kernel(bench.as_ref())
+        .unwrap();
     let big = Gpu::new(GpuConfig::fermi().unwrap().with_l1_kb(128).unwrap())
         .run_kernel(bench.as_ref())
         .unwrap();
@@ -123,7 +133,10 @@ fn victim_bit_sharing_still_works() {
     let mut cfg = GpuConfig::fermi_with_policy(gc()).unwrap();
     cfg.victim_bit_share = 16; // all cores share one bit
     let shared = Gpu::new(cfg).run_kernel(bench.as_ref()).unwrap();
-    assert!(shared.l1.bypassed_fills > 0, "shared victim bits must still trigger bypasses");
+    assert!(
+        shared.l1.bypassed_fills > 0,
+        "shared victim bits must still trigger bypasses"
+    );
     let bs = run("SPMV", L1PolicyKind::Lru);
     assert!(
         shared.speedup_over(&bs) > 0.9,

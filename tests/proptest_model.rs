@@ -18,7 +18,10 @@ struct RefLru {
 
 impl RefLru {
     fn new(geom: CacheGeometry) -> Self {
-        RefLru { geom, sets: vec![VecDeque::new(); geom.sets() as usize] }
+        RefLru {
+            geom,
+            sets: vec![VecDeque::new(); geom.sets() as usize],
+        }
     }
 
     /// Returns hit/miss and performs the LRU update + fill.
@@ -89,7 +92,14 @@ fn cache_global_invariants() {
             let line = LineAddr::new(rng.gen_range(0..128));
             if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
                 let hint = rng.gen_bool(0.5);
-                dut.fill(FillCtx { line, core: CoreId(0), victim_hint: hint }, false);
+                dut.fill(
+                    FillCtx {
+                        line,
+                        core: CoreId(0),
+                        victim_hint: hint,
+                    },
+                    false,
+                );
             }
             assert!(dut.occupancy() <= geom.lines() as usize, "case {case}");
         }
