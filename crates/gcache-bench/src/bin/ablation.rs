@@ -13,7 +13,7 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::parallel_map;
-use gcache_bench::{run, speedup, Cli, Table};
+use gcache_bench::{export_telemetry, run, speedup, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind, WarpSchedKind};
 use gcache_sim::gpu::Gpu;
@@ -246,4 +246,6 @@ fn main() {
     }
     println!("## Ablation: warp scheduler interaction (GC works under both, §6.2)\n");
     println!("{}", sched.render());
+
+    export_telemetry(&cli);
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin energy`.
 
-use gcache_bench::{run, Cli, Table};
+use gcache_bench::{export_telemetry, run, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::energy::EnergyModel;
@@ -48,4 +48,6 @@ fn main() {
     println!("## Memory-system traffic & relative dynamic energy (GC vs BS)\n");
     println!("{}", t.render());
     println!("rel. energy < 1.0 means G-Cache reduces memory-system energy.");
+
+    export_telemetry(&cli);
 }

@@ -7,7 +7,7 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
+use gcache_bench::{export_telemetry, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
@@ -93,4 +93,6 @@ fn main() {
 
     println!("## Figure 10: speedup over the 64KB-L1 baseline\n");
     println!("{}", t.render());
+
+    export_telemetry(&cli);
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin fig2`.
 
-use gcache_bench::{pct, run, Cli, Table};
+use gcache_bench::{export_telemetry, pct, run, Cli, Table};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
 fn main() {
@@ -27,4 +27,6 @@ fn main() {
     }
     println!("## Figure 2: L1 reuse-count distribution (BS)\n");
     println!("{}", t.render());
+
+    export_telemetry(&cli);
 }

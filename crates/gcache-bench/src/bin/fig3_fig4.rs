@@ -4,16 +4,25 @@
 //! Run with `cargo run --release -p gcache-bench --bin fig3_fig4`.
 //! `--all` includes every benchmark (the paper plots only the sensitive
 //! ones).
+//!
+//! Every run goes through the telemetry [`Sampler`] (via `run_sampled`),
+//! so `--telemetry PATH` exports the per-interval series of each
+//! (benchmark, L1 size) point for free; the figures themselves are
+//! derived from the same `SimStats` as before, byte-identically
+//! (`scripts/check.sh` diffs the quick output against a golden).
+//!
+//! [`Sampler`]: gcache_sim::telemetry::Sampler
 
-use gcache_bench::{pct, run, speedup, Cli, Table};
+use gcache_bench::{pct, run_sampled, speedup, Cli, Table, TelemetrySeries};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::Category;
 
 const SIZES_KB: [u64; 4] = [16, 32, 64, 128];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.iter().any(|a| a == "--all");
+    args.retain(|a| a != "--all");
     let cli = Cli::parse(args.into_iter());
     let benches: Vec<_> = cli
         .benchmarks()
@@ -24,13 +33,21 @@ fn main() {
     let headers = ["Bench", "16KB", "32KB", "64KB", "128KB"];
     let mut fig3 = Table::new(&headers);
     let mut fig4 = Table::new(&headers);
+    let mut series: Vec<TelemetrySeries> = Vec::new();
 
     for b in &benches {
         let info = b.info();
         eprintln!("[fig3/4] running {} ...", info.name);
         let runs: Vec<_> = SIZES_KB
             .iter()
-            .map(|&kb| run(L1PolicyKind::Lru, b.as_ref(), Some(kb), Hierarchy::Flat))
+            .map(|&kb| {
+                let (stats, sampler) =
+                    run_sampled(L1PolicyKind::Lru, b.as_ref(), Some(kb), Hierarchy::Flat);
+                if cli.telemetry.is_some() {
+                    series.push((format!("{}@{kb}KB", info.name), stats.design, sampler));
+                }
+                stats
+            })
             .collect();
         let base = &runs[1]; // 32 KB is the baseline machine
         fig3.row(
@@ -49,4 +66,8 @@ fn main() {
     println!("{}", fig3.render());
     println!("## Figure 4: speedup vs L1 size (normalised to 32KB)\n");
     println!("{}", fig4.render());
+
+    if let Some(path) = &cli.telemetry {
+        gcache_bench::write_telemetry_series(path, &series);
+    }
 }

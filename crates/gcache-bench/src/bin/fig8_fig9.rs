@@ -7,7 +7,9 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{designs, pct, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
+use gcache_bench::{
+    designs, export_telemetry, pct, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES,
+};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
 use gcache_workloads::Category;
@@ -112,4 +114,6 @@ fn main() {
     println!("{}", fig8.render());
     println!("## Figure 9: L1 miss rate of all designs\n");
     println!("{}", fig9.render());
+
+    export_telemetry(&cli);
 }

@@ -14,7 +14,7 @@
 //! every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{pct, speedup, Cli, Table};
+use gcache_bench::{export_telemetry, pct, speedup, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
@@ -121,4 +121,6 @@ fn main() {
         );
         println!("{}", table.render());
     }
+
+    export_telemetry(&cli);
 }

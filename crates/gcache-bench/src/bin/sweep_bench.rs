@@ -10,12 +10,23 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin sweep_bench`.
 //! `--jobs N` picks the parallel worker count (default: the host's
-//! available parallelism).
+//! available parallelism). `--quick` skips the full-scale timing section
+//! (CI smoke mode). `--profile` additionally self-profiles one
+//! representative run — per-component wall clock and fast-forward
+//! effectiveness — and records it under `"profile"` in the JSON.
+//!
+//! Each run also records the previous `BENCH_sweep.json`'s `serial_ms`
+//! (when present) as `serial_ms_prev` with the ratio
+//! `serial_overhead_vs_prev`, so the wall-clock cost of newly added
+//! (disabled) instrumentation hooks is tracked revision to revision.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{designs, run, set_fast_forward, Cli};
-use gcache_sim::config::{Hierarchy, L1PolicyKind};
-use gcache_workloads::{registry, Scale};
+use gcache_bench::{designs, export_telemetry, run, set_fast_forward, Cli};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
+use gcache_sim::gpu::Gpu;
+use gcache_sim::telemetry::Profile;
+use gcache_workloads::{registry, Benchmark, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -23,6 +34,27 @@ use std::time::Instant;
 /// BFS is cache-sensitive and latency-bound (long idle stretches), SPMV is
 /// a large streaming workload.
 const FULLSCALE_BENCHES: &[&str] = &["BFS", "SPMV"];
+
+/// One self-profiled run (GC design, fast-forward as configured): returns
+/// the accumulated [`Profile`].
+fn profiled_run(bench: &dyn Benchmark) -> Profile {
+    let mut cfg = GpuConfig::fermi_with_policy(L1PolicyKind::GCache(GCacheConfig::default()))
+        .expect("valid config");
+    cfg.fast_forward = gcache_bench::fast_forward_enabled();
+    let mut gpu = Gpu::new(cfg);
+    gpu.enable_profiling();
+    gpu.run_kernel(bench)
+        .unwrap_or_else(|e| panic!("profiled {} failed: {e}", bench.info().name));
+    gpu.profile().expect("profiling enabled above")
+}
+
+/// `serial_ms` recorded by the previous revision's `BENCH_sweep.json`, if
+/// one exists (hand-rolled substring parse — the file is our own output).
+fn previous_serial_ms() -> Option<f64> {
+    let prev = std::fs::read_to_string("BENCH_sweep.json").ok()?;
+    let tail = prev.split("\"serial_ms\":").nth(1)?;
+    tail.split([',', '\n', '}']).next()?.trim().parse().ok()
+}
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
@@ -96,11 +128,13 @@ fn main() {
     eprintln!("[sweep_bench] determinism: parallel and fast-forward results identical to serial");
 
     // Fast-forward benefit where it matters: full-scale single runs under
-    // the LRU baseline, timed with the clock jumping and plain.
+    // the LRU baseline, timed with the clock jumping and plain. Skipped
+    // under --quick (CI smoke mode).
+    let fullscale_names: &[&str] = if cli.quick { &[] } else { FULLSCALE_BENCHES };
     let paper = registry(Scale::Paper);
     let mut fullscale_json = String::new();
     let (mut ff_on_total_ms, mut ff_off_total_ms) = (0.0f64, 0.0f64);
-    for (i, name) in FULLSCALE_BENCHES.iter().enumerate() {
+    for (i, name) in fullscale_names.iter().enumerate() {
         let bench = paper
             .iter()
             .find(|b| b.info().name == *name)
@@ -142,7 +176,7 @@ fn main() {
         );
         ff_on_total_ms += on_ms;
         ff_off_total_ms += off_ms;
-        let sep = if i + 1 < FULLSCALE_BENCHES.len() {
+        let sep = if i + 1 < fullscale_names.len() {
             ","
         } else {
             ""
@@ -158,9 +192,51 @@ fn main() {
         );
     }
 
+    // Self-profile one representative smoke-scale run (BFS under GC) when
+    // asked: where does the host time go, and how effective is the
+    // fast-forward machinery?
+    let profile_json = if cli.profile {
+        let bench = benches
+            .iter()
+            .find(|b| b.info().name == "BFS")
+            .unwrap_or(&benches[0]);
+        eprintln!(
+            "[sweep_bench] self-profiling {} under GC ...",
+            bench.info().name
+        );
+        let p = profiled_run(bench.as_ref());
+        for line in p.to_string().lines() {
+            eprintln!("[sweep_bench]   {line}");
+        }
+        format!("\n  \"profile\": {},", p.json_object())
+    } else {
+        String::new()
+    };
+
+    // Hook-overhead trend: compare this serial grid pass against the one
+    // recorded by the previous revision (read before we overwrite it).
+    let prev_json = match previous_serial_ms() {
+        Some(prev) if prev > 0.0 => {
+            eprintln!(
+                "[sweep_bench] serial grid: {serial_ms:.0} ms vs {prev:.0} ms previously ({:+.1}%)",
+                (serial_ms / prev - 1.0) * 100.0
+            );
+            format!(
+                "\n  \"serial_ms_prev\": {prev:.1},\n  \"serial_overhead_vs_prev\": {:.3},",
+                serial_ms / prev
+            )
+        }
+        _ => String::new(),
+    };
+
     let speedup = serial_ms / parallel_ms;
+    let fullscale_ff_speedup = if ff_on_total_ms > 0.0 {
+        ff_off_total_ms / ff_on_total_ms
+    } else {
+        0.0
+    };
     let json = format!(
-        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_no_ff_ms\": {:.1},\n  \"serial_ms\": {:.1},\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"grid_fastforward_speedup\": {:.3},\n  \"fullscale\": [{}\n  ],\n  \"fastforward_speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_no_ff_ms\": {:.1},\n  \"serial_ms\": {:.1},{}{}\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"grid_fastforward_speedup\": {:.3},\n  \"fullscale\": [{}\n  ],\n  \"fastforward_speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
         grid.len(),
         benches.len(),
         designs(8).len(),
@@ -168,12 +244,16 @@ fn main() {
         host_threads,
         serial_no_ff_ms,
         serial_ms,
+        prev_json,
+        profile_json,
         parallel_ms,
         speedup,
         serial_no_ff_ms / serial_ms,
         fullscale_json,
-        ff_off_total_ms / ff_on_total_ms,
+        fullscale_ff_speedup,
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     print!("{json}");
+
+    export_telemetry(&cli);
 }

@@ -7,7 +7,7 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{pct, select_optimal_pd, Cli, Table, PD_CANDIDATES};
+use gcache_bench::{export_telemetry, pct, select_optimal_pd, Cli, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
@@ -58,4 +58,6 @@ fn main() {
     }
     println!("## Table 3: bypass control of G-Cache and SPDP-B (32KB 4-way L1)\n");
     println!("{}", t.render());
+
+    export_telemetry(&cli);
 }

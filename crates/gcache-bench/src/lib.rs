@@ -26,6 +26,7 @@ use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
+use gcache_sim::telemetry::{Sample, Sampler};
 use gcache_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,6 +56,7 @@ pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
 pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                     [--hierarchy SHAPE[,SHAPE...]] [--no-fast-forward]
+                    [--telemetry PATH] [--profile]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
@@ -68,7 +70,16 @@ usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                  --hierarchy flat,c4,c8:128
   --no-fast-forward
                  tick every cycle instead of skipping provably idle
-                 ones; slower, bit-identical output (cross-checking)";
+                 ones; slower, bit-identical output (cross-checking)
+  --telemetry PATH
+                 additionally run the selected benchmarks under the GC
+                 design with the per-epoch time-series sampler attached
+                 and write the combined series to PATH (CSV; a .json
+                 extension selects JSON). The experiment's own stdout
+                 stays byte-identical
+  --profile      time the simulator itself (per-component wall clock,
+                 fast-forward effectiveness); reported by sweep_bench
+                 and recorded into BENCH_sweep.json";
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -85,6 +96,11 @@ pub struct Cli {
     pub hierarchy: Vec<Hierarchy>,
     /// Tick every cycle instead of fast-forwarding over idle ones.
     pub no_fast_forward: bool,
+    /// Write a per-epoch telemetry time series here (`--telemetry`);
+    /// CSV unless the path ends in `.json`.
+    pub telemetry: Option<String>,
+    /// Self-profile the simulator (`--profile`).
+    pub profile: bool,
 }
 
 /// Parses one `--hierarchy` shape: `flat`, `cN` or `cN:KB` (cluster size
@@ -163,6 +179,11 @@ impl Cli {
                         .collect::<Result<_, _>>()?;
                 }
                 "--no-fast-forward" => cli.no_fast_forward = true,
+                "--telemetry" => {
+                    let path = args.next().ok_or("--telemetry requires a value")?;
+                    cli.telemetry = Some(path);
+                }
+                "--profile" => cli.profile = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -253,6 +274,104 @@ pub fn run(
     Gpu::new(cfg)
         .run_kernel(bench)
         .unwrap_or_else(|e| panic!("{} under {policy:?} failed: {e}", bench.info().name))
+}
+
+/// Like [`run`], but with a per-epoch telemetry [`Sampler`] attached;
+/// returns the recorded time series alongside the stats. The stats are
+/// bit-identical to an unsampled [`run`] of the same point (sampling is
+/// passive; the `telemetry_off_identical` integration test enforces it).
+pub fn run_sampled(
+    policy: L1PolicyKind,
+    bench: &dyn Benchmark,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+) -> (SimStats, Sampler) {
+    let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
+    if let Some(kb) = l1_kb {
+        cfg = cfg.with_l1_kb(kb).expect("valid L1 size");
+    }
+    cfg = cfg
+        .with_hierarchy(hierarchy)
+        .unwrap_or_else(|e| panic!("invalid hierarchy {hierarchy:?}: {e}"));
+    cfg.fast_forward = fast_forward_enabled();
+    let mut gpu = Gpu::new(cfg);
+    gpu.attach_sampler(Sampler::new(gcache_sim::telemetry::DEFAULT_INTERVAL));
+    let stats = gpu
+        .run_kernel(bench)
+        .unwrap_or_else(|e| panic!("{} under {policy:?} failed: {e}", bench.info().name));
+    let sampler = gpu.take_sampler().expect("sampler attached above");
+    (stats, sampler)
+}
+
+/// One labelled telemetry series: `(benchmark, design, recorded series)`.
+pub type TelemetrySeries = (String, &'static str, Sampler);
+
+/// Renders labelled telemetry series as one CSV document: the sample
+/// columns prefixed by `bench` and `design` label columns.
+pub fn telemetry_csv(series: &[TelemetrySeries]) -> String {
+    let mut out = format!("bench,design,{}\n", Sample::CSV_HEADER);
+    for (bench, design, sampler) in series {
+        for s in sampler.samples() {
+            let _ = writeln!(out, "{bench},{design},{}", s.csv_row());
+        }
+    }
+    out
+}
+
+/// Renders labelled telemetry series as one JSON document.
+pub fn telemetry_json(series: &[TelemetrySeries]) -> String {
+    let rows: Vec<String> = series
+        .iter()
+        .map(|(bench, design, sampler)| {
+            format!(
+                "{{\"bench\":\"{bench}\",\"design\":\"{design}\",\"telemetry\":{}}}",
+                sampler.to_json()
+            )
+        })
+        .collect();
+    format!("{{\"series\":[{}]}}", rows.join(","))
+}
+
+/// Honours `--telemetry PATH`: re-runs the selected benchmarks under the
+/// GC design (flat Table 2 machine) with the sampler attached and writes
+/// the combined series to `PATH` — CSV, or JSON when the path ends in
+/// `.json`. A no-op when the flag was not given, so every experiment's
+/// own stdout stays byte-identical.
+///
+/// # Panics
+///
+/// Panics if a simulation fails or the file cannot be written.
+pub fn export_telemetry(cli: &Cli) {
+    let Some(path) = &cli.telemetry else {
+        return;
+    };
+    let policy = L1PolicyKind::GCache(GCacheConfig::default());
+    let series: Vec<TelemetrySeries> = cli
+        .benchmarks()
+        .iter()
+        .map(|b| {
+            let (stats, sampler) = run_sampled(policy, b.as_ref(), None, Hierarchy::Flat);
+            (b.info().name.to_string(), stats.design, sampler)
+        })
+        .collect();
+    write_telemetry_series(path, &series);
+}
+
+/// Writes labelled telemetry series to `path` — CSV, or JSON when the
+/// path ends in `.json` — and notes the destination on stderr (stdout is
+/// reserved for experiment output).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_telemetry_series(path: &str, series: &[TelemetrySeries]) {
+    let body = if path.ends_with(".json") {
+        telemetry_json(series)
+    } else {
+        telemetry_csv(series)
+    };
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("telemetry series written to {path}");
 }
 
 /// Sweeps [`PD_CANDIDATES`] for a benchmark and returns `(best_pd, stats

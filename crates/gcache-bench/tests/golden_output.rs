@@ -62,6 +62,17 @@ fn table3_quick_stdout_matches_pre_refactor_golden() {
     );
 }
 
+/// fig3_fig4 runs every point through the telemetry sampler
+/// (`run_sampled`); its figures must still be derived from byte-identical
+/// stats — the golden was captured from the pre-sampler binary.
+#[test]
+fn fig3_fig4_quick_stdout_matches_golden() {
+    run_quick(
+        env!("CARGO_BIN_EXE_fig3_fig4"),
+        include_str!("golden/fig3_fig4_quick.txt"),
+    );
+}
+
 #[test]
 fn fig10_quick_stdout_matches_golden() {
     run_quick(

@@ -1,0 +1,85 @@
+//! The telemetry sampler must be passive: attaching it cannot change a
+//! single simulated statistic, under any policy or hierarchy shape. Also
+//! checks that the exported CSV schema round-trips losslessly.
+
+use gcache_bench::{run, run_sampled, telemetry_csv, TelemetrySeries};
+use gcache_core::policy::gcache::GCacheConfig;
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
+use gcache_sim::telemetry::Sample;
+use gcache_workloads::{by_name, Scale};
+
+#[test]
+fn telemetry_off_identical() {
+    let bench = by_name("BFS", Scale::Test).expect("benchmark registered");
+    let points: [(L1PolicyKind, Hierarchy); 4] = [
+        (L1PolicyKind::Lru, Hierarchy::Flat),
+        (L1PolicyKind::StaticPdp { pd: 8 }, Hierarchy::Flat),
+        (
+            L1PolicyKind::GCache(GCacheConfig::default()),
+            Hierarchy::Flat,
+        ),
+        (
+            L1PolicyKind::GCache(GCacheConfig::default()),
+            Hierarchy::SharedL15 {
+                cluster_size: 4,
+                kb: 64,
+            },
+        ),
+    ];
+    for (policy, hierarchy) in points {
+        let plain = run(policy, bench.as_ref(), None, hierarchy);
+        let (sampled, sampler) = run_sampled(policy, bench.as_ref(), None, hierarchy);
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{sampled:?}"),
+            "sampler perturbed the simulation under {policy:?} / {hierarchy:?}"
+        );
+        assert!(
+            !sampler.is_empty(),
+            "a full run should record at least one sample ({policy:?})"
+        );
+    }
+}
+
+#[test]
+fn csv_schema_round_trips() {
+    let bench = by_name("BFS", Scale::Test).expect("benchmark registered");
+    let (stats, sampler) = run_sampled(
+        L1PolicyKind::GCache(GCacheConfig::default()),
+        bench.as_ref(),
+        None,
+        Hierarchy::Flat,
+    );
+
+    // Every row parses back to the exact sample that produced it (floats
+    // are written in shortest round-trippable form).
+    let samples = sampler.samples();
+    assert!(!samples.is_empty());
+    for s in &samples {
+        let parsed = Sample::parse_csv(&s.csv_row()).expect("row parses under its own schema");
+        assert_eq!(parsed, *s, "CSV round-trip changed a field");
+    }
+
+    // The combined document: header plus one prefixed row per sample.
+    let series: Vec<TelemetrySeries> = vec![("BFS".to_string(), stats.design, sampler)];
+    let doc = telemetry_csv(&series);
+    let mut lines = doc.lines();
+    let header = lines.next().expect("header line");
+    assert_eq!(header, format!("bench,design,{}", Sample::CSV_HEADER));
+    let mut rows = 0usize;
+    for line in lines {
+        let rest = line
+            .strip_prefix("BFS,GC,")
+            .unwrap_or_else(|| panic!("row lacks its labels: {line}"));
+        assert!(Sample::parse_csv(rest).is_some(), "unparseable row: {line}");
+        rows += 1;
+    }
+    assert_eq!(rows, samples.len());
+}
+
+#[test]
+fn header_matches_row_arity() {
+    let cols = Sample::CSV_HEADER.split(',').count();
+    let row = Sample::default().csv_row();
+    assert_eq!(row.split(',').count(), cols, "row/header arity mismatch");
+}

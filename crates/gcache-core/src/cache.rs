@@ -13,7 +13,8 @@ use crate::geometry::CacheGeometry;
 use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
 use crate::stats::CacheStats;
 use crate::tag_array::{Evicted, TagArray};
-use crate::victim_bits::{CoreGrouping, VictimBits};
+use crate::trace::{TraceKind, TraceSink, TraceSource};
+use crate::victim_bits::{CoreGrouping, VictimBitStats, VictimBits};
 
 /// Write-handling discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -126,6 +127,9 @@ pub struct Cache {
     victim_bits: Option<VictimBits>,
     stats: CacheStats,
     accesses_since_epoch: u64,
+    /// Opt-in event sink (see [`crate::trace`]); `None` costs one
+    /// discriminant test per hook site.
+    trace: Option<(TraceSource, Box<dyn TraceSink>)>,
 }
 
 impl Cache {
@@ -143,6 +147,7 @@ impl Cache {
             victim_bits: None,
             stats: CacheStats::new(),
             accesses_since_epoch: 0,
+            trace: None,
         }
     }
 
@@ -195,6 +200,28 @@ impl Cache {
         &self.stats
     }
 
+    /// Read access to the replacement policy (telemetry reads switch
+    /// state and RRPVs through this; mutation stays with the cache).
+    pub const fn policy(&self) -> &PolicyKind {
+        &self.policy
+    }
+
+    /// Victim-bit activity counters, if this cache tracks victim bits.
+    pub fn victim_stats(&self) -> Option<&VictimBitStats> {
+        self.victim_bits.as_ref().map(|vb| vb.stats())
+    }
+
+    /// Attaches a trace sink; subsequent accesses, fills, switch flips and
+    /// epoch resets are recorded against `src`. See [`crate::trace`].
+    pub fn set_trace(&mut self, src: TraceSource, sink: Box<dyn TraceSink>) {
+        self.trace = Some((src, sink));
+    }
+
+    /// Detaches any trace sink, restoring untraced operation.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
+    }
+
     /// Fills the policy's bypass count into the stats before reading them.
     /// Called implicitly by [`Cache::stats`]? No — bypasses are counted at
     /// fill time by the cache itself, so this is just the policy's own view
@@ -239,10 +266,34 @@ impl Cache {
                     _ => false,
                 };
                 self.stats.record_access(kind, true);
+                if let Some((src, sink)) = &mut self.trace {
+                    sink.record(
+                        *src,
+                        TraceKind::Access {
+                            line,
+                            kind,
+                            core,
+                            hit: true,
+                            victim_hint,
+                        },
+                    );
+                }
                 Lookup::Hit { victim_hint }
             }
             None => {
                 self.stats.record_access(kind, false);
+                if let Some((src, sink)) = &mut self.trace {
+                    sink.record(
+                        *src,
+                        TraceKind::Access {
+                            line,
+                            kind,
+                            core,
+                            hit: false,
+                            victim_hint: false,
+                        },
+                    );
+                }
                 Lookup::Miss
             }
         }
@@ -270,9 +321,17 @@ impl Cache {
             };
         }
         let valid_mask = self.tags.valid_mask(set);
+        // The fill decision may open the set's bypass switch (a victim
+        // hint); capture the pre-state so tracing can report the flip.
+        let pre_switch = if self.trace.is_some() {
+            self.policy.switch_open(set)
+        } else {
+            None
+        };
         match self.policy.fill_decision(set, valid_mask, &ctx) {
             FillDecision::Bypass => {
                 self.stats.bypassed_fills += 1;
+                self.emit_fill_trace(set, pre_switch, None, &ctx);
                 FillOutcome {
                     bypassed: true,
                     evicted: None,
@@ -296,12 +355,62 @@ impl Cache {
                 }
                 self.policy.on_insert(set, way, &ctx);
                 self.stats.fills += 1;
+                self.emit_fill_trace(set, pre_switch, Some(way), &ctx);
                 FillOutcome {
                     bypassed: false,
                     evicted,
                 }
             }
         }
+    }
+
+    /// Emits the trace events of one applied fill decision: a switch flip
+    /// (if the decision changed the set's bypass switch) followed by the
+    /// insert/bypass outcome. Called after `on_insert`, so the reported
+    /// insertion depth is the RRPV the policy actually assigned.
+    fn emit_fill_trace(
+        &mut self,
+        set: usize,
+        pre_switch: Option<bool>,
+        way: Option<usize>,
+        ctx: &FillCtx,
+    ) {
+        if self.trace.is_none() {
+            return;
+        }
+        let post_switch = self.policy.switch_open(set);
+        let depth = way.and_then(|w| self.policy.rrpv_of(set, w)).unwrap_or(0);
+        let Some((src, sink)) = &mut self.trace else {
+            return;
+        };
+        if let (Some(pre), Some(post)) = (pre_switch, post_switch) {
+            if pre != post {
+                sink.record(
+                    *src,
+                    TraceKind::SwitchFlip {
+                        set: set as u32,
+                        open: post,
+                    },
+                );
+            }
+        }
+        let event = match way {
+            Some(w) => TraceKind::FillInsert {
+                line: ctx.line,
+                core: ctx.core,
+                victim_hint: ctx.victim_hint,
+                set: set as u32,
+                way: w as u8,
+                depth,
+            },
+            None => TraceKind::FillBypass {
+                line: ctx.line,
+                core: ctx.core,
+                victim_hint: ctx.victim_hint,
+                set: set as u32,
+            },
+        };
+        sink.record(*src, event);
     }
 
     /// Observes (and sets) the victim bit of a *resident* line for `core`
@@ -380,6 +489,17 @@ impl Cache {
         self.accesses_since_epoch += 1;
         if self.accesses_since_epoch >= self.cfg.epoch_len {
             self.accesses_since_epoch = 0;
+            if self.trace.is_some() {
+                let open = self.policy.switch_summary().map_or(0, |(o, _)| o) as u32;
+                if let Some((src, sink)) = &mut self.trace {
+                    sink.record(
+                        *src,
+                        TraceKind::EpochReset {
+                            open_switches: open,
+                        },
+                    );
+                }
+            }
             self.policy.on_epoch();
         }
     }
@@ -570,6 +690,69 @@ mod tests {
             }
         }
         assert!(c.stats().hits() >= 8);
+    }
+
+    #[test]
+    fn trace_records_fills_switch_flips_and_epochs() {
+        use crate::trace::{SharedTraceRing, TraceKind, TraceLevel, TraceSource};
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::l1(g, 4), GCache::with_defaults(&g));
+        let ring = SharedTraceRing::new(64);
+        c.set_trace(TraceSource::new(TraceLevel::L1, 0), ring.sink());
+
+        // A hinted fill into an empty set: opens the switch (flip event)
+        // and inserts hot (depth 0).
+        c.access(LineAddr::new(0), AccessKind::Read, C0);
+        c.fill(
+            FillCtx {
+                line: LineAddr::new(0),
+                core: C0,
+                victim_hint: true,
+            },
+            false,
+        );
+        // Three more accesses cross the 4-access epoch boundary.
+        c.access(LineAddr::new(0), AccessKind::Read, C0);
+        c.access(LineAddr::new(0), AccessKind::Read, C0);
+        c.access(LineAddr::new(0), AccessKind::Read, C0);
+
+        let evs = ring.events();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::SwitchFlip { set: 0, open: true })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::FillInsert { depth: 0, .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::EpochReset { open_switches: 1 })));
+        let accesses = evs
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Access { .. }))
+            .count();
+        assert_eq!(accesses, 4, "1 miss + 3 hits traced");
+    }
+
+    #[test]
+    fn tracing_does_not_change_behaviour() {
+        use crate::trace::{SharedTraceRing, TraceLevel, TraceSource};
+        let g = geom();
+        let walk: Vec<u64> = (0..40).map(|i| (i * 7) % 12).collect();
+        let run = |traced: bool| {
+            let mut c = Cache::new(CacheConfig::l1(g, 8), GCache::with_defaults(&g));
+            if traced {
+                let ring = SharedTraceRing::new(16);
+                c.set_trace(TraceSource::new(TraceLevel::L1, 0), ring.sink());
+            }
+            for &a in &walk {
+                let line = LineAddr::new(a);
+                if !c.access(line, AccessKind::Read, C0).is_hit() {
+                    c.fill(FillCtx::plain(line, C0), false);
+                }
+            }
+            format!("{:?}", c.stats())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::cache::{Cache, FillOutcome, Lookup, WritePolicy};
 use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
 use crate::policy::{AccessKind, FillCtx};
 use crate::stats::CacheStats;
+use crate::trace::{TraceKind, TraceSink, TraceSource};
 
 /// How the controller treats [`AccessKind::Atomic`] accesses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -112,6 +113,9 @@ pub struct CacheController<T> {
     mshr: MshrFile<T>,
     atomics: AtomicHandling,
     blocked: u64,
+    /// Opt-in MSHR event sink (see [`crate::trace`]); the wrapped cache
+    /// carries its own sink for lookup/fill events.
+    trace: Option<(TraceSource, Box<dyn TraceSink>)>,
 }
 
 impl<T> CacheController<T> {
@@ -133,7 +137,21 @@ impl<T> CacheController<T> {
             mshr: MshrFile::new(mshr_entries, mshr_merge),
             atomics,
             blocked: 0,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink for MSHR allocate/merge/release events,
+    /// recorded against `src`. Lookup and fill events come from the
+    /// wrapped cache's own sink ([`Cache::set_trace`] via
+    /// [`CacheController::cache_mut`]).
+    pub fn set_trace(&mut self, src: TraceSource, sink: Box<dyn TraceSink>) {
+        self.trace = Some((src, sink));
+    }
+
+    /// Detaches any MSHR trace sink.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     /// Presents one access.
@@ -174,6 +192,16 @@ impl<T> CacheController<T> {
                 Ok(alloc) => {
                     let lookup = self.cache.access(line, kind, core);
                     debug_assert!(!lookup.is_hit(), "contains() said miss");
+                    if let Some((src, sink)) = &mut self.trace {
+                        sink.record(
+                            *src,
+                            TraceKind::MshrAlloc {
+                                line,
+                                merged: alloc == MshrAlloc::Merged,
+                                occupancy: self.mshr.len() as u16,
+                            },
+                        );
+                    }
                     match alloc {
                         MshrAlloc::Primary => ControllerOutcome::MissPrimary,
                         MshrAlloc::Merged => ControllerOutcome::MissMerged,
@@ -214,6 +242,15 @@ impl<T> CacheController<T> {
         self.mshr
             .complete_into(line, out)
             .expect("fill without an outstanding MSHR entry");
+        if let Some((src, sink)) = &mut self.trace {
+            sink.record(
+                *src,
+                TraceKind::MshrRelease {
+                    line,
+                    targets: out.len() as u16,
+                },
+            );
+        }
         let p = decide(out);
         self.cache.fill(
             FillCtx {

@@ -52,6 +52,7 @@
 //! | [`cache`] | the assembled cache (lookup / fill / flush) |
 //! | [`controller`] | cache + MSHRs + the generic miss-handling machine |
 //! | [`reuse`] | offline reuse profiling (Figure 2 infrastructure) |
+//! | [`trace`](mod@trace) | opt-in structured event tracing (sinks, ring buffer, text dumper) |
 //! | [`overhead`] | the storage-cost arithmetic of §4.3 |
 //! | [`stats`] | counters and reuse histograms |
 
@@ -70,6 +71,7 @@ pub mod reuse;
 pub mod rng;
 pub mod stats;
 pub mod tag_array;
+pub mod trace;
 pub mod victim_bits;
 
 /// Commonly used items, re-exported for glob import.
@@ -86,4 +88,8 @@ pub mod prelude {
     pub use crate::policy::rrip::Rrip;
     pub use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
     pub use crate::stats::CacheStats;
+    pub use crate::trace::{
+        dump_filtered, SharedTraceRing, TraceEvent, TraceFilter, TraceKind, TraceLevel, TraceRing,
+        TraceSink, TraceSource,
+    };
 }

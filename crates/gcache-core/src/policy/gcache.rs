@@ -185,6 +185,17 @@ impl GCache {
         self.switch_openings
     }
 
+    /// Number of sets whose bypass switch is currently open (telemetry:
+    /// the switch-on fraction is this over [`GCache::sets`]).
+    pub fn open_switches(&self) -> usize {
+        self.switch.iter().filter(|&&s| s).count()
+    }
+
+    /// Number of sets this policy manages.
+    pub fn sets(&self) -> usize {
+        self.switch.len()
+    }
+
     /// Read access to the RRPV table.
     pub fn table(&self) -> &RrpvTable {
         &self.table

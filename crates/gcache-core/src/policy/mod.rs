@@ -171,6 +171,37 @@ macro_rules! dispatch {
     };
 }
 
+impl PolicyKind {
+    /// `(open, total)` bypass-switch counts — the switch-on fraction of the
+    /// telemetry layer. `None` for every policy without per-set switches
+    /// (only G-Cache has them).
+    pub fn switch_summary(&self) -> Option<(usize, usize)> {
+        match self {
+            PolicyKind::GCache(g) => Some((g.open_switches(), g.sets())),
+            _ => None,
+        }
+    }
+
+    /// Whether `set`'s bypass switch is open; `None` for policies without
+    /// switches.
+    pub fn switch_open(&self, set: usize) -> Option<bool> {
+        match self {
+            PolicyKind::GCache(g) => Some(g.switch_open(set)),
+            _ => None,
+        }
+    }
+
+    /// The RRPV of the line at `(set, way)` for RRIP-family policies
+    /// (G-Cache's insertion depth right after a fill); `None` otherwise.
+    pub fn rrpv_of(&self, set: usize, way: usize) -> Option<u8> {
+        match self {
+            PolicyKind::GCache(g) => Some(g.table().get(set, way)),
+            PolicyKind::Rrip(r) => Some(r.table().get(set, way)),
+            _ => None,
+        }
+    }
+}
+
 impl ReplacementPolicy for PolicyKind {
     #[inline]
     fn name(&self) -> &'static str {

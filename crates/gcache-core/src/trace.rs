@@ -1,0 +1,621 @@
+//! Structured event tracing: an opt-in, bounded record of *what the
+//! hierarchy did*, event by event.
+//!
+//! Aggregate counters ([`crate::stats::CacheStats`]) answer "how often";
+//! this module answers "when, and to which line". A component that supports
+//! tracing holds an `Option<Box<dyn TraceSink>>` and emits a
+//! [`TraceKind`] at each interesting decision point — cache lookups, fill
+//! insert/bypass outcomes with their insertion depth, G-Cache switch flips
+//! and epoch resets, MSHR allocate/merge/release, DRAM row activations.
+//! With no sink attached the hooks reduce to a single `Option`
+//! discriminant test, so the traced and untraced simulations are
+//! behaviourally identical (the golden-output tests enforce this).
+//!
+//! The stock sink is [`TraceRing`], a bounded ring of fixed-size
+//! [`TraceEvent`] rows (old events are overwritten, never reallocated);
+//! [`SharedTraceRing`] is the cloneable handle used to attach one ring to
+//! many components while keeping a read side. [`dump_filtered`] renders a
+//! ring's contents as text, optionally restricted by a [`TraceFilter`] —
+//! e.g. one line's contention anatomy (see `examples/contention_anatomy.rs`
+//! in the workspace root).
+
+use crate::addr::{CoreId, LineAddr};
+use crate::policy::AccessKind;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Which level of the hierarchy emitted an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceLevel {
+    /// A per-core L1 cache (or its controller).
+    L1,
+    /// A shared per-cluster L1.5 cache.
+    L15,
+    /// An L2 bank (or its controller).
+    L2,
+    /// A DRAM channel scheduler.
+    Dram,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceLevel::L1 => "L1",
+            TraceLevel::L15 => "L1.5",
+            TraceLevel::L2 => "L2",
+            TraceLevel::Dram => "DRAM",
+        })
+    }
+}
+
+/// Identity of the emitting component instance: hierarchy level plus the
+/// instance index at that level (core id for L1s, cluster id for L1.5s,
+/// partition id for L2 banks and DRAM channels).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceSource {
+    /// Hierarchy level.
+    pub level: TraceLevel,
+    /// Instance index within the level.
+    pub index: u16,
+}
+
+impl TraceSource {
+    /// Builds a source id.
+    pub const fn new(level: TraceLevel, index: u16) -> Self {
+        TraceSource { level, index }
+    }
+}
+
+impl fmt::Display for TraceSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.level, self.index)
+    }
+}
+
+/// How a DRAM column access met the bank's open row.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DramRowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle; the row was opened without a precharge.
+    Open,
+    /// A different row was open and had to be precharged first.
+    Conflict,
+}
+
+/// The payload of one trace event (the event taxonomy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// A committed cache lookup.
+    Access {
+        /// The line looked up.
+        line: LineAddr,
+        /// Access kind.
+        kind: AccessKind,
+        /// Requesting core.
+        core: CoreId,
+        /// Whether the lookup hit.
+        hit: bool,
+        /// Victim hint observed on the hit (L2 with victim bits only).
+        victim_hint: bool,
+    },
+    /// A returning fill was inserted into the cache.
+    FillInsert {
+        /// The line filled.
+        line: LineAddr,
+        /// Requesting core.
+        core: CoreId,
+        /// Victim hint attached to the fill.
+        victim_hint: bool,
+        /// Destination set.
+        set: u32,
+        /// Destination way.
+        way: u8,
+        /// Insertion depth: the line's RRPV right after insertion (0 =
+        /// hottest). Always 0 for non-RRIP policies.
+        depth: u8,
+    },
+    /// A returning fill was refused by the policy (bypass-on-fill).
+    FillBypass {
+        /// The line bypassed.
+        line: LineAddr,
+        /// Requesting core.
+        core: CoreId,
+        /// Victim hint attached to the fill.
+        victim_hint: bool,
+        /// Target set whose policy refused the line.
+        set: u32,
+    },
+    /// A G-Cache per-set bypass switch changed state.
+    SwitchFlip {
+        /// The set whose switch flipped.
+        set: u32,
+        /// New state: `true` = bypassing.
+        open: bool,
+    },
+    /// The policy's epoch hook fired (G-Cache closes all switches here).
+    EpochReset {
+        /// Bypass switches open just before the reset.
+        open_switches: u32,
+    },
+    /// A miss allocated (or merged into) an MSHR entry.
+    MshrAlloc {
+        /// The missing line.
+        line: LineAddr,
+        /// `true` if merged into an outstanding entry (no new request).
+        merged: bool,
+        /// Entries in use after this allocation.
+        occupancy: u16,
+    },
+    /// A fill released an MSHR entry and its merged targets.
+    MshrRelease {
+        /// The filled line.
+        line: LineAddr,
+        /// Number of targets released.
+        targets: u16,
+    },
+    /// A DRAM column access was issued.
+    DramAccess {
+        /// Bank index within the channel.
+        bank: u16,
+        /// Row address.
+        row: u64,
+        /// Row-buffer outcome.
+        outcome: DramRowOutcome,
+        /// Whether the access was a write.
+        write: bool,
+    },
+}
+
+/// One recorded event: sequence number and sink-local timestamp (the
+/// simulated cycle when the owner keeps [`TraceRing::set_time`] updated;
+/// the event ordinal otherwise) plus source and payload.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Monotonic per-sink sequence number.
+    pub seq: u64,
+    /// Timestamp (see type docs).
+    pub time: u64,
+    /// Emitting component.
+    pub src: TraceSource,
+    /// Payload.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// The line address this event concerns, if it has one.
+    pub fn line(&self) -> Option<LineAddr> {
+        match self.kind {
+            TraceKind::Access { line, .. }
+            | TraceKind::FillInsert { line, .. }
+            | TraceKind::FillBypass { line, .. }
+            | TraceKind::MshrAlloc { line, .. }
+            | TraceKind::MshrRelease { line, .. } => Some(line),
+            _ => None,
+        }
+    }
+
+    /// The requesting core this event concerns, if it carries one.
+    pub fn core(&self) -> Option<CoreId> {
+        match self.kind {
+            TraceKind::Access { core, .. }
+            | TraceKind::FillInsert { core, .. }
+            | TraceKind::FillBypass { core, .. } => Some(core),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let src = self.src.to_string();
+        write!(f, "{:>6} @{:<8} {src:<7} ", self.seq, self.time)?;
+        match self.kind {
+            TraceKind::Access {
+                line,
+                kind,
+                core,
+                hit,
+                victim_hint,
+            } => {
+                let k = match kind {
+                    AccessKind::Read => "ld",
+                    AccessKind::Write => "st",
+                    AccessKind::Atomic => "at",
+                };
+                write!(
+                    f,
+                    "{k} {line} core {} -> {}{}",
+                    core.index(),
+                    if hit { "hit" } else { "miss" },
+                    if victim_hint { " (victim hint)" } else { "" }
+                )
+            }
+            TraceKind::FillInsert {
+                line,
+                core,
+                victim_hint,
+                set,
+                way,
+                depth,
+            } => write!(
+                f,
+                "fill {line} core {} -> set {set} way {way} depth {depth}{}",
+                core.index(),
+                if victim_hint { " (hinted hot)" } else { "" }
+            ),
+            TraceKind::FillBypass {
+                line,
+                core,
+                victim_hint,
+                set,
+            } => write!(
+                f,
+                "fill {line} core {} -> BYPASS (set {set}){}",
+                core.index(),
+                if victim_hint { " (hinted)" } else { "" }
+            ),
+            TraceKind::SwitchFlip { set, open } => {
+                write!(
+                    f,
+                    "switch set {set} -> {}",
+                    if open { "OPEN" } else { "closed" }
+                )
+            }
+            TraceKind::EpochReset { open_switches } => {
+                write!(f, "epoch reset ({open_switches} switches open)")
+            }
+            TraceKind::MshrAlloc {
+                line,
+                merged,
+                occupancy,
+            } => write!(
+                f,
+                "mshr {} {line} (occupancy {occupancy})",
+                if merged { "merge" } else { "alloc" }
+            ),
+            TraceKind::MshrRelease { line, targets } => {
+                write!(f, "mshr release {line} ({targets} targets)")
+            }
+            TraceKind::DramAccess {
+                bank,
+                row,
+                outcome,
+                write,
+            } => write!(
+                f,
+                "dram {} bank {bank} row {row} -> {}",
+                if write { "wr" } else { "rd" },
+                match outcome {
+                    DramRowOutcome::Hit => "row hit",
+                    DramRowOutcome::Open => "row open",
+                    DramRowOutcome::Conflict => "row conflict",
+                }
+            ),
+        }
+    }
+}
+
+/// A consumer of trace events.
+///
+/// Components call [`TraceSink::record`] at each decision point; the sink
+/// stamps sequence numbers and timestamps. Implementations must be cheap —
+/// they run on cache hot paths whenever tracing is attached.
+pub trait TraceSink: fmt::Debug + Send {
+    /// Records one event.
+    fn record(&mut self, src: TraceSource, kind: TraceKind);
+}
+
+/// A bounded ring of trace events: fixed capacity allocated up front, old
+/// events overwritten once full (the `dropped` counter keeps the total).
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index of the oldest event when the ring has wrapped.
+    head: usize,
+    seq: u64,
+    time: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            seq: 0,
+            time: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the timestamp stamped onto subsequently recorded events
+    /// (typically the simulated cycle).
+    pub fn set_time(&mut self, time: u64) {
+        self.time = time;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events have been recorded (or all were cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded.
+    pub const fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Discards all held events (capacity is retained).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl TraceSink for TraceRing {
+    fn record(&mut self, src: TraceSource, kind: TraceKind) {
+        let ev = TraceEvent {
+            seq: self.seq,
+            time: self.time,
+            src,
+            kind,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// A cloneable handle to one shared [`TraceRing`]: clone it into every
+/// component that should feed the ring, keep one clone to read the events
+/// back out.
+#[derive(Clone, Debug)]
+pub struct SharedTraceRing(Arc<Mutex<TraceRing>>);
+
+impl SharedTraceRing {
+    /// Creates a shared ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        SharedTraceRing(Arc::new(Mutex::new(TraceRing::new(capacity))))
+    }
+
+    /// Sets the timestamp stamped onto subsequent events from any clone.
+    pub fn set_time(&self, time: u64) {
+        self.0.lock().unwrap().set_time(time);
+    }
+
+    /// Snapshot of the held events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.lock().unwrap().events()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().unwrap().dropped()
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.0.lock().unwrap().recorded()
+    }
+
+    /// Discards all held events.
+    pub fn clear(&self) {
+        self.0.lock().unwrap().clear();
+    }
+
+    /// A boxed sink clone, ready to hand to a component's `set_trace`.
+    pub fn sink(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+}
+
+impl TraceSink for SharedTraceRing {
+    fn record(&mut self, src: TraceSource, kind: TraceKind) {
+        self.0.lock().unwrap().record(src, kind);
+    }
+}
+
+/// A conjunctive event filter for [`dump_filtered`]: every populated field
+/// must match; fields an event does not carry (e.g. the line of a
+/// [`TraceKind::SwitchFlip`]) fail the corresponding constraint.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TraceFilter {
+    /// Restrict to one hierarchy level.
+    pub level: Option<TraceLevel>,
+    /// Restrict to one instance index.
+    pub index: Option<u16>,
+    /// Restrict to events about one line.
+    pub line: Option<LineAddr>,
+    /// Restrict to events about one requesting core.
+    pub core: Option<CoreId>,
+}
+
+impl TraceFilter {
+    /// A filter matching every event.
+    pub fn all() -> Self {
+        TraceFilter::default()
+    }
+
+    /// Restricts to events about `line`.
+    pub fn line(line: LineAddr) -> Self {
+        TraceFilter {
+            line: Some(line),
+            ..TraceFilter::default()
+        }
+    }
+
+    /// Whether `ev` passes the filter.
+    pub fn matches(&self, ev: &TraceEvent) -> bool {
+        if let Some(level) = self.level {
+            if ev.src.level != level {
+                return false;
+            }
+        }
+        if let Some(index) = self.index {
+            if ev.src.index != index {
+                return false;
+            }
+        }
+        if let Some(line) = self.line {
+            if ev.line() != Some(line) {
+                return false;
+            }
+        }
+        if let Some(core) = self.core {
+            if ev.core() != Some(core) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Renders the events passing `filter` as text, one per line (the
+/// filtering text dumper).
+pub fn dump_filtered(events: &[TraceEvent], filter: &TraceFilter) -> String {
+    let mut out = String::new();
+    for ev in events.iter().filter(|ev| filter.matches(ev)) {
+        out.push_str(&ev.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: TraceSource = TraceSource::new(TraceLevel::L1, 3);
+
+    fn access(line: u64, hit: bool) -> TraceKind {
+        TraceKind::Access {
+            line: LineAddr::new(line),
+            kind: AccessKind::Read,
+            core: CoreId(0),
+            hit,
+            victim_hint: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_insertion_order() {
+        let mut ring = TraceRing::new(8);
+        for i in 0..5 {
+            ring.set_time(i * 10);
+            ring.record(SRC, access(i, false));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[4].seq, 4);
+        assert_eq!(evs[4].time, 40);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.record(SRC, access(i, false));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 2, "oldest surviving event");
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.recorded(), 5);
+    }
+
+    #[test]
+    fn shared_ring_clones_feed_one_buffer() {
+        let ring = SharedTraceRing::new(16);
+        let mut a = ring.clone();
+        let mut b = ring.clone();
+        a.record(SRC, access(1, false));
+        b.record(TraceSource::new(TraceLevel::L2, 0), access(1, true));
+        let evs = ring.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].src.level, TraceLevel::L1);
+        assert_eq!(evs[1].src.level, TraceLevel::L2);
+        assert_eq!(evs[1].seq, 1);
+    }
+
+    #[test]
+    fn filter_selects_by_line_and_level() {
+        let mut ring = TraceRing::new(16);
+        ring.record(SRC, access(1, false));
+        ring.record(SRC, access(2, false));
+        ring.record(SRC, TraceKind::SwitchFlip { set: 0, open: true });
+        let evs = ring.events();
+
+        let by_line = dump_filtered(&evs, &TraceFilter::line(LineAddr::new(2)));
+        assert_eq!(by_line.lines().count(), 1);
+        assert!(by_line.contains("miss"));
+
+        // A line filter excludes events that carry no line at all.
+        assert!(!dump_filtered(&evs, &TraceFilter::line(LineAddr::new(2))).contains("switch"));
+
+        let by_level = dump_filtered(
+            &evs,
+            &TraceFilter {
+                level: Some(TraceLevel::L2),
+                ..TraceFilter::default()
+            },
+        );
+        assert!(by_level.is_empty());
+    }
+
+    #[test]
+    fn display_is_stable_and_readable() {
+        let ev = TraceEvent {
+            seq: 7,
+            time: 123,
+            src: SRC,
+            kind: TraceKind::FillBypass {
+                line: LineAddr::new(0x40),
+                core: CoreId(2),
+                victim_hint: true,
+                set: 5,
+            },
+        };
+        let s = ev.to_string();
+        assert!(s.contains("L1#3"));
+        assert!(s.contains("BYPASS"));
+        assert!(s.contains("(hinted)"));
+    }
+}

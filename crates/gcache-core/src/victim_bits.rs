@@ -97,6 +97,30 @@ impl CoreGrouping {
     }
 }
 
+/// Running counters over a [`VictimBits`] tracker's activity, for
+/// time-series telemetry (set/hit/clear rates across a kernel).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct VictimBitStats {
+    /// Observations that newly set a bit (first request from a group since
+    /// the line was filled).
+    pub sets: u64,
+    /// Observations that found the bit already set — each one is a
+    /// contention signal (a victim hint sent back to an L1).
+    pub hits: u64,
+    /// Line clears that actually dropped at least one set bit (fills and
+    /// evictions of untouched lines are not counted).
+    pub clears: u64,
+}
+
+impl VictimBitStats {
+    /// Accumulates another tracker's counters.
+    pub fn merge(&mut self, other: &VictimBitStats) {
+        self.sets += other.sets;
+        self.hits += other.hits;
+        self.clears += other.clears;
+    }
+}
+
 /// Per-line victim-bit storage for one L2 bank.
 ///
 /// # Examples
@@ -125,6 +149,7 @@ pub struct VictimBits {
     /// One bitmask per line; bit g = group g has requested the line since
     /// it was filled.
     bits: Vec<u64>,
+    stats: VictimBitStats,
 }
 
 impl VictimBits {
@@ -147,6 +172,7 @@ impl VictimBits {
             ways: geom.ways() as usize,
             grouping,
             bits: vec![0; geom.lines() as usize],
+            stats: VictimBitStats::default(),
         }
     }
 
@@ -176,6 +202,11 @@ impl VictimBits {
         let i = self.idx(set, way);
         let old = self.bits[i] & mask != 0;
         self.bits[i] |= mask;
+        if old {
+            self.stats.hits += 1;
+        } else {
+            self.stats.sets += 1;
+        }
         old
     }
 
@@ -188,7 +219,15 @@ impl VictimBits {
     /// from, or newly filled into, the L2.
     pub fn clear(&mut self, set: usize, way: usize) {
         let i = self.idx(set, way);
+        if self.bits[i] != 0 {
+            self.stats.clears += 1;
+        }
         self.bits[i] = 0;
+    }
+
+    /// Running set/hit/clear counters (telemetry).
+    pub const fn stats(&self) -> &VictimBitStats {
+        &self.stats
     }
 
     /// Total storage cost of this tracker in bits (one `L_v`-bit mask per
@@ -305,6 +344,24 @@ mod tests {
         let whole_l2 = CacheGeometry::with_sets(512, 16, 128).unwrap();
         let vb = VictimBits::new(&whole_l2, 16, 16);
         assert_eq!(vb.storage_bits() / 8, 1024);
+    }
+
+    #[test]
+    fn stats_count_sets_hits_and_clears() {
+        let mut vb = VictimBits::new(&geom(), 16, 1);
+        vb.observe(0, 0, CoreId(0)); // set
+        vb.observe(0, 0, CoreId(0)); // hit
+        vb.observe(0, 0, CoreId(1)); // set
+        vb.clear(0, 0); // counted: bits were set
+        vb.clear(0, 1); // not counted: nothing to drop
+        let s = *vb.stats();
+        assert_eq!(s.sets, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.clears, 1);
+        let mut merged = VictimBitStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.sets, 4);
     }
 
     #[test]

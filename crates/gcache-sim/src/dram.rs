@@ -8,6 +8,7 @@
 
 use crate::config::DramTiming;
 use gcache_core::addr::LineAddr;
+use gcache_core::trace::{DramRowOutcome, TraceKind, TraceSink, TraceSource};
 use std::fmt;
 
 /// Error returned by [`Dram::enqueue`] when the controller queue is full.
@@ -132,6 +133,9 @@ pub struct Dram<T> {
     /// Cached scan wake-up cycle; 0 forces a scan (reset on enqueue).
     wake: u64,
     stats: DramStats,
+    /// Optional structured-event sink; when absent (the default) the
+    /// scheduler's only extra work is this discriminant test.
+    trace: Option<(TraceSource, Box<dyn TraceSink>)>,
 }
 
 impl<T> Dram<T> {
@@ -170,7 +174,20 @@ impl<T> Dram<T> {
             event_gated: false,
             wake: 0,
             stats: DramStats::default(),
+            trace: None,
         }
+    }
+
+    /// Attaches a structured-event sink; every scheduled DRAM command
+    /// emits a [`TraceKind::DramAccess`] with its row-buffer outcome.
+    pub fn set_trace(&mut self, src: TraceSource, sink: Box<dyn TraceSink>) {
+        self.trace = Some((src, sink));
+    }
+
+    /// Detaches the event sink, returning the scheduler to its zero-cost
+    /// untraced mode.
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     /// Enables or disables the internal scan elision (see `event_gated`).
@@ -379,22 +396,36 @@ impl<T> Dram<T> {
 
         let p = self.queue.remove(idx);
         let bank = &mut self.banks[bank_id];
-        if row_hit {
+        let outcome = if row_hit {
             self.stats.row_hits += 1;
+            DramRowOutcome::Hit
         } else if bank.open_row.is_some() {
             self.stats.row_conflicts += 1;
             bank.activated_at = now + t.t_rp as u64;
             self.last_activate_any = bank.activated_at;
+            DramRowOutcome::Conflict
         } else {
             self.stats.row_opens += 1;
             bank.activated_at = now;
             self.last_activate_any = now;
-        }
+            DramRowOutcome::Open
+        };
         bank.open_row = Some(row);
         bank.ready_at = cas_at + 1;
         self.bus_busy_until = data_at + t.t_burst as u64;
         let done_at = data_at + t.t_burst as u64;
         self.stats.total_latency += done_at.saturating_sub(p.arrived);
+        if let Some((src, sink)) = &mut self.trace {
+            sink.record(
+                *src,
+                TraceKind::DramAccess {
+                    bank: bank_id as u16,
+                    row,
+                    outcome,
+                    write: p.write,
+                },
+            );
+        }
         self.completions.push(Completion {
             token: p.token,
             ready_at: done_at,

@@ -8,8 +8,11 @@ use crate::config::GpuConfig;
 use crate::isa::Kernel;
 use crate::stats::SimStats;
 use crate::system::{ClusterComplex, CoreComplex, Interconnect, MemorySystem};
+use crate::telemetry::{Profile, Sampler, TelemetrySnapshot};
 use gcache_core::stats::CacheStats;
+use gcache_core::trace::SharedTraceRing;
 use std::fmt;
+use std::time::Instant;
 
 pub use crate::config::make_l1_policy;
 
@@ -87,6 +90,15 @@ pub struct Gpu {
     clusters: ClusterComplex,
     mem: MemorySystem,
     cycle: u64,
+    /// Optional time-series sampler; when absent (the default) the cycle
+    /// loop's only extra work is one discriminant test.
+    sampler: Option<Sampler>,
+    /// Optional wall-clock self-profile; when absent the pipeline pass
+    /// takes its untimed branch.
+    profile: Option<Profile>,
+    /// Clock handle of the attached event-trace ring, if any; ticked so
+    /// recorded events carry the simulated cycle.
+    trace: Option<SharedTraceRing>,
 }
 
 impl Gpu {
@@ -109,7 +121,64 @@ impl Gpu {
             clusters,
             mem,
             cycle: 0,
+            sampler: None,
+            profile: None,
+            trace: None,
         }
+    }
+
+    /// Attaches a time-series [`Sampler`]; subsequent kernels record one
+    /// telemetry row per sampling interval. Sampling is passive — it reads
+    /// counters the simulation updates anyway — so the simulated outcome
+    /// is bit-identical with and without a sampler.
+    pub fn attach_sampler(&mut self, sampler: Sampler) {
+        self.sampler = Some(sampler);
+    }
+
+    /// Detaches and returns the sampler (for export after a run).
+    pub fn take_sampler(&mut self) -> Option<Sampler> {
+        self.sampler.take()
+    }
+
+    /// The attached sampler, if any.
+    pub const fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Turns on wall-clock self-profiling of the cycle pipeline; see
+    /// [`Gpu::profile`]. Profiling times the host, never the simulated
+    /// machine, so it cannot change simulation results.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Profile::default());
+    }
+
+    /// The self-profile accumulated so far (`None` unless
+    /// [`Gpu::enable_profiling`] was called), with the wake-cache skip
+    /// counters gathered from the component arrays.
+    pub fn profile(&self) -> Option<Profile> {
+        self.profile.map(|mut p| {
+            p.wake_skips =
+                self.cores.wake_skips() + self.mem.wake_skips() + self.clusters.wake_skips();
+            p
+        })
+    }
+
+    /// Attaches a shared structured-event trace ring to every traceable
+    /// component: each L1 (cache + MSHR), each cluster L1.5, each L2 bank
+    /// (cache + MSHR) and each DRAM channel. The GPU keeps a clock handle
+    /// so recorded events carry the simulated cycle. See
+    /// [`gcache_core::trace`] for the event taxonomy.
+    pub fn attach_trace(&mut self, ring: &SharedTraceRing) {
+        for c in self.cores.cores_mut() {
+            c.l1_mut().set_trace(ring);
+        }
+        for (i, cl) in self.clusters.clusters_mut().iter_mut().enumerate() {
+            cl.set_trace(i, ring);
+        }
+        for p in self.mem.partitions_mut() {
+            p.set_trace(ring);
+        }
+        self.trace = Some(ring.clone());
     }
 
     /// The active configuration.
@@ -144,6 +213,14 @@ impl Gpu {
             self.cycle,
             self.progress_signature(),
         );
+        if self.sampler.is_some() {
+            // Baseline snapshot; a no-op on back-to-back kernels, keeping
+            // one continuous series per attachment.
+            let snap = self.telemetry_snapshot();
+            if let Some(s) = &mut self.sampler {
+                s.seed(snap);
+            }
+        }
 
         loop {
             if self.cores.fully_dispatched() && self.all_idle() {
@@ -168,9 +245,14 @@ impl Gpu {
                 if ev != Some(prev + 1) {
                     ev = min_event(ev, self.mem.next_event(prev, &self.icnt));
                 }
-                let cap = watchdog
+                let mut cap = watchdog
                     .next_sample(prev)
                     .min(start_cycle + self.cfg.max_cycles + 1);
+                if let Some(s) = &self.sampler {
+                    // Land exactly on the sampling grid; undershooting a
+                    // jump is always safe (the extra ticks are no-ops).
+                    cap = cap.min(s.due());
+                }
                 let target = ev.unwrap_or(cap).min(cap).max(prev + 1);
                 let gap = target - prev - 1;
                 if gap > 0 {
@@ -178,6 +260,13 @@ impl Gpu {
                     // a pure no-op across the gap.
                     self.cores.skip(prev, gap, &self.icnt);
                     self.cycle = target - 1;
+                }
+                if let Some(p) = &mut self.profile {
+                    p.bounds_computed += 1;
+                    if gap > 0 {
+                        p.ff_jumps += 1;
+                        p.cycles_skipped += gap;
+                    }
                 }
             }
 
@@ -189,17 +278,52 @@ impl Gpu {
                 });
             }
 
+            if let Some(r) = &self.trace {
+                r.set_time(now);
+            }
+
             // One pipeline pass: cores (drain responses, issue, inject
             // requests) → both meshes → cluster caches (when clustered) →
             // memory (drain requests, tick, inject responses) → CTA
-            // dispatch.
-            self.cores.tick_with(now, &mut self.icnt);
-            self.icnt.tick(now);
-            if !self.clusters.is_empty() {
-                self.clusters.tick_with(now, &mut self.icnt);
+            // dispatch. The profiled branch is the same pass with a
+            // wall-clock stamp between stages.
+            if let Some(mut p) = self.profile.take() {
+                let t0 = Instant::now();
+                self.cores.tick_with(now, &mut self.icnt);
+                let t1 = Instant::now();
+                self.icnt.tick(now);
+                let t2 = Instant::now();
+                if !self.clusters.is_empty() {
+                    self.clusters.tick_with(now, &mut self.icnt);
+                }
+                let t3 = Instant::now();
+                self.mem.tick_with(now, &mut self.icnt);
+                let t4 = Instant::now();
+                self.cores.dispatch(kernel);
+                let t5 = Instant::now();
+                p.core_ns += (t1 - t0).as_nanos() as u64;
+                p.icnt_ns += (t2 - t1).as_nanos() as u64;
+                p.cluster_ns += (t3 - t2).as_nanos() as u64;
+                p.mem_ns += (t4 - t3).as_nanos() as u64;
+                p.dispatch_ns += (t5 - t4).as_nanos() as u64;
+                p.ticked_cycles += 1;
+                self.profile = Some(p);
+            } else {
+                self.cores.tick_with(now, &mut self.icnt);
+                self.icnt.tick(now);
+                if !self.clusters.is_empty() {
+                    self.clusters.tick_with(now, &mut self.icnt);
+                }
+                self.mem.tick_with(now, &mut self.icnt);
+                self.cores.dispatch(kernel);
             }
-            self.mem.tick_with(now, &mut self.icnt);
-            self.cores.dispatch(kernel);
+
+            if self.sampler.as_ref().is_some_and(|s| now >= s.due()) {
+                let snap = self.telemetry_snapshot();
+                if let Some(s) = &mut self.sampler {
+                    s.record(snap);
+                }
+            }
 
             let (cores, icnt, mem) = (&self.cores, &self.icnt, &self.mem);
             if watchdog.observe(now, || Self::signature_of(cores, icnt, mem)) {
@@ -210,7 +334,60 @@ impl Gpu {
             }
         }
 
+        if self.sampler.is_some() {
+            // Close the series with a final (possibly short) interval so
+            // even sub-interval kernels produce at least one row.
+            let snap = self.telemetry_snapshot();
+            if let Some(s) = &mut self.sampler {
+                s.record_final(snap);
+            }
+        }
+
         Ok(self.collect_stats(kernel.name(), self.cycle - start_cycle))
+    }
+
+    /// Gathers the cumulative counters the sampler differences. Read-only:
+    /// no cache is flushed and no statistic is perturbed.
+    fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot {
+            cycle: self.cycle,
+            instructions: self.cores.instructions(),
+            ..TelemetrySnapshot::default()
+        };
+        for c in self.cores.cores() {
+            let l1 = c.l1();
+            let st = l1.stats();
+            s.l1_accesses += st.accesses();
+            s.l1_misses += st.misses();
+            s.l1_fills += st.fills;
+            s.l1_bypassed += st.bypassed_fills;
+            if let Some((open, sets)) = l1.cache().policy().switch_summary() {
+                s.switch_open += open as u64;
+                s.switch_sets += sets as u64;
+            }
+            s.mshr_peak = s.mshr_peak.max(l1.mshr_peak() as u64);
+        }
+        for cl in self.clusters.clusters() {
+            let st = cl.stats();
+            s.l15_accesses += st.accesses();
+            s.l15_misses += st.misses();
+        }
+        for p in self.mem.partitions() {
+            let st = p.l2_stats();
+            s.l2_accesses += st.accesses();
+            s.l2_misses += st.misses();
+            if let Some(vs) = p.l2().victim_stats() {
+                s.victim_sets += vs.sets;
+                s.victim_hits += vs.hits;
+                s.victim_clears += vs.clears;
+            }
+            let d = p.dram_stats();
+            s.dram_row_hits += d.row_hits;
+            s.dram_row_total += d.row_hits + d.row_opens + d.row_conflicts;
+        }
+        s.noc_in_flight = self.icnt.in_flight() as u64;
+        s.noc_queue_depth = self.icnt.max_queue_depth() as u64;
+        s
     }
 
     fn all_idle(&self) -> bool {

@@ -217,6 +217,18 @@ impl<T> Mesh<T> {
         self.in_network == 0 && self.pending == 0
     }
 
+    /// Gauge: packets currently anywhere in the mesh — queued between hops
+    /// plus delivered-but-not-ejected (for the telemetry sampler).
+    pub const fn in_flight(&self) -> usize {
+        self.in_network + self.pending
+    }
+
+    /// Gauge: the deepest local (injection) queue across all routers right
+    /// now — a congestion point reading for the telemetry sampler.
+    pub fn max_local_queue(&self) -> u32 {
+        self.local_len.iter().copied().max().unwrap_or(0)
+    }
+
     fn coords(&self, node: usize) -> (usize, usize) {
         (node % self.width, node / self.width)
     }

@@ -14,6 +14,7 @@ use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
 use gcache_core::policy::{AccessKind, PolicyKind};
 use gcache_core::stats::CacheStats;
+use gcache_core::trace::{SharedTraceRing, TraceLevel, TraceSource};
 
 /// What the core must do after presenting an access to the L1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -97,6 +98,19 @@ impl L1Controller {
     /// Accesses blocked on MSHR resources (replayed later).
     pub const fn replays(&self) -> u64 {
         self.ctrl.blocked()
+    }
+
+    /// Highest MSHR occupancy seen so far (telemetry gauge).
+    pub fn mshr_peak(&self) -> usize {
+        self.ctrl.mshr().peak_occupancy()
+    }
+
+    /// Attaches a shared event-trace ring to this L1 (cache fill/epoch
+    /// events plus MSHR allocate/release events), tagged `L1#<core>`.
+    pub fn set_trace(&mut self, ring: &SharedTraceRing) {
+        let src = TraceSource::new(TraceLevel::L1, self.core.0 as u16);
+        self.ctrl.set_trace(src, ring.sink());
+        self.ctrl.cache_mut().set_trace(src, ring.sink());
     }
 
     /// Whether presenting (`line`, `kind`) right now would return

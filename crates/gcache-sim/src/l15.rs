@@ -31,6 +31,7 @@ use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome
 use gcache_core::policy::lru::Lru;
 use gcache_core::policy::AccessKind;
 use gcache_core::stats::CacheStats;
+use gcache_core::trace::{SharedTraceRing, TraceLevel, TraceSource};
 use std::collections::VecDeque;
 
 /// A merged requester waiting on one L1.5 miss.
@@ -99,6 +100,24 @@ impl L15Cluster {
     /// Direct access to the cache (kernel-end flush, tests).
     pub fn cache_mut(&mut self) -> &mut Cache {
         self.ctrl.cache_mut()
+    }
+
+    /// Read access to the cache (telemetry inspection).
+    pub fn cache(&self) -> &Cache {
+        self.ctrl.cache()
+    }
+
+    /// Highest MSHR occupancy seen so far (telemetry gauge).
+    pub fn mshr_peak(&self) -> usize {
+        self.ctrl.mshr().peak_occupancy()
+    }
+
+    /// Attaches a shared event-trace ring to this cluster cache (fill
+    /// events plus MSHR allocate/release events), tagged `L1.5#<cluster>`.
+    pub fn set_trace(&mut self, cluster: usize, ring: &SharedTraceRing) {
+        let src = TraceSource::new(TraceLevel::L15, cluster as u16);
+        self.ctrl.set_trace(src, ring.sink());
+        self.ctrl.cache_mut().set_trace(src, ring.sink());
     }
 
     /// Whether everything has drained: no queued traffic in either

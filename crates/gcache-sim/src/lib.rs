@@ -68,6 +68,7 @@ pub mod request;
 pub mod scheduler;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -79,4 +80,5 @@ pub mod prelude {
     pub use crate::port::{RxPort, TxPort};
     pub use crate::stats::{geomean, SimStats};
     pub use crate::system::{ClusterComplex, CoreComplex, Interconnect, MemorySystem, Topology};
+    pub use crate::telemetry::{Profile, Sample, Sampler, TelemetrySnapshot};
 }

@@ -140,6 +140,30 @@ impl Partition {
         self.l2.cache_mut()
     }
 
+    /// Read access to the L2 (telemetry: victim-bit counters).
+    pub fn l2(&self) -> &Cache {
+        self.l2.cache()
+    }
+
+    /// Highest L2 MSHR occupancy seen so far (telemetry gauge).
+    pub fn l2_mshr_peak(&self) -> usize {
+        self.l2.mshr().peak_occupancy()
+    }
+
+    /// Attaches a shared event-trace ring to this partition: L2 fill and
+    /// MSHR events tagged `L2#<id>`, DRAM row-buffer events tagged
+    /// `DRAM#<id>`.
+    pub fn set_trace(&mut self, ring: &gcache_core::trace::SharedTraceRing) {
+        use gcache_core::trace::{TraceLevel, TraceSource};
+        let src = TraceSource::new(TraceLevel::L2, self.id.0 as u16);
+        self.l2.set_trace(src, ring.sink());
+        self.l2.cache_mut().set_trace(src, ring.sink());
+        self.dram.set_trace(
+            TraceSource::new(TraceLevel::Dram, self.id.0 as u16),
+            ring.sink(),
+        );
+    }
+
     /// Hands over a request ejected from the request network.
     pub fn push_request(&mut self, req: MemRequest) {
         self.incoming.push_back(req);

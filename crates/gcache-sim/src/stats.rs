@@ -171,7 +171,16 @@ impl fmt::Display for SimStats {
     }
 }
 
-/// Geometric mean of an iterator of positive ratios; 1.0 when empty.
+/// Geometric mean of an iterator of ratios.
+///
+/// Defined edge cases (the inputs are measured speedups, so they can
+/// legitimately degenerate):
+///
+/// * an **empty** iterator yields `1.0` — the mean over no benchmarks is
+///   the identity speedup, so aggregating an empty suite is neutral;
+/// * any **non-positive** value yields `0.0` — a zero or negative ratio
+///   has no real logarithm, and a benchmark that made no progress should
+///   drag the aggregate to the floor rather than poison it with `NaN`.
 ///
 /// # Examples
 ///
@@ -181,12 +190,15 @@ impl fmt::Display for SimStats {
 /// let g = geomean([2.0, 8.0]);
 /// assert!((g - 4.0).abs() < 1e-12);
 /// assert_eq!(geomean(std::iter::empty::<f64>()), 1.0);
+/// assert_eq!(geomean([2.0, 0.0, 8.0]), 0.0);
 /// ```
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
-        debug_assert!(v > 0.0, "geomean of non-positive value {v}");
+        if v <= 0.0 {
+            return 0.0;
+        }
         log_sum += v.ln();
         n += 1;
     }
@@ -226,6 +238,20 @@ mod tests {
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
         assert_eq!(stats(0, 0).ipc(), 0.0);
         assert_eq!(fast.speedup_over(&stats(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn geomean_edge_cases() {
+        assert_eq!(
+            geomean(std::iter::empty::<f64>()),
+            1.0,
+            "empty suite is the identity speedup"
+        );
+        assert_eq!(geomean([3.5]), 3.5, "singleton is itself");
+        assert_eq!(geomean([1.0, 0.0]), 0.0, "zero drags to the floor");
+        assert_eq!(geomean([-2.0, 4.0]), 0.0, "negative is clamped, not NaN");
+        let g = geomean([0.5, 2.0]);
+        assert!((g - 1.0).abs() < 1e-12, "reciprocal pair cancels");
     }
 
     #[test]

@@ -144,6 +144,17 @@ impl Interconnect {
         self.resp.stats()
     }
 
+    /// Gauge: packets currently inside either mesh (telemetry).
+    pub const fn in_flight(&self) -> usize {
+        self.req.in_flight() + self.resp.in_flight()
+    }
+
+    /// Gauge: the deepest per-router injection queue across both meshes
+    /// right now (telemetry congestion reading).
+    pub fn max_queue_depth(&self) -> u32 {
+        self.req.max_local_queue().max(self.resp.max_local_queue())
+    }
+
     /// The port pair a core sees: responses in, requests out. On a
     /// clustered topology the request view routes to the core's cluster
     /// node instead of straight to the owning partition — the wiring
@@ -462,6 +473,8 @@ pub struct CoreComplex {
     /// `ctas_completed` sum at the last dispatch scan: CTA capacity can
     /// only grow when this advances, so the scan is elided otherwise.
     last_ctas_completed: u64,
+    /// Core ticks elided by the wake cache (self-profiling counter).
+    wake_skips: u64,
 }
 
 impl CoreComplex {
@@ -487,6 +500,7 @@ impl CoreComplex {
             wake_on_inject: vec![false; cfg.cores],
             has_head: vec![false; cfg.cores],
             last_ctas_completed: u64::MAX,
+            wake_skips: 0,
         }
     }
 
@@ -549,6 +563,11 @@ impl CoreComplex {
     pub fn instructions(&self) -> u64 {
         self.cores.iter().map(|c| c.stats().instructions).sum()
     }
+
+    /// Core ticks elided by the per-core wake cache (self-profiling).
+    pub const fn wake_skips(&self) -> u64 {
+        self.wake_skips
+    }
 }
 
 impl ClockedWith<Interconnect> for CoreComplex {
@@ -568,12 +587,14 @@ impl ClockedWith<Interconnect> for CoreComplex {
                     // No LD/ST head: skipped-cycle accounting never reads
                     // `can_inject`.
                     core.skip(now - 1, 1, false);
+                    self.wake_skips += 1;
                     continue;
                 }
                 let can_inject = icnt.can_inject_core(i);
                 if !(can_inject && self.wake_on_inject[i]) {
                     // Provably event-free core cycle: replay accounting.
                     core.skip(now - 1, 1, can_inject);
+                    self.wake_skips += 1;
                     continue;
                 }
             }
@@ -648,6 +669,8 @@ pub struct MemorySystem {
     /// no-op, so unlike cores there is no accounting to replay.
     ff: bool,
     wake: Vec<u64>,
+    /// Partition ticks elided by the wake cache (self-profiling counter).
+    wake_skips: u64,
 }
 
 impl MemorySystem {
@@ -659,7 +682,14 @@ impl MemorySystem {
                 .collect(),
             ff: cfg.fast_forward,
             wake: vec![0; cfg.partitions],
+            wake_skips: 0,
         }
+    }
+
+    /// Partition ticks elided by the per-partition wake cache
+    /// (self-profiling).
+    pub const fn wake_skips(&self) -> u64 {
+        self.wake_skips
     }
 
     /// The partition array.
@@ -690,6 +720,7 @@ impl ClockedWith<Interconnect> for MemorySystem {
             if self.ff && now < self.wake[p] && !icnt.req_pending_part(p) {
                 // No queued input and no internal event due: the whole
                 // partition cycle is a no-op.
+                self.wake_skips += 1;
                 continue;
             }
             let (mut rx, mut tx) = icnt.partition_ports(p);
@@ -748,6 +779,8 @@ pub struct ClusterComplex {
     /// waiting at its node is skipped outright.
     ff: bool,
     wake: Vec<u64>,
+    /// Cluster ticks elided by the wake cache (self-profiling counter).
+    wake_skips: u64,
 }
 
 impl ClusterComplex {
@@ -758,7 +791,13 @@ impl ClusterComplex {
             clusters: (0..n).map(|_| L15Cluster::new(cfg)).collect(),
             ff: cfg.fast_forward,
             wake: vec![0; n],
+            wake_skips: 0,
         }
+    }
+
+    /// Cluster ticks elided by the per-cluster wake cache (self-profiling).
+    pub const fn wake_skips(&self) -> u64 {
+        self.wake_skips
     }
 
     /// Whether the machine is flat (no cluster caches to tick).
@@ -790,6 +829,7 @@ impl ClockedWith<Interconnect> for ClusterComplex {
             {
                 // No queued input on either mesh and no internal event
                 // due: the whole cluster cycle is a no-op.
+                self.wake_skips += 1;
                 continue;
             }
             let (mut req_io, mut resp_io) = icnt.cluster_io(c);

@@ -1,7 +1,8 @@
 //! Anatomy of the G-Cache mechanism, at cache level (no GPU simulation):
 //! replays the paper's Figure 7 access walk against a real `Cache` pair —
-//! a 2-way G-Cache L1 backed by an L2 with victim bits — and narrates
-//! every decision.
+//! a 2-way G-Cache L1 backed by an L2 with victim bits — narrates every
+//! decision, and then replays the same walk from the structured trace
+//! ring, filtered down to one streaming line's contention anatomy.
 //!
 //! ```text
 //! cargo run --example contention_anatomy
@@ -19,6 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l2_geom = CacheGeometry::new(16 * 1024, 16, 128)?;
     let mut l2 = Cache::with_victim_bits(CacheConfig::l2(l2_geom, 0), Lru::new(&l2_geom), 2, 1);
 
+    // One shared trace ring records what both caches did, event by event.
+    let ring = SharedTraceRing::new(256);
+    l1.set_trace(TraceSource::new(TraceLevel::L1, 0), ring.sink());
+    l2.set_trace(TraceSource::new(TraceLevel::L2, 0), ring.sink());
+
     let core = CoreId(0);
     let a1 = LineAddr::new(0); // hot
     let a2 = LineAddr::new(2); // hot (same L1 set: 2 sets in this tiny L1)
@@ -30,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Figure 7 walk on a 2-way G-Cache set (TH_hot=2):\n");
     for (i, line) in walk.iter().copied().enumerate() {
+        ring.set_time(i as u64 + 1); // "cycle" = walk step, for the replay
         let l1_lookup = l1.access(line, AccessKind::Read, core);
         let outcome = match l1_lookup {
             Lookup::Hit { .. } => "L1 hit".to_string(),
@@ -70,5 +77,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.bypassed_fills
     );
     println!("The hot lines survive; the b-stream is kept out of the set.");
+
+    // The same story, replayed from the trace ring. First the G-Cache
+    // switch decisions (the per-set state machine the narration above can
+    // only infer), then one streaming line's full anatomy across levels.
+    let events = ring.events();
+    println!(
+        "\nSwitch flips recorded by the trace ring ({} events total):\n",
+        ring.recorded()
+    );
+    let switches = dump_filtered(
+        &events,
+        &TraceFilter {
+            level: Some(TraceLevel::L1),
+            ..TraceFilter::default()
+        },
+    );
+    for line in switches.lines().filter(|l| l.contains("switch")) {
+        println!("  {line}");
+    }
+
+    let probe = b(2); // the first bypassed streaming line
+    println!("\nAnatomy of streaming line {probe} (all levels, filtered):\n");
+    print!(
+        "{}",
+        dump_filtered(&events, &TraceFilter::line(probe))
+            .lines()
+            .map(|l| format!("  {l}\n"))
+            .collect::<String>()
+    );
     Ok(())
 }

@@ -22,7 +22,7 @@ echo "==> golden-output equivalence (release binaries vs tests/golden)"
 # The same byte-compare the gcache-bench integration test performs in the
 # debug profile, repeated here against the release binaries: optimization
 # level must never change a simulated number.
-for exp in fig8_fig9 table3 fig10 ablation; do
+for exp in fig8_fig9 table3 fig10 ablation fig3_fig4; do
   diff "crates/gcache-bench/tests/golden/${exp}_quick.txt" \
        <(./target/release/"$exp" --quick --bench BFS,CFD,STL 2>/dev/null) \
     || { echo "golden mismatch: $exp"; exit 1; }
@@ -34,5 +34,18 @@ echo "==> fast-forward differential (release, --no-fast-forward vs golden)"
 diff crates/gcache-bench/tests/golden/fig8_fig9_quick.txt \
      <(./target/release/fig8_fig9 --quick --bench BFS,CFD,STL --no-fast-forward 2>/dev/null) \
   || { echo "fast-forward divergence: fig8_fig9"; exit 1; }
+
+echo "==> telemetry smoke (per-epoch switch-on fraction, GC design)"
+# BFS is contention-heavy: its G-Cache switches must open in some interval.
+# STL is pure streaming with no reuse to protect: its switches stay shut.
+tele_csv=$(mktemp)
+./target/release/fig8_fig9 --quick --bench BFS,STL --telemetry "$tele_csv" >/dev/null 2>&1
+awk -F, 'NR > 1 { if ($11 > m[$1] + 0) m[$1] = $11 }
+  END {
+    if (m["BFS"] + 0 <= 0) { print "telemetry: BFS switch_on_frac never nonzero"; exit 1 }
+    if (m["STL"] + 0 > 0.01) { print "telemetry: STL switch_on_frac " m["STL"] " (expected ~0)"; exit 1 }
+    printf "    BFS max switch_on_frac %.3f, STL %.3f\n", m["BFS"] + 0, m["STL"] + 0
+  }' "$tele_csv" || { rm -f "$tele_csv"; exit 1; }
+rm -f "$tele_csv"
 
 echo "==> all checks passed"
