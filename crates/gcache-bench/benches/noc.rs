@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the 2D-mesh NoC: cycle cost when idle vs
-//! saturated, and end-to-end drain of an all-to-all burst.
+//! saturated, end-to-end drain of an all-to-all burst, and a saturation
+//! sweep (uniform-random and hotspot traffic at rising injection rates)
+//! reporting accepted throughput and mean latency per point.
 
-use gcache_bench::microbench::{bench, black_box};
+use gcache_bench::microbench::{bench, black_box, mesh_saturation, TrafficPattern};
 use gcache_sim::icnt::Mesh;
 
 fn drain_all_to_all(width: usize, height: usize, per_node: usize) -> u64 {
@@ -39,4 +41,29 @@ fn main() {
     bench("noc/all_to_all_6x4_x8", || {
         black_box(drain_all_to_all(6, 4, 8));
     });
+
+    // Saturation sweep on the Table 2 request-network footprint (6x4):
+    // wall-clock per point via bench(), then the measured curve itself.
+    let patterns = [
+        (TrafficPattern::UniformRandom, "uniform"),
+        (TrafficPattern::Hotspot, "hotspot"),
+    ];
+    let rates = [0.05, 0.10, 0.20, 0.40];
+    for (pattern, pname) in patterns {
+        for rate in rates {
+            let name = format!("noc/saturation_{pname}_{rate:.2}");
+            bench(&name, || {
+                black_box(mesh_saturation(6, 4, pattern, rate, 2_000, 42));
+            });
+            let p = mesh_saturation(6, 4, pattern, rate, 2_000, 42);
+            println!(
+                "{:<40} offered {:.3} accepted {:.3} mean-lat {:>6.1} cyc ({} pkts)",
+                format!("  {pname} @ {rate:.2}/node/cyc"),
+                p.offered,
+                p.accepted,
+                p.mean_latency,
+                p.delivered
+            );
+        }
+    }
 }

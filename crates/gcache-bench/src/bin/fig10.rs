@@ -30,18 +30,21 @@ fn main() {
                 policy: L1PolicyKind::Lru,
                 l1_kb: Some(L1_KB),
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             })
             .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::StaticPdp { pd },
                 l1_kb: Some(L1_KB),
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             }))
             .chain(std::iter::once(DesignPoint {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::GCache(GCacheConfig::default()),
                 l1_kb: Some(L1_KB),
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             }))
         })
         .collect();

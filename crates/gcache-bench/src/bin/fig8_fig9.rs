@@ -29,6 +29,7 @@ fn main() {
                 policy: L1PolicyKind::StaticPdp { pd },
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             })
         })
         .collect();
@@ -55,6 +56,7 @@ fn main() {
                 policy,
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             })
         })
         .collect();

@@ -4,20 +4,28 @@
 //! machines with a shared L1.5 between the private L1s and the L2 — this
 //! tables the BS / BS-S / G-Cache IPC, the G-Cache speedup over flat BS,
 //! and the G-Cache L1 and L1.5 miss rates over the Figure 8 benchmark
-//! set. It turns ROADMAP's "multi-hierarchy sweeps" bullet into a running
+//! set, together with the G-Cache run's interconnect health (mean NoC
+//! packet latency, injection-fail rate, cluster-crossbar port occupancy).
+//! It turns ROADMAP's "multi-hierarchy sweeps" bullet into a running
 //! experiment: does a shared intermediate level still leave room for
 //! adaptive bypass, and how much L1 thrash does it absorb?
 //!
+//! Clustered shapes are additionally swept over the cluster-crossbar port
+//! count (default `1,2`): 1 port is the legacy single-injection-port mesh
+//! node, >= 2 models a core<->L1.5 crossbar with that many transfer
+//! ports, separating the L1.5 capacity effect from the injection
+//! serialization artifact.
+//!
 //! Run with `cargo run --release -p gcache-bench --bin hierarchy`.
-//! `--hierarchy flat,c4,c8:128` overrides the swept shapes, `--jobs N`
-//! fans the grid out over worker threads; stdout is byte-identical for
-//! every N.
+//! `--hierarchy flat,c4,c8:128` overrides the swept shapes,
+//! `--cluster-ports 1,2,4` the swept port counts, `--jobs N` fans the
+//! grid out over worker threads; stdout is byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{export_telemetry, pct, speedup, Cli, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
-use gcache_sim::stats::geomean;
+use gcache_sim::stats::{geomean, SimStats};
 
 /// The three policies the shape comparison runs: baseline LRU, static
 /// RRIP, and the paper's G-Cache.
@@ -29,11 +37,38 @@ fn policies() -> [L1PolicyKind; 3] {
     ]
 }
 
-/// Short shape label for table headings: `flat`, `c4/64KB`, ...
-fn label(h: Hierarchy) -> String {
+/// Section label for one swept configuration: `flat`, `c4/64KB (1-port
+/// cluster node)`, `c4/64KB (2-port xbar)`, ...
+fn label(h: Hierarchy, ports: usize) -> String {
     match h {
         Hierarchy::Flat => "flat".to_string(),
-        Hierarchy::SharedL15 { cluster_size, kb } => format!("c{cluster_size}/{kb}KB"),
+        Hierarchy::SharedL15 { cluster_size, kb } if ports == 1 => {
+            format!("c{cluster_size}/{kb}KB (1-port cluster node)")
+        }
+        Hierarchy::SharedL15 { cluster_size, kb } => {
+            format!("c{cluster_size}/{kb}KB ({ports}-port xbar)")
+        }
+    }
+}
+
+/// Mean packet latency over both mesh networks of a run.
+fn noc_mean_latency(s: &SimStats) -> f64 {
+    let delivered = s.noc_req.delivered + s.noc_resp.delivered;
+    if delivered == 0 {
+        0.0
+    } else {
+        (s.noc_req.total_latency + s.noc_resp.total_latency) as f64 / delivered as f64
+    }
+}
+
+/// Injection-fail rate over both mesh networks of a run.
+fn noc_fail_rate(s: &SimStats) -> f64 {
+    let attempts =
+        s.noc_req.packets + s.noc_resp.packets + s.noc_req.inject_fails + s.noc_resp.inject_fails;
+    if attempts == 0 {
+        0.0
+    } else {
+        (s.noc_req.inject_fails + s.noc_resp.inject_fails) as f64 / attempts as f64
     }
 }
 
@@ -52,19 +87,31 @@ fn main() {
             kb: 64,
         },
     ]);
+    let ports = cli.port_counts(&[1, 2]);
 
-    // One flat grid: benchmark-major, then shape, then policy — so each
-    // benchmark's runs are contiguous and the flat/BS baseline of a
+    // The swept configurations: the port axis applies to clustered shapes
+    // only (a flat machine has no cluster node to widen).
+    let combos: Vec<(Hierarchy, usize)> = shapes
+        .iter()
+        .flat_map(|&shape| match shape {
+            Hierarchy::Flat => vec![(shape, 1)],
+            Hierarchy::SharedL15 { .. } => ports.iter().map(|&p| (shape, p)).collect(),
+        })
+        .collect();
+
+    // One flat grid: benchmark-major, then configuration, then policy — so
+    // each benchmark's runs are contiguous and the flat/BS baseline of a
     // benchmark is the first run of its chunk.
     let grid: Vec<DesignPoint<'_>> = benches
         .iter()
         .flat_map(|b| {
-            shapes.iter().flat_map(move |&hierarchy| {
+            combos.iter().flat_map(move |&(hierarchy, cluster_ports)| {
                 policies().into_iter().map(move |policy| DesignPoint {
                     bench: b.as_ref(),
                     policy,
                     l1_kb: None,
                     hierarchy,
+                    cluster_ports,
                 })
             })
         })
@@ -72,8 +119,8 @@ fn main() {
     eprintln!("[hierarchy] grid: {} runs on {jobs} jobs ...", grid.len());
     let all = run_design_points(&grid, jobs);
 
-    let per_bench = shapes.len() * policies().len();
-    for (si, &shape) in shapes.iter().enumerate() {
+    let per_bench = combos.len() * policies().len();
+    for (ci, &(shape, nports)) in combos.iter().enumerate() {
         let mut table = Table::new(&[
             "Bench",
             "BS IPC",
@@ -82,13 +129,16 @@ fn main() {
             "GC vs flat BS",
             "GC L1 miss",
             "GC L1.5 miss",
+            "GC NoC lat",
+            "GC NoC fail",
+            "GC xbar occ",
         ]);
         let mut gc_speedups = Vec::new();
         for (bi, b) in benches.iter().enumerate() {
             let chunk = &all[bi * per_bench..(bi + 1) * per_bench];
-            // Chunk layout mirrors grid construction: shape-major.
+            // Chunk layout mirrors grid construction: configuration-major.
             let flat_bs = &chunk[0];
-            let runs = &chunk[si * policies().len()..(si + 1) * policies().len()];
+            let runs = &chunk[ci * policies().len()..(ci + 1) * policies().len()];
             let (bs, bss, gc) = (&runs[0], &runs[1], &runs[2]);
             let s = gc.speedup_over(flat_bs);
             gc_speedups.push(s);
@@ -104,6 +154,13 @@ fn main() {
                 } else {
                     pct(gc.l15_miss_rate())
                 },
+                format!("{:.1}", noc_mean_latency(gc)),
+                pct(noc_fail_rate(gc)),
+                if gc.xbar_ports == 0 {
+                    "-".to_string()
+                } else {
+                    pct(gc.xbar_occupancy())
+                },
             ]);
         }
         table.row(vec![
@@ -114,10 +171,13 @@ fn main() {
             speedup(geomean(gc_speedups.iter().copied())),
             String::new(),
             String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
         ]);
         println!(
             "## Hierarchy {}: BS / BS-S / GC over the Figure 8 set\n",
-            label(shape)
+            label(shape, nports)
         );
         println!("{}", table.render());
     }

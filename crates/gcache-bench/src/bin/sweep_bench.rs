@@ -79,6 +79,7 @@ fn main() {
                     policy,
                     l1_kb: None,
                     hierarchy,
+                    cluster_ports: 1,
                 });
             }
         }
@@ -208,7 +209,11 @@ fn main() {
         for line in p.to_string().lines() {
             eprintln!("[sweep_bench]   {line}");
         }
-        format!("\n  \"profile\": {},", p.json_object())
+        format!(
+            "\n  \"profile\": {},\n  \"icnt_share\": {:.3},",
+            p.json_object(),
+            p.icnt_share()
+        )
     } else {
         String::new()
     };

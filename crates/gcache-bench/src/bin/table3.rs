@@ -26,12 +26,14 @@ fn main() {
                 policy: L1PolicyKind::GCache(GCacheConfig::default()),
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             })
             .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
                 bench: b.as_ref(),
                 policy: L1PolicyKind::StaticPdp { pd },
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
+                cluster_ports: 1,
             }))
         })
         .collect();

@@ -55,8 +55,8 @@ pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
 /// Usage text printed when argument parsing fails.
 pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
-                    [--hierarchy SHAPE[,SHAPE...]] [--no-fast-forward]
-                    [--telemetry PATH] [--profile]
+                    [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
+                    [--no-fast-forward] [--telemetry PATH] [--profile]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
@@ -68,6 +68,11 @@ usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                  machine) or 'cN[:KB]' for N-core clusters sharing a
                  KB-sized L1.5 (default 64 KB), e.g.
                  --hierarchy flat,c4,c8:128
+  --cluster-ports N[,N...]
+                 cluster-crossbar port counts to sweep on clustered
+                 shapes (hierarchy binary; default 1,2). 1 = the legacy
+                 single-injection-port mesh node; >= 2 models a
+                 core<->L1.5 crossbar with that many transfer ports
   --no-fast-forward
                  tick every cycle instead of skipping provably idle
                  ones; slower, bit-identical output (cross-checking)
@@ -94,6 +99,9 @@ pub struct Cli {
     /// Hierarchy shapes from `--hierarchy` (empty = the binary's default,
     /// usually just [`Hierarchy::Flat`]).
     pub hierarchy: Vec<Hierarchy>,
+    /// Cluster-crossbar port counts from `--cluster-ports` (empty = the
+    /// binary's default; only the hierarchy sweep uses the axis).
+    pub cluster_ports: Vec<usize>,
     /// Tick every cycle instead of fast-forwarding over idle ones.
     pub no_fast_forward: bool,
     /// Write a per-epoch telemetry time series here (`--telemetry`);
@@ -178,6 +186,17 @@ impl Cli {
                         .map(parse_hierarchy)
                         .collect::<Result<_, _>>()?;
                 }
+                "--cluster-ports" => {
+                    let counts = args.next().ok_or("--cluster-ports requires a value")?;
+                    cli.cluster_ports = counts
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse::<usize>().ok().filter(|&p| p >= 1).ok_or({
+                                format!("--cluster-ports expects positive integers, got '{s}'")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
                 "--no-fast-forward" => cli.no_fast_forward = true,
                 "--telemetry" => {
                     let path = args.next().ok_or("--telemetry requires a value")?;
@@ -239,6 +258,17 @@ impl Cli {
         }
     }
 
+    /// The crossbar port counts to sweep: `--cluster-ports` if given,
+    /// else `default` (the hierarchy binary sweeps `[1, 2]`; binaries
+    /// without the axis pass `[1]`).
+    pub fn port_counts(&self, default: &[usize]) -> Vec<usize> {
+        if self.cluster_ports.is_empty() {
+            default.to_vec()
+        } else {
+            self.cluster_ports.clone()
+        }
+    }
+
     /// The selected benchmarks.
     pub fn benchmarks(&self) -> Vec<Box<dyn Benchmark>> {
         gcache_workloads::registry(self.scale())
@@ -263,6 +293,23 @@ pub fn run(
     l1_kb: Option<u64>,
     hierarchy: Hierarchy,
 ) -> SimStats {
+    run_with_ports(policy, bench, l1_kb, hierarchy, 1)
+}
+
+/// Like [`run`], additionally setting the cluster-crossbar port count
+/// (`1` = the legacy single-injection-port mesh node; only meaningful on
+/// clustered hierarchies).
+///
+/// # Panics
+///
+/// Same conditions as [`run`], plus `cluster_ports == 0`.
+pub fn run_with_ports(
+    policy: L1PolicyKind,
+    bench: &dyn Benchmark,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+    cluster_ports: usize,
+) -> SimStats {
     let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
     if let Some(kb) = l1_kb {
         cfg = cfg.with_l1_kb(kb).expect("valid L1 size");
@@ -270,6 +317,9 @@ pub fn run(
     cfg = cfg
         .with_hierarchy(hierarchy)
         .unwrap_or_else(|e| panic!("invalid hierarchy {hierarchy:?}: {e}"));
+    cfg = cfg
+        .with_cluster_ports(cluster_ports)
+        .expect("positive cluster port count");
     cfg.fast_forward = fast_forward_enabled();
     Gpu::new(cfg)
         .run_kernel(bench)

@@ -5,7 +5,14 @@
 //! need — warm-up, iteration-count calibration, and a stable one-line
 //! report — with zero dependencies. Each `benches/*.rs` target is a plain
 //! `fn main()` (`harness = false`) built on [`bench()`].
+//!
+//! It also hosts the [`mesh_saturation`] driver: a synthetic-traffic
+//! load/latency probe of the 2D-mesh NoC (uniform-random and hotspot
+//! patterns at a sweep of injection rates) used by `benches/noc.rs` to
+//! characterise the router hot path without dragging a whole GPU model in.
 
+use gcache_core::rng::SmallRng;
+use gcache_sim::icnt::Mesh;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock spent measuring each benchmark after calibration.
@@ -61,6 +68,129 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Synthetic traffic pattern for [`mesh_saturation`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every packet targets a uniformly random node other than its source.
+    UniformRandom,
+    /// Half the packets target node 0 (the paper's memory-side corner),
+    /// the rest are uniform — models the many-to-few convergence a real
+    /// request network sees.
+    Hotspot,
+}
+
+/// One measured point of a mesh saturation sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SaturationPoint {
+    /// Offered load: injection attempts per node per cycle.
+    pub offered: f64,
+    /// Accepted throughput: packets actually injected per node per cycle
+    /// during the load phase (drops below `offered` past saturation).
+    pub accepted: f64,
+    /// Packets delivered end to end (load phase + drain).
+    pub delivered: u64,
+    /// Mean end-to-end packet latency in cycles.
+    pub mean_latency: f64,
+    /// Cycles simulated including the drain tail.
+    pub cycles: u64,
+}
+
+/// Drives a `width`×`height` mesh with Bernoulli traffic at `offered`
+/// injection attempts per node per cycle for `load_cycles`, then drains,
+/// returning throughput and latency. Deterministic for a given `seed`.
+///
+/// Each packet is 2 flits (a request-network head+payload). A node whose
+/// injection attempt is refused (local queue full) retries the same
+/// packet next cycle — offered load counts the first attempt only, so
+/// `accepted <= offered` with equality below saturation.
+///
+/// # Panics
+///
+/// Panics if the mesh has fewer than 2 nodes or `offered` is outside
+/// `(0, 1]`.
+pub fn mesh_saturation(
+    width: usize,
+    height: usize,
+    pattern: TrafficPattern,
+    offered: f64,
+    load_cycles: u64,
+    seed: u64,
+) -> SaturationPoint {
+    let nodes = width * height;
+    assert!(nodes >= 2, "saturation needs at least two nodes");
+    assert!(
+        offered > 0.0 && offered <= 1.0,
+        "offered load must be in (0, 1]"
+    );
+    let mut mesh: Mesh<u32> = Mesh::new(width, height, 8, 2, 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Fixed-point Bernoulli threshold out of 2^32.
+    let threshold = (offered * 4_294_967_296.0) as u64;
+    let pick_dst = |rng: &mut SmallRng, src: usize| -> usize {
+        let hot = pattern == TrafficPattern::Hotspot && rng.gen_range(0..2) == 0 && src != 0;
+        if hot {
+            0
+        } else {
+            // Uniform over the other nodes: skip src by offset.
+            let r = rng.gen_range(0..nodes as u64 - 1) as usize;
+            if r >= src {
+                r + 1
+            } else {
+                r
+            }
+        }
+    };
+
+    let mut now = 0u64;
+    let mut offered_packets = 0u64;
+    let mut accepted = 0u64;
+    // Per-node packet awaiting injection after a refused attempt.
+    let mut backlog: Vec<Option<usize>> = vec![None; nodes];
+    for _ in 0..load_cycles {
+        now += 1;
+        for (src, slot) in backlog.iter_mut().enumerate() {
+            if slot.is_none() && rng.gen_range(0..1u64 << 32) < threshold {
+                offered_packets += 1;
+                *slot = Some(pick_dst(&mut rng, src));
+            }
+            if let Some(dst) = *slot {
+                if mesh.inject_at(src, dst, 2, src as u32, now).is_ok() {
+                    accepted += 1;
+                    *slot = None;
+                }
+            }
+        }
+        mesh.tick(now);
+        for n in 0..nodes {
+            while mesh.eject(n).is_some() {}
+        }
+    }
+    // Drain: deliver everything in flight (plus any refused backlog).
+    while backlog.iter().any(Option::is_some) || !mesh.is_idle() {
+        now += 1;
+        for (src, slot) in backlog.iter_mut().enumerate() {
+            if let Some(dst) = *slot {
+                if mesh.inject_at(src, dst, 2, src as u32, now).is_ok() {
+                    accepted += 1;
+                    *slot = None;
+                }
+            }
+        }
+        mesh.tick(now);
+        for n in 0..nodes {
+            while mesh.eject(n).is_some() {}
+        }
+    }
+    let stats = mesh.stats();
+    SaturationPoint {
+        offered: offered_packets as f64 / (nodes as u64 * load_cycles) as f64,
+        accepted: accepted as f64 / (nodes as u64 * load_cycles) as f64,
+        delivered: stats.delivered,
+        mean_latency: stats.mean_latency(),
+        cycles: now,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +209,43 @@ mod tests {
     fn time_it_is_monotone() {
         let d = time_it(|| std::thread::sleep(Duration::from_millis(2)));
         assert!(d >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn saturation_is_deterministic_and_lossless() {
+        let a = mesh_saturation(4, 3, TrafficPattern::UniformRandom, 0.1, 500, 7);
+        let b = mesh_saturation(4, 3, TrafficPattern::UniformRandom, 0.1, 500, 7);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same curve");
+        assert!(a.delivered > 0, "traffic must flow");
+        assert!(
+            a.accepted <= a.offered + 1e-12,
+            "cannot accept unoffered load"
+        );
+        assert!(a.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn light_load_is_accepted_in_full() {
+        let p = mesh_saturation(4, 3, TrafficPattern::UniformRandom, 0.02, 1000, 1);
+        assert!(
+            (p.accepted - p.offered).abs() < 1e-12,
+            "below saturation every offered packet is accepted (offered {}, accepted {})",
+            p.offered,
+            p.accepted
+        );
+    }
+
+    #[test]
+    fn hotspot_saturates_before_uniform() {
+        // At a rate uniform traffic still sustains, the single hot ejection
+        // port becomes the bottleneck: latency must be visibly worse.
+        let uni = mesh_saturation(4, 4, TrafficPattern::UniformRandom, 0.2, 800, 3);
+        let hot = mesh_saturation(4, 4, TrafficPattern::Hotspot, 0.2, 800, 3);
+        assert!(
+            hot.mean_latency > uni.mean_latency,
+            "hotspot latency {} should exceed uniform {}",
+            hot.mean_latency,
+            uni.mean_latency
+        );
     }
 }

@@ -13,7 +13,7 @@
 //! Entry points: [`parallel_map`] for arbitrary job types and
 //! [`run_design_points`] for the common benchmark-grid case.
 
-use crate::run;
+use crate::run_with_ports;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::SimStats;
 use gcache_workloads::Benchmark;
@@ -32,6 +32,9 @@ pub struct DesignPoint<'a> {
     pub l1_kb: Option<u64>,
     /// Memory-hierarchy shape (`Hierarchy::Flat` = Table 2's machine).
     pub hierarchy: Hierarchy,
+    /// Cluster-crossbar port count (`1` = the legacy single-injection-port
+    /// mesh node; ignored on flat shapes).
+    pub cluster_ports: usize,
 }
 
 impl std::fmt::Debug for DesignPoint<'_> {
@@ -41,6 +44,7 @@ impl std::fmt::Debug for DesignPoint<'_> {
             .field("policy", &self.policy)
             .field("l1_kb", &self.l1_kb)
             .field("hierarchy", &self.hierarchy)
+            .field("cluster_ports", &self.cluster_ports)
             .finish()
     }
 }
@@ -49,7 +53,7 @@ impl std::fmt::Debug for DesignPoint<'_> {
 /// in submission order.
 pub fn run_design_points(points: &[DesignPoint<'_>], jobs: usize) -> Vec<SimStats> {
     parallel_map(points, jobs, |p| {
-        run(p.policy, p.bench, p.l1_kb, p.hierarchy)
+        run_with_ports(p.policy, p.bench, p.l1_kb, p.hierarchy, p.cluster_ports)
     })
 }
 

@@ -89,6 +89,17 @@ fn ablation_quick_stdout_matches_golden() {
     );
 }
 
+/// The hierarchy sweep's default port axis includes the 1-port
+/// (serialization-equivalent) setting, so this golden pins both the
+/// legacy cluster numbers and the multi-port crossbar results.
+#[test]
+fn hierarchy_quick_stdout_matches_golden() {
+    run_quick(
+        env!("CARGO_BIN_EXE_hierarchy"),
+        include_str!("golden/hierarchy_quick.txt"),
+    );
+}
+
 /// Disabling idle-cycle fast-forward must reproduce the same bytes the
 /// (fast-forwarding) golden was captured with — the end-to-end complement
 /// of the stats-level differential test.

@@ -23,6 +23,7 @@ fn small_grid<'a>(
                     policy,
                     l1_kb: None,
                     hierarchy,
+                    cluster_ports: 1,
                 })
             })
         })
@@ -75,12 +76,14 @@ fn results_follow_submission_order() {
             policy: L1PolicyKind::Lru,
             l1_kb: None,
             hierarchy: Hierarchy::Flat,
+            cluster_ports: 1,
         },
         DesignPoint {
             bench: benches[0].as_ref(),
             policy: L1PolicyKind::Lru,
             l1_kb: Some(64),
             hierarchy: Hierarchy::Flat,
+            cluster_ports: 1,
         },
     ];
     let out = run_design_points(&grid, 4);

@@ -191,6 +191,14 @@ pub struct GpuConfig {
     /// L1.5 pipeline latency in core cycles (tag + data access); only
     /// meaningful under [`Hierarchy::SharedL15`].
     pub l15_latency: u64,
+    /// Transfer ports per lane of each cluster's core↔L1.5 crossbar; only
+    /// meaningful under [`Hierarchy::SharedL15`]. `1` (the default) keeps
+    /// the legacy wiring through the cluster's single mesh injection port —
+    /// the serialization-equivalent setting, bit-identical to the
+    /// pre-crossbar model — while `≥ 2` interposes a
+    /// [`crate::xbar::ClusterXbar`] so intra-cluster traffic no longer
+    /// funnels through one port.
+    pub cluster_ports: usize,
     /// Mesh width (nodes per row); cores then partitions are placed
     /// row-major. `mesh_width × mesh_height ≥ cores + partitions`.
     pub mesh_width: usize,
@@ -256,6 +264,7 @@ impl GpuConfig {
             victim_bit_share: 1,
             hierarchy: Hierarchy::Flat,
             l15_latency: 12,
+            cluster_ports: 1,
             mesh_width: 6,
             mesh_height: 4,
             channel_bytes: 32,
@@ -329,6 +338,23 @@ impl GpuConfig {
             }
         }
         self.hierarchy = hierarchy;
+        Ok(self)
+    }
+
+    /// Sets the per-lane transfer port count of the cluster crossbars
+    /// (see [`GpuConfig::cluster_ports`]). A no-op for flat hierarchies,
+    /// and `1` is the legacy serialization-equivalent wiring, so threading
+    /// this through an experiment grid is behaviour-preserving for
+    /// non-crossbar points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when `ports` is zero.
+    pub fn with_cluster_ports(mut self, ports: usize) -> Result<Self, String> {
+        if ports == 0 {
+            return Err("cluster_ports must be at least 1".to_string());
+        }
+        self.cluster_ports = ports;
         Ok(self)
     }
 
@@ -422,6 +448,7 @@ impl GpuConfig {
                 "invalid L1.5 capacity {kb} KB"
             );
         }
+        assert!(self.cluster_ports > 0, "cluster_ports must be at least 1");
         let nodes = self.cores + self.partitions + self.hierarchy.clusters(self.cores);
         assert!(
             self.mesh_width * self.mesh_height >= nodes,

@@ -151,6 +151,8 @@ mod tests {
                 ..NocStats::default()
             },
             noc_resp: NocStats::default(),
+            xbar: Default::default(),
+            xbar_ports: 0,
             core: CoreStats::default(),
             partition: PartitionStats::default(),
         }

@@ -387,6 +387,11 @@ impl Gpu {
         }
         s.noc_in_flight = self.icnt.in_flight() as u64;
         s.noc_queue_depth = self.icnt.max_queue_depth() as u64;
+        let (rq, rs) = (self.icnt.req_stats(), self.icnt.resp_stats());
+        s.noc_packets = rq.packets + rs.packets;
+        s.noc_inject_fails = rq.inject_fails + rs.inject_fails;
+        s.noc_delivered = rq.delivered + rs.delivered;
+        s.noc_total_latency = rq.total_latency + rs.total_latency;
         s
     }
 
@@ -456,6 +461,8 @@ impl Gpu {
             dram,
             noc_req: *self.icnt.req_stats(),
             noc_resp: *self.icnt.resp_stats(),
+            xbar: self.icnt.xbar_stats().unwrap_or_default(),
+            xbar_ports: self.icnt.xbar_ports_total() as u64,
             core,
             partition,
         }

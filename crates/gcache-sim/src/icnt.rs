@@ -8,6 +8,25 @@
 //! modelled with bounded input queues; injection fails when the local
 //! queue is full, and the GPU runs *separate request and response meshes*
 //! to rule out protocol deadlock.
+//!
+//! ## Hot-path layout
+//!
+//! The mesh is the simulator's most-ticked component, so its queues are
+//! *ring buffers over one preallocated slab* rather than per-router
+//! `VecDeque`s: each slot, indexed by `(node, input port, ring position)`,
+//! packs the whole packet record (`dst`, `out`, `flits`, `ready_at`,
+//! `injected_at`, payload) so a hop touches exactly two records. The
+//! arbitration scan never touches the slab at all — it reads the
+//! *maintained head cache* (`head_ready`/`head_out`, updated on every
+//! push/pop rather than recomputed per tick), five contiguous entries per
+//! router, plus a per-router bitmask of the output ports some ready head
+//! wants. XY routes are computed once per hop when a packet enters a
+//! router (batched at injection for the first hop), never during
+//! arbitration. Together with
+//! the incremental mesh-level (`wake`) and per-router (`rwake`) wake
+//! words, `tick` skips provably idle routers without touching their
+//! queues, and [`crate::clocked::Clocked::next_event`]/[`Mesh::is_idle`]
+//! are O(1) counter reads under event gating.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -20,43 +39,8 @@ const WEST: usize = 3;
 const LOCAL: usize = 4;
 const PORTS: usize = 5;
 
-/// A packet in flight.
-#[derive(Clone, Debug)]
-struct InFlight<T> {
-    dst: usize,
-    /// Output port at the router currently holding the packet — the XY
-    /// route is fixed per hop, so it is computed once when the packet
-    /// enters the router rather than on every arbitration scan.
-    out: usize,
-    flits: u32,
-    payload: T,
-    /// Earliest cycle this packet may leave its current router.
-    ready_at: u64,
-    injected_at: u64,
-}
-
-#[derive(Debug)]
-struct Router<T> {
-    inputs: [VecDeque<InFlight<T>>; PORTS],
-    /// Cycle until which each output port is serialising a packet.
-    out_busy: [u64; PORTS],
-    /// Delivered payloads awaiting the local consumer.
-    delivered: VecDeque<(T, u64)>,
-    rr: usize,
-}
-
-impl<T> Router<T> {
-    /// Preallocates every input queue at the backpressure bound so the
-    /// steady-state tick loop never grows a queue mid-simulation.
-    fn new(queue_cap: usize) -> Self {
-        Router {
-            inputs: std::array::from_fn(|_| VecDeque::with_capacity(queue_cap)),
-            out_busy: [0; PORTS],
-            delivered: VecDeque::with_capacity(queue_cap),
-            rr: 0,
-        }
-    }
-}
+/// Sentinel in `head_ready` marking an empty input queue.
+const EMPTY: u64 = u64::MAX;
 
 /// Aggregate network statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,6 +64,17 @@ impl NocStats {
             0.0
         } else {
             self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Injection-failure rate: failed attempts over all attempts (0 if
+    /// nothing was ever offered).
+    pub fn inject_fail_rate(&self) -> f64 {
+        let attempts = self.packets + self.inject_fails;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.inject_fails as f64 / attempts as f64
         }
     }
 }
@@ -111,7 +106,30 @@ pub struct Mesh<T> {
     queue_cap: usize,
     hop_latency: u64,
     min_serialization: u32,
-    routers: Vec<Router<T>>,
+    // ---- Packet slab. One slot per (router, input port, ring
+    // position): slot = (node * PORTS + port) * queue_cap + pos. The
+    // per-queue ring state lives in `q_head`/`q_len`, indexed by
+    // q = node * PORTS + port. Each slot packs the whole packet record:
+    // a hop (pop here, push there) touches two records, while the
+    // arbitration scan reads only the head cache below.
+    slots: Vec<Slot<T>>,
+    /// Ring head position of each input queue.
+    q_head: Vec<u16>,
+    /// Occupancy of each input queue.
+    q_len: Vec<u16>,
+    // ---- Maintained head cache: an exact mirror of each queue's front
+    // `(ready_at, out)`, updated at every push/pop so the arbitration
+    // scan is a pair of flat array reads. `head_ready[q] == EMPTY` iff
+    // queue `q` is empty.
+    head_ready: Vec<u64>,
+    head_out: Vec<u8>,
+    /// Cycle until which each `(node, output port)` is serialising a
+    /// packet.
+    out_busy: Vec<u64>,
+    /// Per-router round-robin input cursor.
+    rr: Vec<u8>,
+    /// Delivered payloads awaiting each node's local consumer.
+    delivered: Vec<VecDeque<(T, u64)>>,
     stats: NocStats,
     /// When event gating is on, [`Mesh::tick`] returns immediately on
     /// cycles before `wake` — a no-op tick would scan every router for
@@ -143,6 +161,20 @@ pub struct Mesh<T> {
     in_network: usize,
 }
 
+/// One queued packet's record: every per-packet field, packed so queue
+/// pushes and pops touch a single slab entry. `payload: None` marks a
+/// vacant slot. Also the argument `push_q` takes when a packet enters an
+/// input queue (at injection or on a hop).
+#[derive(Debug)]
+struct Slot<T> {
+    ready_at: u64,
+    injected_at: u64,
+    dst: u32,
+    flits: u32,
+    out: u8,
+    payload: Option<T>,
+}
+
 /// Error returned by [`Mesh::inject`] when the source's local input queue
 /// is full; the caller must stall and retry.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -157,12 +189,13 @@ impl fmt::Display for InjectFull {
 impl std::error::Error for InjectFull {}
 
 impl<T> Mesh<T> {
-    /// Creates a mesh.
+    /// Creates a mesh. All queue storage is preallocated here — the
+    /// steady-state tick loop never allocates.
     ///
     /// # Panics
     ///
     /// Panics if any dimension, the queue capacity or the hop latency is
-    /// zero.
+    /// zero, or the queue capacity exceeds `u16::MAX`.
     pub fn new(
         width: usize,
         height: usize,
@@ -172,23 +205,43 @@ impl<T> Mesh<T> {
     ) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
         assert!(queue_cap > 0, "queue capacity must be positive");
+        assert!(queue_cap <= u16::MAX as usize, "queue capacity too large");
         assert!(hop_latency > 0, "hop latency must be positive");
+        let nodes = width * height;
+        let queues = nodes * PORTS;
+        let slot_count = queues * queue_cap;
         Mesh {
             width,
             height,
             queue_cap,
             hop_latency,
             min_serialization: min_serialization.max(1),
-            routers: (0..width * height)
-                .map(|_| Router::new(queue_cap))
+            slots: (0..slot_count)
+                .map(|_| Slot {
+                    ready_at: 0,
+                    injected_at: 0,
+                    dst: 0,
+                    flits: 0,
+                    out: 0,
+                    payload: None,
+                })
+                .collect(),
+            q_head: vec![0; queues],
+            q_len: vec![0; queues],
+            head_ready: vec![EMPTY; queues],
+            head_out: vec![0; queues],
+            out_busy: vec![0; queues],
+            rr: vec![0; nodes],
+            delivered: (0..nodes)
+                .map(|_| VecDeque::with_capacity(queue_cap))
                 .collect(),
             stats: NocStats::default(),
             event_gated: false,
             wake: 0,
-            rwake: vec![0; width * height],
+            rwake: vec![0; nodes],
             pending: 0,
-            delivered_len: vec![0; width * height],
-            local_len: vec![0; width * height],
+            delivered_len: vec![0; nodes],
+            local_len: vec![0; nodes],
             in_network: 0,
         }
     }
@@ -272,6 +325,54 @@ impl<T> Mesh<T> {
         }
     }
 
+    /// Appends a packet to ring queue `q`, maintaining the head cache.
+    #[inline]
+    fn push_q(&mut self, q: usize, entry: Slot<T>) {
+        let len = self.q_len[q] as usize;
+        debug_assert!(len < self.queue_cap, "push into full queue");
+        debug_assert!(entry.payload.is_some(), "push of a vacant record");
+        // `head < cap` and `len < cap`, so one conditional subtraction
+        // wraps the ring position without a runtime division.
+        let mut pos = self.q_head[q] as usize + len;
+        if pos >= self.queue_cap {
+            pos -= self.queue_cap;
+        }
+        if len == 0 {
+            self.head_ready[q] = entry.ready_at;
+            self.head_out[q] = entry.out;
+        }
+        self.slots[q * self.queue_cap + pos] = entry;
+        self.q_len[q] = (len + 1) as u16;
+    }
+
+    /// Pops the head of ring queue `q`, maintaining the head cache.
+    /// Returns `(dst, flits, injected_at, payload)`.
+    #[inline]
+    fn pop_q(&mut self, q: usize) -> (u32, u32, u64, T) {
+        debug_assert!(self.q_len[q] > 0, "pop from empty queue");
+        let pos = self.q_head[q] as usize;
+        let slot = q * self.queue_cap + pos;
+        let len = self.q_len[q] as usize - 1;
+        let next_head = if pos + 1 == self.queue_cap {
+            0
+        } else {
+            pos + 1
+        };
+        self.q_head[q] = next_head as u16;
+        self.q_len[q] = len as u16;
+        let rec = &mut self.slots[slot];
+        let payload = rec.payload.take().expect("occupied head slot");
+        let (dst, flits, injected_at) = (rec.dst, rec.flits, rec.injected_at);
+        if len == 0 {
+            self.head_ready[q] = EMPTY;
+        } else {
+            let head = &self.slots[q * self.queue_cap + self.q_head[q] as usize];
+            self.head_ready[q] = head.ready_at;
+            self.head_out[q] = head.out;
+        }
+        (dst, flits, injected_at, payload)
+    }
+
     /// Whether a packet can currently be injected at `node`.
     pub fn can_inject(&self, node: usize) -> bool {
         (self.local_len[node] as usize) < self.queue_cap
@@ -294,6 +395,8 @@ impl<T> Mesh<T> {
     }
 
     /// [`Mesh::inject`] with an explicit timestamp for latency accounting.
+    /// The packet's first-hop XY route is computed here, once, not on the
+    /// arbitration scan.
     ///
     /// # Errors
     ///
@@ -315,16 +418,18 @@ impl<T> Mesh<T> {
             return Err(InjectFull);
         }
         let flits = flits.max(self.min_serialization);
-        let out = self.route(node, dst);
-        let router = &mut self.routers[node];
-        router.inputs[LOCAL].push_back(InFlight {
-            dst,
-            out,
-            flits,
-            payload,
-            ready_at: now + 1,
-            injected_at: now,
-        });
+        let out = self.route(node, dst) as u8;
+        self.push_q(
+            node * PORTS + LOCAL,
+            Slot {
+                ready_at: now + 1,
+                injected_at: now,
+                dst: dst as u32,
+                flits,
+                out,
+                payload: Some(payload),
+            },
+        );
         self.stats.packets += 1;
         self.stats.flits += flits as u64;
         self.local_len[node] += 1;
@@ -346,7 +451,7 @@ impl<T> Mesh<T> {
         if self.delivered_len[node] == 0 {
             return None;
         }
-        let popped = self.routers[node].delivered.pop_front().map(|(p, _)| p);
+        let popped = self.delivered[node].pop_front().map(|(p, _)| p);
         if popped.is_some() {
             self.pending -= 1;
             self.delivered_len[node] -= 1;
@@ -363,12 +468,18 @@ impl<T> Mesh<T> {
     /// further, and a too-early bound just costs a no-op tick.
     pub fn next_event(&self, now: u64) -> Option<u64> {
         let mut ev: Option<u64> = None;
-        for r in &self.routers {
-            if !r.delivered.is_empty() {
+        for node in 0..self.nodes() {
+            if self.delivered_len[node] > 0 {
                 return Some(now + 1);
             }
-            for head in r.inputs.iter().filter_map(VecDeque::front) {
-                let t = head.ready_at.max(r.out_busy[head.out]).max(now + 1);
+            let qbase = node * PORTS;
+            for input in 0..PORTS {
+                let ready = self.head_ready[qbase + input];
+                if ready == EMPTY {
+                    continue;
+                }
+                let out = self.head_out[qbase + input] as usize;
+                let t = ready.max(self.out_busy[qbase + out]).max(now + 1);
                 if t == now + 1 {
                     return Some(t);
                 }
@@ -388,7 +499,8 @@ impl<T> Mesh<T> {
         // undershoot merely costs a no-op tick, so pushes into routers we
         // have already passed just clamp to their arrival time.
         let mut wake_min = u64::MAX;
-        for node in 0..self.routers.len() {
+        for node in 0..self.rwake.len() {
+            let qbase = node * PORTS;
             if self.event_gated {
                 // The cached bound says this router cannot move anything
                 // yet; carry it into the mesh-level bound and move on
@@ -398,50 +510,55 @@ impl<T> Mesh<T> {
                     wake_min = wake_min.min(rw);
                     continue;
                 }
-            } else if self.routers[node].inputs.iter().all(VecDeque::is_empty) {
+            } else if self.q_len[qbase..qbase + PORTS].iter().all(|&l| l == 0) {
                 // A router with no queued packets can neither move nor
                 // deliver anything; skipping it touches no state the full
                 // scan would.
                 continue;
             }
-            // Cache each input head's (ready_at, output port). Routes are
-            // a pure function of the packet, and a head only changes when
-            // its queue is popped below — so refreshing the cache at pops
-            // keeps it exact while the per-output arbitration scans become
-            // plain array compares.
-            let mut heads: [Option<(u64, usize)>; PORTS] = std::array::from_fn(|input| {
-                self.routers[node].inputs[input]
-                    .front()
-                    .map(|head| (head.ready_at, head.out))
-            });
-            // If every head is still in its pipeline delay, the scan below
-            // would choose nothing and mutate nothing — skip it.
-            if heads.iter().flatten().any(|&(ready_at, _)| ready_at <= now) {
-                // For each output port, pick one eligible input
+            // The head cache is exact (maintained at every push/pop), so
+            // "can anything move?" is five contiguous compares folded into
+            // a bitmask of the outputs some ready head wants. The mask is
+            // conservative — bits are added when a pop exposes a new ready
+            // head, never cleared — so it only ever skips outputs whose
+            // round-robin probe would provably find no taker; arbitration
+            // order and outcomes are untouched.
+            let mut want: u32 = 0;
+            for input in 0..PORTS {
+                if self.head_ready[qbase + input] <= now {
+                    want |= 1 << self.head_out[qbase + input];
+                }
+            }
+            if want != 0 {
+                // For each wanted output port, pick one eligible input
                 // (round-robin).
                 for out in 0..PORTS {
-                    if self.routers[node].out_busy[out] > now {
+                    if want & (1 << out) == 0 || self.out_busy[qbase + out] > now {
                         continue;
                     }
-                    let start = self.routers[node].rr;
+                    let start = self.rr[node] as usize;
                     let mut chosen: Option<usize> = None;
                     for k in 0..PORTS {
-                        let input = (start + k) % PORTS;
-                        if let Some((ready_at, route)) = heads[input] {
-                            if ready_at <= now && route == out {
-                                chosen = Some(input);
-                                break;
-                            }
+                        // `start < PORTS`, so a conditional subtraction
+                        // wraps the probe without a division.
+                        let mut input = start + k;
+                        if input >= PORTS {
+                            input -= PORTS;
+                        }
+                        if self.head_ready[qbase + input] <= now
+                            && self.head_out[qbase + input] as usize == out
+                        {
+                            chosen = Some(input);
+                            break;
                         }
                     }
                     let Some(input) = chosen else { continue };
                     // Check downstream space before dequeuing.
                     if out == LOCAL {
-                        let mut pkt = self.routers[node].inputs[input].pop_front().expect("head");
-                        pkt.ready_at = 0;
+                        let (_, _, injected_at, payload) = self.pop_q(qbase + input);
                         self.stats.delivered += 1;
-                        self.stats.total_latency += now.saturating_sub(pkt.injected_at);
-                        self.routers[node].delivered.push_back((pkt.payload, now));
+                        self.stats.total_latency += now.saturating_sub(injected_at);
+                        self.delivered[node].push_back((payload, now));
                         self.pending += 1;
                         self.delivered_len[node] += 1;
                         self.in_network -= 1;
@@ -451,31 +568,42 @@ impl<T> Mesh<T> {
                     } else {
                         let next = self.neighbour(node, out);
                         let in_port = Self::opposite(out);
-                        if self.routers[next].inputs[in_port].len() >= self.queue_cap {
+                        if self.q_len[next * PORTS + in_port] as usize >= self.queue_cap {
                             continue;
                         }
-                        let mut pkt = self.routers[node].inputs[input].pop_front().expect("head");
-                        self.routers[node].out_busy[out] = now + pkt.flits as u64;
-                        pkt.ready_at = now + self.hop_latency;
-                        pkt.out = self.route(next, pkt.dst);
+                        let (dst, flits, injected_at, payload) = self.pop_q(qbase + input);
+                        self.out_busy[qbase + out] = now + flits as u64;
+                        let arrival = now + self.hop_latency;
+                        let next_out = self.route(next, dst as usize) as u8;
                         // `in_port` is never LOCAL (only N/E/S/W have
                         // opposites), so only the source side can shrink a
                         // local queue here.
-                        self.routers[next].inputs[in_port].push_back(pkt);
+                        self.push_q(
+                            next * PORTS + in_port,
+                            Slot {
+                                ready_at: arrival,
+                                injected_at,
+                                dst,
+                                flits,
+                                out: next_out,
+                                payload: Some(payload),
+                            },
+                        );
                         if input == LOCAL {
                             self.local_len[node] -= 1;
                         }
                         // The moved packet's next hop; `next` may already
                         // be behind us in this scan, so fold its arrival
                         // into both bounds here.
-                        let arrival = now + self.hop_latency;
                         wake_min = wake_min.min(arrival);
                         self.rwake[next] = self.rwake[next].min(arrival);
                     }
-                    heads[input] = self.routers[node].inputs[input]
-                        .front()
-                        .map(|head| (head.ready_at, head.out));
-                    self.routers[node].rr = (input + 1) % PORTS;
+                    // The pop may have exposed a ready head bound for a
+                    // not-yet-scanned output: fold it into the mask.
+                    if self.head_ready[qbase + input] <= now {
+                        want |= 1 << self.head_out[qbase + input];
+                    }
+                    self.rr[node] = ((input + 1) % PORTS) as u8;
                 }
             }
             if self.event_gated {
@@ -485,8 +613,12 @@ impl<T> Mesh<T> {
                 // blocked only by downstream backpressure yields a bound
                 // ≤ now, clamped to "retry next cycle".
                 let mut cand = u64::MAX;
-                for &(ready_at, out) in heads.iter().flatten() {
-                    cand = cand.min(ready_at.max(self.routers[node].out_busy[out]));
+                for input in 0..PORTS {
+                    let ready = self.head_ready[qbase + input];
+                    if ready != EMPTY {
+                        let out = self.head_out[qbase + input] as usize;
+                        cand = cand.min(ready.max(self.out_busy[qbase + out]));
+                    }
                 }
                 if cand != u64::MAX {
                     cand = cand.max(now + 1);
@@ -535,6 +667,7 @@ impl<T> crate::clocked::Clocked for Mesh<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gcache_core::rng::SmallRng;
 
     fn run_until_delivered(mesh: &mut Mesh<u32>, node: usize, max: u64) -> Option<(u32, u64)> {
         for cycle in 1..=max {
@@ -563,6 +696,40 @@ mod tests {
         // 6 hops minimum (3 east + 3 south) plus pipeline.
         assert!(cycle >= 6, "delivered suspiciously fast at {cycle}");
         assert_eq!(mesh.stats().delivered, 1);
+        assert!(mesh.is_idle());
+    }
+
+    #[test]
+    fn xy_routing_traverses_edge_rows_and_columns() {
+        // Packets between nodes on the mesh perimeter must stay on it:
+        // XY routing from a corner along the top row uses only EAST/WEST
+        // hops, along the left column only NORTH/SOUTH — no route ever
+        // steps off the grid (which would underflow `neighbour`).
+        let (w, h) = (5, 4);
+        let mut mesh: Mesh<u32> = Mesh::new(w, h, 8, 1, 1);
+        let corners = [0, w - 1, w * (h - 1), w * h - 1];
+        let mut expect = Vec::new();
+        for (i, &src) in corners.iter().enumerate() {
+            for (j, &dst) in corners.iter().enumerate() {
+                if src != dst {
+                    let tag = (i * 10 + j) as u32;
+                    mesh.inject(src, dst, 1, tag).unwrap();
+                    expect.push((dst, tag));
+                }
+            }
+        }
+        let mut got = Vec::new();
+        for cycle in 1..500 {
+            mesh.tick(cycle);
+            for &node in &corners {
+                while let Some(p) = mesh.eject(node) {
+                    got.push((node, p));
+                }
+            }
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "every corner-to-corner packet must arrive");
         assert!(mesh.is_idle());
     }
 
@@ -603,12 +770,102 @@ mod tests {
         assert!(!mesh.can_inject(0));
         assert_eq!(mesh.inject(0, 1, 1, 2), Err(InjectFull));
         assert_eq!(mesh.stats().inject_fails, 1);
+        assert!(mesh.stats().inject_fail_rate() > 0.0);
         // Drain and verify capacity returns.
         for cycle in 1..50 {
             mesh.tick(cycle);
             mesh.eject(1);
         }
         assert!(mesh.can_inject(0));
+    }
+
+    #[test]
+    fn backpressure_holds_packets_upstream_at_queue_cap() {
+        // A 3-node row with the sink's WEST input bounded at queue_cap=2:
+        // flood node 0 with packets for node 2 but never eject at node 2,
+        // so the middle router's forwarding stalls once the sink's input
+        // queue is full. No packet may be dropped or duplicated, and the
+        // downstream queue must never exceed its bound.
+        let cap = 2;
+        let mut mesh: Mesh<u32> = Mesh::new(3, 1, cap, 1, 1);
+        let mut sent = 0;
+        for cycle in 0..40u64 {
+            if mesh.can_inject(0) {
+                mesh.inject_at(0, 2, 1, sent, cycle).unwrap();
+                sent += 1;
+            }
+            mesh.tick(cycle + 1);
+            // The sink's delivered queue drains nothing mid-flood, so the
+            // mesh must eventually refuse injections (upstream pressure).
+        }
+        assert!(
+            mesh.stats().inject_fails == 0,
+            "can_inject gated every injection"
+        );
+        assert!(sent > 0);
+        // Everything in the network is accounted: delivered + still queued.
+        let delivered_so_far = mesh.stats().delivered;
+        assert!(
+            delivered_so_far < u64::from(sent),
+            "sink was never ejected; backpressure must hold packets back"
+        );
+        // Now drain; every packet arrives exactly once, in order.
+        let mut got = Vec::new();
+        for cycle in 41..400 {
+            mesh.tick(cycle);
+            while let Some(p) = mesh.eject(2) {
+                got.push(p);
+            }
+        }
+        assert_eq!(got, (0..sent).collect::<Vec<_>>());
+        assert!(mesh.is_idle());
+    }
+
+    #[test]
+    fn round_robin_arbitration_serves_every_input() {
+        // Sustained contention: three sources (WEST, NORTH, LOCAL of the
+        // centre router) all target the same EAST output. Round-robin
+        // must grant each input in turn — no source may starve while the
+        // others drain.
+        //
+        //      0 1 2
+        //      3 4 5   centre = 4, sink = 5
+        //      6 7 8
+        let mut mesh: Mesh<u32> = Mesh::new(3, 3, 64, 1, 1);
+        // Tag packets by source: 100s = from node 3 (WEST input of 4),
+        // 200s = from node 1 (NORTH input of 4), 300s = locally injected.
+        for i in 0..8u32 {
+            mesh.inject(3, 5, 1, 100 + i).unwrap();
+            mesh.inject(1, 5, 1, 200 + i).unwrap();
+            mesh.inject(4, 5, 1, 300 + i).unwrap();
+        }
+        let mut order = Vec::new();
+        for cycle in 1..300 {
+            mesh.tick(cycle);
+            while let Some(p) = mesh.eject(5) {
+                order.push(p);
+            }
+        }
+        assert_eq!(order.len(), 24, "all packets must arrive");
+        // No starvation: within any window of 2 * PORTS consecutive
+        // grants through the contended router, every source appears.
+        for w in order.windows(2 * PORTS).take(order.len() - 2 * PORTS) {
+            for src in [100, 200, 300] {
+                assert!(
+                    w.iter().any(|&p| p / 100 * 100 == src),
+                    "source {src} starved in window {w:?}"
+                );
+            }
+        }
+        // Per-source FIFO order is preserved end to end.
+        for src in [100, 200, 300] {
+            let per: Vec<u32> = order
+                .iter()
+                .copied()
+                .filter(|&p| p >= src && p < src + 100)
+                .collect();
+            assert_eq!(per, (src..src + 8).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -652,5 +909,261 @@ mod tests {
         mesh.tick(4);
         // By now it must have arrived.
         assert!(mesh.eject(3).is_some());
+    }
+
+    // ---- Reference model: the pre-slab router (per-input `VecDeque`s,
+    // heads recomputed per visit), kept verbatim so the property test
+    // below can prove the ring-buffer refactor delivers packets in an
+    // identical order with identical statistics.
+
+    struct RefPacket {
+        dst: usize,
+        out: usize,
+        flits: u32,
+        payload: u32,
+        ready_at: u64,
+        injected_at: u64,
+    }
+
+    struct RefRouter {
+        inputs: [VecDeque<RefPacket>; PORTS],
+        out_busy: [u64; PORTS],
+        delivered: VecDeque<(u32, u64)>,
+        rr: usize,
+    }
+
+    struct RefMesh {
+        width: usize,
+        queue_cap: usize,
+        hop_latency: u64,
+        routers: Vec<RefRouter>,
+        stats: NocStats,
+    }
+
+    impl RefMesh {
+        fn new(width: usize, height: usize, queue_cap: usize, hop_latency: u64) -> Self {
+            RefMesh {
+                width,
+                queue_cap,
+                hop_latency,
+                routers: (0..width * height)
+                    .map(|_| RefRouter {
+                        inputs: std::array::from_fn(|_| VecDeque::new()),
+                        out_busy: [0; PORTS],
+                        delivered: VecDeque::new(),
+                        rr: 0,
+                    })
+                    .collect(),
+                stats: NocStats::default(),
+            }
+        }
+
+        fn coords(&self, node: usize) -> (usize, usize) {
+            (node % self.width, node / self.width)
+        }
+
+        fn route(&self, node: usize, dst: usize) -> usize {
+            let (x, y) = self.coords(node);
+            let (dx, dy) = self.coords(dst);
+            if dx > x {
+                EAST
+            } else if dx < x {
+                WEST
+            } else if dy > y {
+                SOUTH
+            } else if dy < y {
+                NORTH
+            } else {
+                LOCAL
+            }
+        }
+
+        fn neighbour(&self, node: usize, port: usize) -> usize {
+            match port {
+                NORTH => node - self.width,
+                SOUTH => node + self.width,
+                EAST => node + 1,
+                WEST => node - 1,
+                _ => node,
+            }
+        }
+
+        fn can_inject(&self, node: usize) -> bool {
+            self.routers[node].inputs[LOCAL].len() < self.queue_cap
+        }
+
+        fn inject_at(&mut self, node: usize, dst: usize, flits: u32, payload: u32, now: u64) {
+            assert!(self.can_inject(node));
+            let out = self.route(node, dst);
+            self.routers[node].inputs[LOCAL].push_back(RefPacket {
+                dst,
+                out,
+                flits,
+                payload,
+                ready_at: now + 1,
+                injected_at: now,
+            });
+            self.stats.packets += 1;
+            self.stats.flits += flits as u64;
+        }
+
+        fn eject(&mut self, node: usize) -> Option<u32> {
+            self.routers[node].delivered.pop_front().map(|(p, _)| p)
+        }
+
+        fn tick(&mut self, now: u64) {
+            for node in 0..self.routers.len() {
+                if self.routers[node].inputs.iter().all(VecDeque::is_empty) {
+                    continue;
+                }
+                let mut heads: [Option<(u64, usize)>; PORTS] = std::array::from_fn(|input| {
+                    self.routers[node].inputs[input]
+                        .front()
+                        .map(|h| (h.ready_at, h.out))
+                });
+                if !heads.iter().flatten().any(|&(r, _)| r <= now) {
+                    continue;
+                }
+                for out in 0..PORTS {
+                    if self.routers[node].out_busy[out] > now {
+                        continue;
+                    }
+                    let start = self.routers[node].rr;
+                    let mut chosen = None;
+                    for k in 0..PORTS {
+                        let input = (start + k) % PORTS;
+                        if let Some((ready_at, route)) = heads[input] {
+                            if ready_at <= now && route == out {
+                                chosen = Some(input);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(input) = chosen else { continue };
+                    if out == LOCAL {
+                        let pkt = self.routers[node].inputs[input].pop_front().unwrap();
+                        self.stats.delivered += 1;
+                        self.stats.total_latency += now.saturating_sub(pkt.injected_at);
+                        self.routers[node].delivered.push_back((pkt.payload, now));
+                    } else {
+                        let next = self.neighbour(node, out);
+                        let in_port = Mesh::<u32>::opposite(out);
+                        if self.routers[next].inputs[in_port].len() >= self.queue_cap {
+                            continue;
+                        }
+                        let mut pkt = self.routers[node].inputs[input].pop_front().unwrap();
+                        self.routers[node].out_busy[out] = now + pkt.flits as u64;
+                        pkt.ready_at = now + self.hop_latency;
+                        pkt.out = self.route(next, pkt.dst);
+                        self.routers[next].inputs[in_port].push_back(pkt);
+                    }
+                    heads[input] = self.routers[node].inputs[input]
+                        .front()
+                        .map(|h| (h.ready_at, h.out));
+                    self.routers[node].rr = (input + 1) % PORTS;
+                }
+            }
+        }
+    }
+
+    /// Seeded property test: under random traffic (mixed packet sizes,
+    /// random sources and destinations, injections gated identically by
+    /// `can_inject`), the packed-slab ring-buffer mesh delivers exactly the same
+    /// payloads, at the same nodes, in the same per-node order and on the
+    /// same cycles as the reference per-queue model — and the shared
+    /// statistics counters agree.
+    #[test]
+    fn slab_mesh_matches_reference_queue_model() {
+        for seed in 0..4u64 {
+            let (w, h, cap, lat) = (4, 3, 4, 2);
+            let nodes = w * h;
+            let mut slab: Mesh<u32> = Mesh::new(w, h, cap, lat, 1);
+            let mut rf = RefMesh::new(w, h, cap, lat);
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+            let mut tag = 0u32;
+            let mut slab_deliv: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nodes];
+            let mut ref_deliv: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nodes];
+            for cycle in 0..600u64 {
+                if cycle < 400 {
+                    for _ in 0..3 {
+                        let src = rng.gen_range(0..nodes as u64) as usize;
+                        let dst = rng.gen_range(0..nodes as u64) as usize;
+                        let flits = [1u32, 2, 5][rng.gen_range(0..3) as usize];
+                        // Gate on the slab mesh's capacity; both models
+                        // must agree on it or the streams diverge (also
+                        // an implicit capacity-equivalence assertion).
+                        assert_eq!(slab.can_inject(src), rf.can_inject(src), "seed {seed}");
+                        if slab.can_inject(src) {
+                            slab.inject_at(src, dst, flits, tag, cycle).unwrap();
+                            rf.inject_at(src, dst, flits, tag, cycle);
+                            tag += 1;
+                        }
+                    }
+                }
+                let now = cycle + 1;
+                slab.tick(now);
+                rf.tick(now);
+                for n in 0..nodes {
+                    while let Some(p) = slab.eject(n) {
+                        slab_deliv[n].push((p, now));
+                    }
+                    while let Some(p) = rf.eject(n) {
+                        ref_deliv[n].push((p, now));
+                    }
+                }
+            }
+            assert_eq!(
+                slab_deliv, ref_deliv,
+                "seed {seed}: delivery streams differ"
+            );
+            assert!(slab.is_idle(), "seed {seed}: slab mesh failed to drain");
+            assert_eq!(slab.stats().packets, rf.stats.packets, "seed {seed}");
+            assert_eq!(slab.stats().flits, rf.stats.flits, "seed {seed}");
+            assert_eq!(slab.stats().delivered, rf.stats.delivered, "seed {seed}");
+            assert_eq!(
+                slab.stats().total_latency,
+                rf.stats.total_latency,
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// The same property with event gating on: gating elides ticks, never
+    /// reorders or retimes deliveries.
+    #[test]
+    fn gated_slab_mesh_matches_reference_queue_model() {
+        let (w, h, cap, lat) = (3, 3, 3, 2);
+        let nodes = w * h;
+        let mut slab: Mesh<u32> = Mesh::new(w, h, cap, lat, 1);
+        slab.set_event_gating(true);
+        let mut rf = RefMesh::new(w, h, cap, lat);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut tag = 0u32;
+        let mut slab_deliv: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nodes];
+        let mut ref_deliv: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nodes];
+        for cycle in 0..500u64 {
+            if cycle < 300 && cycle % 7 < 2 {
+                let src = rng.gen_range(0..nodes as u64) as usize;
+                let dst = rng.gen_range(0..nodes as u64) as usize;
+                if slab.can_inject(src) {
+                    slab.inject_at(src, dst, 2, tag, cycle).unwrap();
+                    rf.inject_at(src, dst, 2, tag, cycle);
+                    tag += 1;
+                }
+            }
+            let now = cycle + 1;
+            slab.tick(now);
+            rf.tick(now);
+            for n in 0..nodes {
+                while let Some(p) = slab.eject(n) {
+                    slab_deliv[n].push((p, now));
+                }
+                while let Some(p) = rf.eject(n) {
+                    ref_deliv[n].push((p, now));
+                }
+            }
+        }
+        assert_eq!(slab_deliv, ref_deliv);
+        assert!(slab.is_idle());
     }
 }

@@ -15,6 +15,11 @@
 //! * response mesh: partition responses eject here (fills / atomic
 //!   completions); per-core responses inject back to the cores.
 //!
+//! With [`GpuConfig::cluster_ports`] ≥ 2 the core-facing halves of those
+//! port views are backed by the cluster's [`crate::xbar::ClusterXbar`]
+//! lanes instead of the mesh (partition traffic always rides the mesh);
+//! the component itself is wiring-agnostic and never knows which.
+//!
 //! The L2's victim hint passes through unchanged on fills: the forwarded
 //! miss carries the primary requester's core id, the L2 observes that
 //! core's victim bit, and every core the fill releases receives the same

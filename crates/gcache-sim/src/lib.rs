@@ -69,6 +69,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
+pub mod xbar;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -81,4 +82,5 @@ pub mod prelude {
     pub use crate::stats::{geomean, SimStats};
     pub use crate::system::{ClusterComplex, CoreComplex, Interconnect, MemorySystem, Topology};
     pub use crate::telemetry::{Profile, Sample, Sampler, TelemetrySnapshot};
+    pub use crate::xbar::{ClusterXbar, XbarStats};
 }

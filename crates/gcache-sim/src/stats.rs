@@ -4,6 +4,7 @@ use crate::core::CoreStats;
 use crate::dram::DramStats;
 use crate::icnt::NocStats;
 use crate::partition::PartitionStats;
+use crate::xbar::XbarStats;
 use gcache_core::stats::CacheStats;
 use std::fmt;
 
@@ -65,6 +66,12 @@ pub struct SimStats {
     pub noc_req: NocStats,
     /// Response-network statistics.
     pub noc_resp: NocStats,
+    /// Combined cluster-crossbar statistics (all clusters, both lanes);
+    /// all-zero without crossbars (flat, or the legacy 1-port wiring).
+    pub xbar: XbarStats,
+    /// Total crossbar transfer ports (all clusters × both lanes), the
+    /// denominator for a port-occupancy reading; 0 without crossbars.
+    pub xbar_ports: u64,
     /// Merged core issue statistics.
     pub core: CoreStats,
     /// Merged partition statistics.
@@ -86,6 +93,8 @@ impl SimStats {
             dram: Default::default(),
             noc_req: Default::default(),
             noc_resp: Default::default(),
+            xbar: Default::default(),
+            xbar_ports: 0,
             core: Default::default(),
             partition: Default::default(),
         }
@@ -113,6 +122,16 @@ impl SimStats {
     /// L1 bypass ratio (Table 3).
     pub fn l1_bypass_ratio(&self) -> f64 {
         self.l1.bypass_ratio()
+    }
+
+    /// Mean cluster-crossbar port occupancy: the fraction of available
+    /// port·cycles spent serialising packets; 0 without crossbars.
+    pub fn xbar_occupancy(&self) -> f64 {
+        if self.xbar_ports == 0 || self.cycles == 0 {
+            0.0
+        } else {
+            self.xbar.flit_cycles as f64 / (self.xbar_ports * self.cycles) as f64
+        }
     }
 
     /// Speedup of this run over a baseline run of the same kernel
@@ -225,6 +244,8 @@ mod tests {
             dram: DramStats::default(),
             noc_req: NocStats::default(),
             noc_resp: NocStats::default(),
+            xbar: XbarStats::default(),
+            xbar_ports: 0,
             core: CoreStats::default(),
             partition: PartitionStats::default(),
         }

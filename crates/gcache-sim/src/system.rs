@@ -19,6 +19,7 @@ use crate::l15::L15Cluster;
 use crate::partition::Partition;
 use crate::port::{RxPort, TxPort};
 use crate::request::{partition_of, MemRequest, MemResponse};
+use crate::xbar::{ClusterXbar, XbarLane, XbarStats};
 use gcache_core::addr::{CoreId, PartitionId};
 use gcache_core::victim_bits::CoreGrouping;
 
@@ -89,19 +90,33 @@ impl Topology {
 }
 
 /// The request/response mesh pair plus everything needed to address and
-/// serialise packets: the [`Topology`] and the channel geometry.
+/// serialise packets: the [`Topology`], the channel geometry and (with
+/// `cluster_ports ≥ 2`) the per-cluster core↔L1.5 crossbars.
 #[derive(Debug)]
 pub struct Interconnect {
     topo: Topology,
     req: Mesh<MemRequest>,
     resp: Mesh<MemResponse>,
+    /// One crossbar per cluster when `cluster_ports ≥ 2`; empty otherwise
+    /// (flat machine, or the legacy 1-port wiring through the cluster's
+    /// mesh node). When present, core↔L1.5 traffic moves over these lanes
+    /// and only L1.5↔partition traffic rides the meshes.
+    xbars: Vec<ClusterXbar>,
+    /// Cores per cluster (0 when not clustered) — cores of a cluster are
+    /// contiguous (see [`GpuConfig::topology`]), so a core's crossbar lane
+    /// slot is `core % cluster_size`.
+    cluster_size: usize,
+    /// Per-lane transfer ports of each crossbar.
+    cluster_ports: usize,
     line_size: u32,
     channel_bytes: u32,
     partitions: usize,
 }
 
 impl Interconnect {
-    /// Builds the two meshes described by `cfg`, placed per `topo`.
+    /// Builds the two meshes described by `cfg`, placed per `topo`, plus
+    /// the per-cluster crossbars when `cfg.cluster_ports ≥ 2` asks for the
+    /// modeled core↔L1.5 link.
     pub fn new(cfg: &GpuConfig, topo: Topology) -> Self {
         let mut req = Mesh::new(
             cfg.mesh_width,
@@ -119,10 +134,32 @@ impl Interconnect {
         );
         req.set_event_gating(cfg.fast_forward);
         resp.set_event_gating(cfg.fast_forward);
+        let cluster_size = if topo.is_clustered() {
+            topo.core_nodes.len() / topo.clusters()
+        } else {
+            0
+        };
+        let xbars = if topo.is_clustered() && cfg.cluster_ports >= 2 {
+            (0..topo.clusters())
+                .map(|_| {
+                    ClusterXbar::new(
+                        cluster_size,
+                        cfg.cluster_ports,
+                        cfg.router_queue,
+                        cfg.hop_latency,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Interconnect {
             topo,
             req,
             resp,
+            xbars,
+            cluster_size,
+            cluster_ports: cfg.cluster_ports,
             line_size: cfg.line_size(),
             channel_bytes: cfg.channel_bytes,
             partitions: cfg.partitions,
@@ -144,9 +181,34 @@ impl Interconnect {
         self.resp.stats()
     }
 
-    /// Gauge: packets currently inside either mesh (telemetry).
-    pub const fn in_flight(&self) -> usize {
-        self.req.in_flight() + self.resp.in_flight()
+    /// Combined statistics of all cluster crossbars, `None` when the
+    /// machine runs the legacy 1-port (or flat) wiring.
+    pub fn xbar_stats(&self) -> Option<XbarStats> {
+        if self.xbars.is_empty() {
+            return None;
+        }
+        Some(self.xbars.iter().fold(XbarStats::default(), |acc, xb| {
+            let s = xb.stats();
+            XbarStats {
+                grants: acc.grants + s.grants,
+                flit_cycles: acc.flit_cycles + s.flit_cycles,
+                inject_fails: acc.inject_fails + s.inject_fails,
+            }
+        }))
+    }
+
+    /// Total transfer ports across all crossbar lanes (both directions) —
+    /// the denominator for a port-occupancy reading; 0 without crossbars.
+    pub fn xbar_ports_total(&self) -> usize {
+        self.xbars.len() * self.cluster_ports * 2
+    }
+
+    /// Gauge: packets currently inside either mesh or any cluster
+    /// crossbar (telemetry).
+    pub fn in_flight(&self) -> usize {
+        self.req.in_flight()
+            + self.resp.in_flight()
+            + self.xbars.iter().map(ClusterXbar::in_flight).sum::<usize>()
     }
 
     /// Gauge: the deepest per-router injection queue across both meshes
@@ -157,28 +219,44 @@ impl Interconnect {
 
     /// The port pair a core sees: responses in, requests out. On a
     /// clustered topology the request view routes to the core's cluster
-    /// node instead of straight to the owning partition — the wiring
-    /// changes, the core does not.
-    pub fn core_ports(&mut self, core: usize) -> (MeshRx<'_, MemResponse>, ReqTx<'_>) {
+    /// node instead of straight to the owning partition — and with
+    /// crossbars active, both views sit on the core's crossbar lanes
+    /// instead of the meshes. The wiring changes, the core does not.
+    pub fn core_ports(&mut self, core: usize) -> (CoreRx<'_>, ReqTx<'_>) {
         let Interconnect {
             topo,
             req,
             resp,
+            xbars,
+            cluster_size,
             line_size,
             channel_bytes,
             partitions,
+            ..
         } = self;
         let node = topo.core_nodes[core];
         let via = topo
             .is_clustered()
             .then(|| topo.cluster_nodes[topo.cluster_of[core]]);
+        let (rx_lane, tx_lane) = match xbars.get_mut(topo.cluster_of[core]) {
+            Some(xb) => {
+                let slot = core % *cluster_size;
+                (Some((&mut xb.down, slot)), Some((&mut xb.up, slot)))
+            }
+            None => (None, None),
+        };
         (
-            MeshRx { mesh: resp, node },
+            CoreRx {
+                mesh: resp,
+                node,
+                xbar: rx_lane,
+            },
             ReqTx {
                 mesh: req,
                 topo,
                 src: node,
                 via,
+                xbar: tx_lane,
                 line_size: *line_size,
                 channel_bytes: *channel_bytes,
                 partitions: *partitions,
@@ -186,20 +264,27 @@ impl Interconnect {
         )
     }
 
-    /// Whether core `core`'s local request-mesh port currently has room —
-    /// the read-only flavour of its `ReqTx::can_send` view, used by the
+    /// Whether core `core`'s local request port currently has room — the
+    /// read-only flavour of its `ReqTx::can_send` view, used by the
     /// fast-forward probes. The answer is stable across event-free
-    /// cycles: the queue drains only through mesh movement and fills only
-    /// through the owning core's own injections.
+    /// cycles: the queue (mesh injection queue, or crossbar up-lane
+    /// source queue) drains only through interconnect movement and fills
+    /// only through the owning core's own injections.
     pub fn can_inject_core(&self, core: usize) -> bool {
-        self.req.can_inject(self.topo.core_nodes[core])
+        match self.xbars.get(self.topo.cluster_of[core]) {
+            Some(xb) => xb.up.can_accept(core % self.cluster_size),
+            None => self.req.can_inject(self.topo.core_nodes[core]),
+        }
     }
 
     /// Whether a response awaits ejection at core `core`'s port — the
     /// "external input" test of the gated core loop, answerable without
     /// borrowing the port pair.
     pub fn resp_pending_core(&self, core: usize) -> bool {
-        self.resp.has_delivered(self.topo.core_nodes[core])
+        match self.xbars.get(self.topo.cluster_of[core]) {
+            Some(xb) => xb.down.has_delivered(core % self.cluster_size),
+            None => self.resp.has_delivered(self.topo.core_nodes[core]),
+        }
     }
 
     /// Whether a request awaits ejection at partition `part`'s port.
@@ -207,9 +292,13 @@ impl Interconnect {
         self.req.has_delivered(self.topo.part_nodes[part])
     }
 
-    /// Whether a request awaits ejection at cluster `cluster`'s node.
+    /// Whether a request awaits ejection at cluster `cluster`'s L1.5 —
+    /// from its crossbar up lane when active, else from its mesh node.
     pub fn req_pending_cluster(&self, cluster: usize) -> bool {
-        self.req.has_delivered(self.topo.cluster_nodes[cluster])
+        match self.xbars.get(cluster) {
+            Some(xb) => xb.up.has_delivered(0),
+            None => self.req.has_delivered(self.topo.cluster_nodes[cluster]),
+        }
     }
 
     /// Whether a response awaits ejection at cluster `cluster`'s node.
@@ -244,27 +333,36 @@ impl Interconnect {
         )
     }
 
-    /// The combined port views a cluster's shared L1.5 sees on the two
-    /// meshes: on the request mesh it ejects its cores' requests and
-    /// injects misses towards the owning partitions; on the response mesh
-    /// it ejects partition responses and injects per-core responses. Both
-    /// views sit at the cluster's own node.
+    /// The combined port views a cluster's shared L1.5 sees: on the
+    /// request side it ejects its cores' requests (crossbar up lane when
+    /// active, else its mesh node) and injects misses towards the owning
+    /// partitions (always over the mesh); on the response side it ejects
+    /// partition responses (always the mesh) and injects per-core
+    /// responses (crossbar down lane when active, else the mesh).
     pub fn cluster_io(&mut self, cluster: usize) -> (ClusterReqIo<'_>, ClusterRespIo<'_>) {
         let Interconnect {
             topo,
             req,
             resp,
+            xbars,
+            cluster_size,
             line_size,
             channel_bytes,
             partitions,
+            ..
         } = self;
         let topo = &*topo;
         let node = topo.cluster_nodes[cluster];
+        let (xbar_up, xbar_down) = match xbars.get_mut(cluster) {
+            Some(xb) => (Some(&mut xb.up), Some(&mut xb.down)),
+            None => (None, None),
+        };
         (
             ClusterReqIo {
                 mesh: req,
                 topo,
                 node,
+                xbar_up,
                 line_size: *line_size,
                 channel_bytes: *channel_bytes,
                 partitions: *partitions,
@@ -273,6 +371,8 @@ impl Interconnect {
                 mesh: resp,
                 topo,
                 node,
+                xbar_down,
+                cluster_size: *cluster_size,
                 line_size: *line_size,
                 channel_bytes: *channel_bytes,
             },
@@ -284,14 +384,31 @@ impl Clocked for Interconnect {
     fn tick(&mut self, now: u64) {
         self.req.tick(now);
         self.resp.tick(now);
+        for xb in &mut self.xbars {
+            xb.tick(now);
+        }
     }
 
     fn is_idle(&self) -> bool {
-        self.req.is_idle() && self.resp.is_idle()
+        self.req.is_idle() && self.resp.is_idle() && self.xbars.iter().all(ClusterXbar::is_idle)
     }
 
     fn next_event(&self, now: u64) -> Option<u64> {
-        min_event(self.req.next_event(now), self.resp.next_event(now))
+        // Route through the `Clocked` impls: under event gating they are
+        // O(1) reads of the maintained wake words, and they equal the
+        // full scans (the wake words are exact minima, with the same
+        // `now + 1` clamping).
+        let mut ev = min_event(
+            Clocked::next_event(&self.req, now),
+            Clocked::next_event(&self.resp, now),
+        );
+        for xb in &self.xbars {
+            if ev == Some(now + 1) {
+                break;
+            }
+            ev = min_event(ev, xb.next_event(now));
+        }
+        ev
     }
 }
 
@@ -308,16 +425,37 @@ impl<M> RxPort<M> for MeshRx<'_, M> {
     }
 }
 
+/// A core's receiving port view: responses delivered at its mesh node —
+/// or, with cluster crossbars active, at its slot of the cluster's
+/// down lane (the mesh then never carries responses to core nodes).
+#[derive(Debug)]
+pub struct CoreRx<'a> {
+    mesh: &'a mut Mesh<MemResponse>,
+    node: usize,
+    xbar: Option<(&'a mut XbarLane<MemResponse>, usize)>,
+}
+
+impl RxPort<MemResponse> for CoreRx<'_> {
+    fn recv(&mut self) -> Option<MemResponse> {
+        match &mut self.xbar {
+            Some((lane, slot)) => lane.eject(*slot),
+            None => self.mesh.eject(self.node),
+        }
+    }
+}
+
 /// Sending port view onto the request mesh: routes each request to the
 /// node of the partition owning its line — or, when the source core hangs
 /// off a cluster cache, to that cluster's node (`via`) — and serialises it
-/// into channel-width flits.
+/// into channel-width flits. With cluster crossbars active the request
+/// instead enters the core's slot of its cluster's up lane.
 #[derive(Debug)]
 pub struct ReqTx<'a> {
     mesh: &'a mut Mesh<MemRequest>,
     topo: &'a Topology,
     src: usize,
     via: Option<usize>,
+    xbar: Option<(&'a mut XbarLane<MemRequest>, usize)>,
     line_size: u32,
     channel_bytes: u32,
     partitions: usize,
@@ -325,17 +463,25 @@ pub struct ReqTx<'a> {
 
 impl TxPort<MemRequest> for ReqTx<'_> {
     fn can_send(&self) -> bool {
-        self.mesh.can_inject(self.src)
+        match &self.xbar {
+            Some((lane, slot)) => lane.can_accept(*slot),
+            None => self.mesh.can_inject(self.src),
+        }
     }
 
     fn send(&mut self, msg: MemRequest, now: u64) {
+        let flits = msg
+            .packet_bytes(self.line_size)
+            .div_ceil(self.channel_bytes);
+        if let Some((lane, slot)) = &mut self.xbar {
+            let ok = lane.push(*slot, 0, flits, msg, now);
+            assert!(ok, "injection gated by can_send");
+            return;
+        }
         let dst = match self.via {
             Some(node) => node,
             None => self.topo.part_nodes[partition_of(msg.line, self.partitions).index()],
         };
-        let flits = msg
-            .packet_bytes(self.line_size)
-            .div_ceil(self.channel_bytes);
         self.mesh
             .inject_at(self.src, dst, flits, msg, now)
             .expect("injection gated by can_send");
@@ -376,14 +522,16 @@ impl TxPort<MemResponse> for RespTx<'_> {
     }
 }
 
-/// A cluster cache's combined view of the request mesh: requests from its
-/// cores eject here ([`RxPort`]), and misses inject towards the partition
-/// owning each line ([`TxPort`]).
+/// A cluster cache's combined request-side view: requests from its cores
+/// eject here ([`RxPort`] — the crossbar up lane when active, else the
+/// cluster's mesh node), and misses inject towards the partition owning
+/// each line ([`TxPort`] — always over the mesh).
 #[derive(Debug)]
 pub struct ClusterReqIo<'a> {
     mesh: &'a mut Mesh<MemRequest>,
     topo: &'a Topology,
     node: usize,
+    xbar_up: Option<&'a mut XbarLane<MemRequest>>,
     line_size: u32,
     channel_bytes: u32,
     partitions: usize,
@@ -391,7 +539,10 @@ pub struct ClusterReqIo<'a> {
 
 impl RxPort<MemRequest> for ClusterReqIo<'_> {
     fn recv(&mut self) -> Option<MemRequest> {
-        self.mesh.eject(self.node)
+        match &mut self.xbar_up {
+            Some(lane) => lane.eject(0),
+            None => self.mesh.eject(self.node),
+        }
     }
 }
 
@@ -411,14 +562,17 @@ impl TxPort<MemRequest> for ClusterReqIo<'_> {
     }
 }
 
-/// A cluster cache's combined view of the response mesh: partition
-/// responses eject here ([`RxPort`]), and per-core responses inject
-/// towards each destination core ([`TxPort`]).
+/// A cluster cache's combined response-side view: partition responses
+/// eject here ([`RxPort`] — always the mesh), and per-core responses
+/// inject towards each destination core ([`TxPort`] — the crossbar down
+/// lane when active, else the mesh).
 #[derive(Debug)]
 pub struct ClusterRespIo<'a> {
     mesh: &'a mut Mesh<MemResponse>,
     topo: &'a Topology,
     node: usize,
+    xbar_down: Option<&'a mut XbarLane<MemResponse>>,
+    cluster_size: usize,
     line_size: u32,
     channel_bytes: u32,
 }
@@ -431,14 +585,23 @@ impl RxPort<MemResponse> for ClusterRespIo<'_> {
 
 impl TxPort<MemResponse> for ClusterRespIo<'_> {
     fn can_send(&self) -> bool {
-        self.mesh.can_inject(self.node)
+        match &self.xbar_down {
+            Some(lane) => lane.can_accept(0),
+            None => self.mesh.can_inject(self.node),
+        }
     }
 
     fn send(&mut self, msg: MemResponse, now: u64) {
-        let dst = self.topo.core_nodes[msg.core.index()];
         let flits = msg
             .packet_bytes(self.line_size)
             .div_ceil(self.channel_bytes);
+        if let Some(lane) = &mut self.xbar_down {
+            let slot = msg.core.index() % self.cluster_size;
+            let ok = lane.push(0, slot, flits, msg, now);
+            assert!(ok, "injection gated by can_send");
+            return;
+        }
+        let dst = self.topo.core_nodes[msg.core.index()];
         self.mesh
             .inject_at(self.node, dst, flits, msg, now)
             .expect("injection gated by can_send");
@@ -1053,6 +1216,85 @@ mod tests {
         }
         let got = pump(&mut icnt, |icnt| icnt.partition_ports(5).0.recv());
         assert_eq!(got, req);
+    }
+
+    #[test]
+    fn crossbar_carries_core_requests_to_l15() {
+        let cfg = clustered_cfg(4).with_cluster_ports(2).unwrap();
+        let mut icnt = Interconnect::new(&cfg, cfg.topology());
+        let req = MemRequest {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(6), // cluster 1
+            warp: 0,
+        };
+        {
+            let (_, mut tx) = icnt.core_ports(6);
+            assert!(tx.can_send());
+            tx.send(req, 0);
+        }
+        // The request crosses cluster 1's up lane, never the mesh.
+        let got = pump(&mut icnt, |icnt| icnt.cluster_io(1).0.recv());
+        assert_eq!(got, req);
+        assert_eq!(icnt.req_stats().packets, 0, "mesh must not see the request");
+        assert_eq!(icnt.xbar_stats().unwrap().grants, 1);
+        // Misses still ride the mesh to the owning partition.
+        {
+            let (mut req_io, _) = icnt.cluster_io(1);
+            assert!(TxPort::can_send(&req_io));
+            req_io.send(got, 0);
+        }
+        let got = pump(&mut icnt, |icnt| icnt.partition_ports(5).0.recv());
+        assert_eq!(got, req);
+        assert_eq!(icnt.req_stats().packets, 1);
+    }
+
+    #[test]
+    fn crossbar_carries_l15_responses_to_cores() {
+        let cfg = clustered_cfg(4).with_cluster_ports(2).unwrap();
+        let mut icnt = Interconnect::new(&cfg, cfg.topology());
+        let resp = MemResponse {
+            line: LineAddr::new(5),
+            kind: AccessKind::Read,
+            core: CoreId(13), // cluster 3, slot 1
+            warp: 2,
+            victim_hint: true,
+        };
+        // Partition responses still ride the mesh to the cluster node.
+        {
+            let (_, mut tx) = icnt.partition_ports(5);
+            tx.send(resp, 0);
+        }
+        let got = pump(&mut icnt, |icnt| icnt.cluster_io(3).1.recv());
+        assert_eq!(got, resp);
+        // The per-core redistribution crosses the down lane.
+        let before = icnt.resp_stats().packets;
+        {
+            let (_, mut resp_io) = icnt.cluster_io(3);
+            assert!(TxPort::can_send(&resp_io));
+            resp_io.send(got, 0);
+        }
+        assert!(!icnt.resp_pending_core(13));
+        let got = pump(&mut icnt, |icnt| icnt.core_ports(13).0.recv());
+        assert_eq!(got, resp);
+        assert_eq!(
+            icnt.resp_stats().packets,
+            before,
+            "redistribution must not touch the mesh"
+        );
+        assert!(icnt.is_idle());
+    }
+
+    #[test]
+    fn one_port_setting_keeps_legacy_mesh_wiring() {
+        // cluster_ports = 1 (the default) must not build crossbars: the
+        // cluster node's mesh port is the serialization-equivalent model,
+        // so pre-crossbar results reproduce bit-identically.
+        let cfg = clustered_cfg(4);
+        assert_eq!(cfg.cluster_ports, 1);
+        let icnt = Interconnect::new(&cfg, cfg.topology());
+        assert!(icnt.xbar_stats().is_none());
+        assert_eq!(icnt.xbar_ports_total(), 0);
     }
 
     #[test]

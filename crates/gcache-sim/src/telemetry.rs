@@ -37,7 +37,7 @@
 //! assert_eq!(s.interval(), 1024);
 //! assert!(s.is_empty());
 //! // CSV schema round-trips through the parser.
-//! let row = "2048,1024,900,0.87890625,0.25,0.1,0,0.3,0.5,0.2,0.1,0.05,12,3,2,0.75";
+//! let row = "2048,1024,900,0.87890625,0.25,0.1,0,0.3,0.5,0.2,0.1,0.05,12,3,2,0.75,0.01,18.5";
 //! let parsed = Sample::parse_csv(row).unwrap();
 //! assert_eq!(parsed.cycle, 2048);
 //! assert_eq!(Sample::parse_csv(&parsed.csv_row()), Some(parsed));
@@ -98,6 +98,14 @@ pub struct TelemetrySnapshot {
     pub noc_in_flight: u64,
     /// Gauge: deepest per-router injection queue across both meshes.
     pub noc_queue_depth: u64,
+    /// Packets injected into either mesh.
+    pub noc_packets: u64,
+    /// Failed mesh injection attempts (local queue full), both meshes.
+    pub noc_inject_fails: u64,
+    /// Packets delivered by either mesh.
+    pub noc_delivered: u64,
+    /// Summed inject→delivery latency of delivered packets, both meshes.
+    pub noc_total_latency: u64,
 }
 
 /// One per-interval telemetry row (deltas of two [`TelemetrySnapshot`]s,
@@ -138,6 +146,12 @@ pub struct Sample {
     pub noc_queue_depth: u64,
     /// DRAM row-hit rate over the interval's activations (0 if none).
     pub dram_row_hit_rate: f64,
+    /// Failed fraction of the interval's mesh injection attempts
+    /// (fails / (packets + fails), both meshes; 0 if none).
+    pub noc_inject_fail_rate: f64,
+    /// Mean inject→delivery latency of the packets delivered in the
+    /// interval, in cycles (both meshes; 0 if none).
+    pub noc_mean_latency: f64,
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -153,7 +167,7 @@ impl Sample {
     pub const CSV_HEADER: &'static str = "cycle,cycles,instructions,ipc,l1_miss_rate,\
         l1_bypass_ratio,l15_miss_rate,l2_miss_rate,switch_on_frac,victim_set_rate,\
         victim_hit_rate,victim_clear_rate,mshr_peak,noc_in_flight,noc_queue_depth,\
-        dram_row_hit_rate";
+        dram_row_hit_rate,noc_inject_fail_rate,noc_mean_latency";
 
     /// Derives one row from two snapshots (`prev` earlier, `cur` later).
     pub fn between(prev: &TelemetrySnapshot, cur: &TelemetrySnapshot) -> Self {
@@ -185,6 +199,15 @@ impl Sample {
                 cur.dram_row_hits - prev.dram_row_hits,
                 cur.dram_row_total - prev.dram_row_total,
             ),
+            noc_inject_fail_rate: {
+                let fails = cur.noc_inject_fails - prev.noc_inject_fails;
+                let packets = cur.noc_packets - prev.noc_packets;
+                ratio(fails, packets + fails)
+            },
+            noc_mean_latency: ratio(
+                cur.noc_total_latency - prev.noc_total_latency,
+                cur.noc_delivered - prev.noc_delivered,
+            ),
         }
     }
 
@@ -193,7 +216,7 @@ impl Sample {
     /// [`Sample::parse_csv`] recovers the exact value.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.cycle,
             self.cycles,
             self.instructions,
@@ -209,7 +232,9 @@ impl Sample {
             self.mshr_peak,
             self.noc_in_flight,
             self.noc_queue_depth,
-            self.dram_row_hit_rate
+            self.dram_row_hit_rate,
+            self.noc_inject_fail_rate,
+            self.noc_mean_latency
         )
     }
 
@@ -236,6 +261,8 @@ impl Sample {
         let noc_in_flight = float()? as u64;
         let noc_queue_depth = float()? as u64;
         let dram_row_hit_rate = float()?;
+        let noc_inject_fail_rate = float()?;
+        let noc_mean_latency = float()?;
         if it2.next().is_some() {
             return None;
         }
@@ -256,6 +283,8 @@ impl Sample {
             noc_in_flight,
             noc_queue_depth,
             dram_row_hit_rate,
+            noc_inject_fail_rate,
+            noc_mean_latency,
         })
     }
 
@@ -266,7 +295,8 @@ impl Sample {
              \"l1_miss_rate\":{},\"l1_bypass_ratio\":{},\"l15_miss_rate\":{},\
              \"l2_miss_rate\":{},\"switch_on_frac\":{},\"victim_set_rate\":{},\
              \"victim_hit_rate\":{},\"victim_clear_rate\":{},\"mshr_peak\":{},\
-             \"noc_in_flight\":{},\"noc_queue_depth\":{},\"dram_row_hit_rate\":{}}}",
+             \"noc_in_flight\":{},\"noc_queue_depth\":{},\"dram_row_hit_rate\":{},\
+             \"noc_inject_fail_rate\":{},\"noc_mean_latency\":{}}}",
             self.cycle,
             self.cycles,
             self.instructions,
@@ -282,7 +312,9 @@ impl Sample {
             self.mshr_peak,
             self.noc_in_flight,
             self.noc_queue_depth,
-            self.dram_row_hit_rate
+            self.dram_row_hit_rate,
+            self.noc_inject_fail_rate,
+            self.noc_mean_latency
         )
     }
 }
@@ -472,6 +504,12 @@ impl Profile {
         self.core_ns + self.icnt_ns + self.cluster_ns + self.mem_ns + self.dispatch_ns
     }
 
+    /// The mesh's share of instrumented wall-clock time (0 for an empty
+    /// profile) — the headline number the router hot-path work moves.
+    pub fn icnt_share(&self) -> f64 {
+        ratio(self.icnt_ns, self.total_ns())
+    }
+
     /// The profile as a JSON object (for `BENCH_sweep.json`).
     pub fn json_object(&self) -> String {
         format!(
@@ -544,6 +582,10 @@ mod tests {
             mshr_peak: 5,
             noc_in_flight: 3,
             noc_queue_depth: 2,
+            noc_packets: cycle / 2,
+            noc_inject_fails: cycle / 8,
+            noc_delivered: cycle / 4,
+            noc_total_latency: cycle * 4,
             ..Default::default()
         }
     }
@@ -557,6 +599,10 @@ mod tests {
         assert!((s.l1_miss_rate - 0.5).abs() < 1e-12);
         assert!((s.switch_on_frac - 0.125).abs() < 1e-12);
         assert_eq!(s.mshr_peak, 5);
+        // Δfails / (Δpackets + Δfails) = 128 / (512 + 128).
+        assert!((s.noc_inject_fail_rate - 0.2).abs() < 1e-12);
+        // Δlatency / Δdelivered = 4096 / 256.
+        assert!((s.noc_mean_latency - 16.0).abs() < 1e-12);
     }
 
     #[test]
@@ -574,6 +620,8 @@ mod tests {
         assert_eq!(s.l1_miss_rate, 0.0);
         assert_eq!(s.dram_row_hit_rate, 0.0);
         assert_eq!(s.switch_on_frac, 0.0);
+        assert_eq!(s.noc_inject_fail_rate, 0.0);
+        assert_eq!(s.noc_mean_latency, 0.0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ echo "==> golden-output equivalence (release binaries vs tests/golden)"
 # The same byte-compare the gcache-bench integration test performs in the
 # debug profile, repeated here against the release binaries: optimization
 # level must never change a simulated number.
-for exp in fig8_fig9 table3 fig10 ablation fig3_fig4; do
+for exp in fig8_fig9 table3 fig10 ablation fig3_fig4 hierarchy; do
   diff "crates/gcache-bench/tests/golden/${exp}_quick.txt" \
        <(./target/release/"$exp" --quick --bench BFS,CFD,STL 2>/dev/null) \
     || { echo "golden mismatch: $exp"; exit 1; }
@@ -34,6 +34,15 @@ echo "==> fast-forward differential (release, --no-fast-forward vs golden)"
 diff crates/gcache-bench/tests/golden/fig8_fig9_quick.txt \
      <(./target/release/fig8_fig9 --quick --bench BFS,CFD,STL --no-fast-forward 2>/dev/null) \
   || { echo "fast-forward divergence: fig8_fig9"; exit 1; }
+
+echo "==> NoC saturation microbench (uniform + hotspot injection sweep)"
+# Smoke-gates the mesh traffic driver: the sweep must complete and report
+# a latency for every pattern x rate point (8 curve lines).
+noc_out=$(cargo bench -q -p gcache-bench --bench noc 2>/dev/null)
+curve_lines=$(printf '%s\n' "$noc_out" | grep -c "mean-lat") || true
+[ "$curve_lines" -eq 8 ] \
+  || { echo "noc microbench: expected 8 saturation points, got $curve_lines"; exit 1; }
+printf '%s\n' "$noc_out" | grep "mean-lat" | sed 's/^/   /'
 
 echo "==> telemetry smoke (per-epoch switch-on fraction, GC design)"
 # BFS is contention-heavy: its G-Cache switches must open in some interval.
