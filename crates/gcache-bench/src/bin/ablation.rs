@@ -13,7 +13,7 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::parallel_map;
-use gcache_bench::{export_telemetry, run, speedup, Cli, Table};
+use gcache_bench::{bench_cli, export_telemetry, run, speedup, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind, WarpSchedKind};
 use gcache_sim::gpu::Gpu;
@@ -46,7 +46,7 @@ fn run_with(
 }
 
 fn main() {
-    let mut cli = Cli::parse(std::env::args().skip(1));
+    let mut cli = bench_cli();
     if cli.only.is_empty() {
         cli.only = vec!["SPMV".into(), "SYRK".into(), "KMN".into()];
     }

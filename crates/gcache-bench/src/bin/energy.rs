@@ -8,13 +8,13 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin energy`.
 
-use gcache_bench::{export_telemetry, run, Cli, Table};
+use gcache_bench::{bench_cli, export_telemetry, run, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::energy::EnergyModel;
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let model = EnergyModel::default();
     let mut t = Table::new(&[
         "Bench",

@@ -7,7 +7,7 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{export_telemetry, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES};
+use gcache_bench::{bench_cli, export_telemetry, select_optimal_pd, speedup, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
@@ -16,7 +16,7 @@ use gcache_workloads::Category;
 const L1_KB: u64 = 64;
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let benches = cli.benchmarks();
     let jobs = cli.jobs();
 

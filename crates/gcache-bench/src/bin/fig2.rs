@@ -5,11 +5,11 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin fig2`.
 
-use gcache_bench::{export_telemetry, pct, run, Cli, Table};
+use gcache_bench::{bench_cli, export_telemetry, pct, run, Table};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let mut t = Table::new(&["Bench", "0", "1", "2", "3-7", ">=8"]);
     for b in cli.benchmarks() {
         let info = b.info();

@@ -13,17 +13,15 @@
 //!
 //! [`Sampler`]: gcache_sim::telemetry::Sampler
 
-use gcache_bench::{pct, run_sampled, speedup, Cli, Table, TelemetrySeries};
+use gcache_bench::{bench_cli_with_switches, pct, run_sampled, speedup, Table, TelemetrySeries};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::Category;
 
 const SIZES_KB: [u64; 4] = [16, 32, 64, 128];
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.iter().any(|a| a == "--all");
-    args.retain(|a| a != "--all");
-    let cli = Cli::parse(args.into_iter());
+    let (cli, switches) = bench_cli_with_switches(&["--all"]);
+    let all = switches[0];
     let benches: Vec<_> = cli
         .benchmarks()
         .into_iter()

@@ -8,14 +8,14 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{
-    designs, export_telemetry, pct, select_optimal_pd, speedup, Cli, Table, PD_CANDIDATES,
+    bench_cli, designs, export_telemetry, pct, select_optimal_pd, speedup, Table, PD_CANDIDATES,
 };
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
 use gcache_workloads::Category;
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let benches = cli.benchmarks();
     let jobs = cli.jobs();
 

@@ -22,7 +22,7 @@
 //! grid out over worker threads; stdout is byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{export_telemetry, pct, speedup, Cli, Table};
+use gcache_bench::{bench_cli, export_telemetry, pct, speedup, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::{geomean, SimStats};
@@ -73,7 +73,7 @@ fn noc_fail_rate(s: &SimStats) -> f64 {
 }
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let benches = cli.benchmarks();
     let jobs = cli.jobs();
     let shapes = cli.hierarchies(&[

@@ -21,7 +21,7 @@
 //! (disabled) instrumentation hooks is tracked revision to revision.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{designs, export_telemetry, run, set_fast_forward, Cli};
+use gcache_bench::{bench_cli, designs, export_telemetry, run, set_fast_forward};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
@@ -57,7 +57,7 @@ fn previous_serial_ms() -> Option<f64> {
 }
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let jobs = cli.jobs();
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())

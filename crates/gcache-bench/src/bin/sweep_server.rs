@@ -1,0 +1,19 @@
+//! Kill-safe sharded sweep server: runs a design-point grid across
+//! worker processes with per-point checkpointing into a run directory,
+//! so the sweep survives `SIGKILL` of any worker or of the coordinator
+//! itself and, on re-run, resumes and merges byte-identically to an
+//! uninterrupted sweep. See [`gcache_bench::server`] for the protocol.
+//!
+//! Run with
+//! `cargo run --release -p gcache-bench --bin sweep_server -- --dir RUNDIR [flags]`.
+
+use gcache_bench::server::{run, usage_exit, ServerOpts};
+
+fn main() {
+    let opts =
+        ServerOpts::parse(std::env::args().skip(1).collect()).unwrap_or_else(|e| usage_exit(&e));
+    if let Err(e) = run(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

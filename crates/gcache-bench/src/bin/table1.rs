@@ -3,13 +3,13 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin table1`.
 
-use gcache_bench::{Cli, Table};
+use gcache_bench::{bench_cli, Table};
 use gcache_sim::coalescer::coalesce;
 use gcache_sim::isa::Op;
 use std::collections::HashSet;
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let mut t = Table::new(&[
         "Benchmark",
         "Description",

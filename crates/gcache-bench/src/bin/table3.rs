@@ -7,12 +7,12 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{export_telemetry, pct, select_optimal_pd, Cli, Table, PD_CANDIDATES};
+use gcache_bench::{bench_cli, export_telemetry, pct, select_optimal_pd, Table, PD_CANDIDATES};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
 fn main() {
-    let cli = Cli::parse(std::env::args().skip(1));
+    let cli = bench_cli();
     let benches = cli.benchmarks();
     let jobs = cli.jobs();
 

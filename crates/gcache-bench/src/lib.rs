@@ -14,22 +14,30 @@
 //! | `fig10` | Figure 10 — 64 KB-L1 scalability study |
 //!
 //! All binaries accept `--quick` (shrunk workloads for smoke runs) and
-//! `--bench NAME[,NAME...]` to restrict the benchmark set.
+//! `--bench NAME[,NAME...]` to restrict the benchmark set, plus
+//! checkpoint/resume flags (`--checkpoint`, `--checkpoint-every`,
+//! `--resume`) so interrupted runs can continue byte-identically.
+//! Beyond the per-artefact binaries, `sweep_server` runs whole
+//! design-point grids as a kill-safe sharded service (see [`server`]).
 
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod server;
 pub mod sweep;
 
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
+use gcache_core::snapshot::{fnv1a, SnapshotError, SnapshotReader, SnapshotWriter};
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
 use gcache_sim::telemetry::{Sample, Sampler};
 use gcache_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 /// Process-wide fast-forward switch (default on), so every [`run`] call in
 /// a binary honours a single `--no-fast-forward` on its command line
@@ -48,6 +56,38 @@ pub fn fast_forward_enabled() -> bool {
     FAST_FORWARD.load(Ordering::Relaxed)
 }
 
+/// Checkpoint interval in cycles when `--checkpoint` is given without
+/// `--checkpoint-every`.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 65_536;
+
+/// Process-wide checkpoint/resume options (set once at startup, like the
+/// fast-forward switch), honoured by every [`run`]-family simulation.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointOpts {
+    /// Stem from `--checkpoint PATH`: each grid point checkpoints to
+    /// `PATH.<label-hash>.ckpt` (distinct files, so parallel sweep workers
+    /// never collide), atomically via a temp file + rename.
+    pub write: Option<String>,
+    /// Checkpoint cadence in cycles (`--checkpoint-every`).
+    pub every: u64,
+    /// Stem from `--resume PATH`: before each grid point starts, its
+    /// checkpoint file is probed and, when present and matching, restored.
+    pub resume: Option<String>,
+}
+
+static CHECKPOINT: OnceLock<CheckpointOpts> = OnceLock::new();
+
+/// Installs the process-wide checkpoint/resume options. Only the first
+/// call takes effect (the options mirror one process's command line).
+pub fn set_checkpoint_opts(opts: CheckpointOpts) {
+    let _ = CHECKPOINT.set(opts);
+}
+
+/// The installed checkpoint/resume options, if any.
+pub fn checkpoint_opts() -> Option<&'static CheckpointOpts> {
+    CHECKPOINT.get()
+}
+
 /// Candidate protection distances swept to find SPDP-B's per-benchmark
 /// optimum (Table 3's right column).
 pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
@@ -57,6 +97,7 @@ pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                     [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
                     [--no-fast-forward] [--telemetry PATH] [--profile]
+                    [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
@@ -84,7 +125,18 @@ usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                  stays byte-identical
   --profile      time the simulator itself (per-component wall clock,
                  fast-forward effectiveness); reported by sweep_bench
-                 and recorded into BENCH_sweep.json";
+                 and recorded into BENCH_sweep.json
+  --checkpoint PATH
+                 periodically snapshot each in-flight simulation to
+                 PATH.<point-hash>.ckpt (atomic write; file removed when
+                 the point completes), so an interrupted run can continue
+                 instead of restarting. Output stays byte-identical
+  --checkpoint-every N
+                 checkpoint cadence in cycles (default 65536); requires
+                 --checkpoint
+  --resume PATH  before simulating each point, restore its checkpoint
+                 file under the PATH stem when one exists; the resumed
+                 run's output is bit-identical to an uninterrupted one";
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Clone, Debug, Default)]
@@ -109,6 +161,28 @@ pub struct Cli {
     pub telemetry: Option<String>,
     /// Self-profile the simulator (`--profile`).
     pub profile: bool,
+    /// Checkpoint file stem (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Checkpoint cadence in cycles (`--checkpoint-every`).
+    pub checkpoint_every: Option<u64>,
+    /// Resume file stem (`--resume`).
+    pub resume: Option<String>,
+}
+
+/// Validates at parse time that `path`'s parent directory exists, so a
+/// mistyped `--telemetry`/`--checkpoint`/`--resume` destination fails at
+/// the command line instead of deep into a run at first write.
+pub fn ensure_parent_dir(flag: &str, path: &str) -> Result<(), String> {
+    match Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        Some(p) if !p.is_dir() => Err(format!(
+            "{flag} {path}: parent directory '{}' does not exist",
+            p.display()
+        )),
+        _ => Ok(()),
+    }
 }
 
 /// Parses one `--hierarchy` shape: `flat`, `cN` or `cN:KB` (cluster size
@@ -150,6 +224,13 @@ impl Cli {
             std::process::exit(2);
         });
         set_fast_forward(!cli.no_fast_forward);
+        if cli.checkpoint.is_some() || cli.resume.is_some() {
+            set_checkpoint_opts(CheckpointOpts {
+                write: cli.checkpoint.clone(),
+                every: cli.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY),
+                resume: cli.resume.clone(),
+            });
+        }
         cli
     }
 
@@ -200,11 +281,35 @@ impl Cli {
                 "--no-fast-forward" => cli.no_fast_forward = true,
                 "--telemetry" => {
                     let path = args.next().ok_or("--telemetry requires a value")?;
+                    ensure_parent_dir("--telemetry", &path)?;
                     cli.telemetry = Some(path);
                 }
                 "--profile" => cli.profile = true,
+                "--checkpoint" => {
+                    let path = args.next().ok_or("--checkpoint requires a value")?;
+                    ensure_parent_dir("--checkpoint", &path)?;
+                    cli.checkpoint = Some(path);
+                }
+                "--checkpoint-every" => {
+                    let n = args.next().ok_or("--checkpoint-every requires a value")?;
+                    let every: u64 = n.trim().parse().map_err(|_| {
+                        format!("--checkpoint-every expects a positive integer, got '{n}'")
+                    })?;
+                    if every == 0 {
+                        return Err("--checkpoint-every must be at least 1".into());
+                    }
+                    cli.checkpoint_every = Some(every);
+                }
+                "--resume" => {
+                    let path = args.next().ok_or("--resume requires a value")?;
+                    ensure_parent_dir("--resume", &path)?;
+                    cli.resume = Some(path);
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
+        }
+        if cli.checkpoint_every.is_some() && cli.checkpoint.is_none() {
+            return Err("--checkpoint-every requires --checkpoint".into());
         }
         Ok(cli)
     }
@@ -278,6 +383,26 @@ impl Cli {
     }
 }
 
+/// Parses the process command line for an experiment binary — the one
+/// entry point every `src/bin/*` main uses, so shared flags (and their
+/// validation) land everywhere at once.
+pub fn bench_cli() -> Cli {
+    Cli::parse(std::env::args().skip(1))
+}
+
+/// [`bench_cli`] plus binary-specific boolean switches (e.g. fig3_fig4's
+/// `--all`): returns the parsed shared flags and, per switch, whether it
+/// was present.
+pub fn bench_cli_with_switches(switches: &[&str]) -> (Cli, Vec<bool>) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let present = switches
+        .iter()
+        .map(|&s| args.iter().any(|a| a == s))
+        .collect();
+    args.retain(|a| !switches.contains(&a.as_str()));
+    (Cli::parse(args.into_iter()), present)
+}
+
 /// Runs one benchmark under one L1 policy on the Table 2 machine,
 /// optionally overriding the L1 capacity (KB) and the memory-hierarchy
 /// shape (`Hierarchy::Flat` = the paper's machine).
@@ -310,6 +435,33 @@ pub fn run_with_ports(
     hierarchy: Hierarchy,
     cluster_ports: usize,
 ) -> SimStats {
+    let cfg = point_config(policy, l1_kb, hierarchy, cluster_ports);
+    let label = point_label(
+        &policy,
+        bench,
+        l1_kb,
+        hierarchy,
+        cluster_ports,
+        /* sampled = */ false,
+    );
+    let (stats, _) = run_gpu(cfg, bench, false, &label);
+    stats
+}
+
+/// The machine configuration for one grid point — the single place the
+/// run helpers and the sweep server turn a `(policy, L1 size, hierarchy,
+/// ports)` tuple into a validated [`GpuConfig`].
+///
+/// # Panics
+///
+/// Panics on an invalid L1 size, hierarchy, or port count — grid axes are
+/// expected to be pre-validated at the command line.
+pub(crate) fn point_config(
+    policy: L1PolicyKind,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+    cluster_ports: usize,
+) -> GpuConfig {
     let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
     if let Some(kb) = l1_kb {
         cfg = cfg.with_l1_kb(kb).expect("valid L1 size");
@@ -321,9 +473,141 @@ pub fn run_with_ports(
         .with_cluster_ports(cluster_ports)
         .expect("positive cluster port count");
     cfg.fast_forward = fast_forward_enabled();
-    Gpu::new(cfg)
-        .run_kernel(bench)
-        .unwrap_or_else(|e| panic!("{} under {policy:?} failed: {e}", bench.info().name))
+    cfg
+}
+
+/// A stable identity for one grid point, embedded in (and hashed into the
+/// filename of) its checkpoint so `--resume` can never cross wires
+/// between points — not even between the sampled and unsampled runs of
+/// the same configuration, whose machine states coincide but whose
+/// telemetry does not.
+pub(crate) fn point_label(
+    policy: &L1PolicyKind,
+    bench: &dyn Benchmark,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+    cluster_ports: usize,
+    sampled: bool,
+) -> String {
+    format!(
+        "{}|{policy:?}|kb={l1_kb:?}|{hierarchy:?}|ports={cluster_ports}|sampled={sampled}",
+        bench.info().name
+    )
+}
+
+/// The checkpoint file for one labelled grid point under a `--checkpoint`
+/// / `--resume` stem.
+fn checkpoint_file(stem: &str, label: &str) -> PathBuf {
+    PathBuf::from(format!("{stem}.{:016x}.ckpt", fnv1a(label.as_bytes())))
+}
+
+/// Atomically replaces `path` with a labelled checkpoint (the wrapped
+/// `Gpu` snapshot), via a temp file + rename so a kill mid-write leaves
+/// the previous checkpoint intact rather than a truncated file. The temp
+/// name carries the writer's PID: after a coordinator kill, an orphaned
+/// sweep-server worker and its respawned replacement may both checkpoint
+/// the same point, and distinct temp files keep those writes from tearing
+/// each other (the rename itself is atomic either way).
+pub(crate) fn write_labelled_checkpoint(
+    path: &Path,
+    label: &str,
+    snapshot: &[u8],
+) -> std::io::Result<()> {
+    let mut w = SnapshotWriter::new();
+    w.section("bench_ckpt", |w| {
+        w.str(label);
+        w.bytes(snapshot);
+    });
+    let tmp = path.with_extension(format!("ckpt.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, w.finish())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a labelled checkpoint back, returning the wrapped `Gpu` snapshot.
+/// `Ok(None)` when no file exists; corrupt files or label mismatches are
+/// errors the caller reports before starting the point from scratch.
+pub(crate) fn read_labelled_checkpoint(
+    path: &Path,
+    label: &str,
+) -> Result<Option<Vec<u8>>, String> {
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut r = SnapshotReader::new(&buf).map_err(|e| e.to_string())?;
+    let mut snapshot = None;
+    r.section("bench_ckpt", |r| {
+        let found = r.str()?;
+        if found != label {
+            return Err(SnapshotError::Mismatch {
+                what: format!("checkpoint is for a different grid point ({found})"),
+            });
+        }
+        snapshot = Some(r.bytes()?.to_vec());
+        Ok(())
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(snapshot)
+}
+
+/// Builds a GPU for one grid point and runs it, honouring the
+/// process-wide checkpoint/resume options: an existing checkpoint for
+/// `label` is restored first (diagnostics go to stderr; stdout stays
+/// byte-identical), periodic snapshots are written while running, and the
+/// checkpoint file is removed once the point completes.
+fn run_gpu(
+    cfg: GpuConfig,
+    bench: &dyn Benchmark,
+    with_sampler: bool,
+    label: &str,
+) -> (SimStats, Option<Sampler>) {
+    let build = || {
+        let mut gpu = Gpu::new(cfg.clone());
+        if with_sampler {
+            gpu.attach_sampler(Sampler::new(gcache_sim::telemetry::DEFAULT_INTERVAL));
+        }
+        gpu
+    };
+    let mut gpu = build();
+    let opts = checkpoint_opts();
+    if let Some(stem) = opts.and_then(|o| o.resume.as_ref()) {
+        let path = checkpoint_file(stem, label);
+        match read_labelled_checkpoint(&path, label) {
+            Ok(None) => {}
+            Ok(Some(snapshot)) => match gpu.restore_checkpoint(&snapshot, bench) {
+                Ok(()) => eprintln!(
+                    "resuming {} from {} (cycle {})",
+                    bench.info().name,
+                    path.display(),
+                    gpu.cycle()
+                ),
+                Err(e) => {
+                    // A failed restore may leave the GPU half-written.
+                    eprintln!("warning: ignoring checkpoint {}: {e}", path.display());
+                    gpu = build();
+                }
+            },
+            Err(e) => eprintln!("warning: ignoring checkpoint {}: {e}", path.display()),
+        }
+    }
+    let result = match opts.and_then(|o| o.write.as_ref()) {
+        Some(stem) => {
+            let path = checkpoint_file(stem, label);
+            let every = opts.expect("write implies opts").every;
+            let r = gpu.run_kernel_checkpointed(bench, every, |_, snapshot| {
+                write_labelled_checkpoint(&path, label, &snapshot)
+            });
+            if r.is_ok() {
+                // The point is done; its checkpoint would only go stale.
+                let _ = std::fs::remove_file(&path);
+            }
+            r
+        }
+        None => gpu.run_kernel(bench),
+    };
+    let stats = result.unwrap_or_else(|e| panic!("{} ({label}) failed: {e}", bench.info().name));
+    (stats, gpu.take_sampler())
 }
 
 /// Like [`run`], but with a per-epoch telemetry [`Sampler`] attached;
@@ -344,13 +628,11 @@ pub fn run_sampled(
         .with_hierarchy(hierarchy)
         .unwrap_or_else(|e| panic!("invalid hierarchy {hierarchy:?}: {e}"));
     cfg.fast_forward = fast_forward_enabled();
-    let mut gpu = Gpu::new(cfg);
-    gpu.attach_sampler(Sampler::new(gcache_sim::telemetry::DEFAULT_INTERVAL));
-    let stats = gpu
-        .run_kernel(bench)
-        .unwrap_or_else(|e| panic!("{} under {policy:?} failed: {e}", bench.info().name));
-    let sampler = gpu.take_sampler().expect("sampler attached above");
-    (stats, sampler)
+    let label = point_label(
+        &policy, bench, l1_kb, hierarchy, 1, /* sampled = */ true,
+    );
+    let (stats, sampler) = run_gpu(cfg, bench, true, &label);
+    (stats, sampler.expect("sampler attached by run_gpu"))
 }
 
 /// One labelled telemetry series: `(benchmark, design, recorded series)`.

@@ -1,0 +1,662 @@
+//! The kill-safe sharded sweep server behind the `sweep_server` binary.
+//!
+//! A sweep is a deterministic grid of design points (benchmark × design ×
+//! hierarchy × crossbar ports). The coordinator writes the grid's
+//! manifest into a run directory, deals the points round-robin across
+//! `--workers` **processes** — the process-level analogue of
+//! [`parallel_map`]'s round-robin deal — and supervises them with one
+//! thread per shard, over `parallel_map` itself. Each worker walks its
+//! shard in submission order and, per point:
+//!
+//! * skips it when `results/NNNNN.result` already exists (completed on a
+//!   previous attempt),
+//! * otherwise resumes from `ckpt/NNNNN.ckpt` when one matches the
+//!   point's label, simulates with periodic checkpoints at the same
+//!   cadence as `--checkpoint-every`, and
+//! * publishes the finished point atomically (temp file + rename) before
+//!   deleting its checkpoint.
+//!
+//! Every file the server writes is replaced atomically, and every
+//! checkpoint embeds the point's label and the machine's configuration
+//! fingerprint, so a `SIGKILL` — of a worker, or of the coordinator
+//! itself — never corrupts the run directory. Re-running the same
+//! command against the same directory picks up exactly where the sweep
+//! died: completed points are skipped, in-flight points resume from
+//! their latest snapshot, and the merged output (stdout and
+//! `merged.tsv`) is byte-identical to an uninterrupted sweep. A killed
+//! worker is respawned by the coordinator itself, up to
+//! [`MAX_RESPAWNS`] times per shard.
+//!
+//! The run directory also survives *concurrent* duplicate writers (an
+//! orphaned worker from a killed coordinator racing its respawned
+//! replacement): temp names carry the writer PID, renames are atomic,
+//! result bytes for a given point are identical no matter who computes
+//! them, and a torn checkpoint is caught by its checksum and simply
+//! re-simulated.
+//!
+//! [`parallel_map`]: crate::sweep::parallel_map
+
+use crate::sweep::parallel_map;
+use crate::{
+    designs, point_config, point_label, read_labelled_checkpoint, write_labelled_checkpoint, Cli,
+    DEFAULT_CHECKPOINT_EVERY, USAGE,
+};
+use gcache_sim::config::{Hierarchy, L1PolicyKind};
+use gcache_sim::gpu::Gpu;
+use gcache_sim::stats::SimStats;
+use gcache_workloads::Benchmark;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// How many times the coordinator respawns one shard's worker process
+/// before declaring the sweep failed. A deterministic crash (a panic in
+/// the simulator) repeats on every respawn; the cap turns that into a
+/// clean error instead of a crash loop.
+pub const MAX_RESPAWNS: usize = 5;
+
+/// First line of `manifest.txt`; bumped if the run-directory layout ever
+/// changes incompatibly.
+const MANIFEST_HEADER: &str = "gcache-sweep-server v1";
+
+/// Environment variable carrying a fault-injection spec for the
+/// kill-resume tests: `ckpt:N` makes a worker abort right after writing
+/// its `N`-th checkpoint, `result:N` right before publishing its `N`-th
+/// result. The coordinator forwards the spec to the *first* spawn of
+/// shard 0 only, so the respawned replacement runs clean.
+pub const FAULT_ENV: &str = "GCACHE_SWEEP_FAULT";
+
+/// Usage text for the `sweep_server` binary.
+pub const SERVER_USAGE: &str = "\
+usage: sweep_server --dir RUNDIR [--workers N] [--checkpoint-every N]
+                    [--quick] [--bench NAME[,NAME...]]
+                    [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
+                    [--no-fast-forward]
+
+  --dir RUNDIR   run directory: manifest, per-point checkpoints and
+                 results, and the final merged.tsv live here. Re-running
+                 the same command against the same directory resumes an
+                 interrupted sweep; the merged output is byte-identical
+                 to an uninterrupted run
+  --workers N    worker *processes* to shard the grid across (default:
+                 the --jobs resolution order). The count may differ
+                 between a run and its resumption
+  --checkpoint-every N
+                 in-flight points snapshot every N cycles (default 65536)
+
+The remaining flags select the grid and behave exactly as in the other
+experiment binaries:
+";
+
+/// One grid point, by value (no borrow into the benchmark registry):
+/// `bench` indexes the roster the grid was built against.
+#[derive(Clone, Copy, Debug)]
+struct GridPoint {
+    bench: usize,
+    policy: L1PolicyKind,
+    hierarchy: Hierarchy,
+    cluster_ports: usize,
+}
+
+/// The sweep grid: the benchmark roster plus every point in submission
+/// order. Built deterministically from the command line, so the
+/// coordinator and each worker process reconstruct the identical grid
+/// from the identical flags.
+pub struct Grid {
+    benches: Vec<Box<dyn Benchmark>>,
+    points: Vec<GridPoint>,
+}
+
+impl Grid {
+    /// Builds the grid: every selected benchmark × the six Figure 8
+    /// designs (SPDP-B pinned at PD 8, as in `sweep_bench`) × every
+    /// hierarchy shape (default: flat) × the crossbar-port axis on
+    /// clustered shapes (default: 1 port).
+    pub fn from_cli(cli: &Cli) -> Grid {
+        let benches = cli.benchmarks();
+        let shapes = cli.hierarchies(&[Hierarchy::Flat]);
+        let ports = cli.port_counts(&[1]);
+        let mut points = Vec::new();
+        for bench in 0..benches.len() {
+            for &hierarchy in &shapes {
+                let ports: &[usize] = match hierarchy {
+                    Hierarchy::Flat => &[1],
+                    Hierarchy::SharedL15 { .. } => &ports,
+                };
+                for &cluster_ports in ports {
+                    for policy in designs(8) {
+                        points.push(GridPoint {
+                            bench,
+                            policy,
+                            hierarchy,
+                            cluster_ports,
+                        });
+                    }
+                }
+            }
+        }
+        Grid { benches, points }
+    }
+
+    /// Number of points in the grid.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty (e.g. `--bench` matched nothing).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stable label of point `i` — the same label the checkpoint
+    /// machinery embeds in snapshot files.
+    fn label(&self, i: usize) -> String {
+        let p = &self.points[i];
+        point_label(
+            &p.policy,
+            self.benches[p.bench].as_ref(),
+            None,
+            p.hierarchy,
+            p.cluster_ports,
+            /* sampled = */ false,
+        )
+    }
+
+    /// The manifest body: header, point count, then one `NNNNN label`
+    /// line per point in submission order.
+    fn manifest(&self) -> String {
+        let mut out = format!("{MANIFEST_HEADER}\npoints={}\n", self.points.len());
+        for i in 0..self.points.len() {
+            let _ = writeln!(out, "{i:05} {}", self.label(i));
+        }
+        out
+    }
+}
+
+/// Parsed `sweep_server` command line: the server-specific flags plus
+/// the shared grid flags, and the raw argument list workers are
+/// respawned with.
+#[derive(Debug)]
+pub struct ServerOpts {
+    /// Run directory (`--dir`).
+    pub dir: PathBuf,
+    /// Worker-process count.
+    pub workers: usize,
+    /// Checkpoint cadence in cycles.
+    pub every: u64,
+    /// `Some(shard)` in a worker process (`--shard`, spawned by the
+    /// coordinator — not part of the public interface).
+    pub shard: Option<usize>,
+    /// Shared grid flags.
+    pub cli: Cli,
+    /// The original argument list (without `--shard`), re-issued to
+    /// worker processes.
+    passthrough: Vec<String>,
+}
+
+/// Removes `flag value` from `args`, returning the value. Errors when
+/// the flag is present without a value; the *last* occurrence wins.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut found = None;
+    while let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        found = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    Ok(found)
+}
+
+impl ServerOpts {
+    /// Parses a `sweep_server` argument list (no program name).
+    pub fn parse(mut args: Vec<String>) -> Result<ServerOpts, String> {
+        let dir = take_flag_value(&mut args, "--dir")?
+            .ok_or("--dir RUNDIR is required (the sweep's state lives there)")?;
+        let shard = take_flag_value(&mut args, "--shard")?
+            .map(|s| {
+                s.parse::<usize>()
+                    .map_err(|_| format!("--shard expects an index, got '{s}'"))
+            })
+            .transpose()?;
+        let every = match take_flag_value(&mut args, "--checkpoint-every")? {
+            Some(n) => match n.trim().parse::<u64>() {
+                Ok(e) if e >= 1 => e,
+                _ => {
+                    return Err(format!(
+                        "--checkpoint-every expects a positive integer, got '{n}'"
+                    ))
+                }
+            },
+            None => DEFAULT_CHECKPOINT_EVERY,
+        };
+        let explicit_workers = match take_flag_value(&mut args, "--workers")? {
+            Some(n) => match n.trim().parse::<usize>() {
+                Ok(w) if w >= 1 => Some(w),
+                _ => return Err(format!("--workers expects a positive integer, got '{n}'")),
+            },
+            None => None,
+        };
+        let cli = Cli::try_parse(args.iter().cloned())?;
+        // Worker-process count: `--workers`, falling back to the shared
+        // `--jobs` resolution order.
+        let workers = explicit_workers.unwrap_or_else(|| cli.jobs());
+        // `--shard` is stripped; everything else is re-issued to worker
+        // processes so they rebuild the identical grid. The resolved
+        // worker count and cadence are pinned explicitly — the
+        // round-robin deal must match between coordinator and workers
+        // even when the coordinator's count came from the environment.
+        let mut passthrough = vec!["--dir".into(), dir.clone()];
+        passthrough.extend(["--checkpoint-every".to_string(), every.to_string()]);
+        passthrough.extend(["--workers".to_string(), workers.to_string()]);
+        passthrough.extend(args.iter().cloned());
+        if cli.checkpoint.is_some() || cli.resume.is_some() {
+            return Err(
+                "--checkpoint/--resume do not apply: the sweep server always checkpoints \
+                 into RUNDIR/ckpt and always resumes from it"
+                    .into(),
+            );
+        }
+        if cli.telemetry.is_some() {
+            return Err("--telemetry is not supported by the sweep server".into());
+        }
+        crate::set_fast_forward(!cli.no_fast_forward);
+        Ok(ServerOpts {
+            dir: PathBuf::from(dir),
+            workers,
+            every,
+            shard,
+            cli,
+            passthrough,
+        })
+    }
+}
+
+/// The result file of point `i`.
+fn result_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join("results").join(format!("{i:05}.result"))
+}
+
+/// The checkpoint file of point `i`.
+fn ckpt_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join("ckpt").join(format!("{i:05}.ckpt"))
+}
+
+/// Atomically replaces `path` with `body` (PID-suffixed temp + rename),
+/// so a kill mid-write can never publish a torn file.
+fn write_atomic(path: &Path, body: &str) -> std::io::Result<()> {
+    let mut name = path.file_name().expect("non-empty file name").to_owned();
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Column header of the merged output (and, sans `index`/`point`, of
+/// each result line's payload).
+const RESULT_HEADER: &str =
+    "index\tpoint\tcycles\tinstructions\tipc\tl1_miss_rate\tl1_bypass_ratio\tl15_miss_rate\n";
+
+/// Renders one completed point as its result-file line. Fixed-precision
+/// floats over deterministic simulation output: the bytes are identical
+/// no matter which worker (or which attempt) computes them — the
+/// property the merge's byte-identity guarantee rests on.
+fn result_line(index: usize, label: &str, stats: &SimStats) -> String {
+    format!(
+        "{index:05}\t{label}\t{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+        stats.cycles,
+        stats.instructions,
+        stats.ipc(),
+        stats.l1_miss_rate(),
+        stats.l1_bypass_ratio(),
+        stats.l15_miss_rate(),
+    )
+}
+
+/// The shard owning point `i` under a round-robin deal across `workers`
+/// shards — the same deal [`parallel_map`] opens with.
+fn owner(i: usize, workers: usize) -> usize {
+    i % workers
+}
+
+/// Fault-injection spec parsed from [`FAULT_ENV`] (tests only).
+enum Fault {
+    /// Abort right after writing the `n`-th checkpoint.
+    AfterCkpt(u64),
+    /// Abort right before publishing the `n`-th result.
+    BeforeResult(u64),
+}
+
+fn parse_fault() -> Option<Fault> {
+    let spec = std::env::var(FAULT_ENV).ok()?;
+    let (kind, n) = spec.split_once(':')?;
+    let n: u64 = n.parse().ok()?;
+    match kind {
+        "ckpt" => Some(Fault::AfterCkpt(n)),
+        "result" => Some(Fault::BeforeResult(n)),
+        _ => None,
+    }
+}
+
+/// Worker process: walks shard `shard`'s points in submission order,
+/// resuming and checkpointing each through `RUNDIR/ckpt`, publishing
+/// completed points into `RUNDIR/results`.
+fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> Result<(), String> {
+    let fault = parse_fault();
+    let mut ckpts_written: u64 = 0;
+    let mut results_written: u64 = 0;
+    for i in (0..grid.len()).filter(|&i| owner(i, workers) == shard) {
+        let res = result_path(&opts.dir, i);
+        if res.exists() {
+            continue; // completed on a previous attempt
+        }
+        let p = &grid.points[i];
+        let bench = grid.benches[p.bench].as_ref();
+        let label = grid.label(i);
+        let ckpt = ckpt_path(&opts.dir, i);
+
+        let cfg = point_config(p.policy, None, p.hierarchy, p.cluster_ports);
+        let build = || Gpu::new(cfg.clone());
+        let mut gpu = build();
+        match read_labelled_checkpoint(&ckpt, &label) {
+            Ok(None) => {}
+            Ok(Some(snapshot)) => match gpu.restore_checkpoint(&snapshot, bench) {
+                Ok(()) => eprintln!(
+                    "[sweep-server w{shard}] resuming {i:05} ({label}) from cycle {}",
+                    gpu.cycle()
+                ),
+                Err(e) => {
+                    eprintln!("[sweep-server w{shard}] ignoring checkpoint {i:05}: {e}");
+                    gpu = build();
+                }
+            },
+            Err(e) => eprintln!("[sweep-server w{shard}] ignoring checkpoint {i:05}: {e}"),
+        }
+
+        let stats = gpu
+            .run_kernel_checkpointed(bench, opts.every, |_, snapshot| {
+                write_labelled_checkpoint(&ckpt, &label, &snapshot)?;
+                ckpts_written += 1;
+                if let Some(Fault::AfterCkpt(n)) = fault {
+                    if ckpts_written == n {
+                        eprintln!(
+                            "[sweep-server w{shard}] fault injection: abort after checkpoint {n}"
+                        );
+                        std::process::abort();
+                    }
+                }
+                Ok(())
+            })
+            .map_err(|e| format!("point {i:05} ({label}) failed: {e}"))?;
+
+        if let Some(Fault::BeforeResult(n)) = fault {
+            if results_written + 1 == n {
+                eprintln!("[sweep-server w{shard}] fault injection: abort before result {n}");
+                std::process::abort();
+            }
+        }
+        write_atomic(&res, &result_line(i, &label, &stats))
+            .map_err(|e| format!("cannot publish {}: {e}", res.display()))?;
+        results_written += 1;
+        let _ = std::fs::remove_file(&ckpt); // the point is done; only stale now
+        eprintln!("[sweep-server w{shard}] {i:05} ({label}) done");
+    }
+    Ok(())
+}
+
+/// Spawns and supervises shard `shard`'s worker process, respawning it
+/// on any abnormal exit (a `SIGKILL`ed worker included), up to
+/// [`MAX_RESPAWNS`] times. `fault` is forwarded only to the first spawn
+/// of shard 0 — see [`FAULT_ENV`].
+fn supervise(opts: &ServerOpts, shard: usize, fault: Option<&str>) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    for attempt in 0..=MAX_RESPAWNS {
+        let mut cmd = Command::new(&exe);
+        cmd.args(&opts.passthrough)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .env_remove(FAULT_ENV);
+        if let (0, 0, Some(spec)) = (shard, attempt, fault) {
+            cmd.env(FAULT_ENV, spec);
+        }
+        let status = cmd
+            .status()
+            .map_err(|e| format!("cannot spawn worker {shard}: {e}"))?;
+        if status.success() {
+            return Ok(());
+        }
+        eprintln!(
+            "[sweep-server] worker {shard} died ({status}); \
+             respawn {}/{MAX_RESPAWNS}",
+            attempt + 1
+        );
+    }
+    Err(format!(
+        "worker {shard} failed {} times; giving up",
+        MAX_RESPAWNS + 1
+    ))
+}
+
+/// Reads every result file in submission order and renders the merged
+/// document. Errors on a missing file or on a line that does not open
+/// with the expected `index\tlabel\t` prefix (a stale or foreign run
+/// directory).
+fn merge(dir: &Path, grid: &Grid) -> Result<String, String> {
+    let mut out = String::from(RESULT_HEADER);
+    for i in 0..grid.len() {
+        let path = result_path(dir, i);
+        let line = std::fs::read_to_string(&path)
+            .map_err(|e| format!("missing result {}: {e}", path.display()))?;
+        let want = format!("{i:05}\t{}\t", grid.label(i));
+        if !line.starts_with(&want) {
+            return Err(format!(
+                "{} does not match the manifest (expected prefix '{want}')",
+                path.display()
+            ));
+        }
+        out.push_str(&line);
+    }
+    Ok(out)
+}
+
+/// Coordinator process: prepares the run directory, deals the grid
+/// across worker processes, supervises them, and — once every point has
+/// published — merges the results in submission order to `merged.tsv`
+/// and stdout.
+fn run_coordinator(opts: &ServerOpts, grid: &Grid, workers: usize) -> Result<(), String> {
+    if grid.is_empty() {
+        return Err("the grid is empty (no benchmark matched)".into());
+    }
+    std::fs::create_dir_all(opts.dir.join("results"))
+        .and_then(|()| std::fs::create_dir_all(opts.dir.join("ckpt")))
+        .map_err(|e| format!("cannot prepare {}: {e}", opts.dir.display()))?;
+
+    // The manifest pins the grid to the directory: resuming with
+    // different flags (a different grid) must fail loudly instead of
+    // merging unrelated results.
+    let manifest = grid.manifest();
+    let mpath = opts.dir.join("manifest.txt");
+    match std::fs::read_to_string(&mpath) {
+        Ok(prev) if prev != manifest => {
+            return Err(format!(
+                "{} belongs to a different sweep (manifest mismatch); \
+                 use a fresh --dir or re-run with the original flags",
+                opts.dir.display()
+            ));
+        }
+        Ok(_) => eprintln!("[sweep-server] resuming sweep in {}", opts.dir.display()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            write_atomic(&mpath, &manifest)
+                .map_err(|e| format!("cannot write {}: {e}", mpath.display()))?;
+        }
+        Err(e) => return Err(format!("cannot read {}: {e}", mpath.display())),
+    }
+
+    let done = (0..grid.len())
+        .filter(|&i| result_path(&opts.dir, i).exists())
+        .count();
+    eprintln!(
+        "[sweep-server] {} points ({} already complete), {workers} worker processes, \
+         checkpoint every {} cycles",
+        grid.len(),
+        done,
+        opts.every
+    );
+
+    if done < grid.len() {
+        // One supervisor thread per shard, over the sweep engine's own
+        // fan-out. The fault spec (tests only) is consumed here so the
+        // respawned replacement of a deliberately killed worker runs
+        // clean.
+        let fault = std::env::var(FAULT_ENV).ok();
+        let shards: Vec<usize> = (0..workers).collect();
+        let outcomes = parallel_map(&shards, workers, |&shard| {
+            supervise(opts, shard, fault.as_deref())
+        });
+        let failures: Vec<String> = outcomes.into_iter().filter_map(Result::err).collect();
+        if !failures.is_empty() {
+            return Err(failures.join("; "));
+        }
+    }
+
+    let merged = merge(&opts.dir, grid)?;
+    let out = opts.dir.join("merged.tsv");
+    write_atomic(&out, &merged).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!(
+        "[sweep-server] merged {} results into {}",
+        grid.len(),
+        out.display()
+    );
+    print!("{merged}");
+    Ok(())
+}
+
+/// Runs the sweep server with parsed options: as coordinator, or — when
+/// spawned with `--shard` — as one worker process.
+pub fn run(opts: &ServerOpts) -> Result<(), String> {
+    let grid = Grid::from_cli(&opts.cli);
+    // Clamped identically in the coordinator and in every worker (both
+    // see the same pinned `--jobs` and the same grid), so the deal and
+    // the supervised shard set always agree.
+    let workers = opts.workers.clamp(1, grid.len().max(1));
+    match opts.shard {
+        Some(shard) => run_worker(opts, &grid, shard, workers),
+        None => run_coordinator(opts, &grid, workers),
+    }
+}
+
+/// Prints a `sweep_server` usage failure and exits.
+pub fn usage_exit(err: &str) -> ! {
+    eprintln!("error: {err}\n\n{SERVER_USAGE}{USAGE}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::try_parse(args.iter().map(|s| s.to_string())).expect("valid flags")
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_label_stable() {
+        let c = cli(&["--quick", "--bench", "BFS,STL"]);
+        let a = Grid::from_cli(&c);
+        let b = Grid::from_cli(&c);
+        assert_eq!(a.len(), 2 * 6, "2 benches x 6 designs");
+        assert_eq!(a.manifest(), b.manifest());
+        assert!(a.label(0).starts_with("BFS|"), "got: {}", a.label(0));
+        // The six designs of one bench precede the next bench.
+        assert!(a.label(6).starts_with("STL|"), "got: {}", a.label(6));
+    }
+
+    #[test]
+    fn grid_ports_axis_applies_to_clustered_shapes_only() {
+        let c = cli(&[
+            "--quick",
+            "--bench",
+            "BFS",
+            "--hierarchy",
+            "flat,c4",
+            "--cluster-ports",
+            "1,2",
+        ]);
+        let g = Grid::from_cli(&c);
+        // flat: 1 port; c4: 2 port counts — (1 + 2) x 6 designs.
+        assert_eq!(g.len(), 18);
+    }
+
+    #[test]
+    fn round_robin_deal_covers_every_point_once() {
+        let workers = 3;
+        let mut seen = [0u32; 10];
+        for shard in 0..workers {
+            for i in (0..10).filter(|&i| owner(i, workers) == shard) {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn server_opts_parse_extracts_server_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = ServerOpts::parse(args(&[
+            "--dir",
+            "/tmp/x",
+            "--quick",
+            "--checkpoint-every",
+            "500",
+        ]))
+        .expect("parses");
+        assert_eq!(o.dir, PathBuf::from("/tmp/x"));
+        assert_eq!(o.every, 500);
+        assert!(o.shard.is_none());
+        assert!(o.cli.quick);
+        // Workers rebuild the identical grid from the passthrough.
+        assert!(o.passthrough.contains(&"--quick".to_string()));
+        assert!(!o.passthrough.contains(&"--shard".to_string()));
+
+        let o = ServerOpts::parse(args(&["--dir", "/tmp/x", "--workers", "7"])).expect("parses");
+        assert_eq!(o.workers, 7);
+        assert!(
+            o.passthrough
+                .windows(2)
+                .any(|w| w[0] == "--workers" && w[1] == "7"),
+            "worker count must be pinned for respawned workers: {:?}",
+            o.passthrough
+        );
+
+        let err = ServerOpts::parse(args(&["--quick"])).unwrap_err();
+        assert!(err.contains("--dir"), "got: {err}");
+        let err = ServerOpts::parse(args(&["--dir", "d", "--checkpoint", "x"])).unwrap_err();
+        assert!(err.contains("sweep server"), "got: {err}");
+        let err = ServerOpts::parse(args(&["--dir", "d", "--shard", "zero"])).unwrap_err();
+        assert!(err.contains("--shard"), "got: {err}");
+    }
+
+    #[test]
+    fn result_line_round_trips_through_merge_prefix_check() {
+        let mut s = SimStats::new("BFS", "GC");
+        s.cycles = 1000;
+        s.instructions = 500;
+        let line = result_line(7, "BFS|Lru|kb=None|Flat|ports=1|sampled=false", &s);
+        assert!(line.starts_with("00007\tBFS|Lru|"), "got: {line}");
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.split('\t').count(), 8, "got: {line}");
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents() {
+        let dir = std::env::temp_dir().join(format!("gcache-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.txt");
+        write_atomic(&path, "one").unwrap();
+        write_atomic(&path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        // No temp litter left behind on the happy path.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -11,6 +11,7 @@
 use crate::addr::{CoreId, LineAddr};
 use crate::geometry::CacheGeometry;
 use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 use crate::tag_array::{Evicted, TagArray};
 use crate::trace::{TraceKind, TraceSink, TraceSource};
@@ -505,6 +506,48 @@ impl Cache {
     }
 }
 
+/// Saves the cache's mutable state: tags, policy, victim bits, stats and
+/// the epoch phase. The attached trace sink (if any) is *not* serialized —
+/// tracing is an observation channel, reattached by the harness after a
+/// restore.
+impl Snapshot for Cache {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("cache", |w| {
+            self.tags.save(w);
+            self.policy.save(w);
+            match &self.victim_bits {
+                Some(vb) => {
+                    w.bool(true);
+                    vb.save(w);
+                }
+                None => w.bool(false),
+            }
+            self.stats.save(w);
+            w.u64(self.accesses_since_epoch);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("cache", |r| {
+            self.tags.restore(r)?;
+            self.policy.restore(r)?;
+            let has_vb = r.bool()?;
+            match (has_vb, &mut self.victim_bits) {
+                (true, Some(vb)) => vb.restore(r)?,
+                (false, None) => {}
+                _ => {
+                    return Err(SnapshotError::Mismatch {
+                        what: "victim-bit tracker presence".to_string(),
+                    })
+                }
+            }
+            self.stats.restore(r)?;
+            self.accesses_since_epoch = r.u64()?;
+            Ok(())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,6 +796,66 @@ mod tests {
             format!("{:?}", c.stats())
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behaviour() {
+        let g = geom();
+        let build =
+            || Cache::with_victim_bits(CacheConfig::l2(g, 8), GCache::with_defaults(&g), 4, 1);
+        let mut original = build();
+        // Drive a mixed walk: fills, hits, evictions, victim-bit traffic.
+        for i in 0..60u64 {
+            let line = LineAddr::new((i * 5) % 16);
+            let core = CoreId((i % 4) as usize);
+            if !original.access(line, AccessKind::Read, core).is_hit() {
+                original.fill(FillCtx::plain(line, core), false);
+            }
+        }
+        let mut w = SnapshotWriter::new();
+        original.save(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = build();
+        restored
+            .restore(&mut SnapshotReader::new(&bytes).unwrap())
+            .unwrap();
+
+        // Identical continuation: same walk yields identical stats debug.
+        for i in 0..60u64 {
+            let line = LineAddr::new((i * 7) % 16);
+            let core = CoreId((i % 4) as usize);
+            let a = original.access(line, AccessKind::Read, core);
+            let b = restored.access(line, AccessKind::Read, core);
+            assert_eq!(a, b, "lookup diverged at step {i}");
+            if !a.is_hit() {
+                let fa = original.fill(FillCtx::plain(line, core), false);
+                let fb = restored.fill(FillCtx::plain(line, core), false);
+                assert_eq!(fa, fb, "fill diverged at step {i}");
+            }
+        }
+        assert_eq!(
+            format!("{:?}", original.stats()),
+            format!("{:?}", restored.stats())
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_policy_mismatch() {
+        let g = geom();
+        let mut gc = Cache::new(CacheConfig::l1(g, 0), GCache::with_defaults(&g));
+        gc.fill(FillCtx::plain(LineAddr::new(0), C0), false);
+        let mut w = SnapshotWriter::new();
+        gc.save(&mut w);
+        let bytes = w.finish();
+        let mut lru = Cache::new(CacheConfig::l1(g, 0), Lru::new(&g));
+        let err = lru
+            .restore(&mut SnapshotReader::new(&bytes).unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::snapshot::SnapshotError::Mismatch { .. }
+        ));
     }
 
     #[test]

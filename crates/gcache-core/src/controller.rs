@@ -23,6 +23,7 @@ use crate::addr::{CoreId, LineAddr};
 use crate::cache::{Cache, FillOutcome, Lookup, WritePolicy};
 use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
 use crate::policy::{AccessKind, FillCtx};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 use crate::trace::{TraceKind, TraceSink, TraceSource};
 
@@ -334,6 +335,28 @@ impl<T> CacheController<T> {
     /// Read access to the MSHR file (occupancy statistics, tests).
     pub fn mshr(&self) -> &MshrFile<T> {
         &self.mshr
+    }
+}
+
+/// Saves the controller's mutable state: the wrapped cache, the MSHR file
+/// and the blocked-access counter. Trace sinks are observation channels and
+/// are never serialized (see [`Cache`]'s snapshot notes).
+impl<T: SnapshotPayload> Snapshot for CacheController<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("ctrl", |w| {
+            self.cache.save(w);
+            self.mshr.save(w);
+            w.u64(self.blocked);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("ctrl", |r| {
+            self.cache.restore(r)?;
+            self.mshr.restore(r)?;
+            self.blocked = r.u64()?;
+            Ok(())
+        })
     }
 }
 

@@ -53,6 +53,7 @@
 //! | [`controller`] | cache + MSHRs + the generic miss-handling machine |
 //! | [`reuse`] | offline reuse profiling (Figure 2 infrastructure) |
 //! | [`trace`](mod@trace) | opt-in structured event tracing (sinks, ring buffer, text dumper) |
+//! | [`snapshot`] | versioned checkpoint format (writer/reader, sections, checksums) |
 //! | [`overhead`] | the storage-cost arithmetic of §4.3 |
 //! | [`stats`] | counters and reuse histograms |
 
@@ -69,6 +70,7 @@ pub mod overhead;
 pub mod policy;
 pub mod reuse;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod tag_array;
 pub mod trace;
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use crate::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
     pub use crate::policy::rrip::Rrip;
     pub use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
+    pub use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
     pub use crate::stats::CacheStats;
     pub use crate::trace::{
         dump_filtered, SharedTraceRing, TraceEvent, TraceFilter, TraceKind, TraceLevel, TraceRing,

@@ -22,6 +22,7 @@
 use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
 use crate::policy::rrip::RrpvTable;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Tunables of the [`GCache`] policy.
 ///
@@ -296,6 +297,50 @@ impl ReplacementPolicy for GCache {
 
     fn bypasses(&self) -> u64 {
         self.bypasses
+    }
+}
+
+impl Snapshot for GCache {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("gcache", |w| {
+            self.table.save(w);
+            w.usize(self.switch.len());
+            for &s in &self.switch {
+                w.bool(s);
+            }
+            for &c in &self.since_aging {
+                w.u32(c);
+            }
+            w.u32(self.current_period);
+            w.u64(self.epoch_bypasses);
+            w.u64(self.epoch_hits);
+            w.u64(self.bypasses);
+            w.u64(self.switch_openings);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("gcache", |r| {
+            self.table.restore(r)?;
+            let n = r.usize()?;
+            if n != self.switch.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("G-Cache sets ({n} saved, {} built)", self.switch.len()),
+                });
+            }
+            for s in &mut self.switch {
+                *s = r.bool()?;
+            }
+            for c in &mut self.since_aging {
+                *c = r.u32()?;
+            }
+            self.current_period = r.u32()?;
+            self.epoch_bypasses = r.u64()?;
+            self.epoch_hits = r.u64()?;
+            self.bypasses = r.u64()?;
+            self.switch_openings = r.u64()?;
+            Ok(())
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Least-recently-used replacement. Never bypasses.
 ///
@@ -82,6 +83,34 @@ impl ReplacementPolicy for Lru {
         let t = self.tick();
         let i = self.idx(set, way);
         self.stamp[i] = t;
+    }
+}
+
+impl Snapshot for Lru {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("lru", |w| {
+            w.usize(self.stamp.len());
+            for &s in &self.stamp {
+                w.u64(s);
+            }
+            w.u64(self.clock);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("lru", |r| {
+            let n = r.usize()?;
+            if n != self.stamp.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("LRU stamps ({n} saved, {} built)", self.stamp.len()),
+                });
+            }
+            for s in &mut self.stamp {
+                *s = r.u64()?;
+            }
+            self.clock = r.u64()?;
+            Ok(())
+        })
     }
 }
 

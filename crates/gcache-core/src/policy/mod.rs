@@ -21,6 +21,7 @@ pub mod pdp_dyn;
 pub mod rrip;
 
 use crate::addr::{CoreId, LineAddr};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::fmt;
 
 /// What kind of access is being performed.
@@ -246,6 +247,46 @@ impl ReplacementPolicy for PolicyKind {
     #[inline]
     fn bypasses(&self) -> u64 {
         dispatch!(self, p => p.bypasses())
+    }
+}
+
+impl PolicyKind {
+    /// Stable discriminant used in snapshots to catch a policy mismatch
+    /// between the saving and restoring configuration.
+    fn variant_tag(&self) -> u8 {
+        match self {
+            PolicyKind::Lru(_) => 0,
+            PolicyKind::Rrip(_) => 1,
+            PolicyKind::Drrip(_) => 2,
+            PolicyKind::GCache(_) => 3,
+            PolicyKind::StaticPdp(_) => 4,
+            PolicyKind::DynamicPdp(_) => 5,
+        }
+    }
+}
+
+impl Snapshot for PolicyKind {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("policy", |w| {
+            w.u8(self.variant_tag());
+            dispatch!(self, p => p.save(w));
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("policy", |r| {
+            let tag = r.u8()?;
+            if tag != self.variant_tag() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "policy variant (tag {tag} saved, {} ({}) built)",
+                        self.variant_tag(),
+                        self.name()
+                    ),
+                });
+            }
+            dispatch!(self, p => p.restore(r))
+        })
     }
 }
 

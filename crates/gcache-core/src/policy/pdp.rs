@@ -14,6 +14,7 @@
 
 use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Shared RPD-counter machinery used by [`StaticPdp`] and
 /// [`crate::policy::pdp_dyn::DynamicPdp`].
@@ -57,6 +58,32 @@ impl RpdTable {
     /// the lowest way, which is what a priority encoder would do.
     pub(crate) fn find_unprotected(&self, set: usize, valid_mask: u64) -> Option<usize> {
         (0..self.ways).find(|&w| valid_mask & (1 << w) != 0 && self.get(set, w) == 0)
+    }
+}
+
+impl Snapshot for RpdTable {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("rpd", |w| {
+            w.usize(self.rpd.len());
+            for &v in &self.rpd {
+                w.u16(v);
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("rpd", |r| {
+            let n = r.usize()?;
+            if n != self.rpd.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("RPD table size ({n} saved, {} built)", self.rpd.len()),
+                });
+            }
+            for v in &mut self.rpd {
+                *v = r.u16()?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -148,6 +175,23 @@ impl ReplacementPolicy for StaticPdp {
 
     fn bypasses(&self) -> u64 {
         self.bypasses
+    }
+}
+
+impl Snapshot for StaticPdp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("spdp", |w| {
+            self.table.save(w);
+            w.u64(self.bypasses);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("spdp", |r| {
+            self.table.restore(r)?;
+            self.bypasses = r.u64()?;
+            Ok(())
+        })
     }
 }
 

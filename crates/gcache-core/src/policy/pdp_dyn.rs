@@ -24,6 +24,7 @@
 use super::pdp::RpdTable;
 use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::VecDeque;
 
 /// Tunables for [`DynamicPdp`].
@@ -275,6 +276,71 @@ impl ReplacementPolicy for DynamicPdp {
 
     fn bypasses(&self) -> u64 {
         self.bypasses
+    }
+}
+
+impl Snapshot for DynamicPdp {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("pdp_dyn", |w| {
+            self.table.save(w);
+            w.u16(self.pd);
+            w.usize(self.samplers.len());
+            for s in &self.samplers {
+                w.usize(s.fifo.len());
+                for &tag in &s.fifo {
+                    w.u64(tag);
+                }
+            }
+            w.usize(self.rdd.len());
+            for &c in &self.rdd {
+                w.u64(c);
+            }
+            w.u64(self.rdd_overflow);
+            w.u64(self.bypasses);
+            w.u64(self.estimations);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("pdp_dyn", |r| {
+            self.table.restore(r)?;
+            self.pd = r.u16()?;
+            let samplers = r.usize()?;
+            if samplers != self.samplers.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "PDP samplers ({samplers} saved, {} built)",
+                        self.samplers.len()
+                    ),
+                });
+            }
+            for s in &mut self.samplers {
+                let depth = r.usize()?;
+                if depth > self.cfg.sampler_depth {
+                    return Err(SnapshotError::BadValue {
+                        what: "PDP sampler depth".to_string(),
+                        value: depth as u64,
+                    });
+                }
+                s.fifo.clear();
+                for _ in 0..depth {
+                    s.fifo.push_back(r.u64()?);
+                }
+            }
+            let bins = r.usize()?;
+            if bins != self.rdd.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("RDD bins ({bins} saved, {} built)", self.rdd.len()),
+                });
+            }
+            for c in &mut self.rdd {
+                *c = r.u64()?;
+            }
+            self.rdd_overflow = r.u64()?;
+            self.bypasses = r.u64()?;
+            self.estimations = r.u64()?;
+            Ok(())
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 
 use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// How RRIP assigns the RRPV of a newly inserted line.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -144,6 +145,40 @@ impl RrpvTable {
     }
 }
 
+impl Snapshot for RrpvTable {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("rrpv", |w| {
+            w.bytes(&self.rrpv);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("rrpv", |r| {
+            let bytes = r.bytes()?;
+            if bytes.len() != self.rrpv.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "RRPV table size ({} saved, {} built)",
+                        bytes.len(),
+                        self.rrpv.len()
+                    ),
+                });
+            }
+            let max = self.max;
+            for (slot, &b) in self.rrpv.iter_mut().zip(bytes.iter()) {
+                if b > max {
+                    return Err(SnapshotError::BadValue {
+                        what: "RRPV".to_string(),
+                        value: b as u64,
+                    });
+                }
+                *slot = b;
+            }
+            Ok(())
+        })
+    }
+}
+
 /// SRRIP / BRRIP replacement. Never bypasses — this is the paper's `BS-S`
 /// when configured as `Rrip::srrip(&geom, 3)`.
 ///
@@ -243,6 +278,23 @@ impl ReplacementPolicy for Rrip {
     fn on_insert(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
         let rrpv = self.insertion_rrpv();
         self.table.set(set, way, rrpv);
+    }
+}
+
+impl Snapshot for Rrip {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("srrip", |w| {
+            self.table.save(w);
+            w.u64(self.insertions);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("srrip", |r| {
+            self.table.restore(r)?;
+            self.insertions = r.u64()?;
+            Ok(())
+        })
     }
 }
 
@@ -365,6 +417,25 @@ impl ReplacementPolicy for Drrip {
             self.table.max() - 1
         };
         self.table.set(set, way, rrpv);
+    }
+}
+
+impl Snapshot for Drrip {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("drrip", |w| {
+            self.table.save(w);
+            w.i32(self.psel);
+            w.u64(self.brrip_tick);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("drrip", |r| {
+            self.table.restore(r)?;
+            self.psel = r.i32()?;
+            self.brrip_tick = r.u64()?;
+            Ok(())
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! platform, which is what makes simulation results reproducible and
 //! lets the parallel sweep engine guarantee bit-identical output.
 
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::ops::Range;
 
 /// A small, fast, deterministic generator (xoshiro256**).
@@ -99,9 +100,45 @@ impl SmallRng {
     }
 }
 
+impl Snapshot for SmallRng {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("rng", |w| {
+            for &word in &self.s {
+                w.u64(word);
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("rng", |r| {
+            for word in &mut self.s {
+                *word = r.u64()?;
+            }
+            Ok(())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            a.next_u64();
+        }
+        let mut w = SnapshotWriter::new();
+        a.save(&mut w);
+        let bytes = w.finish();
+        let mut b = SmallRng::seed_from_u64(0);
+        b.restore(&mut SnapshotReader::new(&bytes).unwrap())
+            .unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
 
     #[test]
     fn deterministic_and_seed_sensitive() {

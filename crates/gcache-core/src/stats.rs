@@ -2,6 +2,7 @@
 //! histogram behind the paper's Figure 2.
 
 use crate::policy::AccessKind;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::fmt;
 
 /// Number of explicit reuse-count buckets; counts of `REUSE_BUCKETS - 1` or
@@ -85,6 +86,25 @@ impl ReuseHistogram {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
+    }
+}
+
+impl Snapshot for ReuseHistogram {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("reuse_hist", |w| {
+            for &b in &self.buckets {
+                w.u64(b);
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("reuse_hist", |r| {
+            for b in &mut self.buckets {
+                *b = r.u64()?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -204,6 +224,40 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.writebacks += other.writebacks;
         self.reuse.merge(&other.reuse);
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("cache_stats", |w| {
+            w.u64(self.reads);
+            w.u64(self.read_hits);
+            w.u64(self.writes);
+            w.u64(self.write_hits);
+            w.u64(self.atomics);
+            w.u64(self.atomic_hits);
+            w.u64(self.fills);
+            w.u64(self.bypassed_fills);
+            w.u64(self.evictions);
+            w.u64(self.writebacks);
+            self.reuse.save(w);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("cache_stats", |r| {
+            self.reads = r.u64()?;
+            self.read_hits = r.u64()?;
+            self.writes = r.u64()?;
+            self.write_hits = r.u64()?;
+            self.atomics = r.u64()?;
+            self.atomic_hits = r.u64()?;
+            self.fills = r.u64()?;
+            self.bypassed_fills = r.u64()?;
+            self.evictions = r.u64()?;
+            self.writebacks = r.u64()?;
+            self.reuse.restore(r)
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
 use crate::line::{LineSlot, LineState};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// A line evicted from the tag array by a fill or invalidation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +161,50 @@ impl TagArray {
                     s.reuse,
                 )
             })
+    }
+}
+
+impl Snapshot for TagArray {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("tags", |w| {
+            w.usize(self.slots.len());
+            for s in &self.slots {
+                w.u64(s.tag);
+                w.u8(match s.state {
+                    LineState::Invalid => 0,
+                    LineState::Clean => 1,
+                    LineState::Dirty => 2,
+                });
+                w.u32(s.reuse);
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("tags", |r| {
+            let n = r.usize()?;
+            if n != self.slots.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("tag array size ({n} saved, {} built)", self.slots.len()),
+                });
+            }
+            for s in &mut self.slots {
+                s.tag = r.u64()?;
+                s.state = match r.u8()? {
+                    0 => LineState::Invalid,
+                    1 => LineState::Clean,
+                    2 => LineState::Dirty,
+                    v => {
+                        return Err(SnapshotError::BadValue {
+                            what: "line state".to_string(),
+                            value: v as u64,
+                        })
+                    }
+                };
+                s.reuse = r.u32()?;
+            }
+            Ok(())
+        })
     }
 }
 

@@ -601,6 +601,115 @@ mod tests {
     }
 
     #[test]
+    fn shared_ring_wraps_coherently_across_clones() {
+        // Several components hold clones of one 4-slot ring; their
+        // interleaved emissions must wrap as one stream: global
+        // sequence numbers, oldest-first readout, one shared dropped
+        // counter.
+        let ring = SharedTraceRing::new(4);
+        let mut sinks = [
+            (TraceSource::new(TraceLevel::L1, 0), ring.clone()),
+            (TraceSource::new(TraceLevel::L15, 1), ring.clone()),
+            (TraceSource::new(TraceLevel::L2, 2), ring.clone()),
+        ];
+        for i in 0..10u64 {
+            ring.set_time(i * 100);
+            let (src, sink) = &mut sinks[(i % 3) as usize];
+            sink.record(*src, access(i, false));
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6, "10 events through 4 slots");
+        let evs = ring.events();
+        assert_eq!(evs.len(), 4);
+        // The survivors are exactly the last four, oldest first, with
+        // the timestamps their emitters saw.
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), [6, 7, 8, 9]);
+        assert_eq!(evs[0].time, 600);
+        assert_eq!(evs[0].src.level, TraceLevel::L1, "seq 6 came from clone 0");
+        assert_eq!(evs[3].src.level, TraceLevel::L1, "seq 9 came from clone 0");
+
+        // Clearing through the handle empties every clone's view but
+        // keeps the global sequence running.
+        ring.clear();
+        assert!(ring.events().is_empty());
+        sinks[1].1.record(sinks[1].0, access(99, true));
+        let evs = ring.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].seq, 10, "sequence numbers survive a clear");
+    }
+
+    #[test]
+    fn ring_wraparound_at_exact_capacity_multiple() {
+        // After exactly 2x capacity the head is back at slot 0: the
+        // readout must still be oldest-first (a regression guard for
+        // the head-split concatenation in `events`).
+        let mut ring = TraceRing::new(4);
+        for i in 0..8 {
+            ring.record(SRC, access(i, false));
+        }
+        let seqs: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [4, 5, 6, 7]);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 4);
+    }
+
+    #[test]
+    fn filter_fields_combine_conjunctively() {
+        let mut ring = TraceRing::new(16);
+        let l1a = TraceSource::new(TraceLevel::L1, 0);
+        let l1b = TraceSource::new(TraceLevel::L1, 1);
+        let l2 = TraceSource::new(TraceLevel::L2, 0);
+        ring.record(l1a, access(7, false)); // L1#0, line 7, core 0
+        ring.record(l1b, access(7, true)); // L1#1, line 7, core 0
+        ring.record(l2, access(7, true)); // L2#0, line 7, core 0
+        ring.record(l1a, access(8, false)); // L1#0, line 8, core 0
+        ring.record(l1a, TraceKind::SwitchFlip { set: 1, open: true });
+        let evs = ring.events();
+
+        // Level + line: both constraints must hold.
+        let f = TraceFilter {
+            level: Some(TraceLevel::L1),
+            line: Some(LineAddr::new(7)),
+            ..TraceFilter::default()
+        };
+        assert_eq!(evs.iter().filter(|e| f.matches(e)).count(), 2);
+
+        // Adding the instance index narrows further.
+        let f = TraceFilter {
+            index: Some(1),
+            ..f
+        };
+        let hits: Vec<_> = evs.iter().filter(|e| f.matches(e)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].src, l1b);
+
+        // A core constraint rejects events that carry no core (the
+        // switch flip), even though its level and index match.
+        let f = TraceFilter {
+            level: Some(TraceLevel::L1),
+            index: Some(0),
+            core: Some(CoreId(0)),
+            ..TraceFilter::default()
+        };
+        let hits: Vec<_> = evs.iter().filter(|e| f.matches(e)).collect();
+        assert_eq!(hits.len(), 2, "line-7 and line-8 accesses from L1#0");
+        assert!(hits
+            .iter()
+            .all(|e| !matches!(e.kind, TraceKind::SwitchFlip { .. })));
+
+        // Mutually unsatisfiable combination: empty, not a panic.
+        let f = TraceFilter {
+            level: Some(TraceLevel::Dram),
+            line: Some(LineAddr::new(7)),
+            ..TraceFilter::default()
+        };
+        assert_eq!(dump_filtered(&evs, &f), "");
+
+        // The empty filter passes everything.
+        assert_eq!(dump_filtered(&evs, &TraceFilter::all()).lines().count(), 5);
+    }
+
+    #[test]
     fn display_is_stable_and_readable() {
         let ev = TraceEvent {
             seq: 7,

@@ -16,6 +16,7 @@
 
 use crate::addr::CoreId;
 use crate::geometry::CacheGeometry;
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// An injected core→victim-bit-group mapping: group *g* owns bit *g* of
 /// every line's mask. §4.3's sharing factor made topology-aware.
@@ -234,6 +235,38 @@ impl VictimBits {
     /// line). See [`crate::overhead`] for the paper's arithmetic.
     pub fn storage_bits(&self) -> u64 {
         self.bits.len() as u64 * self.grouping.groups() as u64
+    }
+}
+
+impl Snapshot for VictimBits {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("victim_bits", |w| {
+            w.usize(self.bits.len());
+            for &mask in &self.bits {
+                w.u64(mask);
+            }
+            w.u64(self.stats.sets);
+            w.u64(self.stats.hits);
+            w.u64(self.stats.clears);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("victim_bits", |r| {
+            let n = r.usize()?;
+            if n != self.bits.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("victim-bit lines ({n} saved, {} built)", self.bits.len()),
+                });
+            }
+            for mask in &mut self.bits {
+                *mask = r.u64()?;
+            }
+            self.stats.sets = r.u64()?;
+            self.stats.hits = r.u64()?;
+            self.stats.clears = r.u64()?;
+            Ok(())
+        })
     }
 }
 

@@ -119,6 +119,16 @@ impl<S: PartialEq> Watchdog<S> {
         (now / self.interval + 1) * self.interval
     }
 
+    /// The cycle at which progress was last observed and the signature
+    /// seen then — together with the construction parameters, the
+    /// watchdog's whole mutable state. A checkpoint records the pair and
+    /// resume rebuilds the watchdog via [`Watchdog::new`] with them, so a
+    /// restored run detects deadlocks on the same schedule as an
+    /// uninterrupted one.
+    pub fn last_progress(&self) -> (u64, &S) {
+        (self.last_progress_cycle, &self.last_sig)
+    }
+
     /// Samples progress at cycle `now`. `sig` is only evaluated on sample
     /// cycles (multiples of the interval). Returns `true` when the
     /// signature has been stuck past the patience window — a deadlock.

@@ -5,10 +5,11 @@ use crate::coalescer::coalesce_into;
 use crate::config::GpuConfig;
 use crate::isa::{Kernel, Op, WarpProgram};
 use crate::l1::{L1Controller, L1Outcome};
-use crate::request::{MemRequest, MemResponse, WarpSlot};
+use crate::request::{restore_access_kind, save_access_kind, MemRequest, MemResponse, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::CacheConfig;
 use gcache_core::policy::{AccessKind, PolicyKind};
+use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::VecDeque;
 
 use crate::scheduler::WarpScheduler;
@@ -36,6 +37,13 @@ struct Warp {
     state: WarpState,
     outstanding: u32,
     age: u64,
+    /// Ops pulled from `program` so far. A warp program is a pure function
+    /// of its kernel coordinates, so this counter is all a snapshot needs:
+    /// restore rebuilds the program and replays this many `next_op` calls.
+    /// Invariant: when `pending_op` is `Some`, it holds the most recently
+    /// pulled op (ops are pulled one at a time and either executed or
+    /// parked in `pending_op` until they issue).
+    ops_pulled: u64,
 }
 
 impl std::fmt::Debug for Warp {
@@ -50,7 +58,6 @@ impl std::fmt::Debug for Warp {
 
 #[derive(Debug)]
 struct CtaState {
-    #[allow(dead_code)]
     cta_id: usize,
     threads: usize,
     warp_slots: Vec<usize>,
@@ -198,6 +205,7 @@ impl SimtCore {
                 state: WarpState::Ready,
                 outstanding: 0,
                 age: self.launch_seq,
+                ops_pulled: 0,
             });
             warp_slots.push(slot);
         }
@@ -396,7 +404,17 @@ impl SimtCore {
         let op = {
             let w = self.warps[slot].as_mut().expect("picked slot is live");
             w.state = WarpState::Ready;
-            match w.pending_op.take().or_else(|| w.program.next_op()) {
+            let op = match w.pending_op.take() {
+                Some(op) => Some(op),
+                None => {
+                    let op = w.program.next_op();
+                    if op.is_some() {
+                        w.ops_pulled += 1;
+                    }
+                    op
+                }
+            };
+            match op {
                 Some(op) => op,
                 None => {
                     self.retire_warp(slot);
@@ -489,6 +507,222 @@ impl SimtCore {
             self.threads_resident -= cta.threads;
             self.stats.ctas_completed += 1;
         }
+    }
+
+    /// Serializes this core's mutable state (warp/CTA contexts, L1,
+    /// LD/ST queue, scheduler, stats) into `w`.
+    ///
+    /// Warp programs are not serialized: a [`WarpProgram`] is a pure
+    /// function of its kernel coordinates, so the snapshot records only
+    /// how many ops each warp has pulled (`Warp::ops_pulled`) and
+    /// [`SimtCore::restore_snapshot`] rebuilds the program from the
+    /// kernel and replays it to the same point. CTAs are written before
+    /// warps so restore has each warp's coordinates at hand.
+    pub fn save_snapshot(&self, w: &mut SnapshotWriter) {
+        w.section("core", |w| {
+            w.usize(self.ctas.len());
+            for cta in &self.ctas {
+                match cta {
+                    Some(c) => {
+                        w.bool(true);
+                        w.usize(c.cta_id);
+                        w.usize(c.threads);
+                        w.usize(c.warp_slots.len());
+                        for &s in &c.warp_slots {
+                            w.usize(s);
+                        }
+                        w.usize(c.warps_done);
+                        w.usize(c.at_barrier);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            w.usize(self.warps.len());
+            for warp in &self.warps {
+                match warp {
+                    Some(wp) => {
+                        w.bool(true);
+                        w.usize(wp.cta_slot);
+                        match wp.state {
+                            WarpState::Ready => w.u8(0),
+                            WarpState::ComputeUntil(t) => {
+                                w.u8(1);
+                                w.u64(t);
+                            }
+                            WarpState::WaitMem => w.u8(2),
+                            WarpState::Barrier => w.u8(3),
+                            WarpState::Done => w.u8(4),
+                        }
+                        w.u32(wp.outstanding);
+                        w.u64(wp.age);
+                        w.u64(wp.ops_pulled);
+                        // The pending op itself is the last pulled op
+                        // (see `Warp::ops_pulled`); only its presence is
+                        // recorded.
+                        w.bool(wp.pending_op.is_some());
+                    }
+                    None => w.bool(false),
+                }
+            }
+            w.usize(self.threads_resident);
+            self.l1.save(w);
+            w.usize(self.ldst_queue.len());
+            for &(line, kind, slot) in &self.ldst_queue {
+                w.u64(line.raw());
+                save_access_kind(w, kind);
+                w.usize(slot);
+            }
+            self.sched.save(w);
+            w.u64(self.launch_seq);
+            w.u64(self.stats.instructions);
+            w.u64(self.stats.mem_instructions);
+            w.u64(self.stats.transactions);
+            w.u64(self.stats.idle_cycles);
+            w.u64(self.stats.ldst_full_stalls);
+            w.u64(self.stats.mem_stall_cycles);
+            w.u64(self.stats.ctas_completed);
+        });
+    }
+
+    /// Restores state saved by [`SimtCore::save_snapshot`] into this
+    /// already-constructed core. `kernel` must be the kernel that was
+    /// running when the snapshot was taken — warp programs are rebuilt
+    /// from its coordinates and replayed to their recorded position.
+    pub fn restore_snapshot(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        kernel: &dyn Kernel,
+    ) -> Result<(), SnapshotError> {
+        r.section("core", |r| {
+            let n_ctas = r.usize()?;
+            if n_ctas != self.ctas.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "CTA slot count (snapshot {n_ctas}, core {})",
+                        self.ctas.len()
+                    ),
+                });
+            }
+            for slot in self.ctas.iter_mut() {
+                *slot = if r.bool()? {
+                    let cta_id = r.usize()?;
+                    let threads = r.usize()?;
+                    let n = r.usize()?;
+                    let mut warp_slots = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        warp_slots.push(r.usize()?);
+                    }
+                    Some(CtaState {
+                        cta_id,
+                        threads,
+                        warp_slots,
+                        warps_done: r.usize()?,
+                        at_barrier: r.usize()?,
+                    })
+                } else {
+                    None
+                };
+            }
+            let n_warps = r.usize()?;
+            if n_warps != self.warps.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "warp slot count (snapshot {n_warps}, core {})",
+                        self.warps.len()
+                    ),
+                });
+            }
+            for slot in 0..n_warps {
+                if !r.bool()? {
+                    self.warps[slot] = None;
+                    continue;
+                }
+                let cta_slot = r.usize()?;
+                let state = match r.u8()? {
+                    0 => WarpState::Ready,
+                    1 => WarpState::ComputeUntil(r.u64()?),
+                    2 => WarpState::WaitMem,
+                    3 => WarpState::Barrier,
+                    4 => WarpState::Done,
+                    v => {
+                        return Err(SnapshotError::BadValue {
+                            what: "warp state".to_string(),
+                            value: v as u64,
+                        })
+                    }
+                };
+                let outstanding = r.u32()?;
+                let age = r.u64()?;
+                let ops_pulled = r.u64()?;
+                let has_pending = r.bool()?;
+                let (cta_id, warp_in_cta) = {
+                    let cta = self
+                        .ctas
+                        .get(cta_slot)
+                        .and_then(|c| c.as_ref())
+                        .ok_or_else(|| SnapshotError::Mismatch {
+                            what: format!("warp {slot} references empty CTA slot {cta_slot}"),
+                        })?;
+                    let w = cta
+                        .warp_slots
+                        .iter()
+                        .position(|&s| s == slot)
+                        .ok_or_else(|| SnapshotError::Mismatch {
+                            what: format!("warp {slot} missing from CTA slot {cta_slot}"),
+                        })?;
+                    (cta.cta_id, w)
+                };
+                let mut program = kernel.warp_program(cta_id, warp_in_cta);
+                let mut last = None;
+                for pulled in 0..ops_pulled {
+                    last = program.next_op();
+                    if last.is_none() {
+                        return Err(SnapshotError::BadValue {
+                            what: format!(
+                                "warp replay underrun (program ended after {pulled} ops)"
+                            ),
+                            value: ops_pulled,
+                        });
+                    }
+                }
+                let pending_op = if has_pending {
+                    Some(last.ok_or_else(|| SnapshotError::Mismatch {
+                        what: format!("warp {slot} has a pending op but pulled none"),
+                    })?)
+                } else {
+                    None
+                };
+                self.warps[slot] = Some(Warp {
+                    program,
+                    pending_op,
+                    cta_slot,
+                    state,
+                    outstanding,
+                    age,
+                    ops_pulled,
+                });
+            }
+            self.threads_resident = r.usize()?;
+            self.l1.restore(r)?;
+            let n = r.usize()?;
+            self.ldst_queue.clear();
+            for _ in 0..n {
+                let line = LineAddr::new(r.u64()?);
+                let kind = restore_access_kind(r)?;
+                let slot = r.usize()?;
+                self.ldst_queue.push_back((line, kind, slot));
+            }
+            self.sched.restore(r)?;
+            self.launch_seq = r.u64()?;
+            self.stats.instructions = r.u64()?;
+            self.stats.mem_instructions = r.u64()?;
+            self.stats.transactions = r.u64()?;
+            self.stats.idle_cycles = r.u64()?;
+            self.stats.ldst_full_stalls = r.u64()?;
+            self.stats.mem_stall_cycles = r.u64()?;
+            self.stats.ctas_completed = r.u64()?;
+            Ok(())
+        })
     }
 
     /// Releases a CTA's barrier once every live warp has arrived.

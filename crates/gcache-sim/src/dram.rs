@@ -8,6 +8,9 @@
 
 use crate::config::DramTiming;
 use gcache_core::addr::LineAddr;
+use gcache_core::snapshot::{
+    Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter,
+};
 use gcache_core::trace::{DramRowOutcome, TraceKind, TraceSink, TraceSource};
 use std::fmt;
 
@@ -431,6 +434,123 @@ impl<T> Dram<T> {
             ready_at: done_at,
             write: p.write,
         });
+    }
+}
+
+impl<T: SnapshotPayload> Snapshot for Dram<T> {
+    /// Saves the banks, the pending queue (whose `Vec` order *is* the
+    /// FCFS order, so it is authoritative), buffered completions, the
+    /// bus/activation windows and statistics. The trace sink is an
+    /// observation channel and is never serialized; the `wake` cache is
+    /// re-derived on the first gated tick.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("dram", |w| {
+            w.usize(self.banks.len());
+            for b in &self.banks {
+                match b.open_row {
+                    Some(row) => {
+                        w.bool(true);
+                        w.u64(row);
+                    }
+                    None => w.bool(false),
+                }
+                w.u64(b.ready_at);
+                w.u64(b.activated_at);
+            }
+            w.usize(self.queue.len());
+            for p in &self.queue {
+                w.usize(p.bank);
+                w.u64(p.row);
+                w.bool(p.write);
+                p.token.save_payload(w);
+                w.u64(p.arrived);
+            }
+            w.usize(self.completions.len());
+            for c in &self.completions {
+                c.token.save_payload(w);
+                w.u64(c.ready_at);
+                w.bool(c.write);
+            }
+            w.u64(self.bus_busy_until);
+            w.u64(self.last_activate_any);
+            w.u64(self.stats.reads);
+            w.u64(self.stats.writes);
+            w.u64(self.stats.row_hits);
+            w.u64(self.stats.row_opens);
+            w.u64(self.stats.row_conflicts);
+            w.u64(self.stats.total_latency);
+            w.u64(self.stats.completed);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("dram", |r| {
+            let banks = r.usize()?;
+            if banks != self.banks.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "DRAM bank count (snapshot {banks}, channel {})",
+                        self.banks.len()
+                    ),
+                });
+            }
+            for b in &mut self.banks {
+                b.open_row = if r.bool()? { Some(r.u64()?) } else { None };
+                b.ready_at = r.u64()?;
+                b.activated_at = r.u64()?;
+            }
+            let n = r.usize()?;
+            if n > self.queue_cap {
+                return Err(SnapshotError::BadValue {
+                    what: "DRAM queue length".to_string(),
+                    value: n as u64,
+                });
+            }
+            self.queue.clear();
+            for _ in 0..n {
+                let bank = r.usize()?;
+                if bank >= banks {
+                    return Err(SnapshotError::BadValue {
+                        what: "DRAM request bank".to_string(),
+                        value: bank as u64,
+                    });
+                }
+                let row = r.u64()?;
+                let write = r.bool()?;
+                let token = T::restore_payload(r)?;
+                let arrived = r.u64()?;
+                self.queue.push(Pending {
+                    bank,
+                    row,
+                    write,
+                    token,
+                    arrived,
+                });
+            }
+            let n = r.usize()?;
+            self.completions.clear();
+            for _ in 0..n {
+                let token = T::restore_payload(r)?;
+                let ready_at = r.u64()?;
+                let write = r.bool()?;
+                self.completions.push(Completion {
+                    token,
+                    ready_at,
+                    write,
+                });
+            }
+            self.bus_busy_until = r.u64()?;
+            self.last_activate_any = r.u64()?;
+            self.wake = 0;
+            self.stats.reads = r.u64()?;
+            self.stats.writes = r.u64()?;
+            self.stats.row_hits = r.u64()?;
+            self.stats.row_opens = r.u64()?;
+            self.stats.row_conflicts = r.u64()?;
+            self.stats.total_latency = r.u64()?;
+            self.stats.completed = r.u64()?;
+            Ok(())
+        })
     }
 }
 

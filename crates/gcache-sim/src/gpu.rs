@@ -9,6 +9,7 @@ use crate::isa::Kernel;
 use crate::stats::SimStats;
 use crate::system::{ClusterComplex, CoreComplex, Interconnect, MemorySystem};
 use crate::telemetry::{Profile, Sampler, TelemetrySnapshot};
+use gcache_core::snapshot::{fnv1a, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use gcache_core::stats::CacheStats;
 use gcache_core::trace::SharedTraceRing;
 use std::fmt;
@@ -31,6 +32,12 @@ pub enum SimError {
         /// Human-readable state summary.
         detail: String,
     },
+    /// A checkpoint sink failed; the simulation stops rather than run on
+    /// without the crash protection the caller asked for.
+    Checkpoint {
+        /// What went wrong, including the cycle.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +47,7 @@ impl fmt::Display for SimError {
             SimError::Deadlock { cycle, detail } => {
                 write!(f, "no progress by cycle {cycle}: {detail}")
             }
+            SimError::Checkpoint { detail } => write!(f, "{detail}"),
         }
     }
 }
@@ -99,6 +107,20 @@ pub struct Gpu {
     /// Clock handle of the attached event-trace ring, if any; ticked so
     /// recorded events carry the simulated cycle.
     trace: Option<SharedTraceRing>,
+    /// Mid-kernel run state restored from a checkpoint, consumed by the
+    /// next `run_kernel*` call (which then continues the interrupted
+    /// kernel instead of starting it over).
+    resume: Option<ResumeState>,
+}
+
+/// The `run_kernel` locals a checkpoint has to carry across processes:
+/// where the kernel started (cycle-limit and per-kernel stat deltas) and
+/// the watchdog's progress baseline.
+#[derive(Debug)]
+struct ResumeState {
+    start_cycle: u64,
+    watchdog_cycle: u64,
+    watchdog_sig: (u64, u64, u64),
 }
 
 impl Gpu {
@@ -124,6 +146,7 @@ impl Gpu {
             sampler: None,
             profile: None,
             trace: None,
+            resume: None,
         }
     }
 
@@ -205,14 +228,74 @@ impl Gpu {
     /// (a bug in the simulator or a malformed kernel, e.g. mismatched
     /// barriers).
     pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> Result<SimStats, SimError> {
-        let start_cycle = self.cycle;
-        self.cores.begin_kernel(kernel);
-        let mut watchdog = Watchdog::new(
-            WATCHDOG_INTERVAL,
-            WATCHDOG_PATIENCE,
-            self.cycle,
-            self.progress_signature(),
-        );
+        self.run_kernel_inner(kernel, None)
+    }
+
+    /// [`Gpu::run_kernel`] with crash protection: every `every` cycles
+    /// (measured on the global clock, so a resumed run checkpoints on the
+    /// same absolute grid as an uninterrupted one) the full machine state
+    /// is serialized and handed to `sink` as `(cycle, bytes)`. Feed the
+    /// bytes back through [`Gpu::restore_checkpoint`] on a freshly built,
+    /// identically configured `Gpu` to continue the kernel; the resumed
+    /// run's statistics and telemetry are bit-identical to running
+    /// straight through.
+    ///
+    /// Checkpointing observes the machine between cycles and serializes
+    /// only state the simulation mutates anyway, so enabling it does not
+    /// perturb the simulated outcome.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Gpu::run_kernel`] returns, plus
+    /// [`SimError::Checkpoint`] when `sink` fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_kernel_checkpointed(
+        &mut self,
+        kernel: &dyn Kernel,
+        every: u64,
+        mut sink: impl FnMut(u64, Vec<u8>) -> std::io::Result<()>,
+    ) -> Result<SimStats, SimError> {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.run_kernel_inner(kernel, Some((every, &mut sink)))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_kernel_inner(
+        &mut self,
+        kernel: &dyn Kernel,
+        mut ckpt: Option<(u64, &mut dyn FnMut(u64, Vec<u8>) -> std::io::Result<()>)>,
+    ) -> Result<SimStats, SimError> {
+        let (start_cycle, mut watchdog) = match self.resume.take() {
+            // Continuing a checkpointed kernel: dispatch state came back
+            // with the snapshot, so `begin_kernel` must not run again.
+            Some(rs) => (
+                rs.start_cycle,
+                Watchdog::new(
+                    WATCHDOG_INTERVAL,
+                    WATCHDOG_PATIENCE,
+                    rs.watchdog_cycle,
+                    rs.watchdog_sig,
+                ),
+            ),
+            None => {
+                let start = self.cycle;
+                self.cores.begin_kernel(kernel);
+                let watchdog = Watchdog::new(
+                    WATCHDOG_INTERVAL,
+                    WATCHDOG_PATIENCE,
+                    self.cycle,
+                    self.progress_signature(),
+                );
+                (start, watchdog)
+            }
+        };
+        let mut ckpt_due = match &ckpt {
+            Some((every, _)) => (self.cycle / every + 1) * every,
+            None => u64::MAX,
+        };
         if self.sampler.is_some() {
             // Baseline snapshot; a no-op on back-to-back kernels, keeping
             // one continuous series per attachment.
@@ -253,6 +336,9 @@ impl Gpu {
                     // jump is always safe (the extra ticks are no-ops).
                     cap = cap.min(s.due());
                 }
+                // Land exactly on the checkpoint grid too (u64::MAX when
+                // checkpointing is off).
+                cap = cap.min(ckpt_due);
                 let target = ev.unwrap_or(cap).min(cap).max(prev + 1);
                 let gap = target - prev - 1;
                 if gap > 0 {
@@ -332,6 +418,18 @@ impl Gpu {
                     detail: self.debug_state(),
                 });
             }
+
+            if now >= ckpt_due {
+                // The pipeline, sampler and watchdog have all seen cycle
+                // `now`: the machine is exactly in its between-cycles
+                // state, which is what the snapshot captures.
+                let bytes = self.encode_checkpoint(kernel.name(), start_cycle, &watchdog);
+                let (every, sink) = ckpt.as_mut().expect("checkpoint due without a spec");
+                sink(now, bytes).map_err(|e| SimError::Checkpoint {
+                    detail: format!("checkpoint at cycle {now} failed: {e}"),
+                })?;
+                ckpt_due = (now / *every + 1) * *every;
+            }
         }
 
         if self.sampler.is_some() {
@@ -344,6 +442,115 @@ impl Gpu {
         }
 
         Ok(self.collect_stats(kernel.name(), self.cycle - start_cycle))
+    }
+
+    /// Serializes the whole machine mid-kernel. Wall-clock observers — the
+    /// self-profile and the event-trace ring — are observation channels,
+    /// not simulation state, and are never serialized; the resuming
+    /// harness reattaches its own.
+    fn encode_checkpoint(
+        &self,
+        kernel_name: &str,
+        start_cycle: u64,
+        watchdog: &Watchdog<(u64, u64, u64)>,
+    ) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.section("gpu", |w| {
+            w.str(kernel_name);
+            w.u64(self.config_fingerprint());
+            w.u64(self.cycle);
+            w.u64(start_cycle);
+            let (wd_cycle, sig) = watchdog.last_progress();
+            w.u64(wd_cycle);
+            w.u64(sig.0);
+            w.u64(sig.1);
+            w.u64(sig.2);
+            w.bool(self.sampler.is_some());
+        });
+        self.cores.save_snapshot(&mut w);
+        self.icnt.save(&mut w);
+        self.clusters.save(&mut w);
+        self.mem.save(&mut w);
+        if let Some(s) = &self.sampler {
+            s.save(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Restores a [`Gpu::run_kernel_checkpointed`] snapshot into this GPU,
+    /// arming it so the next `run_kernel*` call continues the interrupted
+    /// kernel. The GPU must be built from the same configuration as the
+    /// one that wrote the snapshot (enforced via a config fingerprint),
+    /// `kernel` must be the same kernel (its programs are re-derived and
+    /// replayed, not serialized), and a sampler must be attached exactly
+    /// when one was attached at save time.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] on a truncated, corrupt or mismatched
+    /// snapshot. The GPU may then be partially overwritten — discard it.
+    pub fn restore_checkpoint(
+        &mut self,
+        bytes: &[u8],
+        kernel: &dyn Kernel,
+    ) -> Result<(), SnapshotError> {
+        let fp_expected = self.config_fingerprint();
+        let mut r = SnapshotReader::new(bytes)?;
+        let mut cycle = 0;
+        let mut rs = ResumeState {
+            start_cycle: 0,
+            watchdog_cycle: 0,
+            watchdog_sig: (0, 0, 0),
+        };
+        let mut has_sampler = false;
+        r.section("gpu", |r| {
+            let name = r.str()?;
+            if name != kernel.name() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("kernel (snapshot {:?}, resuming {:?})", name, kernel.name()),
+                });
+            }
+            let fp = r.u64()?;
+            if fp != fp_expected {
+                return Err(SnapshotError::Mismatch {
+                    what: "configuration fingerprint".into(),
+                });
+            }
+            cycle = r.u64()?;
+            rs.start_cycle = r.u64()?;
+            rs.watchdog_cycle = r.u64()?;
+            rs.watchdog_sig = (r.u64()?, r.u64()?, r.u64()?);
+            has_sampler = r.bool()?;
+            Ok(())
+        })?;
+        self.cores.restore_snapshot(&mut r, kernel)?;
+        self.icnt.restore(&mut r)?;
+        self.clusters.restore(&mut r)?;
+        self.mem.restore(&mut r)?;
+        match (&mut self.sampler, has_sampler) {
+            (Some(s), true) => s.restore(&mut r)?,
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(SnapshotError::Mismatch {
+                    what: "sampler attached but the snapshot carries no telemetry".into(),
+                });
+            }
+            (None, true) => {
+                return Err(SnapshotError::Mismatch {
+                    what: "snapshot carries telemetry but no sampler is attached".into(),
+                });
+            }
+        }
+        self.cycle = cycle;
+        self.resume = Some(rs);
+        Ok(())
+    }
+
+    /// A stable fingerprint of the active configuration, embedded in every
+    /// checkpoint so resume rejects a differently built machine instead of
+    /// silently diverging.
+    fn config_fingerprint(&self) -> u64 {
+        fnv1a(format!("{:?}", self.cfg).as_bytes())
     }
 
     /// Gathers the cumulative counters the sampler differences. Read-only:

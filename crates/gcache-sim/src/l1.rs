@@ -13,6 +13,7 @@ use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
 use gcache_core::policy::{AccessKind, PolicyKind};
+use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use gcache_core::stats::CacheStats;
 use gcache_core::trace::{SharedTraceRing, TraceLevel, TraceSource};
 
@@ -187,6 +188,18 @@ impl L1Controller {
             outcome.evicted.is_none_or(|e| !e.dirty),
             "write-through L1 evicted a dirty line"
         );
+    }
+}
+
+impl Snapshot for L1Controller {
+    fn save(&self, w: &mut SnapshotWriter) {
+        // `core` is construction-time identity; only the controller holds
+        // mutable state.
+        self.ctrl.save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.ctrl.restore(r)
     }
 }
 

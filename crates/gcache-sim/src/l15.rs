@@ -35,6 +35,9 @@ use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
 use gcache_core::policy::lru::Lru;
 use gcache_core::policy::AccessKind;
+use gcache_core::snapshot::{
+    Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter,
+};
 use gcache_core::stats::CacheStats;
 use gcache_core::trace::{SharedTraceRing, TraceLevel, TraceSource};
 use std::collections::VecDeque;
@@ -44,6 +47,20 @@ use std::collections::VecDeque;
 struct L15Target {
     core: CoreId,
     warp: WarpSlot,
+}
+
+impl SnapshotPayload for L15Target {
+    fn save_payload(&self, w: &mut SnapshotWriter) {
+        w.usize(self.core.index());
+        w.usize(self.warp);
+    }
+
+    fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(L15Target {
+            core: CoreId(r.usize()?),
+            warp: r.usize()?,
+        })
+    }
 }
 
 /// One cluster's shared L1.5 cache.
@@ -262,6 +279,56 @@ impl L15Cluster {
             Some((_, ready)) if *ready <= now => self.outgoing.pop_front().map(|(r, _)| r),
             _ => None,
         }
+    }
+}
+
+impl Snapshot for L15Cluster {
+    /// Saves the controller (cache + MSHRs), the three traffic queues and
+    /// the stall counter. `latency` is configuration and `target_scratch`
+    /// is reusable scratch — neither is serialized.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("l15", |w| {
+            self.ctrl.save(w);
+            w.usize(self.incoming.len());
+            for req in &self.incoming {
+                req.save_payload(w);
+            }
+            w.usize(self.forward.len());
+            for req in &self.forward {
+                req.save_payload(w);
+            }
+            w.usize(self.outgoing.len());
+            for (resp, ready) in &self.outgoing {
+                resp.save_payload(w);
+                w.u64(*ready);
+            }
+            w.u64(self.stall_cycles);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("l15", |r| {
+            self.ctrl.restore(r)?;
+            let n = r.usize()?;
+            self.incoming.clear();
+            for _ in 0..n {
+                self.incoming.push_back(MemRequest::restore_payload(r)?);
+            }
+            let n = r.usize()?;
+            self.forward.clear();
+            for _ in 0..n {
+                self.forward.push_back(MemRequest::restore_payload(r)?);
+            }
+            let n = r.usize()?;
+            self.outgoing.clear();
+            for _ in 0..n {
+                let resp = MemResponse::restore_payload(r)?;
+                let ready = r.u64()?;
+                self.outgoing.push_back((resp, ready));
+            }
+            self.stall_cycles = r.u64()?;
+            Ok(())
+        })
     }
 }
 

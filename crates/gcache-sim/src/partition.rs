@@ -22,6 +22,9 @@ use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
 use gcache_core::policy::lru::Lru;
 use gcache_core::policy::AccessKind;
+use gcache_core::snapshot::{
+    Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter,
+};
 use gcache_core::stats::CacheStats;
 use std::collections::VecDeque;
 
@@ -43,6 +46,65 @@ enum DramToken {
     Fill(LineAddr),
     /// A write-back finished; no further action.
     Writeback,
+}
+
+impl SnapshotPayload for L2Target {
+    fn save_payload(&self, w: &mut SnapshotWriter) {
+        match self {
+            L2Target::Read { core, warp } => {
+                w.u8(0);
+                w.usize(core.index());
+                w.usize(*warp);
+            }
+            L2Target::Atomic { core, warp } => {
+                w.u8(1);
+                w.usize(core.index());
+                w.usize(*warp);
+            }
+            L2Target::Write => w.u8(2),
+        }
+    }
+
+    fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(L2Target::Read {
+                core: CoreId(r.usize()?),
+                warp: r.usize()?,
+            }),
+            1 => Ok(L2Target::Atomic {
+                core: CoreId(r.usize()?),
+                warp: r.usize()?,
+            }),
+            2 => Ok(L2Target::Write),
+            v => Err(SnapshotError::BadValue {
+                what: "L2 target kind".to_string(),
+                value: v as u64,
+            }),
+        }
+    }
+}
+
+impl SnapshotPayload for DramToken {
+    fn save_payload(&self, w: &mut SnapshotWriter) {
+        match self {
+            DramToken::Fill(line) => {
+                w.u8(0);
+                w.u64(line.raw());
+            }
+            DramToken::Writeback => w.u8(1),
+        }
+    }
+
+    fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(DramToken::Fill(LineAddr::new(r.u64()?))),
+            1 => Ok(DramToken::Writeback),
+            v => Err(SnapshotError::BadValue {
+                what: "DRAM token kind".to_string(),
+                value: v as u64,
+            }),
+        }
+    }
 }
 
 /// Partition-level counters beyond the embedded cache/DRAM stats.
@@ -414,6 +476,53 @@ impl Partition {
 
     fn global(&self, local: LineAddr) -> LineAddr {
         crate::request::global_line(local, self.id, self.partitions)
+    }
+}
+
+impl Snapshot for Partition {
+    /// Saves the L2 controller, DRAM channel, traffic queues, AOU window
+    /// and partition counters. `id`/`partitions`/latencies are
+    /// construction-time configuration.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("part", |w| {
+            self.l2.save(w);
+            self.dram.save(w);
+            w.usize(self.incoming.len());
+            for req in &self.incoming {
+                req.save_payload(w);
+            }
+            w.usize(self.outgoing.len());
+            for (resp, ready) in &self.outgoing {
+                resp.save_payload(w);
+                w.u64(*ready);
+            }
+            w.u64(self.aou_busy_until);
+            w.u64(self.stats.atomics);
+            w.u64(self.stats.stall_cycles);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("part", |r| {
+            self.l2.restore(r)?;
+            self.dram.restore(r)?;
+            let n = r.usize()?;
+            self.incoming.clear();
+            for _ in 0..n {
+                self.incoming.push_back(MemRequest::restore_payload(r)?);
+            }
+            let n = r.usize()?;
+            self.outgoing.clear();
+            for _ in 0..n {
+                let resp = MemResponse::restore_payload(r)?;
+                let ready = r.u64()?;
+                self.outgoing.push_back((resp, ready));
+            }
+            self.aou_busy_until = r.u64()?;
+            self.stats.atomics = r.u64()?;
+            self.stats.stall_cycles = r.u64()?;
+            Ok(())
+        })
     }
 }
 

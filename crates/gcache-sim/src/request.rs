@@ -2,6 +2,29 @@
 
 use gcache_core::addr::{CoreId, LineAddr, PartitionId};
 use gcache_core::policy::AccessKind;
+use gcache_core::snapshot::{SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter};
+
+/// Stable wire encoding for [`AccessKind`] inside snapshots.
+pub(crate) fn save_access_kind(w: &mut SnapshotWriter, kind: AccessKind) {
+    w.u8(match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Atomic => 2,
+    });
+}
+
+/// Inverse of [`save_access_kind`].
+pub(crate) fn restore_access_kind(r: &mut SnapshotReader<'_>) -> Result<AccessKind, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        2 => Ok(AccessKind::Atomic),
+        v => Err(SnapshotError::BadValue {
+            what: "access kind".to_string(),
+            value: v as u64,
+        }),
+    }
+}
 
 /// A core-local warp slot index, used to wake the right warp when its
 /// memory transactions return.
@@ -38,6 +61,24 @@ impl MemRequest {
     }
 }
 
+impl SnapshotPayload for MemRequest {
+    fn save_payload(&self, w: &mut SnapshotWriter) {
+        w.u64(self.line.raw());
+        save_access_kind(w, self.kind);
+        w.usize(self.core.index());
+        w.usize(self.warp);
+    }
+
+    fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MemRequest {
+            line: LineAddr::new(r.u64()?),
+            kind: restore_access_kind(r)?,
+            core: CoreId(r.usize()?),
+            warp: r.usize()?,
+        })
+    }
+}
+
 /// A response travelling from a memory partition back to a core.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemResponse {
@@ -63,6 +104,26 @@ impl MemResponse {
             AccessKind::Atomic => 8 + line_size / 4,
             _ => line_size + 8,
         }
+    }
+}
+
+impl SnapshotPayload for MemResponse {
+    fn save_payload(&self, w: &mut SnapshotWriter) {
+        w.u64(self.line.raw());
+        save_access_kind(w, self.kind);
+        w.usize(self.core.index());
+        w.usize(self.warp);
+        w.bool(self.victim_hint);
+    }
+
+    fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MemResponse {
+            line: LineAddr::new(r.u64()?),
+            kind: restore_access_kind(r)?,
+            core: CoreId(r.usize()?),
+            warp: r.usize()?,
+            victim_hint: r.bool()?,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 //! and greedy-then-oldest.
 
 use crate::config::WarpSchedKind;
+use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Per-core warp scheduler state.
 #[derive(Clone, Debug)]
@@ -77,6 +78,29 @@ impl WarpScheduler {
         if self.kind == WarpSchedKind::Gto {
             self.current = None;
         }
+    }
+}
+
+impl Snapshot for WarpScheduler {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("sched", |w| {
+            w.usize(self.rr_next);
+            match self.current {
+                Some(c) => {
+                    w.bool(true);
+                    w.usize(c);
+                }
+                None => w.bool(false),
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("sched", |r| {
+            self.rr_next = r.usize()?;
+            self.current = if r.bool()? { Some(r.usize()?) } else { None };
+            Ok(())
+        })
     }
 }
 

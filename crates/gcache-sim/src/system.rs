@@ -21,6 +21,7 @@ use crate::port::{RxPort, TxPort};
 use crate::request::{partition_of, MemRequest, MemResponse};
 use crate::xbar::{ClusterXbar, XbarLane, XbarStats};
 use gcache_core::addr::{CoreId, PartitionId};
+use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use gcache_core::victim_bits::CoreGrouping;
 
 /// Node placement of cores, partitions and (optionally) cluster caches on
@@ -380,6 +381,41 @@ impl Interconnect {
     }
 }
 
+impl Snapshot for Interconnect {
+    /// Saves both meshes and the cluster crossbars; the topology and
+    /// channel geometry are construction-time configuration.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("icnt", |w| {
+            self.req.save(w);
+            self.resp.save(w);
+            w.usize(self.xbars.len());
+            for xb in &self.xbars {
+                xb.save(w);
+            }
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("icnt", |r| {
+            self.req.restore(r)?;
+            self.resp.restore(r)?;
+            let n = r.usize()?;
+            if n != self.xbars.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "cluster crossbar count (snapshot {n}, machine {})",
+                        self.xbars.len()
+                    ),
+                });
+            }
+            for xb in &mut self.xbars {
+                xb.restore(r)?;
+            }
+            Ok(())
+        })
+    }
+}
+
 impl Clocked for Interconnect {
     fn tick(&mut self, now: u64) {
         self.req.tick(now);
@@ -731,6 +767,55 @@ impl CoreComplex {
     pub const fn wake_skips(&self) -> u64 {
         self.wake_skips
     }
+
+    /// Serializes the core array and the CTA dispatcher state. The
+    /// per-core wake caches are *not* serialized: restore parks them at
+    /// "tick next cycle", which is state-identical (a tick on an
+    /// event-free cycle equals the replayed skip) and they re-tighten on
+    /// the first real tick.
+    pub fn save_snapshot(&self, w: &mut SnapshotWriter) {
+        w.section("core_complex", |w| {
+            w.usize(self.cores.len());
+            for core in &self.cores {
+                core.save_snapshot(w);
+            }
+            w.usize(self.next_cta);
+            w.usize(self.total_ctas);
+            w.usize(self.rr_core);
+            w.u64(self.last_ctas_completed);
+            w.u64(self.wake_skips);
+        });
+    }
+
+    /// Restores state saved by [`CoreComplex::save_snapshot`]. `kernel`
+    /// must be the kernel that was running at save time (see
+    /// [`SimtCore::restore_snapshot`]).
+    pub fn restore_snapshot(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        kernel: &dyn Kernel,
+    ) -> Result<(), SnapshotError> {
+        r.section("core_complex", |r| {
+            let n = r.usize()?;
+            if n != self.cores.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("core count (snapshot {n}, machine {})", self.cores.len()),
+                });
+            }
+            for core in &mut self.cores {
+                core.restore_snapshot(r, kernel)?;
+            }
+            self.next_cta = r.usize()?;
+            self.total_ctas = r.usize()?;
+            self.rr_core = r.usize()?;
+            self.last_ctas_completed = r.u64()?;
+            self.wake_skips = r.u64()?;
+            self.wake.fill(0);
+            self.wake_on_inject.fill(false);
+            self.has_head.fill(false);
+            Ok(())
+        })
+    }
 }
 
 impl ClockedWith<Interconnect> for CoreComplex {
@@ -874,6 +959,41 @@ impl MemorySystem {
     }
 }
 
+impl Snapshot for MemorySystem {
+    /// Saves every partition. The wake cache is not serialized; restore
+    /// parks every partition at "tick next cycle" (state-identical, see
+    /// [`CoreComplex::save_snapshot`]).
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("mem_system", |w| {
+            w.usize(self.partitions.len());
+            for part in &self.partitions {
+                part.save(w);
+            }
+            w.u64(self.wake_skips);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("mem_system", |r| {
+            let n = r.usize()?;
+            if n != self.partitions.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "partition count (snapshot {n}, machine {})",
+                        self.partitions.len()
+                    ),
+                });
+            }
+            for part in &mut self.partitions {
+                part.restore(r)?;
+            }
+            self.wake_skips = r.u64()?;
+            self.wake.fill(0);
+            Ok(())
+        })
+    }
+}
+
 impl ClockedWith<Interconnect> for MemorySystem {
     /// One memory-system cycle: each partition drains its request port,
     /// advances L2/AOU/DRAM, and injects ready responses while the
@@ -976,6 +1096,40 @@ impl ClusterComplex {
     /// Mutable cluster-cache array (kernel-end flush, stat collection).
     pub fn clusters_mut(&mut self) -> &mut [L15Cluster] {
         &mut self.clusters
+    }
+}
+
+impl Snapshot for ClusterComplex {
+    /// Saves every cluster cache (a no-op payload on a flat machine). The
+    /// wake cache is rebuilt, not serialized.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("cluster_complex", |w| {
+            w.usize(self.clusters.len());
+            for cl in &self.clusters {
+                cl.save(w);
+            }
+            w.u64(self.wake_skips);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("cluster_complex", |r| {
+            let n = r.usize()?;
+            if n != self.clusters.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "cluster count (snapshot {n}, machine {})",
+                        self.clusters.len()
+                    ),
+                });
+            }
+            for cl in &mut self.clusters {
+                cl.restore(r)?;
+            }
+            self.wake_skips = r.u64()?;
+            self.wake.fill(0);
+            Ok(())
+        })
     }
 }
 

@@ -43,6 +43,7 @@
 //! assert_eq!(Sample::parse_csv(&parsed.csv_row()), Some(parsed));
 //! ```
 
+use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::fmt;
 
 /// Default sampling interval in cycles.
@@ -457,6 +458,112 @@ impl Sampler {
         out
     }
 
+    fn save_snapshot_fields(w: &mut SnapshotWriter, s: &TelemetrySnapshot) {
+        for v in [
+            s.cycle,
+            s.instructions,
+            s.l1_accesses,
+            s.l1_misses,
+            s.l1_fills,
+            s.l1_bypassed,
+            s.l15_accesses,
+            s.l15_misses,
+            s.l2_accesses,
+            s.l2_misses,
+            s.victim_sets,
+            s.victim_hits,
+            s.victim_clears,
+            s.dram_row_hits,
+            s.dram_row_total,
+            s.switch_open,
+            s.switch_sets,
+            s.mshr_peak,
+            s.noc_in_flight,
+            s.noc_queue_depth,
+            s.noc_packets,
+            s.noc_inject_fails,
+            s.noc_delivered,
+            s.noc_total_latency,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn restore_snapshot_fields(
+        r: &mut SnapshotReader<'_>,
+    ) -> Result<TelemetrySnapshot, SnapshotError> {
+        Ok(TelemetrySnapshot {
+            cycle: r.u64()?,
+            instructions: r.u64()?,
+            l1_accesses: r.u64()?,
+            l1_misses: r.u64()?,
+            l1_fills: r.u64()?,
+            l1_bypassed: r.u64()?,
+            l15_accesses: r.u64()?,
+            l15_misses: r.u64()?,
+            l2_accesses: r.u64()?,
+            l2_misses: r.u64()?,
+            victim_sets: r.u64()?,
+            victim_hits: r.u64()?,
+            victim_clears: r.u64()?,
+            dram_row_hits: r.u64()?,
+            dram_row_total: r.u64()?,
+            switch_open: r.u64()?,
+            switch_sets: r.u64()?,
+            mshr_peak: r.u64()?,
+            noc_in_flight: r.u64()?,
+            noc_queue_depth: r.u64()?,
+            noc_packets: r.u64()?,
+            noc_inject_fails: r.u64()?,
+            noc_delivered: r.u64()?,
+            noc_total_latency: r.u64()?,
+        })
+    }
+
+    fn save_row(w: &mut SnapshotWriter, s: &Sample) {
+        w.u64(s.cycle);
+        w.u64(s.cycles);
+        w.u64(s.instructions);
+        w.f64(s.ipc);
+        w.f64(s.l1_miss_rate);
+        w.f64(s.l1_bypass_ratio);
+        w.f64(s.l15_miss_rate);
+        w.f64(s.l2_miss_rate);
+        w.f64(s.switch_on_frac);
+        w.f64(s.victim_set_rate);
+        w.f64(s.victim_hit_rate);
+        w.f64(s.victim_clear_rate);
+        w.u64(s.mshr_peak);
+        w.u64(s.noc_in_flight);
+        w.u64(s.noc_queue_depth);
+        w.f64(s.dram_row_hit_rate);
+        w.f64(s.noc_inject_fail_rate);
+        w.f64(s.noc_mean_latency);
+    }
+
+    fn restore_row(r: &mut SnapshotReader<'_>) -> Result<Sample, SnapshotError> {
+        Ok(Sample {
+            cycle: r.u64()?,
+            cycles: r.u64()?,
+            instructions: r.u64()?,
+            ipc: r.f64()?,
+            l1_miss_rate: r.f64()?,
+            l1_bypass_ratio: r.f64()?,
+            l15_miss_rate: r.f64()?,
+            l2_miss_rate: r.f64()?,
+            switch_on_frac: r.f64()?,
+            victim_set_rate: r.f64()?,
+            victim_hit_rate: r.f64()?,
+            victim_clear_rate: r.f64()?,
+            mshr_peak: r.u64()?,
+            noc_in_flight: r.u64()?,
+            noc_queue_depth: r.u64()?,
+            dram_row_hit_rate: r.f64()?,
+            noc_inject_fail_rate: r.f64()?,
+            noc_mean_latency: r.f64()?,
+        })
+    }
+
     /// The whole series as a JSON document.
     pub fn to_json(&self) -> String {
         let rows: Vec<String> = self.samples().iter().map(Sample::json_object).collect();
@@ -466,6 +573,77 @@ impl Sampler {
             self.dropped,
             rows.join(",")
         )
+    }
+}
+
+impl Snapshot for Sampler {
+    /// Saves the recorded ring (in raw storage order, with the wrap head),
+    /// the drop counter and the timer state, so a resumed run extends the
+    /// series exactly where the interrupted one left off. The interval and
+    /// capacity are construction-time configuration and only checked.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("sampler", |w| {
+            w.u64(self.interval);
+            w.usize(self.cap);
+            w.usize(self.ring.len());
+            for s in &self.ring {
+                Sampler::save_row(w, s);
+            }
+            w.usize(self.head);
+            w.u64(self.dropped);
+            w.bool(self.prev.is_some());
+            if let Some(p) = &self.prev {
+                Sampler::save_snapshot_fields(w, p);
+            }
+            w.u64(self.next_due);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("sampler", |r| {
+            let interval = r.u64()?;
+            if interval != self.interval {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "sampler interval (snapshot {interval}, machine {})",
+                        self.interval
+                    ),
+                });
+            }
+            let cap = r.usize()?;
+            if cap != self.cap {
+                return Err(SnapshotError::Mismatch {
+                    what: format!("sampler capacity (snapshot {cap}, machine {})", self.cap),
+                });
+            }
+            let len = r.usize()?;
+            if len > cap {
+                return Err(SnapshotError::BadValue {
+                    what: "sampler ring length".into(),
+                    value: len as u64,
+                });
+            }
+            self.ring.clear();
+            for _ in 0..len {
+                let row = Sampler::restore_row(r)?;
+                self.ring.push(row);
+            }
+            self.head = r.usize()?;
+            if self.head >= len.max(1) {
+                return Err(SnapshotError::BadValue {
+                    what: "sampler ring head".into(),
+                    value: self.head as u64,
+                });
+            }
+            self.dropped = r.u64()?;
+            self.prev = if r.bool()? {
+                Some(Sampler::restore_snapshot_fields(r)?)
+            } else {
+                None
+            };
+            self.next_due = r.u64()?;
+            Ok(())
+        })
     }
 }
 

@@ -21,6 +21,9 @@
 use std::collections::VecDeque;
 
 use crate::clocked::Clocked;
+use gcache_core::snapshot::{
+    Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter,
+};
 
 /// Aggregate crossbar statistics (both lanes of one cluster, or summed
 /// over clusters by [`crate::system::Interconnect::xbar_stats`]).
@@ -193,6 +196,135 @@ impl<T> XbarLane<T> {
         } else {
             Some(ev.max(now + 1))
         }
+    }
+}
+
+impl<T: SnapshotPayload> Snapshot for XbarLane<T> {
+    /// Saves the input queues, port serialisation windows, round-robin
+    /// cursor, in-traversal packets, delivery queues and statistics.
+    /// `occupancy` is recounted on restore rather than trusted from the
+    /// snapshot.
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("xbar_lane", |w| {
+            w.usize(self.queues.len());
+            for q in &self.queues {
+                w.usize(q.len());
+                for &(flits, ready_at, dst, ref payload) in q {
+                    w.u32(flits);
+                    w.u64(ready_at);
+                    w.usize(dst);
+                    payload.save_payload(w);
+                }
+            }
+            w.usize(self.port_busy.len());
+            for &b in &self.port_busy {
+                w.u64(b);
+            }
+            w.usize(self.rr);
+            w.usize(self.in_flight.len());
+            for &(arrive, dst, ref payload) in &self.in_flight {
+                w.u64(arrive);
+                w.usize(dst);
+                payload.save_payload(w);
+            }
+            w.usize(self.delivered.len());
+            for d in &self.delivered {
+                w.usize(d.len());
+                for payload in d {
+                    payload.save_payload(w);
+                }
+            }
+            w.u64(self.stats.grants);
+            w.u64(self.stats.flit_cycles);
+            w.u64(self.stats.inject_fails);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("xbar_lane", |r| {
+            let sources = r.usize()?;
+            if sources != self.queues.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "crossbar source count (snapshot {sources}, lane {})",
+                        self.queues.len()
+                    ),
+                });
+            }
+            let mut occupancy = 0;
+            for q in &mut self.queues {
+                let len = r.usize()?;
+                q.clear();
+                for _ in 0..len {
+                    let flits = r.u32()?;
+                    let ready_at = r.u64()?;
+                    let dst = r.usize()?;
+                    let payload = T::restore_payload(r)?;
+                    q.push_back((flits, ready_at, dst, payload));
+                }
+                occupancy += len;
+            }
+            let ports = r.usize()?;
+            if ports != self.port_busy.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "crossbar port count (snapshot {ports}, lane {})",
+                        self.port_busy.len()
+                    ),
+                });
+            }
+            for b in &mut self.port_busy {
+                *b = r.u64()?;
+            }
+            self.rr = r.usize()?;
+            let n = r.usize()?;
+            self.in_flight.clear();
+            for _ in 0..n {
+                let arrive = r.u64()?;
+                let dst = r.usize()?;
+                let payload = T::restore_payload(r)?;
+                self.in_flight.push_back((arrive, dst, payload));
+            }
+            occupancy += n;
+            let dsts = r.usize()?;
+            if dsts != self.delivered.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "crossbar sink count (snapshot {dsts}, lane {})",
+                        self.delivered.len()
+                    ),
+                });
+            }
+            for d in &mut self.delivered {
+                let len = r.usize()?;
+                d.clear();
+                for _ in 0..len {
+                    d.push_back(T::restore_payload(r)?);
+                }
+                occupancy += len;
+            }
+            self.occupancy = occupancy;
+            self.stats.grants = r.u64()?;
+            self.stats.flit_cycles = r.u64()?;
+            self.stats.inject_fails = r.u64()?;
+            Ok(())
+        })
+    }
+}
+
+impl Snapshot for ClusterXbar {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.section("xbar", |w| {
+            self.up.save(w);
+            self.down.save(w);
+        });
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("xbar", |r| {
+            self.up.restore(r)?;
+            self.down.restore(r)
+        })
     }
 }
 

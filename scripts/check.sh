@@ -44,6 +44,38 @@ curve_lines=$(printf '%s\n' "$noc_out" | grep -c "mean-lat") || true
   || { echo "noc microbench: expected 8 saturation points, got $curve_lines"; exit 1; }
 printf '%s\n' "$noc_out" | grep "mean-lat" | sed 's/^/   /'
 
+echo "==> checkpoint round-trip (fig2 --checkpoint/--resume, release)"
+# Periodic snapshotting must be passive (no output byte changes), and an
+# interrupted run resumed from its checkpoints must reproduce the
+# uninterrupted bytes. The kill is timeout-based: if the host is fast
+# enough that the run completes first, the resume leg degenerates to a
+# fresh run and the diff still gates byte-identity.
+ckdir=$(mktemp -d)
+./target/release/fig2 --quick 2>/dev/null > "$ckdir/straight.txt"
+./target/release/fig2 --quick --checkpoint "$ckdir/ck" --checkpoint-every 1500 \
+  2>/dev/null > "$ckdir/hooked.txt"
+diff "$ckdir/straight.txt" "$ckdir/hooked.txt" \
+  || { echo "checkpoint hooks changed fig2 output"; rm -rf "$ckdir"; exit 1; }
+# Subshell + stderr redirect keeps the shell's "Killed" notice quiet.
+(timeout -s KILL 1 ./target/release/fig2 --quick \
+  --checkpoint "$ckdir/ck" --checkpoint-every 800 >/dev/null 2>&1 || true) 2>/dev/null
+if ls "$ckdir"/ck.*.ckpt >/dev/null 2>&1; then
+  ./target/release/fig2 --quick --checkpoint "$ckdir/ck" --resume "$ckdir/ck" \
+    2> "$ckdir/resume.err" > "$ckdir/resumed.txt"
+  grep -q "resuming" "$ckdir/resume.err" \
+    || { echo "checkpoint files present but nothing resumed"; rm -rf "$ckdir"; exit 1; }
+else
+  echo "   (run finished before the kill; resume leg runs fresh)"
+  ./target/release/fig2 --quick --checkpoint "$ckdir/ck" --resume "$ckdir/ck" \
+    2>/dev/null > "$ckdir/resumed.txt"
+fi
+diff "$ckdir/straight.txt" "$ckdir/resumed.txt" \
+  || { echo "resumed fig2 output diverged"; rm -rf "$ckdir"; exit 1; }
+rm -rf "$ckdir"
+
+echo "==> sweep-server kill-resume smoke (worker abort + coordinator SIGKILL)"
+./scripts/kill_resume_smoke.sh | sed 's/^/   /'
+
 echo "==> telemetry smoke (per-epoch switch-on fraction, GC design)"
 # BFS is contention-heavy: its G-Cache switches must open in some interval.
 # STL is pure streaming with no reuse to protect: its switches stay shut.
