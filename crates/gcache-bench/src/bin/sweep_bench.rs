@@ -20,6 +20,7 @@
 //! `serial_overhead_vs_prev`, so the wall-clock cost of newly added
 //! (disabled) instrumentation hooks is tracked revision to revision.
 
+use gcache_bench::microbench::{l1_access_pass_ns, L1_BENCH_POLICIES};
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{bench_cli, designs, export_telemetry, run, set_fast_forward};
 use gcache_core::policy::gcache::GCacheConfig;
@@ -41,6 +42,7 @@ fn profiled_run(bench: &dyn Benchmark) -> Profile {
     let mut cfg = GpuConfig::fermi_with_policy(L1PolicyKind::GCache(GCacheConfig::default()))
         .expect("valid config");
     cfg.fast_forward = gcache_bench::fast_forward_enabled();
+    cfg.ldst_batch = gcache_bench::ldst_batch_enabled();
     let mut gpu = Gpu::new(cfg);
     gpu.enable_profiling();
     gpu.run_kernel(bench)
@@ -210,12 +212,39 @@ fn main() {
             eprintln!("[sweep_bench]   {line}");
         }
         format!(
-            "\n  \"profile\": {},\n  \"icnt_share\": {:.3},",
+            "\n  \"profile\": {},\n  \"icnt_share\": {:.3},\n  \"core_share\": {:.3},",
             p.json_object(),
-            p.icnt_share()
+            p.icnt_share(),
+            p.core_share()
         )
     } else {
         String::new()
+    };
+
+    // L1 access-path microbenchmark: best-of-3 ns/access per policy (the
+    // `benches/l1.rs` numbers), recorded so controller hot-path
+    // regressions show up in the same file as the grid timings. Skipped
+    // under --quick (CI smoke mode) like the full-scale section.
+    let l1_json = if cli.quick {
+        String::new()
+    } else {
+        let mut entries = String::new();
+        for (i, &policy) in L1_BENCH_POLICIES.iter().enumerate() {
+            eprintln!("[sweep_bench] l1 access loop, {policy} (best of 3) ...");
+            let best = (0..3)
+                .map(|_| l1_access_pass_ns(policy))
+                .fold(f64::INFINITY, f64::min);
+            let sep = if i + 1 < L1_BENCH_POLICIES.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = write!(
+                entries,
+                "\n    {{ \"policy\": \"{policy}\", \"ns_per_access\": {best:.1} }}{sep}"
+            );
+        }
+        format!("\n  \"l1_microbench\": [{entries}\n  ],")
     };
 
     // Hook-overhead trend: compare this serial grid pass against the one
@@ -241,7 +270,7 @@ fn main() {
         0.0
     };
     let json = format!(
-        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_no_ff_ms\": {:.1},\n  \"serial_ms\": {:.1},{}{}\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"grid_fastforward_speedup\": {:.3},\n  \"fullscale\": [{}\n  ],\n  \"fastforward_speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        "{{\n  \"grid_runs\": {},\n  \"benches\": {},\n  \"designs\": {},\n  \"jobs\": {},\n  \"host_threads\": {},\n  \"serial_no_ff_ms\": {:.1},\n  \"serial_ms\": {:.1},{}{}{}\n  \"parallel_ms\": {:.1},\n  \"speedup\": {:.3},\n  \"grid_fastforward_speedup\": {:.3},\n  \"fullscale\": [{}\n  ],\n  \"fastforward_speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
         grid.len(),
         benches.len(),
         designs(8).len(),
@@ -251,6 +280,7 @@ fn main() {
         serial_ms,
         prev_json,
         profile_json,
+        l1_json,
         parallel_ms,
         speedup,
         serial_no_ff_ms / serial_ms,

@@ -56,6 +56,24 @@ pub fn fast_forward_enabled() -> bool {
     FAST_FORWARD.load(Ordering::Relaxed)
 }
 
+/// Process-wide batched-decode switch for the coalesce→L1 pipeline
+/// (default on), mirroring the fast-forward switch: `--no-ldst-batch`
+/// makes every [`run`] present L1 accesses through the per-access decode
+/// path instead. Stats are bit-identical either way — the flag exists for
+/// the A/B cross-check gate in `scripts/check.sh`.
+static LDST_BATCH: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables batched coalescer set/tag decode for subsequent
+/// [`run`]s.
+pub fn set_ldst_batch(on: bool) {
+    LDST_BATCH.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`run`] will simulate with batched coalescer decode.
+pub fn ldst_batch_enabled() -> bool {
+    LDST_BATCH.load(Ordering::Relaxed)
+}
+
 /// Checkpoint interval in cycles when `--checkpoint` is given without
 /// `--checkpoint-every`.
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 65_536;
@@ -96,8 +114,9 @@ pub const PD_CANDIDATES: &[u16] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96];
 pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                     [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
-                    [--no-fast-forward] [--telemetry PATH] [--profile]
-                    [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+                    [--no-fast-forward] [--no-ldst-batch] [--telemetry PATH]
+                    [--profile] [--checkpoint PATH] [--checkpoint-every N]
+                    [--resume PATH]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
@@ -117,6 +136,10 @@ usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
   --no-fast-forward
                  tick every cycle instead of skipping provably idle
                  ones; slower, bit-identical output (cross-checking)
+  --no-ldst-batch
+                 decode each L1 access's set/tag at presentation time
+                 instead of batching the decode per coalesced warp
+                 group; slower, bit-identical output (cross-checking)
   --telemetry PATH
                  additionally run the selected benchmarks under the GC
                  design with the per-epoch time-series sampler attached
@@ -156,6 +179,9 @@ pub struct Cli {
     pub cluster_ports: Vec<usize>,
     /// Tick every cycle instead of fast-forwarding over idle ones.
     pub no_fast_forward: bool,
+    /// Decode set/tag per presented L1 access instead of per coalesced
+    /// group (`--no-ldst-batch`).
+    pub no_ldst_batch: bool,
     /// Write a per-epoch telemetry time series here (`--telemetry`);
     /// CSV unless the path ends in `.json`.
     pub telemetry: Option<String>,
@@ -224,6 +250,7 @@ impl Cli {
             std::process::exit(2);
         });
         set_fast_forward(!cli.no_fast_forward);
+        set_ldst_batch(!cli.no_ldst_batch);
         if cli.checkpoint.is_some() || cli.resume.is_some() {
             set_checkpoint_opts(CheckpointOpts {
                 write: cli.checkpoint.clone(),
@@ -279,6 +306,7 @@ impl Cli {
                         .collect::<Result<_, _>>()?;
                 }
                 "--no-fast-forward" => cli.no_fast_forward = true,
+                "--no-ldst-batch" => cli.no_ldst_batch = true,
                 "--telemetry" => {
                     let path = args.next().ok_or("--telemetry requires a value")?;
                     ensure_parent_dir("--telemetry", &path)?;
@@ -473,6 +501,7 @@ pub(crate) fn point_config(
         .with_cluster_ports(cluster_ports)
         .expect("positive cluster port count");
     cfg.fast_forward = fast_forward_enabled();
+    cfg.ldst_batch = ldst_batch_enabled();
     cfg
 }
 
@@ -628,6 +657,7 @@ pub fn run_sampled(
         .with_hierarchy(hierarchy)
         .unwrap_or_else(|e| panic!("invalid hierarchy {hierarchy:?}: {e}"));
     cfg.fast_forward = fast_forward_enabled();
+    cfg.ldst_batch = ldst_batch_enabled();
     let label = point_label(
         &policy, bench, l1_kb, hierarchy, 1, /* sampled = */ true,
     );
@@ -862,6 +892,9 @@ mod tests {
         // which would race with concurrently running simulation tests.
         let cli = Cli::try_parse(["--no-fast-forward"].iter().map(|s| s.to_string())).unwrap();
         assert!(cli.no_fast_forward);
+        assert!(!cli.no_ldst_batch);
+        let cli = Cli::try_parse(["--no-ldst-batch"].iter().map(|s| s.to_string())).unwrap();
+        assert!(cli.no_ldst_batch);
         let cli = Cli::try_parse(std::iter::empty()).unwrap();
         assert!(!cli.no_fast_forward);
     }

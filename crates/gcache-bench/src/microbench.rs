@@ -11,6 +11,16 @@
 //! patterns at a sweep of injection rates) used by `benches/noc.rs` to
 //! characterise the router hot path without dragging a whole GPU model in.
 
+use gcache_core::addr::{CoreId, LineAddr};
+use gcache_core::cache::{Cache, CacheConfig};
+use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
+use gcache_core::geometry::CacheGeometry;
+use gcache_core::policy::gcache::GCache;
+use gcache_core::policy::lru::Lru;
+use gcache_core::policy::pdp::StaticPdp;
+use gcache_core::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
+use gcache_core::policy::rrip::Rrip;
+use gcache_core::policy::{AccessKind, PolicyKind};
 use gcache_core::rng::SmallRng;
 use gcache_sim::icnt::Mesh;
 use std::time::{Duration, Instant};
@@ -66,6 +76,85 @@ pub fn bench(name: &str, f: impl FnMut()) -> Measurement {
 #[inline]
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Policies the `benches/l1.rs` access-loop microbenchmark exercises
+/// (the same set `benches/policies.rs` compares).
+pub const L1_BENCH_POLICIES: &[&str] = &["lru", "srrip3", "gcache", "spdp8", "pdp3_dyn"];
+
+/// Builds one of the [`L1_BENCH_POLICIES`] by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn l1_bench_policy(name: &str, geom: &CacheGeometry) -> PolicyKind {
+    match name {
+        "lru" => Lru::new(geom).into(),
+        "srrip3" => Rrip::srrip(geom, 3).into(),
+        "gcache" => GCache::with_defaults(geom).into(),
+        "spdp8" => StaticPdp::new(geom, 8).into(),
+        "pdp3_dyn" => DynamicPdp::new(geom, DynamicPdpConfig::pdp3()).into(),
+        other => panic!("unknown l1 bench policy {other}"),
+    }
+}
+
+/// The synthetic access stream the L1 microbenchmark replays: a cyclic
+/// hot walk (resident working set → probe hits) with every 4th access
+/// streaming (compulsory misses → MSHR allocate + fill), the same mix
+/// `benches/policies.rs` uses.
+pub fn l1_mixed_stream(n: usize) -> Vec<LineAddr> {
+    let mut out = Vec::with_capacity(n);
+    let mut hot = 0u64;
+    let mut cold = 1 << 20;
+    for i in 0..n {
+        if i % 4 == 3 {
+            cold += 1;
+            out.push(LineAddr::new(cold));
+        } else {
+            hot = (hot + 1) % 384;
+            out.push(LineAddr::new(hot));
+        }
+    }
+    out
+}
+
+/// One timed pass of the full L1 access path — controller entry, probe,
+/// MSHR book-keeping, immediate fill on primary misses — under `policy`
+/// (a [`L1_BENCH_POLICIES`] name), returning mean nanoseconds per access.
+///
+/// Wall-clock noise on a loaded host is real; callers wanting a stable
+/// number run this several times and keep the minimum (`sweep_bench`
+/// records the best of 3 under `"l1_microbench"` in `BENCH_sweep.json`).
+pub fn l1_access_pass_ns(policy: &str) -> f64 {
+    const PASSES: usize = 24;
+    let geom = CacheGeometry::new(32 * 1024, 4, 128).expect("L1 geometry");
+    let stream = l1_mixed_stream(4096);
+    let mut ctrl: CacheController<u32> = CacheController::new(
+        Cache::new(CacheConfig::l1(geom, 512), l1_bench_policy(policy, &geom)),
+        32,
+        8,
+        AtomicHandling::Forward,
+    );
+    let mut woken: Vec<u32> = Vec::new();
+    let mut run = |ctrl: &mut CacheController<u32>| {
+        for &line in &stream {
+            let out = ctrl.access(line, AccessKind::Read, CoreId(0), 0u32);
+            if matches!(out, ControllerOutcome::MissPrimary) {
+                ctrl.fill_with(line, &mut woken, |_| FillParams {
+                    core: CoreId(0),
+                    victim_hint: line.raw() % 8 == 0,
+                    dirty: false,
+                });
+            }
+            black_box(&out);
+        }
+    };
+    run(&mut ctrl); // warm-up: populate the hot working set
+    let start = Instant::now();
+    for _ in 0..PASSES {
+        run(&mut ctrl);
+    }
+    start.elapsed().as_nanos() as f64 / (PASSES * stream.len()) as f64
 }
 
 /// Synthetic traffic pattern for [`mesh_saturation`].

@@ -71,7 +71,7 @@ pub const SERVER_USAGE: &str = "\
 usage: sweep_server --dir RUNDIR [--workers N] [--checkpoint-every N]
                     [--quick] [--bench NAME[,NAME...]]
                     [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
-                    [--no-fast-forward]
+                    [--no-fast-forward] [--no-ldst-batch]
 
   --dir RUNDIR   run directory: manifest, per-point checkpoints and
                  results, and the final merged.tsv live here. Re-running
@@ -261,6 +261,7 @@ impl ServerOpts {
             return Err("--telemetry is not supported by the sweep server".into());
         }
         crate::set_fast_forward(!cli.no_fast_forward);
+        crate::set_ldst_batch(!cli.no_ldst_batch);
         Ok(ServerOpts {
             dir: PathBuf::from(dir),
             workers,

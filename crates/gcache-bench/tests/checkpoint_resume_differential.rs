@@ -152,6 +152,59 @@ fn resumed_run_is_bit_identical() {
     }
 }
 
+/// The packed tag arrays serialize only their logical slots; the per-set
+/// validity/dirty mask words are rebuilt on restore. Snapshot mid-kernel,
+/// restore into a fresh GPU, and assert the rebuilt masks of every cache
+/// in the machine (L1s, L1.5s, L2 banks) equal the reference recomputed
+/// from the per-slot states, for every set — and that the check is not
+/// vacuous (the mid-kernel caches actually hold lines).
+#[test]
+fn restored_tag_masks_equal_recomputed() {
+    let bench = gcache_workloads::registry(Scale::Test)
+        .into_iter()
+        .find(|b| b.info().name == "BFS")
+        .expect("BFS registered");
+    let policy = gcache_bench::designs(6)
+        .into_iter()
+        .find(|p| p.design_name() == "GC")
+        .expect("GC design");
+    // Clustered hierarchy so the L1.5 tag arrays are covered too.
+    let cfg = GpuConfig::fermi_with_policy(policy)
+        .expect("valid config")
+        .with_hierarchy(Hierarchy::SharedL15 {
+            cluster_size: 4,
+            kb: 64,
+        })
+        .expect("valid hierarchy");
+
+    let mut ckpts = Vec::new();
+    fresh_gpu(&cfg)
+        .run_kernel_checkpointed(bench.as_ref(), EVERY, |cycle, bytes| {
+            ckpts.push((cycle, bytes));
+            Ok(())
+        })
+        .expect("checkpointed run");
+    assert!(ckpts.len() >= 2, "run too short for a mid-kernel snapshot");
+    let (cycle, snapshot) = &ckpts[ckpts.len() / 2];
+
+    let mut gpu = fresh_gpu(&cfg);
+    gpu.restore_checkpoint(snapshot, bench.as_ref())
+        .expect("restore");
+    assert!(
+        gpu.tag_masks_consistent(),
+        "cycle {cycle}: restored mask words diverge from the recomputed reference"
+    );
+    let stats = gpu.run_kernel(bench.as_ref()).expect("resume");
+    assert!(
+        stats.l1.hits() > 0,
+        "vacuous check: resumed run never hit a restored L1 line"
+    );
+    assert!(
+        gpu.tag_masks_consistent(),
+        "masks drifted from the slot states during the resumed run"
+    );
+}
+
 #[test]
 fn restore_rejects_mismatched_machine() {
     let bench = gcache_workloads::registry(Scale::Test)

@@ -201,6 +201,12 @@ impl Cache {
         &self.stats
     }
 
+    /// Read-only view of the tag array (snapshot verification and tests
+    /// check its maintained masks against the recomputed reference).
+    pub const fn tags(&self) -> &TagArray {
+        &self.tags
+    }
+
     /// Read access to the replacement policy (telemetry reads switch
     /// state and RRPVs through this; mutation stays with the cache).
     pub const fn policy(&self) -> &PolicyKind {
@@ -236,6 +242,16 @@ impl Cache {
         self.tags.probe(line).is_some()
     }
 
+    /// Side-effect-free probe with the set/tag decode already done;
+    /// returns the resident way. The controller's single-probe access
+    /// machine and the batched L1 pipeline look lines up through this
+    /// and hand the answer to [`Cache::access_probed`], so the tag
+    /// compare runs exactly once per presented access.
+    #[inline]
+    pub fn probe_decoded(&self, set: usize, tag: u64) -> Option<usize> {
+        self.tags.probe_set(set, tag)
+    }
+
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
         self.tags.occupancy()
@@ -250,13 +266,53 @@ impl Cache {
     /// On a miss nothing is allocated: the caller decides whether to fetch
     /// (see the module docs).
     pub fn access(&mut self, line: LineAddr, kind: AccessKind, core: CoreId) -> Lookup {
-        self.tick_epoch();
         let set = self.cfg.geometry.set_of(line);
         let tag = self.cfg.geometry.tag_of(line);
+        self.access_decoded(line, set, tag, kind, core)
+    }
+
+    /// [`Cache::access`] with the set/tag decode already done (the batched
+    /// coalesce→access pipeline decodes a warp's whole group up front).
+    #[inline]
+    pub fn access_decoded(
+        &mut self,
+        line: LineAddr,
+        set: usize,
+        tag: u64,
+        kind: AccessKind,
+        core: CoreId,
+    ) -> Lookup {
+        let way = self.tags.probe_set(set, tag);
+        self.access_probed(line, set, tag, way, kind, core)
+    }
+
+    /// The committed access, given a probe result obtained through
+    /// [`Cache::probe_decoded`] on the *current* tag state. This is the
+    /// single-pass core of every lookup: epoch tick, policy ageing and
+    /// observation, touch/victim-bit/stat/trace updates — one probe, no
+    /// repeated set/way recomputation.
+    ///
+    /// The epoch tick and the `on_set_access`/`observe_access` hooks never
+    /// mutate the tag array (they age policy metadata only), so probing
+    /// before them is behaviour-identical to the historical probe-after
+    /// ordering.
+    pub fn access_probed(
+        &mut self,
+        line: LineAddr,
+        set: usize,
+        tag: u64,
+        way: Option<usize>,
+        kind: AccessKind,
+        core: CoreId,
+    ) -> Lookup {
+        debug_assert_eq!(set, self.cfg.geometry.set_of(line));
+        debug_assert_eq!(tag, self.cfg.geometry.tag_of(line));
+        debug_assert_eq!(way, self.tags.probe_set(set, tag), "stale probe result");
+        self.tick_epoch();
         self.policy.on_set_access(set);
         self.policy.observe_access(set, tag);
 
-        match self.tags.probe(line) {
+        match way {
             Some(way) => {
                 let mark_dirty =
                     kind.is_write() && self.cfg.write_policy == WritePolicy::WriteBackWriteAllocate;
@@ -312,7 +368,8 @@ impl Cache {
     /// from dirtying the line if requested.
     pub fn fill(&mut self, ctx: FillCtx, dirty: bool) -> FillOutcome {
         let set = self.cfg.geometry.set_of(ctx.line);
-        if let Some(way) = self.tags.probe(ctx.line) {
+        let tag = self.cfg.geometry.tag_of(ctx.line);
+        if let Some(way) = self.tags.probe_set(set, tag) {
             if dirty {
                 self.tags.touch(set, way, true);
             }

@@ -171,11 +171,33 @@ impl<T> CacheController<T> {
         core: CoreId,
         target: T,
     ) -> ControllerOutcome {
+        let set = self.cache.geometry().set_of(line);
+        let tag = self.cache.geometry().tag_of(line);
+        self.access_decoded(line, set, tag, kind, core, target)
+    }
+
+    /// [`CacheController::access`] with the set/tag decode already done.
+    /// The batched coalesce→access pipeline decodes a warp's whole
+    /// coalesced group once and presents each line through this entry
+    /// point; the tag compare runs exactly once per access — the probe
+    /// result gates the MSHR allocation *and* seeds the committed cache
+    /// access, with no second `contains` pass.
+    pub fn access_decoded(
+        &mut self,
+        line: LineAddr,
+        set: usize,
+        tag: u64,
+        kind: AccessKind,
+        core: CoreId,
+        target: T,
+    ) -> ControllerOutcome {
         match (kind, self.cache.config().write_policy, self.atomics) {
             (AccessKind::Write, WritePolicy::WriteThroughNoAllocate, _) => {
                 // Update a resident copy (the access also refreshes
                 // replacement state) and forward downstream.
-                let _ = self.cache.access(line, AccessKind::Write, core);
+                let _ = self
+                    .cache
+                    .access_decoded(line, set, tag, AccessKind::Write, core);
                 return ControllerOutcome::Forward;
             }
             (AccessKind::Atomic, _, AtomicHandling::Forward) => {
@@ -188,11 +210,16 @@ impl<T> CacheController<T> {
             _ => {}
         }
 
-        if !self.cache.contains(line) {
+        // One probe serves both the resource check and the committed
+        // access. The MSHR allocation cannot change residency, and a
+        // Blocked outcome commits nothing, so the probe result stays
+        // valid across the branch.
+        let way = self.cache.probe_decoded(set, tag);
+        if way.is_none() {
             return match self.mshr.allocate(line, target) {
                 Ok(alloc) => {
-                    let lookup = self.cache.access(line, kind, core);
-                    debug_assert!(!lookup.is_hit(), "contains() said miss");
+                    let lookup = self.cache.access_probed(line, set, tag, None, kind, core);
+                    debug_assert!(!lookup.is_hit(), "probe said miss");
                     if let Some((src, sink)) = &mut self.trace {
                         sink.record(
                             *src,
@@ -214,9 +241,9 @@ impl<T> CacheController<T> {
                 }
             };
         }
-        match self.cache.access(line, kind, core) {
+        match self.cache.access_probed(line, set, tag, way, kind, core) {
             Lookup::Hit { victim_hint } => ControllerOutcome::Hit { victim_hint },
-            Lookup::Miss => unreachable!("contains() said hit"),
+            Lookup::Miss => unreachable!("probe said hit"),
         }
     }
 

@@ -3,6 +3,20 @@
 //! The tag array tracks *which* lines are resident and their state; all
 //! replacement intelligence lives in [`crate::policy`] implementations that
 //! are driven by [`crate::cache::Cache`].
+//!
+//! # Packed layout
+//!
+//! Storage is struct-of-arrays, not an array of slot structs: per-set
+//! contiguous `u64` tag words, a parallel byte array of [`LineState`]s (the
+//! authoritative logical slots), and the per-line reuse counters in their
+//! own array. On top of the state bytes the array *maintains* one validity
+//! and one dirtiness bitmask word per set — bit `w` describes way `w` — so
+//! the hot probe is a mask-guided branchless tag compare over one cache
+//! line of tag words, and [`TagArray::valid_mask`] is a single load instead
+//! of a loop. The masks are an acceleration structure in the same sense as
+//! the mesh's head caches: every mutation keeps them in sync, snapshots
+//! serialize only the logical slots, and restore rebuilds the masks from
+//! the slot states (checked against [`TagArray::recompute_masks`]).
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
@@ -42,14 +56,42 @@ pub struct Evicted {
 #[derive(Clone, Debug)]
 pub struct TagArray {
     geom: CacheGeometry,
-    slots: Vec<LineSlot>,
+    /// `geom.ways()` as `usize`, cached for index arithmetic.
+    ways: usize,
+    /// Per-line tags, `set * ways + way` indexed, contiguous per set.
+    tags: Vec<u64>,
+    /// Per-line logical state (the authoritative slots).
+    state: Vec<LineState>,
+    /// Per-line reuse counters (Figure 2's distribution), parallel array so
+    /// the probe never drags them into cache.
+    reuse: Vec<u32>,
+    /// Maintained per-set validity words: bit `w` ⇔ way `w` valid.
+    valid: Vec<u64>,
+    /// Maintained per-set dirtiness words: bit `w` ⇔ way `w` dirty.
+    dirty: Vec<u64>,
 }
 
 impl TagArray {
     /// Creates an empty tag array of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 64 ways (the per-set masks are
+    /// single `u64` words, the same bound [`crate::policy`] assumes for its
+    /// `valid_mask` parameter).
     pub fn new(geom: CacheGeometry) -> Self {
-        let slots = vec![LineSlot::default(); geom.lines() as usize];
-        TagArray { geom, slots }
+        assert!(geom.ways() <= 64, "per-set masks hold at most 64 ways");
+        let lines = geom.lines() as usize;
+        let sets = geom.sets() as usize;
+        TagArray {
+            geom,
+            ways: geom.ways() as usize,
+            tags: vec![0; lines],
+            state: vec![LineState::Invalid; lines],
+            reuse: vec![0; lines],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+        }
     }
 
     /// The geometry of this array.
@@ -60,49 +102,89 @@ impl TagArray {
     #[inline]
     fn slot_index(&self, set: usize, way: usize) -> usize {
         debug_assert!(set < self.geom.sets() as usize);
-        debug_assert!(way < self.geom.ways() as usize);
-        set * self.geom.ways() as usize + way
+        debug_assert!(way < self.ways);
+        set * self.ways + way
     }
 
-    /// Read-only view of one slot.
+    /// Logical view of one slot (assembled from the packed arrays).
     #[inline]
-    pub fn slot(&self, set: usize, way: usize) -> &LineSlot {
-        &self.slots[self.slot_index(set, way)]
+    pub fn slot(&self, set: usize, way: usize) -> LineSlot {
+        let idx = self.slot_index(set, way);
+        LineSlot {
+            tag: self.tags[idx],
+            state: self.state[idx],
+            reuse: self.reuse[idx],
+        }
     }
 
     /// Looks a line up; returns the way on a tag match with valid state.
     #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
-        let set = self.geom.set_of(line);
-        let tag = self.geom.tag_of(line);
-        (0..self.geom.ways() as usize).find(|&w| {
-            let s = self.slot(set, w);
-            s.state.is_valid() && s.tag == tag
-        })
+        self.probe_set(self.geom.set_of(line), self.geom.tag_of(line))
+    }
+
+    /// [`TagArray::probe`] with the set/tag decode already done — the
+    /// batched coalesce→access pipeline decodes a warp's whole transaction
+    /// group up front and probes through this entry point.
+    ///
+    /// The compare is branchless: one pass over the set's contiguous tag
+    /// words builds a match mask that is ANDed with the maintained validity
+    /// word; the answer is its lowest set bit.
+    #[inline]
+    pub fn probe_set(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        let mut matches = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            matches |= u64::from(t == tag) << w;
+        }
+        let hit = matches & self.valid[set];
+        if hit == 0 {
+            None
+        } else {
+            Some(hit.trailing_zeros() as usize)
+        }
     }
 
     /// Records a hit on (set, way), bumping the slot's reuse counter.
     #[inline]
     pub fn touch(&mut self, set: usize, way: usize, write: bool) {
         let idx = self.slot_index(set, way);
-        let slot = &mut self.slots[idx];
-        debug_assert!(slot.state.is_valid(), "touch on invalid slot");
-        slot.reuse = slot.reuse.saturating_add(1);
+        debug_assert!(self.state[idx].is_valid(), "touch on invalid slot");
+        self.reuse[idx] = self.reuse[idx].saturating_add(1);
         if write {
-            slot.state = LineState::Dirty;
+            self.state[idx] = LineState::Dirty;
+            self.dirty[set] |= 1 << way;
         }
     }
 
     /// Bitmask with bit `w` set iff way `w` of `set` holds a valid line.
+    /// A single load of the maintained per-set word.
     #[inline]
     pub fn valid_mask(&self, set: usize) -> u64 {
-        let mut mask = 0u64;
-        for w in 0..self.geom.ways() as usize {
-            if self.slot(set, w).state.is_valid() {
-                mask |= 1 << w;
-            }
+        self.valid[set]
+    }
+
+    /// Bitmask with bit `w` set iff way `w` of `set` holds a dirty line.
+    #[inline]
+    pub fn dirty_mask(&self, set: usize) -> u64 {
+        self.dirty[set]
+    }
+
+    /// Recomputes the (validity, dirtiness) words of `set` from the
+    /// authoritative per-slot states — the reference the maintained masks
+    /// must always equal. Used by restore verification and tests; the hot
+    /// path never calls it.
+    pub fn recompute_masks(&self, set: usize) -> (u64, u64) {
+        let base = set * self.ways;
+        let mut valid = 0u64;
+        let mut dirty = 0u64;
+        for w in 0..self.ways {
+            let s = self.state[base + w];
+            valid |= u64::from(s.is_valid()) << w;
+            dirty |= u64::from(s.is_dirty()) << w;
         }
-        mask
+        (valid, dirty)
     }
 
     /// Installs `line` into (set, way), returning the previously resident
@@ -113,10 +195,19 @@ impl TagArray {
     /// Panics in debug builds if `line` does not map to `set`.
     pub fn fill(&mut self, set: usize, way: usize, line: LineAddr, dirty: bool) -> Option<Evicted> {
         debug_assert_eq!(self.geom.set_of(line), set, "line/set mismatch on fill");
-        let tag = self.geom.tag_of(line);
         let evicted = self.evicted_view(set, way);
         let idx = self.slot_index(set, way);
-        self.slots[idx].fill(tag, dirty);
+        self.tags[idx] = self.geom.tag_of(line);
+        self.reuse[idx] = 0;
+        let bit = 1u64 << way;
+        self.valid[set] |= bit;
+        if dirty {
+            self.state[idx] = LineState::Dirty;
+            self.dirty[set] |= bit;
+        } else {
+            self.state[idx] = LineState::Clean;
+            self.dirty[set] &= !bit;
+        }
         evicted
     }
 
@@ -124,58 +215,74 @@ impl TagArray {
     pub fn invalidate(&mut self, set: usize, way: usize) -> Option<Evicted> {
         let evicted = self.evicted_view(set, way);
         let idx = self.slot_index(set, way);
-        self.slots[idx].invalidate();
+        self.state[idx] = LineState::Invalid;
+        self.reuse[idx] = 0;
+        let bit = 1u64 << way;
+        self.valid[set] &= !bit;
+        self.dirty[set] &= !bit;
         evicted
     }
 
     fn evicted_view(&self, set: usize, way: usize) -> Option<Evicted> {
-        let slot = self.slot(set, way);
-        slot.state.is_valid().then(|| Evicted {
-            line: self.geom.line_of(slot.tag, set),
-            dirty: slot.state.is_dirty(),
-            reuse: slot.reuse,
+        let idx = self.slot_index(set, way);
+        self.state[idx].is_valid().then(|| Evicted {
+            line: self.geom.line_of(self.tags[idx], set),
+            dirty: self.state[idx].is_dirty(),
+            reuse: self.reuse[idx],
         })
     }
 
-    /// Number of valid lines across the whole array.
+    /// Number of valid lines across the whole array (popcount of the
+    /// maintained validity words).
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.state.is_valid()).count()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 
     /// Iterates over all valid lines as `(set, way, line, state, reuse)`.
     pub fn iter_valid(
         &self,
     ) -> impl Iterator<Item = (usize, usize, LineAddr, LineState, u32)> + '_ {
-        let ways = self.geom.ways() as usize;
-        self.slots
+        let ways = self.ways;
+        self.state
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.state.is_valid())
+            .filter(|(_, s)| s.is_valid())
             .map(move |(i, s)| {
                 let set = i / ways;
                 (
                     set,
                     i % ways,
-                    self.geom.line_of(s.tag, set),
-                    s.state,
-                    s.reuse,
+                    self.geom.line_of(self.tags[i], set),
+                    *s,
+                    self.reuse[i],
                 )
             })
     }
+
+    /// Whether every maintained mask word equals the reference recomputed
+    /// from the slot states. Debug/restore verification only.
+    pub fn masks_consistent(&self) -> bool {
+        (0..self.geom.sets() as usize)
+            .all(|set| (self.valid[set], self.dirty[set]) == self.recompute_masks(set))
+    }
 }
 
+/// Wire format unchanged from the array-of-slots layout: the *logical*
+/// slots (tag, state, reuse per line) are serialized; the packed mask words
+/// are acceleration state and are rebuilt on restore, exactly like the
+/// mesh's head caches.
 impl Snapshot for TagArray {
     fn save(&self, w: &mut SnapshotWriter) {
         w.section("tags", |w| {
-            w.usize(self.slots.len());
-            for s in &self.slots {
-                w.u64(s.tag);
-                w.u8(match s.state {
+            w.usize(self.tags.len());
+            for i in 0..self.tags.len() {
+                w.u64(self.tags[i]);
+                w.u8(match self.state[i] {
                     LineState::Invalid => 0,
                     LineState::Clean => 1,
                     LineState::Dirty => 2,
                 });
-                w.u32(s.reuse);
+                w.u32(self.reuse[i]);
             }
         });
     }
@@ -183,14 +290,14 @@ impl Snapshot for TagArray {
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         r.section("tags", |r| {
             let n = r.usize()?;
-            if n != self.slots.len() {
+            if n != self.tags.len() {
                 return Err(SnapshotError::Mismatch {
-                    what: format!("tag array size ({n} saved, {} built)", self.slots.len()),
+                    what: format!("tag array size ({n} saved, {} built)", self.tags.len()),
                 });
             }
-            for s in &mut self.slots {
-                s.tag = r.u64()?;
-                s.state = match r.u8()? {
+            for i in 0..n {
+                self.tags[i] = r.u64()?;
+                self.state[i] = match r.u8()? {
                     0 => LineState::Invalid,
                     1 => LineState::Clean,
                     2 => LineState::Dirty,
@@ -201,8 +308,15 @@ impl Snapshot for TagArray {
                         })
                     }
                 };
-                s.reuse = r.u32()?;
+                self.reuse[i] = r.u32()?;
             }
+            // Rebuild the packed masks from the restored slot states.
+            for set in 0..self.geom.sets() as usize {
+                let (valid, dirty) = self.recompute_masks(set);
+                self.valid[set] = valid;
+                self.dirty[set] = dirty;
+            }
+            debug_assert!(self.masks_consistent());
             Ok(())
         })
     }
@@ -256,9 +370,11 @@ mod tests {
         let a = LineAddr::new(0);
         tags.fill(0, 0, a, false);
         tags.touch(0, 0, true);
+        assert_eq!(tags.dirty_mask(0), 0b01);
         let ev = tags.invalidate(0, 0).unwrap();
         assert!(ev.dirty);
         assert_eq!(tags.probe(a), None);
+        assert_eq!(tags.dirty_mask(0), 0b00);
     }
 
     #[test]
@@ -266,6 +382,11 @@ mod tests {
         let mut tags = small();
         tags.fill(0, 0, LineAddr::new(0), true);
         assert!(tags.slot(0, 0).state.is_dirty());
+        assert_eq!(tags.dirty_mask(0), 0b01);
+        // A clean refill of the same way clears the dirty bit.
+        tags.fill(0, 0, LineAddr::new(4), false);
+        assert_eq!(tags.dirty_mask(0), 0b00);
+        assert!(tags.masks_consistent());
     }
 
     #[test]
@@ -278,6 +399,37 @@ mod tests {
         assert_eq!(tags.valid_mask(0), 0b11);
         tags.invalidate(0, 1);
         assert_eq!(tags.valid_mask(0), 0b01);
+        assert!(tags.masks_consistent());
+    }
+
+    #[test]
+    fn probe_set_matches_probe() {
+        let mut tags = small();
+        let g = *tags.geometry();
+        for raw in [0u64, 1, 4, 5, 8, 13] {
+            let line = LineAddr::new(raw);
+            let set = g.set_of(line);
+            tags.fill(set, (raw % 2) as usize, line, false);
+        }
+        for raw in 0..32u64 {
+            let line = LineAddr::new(raw);
+            assert_eq!(
+                tags.probe(line),
+                tags.probe_set(g.set_of(line), g.tag_of(line)),
+                "decoded probe diverged at {raw:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_tag_of_invalid_slot_never_matches() {
+        let mut tags = small();
+        let a = LineAddr::new(4); // set 0
+        tags.fill(0, 0, a, false);
+        tags.invalidate(0, 0);
+        // The tag word still holds `a`'s tag; the validity mask must keep
+        // the branchless compare from reporting it.
+        assert_eq!(tags.probe(a), None);
     }
 
     #[test]
@@ -291,6 +443,33 @@ mod tests {
             .collect();
         v.sort_unstable();
         assert_eq!(v, vec![(0, 0, 0), (3, 1, 7)]);
+    }
+
+    #[test]
+    fn snapshot_restore_rebuilds_masks() {
+        let mut tags = small();
+        tags.fill(0, 0, LineAddr::new(0), false);
+        tags.fill(0, 1, LineAddr::new(4), true);
+        tags.fill(2, 1, LineAddr::new(6), false);
+        tags.touch(2, 1, true);
+        let mut w = SnapshotWriter::new();
+        tags.save(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = small();
+        restored
+            .restore(&mut SnapshotReader::new(&bytes).unwrap())
+            .unwrap();
+        for set in 0..4 {
+            assert_eq!(
+                (restored.valid_mask(set), restored.dirty_mask(set)),
+                restored.recompute_masks(set),
+                "set {set} masks not rebuilt"
+            );
+            assert_eq!(restored.valid_mask(set), tags.valid_mask(set));
+            assert_eq!(restored.dirty_mask(set), tags.dirty_mask(set));
+        }
+        assert!(restored.masks_consistent());
     }
 
     #[test]

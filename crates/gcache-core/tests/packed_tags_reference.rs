@@ -1,0 +1,190 @@
+//! Randomised differential test of the packed struct-of-arrays
+//! [`TagArray`] against a retained scalar reference model (the
+//! array-of-[`LineSlot`]s layout the packed version replaced).
+//!
+//! Seeded random streams of probe/touch/fill/invalidate across several
+//! geometries are replayed through both implementations; every outcome,
+//! every maintained mask word, and every eviction must be identical.
+//! Cases replay exactly via the dependency-free
+//! [`gcache_core::rng::SmallRng`].
+
+use gcache_core::addr::LineAddr;
+use gcache_core::geometry::CacheGeometry;
+use gcache_core::line::{LineSlot, LineState};
+use gcache_core::rng::SmallRng;
+use gcache_core::tag_array::{Evicted, TagArray};
+
+const CASES: u64 = 48;
+const OPS_PER_CASE: u64 = 400;
+
+/// Scalar reference: one `LineSlot` per line, every query a plain loop.
+/// This is deliberately the pre-packing implementation, kept as the
+/// semantic spec for the bitmask-accelerated array.
+struct ReferenceTags {
+    geom: CacheGeometry,
+    slots: Vec<Vec<LineSlot>>,
+}
+
+impl ReferenceTags {
+    fn new(geom: CacheGeometry) -> Self {
+        ReferenceTags {
+            geom,
+            slots: vec![vec![LineSlot::default(); geom.ways() as usize]; geom.sets() as usize],
+        }
+    }
+
+    fn probe(&self, line: LineAddr) -> Option<usize> {
+        let set = self.geom.set_of(line);
+        let tag = self.geom.tag_of(line);
+        (0..self.slots[set].len())
+            .find(|&w| self.slots[set][w].state.is_valid() && self.slots[set][w].tag == tag)
+    }
+
+    fn touch(&mut self, set: usize, way: usize, write: bool) {
+        let slot = &mut self.slots[set][way];
+        slot.reuse = slot.reuse.saturating_add(1);
+        if write {
+            slot.state = LineState::Dirty;
+        }
+    }
+
+    fn evicted_view(&self, set: usize, way: usize) -> Option<Evicted> {
+        let slot = &self.slots[set][way];
+        slot.state.is_valid().then(|| Evicted {
+            line: self.geom.line_of(slot.tag, set),
+            dirty: slot.state.is_dirty(),
+            reuse: slot.reuse,
+        })
+    }
+
+    fn fill(&mut self, set: usize, way: usize, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        let evicted = self.evicted_view(set, way);
+        self.slots[set][way].fill(self.geom.tag_of(line), dirty);
+        evicted
+    }
+
+    fn invalidate(&mut self, set: usize, way: usize) -> Option<Evicted> {
+        let evicted = self.evicted_view(set, way);
+        self.slots[set][way].invalidate();
+        evicted
+    }
+
+    fn masks(&self, set: usize) -> (u64, u64) {
+        let mut valid = 0u64;
+        let mut dirty = 0u64;
+        for (w, slot) in self.slots[set].iter().enumerate() {
+            valid |= u64::from(slot.state.is_valid()) << w;
+            dirty |= u64::from(slot.state.is_dirty()) << w;
+        }
+        (valid, dirty)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.state.is_valid())
+            .count()
+    }
+}
+
+/// The geometries exercised: the tiny unit-test shape, the Fermi-like L1,
+/// an L2-bank shape with a full 16-way mask, and a degenerate single set.
+fn geometries() -> Vec<CacheGeometry> {
+    [
+        (1024, 2, 128),    // 4 sets x 2 ways
+        (32768, 4, 128),   // 64 sets x 4 ways (L1 shape)
+        (131072, 16, 128), // 64 sets x 16 ways (L2-bank shape)
+        (256, 2, 128),     // 1 set x 2 ways
+    ]
+    .iter()
+    .map(|&(bytes, ways, line)| CacheGeometry::new(bytes, ways, line).expect("valid geometry"))
+    .collect()
+}
+
+#[test]
+fn packed_tags_match_reference_model() {
+    let geoms = geometries();
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5eed_2001 ^ case);
+        let geom = geoms[rng.gen_range(0..geoms.len() as u64) as usize];
+        let sets = geom.sets() as usize;
+        let ways = geom.ways() as usize;
+        // Address window: a handful of distinct tags per set so probes
+        // hit, miss, and alias against stale tags of invalidated slots.
+        let window = (geom.lines() * 6).max(8);
+
+        let mut packed = TagArray::new(geom);
+        let mut reference = ReferenceTags::new(geom);
+
+        for op in 0..OPS_PER_CASE {
+            let ctx = format!("case {case} op {op} geom {geom:?}");
+            match rng.gen_range(0..100) {
+                // Probe a random line; on a shared hit, touch it too.
+                0..=44 => {
+                    let line = LineAddr::new(rng.gen_range(0..window));
+                    let got = packed.probe(line);
+                    assert_eq!(got, reference.probe(line), "{ctx}: probe diverged");
+                    let set = geom.set_of(line);
+                    let tag = geom.tag_of(line);
+                    assert_eq!(got, packed.probe_set(set, tag), "{ctx}: decoded probe");
+                    if let Some(way) = got {
+                        let write = rng.gen_bool(0.3);
+                        packed.touch(set, way, write);
+                        reference.touch(set, way, write);
+                    }
+                }
+                // Fill a random way of the line's set.
+                45..=84 => {
+                    let line = LineAddr::new(rng.gen_range(0..window));
+                    let set = geom.set_of(line);
+                    let way = rng.gen_range(0..ways as u64) as usize;
+                    let dirty = rng.gen_bool(0.25);
+                    assert_eq!(
+                        packed.fill(set, way, line, dirty),
+                        reference.fill(set, way, line, dirty),
+                        "{ctx}: fill eviction diverged"
+                    );
+                }
+                // Invalidate a random slot.
+                _ => {
+                    let set = rng.gen_range(0..sets as u64) as usize;
+                    let way = rng.gen_range(0..ways as u64) as usize;
+                    assert_eq!(
+                        packed.invalidate(set, way),
+                        reference.invalidate(set, way),
+                        "{ctx}: invalidate eviction diverged"
+                    );
+                }
+            }
+
+            // Every op leaves the maintained mask words equal to the
+            // reference model's recomputed ones.
+            let set = rng.gen_range(0..sets as u64) as usize;
+            assert_eq!(
+                (packed.valid_mask(set), packed.dirty_mask(set)),
+                reference.masks(set),
+                "{ctx}: masks diverged on set {set}"
+            );
+        }
+
+        assert!(packed.masks_consistent(), "case {case}: stale mask word");
+        assert_eq!(packed.occupancy(), reference.occupancy(), "case {case}");
+        for set in 0..sets {
+            assert_eq!(
+                (packed.valid_mask(set), packed.dirty_mask(set)),
+                reference.masks(set),
+                "case {case}: final masks diverged on set {set}"
+            );
+            for way in 0..ways {
+                let p = packed.slot(set, way);
+                let r = &reference.slots[set][way];
+                assert_eq!(p.state, r.state, "case {case}: state at ({set},{way})");
+                if p.state.is_valid() {
+                    assert_eq!(p.tag, r.tag, "case {case}: tag at ({set},{way})");
+                    assert_eq!(p.reuse, r.reuse, "case {case}: reuse at ({set},{way})");
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@ use crate::l1::{L1Controller, L1Outcome};
 use crate::request::{restore_access_kind, save_access_kind, MemRequest, MemResponse, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::CacheConfig;
+use gcache_core::geometry::CacheGeometry;
 use gcache_core::policy::{AccessKind, PolicyKind};
 use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::VecDeque;
@@ -56,6 +57,23 @@ impl std::fmt::Debug for Warp {
     }
 }
 
+/// One coalesced line transaction awaiting L1/network issue.
+///
+/// `set`/`tag` are decoded in one batched pass over the warp's whole
+/// coalesced group at issue time (when `GpuConfig::ldst_batch` is on), so
+/// the per-cycle LD/ST pump enters the L1 through the pre-decoded
+/// controller path instead of re-deriving them per presentation. They are
+/// derived state: snapshots serialize only `(line, kind, warp)` and
+/// restore recomputes the decode, keeping the wire format unchanged.
+#[derive(Debug, Clone, Copy)]
+struct LdstTxn {
+    line: LineAddr,
+    set: usize,
+    tag: u64,
+    kind: AccessKind,
+    warp: WarpSlot,
+}
+
 #[derive(Debug)]
 struct CtaState {
     cta_id: usize,
@@ -97,9 +115,21 @@ pub struct SimtCore {
     ctas: Vec<Option<CtaState>>,
     threads_resident: usize,
     l1: L1Controller,
+    /// L1 geometry, cached for the batched set/tag decode at issue time.
+    l1_geom: CacheGeometry,
+    /// Batched-decode switch (see [`LdstTxn`]); bit-identical either way.
+    ldst_batch: bool,
     /// Coalesced transactions awaiting L1/network issue, one per cycle.
-    ldst_queue: VecDeque<(LineAddr, AccessKind, WarpSlot)>,
+    ldst_queue: VecDeque<LdstTxn>,
     ldst_capacity: usize,
+    /// Maintained bitmask of warp slots in [`WarpState::Ready`] — the
+    /// issue stage and [`SimtCore::next_event`] scan this word instead of
+    /// the whole slot array (the mesh `rwake` trick). Rebuilt, not
+    /// serialized, on snapshot restore.
+    ready_mask: u64,
+    /// Maintained bitmask of warp slots in [`WarpState::ComputeUntil`];
+    /// only these are examined for their retire cycle.
+    compute_mask: u64,
     sched: WarpScheduler,
     launch_seq: u64,
     stats: CoreStats,
@@ -121,6 +151,10 @@ impl SimtCore {
             cfg.l1_mshr_entries,
             cfg.l1_mshr_merge,
         );
+        assert!(
+            cfg.max_warps_per_core <= 64,
+            "warp ready masks hold at most 64 slots"
+        );
         SimtCore {
             id,
             warp_width: cfg.warp_width,
@@ -131,8 +165,12 @@ impl SimtCore {
             ctas: (0..cfg.max_ctas_per_core).map(|_| None).collect(),
             threads_resident: 0,
             l1,
+            l1_geom: cfg.l1_geometry,
+            ldst_batch: cfg.ldst_batch,
             ldst_queue: VecDeque::with_capacity(4 * cfg.warp_width),
             ldst_capacity: 4 * cfg.warp_width,
+            ready_mask: 0,
+            compute_mask: 0,
             sched: WarpScheduler::new(cfg.warp_sched),
             launch_seq: 0,
             stats: CoreStats::default(),
@@ -207,6 +245,7 @@ impl SimtCore {
                 age: self.launch_seq,
                 ops_pulled: 0,
             });
+            self.ready_mask |= 1 << slot;
             warp_slots.push(slot);
         }
         self.threads_resident += grid.threads_per_cta;
@@ -248,6 +287,7 @@ impl SimtCore {
             w.outstanding = w.outstanding.saturating_sub(1);
             if w.outstanding == 0 && w.state == WarpState::WaitMem {
                 w.state = WarpState::Ready;
+                self.ready_mask |= 1 << slot;
             }
         }
     }
@@ -270,8 +310,8 @@ impl SimtCore {
         // The head LD/ST transaction retires next cycle unless it is
         // parked on network backpressure or on L1 MSHR resources (both
         // freed only by external events).
-        if let Some(&(line, kind, _)) = self.ldst_queue.front() {
-            if can_inject && !self.l1.would_block(line, kind) {
+        if let Some(txn) = self.ldst_queue.front() {
+            if can_inject && !self.l1.would_block(txn.line, txn.kind) {
                 return Some(now + 1);
             }
         }
@@ -279,20 +319,27 @@ impl SimtCore {
         // pickable: Ready warps next cycle (even a warp that just lost
         // arbitration, or one parked on a full LD/ST queue — its
         // structural stall is per-cycle accounting that must be ticked),
-        // compute-bound warps when their op retires.
+        // compute-bound warps when their op retires. The maintained masks
+        // bound the scan to the runnable slots.
+        if self.ready_mask != 0 {
+            return Some(now + 1);
+        }
         let mut ev: Option<u64> = None;
-        for w in self.warps.iter().flatten() {
-            match w.state {
-                WarpState::Ready => return Some(now + 1),
-                WarpState::ComputeUntil(t) => {
-                    let t = t.max(now + 1);
-                    if t == now + 1 {
-                        return Some(t);
-                    }
-                    ev = Some(ev.map_or(t, |e| e.min(t)));
-                }
-                WarpState::WaitMem | WarpState::Barrier | WarpState::Done => {}
+        let mut m = self.compute_mask;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let Some(w) = self.warps[s].as_ref() else {
+                continue;
+            };
+            let WarpState::ComputeUntil(t) = w.state else {
+                continue;
+            };
+            let t = t.max(now + 1);
+            if t == now + 1 {
+                return Some(t);
             }
+            ev = Some(ev.map_or(t, |e| e.min(t)));
         }
         ev
     }
@@ -304,7 +351,7 @@ impl SimtCore {
     pub fn head_waiting_on_inject(&self) -> bool {
         self.ldst_queue
             .front()
-            .is_some_and(|&(line, kind, _)| !self.l1.would_block(line, kind))
+            .is_some_and(|txn| !self.l1.would_block(txn.line, txn.kind))
     }
 
     /// Whether any LD/ST transaction is queued. Stable across event-free
@@ -329,12 +376,12 @@ impl SimtCore {
                 .is_none_or(|t| t > now + cycles),
             "fast-forward skipped into a live cycle"
         );
-        if let Some(&(line, kind, _)) = self.ldst_queue.front() {
+        if let Some(txn) = self.ldst_queue.front() {
             self.stats.mem_stall_cycles += cycles;
             if can_inject {
                 // With network space, each skipped cycle would have
                 // re-presented the access and recorded a blocked replay.
-                debug_assert!(self.l1.would_block(line, kind));
+                debug_assert!(self.l1.would_block(txn.line, txn.kind));
                 self.l1.note_blocked(cycles);
             }
         }
@@ -344,14 +391,25 @@ impl SimtCore {
 
     /// Processes the head LD/ST transaction.
     fn pump_ldst(&mut self, can_inject: bool) -> Option<MemRequest> {
-        let &(line, kind, warp) = self.ldst_queue.front()?;
+        let &LdstTxn {
+            line,
+            set,
+            tag,
+            kind,
+            warp,
+        } = self.ldst_queue.front()?;
         // Any access may need to inject (miss/write/atomic): gate on
         // network space to avoid mutating L1 state and then failing.
         if !can_inject {
             self.stats.mem_stall_cycles += 1;
             return None;
         }
-        match self.l1.access(line, kind, warp) {
+        let outcome = if self.ldst_batch {
+            self.l1.access_decoded(line, set, tag, kind, warp)
+        } else {
+            self.l1.access(line, kind, warp)
+        };
+        match outcome {
             L1Outcome::Hit => {
                 self.ldst_queue.pop_front();
                 self.complete_mem(warp);
@@ -381,26 +439,37 @@ impl SimtCore {
         }
     }
 
-    /// The issue stage: pick one ready warp, execute its next op.
+    /// The issue stage: pick one ready warp, execute its next op. The
+    /// candidate set is assembled from the maintained ready/compute masks,
+    /// so only runnable slots are examined.
     fn issue(&mut self, now: u64) {
+        debug_assert!(self.masks_consistent());
         let slots = self.warps.len();
+        let mut candidates = self.ready_mask;
+        let mut m = self.compute_mask;
+        while m != 0 {
+            let s = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if let Some(w) = self.warps[s].as_ref() {
+                if let WarpState::ComputeUntil(t) = w.state {
+                    if t <= now {
+                        candidates |= 1 << s;
+                    }
+                }
+            }
+        }
         let warps = &self.warps;
-        let picked = self.sched.pick(
-            slots,
-            |s| {
-                warps[s].as_ref().is_some_and(|w| match w.state {
-                    WarpState::Ready => true,
-                    WarpState::ComputeUntil(t) => t <= now,
-                    _ => false,
-                })
-            },
-            |s| warps[s].as_ref().map_or(u64::MAX, |w| w.age),
-        );
+        let picked = self.sched.pick_mask(slots, candidates, |s| {
+            warps[s].as_ref().map_or(u64::MAX, |w| w.age)
+        });
         let Some(slot) = picked else {
             self.stats.idle_cycles += 1;
             return;
         };
 
+        // The picked warp leaves any compute wait and issues from Ready.
+        self.compute_mask &= !(1 << slot);
+        self.ready_mask |= 1 << slot;
         let op = {
             let w = self.warps[slot].as_mut().expect("picked slot is live");
             w.state = WarpState::Ready;
@@ -437,10 +506,14 @@ impl SimtCore {
             Op::Compute { cycles } => {
                 let w = self.warps[slot].as_mut().expect("live");
                 w.state = WarpState::ComputeUntil(now + cycles.max(1) as u64);
+                self.ready_mask &= !(1 << slot);
+                self.compute_mask |= 1 << slot;
             }
             Op::Shared => {
                 let w = self.warps[slot].as_mut().expect("live");
                 w.state = WarpState::ComputeUntil(now + self.shared_latency.max(1) as u64);
+                self.ready_mask &= !(1 << slot);
+                self.compute_mask |= 1 << slot;
             }
             Op::Barrier => {
                 let cta_slot = {
@@ -448,6 +521,7 @@ impl SimtCore {
                     w.state = WarpState::Barrier;
                     w.cta_slot
                 };
+                self.ready_mask &= !(1 << slot);
                 let cta = self.ctas[cta_slot].as_mut().expect("warp's CTA is live");
                 cta.at_barrier += 1;
                 self.maybe_release_barrier(cta_slot);
@@ -472,14 +546,36 @@ impl SimtCore {
         coalesce_into(addrs, self.line_size, &mut lines);
         let n = lines.len() as u32;
         self.stats.transactions += n as u64;
-        for &line in &lines {
-            self.ldst_queue.push_back((line, kind, slot));
+        // Decode the whole coalesced group in one batched pass (first-touch
+        // order preserved — issue order is observable, see DESIGN.md §10),
+        // so the per-cycle pump enters the L1 pre-decoded.
+        if self.ldst_batch {
+            for &line in &lines {
+                self.ldst_queue.push_back(LdstTxn {
+                    line,
+                    set: self.l1_geom.set_of(line),
+                    tag: self.l1_geom.tag_of(line),
+                    kind,
+                    warp: slot,
+                });
+            }
+        } else {
+            for &line in &lines {
+                self.ldst_queue.push_back(LdstTxn {
+                    line,
+                    set: 0,
+                    tag: 0,
+                    kind,
+                    warp: slot,
+                });
+            }
         }
         self.coalesce_scratch = lines;
         if blocking && n > 0 {
             let w = self.warps[slot].as_mut().expect("live");
             w.outstanding += n;
             w.state = WarpState::WaitMem;
+            self.ready_mask &= !(1 << slot);
         }
     }
 
@@ -490,6 +586,7 @@ impl SimtCore {
             w.state = WarpState::Done;
             w.cta_slot
         };
+        self.ready_mask &= !(1 << slot);
         self.sched.on_slot_freed(slot);
         let done = {
             let cta = self.ctas[cta_slot].as_mut().expect("live CTA");
@@ -502,6 +599,8 @@ impl SimtCore {
             let cta = self.ctas[cta_slot].take().expect("live CTA");
             for s in cta.warp_slots {
                 self.warps[s] = None;
+                self.ready_mask &= !(1 << s);
+                self.compute_mask &= !(1 << s);
                 self.sched.on_slot_freed(s);
             }
             self.threads_resident -= cta.threads;
@@ -566,11 +665,14 @@ impl SimtCore {
             }
             w.usize(self.threads_resident);
             self.l1.save(w);
+            // Only the logical triple goes on the wire; the set/tag decode
+            // is derived state, recomputed on restore (same format as the
+            // pre-batching layout).
             w.usize(self.ldst_queue.len());
-            for &(line, kind, slot) in &self.ldst_queue {
-                w.u64(line.raw());
-                save_access_kind(w, kind);
-                w.usize(slot);
+            for txn in &self.ldst_queue {
+                w.u64(txn.line.raw());
+                save_access_kind(w, txn.kind);
+                w.usize(txn.warp);
             }
             self.sched.save(w);
             w.u64(self.launch_seq);
@@ -702,6 +804,18 @@ impl SimtCore {
                     ops_pulled,
                 });
             }
+            // Rebuild the ready/compute words from the restored warp
+            // states — maintained acceleration state, never serialized
+            // (the mesh head-cache pattern).
+            self.ready_mask = 0;
+            self.compute_mask = 0;
+            for (s, w) in self.warps.iter().enumerate() {
+                match w.as_ref().map(|w| w.state) {
+                    Some(WarpState::Ready) => self.ready_mask |= 1 << s,
+                    Some(WarpState::ComputeUntil(_)) => self.compute_mask |= 1 << s,
+                    _ => {}
+                }
+            }
             self.threads_resident = r.usize()?;
             self.l1.restore(r)?;
             let n = r.usize()?;
@@ -709,8 +823,19 @@ impl SimtCore {
             for _ in 0..n {
                 let line = LineAddr::new(r.u64()?);
                 let kind = restore_access_kind(r)?;
-                let slot = r.usize()?;
-                self.ldst_queue.push_back((line, kind, slot));
+                let warp = r.usize()?;
+                let (set, tag) = if self.ldst_batch {
+                    (self.l1_geom.set_of(line), self.l1_geom.tag_of(line))
+                } else {
+                    (0, 0)
+                };
+                self.ldst_queue.push_back(LdstTxn {
+                    line,
+                    set,
+                    tag,
+                    kind,
+                    warp,
+                });
             }
             self.sched.restore(r)?;
             self.launch_seq = r.u64()?;
@@ -725,11 +850,33 @@ impl SimtCore {
         })
     }
 
+    /// Whether the maintained ready/compute words equal the reference
+    /// recomputed from the warp states. Debug-assert only — the hot path
+    /// never scans the slot array.
+    fn masks_consistent(&self) -> bool {
+        let mut ready = 0u64;
+        let mut compute = 0u64;
+        for (s, w) in self.warps.iter().enumerate() {
+            match w.as_ref().map(|w| w.state) {
+                Some(WarpState::Ready) => ready |= 1 << s,
+                Some(WarpState::ComputeUntil(_)) => compute |= 1 << s,
+                _ => {}
+            }
+        }
+        (self.ready_mask, self.compute_mask) == (ready, compute)
+    }
+
     /// Releases a CTA's barrier once every live warp has arrived.
     fn maybe_release_barrier(&mut self, cta_slot: usize) {
-        // Split borrows: the CTA entry and the warp table are disjoint
-        // fields, so the release loop needs no clone of the slot list.
-        let Self { warps, ctas, .. } = self;
+        // Split borrows: the CTA entry, the warp table and the ready mask
+        // are disjoint fields, so the release loop needs no clone of the
+        // slot list.
+        let Self {
+            warps,
+            ctas,
+            ready_mask,
+            ..
+        } = self;
         let Some(cta) = ctas[cta_slot].as_mut() else {
             return;
         };
@@ -740,6 +887,7 @@ impl SimtCore {
             if let Some(w) = warps[s].as_mut() {
                 if w.state == WarpState::Barrier {
                     w.state = WarpState::Ready;
+                    *ready_mask |= 1 << s;
                 }
             }
         }

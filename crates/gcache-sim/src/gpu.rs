@@ -186,6 +186,29 @@ impl Gpu {
         })
     }
 
+    /// Whether every tag array in the machine — each core's L1, each
+    /// cluster L1.5, each L2 bank — has its maintained per-set
+    /// validity/dirty mask words equal to the reference recomputed from
+    /// the per-slot states. The masks are acceleration state rebuilt (not
+    /// deserialized) on checkpoint restore, so the snapshot round-trip
+    /// tests assert this after [`Gpu::restore_checkpoint`].
+    pub fn tag_masks_consistent(&self) -> bool {
+        self.cores
+            .cores()
+            .iter()
+            .all(|c| c.l1().cache().tags().masks_consistent())
+            && self
+                .clusters
+                .clusters()
+                .iter()
+                .all(|cl| cl.cache().tags().masks_consistent())
+            && self
+                .mem
+                .partitions()
+                .iter()
+                .all(|p| p.l2().tags().masks_consistent())
+    }
+
     /// Attaches a shared structured-event trace ring to every traceable
     /// component: each L1 (cache + MSHR), each cluster L1.5, each L2 bank
     /// (cache + MSHR) and each DRAM channel. The GPU keeps a clock handle

@@ -135,23 +135,26 @@ impl L1Controller {
 
     /// Presents one coalesced transaction to the L1.
     pub fn access(&mut self, line: LineAddr, kind: AccessKind, warp: WarpSlot) -> L1Outcome {
-        let request = MemRequest {
-            line,
-            kind,
-            core: self.core,
-            warp,
-        };
-        match self.ctrl.access(line, kind, self.core, warp) {
-            ControllerOutcome::Hit { .. } => L1Outcome::Hit,
-            ControllerOutcome::MissPrimary => L1Outcome::MissPrimary(request),
-            ControllerOutcome::MissMerged => L1Outcome::MissMerged,
-            ControllerOutcome::Blocked(_) => L1Outcome::Blocked,
-            ControllerOutcome::Forward => match kind {
-                AccessKind::Write => L1Outcome::WriteForward(request),
-                AccessKind::Atomic => L1Outcome::AtomicForward(request),
-                AccessKind::Read => unreachable!("reads are never forwarded"),
-            },
-        }
+        let out = self.ctrl.access(line, kind, self.core, warp);
+        translate(line, kind, self.core, warp, out)
+    }
+
+    /// [`L1Controller::access`] with the set/tag decode already done — the
+    /// batched coalesce→access pipeline decodes a warp's whole coalesced
+    /// group once at issue time and presents each transaction through this
+    /// entry point (see [`CacheController::access_decoded`]).
+    pub fn access_decoded(
+        &mut self,
+        line: LineAddr,
+        set: usize,
+        tag: u64,
+        kind: AccessKind,
+        warp: WarpSlot,
+    ) -> L1Outcome {
+        let out = self
+            .ctrl
+            .access_decoded(line, set, tag, kind, self.core, warp);
+        translate(line, kind, self.core, warp, out)
     }
 
     /// Handles a returning read fill: applies the (possibly bypassing)
@@ -188,6 +191,33 @@ impl L1Controller {
             outcome.evicted.is_none_or(|e| !e.dirty),
             "write-through L1 evicted a dirty line"
         );
+    }
+}
+
+/// Maps a [`ControllerOutcome`] to the request-generation rules of §2.2.
+fn translate(
+    line: LineAddr,
+    kind: AccessKind,
+    core: CoreId,
+    warp: WarpSlot,
+    out: ControllerOutcome,
+) -> L1Outcome {
+    let request = MemRequest {
+        line,
+        kind,
+        core,
+        warp,
+    };
+    match out {
+        ControllerOutcome::Hit { .. } => L1Outcome::Hit,
+        ControllerOutcome::MissPrimary => L1Outcome::MissPrimary(request),
+        ControllerOutcome::MissMerged => L1Outcome::MissMerged,
+        ControllerOutcome::Blocked(_) => L1Outcome::Blocked,
+        ControllerOutcome::Forward => match kind {
+            AccessKind::Write => L1Outcome::WriteForward(request),
+            AccessKind::Atomic => L1Outcome::AtomicForward(request),
+            AccessKind::Read => unreachable!("reads are never forwarded"),
+        },
     }
 }
 

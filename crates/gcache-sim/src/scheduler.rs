@@ -26,6 +26,10 @@ impl WarpScheduler {
     ///
     /// * `is_ready(slot)` — whether the slot can issue this cycle;
     /// * `age(slot)` — launch order, smaller = older (GTO tie-break).
+    ///
+    /// Closure-based convenience over [`WarpScheduler::pick_mask`]; the
+    /// per-cycle issue stage maintains a candidate word and calls
+    /// `pick_mask` directly.
     pub fn pick(
         &mut self,
         slots: usize,
@@ -35,26 +39,70 @@ impl WarpScheduler {
         if slots == 0 {
             return None;
         }
+        let mut candidates = 0u64;
+        for s in 0..slots {
+            if is_ready(s) {
+                candidates |= 1 << s;
+            }
+        }
+        self.pick_mask(slots, candidates, age)
+    }
+
+    /// Picks the next warp slot from a candidate bitmask (bit `s` ⇔ slot
+    /// `s` can issue this cycle) — the core's `tick` maintains the word so
+    /// the scheduler scans only runnable warps, mirroring the mesh's
+    /// `rwake` trick. Pick semantics are identical to the closure scan:
+    /// LRR takes the first candidate circularly from its rotation pointer;
+    /// GTO sticks with its current warp while it remains a candidate, else
+    /// re-selects by minimal `(age, slot)`.
+    ///
+    /// An all-zero mask still applies the no-candidate transition (GTO
+    /// drops its greedy pointer), exactly like a `pick` that found no
+    /// ready slot.
+    pub fn pick_mask(
+        &mut self,
+        slots: usize,
+        candidates: u64,
+        age: impl Fn(usize) -> u64,
+    ) -> Option<usize> {
+        debug_assert!((1..=64).contains(&slots));
+        debug_assert!(slots == 64 || candidates & (u64::MAX << slots) == 0);
         match self.kind {
             WarpSchedKind::Lrr => {
-                for k in 0..slots {
-                    let s = (self.rr_next + k) % slots;
-                    if is_ready(s) {
-                        self.rr_next = (s + 1) % slots;
-                        return Some(s);
-                    }
+                if candidates == 0 {
+                    return None;
                 }
-                None
+                // Circular first-candidate from the rotation pointer: the
+                // bits at or above `start`, else wrap to the lowest bit.
+                let start = self.rr_next % slots;
+                let upper = candidates & (u64::MAX << start);
+                let s = if upper != 0 {
+                    upper.trailing_zeros() as usize
+                } else {
+                    candidates.trailing_zeros() as usize
+                };
+                self.rr_next = (s + 1) % slots;
+                Some(s)
             }
             WarpSchedKind::Gto => {
                 if let Some(c) = self.current {
-                    if c < slots && is_ready(c) {
+                    if c < slots && candidates & (1 << c) != 0 {
                         return Some(c);
                     }
                 }
-                let oldest = (0..slots)
-                    .filter(|&s| is_ready(s))
-                    .min_by_key(|&s| (age(s), s));
+                let mut oldest: Option<(u64, usize)> = None;
+                let mut m = candidates;
+                while m != 0 {
+                    let s = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let a = age(s);
+                    // Bits iterate in ascending slot order, so a strict
+                    // compare preserves the (age, slot) tie-break.
+                    if oldest.is_none_or(|(best, _)| a < best) {
+                        oldest = Some((a, s));
+                    }
+                }
+                let oldest = oldest.map(|(_, s)| s);
                 self.current = oldest;
                 oldest
             }
@@ -150,6 +198,36 @@ mod tests {
         // Ages: slot 2 oldest.
         let age = |slot: usize| [30u64, 20, 10, 40][slot];
         assert_eq!(s.pick(4, |_| true, age), Some(2));
+    }
+
+    #[test]
+    fn pick_mask_lrr_wraps_circularly() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Lrr);
+        let age = |_: usize| 0u64;
+        assert_eq!(s.pick_mask(4, 0b1010, age), Some(1));
+        assert_eq!(s.pick_mask(4, 0b1010, age), Some(3));
+        assert_eq!(s.pick_mask(4, 0b1010, age), Some(1));
+        assert_eq!(s.pick_mask(4, 0, age), None);
+    }
+
+    #[test]
+    fn pick_mask_full_64_slot_word() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Lrr);
+        let age = |_: usize| 0u64;
+        assert_eq!(s.pick_mask(64, 1 << 63, age), Some(63));
+        // The rotation pointer wrapped past slot 63 back to 0.
+        assert_eq!(s.pick_mask(64, u64::MAX, age), Some(0));
+    }
+
+    #[test]
+    fn pick_mask_gto_empty_mask_drops_greedy() {
+        let mut s = WarpScheduler::new(WarpSchedKind::Gto);
+        let age = |s: usize| [9u64, 1, 5, 7][s];
+        assert_eq!(s.pick_mask(4, 0b1111, age), Some(1));
+        assert_eq!(s.pick_mask(4, 0b1111, age), Some(1), "greedy must stick");
+        assert_eq!(s.pick_mask(4, 0, age), None);
+        // The greedy pointer was dropped: re-select oldest candidate.
+        assert_eq!(s.pick_mask(4, 0b1101, age), Some(2));
     }
 
     #[test]

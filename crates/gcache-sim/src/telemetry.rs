@@ -688,6 +688,14 @@ impl Profile {
         ratio(self.icnt_ns, self.total_ns())
     }
 
+    /// The core array's share of instrumented wall-clock time (0 for an
+    /// empty profile) — the headline number the Core/L1 access-path work
+    /// moves, tracked next to [`Profile::icnt_share`] so hot-path
+    /// attribution is comparable across revisions.
+    pub fn core_share(&self) -> f64 {
+        ratio(self.core_ns, self.total_ns())
+    }
+
     /// The profile as a JSON object (for `BENCH_sweep.json`).
     pub fn json_object(&self) -> String {
         format!(
@@ -891,6 +899,8 @@ mod tests {
             wake_skips: 50,
         };
         assert_eq!(p.total_ns(), 100);
+        assert!((p.core_share() - 0.60).abs() < 1e-12);
+        assert!((p.icnt_share() - 0.10).abs() < 1e-12);
         let r = p.to_string();
         assert!(r.contains("cores 60.0%"));
         assert!(r.contains("300 of 400 cycles skipped (75.0%)"));

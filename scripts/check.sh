@@ -35,6 +35,25 @@ diff crates/gcache-bench/tests/golden/fig8_fig9_quick.txt \
      <(./target/release/fig8_fig9 --quick --bench BFS,CFD,STL --no-fast-forward 2>/dev/null) \
   || { echo "fast-forward divergence: fig8_fig9"; exit 1; }
 
+echo "==> ldst-batch A/B bit-identity (release, --no-ldst-batch vs golden)"
+# The batched coalesce->access pipeline (precomputed set/tag decode) must
+# be a pure host-side optimization: routing every access through the
+# plain decode-on-entry path reproduces the same bytes.
+diff crates/gcache-bench/tests/golden/fig8_fig9_quick.txt \
+     <(./target/release/fig8_fig9 --quick --bench BFS,CFD,STL --no-ldst-batch 2>/dev/null) \
+  || { echo "ldst-batch divergence: fig8_fig9"; exit 1; }
+
+echo "==> L1 access-path microbench (packed tag probe + per-policy access loop)"
+# Smoke-gates the l1 bench target: the probe line plus one access-loop
+# line per policy must appear (5 policies).
+l1_out=$(cargo bench -q -p gcache-bench --bench l1 2>/dev/null)
+printf '%s\n' "$l1_out" | grep -q "l1/probe_hit_miss_mix" \
+  || { echo "l1 microbench: probe line missing"; exit 1; }
+l1_lines=$(printf '%s\n' "$l1_out" | grep -c "l1/access_loop/") || true
+[ "$l1_lines" -eq 5 ] \
+  || { echo "l1 microbench: expected 5 access-loop lines, got $l1_lines"; exit 1; }
+printf '%s\n' "$l1_out" | sed 's/^/   /'
+
 echo "==> NoC saturation microbench (uniform + hotspot injection sweep)"
 # Smoke-gates the mesh traffic driver: the sweep must complete and report
 # a latency for every pattern x rate point (8 curve lines).
