@@ -12,7 +12,7 @@ use gcache_core::policy::lru::Lru;
 use gcache_core::policy::pdp::StaticPdp;
 use gcache_core::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
 use gcache_core::policy::rrip::Rrip;
-use gcache_core::policy::{AccessKind, FillCtx, PolicyKind};
+use gcache_core::policy::{AccessCtx, AccessKind, PolicyKind};
 
 fn mixed_stream(n: usize) -> Vec<LineAddr> {
     // Cyclic hot walk (384 lines) + every 4th access streaming.
@@ -53,10 +53,11 @@ fn main() {
             for &line in &stream {
                 if !cache.access(line, AccessKind::Read, CoreId(0)).is_hit() {
                     cache.fill(
-                        FillCtx {
+                        AccessCtx {
                             line,
                             core: CoreId(0),
                             victim_hint: line.raw() % 8 == 0,
+                            class: None,
                         },
                         false,
                     );

@@ -7,7 +7,9 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{bench_cli, export_telemetry, select_optimal_pd, speedup, Table, PD_CANDIDATES};
+use gcache_bench::{
+    bench_cli, export_telemetry, select_optimal_pd, speedup, PolicyPlanes, Table, PD_CANDIDATES,
+};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
@@ -31,6 +33,7 @@ fn main() {
                 l1_kb: Some(L1_KB),
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             })
             .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
                 bench: b.as_ref(),
@@ -38,6 +41,7 @@ fn main() {
                 l1_kb: Some(L1_KB),
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             }))
             .chain(std::iter::once(DesignPoint {
                 bench: b.as_ref(),
@@ -45,6 +49,7 @@ fn main() {
                 l1_kb: Some(L1_KB),
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             }))
         })
         .collect();

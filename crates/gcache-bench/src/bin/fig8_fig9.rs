@@ -8,7 +8,8 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{
-    bench_cli, designs, export_telemetry, pct, select_optimal_pd, speedup, Table, PD_CANDIDATES,
+    bench_cli, designs, export_telemetry, pct, select_optimal_pd, speedup, PolicyPlanes, Table,
+    PD_CANDIDATES,
 };
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
@@ -30,6 +31,7 @@ fn main() {
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             })
         })
         .collect();
@@ -57,6 +59,7 @@ fn main() {
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             })
         })
         .collect();

@@ -7,7 +7,9 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{bench_cli, export_telemetry, pct, select_optimal_pd, Table, PD_CANDIDATES};
+use gcache_bench::{
+    bench_cli, export_telemetry, pct, select_optimal_pd, PolicyPlanes, Table, PD_CANDIDATES,
+};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
@@ -27,6 +29,7 @@ fn main() {
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             })
             .chain(PD_CANDIDATES.iter().map(|&pd| DesignPoint {
                 bench: b.as_ref(),
@@ -34,6 +37,7 @@ fn main() {
                 l1_kb: None,
                 hierarchy: Hierarchy::Flat,
                 cluster_ports: 1,
+                planes: PolicyPlanes::default(),
             }))
         })
         .collect();

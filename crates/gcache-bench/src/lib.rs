@@ -26,6 +26,7 @@ pub mod microbench;
 pub mod server;
 pub mod sweep;
 
+use gcache_core::cache::{BypassPlane, CopyBackPlane};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
 use gcache_core::snapshot::{fnv1a, SnapshotError, SnapshotReader, SnapshotWriter};
@@ -431,6 +432,60 @@ pub fn bench_cli_with_switches(switches: &[&str]) -> (Cli, Vec<bool>) {
     (Cli::parse(args.into_iter()), present)
 }
 
+/// The orthogonal L1 policy-plane axes of one design point: the
+/// class-driven fill-time bypass gate and the eviction-time clean
+/// copy-back rule, composed around whatever replacement policy the point
+/// selects. [`PolicyPlanes::default`] is the pre-plane behaviour (both
+/// axes defer to the policy), so every legacy grid is bit-identical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PolicyPlanes {
+    /// Fill-time bypass plane for the L1.
+    pub l1_bypass: BypassPlane,
+    /// Eviction-time clean copy-back plane for the L1.
+    pub l1_copy_back: CopyBackPlane,
+}
+
+impl Default for PolicyPlanes {
+    fn default() -> Self {
+        PolicyPlanes {
+            l1_bypass: BypassPlane::Policy,
+            l1_copy_back: CopyBackPlane::Policy,
+        }
+    }
+}
+
+impl PolicyPlanes {
+    /// HyDRA-style class-driven cacheability on the fill path.
+    pub const fn hydra() -> Self {
+        PolicyPlanes {
+            l1_bypass: BypassPlane::Hydra,
+            l1_copy_back: CopyBackPlane::Policy,
+        }
+    }
+
+    /// RDC-style clean copy-back of reuse-proven victims.
+    pub const fn clean_copy_back(min_reuse: u32) -> Self {
+        PolicyPlanes {
+            l1_bypass: BypassPlane::Policy,
+            l1_copy_back: CopyBackPlane::CleanReuse { min_reuse },
+        }
+    }
+
+    /// A short stable label for tables and checkpoint identities.
+    pub fn label(&self) -> String {
+        let bypass = match self.l1_bypass {
+            BypassPlane::Policy => "policy",
+            BypassPlane::Hydra => "hydra",
+        };
+        let cb = match self.l1_copy_back {
+            CopyBackPlane::Policy => "policy".to_string(),
+            CopyBackPlane::Never => "never".to_string(),
+            CopyBackPlane::CleanReuse { min_reuse } => format!("clean{min_reuse}"),
+        };
+        format!("{bypass}/{cb}")
+    }
+}
+
 /// Runs one benchmark under one L1 policy on the Table 2 machine,
 /// optionally overriding the L1 capacity (KB) and the memory-hierarchy
 /// shape (`Hierarchy::Flat` = the paper's machine).
@@ -463,13 +518,40 @@ pub fn run_with_ports(
     hierarchy: Hierarchy,
     cluster_ports: usize,
 ) -> SimStats {
-    let cfg = point_config(policy, l1_kb, hierarchy, cluster_ports);
+    run_with_planes(
+        policy,
+        bench,
+        l1_kb,
+        hierarchy,
+        cluster_ports,
+        PolicyPlanes::default(),
+    )
+}
+
+/// Like [`run_with_ports`], additionally composing the orthogonal L1
+/// policy planes (fill-time bypass, eviction-time clean copy-back) around
+/// the replacement policy. [`PolicyPlanes::default`] reproduces the
+/// single-plane behaviour bit-identically.
+///
+/// # Panics
+///
+/// Same conditions as [`run_with_ports`].
+pub fn run_with_planes(
+    policy: L1PolicyKind,
+    bench: &dyn Benchmark,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+    cluster_ports: usize,
+    planes: PolicyPlanes,
+) -> SimStats {
+    let cfg = point_config(policy, l1_kb, hierarchy, cluster_ports, planes);
     let label = point_label(
         &policy,
         bench,
         l1_kb,
         hierarchy,
         cluster_ports,
+        planes,
         /* sampled = */ false,
     );
     let (stats, _) = run_gpu(cfg, bench, false, &label);
@@ -478,7 +560,7 @@ pub fn run_with_ports(
 
 /// The machine configuration for one grid point — the single place the
 /// run helpers and the sweep server turn a `(policy, L1 size, hierarchy,
-/// ports)` tuple into a validated [`GpuConfig`].
+/// ports, planes)` tuple into a validated [`GpuConfig`].
 ///
 /// # Panics
 ///
@@ -489,6 +571,7 @@ pub(crate) fn point_config(
     l1_kb: Option<u64>,
     hierarchy: Hierarchy,
     cluster_ports: usize,
+    planes: PolicyPlanes,
 ) -> GpuConfig {
     let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
     if let Some(kb) = l1_kb {
@@ -500,6 +583,9 @@ pub(crate) fn point_config(
     cfg = cfg
         .with_cluster_ports(cluster_ports)
         .expect("positive cluster port count");
+    cfg = cfg
+        .with_l1_bypass(planes.l1_bypass)
+        .with_l1_copy_back(planes.l1_copy_back);
     cfg.fast_forward = fast_forward_enabled();
     cfg.ldst_batch = ldst_batch_enabled();
     cfg
@@ -510,17 +596,20 @@ pub(crate) fn point_config(
 /// between points — not even between the sampled and unsampled runs of
 /// the same configuration, whose machine states coincide but whose
 /// telemetry does not.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn point_label(
     policy: &L1PolicyKind,
     bench: &dyn Benchmark,
     l1_kb: Option<u64>,
     hierarchy: Hierarchy,
     cluster_ports: usize,
+    planes: PolicyPlanes,
     sampled: bool,
 ) -> String {
     format!(
-        "{}|{policy:?}|kb={l1_kb:?}|{hierarchy:?}|ports={cluster_ports}|sampled={sampled}",
-        bench.info().name
+        "{}|{policy:?}|kb={l1_kb:?}|{hierarchy:?}|ports={cluster_ports}|planes={}|sampled={sampled}",
+        bench.info().name,
+        planes.label()
     )
 }
 
@@ -649,17 +738,25 @@ pub fn run_sampled(
     l1_kb: Option<u64>,
     hierarchy: Hierarchy,
 ) -> (SimStats, Sampler) {
-    let mut cfg = GpuConfig::fermi_with_policy(policy).expect("valid config");
-    if let Some(kb) = l1_kb {
-        cfg = cfg.with_l1_kb(kb).expect("valid L1 size");
-    }
-    cfg = cfg
-        .with_hierarchy(hierarchy)
-        .unwrap_or_else(|e| panic!("invalid hierarchy {hierarchy:?}: {e}"));
-    cfg.fast_forward = fast_forward_enabled();
-    cfg.ldst_batch = ldst_batch_enabled();
+    run_sampled_with_planes(policy, bench, l1_kb, hierarchy, PolicyPlanes::default())
+}
+
+/// Like [`run_sampled`], additionally composing the L1 policy planes —
+/// the telemetry entry point of the `mlsweep` plane-composition study.
+///
+/// # Panics
+///
+/// Same conditions as [`run_sampled`].
+pub fn run_sampled_with_planes(
+    policy: L1PolicyKind,
+    bench: &dyn Benchmark,
+    l1_kb: Option<u64>,
+    hierarchy: Hierarchy,
+    planes: PolicyPlanes,
+) -> (SimStats, Sampler) {
+    let cfg = point_config(policy, l1_kb, hierarchy, 1, planes);
     let label = point_label(
-        &policy, bench, l1_kb, hierarchy, 1, /* sampled = */ true,
+        &policy, bench, l1_kb, hierarchy, 1, planes, /* sampled = */ true,
     );
     let (stats, sampler) = run_gpu(cfg, bench, true, &label);
     (stats, sampler.expect("sampler attached by run_gpu"))

@@ -144,6 +144,7 @@ pub fn l1_access_pass_ns(policy: &str) -> f64 {
                     core: CoreId(0),
                     victim_hint: line.raw() % 8 == 0,
                     dirty: false,
+                    class: None,
                 });
             }
             black_box(&out);

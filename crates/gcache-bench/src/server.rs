@@ -39,7 +39,7 @@
 use crate::sweep::parallel_map;
 use crate::{
     designs, point_config, point_label, read_labelled_checkpoint, write_labelled_checkpoint, Cli,
-    DEFAULT_CHECKPOINT_EVERY, USAGE,
+    PolicyPlanes, DEFAULT_CHECKPOINT_EVERY, USAGE,
 };
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
@@ -158,6 +158,7 @@ impl Grid {
             None,
             p.hierarchy,
             p.cluster_ports,
+            PolicyPlanes::default(),
             /* sampled = */ false,
         )
     }
@@ -356,7 +357,13 @@ fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> R
         let label = grid.label(i);
         let ckpt = ckpt_path(&opts.dir, i);
 
-        let cfg = point_config(p.policy, None, p.hierarchy, p.cluster_ports);
+        let cfg = point_config(
+            p.policy,
+            None,
+            p.hierarchy,
+            p.cluster_ports,
+            PolicyPlanes::default(),
+        );
         let build = || Gpu::new(cfg.clone());
         let mut gpu = build();
         match read_labelled_checkpoint(&ckpt, &label) {

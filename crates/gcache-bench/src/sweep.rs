@@ -13,7 +13,7 @@
 //! Entry points: [`parallel_map`] for arbitrary job types and
 //! [`run_design_points`] for the common benchmark-grid case.
 
-use crate::run_with_ports;
+use crate::{run_with_planes, PolicyPlanes};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::SimStats;
 use gcache_workloads::Benchmark;
@@ -35,6 +35,9 @@ pub struct DesignPoint<'a> {
     /// Cluster-crossbar port count (`1` = the legacy single-injection-port
     /// mesh node; ignored on flat shapes).
     pub cluster_ports: usize,
+    /// Orthogonal L1 policy planes composed around `policy`
+    /// ([`PolicyPlanes::default`] = both planes defer to the policy).
+    pub planes: PolicyPlanes,
 }
 
 impl std::fmt::Debug for DesignPoint<'_> {
@@ -45,6 +48,7 @@ impl std::fmt::Debug for DesignPoint<'_> {
             .field("l1_kb", &self.l1_kb)
             .field("hierarchy", &self.hierarchy)
             .field("cluster_ports", &self.cluster_ports)
+            .field("planes", &self.planes)
             .finish()
     }
 }
@@ -53,7 +57,14 @@ impl std::fmt::Debug for DesignPoint<'_> {
 /// in submission order.
 pub fn run_design_points(points: &[DesignPoint<'_>], jobs: usize) -> Vec<SimStats> {
     parallel_map(points, jobs, |p| {
-        run_with_ports(p.policy, p.bench, p.l1_kb, p.hierarchy, p.cluster_ports)
+        run_with_planes(
+            p.policy,
+            p.bench,
+            p.l1_kb,
+            p.hierarchy,
+            p.cluster_ports,
+            p.planes,
+        )
     })
 }
 

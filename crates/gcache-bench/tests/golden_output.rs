@@ -100,6 +100,26 @@ fn hierarchy_quick_stdout_matches_golden() {
     );
 }
 
+/// The ML plane sweep runs its own registry (GEMM/CONV/ATTN), so it
+/// takes no `--bench` filter: the golden pins the full quick-scale
+/// plane-composition table, including the plane-bypass and clean
+/// copy-back counters.
+#[test]
+fn mlsweep_quick_stdout_matches_golden() {
+    let bin = env!("CARGO_BIN_EXE_mlsweep");
+    let out = Command::new(bin)
+        .arg("--quick")
+        .output()
+        .expect("spawn mlsweep");
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("mlsweep output is UTF-8");
+    assert_eq!(stdout, include_str!("golden/mlsweep_quick.txt"));
+}
+
 /// Disabling idle-cycle fast-forward must reproduce the same bytes the
 /// (fast-forwarding) golden was captured with — the end-to-end complement
 /// of the stats-level differential test.

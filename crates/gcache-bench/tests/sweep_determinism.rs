@@ -2,8 +2,8 @@
 //! results come back in submission order with every stat byte-identical
 //! to a serial run, for any worker count.
 
-use gcache_bench::designs;
 use gcache_bench::sweep::{run_design_points, DesignPoint};
+use gcache_bench::{designs, PolicyPlanes};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_workloads::{by_name, Scale};
 
@@ -24,6 +24,7 @@ fn small_grid<'a>(
                     l1_kb: None,
                     hierarchy,
                     cluster_ports: 1,
+                    planes: PolicyPlanes::default(),
                 })
             })
         })
@@ -77,6 +78,7 @@ fn results_follow_submission_order() {
             l1_kb: None,
             hierarchy: Hierarchy::Flat,
             cluster_ports: 1,
+            planes: PolicyPlanes::default(),
         },
         DesignPoint {
             bench: benches[0].as_ref(),
@@ -84,6 +86,7 @@ fn results_follow_submission_order() {
             l1_kb: Some(64),
             hierarchy: Hierarchy::Flat,
             cluster_ports: 1,
+            planes: PolicyPlanes::default(),
         },
     ];
     let out = run_design_points(&grid, 4);

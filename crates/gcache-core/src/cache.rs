@@ -10,23 +10,115 @@
 
 use crate::addr::{CoreId, LineAddr};
 use crate::geometry::CacheGeometry;
-use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
+use crate::policy::{
+    AccessCtx, AccessKind, EvictDecision, FillDecision, PolicyKind, ReplacementPolicy, ReuseClass,
+    SlackBucket,
+};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 use crate::tag_array::{Evicted, TagArray};
 use crate::trace::{TraceKind, TraceSink, TraceSource};
 use crate::victim_bits::{CoreGrouping, VictimBitStats, VictimBits};
 
-/// Write-handling discipline.
+/// How stores interact with allocation — the correctness half of the
+/// write discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum WritePolicy {
+pub enum WriteMode {
     /// GPU L1: stores go straight to the next level and never allocate;
     /// store hits update the line without dirtying it (memory is updated
     /// too).
-    WriteThroughNoAllocate,
+    ThroughNoAllocate,
     /// GPU L2 / CPU LLC: stores allocate on miss and dirty the line;
     /// evictions of dirty lines produce write-backs.
-    WriteBackWriteAllocate,
+    BackAllocate,
+}
+
+/// The eviction-time copy-back plane: what happens to *clean* victims.
+/// Dirty victims always write back under [`WriteMode::BackAllocate`];
+/// this axis only governs the optional RDC-style clean copy-back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CopyBackPlane {
+    /// Defer to the replacement policy's
+    /// [`crate::policy::ReplacementPolicy::evict_decision`] hook (whose
+    /// default is a silent drop — the classical behaviour).
+    Policy,
+    /// Never copy clean victims back, without consulting the policy.
+    Never,
+    /// Copy a clean victim back iff it collected at least `min_reuse`
+    /// hits during its residency — reuse proven at this level predicts
+    /// reuse at the next (arXiv 2105.14442's clean-copy-back heuristic).
+    CleanReuse {
+        /// Minimum residency reuse count that earns a copy-back.
+        min_reuse: u32,
+    },
+}
+
+/// A composable write discipline: the store/allocation mode plus the
+/// eviction-time copy-back plane, replacing the old two-variant
+/// `WritePolicy` enum so the two axes vary independently.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriteDiscipline {
+    /// Store/allocation handling (correctness axis).
+    pub mode: WriteMode,
+    /// Clean-victim copy-back plane (performance axis).
+    pub copy_back: CopyBackPlane,
+}
+
+impl WriteDiscipline {
+    /// The classical GPU-L1 discipline: write-through, no allocation,
+    /// clean victims dropped per policy default.
+    pub const fn through() -> Self {
+        WriteDiscipline {
+            mode: WriteMode::ThroughNoAllocate,
+            copy_back: CopyBackPlane::Policy,
+        }
+    }
+
+    /// The classical GPU-L2 discipline: write-back, write-allocate.
+    pub const fn back() -> Self {
+        WriteDiscipline {
+            mode: WriteMode::BackAllocate,
+            copy_back: CopyBackPlane::Policy,
+        }
+    }
+
+    /// This discipline with a different copy-back plane.
+    pub const fn with_copy_back(mut self, copy_back: CopyBackPlane) -> Self {
+        self.copy_back = copy_back;
+        self
+    }
+}
+
+/// The fill-time bypass plane: class-driven cacheability consulted
+/// *before* the replacement policy's own fill decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BypassPlane {
+    /// No class-driven gate; the replacement policy alone decides
+    /// (the paper's original single-plane behaviour).
+    Policy,
+    /// HyDRA-style deadline+reuse cacheability (arXiv 2605.08908): deny
+    /// caching for streams the kernel declared as streaming, and for
+    /// deadline-critical requests with only moderate declared reuse
+    /// (their latency budget cannot amortize a thrashing insertion).
+    /// Unclassified requests fall through to the policy.
+    Hydra,
+}
+
+impl BypassPlane {
+    /// Whether this plane denies caching for a fill with the given
+    /// context — checked ahead of the policy's `fill_decision`.
+    pub fn denies(self, ctx: &AccessCtx) -> bool {
+        match self {
+            BypassPlane::Policy => false,
+            BypassPlane::Hydra => match ctx.class {
+                Some(c) => {
+                    c.reuse == ReuseClass::Streaming
+                        || (c.slack == SlackBucket::Tight && c.reuse == ReuseClass::Moderate)
+                }
+                None => false,
+            },
+        }
+    }
 }
 
 /// Configuration of a [`Cache`].
@@ -34,8 +126,10 @@ pub enum WritePolicy {
 pub struct CacheConfig {
     /// Shape of the cache.
     pub geometry: CacheGeometry,
-    /// Write discipline.
-    pub write_policy: WritePolicy,
+    /// Write discipline (store handling + clean copy-back plane).
+    pub discipline: WriteDiscipline,
+    /// Fill-time class-driven bypass plane.
+    pub bypass: BypassPlane,
     /// Call the policy's epoch hook every `epoch_len` accesses
     /// (0 disables). G-Cache closes bypass switches here; dynamic PDP
     /// re-estimates its protection distance.
@@ -43,11 +137,13 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// A write-through, no-write-allocate configuration (GPU L1 style).
+    /// A write-through, no-write-allocate configuration (GPU L1 style),
+    /// with both extra planes at their pass-through defaults.
     pub fn l1(geometry: CacheGeometry, epoch_len: u64) -> Self {
         CacheConfig {
             geometry,
-            write_policy: WritePolicy::WriteThroughNoAllocate,
+            discipline: WriteDiscipline::through(),
+            bypass: BypassPlane::Policy,
             epoch_len,
         }
     }
@@ -56,9 +152,22 @@ impl CacheConfig {
     pub fn l2(geometry: CacheGeometry, epoch_len: u64) -> Self {
         CacheConfig {
             geometry,
-            write_policy: WritePolicy::WriteBackWriteAllocate,
+            discipline: WriteDiscipline::back(),
+            bypass: BypassPlane::Policy,
             epoch_len,
         }
+    }
+
+    /// This configuration with a different bypass plane.
+    pub const fn with_bypass(mut self, bypass: BypassPlane) -> Self {
+        self.bypass = bypass;
+        self
+    }
+
+    /// This configuration with a different clean copy-back plane.
+    pub const fn with_copy_back(mut self, copy_back: CopyBackPlane) -> Self {
+        self.discipline.copy_back = copy_back;
+        self
     }
 }
 
@@ -93,6 +202,21 @@ pub struct FillOutcome {
     /// The line displaced by the fill, if any; `evicted.dirty` means the
     /// caller must generate a write-back.
     pub evicted: Option<Evicted>,
+    /// A *clean* victim the copy-back plane decided to push downstream;
+    /// the owner must generate a copy-back transaction for it. Always
+    /// `None` under the default plane configuration.
+    pub copy_back: Option<Evicted>,
+}
+
+impl FillOutcome {
+    /// A fill outcome with neither eviction nor copy-back.
+    pub(crate) const fn clean(bypassed: bool) -> Self {
+        FillOutcome {
+            bypassed,
+            evicted: None,
+            copy_back: None,
+        }
+    }
 }
 
 /// A complete cache instance.
@@ -105,7 +229,7 @@ pub struct FillOutcome {
 /// use gcache_core::cache::{Cache, CacheConfig, Lookup};
 /// use gcache_core::geometry::CacheGeometry;
 /// use gcache_core::policy::gcache::GCache;
-/// use gcache_core::policy::{AccessKind, FillCtx};
+/// use gcache_core::policy::{AccessKind, AccessCtx};
 /// use gcache_core::addr::{CoreId, LineAddr};
 ///
 /// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
@@ -115,7 +239,7 @@ pub struct FillOutcome {
 /// let core = CoreId(0);
 /// assert_eq!(l1.access(line, AccessKind::Read, core), Lookup::Miss);
 /// // ... request goes to L2; later the response arrives:
-/// l1.fill(FillCtx::plain(line, core), false);
+/// l1.fill(AccessCtx::plain(line, core), false);
 /// assert!(l1.access(line, AccessKind::Read, core).is_hit());
 /// # Ok(())
 /// # }
@@ -315,7 +439,7 @@ impl Cache {
         match way {
             Some(way) => {
                 let mark_dirty =
-                    kind.is_write() && self.cfg.write_policy == WritePolicy::WriteBackWriteAllocate;
+                    kind.is_write() && self.cfg.discipline.mode == WriteMode::BackAllocate;
                 self.tags.touch(set, way, mark_dirty);
                 self.policy.on_hit(set, way);
                 let victim_hint = match (&mut self.victim_bits, kind) {
@@ -366,19 +490,27 @@ impl Cache {
     /// A fill for a line that is already resident (possible when a store
     /// write-allocates while a load fill is in flight) is a no-op apart
     /// from dirtying the line if requested.
-    pub fn fill(&mut self, ctx: FillCtx, dirty: bool) -> FillOutcome {
+    pub fn fill(&mut self, ctx: AccessCtx, dirty: bool) -> FillOutcome {
         let set = self.cfg.geometry.set_of(ctx.line);
         let tag = self.cfg.geometry.tag_of(ctx.line);
         if let Some(way) = self.tags.probe_set(set, tag) {
             if dirty {
                 self.tags.touch(set, way, true);
             }
-            return FillOutcome {
-                bypassed: false,
-                evicted: None,
-            };
+            return FillOutcome::clean(false);
         }
         let valid_mask = self.tags.valid_mask(set);
+        // Plane 1 — class-driven cacheability, ahead of the policy. A
+        // denial is a bypass the policy never sees (its ageing state is
+        // untouched, exactly like a HyDRA uncacheable request).
+        if self.cfg.bypass.denies(&ctx) {
+            self.stats.bypassed_fills += 1;
+            self.stats.plane_bypasses += 1;
+            if self.trace.is_some() {
+                self.emit_fill_trace(set, None, None, &ctx);
+            }
+            return FillOutcome::clean(true);
+        }
         // The fill decision may open the set's bypass switch (a victim
         // hint); capture the pre-state so tracing can report the flip.
         let pre_switch = if self.trace.is_some() {
@@ -386,26 +518,57 @@ impl Cache {
         } else {
             None
         };
+        // Plane 2 — the replacement policy's bypass/insertion decision.
         match self.policy.fill_decision(set, valid_mask, &ctx) {
             FillDecision::Bypass => {
                 self.stats.bypassed_fills += 1;
                 self.emit_fill_trace(set, pre_switch, None, &ctx);
-                FillOutcome {
-                    bypassed: true,
-                    evicted: None,
-                }
+                FillOutcome::clean(true)
             }
             FillDecision::Insert { way } => {
-                if valid_mask & (1 << way) != 0 {
+                // Plane 3 — eviction-time copy-back for the clean victim,
+                // decided before the tag state changes (the policy hook
+                // sees the victim's final residency metadata).
+                let victim_valid = valid_mask & (1 << way) != 0;
+                let copy_back_victim = if victim_valid {
+                    let slot = self.tags.slot(set, way);
+                    !slot.state.is_dirty()
+                        && match self.cfg.discipline.copy_back {
+                            CopyBackPlane::Never => false,
+                            CopyBackPlane::Policy => {
+                                self.policy.evict_decision(set, way, slot.reuse)
+                                    == EvictDecision::CopyBack
+                            }
+                            CopyBackPlane::CleanReuse { min_reuse } => slot.reuse >= min_reuse,
+                        }
+                } else {
+                    false
+                };
+                if victim_valid {
                     self.policy.on_evict(set, way);
                 }
                 let evicted = self.tags.fill(set, way, ctx.line, dirty);
+                let mut copy_back = None;
                 if let Some(ev) = &evicted {
                     self.stats.evictions += 1;
                     if ev.dirty {
                         self.stats.writebacks += 1;
                     }
                     self.stats.reuse.record(ev.reuse);
+                    if copy_back_victim {
+                        self.stats.clean_copy_backs += 1;
+                        copy_back = Some(*ev);
+                        if let Some((src, sink)) = &mut self.trace {
+                            sink.record(
+                                *src,
+                                TraceKind::CleanCopyBack {
+                                    line: ev.line,
+                                    set: set as u32,
+                                    reuse: ev.reuse,
+                                },
+                            );
+                        }
+                    }
                 }
                 if let Some(vb) = &mut self.victim_bits {
                     vb.clear(set, way);
@@ -417,6 +580,7 @@ impl Cache {
                 FillOutcome {
                     bypassed: false,
                     evicted,
+                    copy_back,
                 }
             }
         }
@@ -431,7 +595,7 @@ impl Cache {
         set: usize,
         pre_switch: Option<bool>,
         way: Option<usize>,
-        ctx: &FillCtx,
+        ctx: &AccessCtx,
     ) {
         if self.trace.is_none() {
             return;
@@ -634,7 +798,7 @@ mod tests {
         let mut c = lru_l1();
         let line = LineAddr::new(0x40);
         assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Miss);
-        let out = c.fill(FillCtx::plain(line, C0), false);
+        let out = c.fill(AccessCtx::plain(line, C0), false);
         assert!(!out.bypassed);
         assert!(out.evicted.is_none());
         assert!(c.access(line, AccessKind::Read, C0).is_hit());
@@ -647,7 +811,7 @@ mod tests {
     fn write_through_hit_stays_clean() {
         let mut c = lru_l1();
         let line = LineAddr::new(0);
-        c.fill(FillCtx::plain(line, C0), false);
+        c.fill(AccessCtx::plain(line, C0), false);
         c.access(line, AccessKind::Write, C0);
         let dirty = c.flush();
         assert!(dirty.is_empty(), "WT cache must never hold dirty lines");
@@ -657,7 +821,7 @@ mod tests {
     fn write_back_hit_dirties() {
         let mut c = lru_l2(2);
         let line = LineAddr::new(0);
-        c.fill(FillCtx::plain(line, C0), false);
+        c.fill(AccessCtx::plain(line, C0), false);
         c.access(line, AccessKind::Write, C0);
         let dirty = c.flush();
         assert_eq!(dirty.len(), 1);
@@ -672,9 +836,9 @@ mod tests {
         let l0 = LineAddr::new(0);
         let l1 = LineAddr::new(4);
         let l2 = LineAddr::new(8);
-        c.fill(FillCtx::plain(l0, C0), true);
-        c.fill(FillCtx::plain(l1, C0), false);
-        let out = c.fill(FillCtx::plain(l2, C0), false);
+        c.fill(AccessCtx::plain(l0, C0), true);
+        c.fill(AccessCtx::plain(l1, C0), false);
+        let out = c.fill(AccessCtx::plain(l2, C0), false);
         let ev = out.evicted.expect("eviction");
         assert_eq!(ev.line, l0);
         assert!(ev.dirty);
@@ -687,7 +851,7 @@ mod tests {
         let line = LineAddr::new(0x80);
         // First request: miss, fill, hint is clean.
         assert_eq!(c.access(line, AccessKind::Read, C0), Lookup::Miss);
-        c.fill(FillCtx::plain(line, C0), false);
+        c.fill(AccessCtx::plain(line, C0), false);
         // Same core re-requests (its L1 evicted the line early): hint set.
         assert_eq!(
             c.access(line, AccessKind::Read, C0),
@@ -709,13 +873,13 @@ mod tests {
         let mut c = lru_l2(2);
         let a = LineAddr::new(0);
         let b = LineAddr::new(4);
-        c.fill(FillCtx::plain(a, C0), false);
+        c.fill(AccessCtx::plain(a, C0), false);
         c.access(a, AccessKind::Read, C0); // sets C0's bit again (already set by fill)
                                            // Evict `a` by filling the set's other way then a third line.
-        c.fill(FillCtx::plain(b, C0), false);
-        c.fill(FillCtx::plain(LineAddr::new(8), C0), false); // evicts `a` (LRU)
-                                                             // `a` returns: its bits must have been cleared with the eviction.
-        c.fill(FillCtx::plain(a, C0), false);
+        c.fill(AccessCtx::plain(b, C0), false);
+        c.fill(AccessCtx::plain(LineAddr::new(8), C0), false); // evicts `a` (LRU)
+                                                               // `a` returns: its bits must have been cleared with the eviction.
+        c.fill(AccessCtx::plain(a, C0), false);
         assert_eq!(
             c.access(a, AccessKind::Read, C1),
             Lookup::Hit { victim_hint: false }
@@ -726,7 +890,7 @@ mod tests {
     fn writes_do_not_touch_victim_bits() {
         let mut c = lru_l2(2);
         let line = LineAddr::new(0);
-        c.fill(FillCtx::plain(line, C1), false);
+        c.fill(AccessCtx::plain(line, C1), false);
         // C0 writes (write-through traffic) — must not set C0's bit.
         c.access(line, AccessKind::Write, C0);
         assert_eq!(
@@ -739,8 +903,8 @@ mod tests {
     fn fill_of_resident_line_is_noop() {
         let mut c = lru_l2(2);
         let line = LineAddr::new(0);
-        c.fill(FillCtx::plain(line, C0), false);
-        let out = c.fill(FillCtx::plain(line, C0), true);
+        c.fill(AccessCtx::plain(line, C0), false);
+        let out = c.fill(AccessCtx::plain(line, C0), true);
         assert!(!out.bypassed);
         assert!(out.evicted.is_none());
         assert_eq!(c.stats().fills, 1);
@@ -752,9 +916,9 @@ mod tests {
     fn bypass_counted_in_stats() {
         let g = geom();
         let mut c = Cache::new(CacheConfig::l1(g, 0), StaticPdp::new(&g, 8));
-        c.fill(FillCtx::plain(LineAddr::new(0), C0), false);
-        c.fill(FillCtx::plain(LineAddr::new(4), C0), false);
-        let out = c.fill(FillCtx::plain(LineAddr::new(8), C0), false);
+        c.fill(AccessCtx::plain(LineAddr::new(0), C0), false);
+        c.fill(AccessCtx::plain(LineAddr::new(4), C0), false);
+        let out = c.fill(AccessCtx::plain(LineAddr::new(8), C0), false);
         assert!(out.bypassed);
         assert_eq!(c.stats().bypassed_fills, 1);
         assert_eq!(c.policy_bypasses(), 1);
@@ -765,11 +929,11 @@ mod tests {
     fn reuse_histogram_from_evictions_and_flush() {
         let mut c = lru_l1();
         let a = LineAddr::new(0);
-        c.fill(FillCtx::plain(a, C0), false);
+        c.fill(AccessCtx::plain(a, C0), false);
         c.access(a, AccessKind::Read, C0);
         c.access(a, AccessKind::Read, C0); // reuse = 2
-        c.fill(FillCtx::plain(LineAddr::new(4), C0), false); // reuse 0, resident
-        c.fill(FillCtx::plain(LineAddr::new(8), C0), false); // evicts `a`
+        c.fill(AccessCtx::plain(LineAddr::new(4), C0), false); // reuse 0, resident
+        c.fill(AccessCtx::plain(LineAddr::new(8), C0), false); // evicts `a`
         assert_eq!(c.stats().reuse.bucket(2), 1);
         c.flush();
         // The two zero-reuse residents flushed out.
@@ -786,7 +950,7 @@ mod tests {
         // normal operation (behavioural coverage lives in the policy tests).
         for _ in 0..10 {
             if !c.access(line, AccessKind::Read, C0).is_hit() {
-                c.fill(FillCtx::plain(line, C0), false);
+                c.fill(AccessCtx::plain(line, C0), false);
             }
         }
         assert!(c.stats().hits() >= 8);
@@ -804,10 +968,11 @@ mod tests {
         // and inserts hot (depth 0).
         c.access(LineAddr::new(0), AccessKind::Read, C0);
         c.fill(
-            FillCtx {
+            AccessCtx {
                 line: LineAddr::new(0),
                 core: C0,
                 victim_hint: true,
+                class: None,
             },
             false,
         );
@@ -847,7 +1012,7 @@ mod tests {
             for &a in &walk {
                 let line = LineAddr::new(a);
                 if !c.access(line, AccessKind::Read, C0).is_hit() {
-                    c.fill(FillCtx::plain(line, C0), false);
+                    c.fill(AccessCtx::plain(line, C0), false);
                 }
             }
             format!("{:?}", c.stats())
@@ -866,7 +1031,7 @@ mod tests {
             let line = LineAddr::new((i * 5) % 16);
             let core = CoreId((i % 4) as usize);
             if !original.access(line, AccessKind::Read, core).is_hit() {
-                original.fill(FillCtx::plain(line, core), false);
+                original.fill(AccessCtx::plain(line, core), false);
             }
         }
         let mut w = SnapshotWriter::new();
@@ -886,8 +1051,8 @@ mod tests {
             let b = restored.access(line, AccessKind::Read, core);
             assert_eq!(a, b, "lookup diverged at step {i}");
             if !a.is_hit() {
-                let fa = original.fill(FillCtx::plain(line, core), false);
-                let fb = restored.fill(FillCtx::plain(line, core), false);
+                let fa = original.fill(AccessCtx::plain(line, core), false);
+                let fb = restored.fill(AccessCtx::plain(line, core), false);
                 assert_eq!(fa, fb, "fill diverged at step {i}");
             }
         }
@@ -901,7 +1066,7 @@ mod tests {
     fn snapshot_rejects_policy_mismatch() {
         let g = geom();
         let mut gc = Cache::new(CacheConfig::l1(g, 0), GCache::with_defaults(&g));
-        gc.fill(FillCtx::plain(LineAddr::new(0), C0), false);
+        gc.fill(AccessCtx::plain(LineAddr::new(0), C0), false);
         let mut w = SnapshotWriter::new();
         gc.save(&mut w);
         let bytes = w.finish();
@@ -919,10 +1084,220 @@ mod tests {
     fn occupancy_tracks_fills() {
         let mut c = lru_l1();
         assert_eq!(c.occupancy(), 0);
-        c.fill(FillCtx::plain(LineAddr::new(0), C0), false);
-        c.fill(FillCtx::plain(LineAddr::new(1), C0), false);
+        c.fill(AccessCtx::plain(LineAddr::new(0), C0), false);
+        c.fill(AccessCtx::plain(LineAddr::new(1), C0), false);
         assert_eq!(c.occupancy(), 2);
         c.flush();
         assert_eq!(c.occupancy(), 0);
+    }
+
+    use crate::policy::RequestClass;
+
+    fn class(slack: SlackBucket, reuse: ReuseClass) -> Option<RequestClass> {
+        Some(RequestClass { slack, reuse })
+    }
+
+    fn hydra_l1() -> Cache {
+        let g = geom();
+        Cache::new(
+            CacheConfig::l1(g, 0).with_bypass(BypassPlane::Hydra),
+            Lru::new(&g),
+        )
+    }
+
+    #[test]
+    fn hydra_plane_denies_streaming_ahead_of_policy() {
+        use crate::trace::{SharedTraceRing, TraceLevel, TraceSource};
+        let mut c = hydra_l1();
+        let ring = SharedTraceRing::new(16);
+        c.set_trace(TraceSource::new(TraceLevel::L1, 0), ring.sink());
+        let line = LineAddr::new(0);
+        let out = c.fill(
+            AccessCtx::plain(line, C0)
+                .with_class(class(SlackBucket::Relaxed, ReuseClass::Streaming)),
+            false,
+        );
+        assert!(out.bypassed, "streaming class must be denied");
+        assert_eq!(c.stats().plane_bypasses, 1);
+        assert_eq!(c.stats().bypassed_fills, 1);
+        assert_eq!(c.stats().fills, 0);
+        assert_eq!(c.occupancy(), 0, "denied fill must not install");
+        assert!(
+            ring.events()
+                .iter()
+                .any(|e| matches!(e.kind, TraceKind::FillBypass { .. })),
+            "plane denial must trace as a bypass"
+        );
+    }
+
+    #[test]
+    fn hydra_plane_denies_tight_moderate_only() {
+        let mut c = hydra_l1();
+        // Tight + Moderate: denied.
+        let out = c.fill(
+            AccessCtx::plain(LineAddr::new(0), C0)
+                .with_class(class(SlackBucket::Tight, ReuseClass::Moderate)),
+            false,
+        );
+        assert!(out.bypassed);
+        // Tight + High reuse: allowed (worth caching even on a deadline).
+        let out = c.fill(
+            AccessCtx::plain(LineAddr::new(1), C0)
+                .with_class(class(SlackBucket::Tight, ReuseClass::High)),
+            false,
+        );
+        assert!(!out.bypassed);
+        // Unclassified traffic always falls through to the policy.
+        let out = c.fill(AccessCtx::plain(LineAddr::new(2), C0), false);
+        assert!(!out.bypassed);
+        assert_eq!(c.stats().plane_bypasses, 1);
+        assert_eq!(c.stats().fills, 2);
+    }
+
+    #[test]
+    fn policy_plane_never_bypasses_with_default_config() {
+        // The default BypassPlane::Policy is inert: a streaming class
+        // reaches the policy untouched (bit-identity guarantee).
+        let mut c = lru_l1();
+        let out = c.fill(
+            AccessCtx::plain(LineAddr::new(0), C0)
+                .with_class(class(SlackBucket::Relaxed, ReuseClass::Streaming)),
+            false,
+        );
+        assert!(!out.bypassed);
+        assert_eq!(c.stats().plane_bypasses, 0);
+    }
+
+    /// Builds an L1 with the given clean copy-back plane, fills a set with
+    /// two lines, gives the first `reuse` hits, then forces its eviction.
+    fn evict_clean_victim(plane: CopyBackPlane, reuse: u32) -> (Cache, FillOutcome) {
+        let g = geom();
+        let mut c = Cache::new(CacheConfig::l1(g, 0).with_copy_back(plane), Lru::new(&g));
+        let victim = LineAddr::new(0);
+        c.fill(AccessCtx::plain(victim, C0), false);
+        for _ in 0..reuse {
+            assert!(c.access(victim, AccessKind::Read, C0).is_hit());
+        }
+        c.fill(AccessCtx::plain(LineAddr::new(4), C0), false);
+        // Third line in the 2-way set evicts the LRU way — which is the
+        // second line, so touch it to make `victim` the LRU choice.
+        c.access(LineAddr::new(4), AccessKind::Read, C0);
+        let out = c.fill(AccessCtx::plain(LineAddr::new(8), C0), false);
+        (c, out)
+    }
+
+    #[test]
+    fn clean_reuse_plane_copies_back_proven_victims() {
+        use crate::trace::{SharedTraceRing, TraceLevel, TraceSource};
+        let g = geom();
+        let mut c = Cache::new(
+            CacheConfig::l1(g, 0).with_copy_back(CopyBackPlane::CleanReuse { min_reuse: 2 }),
+            Lru::new(&g),
+        );
+        let ring = SharedTraceRing::new(16);
+        c.set_trace(TraceSource::new(TraceLevel::L1, 0), ring.sink());
+        let victim = LineAddr::new(0);
+        c.fill(AccessCtx::plain(victim, C0), false);
+        c.access(victim, AccessKind::Read, C0);
+        c.access(victim, AccessKind::Read, C0);
+        c.fill(AccessCtx::plain(LineAddr::new(4), C0), false);
+        c.access(LineAddr::new(4), AccessKind::Read, C0);
+        let out = c.fill(AccessCtx::plain(LineAddr::new(8), C0), false);
+        let cb = out.copy_back.expect("reuse 2 >= min_reuse 2");
+        assert_eq!(cb.line, victim);
+        assert!(!cb.dirty);
+        assert_eq!(cb.reuse, 2);
+        assert_eq!(c.stats().clean_copy_backs, 1);
+        assert!(ring.events().iter().any(|e| matches!(
+            e.kind,
+            TraceKind::CleanCopyBack {
+                set: 0,
+                reuse: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn clean_reuse_plane_drops_unproven_victims() {
+        let (c, out) = evict_clean_victim(CopyBackPlane::CleanReuse { min_reuse: 2 }, 1);
+        assert!(out.evicted.is_some());
+        assert!(out.copy_back.is_none(), "reuse 1 < min_reuse 2");
+        assert_eq!(c.stats().clean_copy_backs, 0);
+    }
+
+    #[test]
+    fn never_and_policy_planes_drop_clean_victims() {
+        // `Never` drops unconditionally; `Policy` defers to the policy's
+        // `evict_decision`, whose default (every built-in policy) is Drop —
+        // the bit-identity guarantee for pre-existing configurations.
+        for plane in [CopyBackPlane::Never, CopyBackPlane::Policy] {
+            let (c, out) = evict_clean_victim(plane, 3);
+            assert!(out.evicted.is_some());
+            assert!(out.copy_back.is_none(), "{plane:?} must drop");
+            assert_eq!(c.stats().clean_copy_backs, 0);
+        }
+    }
+
+    #[test]
+    fn dirty_victims_write_back_not_copy_back() {
+        let g = geom();
+        let mut c = Cache::new(
+            CacheConfig::l2(g, 0).with_copy_back(CopyBackPlane::CleanReuse { min_reuse: 0 }),
+            Lru::new(&g),
+        );
+        c.fill(AccessCtx::plain(LineAddr::new(0), C0), true);
+        c.fill(AccessCtx::plain(LineAddr::new(4), C0), false);
+        c.access(LineAddr::new(4), AccessKind::Read, C0);
+        let out = c.fill(AccessCtx::plain(LineAddr::new(8), C0), false);
+        let ev = out.evicted.expect("eviction");
+        assert!(ev.dirty);
+        assert!(
+            out.copy_back.is_none(),
+            "dirty victims take the write-back path, never the clean plane"
+        );
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().clean_copy_backs, 0);
+    }
+
+    #[test]
+    fn plane_stats_survive_snapshot_round_trip() {
+        let g = geom();
+        let build = || {
+            Cache::new(
+                CacheConfig::l1(g, 0)
+                    .with_bypass(BypassPlane::Hydra)
+                    .with_copy_back(CopyBackPlane::CleanReuse { min_reuse: 1 }),
+                Lru::new(&g),
+            )
+        };
+        let mut c = build();
+        c.fill(
+            AccessCtx::plain(LineAddr::new(0), C0)
+                .with_class(class(SlackBucket::Tight, ReuseClass::Streaming)),
+            false,
+        );
+        let victim = LineAddr::new(1);
+        c.fill(AccessCtx::plain(victim, C0), false);
+        c.access(victim, AccessKind::Read, C0);
+        c.fill(AccessCtx::plain(LineAddr::new(5), C0), false);
+        c.access(LineAddr::new(5), AccessKind::Read, C0);
+        c.fill(AccessCtx::plain(LineAddr::new(9), C0), false);
+        assert_eq!(c.stats().plane_bypasses, 1);
+        assert_eq!(c.stats().clean_copy_backs, 1);
+
+        let mut w = SnapshotWriter::new();
+        c.save(&mut w);
+        let bytes = w.finish();
+        let mut restored = build();
+        restored
+            .restore(&mut SnapshotReader::new(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(restored.stats().plane_bypasses, 1);
+        assert_eq!(restored.stats().clean_copy_backs, 1);
+        assert_eq!(
+            format!("{:?}", c.stats()),
+            format!("{:?}", restored.stats())
+        );
     }
 }

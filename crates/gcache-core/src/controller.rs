@@ -20,9 +20,9 @@
 //! an L2).
 
 use crate::addr::{CoreId, LineAddr};
-use crate::cache::{Cache, FillOutcome, Lookup, WritePolicy};
+use crate::cache::{Cache, FillOutcome, Lookup, WriteMode};
 use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
-use crate::policy::{AccessKind, FillCtx};
+use crate::policy::{AccessCtx, AccessKind, RequestClass};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter};
 use crate::stats::CacheStats;
 use crate::trace::{TraceKind, TraceSink, TraceSource};
@@ -74,6 +74,9 @@ pub struct FillParams {
     pub victim_hint: bool,
     /// Install the line already dirty (write-allocate of a store miss).
     pub dirty: bool,
+    /// Request class the primary requester declared (rides the fill into
+    /// the policy's [`AccessCtx`]; `None` for unclassified traffic).
+    pub class: Option<RequestClass>,
 }
 
 /// A cache plus its MSHR file plus the shared miss-handling state machine.
@@ -102,6 +105,7 @@ pub struct FillParams {
 ///     core: CoreId(0),
 ///     victim_hint: false,
 ///     dirty: false,
+///     class: None,
 /// });
 /// assert_eq!(woken, vec![7]);
 /// assert!(ctrl.contains(line));
@@ -191,8 +195,13 @@ impl<T> CacheController<T> {
         core: CoreId,
         target: T,
     ) -> ControllerOutcome {
-        match (kind, self.cache.config().write_policy, self.atomics) {
-            (AccessKind::Write, WritePolicy::WriteThroughNoAllocate, _) => {
+        debug_assert!(
+            kind != AccessKind::CopyBack,
+            "clean copy-backs are applied by the owner via Cache::fill, \
+             never presented to the miss machine"
+        );
+        match (kind, self.cache.config().discipline.mode, self.atomics) {
+            (AccessKind::Write, WriteMode::ThroughNoAllocate, _) => {
                 // Update a resident copy (the access also refreshes
                 // replacement state) and forward downstream.
                 let _ = self
@@ -281,10 +290,11 @@ impl<T> CacheController<T> {
         }
         let p = decide(out);
         self.cache.fill(
-            FillCtx {
+            AccessCtx {
                 line,
                 core: p.core,
                 victim_hint: p.victim_hint,
+                class: p.class,
             },
             p.dirty,
         )
@@ -296,9 +306,9 @@ impl<T> CacheController<T> {
     /// fast-forward driver can tell a head-of-line access that will retire
     /// next cycle from one parked on MSHR resources (freed only by a fill).
     pub fn would_block(&self, line: LineAddr, kind: AccessKind) -> bool {
-        match (kind, self.cache.config().write_policy, self.atomics) {
+        match (kind, self.cache.config().discipline.mode, self.atomics) {
             // Same dispatch as `access`: these paths always forward.
-            (AccessKind::Write, WritePolicy::WriteThroughNoAllocate, _)
+            (AccessKind::Write, WriteMode::ThroughNoAllocate, _)
             | (AccessKind::Atomic, _, AtomicHandling::Forward) => false,
             _ => {
                 !self.cache.contains(line)
@@ -427,6 +437,7 @@ mod tests {
             core: C0,
             victim_hint: false,
             dirty,
+            class: None,
         });
         out
     }

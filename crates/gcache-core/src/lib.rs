@@ -33,7 +33,7 @@
 //! let line = Addr::new(0x1_0000).to_line(128);
 //! if let Lookup::Miss = l1.access(line, AccessKind::Read, CoreId(0)) {
 //!     // fetch from L2, then fill with the victim hint the L2 returned:
-//!     l1.fill(FillCtx { line, core: CoreId(0), victim_hint: false }, false);
+//!     l1.fill(AccessCtx::plain(line, CoreId(0)), false);
 //! }
 //! assert!(l1.contains(line));
 //! # Ok(())
@@ -79,7 +79,10 @@ pub mod victim_bits;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::addr::{Addr, CoreId, LineAddr, PartitionId};
-    pub use crate::cache::{Cache, CacheConfig, FillOutcome, Lookup, WritePolicy};
+    pub use crate::cache::{
+        BypassPlane, Cache, CacheConfig, CopyBackPlane, FillOutcome, Lookup, WriteDiscipline,
+        WriteMode,
+    };
     pub use crate::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
     pub use crate::geometry::CacheGeometry;
     pub use crate::mshr::{MshrAlloc, MshrFile, MshrReject};
@@ -88,7 +91,10 @@ pub mod prelude {
     pub use crate::policy::pdp::StaticPdp;
     pub use crate::policy::pdp_dyn::{DynamicPdp, DynamicPdpConfig};
     pub use crate::policy::rrip::Rrip;
-    pub use crate::policy::{AccessKind, FillCtx, FillDecision, PolicyKind, ReplacementPolicy};
+    pub use crate::policy::{
+        AccessCtx, AccessKind, EvictDecision, FillDecision, PolicyKind, ReplacementPolicy,
+        RequestClass, ReuseClass, SlackBucket,
+    };
     pub use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
     pub use crate::stats::CacheStats;
     pub use crate::trace::{

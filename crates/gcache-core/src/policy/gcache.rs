@@ -19,7 +19,7 @@
 //! * periodic **epoch reset** of all bypass switches to bound the side
 //!   effects of stale bypass decisions.
 
-use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
+use super::{first_invalid_way, AccessCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
 use crate::policy::rrip::RrpvTable;
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
@@ -105,13 +105,13 @@ impl GCacheConfig {
 /// ```
 /// use gcache_core::geometry::CacheGeometry;
 /// use gcache_core::policy::gcache::GCache;
-/// use gcache_core::policy::{FillCtx, FillDecision, ReplacementPolicy};
+/// use gcache_core::policy::{AccessCtx, FillDecision, ReplacementPolicy};
 /// use gcache_core::addr::{CoreId, LineAddr};
 ///
 /// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
 /// let geom = CacheGeometry::new(256, 2, 128)?; // one 2-way set
 /// let mut gc = GCache::with_defaults(&geom);
-/// let plain = FillCtx::plain(LineAddr::new(0), CoreId(0));
+/// let plain = AccessCtx::plain(LineAddr::new(0), CoreId(0));
 /// // a1 and a2 fill, then hit (hot, RRPV 0).
 /// gc.on_insert(0, 0, &plain);
 /// gc.on_insert(0, 1, &plain);
@@ -119,7 +119,7 @@ impl GCacheConfig {
 /// gc.on_hit(0, 1);
 /// // a1 misses again: the response carries a set victim bit -> the switch
 /// // opens, and because both resident lines are hot the fill bypasses.
-/// let hinted = FillCtx { victim_hint: true, ..plain };
+/// let hinted = AccessCtx { victim_hint: true, ..plain };
 /// assert_eq!(gc.fill_decision(0, 0b11, &hinted), FillDecision::Bypass);
 /// // Streaming block b1 (no hint) now also bypasses: switch stays open.
 /// assert_eq!(gc.fill_decision(0, 0b11, &plain), FillDecision::Bypass);
@@ -219,7 +219,7 @@ impl ReplacementPolicy for GCache {
         self.table.promote(set, way);
     }
 
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &AccessCtx) -> FillDecision {
         // A returning victim bit notifies this L1 that the line was
         // referenced before and became a victim of early eviction: open the
         // bypass switch of the target set (§4.2).
@@ -262,7 +262,7 @@ impl ReplacementPolicy for GCache {
         FillDecision::Insert { way }
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         // Insertion treats hot and cold blocks differently: a block that
         // provably lost locality to contention inserts hot, anything else
         // (potentially streaming) inserts with SRRIP's long prediction.
@@ -353,12 +353,12 @@ mod tests {
         CacheGeometry::with_sets(4, ways, 128).unwrap()
     }
 
-    fn plain() -> FillCtx {
-        FillCtx::plain(LineAddr::new(0), CoreId(0))
+    fn plain() -> AccessCtx {
+        AccessCtx::plain(LineAddr::new(0), CoreId(0))
     }
 
-    fn hinted() -> FillCtx {
-        FillCtx {
+    fn hinted() -> AccessCtx {
+        AccessCtx {
             victim_hint: true,
             ..plain()
         }

@@ -1,6 +1,6 @@
 //! True-LRU replacement — the paper's `BS` (baseline) L1 policy.
 
-use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
+use super::{first_invalid_way, AccessCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
@@ -15,13 +15,13 @@ use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 /// ```
 /// use gcache_core::geometry::CacheGeometry;
 /// use gcache_core::policy::lru::Lru;
-/// use gcache_core::policy::{FillCtx, FillDecision, ReplacementPolicy};
+/// use gcache_core::policy::{AccessCtx, FillDecision, ReplacementPolicy};
 /// use gcache_core::addr::{CoreId, LineAddr};
 ///
 /// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
 /// let geom = CacheGeometry::new(512, 2, 128)?; // 2 sets, 2 ways
 /// let mut lru = Lru::new(&geom);
-/// let ctx = FillCtx::plain(LineAddr::new(0), CoreId(0));
+/// let ctx = AccessCtx::plain(LineAddr::new(0), CoreId(0));
 /// // Fill both ways of set 0, touch way 0, then the victim must be way 1.
 /// lru.on_insert(0, 0, &ctx);
 /// lru.on_insert(0, 1, &ctx);
@@ -69,7 +69,7 @@ impl ReplacementPolicy for Lru {
         self.stamp[i] = t;
     }
 
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &AccessCtx) -> FillDecision {
         if let Some(way) = first_invalid_way(valid_mask, self.ways) {
             return FillDecision::Insert { way };
         }
@@ -79,7 +79,7 @@ impl ReplacementPolicy for Lru {
         FillDecision::Insert { way: victim }
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         let t = self.tick();
         let i = self.idx(set, way);
         self.stamp[i] = t;
@@ -124,8 +124,8 @@ mod tests {
         Lru::new(&geom)
     }
 
-    fn ctx() -> FillCtx {
-        FillCtx::plain(LineAddr::new(0), CoreId(0))
+    fn ctx() -> AccessCtx {
+        AccessCtx::plain(LineAddr::new(0), CoreId(0))
     }
 
     #[test]

@@ -7,12 +7,28 @@
 //! |---|---|---|
 //! | BS | [`lru::Lru`] | LRU replacement, always insert |
 //! | BS-S | [`rrip::Rrip`] | 3-bit SRRIP, always insert |
+//! | — | [`rrip::Drrip`] | set-duelling DRRIP (SRRIP vs BRRIP steered by a PSEL counter) |
 //! | GC | [`gcache::GCache`] | SRRIP + adaptive bypass/insertion (the paper's contribution) |
 //! | SPDP-B | [`pdp::StaticPdp`] | static protection-distance policy with bypass |
 //! | PDP-3 / PDP-8 | [`pdp_dyn::DynamicPdp`] | dynamic PDP, PD re-estimated from sampled reuse distances |
 //!
 //! A policy never touches the tag array directly; [`crate::cache::Cache`]
 //! drives it through the trait hooks and applies its decisions.
+//!
+//! # Decision planes
+//!
+//! Beyond the monolithic replacement axis above, the cache composes three
+//! *orthogonal* decision planes (see DESIGN.md §11):
+//!
+//! | Plane | Hook / config | Decides |
+//! |---|---|---|
+//! | replacement/insertion | [`ReplacementPolicy::fill_decision`] | which way an incoming fill occupies (or bypasses) |
+//! | fill-time bypass | [`crate::cache::BypassPlane`] | class-driven cacheability, ahead of the policy (HyDRA-style) |
+//! | eviction-time copy-back | [`ReplacementPolicy::evict_decision`] + [`crate::cache::CopyBackPlane`] | whether a *clean* victim is copied back downstream (RDC-style) |
+//!
+//! The planes see the same [`AccessCtx`], which optionally carries a
+//! [`RequestClass`] — a deadline-slack bucket plus a declared reuse class —
+//! threaded from the kernel spec through the memory system.
 
 pub mod gcache;
 pub mod lru;
@@ -24,6 +40,91 @@ use crate::addr::{CoreId, LineAddr};
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::fmt;
 
+/// How much deadline slack the requesting warp declared for an access —
+/// the HyDRA-style urgency axis of a [`RequestClass`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SlackBucket {
+    /// The warp is on the critical path; latency matters most.
+    Tight,
+    /// Default urgency.
+    Normal,
+    /// Plenty of slack; throughput matters more than latency.
+    Relaxed,
+}
+
+/// The reuse behaviour a kernel declared for an access stream.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReuseClass {
+    /// Touched once and never again (streaming stores, scan outputs).
+    Streaming,
+    /// Some reuse, typically at moderate distance (sliding windows).
+    Moderate,
+    /// Heavy short-distance reuse (tiles, broadcast tables).
+    High,
+}
+
+/// Per-request class metadata: a deadline-slack bucket plus a declared
+/// reuse class, set by the kernel (`Op::SetClass` in the simulator) and
+/// carried end-to-end with every memory transaction it issues.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RequestClass {
+    /// Deadline-slack bucket.
+    pub slack: SlackBucket,
+    /// Declared reuse class.
+    pub reuse: ReuseClass,
+}
+
+impl RequestClass {
+    /// Builds a class from its two axes.
+    pub const fn new(slack: SlackBucket, reuse: ReuseClass) -> Self {
+        RequestClass { slack, reuse }
+    }
+
+    /// Stable one-byte wire encoding of an optional class: `0` is "no
+    /// class", otherwise `1 + slack * 3 + reuse` (`1..=9`). Used by the
+    /// simulator's snapshot payloads.
+    pub fn to_wire(class: Option<RequestClass>) -> u8 {
+        match class {
+            None => 0,
+            Some(c) => {
+                let s = match c.slack {
+                    SlackBucket::Tight => 0u8,
+                    SlackBucket::Normal => 1,
+                    SlackBucket::Relaxed => 2,
+                };
+                let r = match c.reuse {
+                    ReuseClass::Streaming => 0u8,
+                    ReuseClass::Moderate => 1,
+                    ReuseClass::High => 2,
+                };
+                1 + s * 3 + r
+            }
+        }
+    }
+
+    /// Inverse of [`RequestClass::to_wire`]; `Err` carries the bad byte.
+    pub fn from_wire(v: u8) -> Result<Option<RequestClass>, u8> {
+        if v == 0 {
+            return Ok(None);
+        }
+        if v > 9 {
+            return Err(v);
+        }
+        let idx = v - 1;
+        let slack = match idx / 3 {
+            0 => SlackBucket::Tight,
+            1 => SlackBucket::Normal,
+            _ => SlackBucket::Relaxed,
+        };
+        let reuse = match idx % 3 {
+            0 => ReuseClass::Streaming,
+            1 => ReuseClass::Moderate,
+            _ => ReuseClass::High,
+        };
+        Ok(Some(RequestClass { slack, reuse }))
+    }
+}
+
 /// What kind of access is being performed.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AccessKind {
@@ -33,6 +134,11 @@ pub enum AccessKind {
     Write,
     /// A read-modify-write performed by an atomic operation unit.
     Atomic,
+    /// A clean copy-back: an upper level pushes an unmodified victim line
+    /// downstream so the next level can keep (or re-admit) it. Carries
+    /// line data like a store but is purely a hint — it never generates a
+    /// response and memory is not updated.
+    CopyBack,
 }
 
 impl AccessKind {
@@ -42,9 +148,11 @@ impl AccessKind {
     }
 }
 
-/// Context accompanying a fill (the response returning from the next level).
+/// Context accompanying an access presented to the decision planes — most
+/// importantly a fill (the response returning from the next level), where
+/// the bypass/insertion and copy-back plumbing all meet.
 #[derive(Clone, Copy, Debug)]
-pub struct FillCtx {
+pub struct AccessCtx {
     /// The line being filled.
     pub line: LineAddr,
     /// Requesting core (used by the L2's victim-bit tracker).
@@ -54,16 +162,27 @@ pub struct FillCtx {
     /// i.e. the line was evicted from L1 before it could be re-used
     /// (contention).
     pub victim_hint: bool,
+    /// Request class declared by the issuing kernel, if any. `None` for
+    /// unclassified traffic — the common case, and the only case the
+    /// paper's original policies ever see.
+    pub class: Option<RequestClass>,
 }
 
-impl FillCtx {
-    /// Convenience constructor for a hint-less fill.
+impl AccessCtx {
+    /// Convenience constructor for a hint-less, unclassified fill.
     pub fn plain(line: LineAddr, core: CoreId) -> Self {
-        FillCtx {
+        AccessCtx {
             line,
             core,
             victim_hint: false,
+            class: None,
         }
+    }
+
+    /// Returns this context with the given request class attached.
+    pub fn with_class(mut self, class: Option<RequestClass>) -> Self {
+        self.class = class;
+        self
     }
 }
 
@@ -77,6 +196,19 @@ pub enum FillDecision {
     },
     /// Do not cache the incoming line; forward it to the requester only.
     Bypass,
+}
+
+/// The eviction-time plane's decision about a *clean* victim line.
+///
+/// Dirty victims always write back (correctness); this plane only governs
+/// whether an unmodified victim is additionally pushed downstream so the
+/// next level can keep it warm (the RDC-style clean copy-back).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvictDecision {
+    /// Silently drop the clean victim (the classical behaviour).
+    Drop,
+    /// Copy the clean victim back to the next level.
+    CopyBack,
 }
 
 /// A cache replacement / bypass / insertion policy.
@@ -103,13 +235,23 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
     /// Decides where an incoming fill goes. `valid_mask` has bit `w` set iff
     /// way `w` currently holds a valid line; policies that never bypass must
     /// return [`FillDecision::Insert`].
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &FillCtx) -> FillDecision;
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &AccessCtx) -> FillDecision;
 
     /// Called after the line has been installed in (set, way).
-    fn on_insert(&mut self, set: usize, way: usize, ctx: &FillCtx);
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &AccessCtx);
 
     /// Called when a line is evicted or invalidated from (set, way).
     fn on_evict(&mut self, _set: usize, _way: usize) {}
+
+    /// The eviction-time copy-back plane: decides whether the clean victim
+    /// being displaced from (set, way) — with `reuse` hits over its
+    /// residency — should be copied back downstream. Consulted by the
+    /// cache only when its [`crate::cache::CopyBackPlane`] is `Policy`;
+    /// the default keeps every existing policy's behaviour (silent drop)
+    /// bit-identical.
+    fn evict_decision(&mut self, _set: usize, _way: usize, _reuse: u32) -> EvictDecision {
+        EvictDecision::Drop
+    }
 
     /// Periodic epoch boundary (driven by the cache every
     /// [`crate::cache::CacheConfig::epoch_len`] accesses). G-Cache closes
@@ -225,18 +367,23 @@ impl ReplacementPolicy for PolicyKind {
     }
 
     #[inline]
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, ctx: &AccessCtx) -> FillDecision {
         dispatch!(self, p => p.fill_decision(set, valid_mask, ctx))
     }
 
     #[inline]
-    fn on_insert(&mut self, set: usize, way: usize, ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, ctx: &AccessCtx) {
         dispatch!(self, p => p.on_insert(set, way, ctx))
     }
 
     #[inline]
     fn on_evict(&mut self, set: usize, way: usize) {
         dispatch!(self, p => p.on_evict(set, way))
+    }
+
+    #[inline]
+    fn evict_decision(&mut self, set: usize, way: usize, reuse: u32) -> EvictDecision {
+        dispatch!(self, p => p.evict_decision(set, way, reuse))
     }
 
     #[inline]
@@ -363,10 +510,40 @@ mod tests {
     }
 
     #[test]
-    fn plain_ctx_has_no_hint() {
-        let ctx = FillCtx::plain(LineAddr::new(7), CoreId(2));
+    fn plain_ctx_has_no_hint_and_no_class() {
+        let ctx = AccessCtx::plain(LineAddr::new(7), CoreId(2));
         assert!(!ctx.victim_hint);
         assert_eq!(ctx.core, CoreId(2));
         assert_eq!(ctx.line, LineAddr::new(7));
+        assert_eq!(ctx.class, None);
+        let c = RequestClass::new(SlackBucket::Tight, ReuseClass::Streaming);
+        assert_eq!(ctx.with_class(Some(c)).class, Some(c));
+    }
+
+    #[test]
+    fn request_class_wire_round_trips() {
+        assert_eq!(RequestClass::to_wire(None), 0);
+        assert_eq!(RequestClass::from_wire(0), Ok(None));
+        let mut seen = std::collections::HashSet::new();
+        for slack in [
+            SlackBucket::Tight,
+            SlackBucket::Normal,
+            SlackBucket::Relaxed,
+        ] {
+            for reuse in [
+                ReuseClass::Streaming,
+                ReuseClass::Moderate,
+                ReuseClass::High,
+            ] {
+                let c = RequestClass::new(slack, reuse);
+                let w = RequestClass::to_wire(Some(c));
+                assert!((1..=9).contains(&w), "wire byte out of range: {w}");
+                assert!(seen.insert(w), "wire byte {w} not unique");
+                assert_eq!(RequestClass::from_wire(w), Ok(Some(c)));
+            }
+        }
+        for bad in [10u8, 42, 255] {
+            assert_eq!(RequestClass::from_wire(bad), Err(bad));
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! paper's SPDP-B numbers use the per-benchmark *best* PD found by an
 //! offline sweep (reproduced by the `table3` experiment binary).
 
-use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
+use super::{first_invalid_way, AccessCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
@@ -95,13 +95,13 @@ impl Snapshot for RpdTable {
 /// ```
 /// use gcache_core::geometry::CacheGeometry;
 /// use gcache_core::policy::pdp::StaticPdp;
-/// use gcache_core::policy::{FillCtx, FillDecision, ReplacementPolicy};
+/// use gcache_core::policy::{AccessCtx, FillDecision, ReplacementPolicy};
 /// use gcache_core::addr::{CoreId, LineAddr};
 ///
 /// # fn main() -> Result<(), gcache_core::geometry::GeometryError> {
 /// let geom = CacheGeometry::new(256, 2, 128)?; // one 2-way set
 /// let mut pdp = StaticPdp::new(&geom, 4);
-/// let ctx = FillCtx::plain(LineAddr::new(0), CoreId(0));
+/// let ctx = AccessCtx::plain(LineAddr::new(0), CoreId(0));
 /// pdp.on_insert(0, 0, &ctx);
 /// pdp.on_insert(0, 1, &ctx);
 /// // Both lines freshly protected: an incoming fill bypasses.
@@ -156,7 +156,7 @@ impl ReplacementPolicy for StaticPdp {
         self.table.protect(set, way, self.pd);
     }
 
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &AccessCtx) -> FillDecision {
         if let Some(way) = first_invalid_way(valid_mask, self.table.ways()) {
             return FillDecision::Insert { way };
         }
@@ -169,7 +169,7 @@ impl ReplacementPolicy for StaticPdp {
         }
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.table.protect(set, way, self.pd);
     }
 
@@ -204,8 +204,8 @@ mod tests {
         CacheGeometry::with_sets(2, ways, 128).unwrap()
     }
 
-    fn ctx() -> FillCtx {
-        FillCtx::plain(LineAddr::new(0), CoreId(0))
+    fn ctx() -> AccessCtx {
+        AccessCtx::plain(LineAddr::new(0), CoreId(0))
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! RDD histogram has 256 bins.
 
 use super::pdp::RpdTable;
-use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
+use super::{first_invalid_way, AccessCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::VecDeque;
@@ -241,7 +241,7 @@ impl ReplacementPolicy for DynamicPdp {
         self.table.protect(set, way, self.pd);
     }
 
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &AccessCtx) -> FillDecision {
         if let Some(way) = first_invalid_way(valid_mask, self.table.ways()) {
             return FillDecision::Insert { way };
         }
@@ -254,7 +254,7 @@ impl ReplacementPolicy for DynamicPdp {
         }
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         self.table.protect(set, way, self.pd);
     }
 
@@ -353,8 +353,8 @@ mod tests {
         CacheGeometry::with_sets(4, 4, 128).unwrap()
     }
 
-    fn ctx() -> FillCtx {
-        FillCtx::plain(LineAddr::new(0), CoreId(0))
+    fn ctx() -> AccessCtx {
+        AccessCtx::plain(LineAddr::new(0), CoreId(0))
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! replacement policy; G-Cache builds its hotness test on the same RRPV
 //! state, so the RRPV table is factored out as [`RrpvTable`] and shared.
 
-use super::{first_invalid_way, FillCtx, FillDecision, ReplacementPolicy};
+use super::{first_invalid_way, AccessCtx, FillDecision, ReplacementPolicy};
 use crate::geometry::CacheGeometry;
 use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
@@ -264,7 +264,7 @@ impl ReplacementPolicy for Rrip {
         self.table.promote(set, way);
     }
 
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &AccessCtx) -> FillDecision {
         if let Some(way) = first_invalid_way(valid_mask, self.table.ways()) {
             return FillDecision::Insert { way };
         }
@@ -275,7 +275,7 @@ impl ReplacementPolicy for Rrip {
         FillDecision::Insert { way }
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         let rrpv = self.insertion_rrpv();
         self.table.set(set, way, rrpv);
     }
@@ -387,7 +387,7 @@ impl ReplacementPolicy for Drrip {
         self.table.promote(set, way);
     }
 
-    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &FillCtx) -> FillDecision {
+    fn fill_decision(&mut self, set: usize, valid_mask: u64, _ctx: &AccessCtx) -> FillDecision {
         // A fill means the access missed: leaders vote. An SRRIP-leader
         // miss nudges towards BRRIP and vice versa.
         match self.leader_kind(set) {
@@ -405,7 +405,7 @@ impl ReplacementPolicy for Drrip {
         FillDecision::Insert { way }
     }
 
-    fn on_insert(&mut self, set: usize, way: usize, _ctx: &FillCtx) {
+    fn on_insert(&mut self, set: usize, way: usize, _ctx: &AccessCtx) {
         let rrpv = if self.use_brrip(set) {
             self.brrip_tick += 1;
             if self.brrip_tick.is_multiple_of(32) {
@@ -448,8 +448,8 @@ mod tests {
         CacheGeometry::with_sets(2, ways, 128).unwrap()
     }
 
-    fn ctx() -> FillCtx {
-        FillCtx::plain(LineAddr::new(0), CoreId(0))
+    fn ctx() -> AccessCtx {
+        AccessCtx::plain(LineAddr::new(0), CoreId(0))
     }
 
     #[test]

@@ -127,10 +127,16 @@ pub struct CacheStats {
     pub fills: u64,
     /// Fills the policy chose to bypass.
     pub bypassed_fills: u64,
+    /// Subset of `bypassed_fills` denied by the request-class bypass plane
+    /// ([`crate::cache::BypassPlane`]) before the policy was consulted.
+    pub plane_bypasses: u64,
     /// Valid lines displaced by fills or invalidations.
     pub evictions: u64,
     /// Evictions of dirty lines (write-backs generated).
     pub writebacks: u64,
+    /// Clean evictions the copy-back plane chose to push down anyway
+    /// ([`crate::cache::CopyBackPlane`], RDC-style clean copy-back).
+    pub clean_copy_backs: u64,
     /// Reuse-count distribution over completed residencies.
     pub reuse: ReuseHistogram,
 }
@@ -162,6 +168,10 @@ impl CacheStats {
                     self.atomic_hits += 1;
                 }
             }
+            // Clean copy-backs are hierarchy maintenance traffic, not
+            // demand accesses: they are counted at the emitting cache via
+            // `clean_copy_backs` and must not skew hit/miss rates here.
+            AccessKind::CopyBack => {}
         }
     }
 
@@ -221,8 +231,10 @@ impl CacheStats {
         self.atomic_hits += other.atomic_hits;
         self.fills += other.fills;
         self.bypassed_fills += other.bypassed_fills;
+        self.plane_bypasses += other.plane_bypasses;
         self.evictions += other.evictions;
         self.writebacks += other.writebacks;
+        self.clean_copy_backs += other.clean_copy_backs;
         self.reuse.merge(&other.reuse);
     }
 }
@@ -238,8 +250,10 @@ impl Snapshot for CacheStats {
             w.u64(self.atomic_hits);
             w.u64(self.fills);
             w.u64(self.bypassed_fills);
+            w.u64(self.plane_bypasses);
             w.u64(self.evictions);
             w.u64(self.writebacks);
+            w.u64(self.clean_copy_backs);
             self.reuse.save(w);
         });
     }
@@ -254,8 +268,10 @@ impl Snapshot for CacheStats {
             self.atomic_hits = r.u64()?;
             self.fills = r.u64()?;
             self.bypassed_fills = r.u64()?;
+            self.plane_bypasses = r.u64()?;
             self.evictions = r.u64()?;
             self.writebacks = r.u64()?;
+            self.clean_copy_backs = r.u64()?;
             self.reuse.restore(r)
         })
     }

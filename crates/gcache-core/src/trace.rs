@@ -126,6 +126,16 @@ pub enum TraceKind {
         /// Target set whose policy refused the line.
         set: u32,
     },
+    /// A clean victim was pushed down the hierarchy anyway (copy-back
+    /// plane decision, RDC-style).
+    CleanCopyBack {
+        /// The clean line being copied back.
+        line: LineAddr,
+        /// Set the victim was evicted from.
+        set: u32,
+        /// Reuse count the victim accumulated during its residency.
+        reuse: u32,
+    },
     /// A G-Cache per-set bypass switch changed state.
     SwitchFlip {
         /// The set whose switch flipped.
@@ -189,6 +199,7 @@ impl TraceEvent {
             TraceKind::Access { line, .. }
             | TraceKind::FillInsert { line, .. }
             | TraceKind::FillBypass { line, .. }
+            | TraceKind::CleanCopyBack { line, .. }
             | TraceKind::MshrAlloc { line, .. }
             | TraceKind::MshrRelease { line, .. } => Some(line),
             _ => None,
@@ -222,6 +233,7 @@ impl fmt::Display for TraceEvent {
                     AccessKind::Read => "ld",
                     AccessKind::Write => "st",
                     AccessKind::Atomic => "at",
+                    AccessKind::CopyBack => "cb",
                 };
                 write!(
                     f,
@@ -255,6 +267,9 @@ impl fmt::Display for TraceEvent {
                 core.index(),
                 if victim_hint { " (hinted)" } else { "" }
             ),
+            TraceKind::CleanCopyBack { line, set, reuse } => {
+                write!(f, "copy-back {line} set {set} (clean, reuse {reuse})")
+            }
             TraceKind::SwitchFlip { set, open } => {
                 write!(
                     f,

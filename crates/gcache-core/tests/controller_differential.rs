@@ -14,7 +14,7 @@ use gcache_core::mshr::{MshrAlloc, MshrFile, MshrReject};
 use gcache_core::policy::gcache::GCache;
 use gcache_core::policy::lru::Lru;
 use gcache_core::policy::pdp::StaticPdp;
-use gcache_core::policy::{AccessKind, FillCtx, PolicyKind};
+use gcache_core::policy::{AccessCtx, AccessKind, PolicyKind};
 use gcache_core::rng::SmallRng;
 
 const CORE: CoreId = CoreId(0);
@@ -60,6 +60,9 @@ impl ReferenceL1 {
                 self.cache.note_uncached_access(AccessKind::Atomic);
                 Step::Forward
             }
+            // The reference machine predates clean copy-backs; the trace
+            // generator never emits them.
+            AccessKind::CopyBack => unreachable!("trace never emits copy-backs"),
             AccessKind::Read => {
                 if self.cache.contains(line) {
                     return match self.cache.access(line, AccessKind::Read, CORE) {
@@ -94,14 +97,7 @@ impl ReferenceL1 {
             .mshr
             .complete(line)
             .expect("fill without an outstanding MSHR entry");
-        self.cache.fill(
-            FillCtx {
-                line,
-                core: CORE,
-                victim_hint: false,
-            },
-            false,
-        );
+        self.cache.fill(AccessCtx::plain(line, CORE), false);
         targets
     }
 }
@@ -151,6 +147,7 @@ fn run_differential(policy: impl Into<PolicyKind> + Clone, epoch_len: u64, seed:
                     core: CORE,
                     victim_hint: false,
                     dirty: false,
+                    class: None,
                 }
             });
             assert_eq!(
@@ -208,6 +205,7 @@ fn run_differential(policy: impl Into<PolicyKind> + Clone, epoch_len: u64, seed:
             core: CORE,
             victim_hint: false,
             dirty: false,
+            class: None,
         });
         assert_eq!(fill_buf, ref_targets, "drain targets differ");
     }

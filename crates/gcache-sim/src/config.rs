@@ -1,6 +1,7 @@
 //! Simulator configuration (the paper's Table 2).
 
 use crate::system::Topology;
+use gcache_core::cache::{BypassPlane, CopyBackPlane};
 use gcache_core::geometry::{CacheGeometry, GeometryError};
 use gcache_core::policy::gcache::{GCache, GCacheConfig};
 use gcache_core::policy::lru::Lru;
@@ -171,6 +172,13 @@ pub struct GpuConfig {
     pub l1_mshr_merge: usize,
     /// L1 policy epoch length in accesses (bypass-switch reset period).
     pub l1_epoch_len: u64,
+    /// L1 fill-time class-driven bypass plane (orthogonal to
+    /// `l1_policy`); `BypassPlane::Policy` is the pass-through default.
+    pub l1_bypass: BypassPlane,
+    /// L1 eviction-time clean copy-back plane;
+    /// `CopyBackPlane::Policy` (with every built-in policy's default
+    /// drop) is the classical behaviour.
+    pub l1_copy_back: CopyBackPlane,
     /// Number of memory partitions (L2 banks / memory controllers).
     pub partitions: usize,
     /// Geometry of each L2 bank.
@@ -261,6 +269,8 @@ impl GpuConfig {
             l1_mshr_entries: 32,
             l1_mshr_merge: 8,
             l1_epoch_len: 512,
+            l1_bypass: BypassPlane::Policy,
+            l1_copy_back: CopyBackPlane::Policy,
             partitions: 8,
             l2_geometry: CacheGeometry::new(128 * 1024, 16, 128)?,
             l2_mshr_entries: 32,
@@ -310,6 +320,20 @@ impl GpuConfig {
     pub fn with_l1_kb(mut self, kb: u64) -> Result<Self, GeometryError> {
         self.l1_geometry = CacheGeometry::new(kb * 1024, 4, 128)?;
         Ok(self)
+    }
+
+    /// This configuration with a different L1 fill-time bypass plane.
+    #[must_use]
+    pub const fn with_l1_bypass(mut self, bypass: BypassPlane) -> Self {
+        self.l1_bypass = bypass;
+        self
+    }
+
+    /// This configuration with a different L1 clean copy-back plane.
+    #[must_use]
+    pub const fn with_l1_copy_back(mut self, copy_back: CopyBackPlane) -> Self {
+        self.l1_copy_back = copy_back;
+        self
     }
 
     /// Reshapes the cache hierarchy, growing the mesh as needed to seat

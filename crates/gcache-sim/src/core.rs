@@ -5,11 +5,15 @@ use crate::coalescer::coalesce_into;
 use crate::config::GpuConfig;
 use crate::isa::{Kernel, Op, WarpProgram};
 use crate::l1::{L1Controller, L1Outcome};
-use crate::request::{restore_access_kind, save_access_kind, MemRequest, MemResponse, WarpSlot};
+use crate::request::{
+    restore_access_kind, restore_request_class, save_access_kind, save_request_class, MemRequest,
+    MemResponse, WarpSlot,
+};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::CacheConfig;
 use gcache_core::geometry::CacheGeometry;
-use gcache_core::policy::{AccessKind, PolicyKind};
+use gcache_core::policy::{AccessKind, PolicyKind, RequestClass};
+use gcache_core::snapshot::SnapshotPayload;
 use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::collections::VecDeque;
 
@@ -45,6 +49,9 @@ struct Warp {
     /// pulled op (ops are pulled one at a time and either executed or
     /// parked in `pending_op` until they issue).
     ops_pulled: u64,
+    /// Request class declared by the last [`Op::SetClass`]; stamps every
+    /// subsequent global-memory transaction this warp issues.
+    class: Option<RequestClass>,
 }
 
 impl std::fmt::Debug for Warp {
@@ -72,6 +79,7 @@ struct LdstTxn {
     tag: u64,
     kind: AccessKind,
     warp: WarpSlot,
+    class: Option<RequestClass>,
 }
 
 #[derive(Debug)]
@@ -122,6 +130,10 @@ pub struct SimtCore {
     /// Coalesced transactions awaiting L1/network issue, one per cycle.
     ldst_queue: VecDeque<LdstTxn>,
     ldst_capacity: usize,
+    /// Clean copy-backs the L1's copy-back plane produced, awaiting
+    /// network injection (they drain ahead of demand traffic and are
+    /// fire-and-forget). Always empty under the default planes.
+    copyback_queue: VecDeque<MemRequest>,
     /// Maintained bitmask of warp slots in [`WarpState::Ready`] — the
     /// issue stage and [`SimtCore::next_event`] scan this word instead of
     /// the whole slot array (the mesh `rwake` trick). Rebuilt, not
@@ -146,7 +158,9 @@ impl SimtCore {
     pub fn new(id: CoreId, cfg: &GpuConfig, policy: impl Into<PolicyKind>) -> Self {
         let l1 = L1Controller::new(
             id,
-            CacheConfig::l1(cfg.l1_geometry, cfg.l1_epoch_len),
+            CacheConfig::l1(cfg.l1_geometry, cfg.l1_epoch_len)
+                .with_bypass(cfg.l1_bypass)
+                .with_copy_back(cfg.l1_copy_back),
             policy,
             cfg.l1_mshr_entries,
             cfg.l1_mshr_merge,
@@ -169,6 +183,7 @@ impl SimtCore {
             ldst_batch: cfg.ldst_batch,
             ldst_queue: VecDeque::with_capacity(4 * cfg.warp_width),
             ldst_capacity: 4 * cfg.warp_width,
+            copyback_queue: VecDeque::new(),
             ready_mask: 0,
             compute_mask: 0,
             sched: WarpScheduler::new(cfg.warp_sched),
@@ -244,6 +259,7 @@ impl SimtCore {
                 outstanding: 0,
                 age: self.launch_seq,
                 ops_pulled: 0,
+                class: None,
             });
             self.ready_mask |= 1 << slot;
             warp_slots.push(slot);
@@ -260,7 +276,10 @@ impl SimtCore {
 
     /// Whether all work (warps, LD/ST queue, outstanding misses) is done.
     pub fn is_idle(&self) -> bool {
-        self.ctas.iter().all(|c| c.is_none()) && self.ldst_queue.is_empty() && self.l1.quiesced()
+        self.ctas.iter().all(|c| c.is_none())
+            && self.ldst_queue.is_empty()
+            && self.copyback_queue.is_empty()
+            && self.l1.quiesced()
     }
 
     /// Delivers a memory response from the network.
@@ -270,7 +289,12 @@ impl SimtCore {
                 // Borrow dance: take the scratch buffer so `fill_into` and
                 // `complete_mem` don't alias `self`.
                 let mut woken = std::mem::take(&mut self.woken_scratch);
-                self.l1.fill_into(resp.line, resp.victim_hint, &mut woken);
+                let copy_back =
+                    self.l1
+                        .fill_into(resp.line, resp.victim_hint, resp.class, &mut woken);
+                if let Some(cb) = copy_back {
+                    self.copyback_queue.push_back(cb);
+                }
                 for &warp in &woken {
                     self.complete_mem(warp);
                 }
@@ -278,6 +302,7 @@ impl SimtCore {
             }
             AccessKind::Atomic => self.complete_mem(resp.warp),
             AccessKind::Write => {}
+            AccessKind::CopyBack => unreachable!("copy-backs never generate responses"),
         }
     }
 
@@ -307,6 +332,11 @@ impl SimtCore {
     /// only be woken from outside. Per-cycle stall accounting over the
     /// skipped gap is replayed by [`SimtCore::skip`].
     pub fn next_event(&self, now: u64, can_inject: bool) -> Option<u64> {
+        // A queued clean copy-back injects next cycle if the network has
+        // space (it is parked on backpressure otherwise).
+        if can_inject && !self.copyback_queue.is_empty() {
+            return Some(now + 1);
+        }
         // The head LD/ST transaction retires next cycle unless it is
         // parked on network backpressure or on L1 MSHR resources (both
         // freed only by external events).
@@ -349,17 +379,20 @@ impl SimtCore {
     /// [`SimtCore::next_event`] cannot bound by a cycle number, so the
     /// caller re-checks it against the live network each cycle.
     pub fn head_waiting_on_inject(&self) -> bool {
-        self.ldst_queue
-            .front()
-            .is_some_and(|txn| !self.l1.would_block(txn.line, txn.kind))
+        !self.copyback_queue.is_empty()
+            || self
+                .ldst_queue
+                .front()
+                .is_some_and(|txn| !self.l1.would_block(txn.line, txn.kind))
     }
 
-    /// Whether any LD/ST transaction is queued. Stable across event-free
-    /// cycles (the queue is touched only by [`SimtCore::tick`]), and when
-    /// false, [`SimtCore::skip`] never reads its `can_inject` argument —
-    /// so gated callers can skip probing the network altogether.
+    /// Whether any LD/ST transaction (or pending clean copy-back) is
+    /// queued. Stable across event-free cycles (both queues are touched
+    /// only by [`SimtCore::tick`] and the response path), and when false,
+    /// [`SimtCore::skip`] never reads its `can_inject` argument — so gated
+    /// callers can skip probing the network altogether.
     pub fn has_ldst_head(&self) -> bool {
-        !self.ldst_queue.is_empty()
+        !self.ldst_queue.is_empty() || !self.copyback_queue.is_empty()
     }
 
     /// Replays the per-cycle accounting of `cycles` skipped event-free
@@ -389,14 +422,25 @@ impl SimtCore {
         self.sched.note_idle();
     }
 
-    /// Processes the head LD/ST transaction.
+    /// Processes the head LD/ST transaction (clean copy-backs drain
+    /// first: they hold displaced data and are fire-and-forget).
     fn pump_ldst(&mut self, can_inject: bool) -> Option<MemRequest> {
+        if !self.copyback_queue.is_empty() && can_inject {
+            // The copy-back takes this cycle's inject slot; a waiting
+            // demand transaction stalls exactly as it would on
+            // backpressure.
+            if !self.ldst_queue.is_empty() {
+                self.stats.mem_stall_cycles += 1;
+            }
+            return self.copyback_queue.pop_front();
+        }
         let &LdstTxn {
             line,
             set,
             tag,
             kind,
             warp,
+            class,
         } = self.ldst_queue.front()?;
         // Any access may need to inject (miss/write/atomic): gate on
         // network space to avoid mutating L1 state and then failing.
@@ -405,9 +449,9 @@ impl SimtCore {
             return None;
         }
         let outcome = if self.ldst_batch {
-            self.l1.access_decoded(line, set, tag, kind, warp)
+            self.l1.access_decoded(line, set, tag, kind, warp, class)
         } else {
-            self.l1.access(line, kind, warp)
+            self.l1.access(line, kind, warp, class)
         };
         match outcome {
             L1Outcome::Hit => {
@@ -526,6 +570,12 @@ impl SimtCore {
                 cta.at_barrier += 1;
                 self.maybe_release_barrier(cta_slot);
             }
+            Op::SetClass { class } => {
+                // A one-slot marker instruction: the warp stays ready and
+                // its subsequent memory traffic carries the class.
+                let w = self.warps[slot].as_mut().expect("live");
+                w.class = class;
+            }
             Op::Load { addrs } => self.issue_mem(slot, &addrs, AccessKind::Read, true),
             Op::Atomic { addrs } => self.issue_mem(slot, &addrs, AccessKind::Atomic, true),
             Op::Store { addrs } => self.issue_mem(slot, &addrs, AccessKind::Write, false),
@@ -542,6 +592,7 @@ impl SimtCore {
         blocking: bool,
     ) {
         self.stats.mem_instructions += 1;
+        let class = self.warps[slot].as_ref().expect("live").class;
         let mut lines = std::mem::take(&mut self.coalesce_scratch);
         coalesce_into(addrs, self.line_size, &mut lines);
         let n = lines.len() as u32;
@@ -557,6 +608,7 @@ impl SimtCore {
                     tag: self.l1_geom.tag_of(line),
                     kind,
                     warp: slot,
+                    class,
                 });
             }
         } else {
@@ -567,6 +619,7 @@ impl SimtCore {
                     tag: 0,
                     kind,
                     warp: slot,
+                    class,
                 });
             }
         }
@@ -659,6 +712,7 @@ impl SimtCore {
                         // (see `Warp::ops_pulled`); only its presence is
                         // recorded.
                         w.bool(wp.pending_op.is_some());
+                        save_request_class(w, wp.class);
                     }
                     None => w.bool(false),
                 }
@@ -673,6 +727,11 @@ impl SimtCore {
                 w.u64(txn.line.raw());
                 save_access_kind(w, txn.kind);
                 w.usize(txn.warp);
+                save_request_class(w, txn.class);
+            }
+            w.usize(self.copyback_queue.len());
+            for req in &self.copyback_queue {
+                req.save_payload(w);
             }
             self.sched.save(w);
             w.u64(self.launch_seq);
@@ -757,6 +816,7 @@ impl SimtCore {
                 let age = r.u64()?;
                 let ops_pulled = r.u64()?;
                 let has_pending = r.bool()?;
+                let class = restore_request_class(r)?;
                 let (cta_id, warp_in_cta) = {
                     let cta = self
                         .ctas
@@ -802,6 +862,7 @@ impl SimtCore {
                     outstanding,
                     age,
                     ops_pulled,
+                    class,
                 });
             }
             // Rebuild the ready/compute words from the restored warp
@@ -824,6 +885,7 @@ impl SimtCore {
                 let line = LineAddr::new(r.u64()?);
                 let kind = restore_access_kind(r)?;
                 let warp = r.usize()?;
+                let class = restore_request_class(r)?;
                 let (set, tag) = if self.ldst_batch {
                     (self.l1_geom.set_of(line), self.l1_geom.tag_of(line))
                 } else {
@@ -835,7 +897,14 @@ impl SimtCore {
                     tag,
                     kind,
                     warp,
+                    class,
                 });
+            }
+            let n_cb = r.usize()?;
+            self.copyback_queue.clear();
+            for _ in 0..n_cb {
+                self.copyback_queue
+                    .push_back(MemRequest::restore_payload(r)?);
             }
             self.sched.restore(r)?;
             self.launch_seq = r.u64()?;

@@ -8,6 +8,7 @@
 //! the paper's results.
 
 use gcache_core::addr::Addr;
+use gcache_core::policy::RequestClass;
 use std::fmt;
 
 /// One warp-level operation.
@@ -42,6 +43,14 @@ pub enum Op {
     Shared,
     /// CTA-wide barrier (`__syncthreads()`).
     Barrier,
+    /// Declares the [`RequestClass`] attached to this warp's subsequent
+    /// global-memory accesses (`None` clears it) — the compiler-hint
+    /// channel of HyDRA-style cacheability. Costs one issue slot and sends
+    /// no traffic.
+    SetClass {
+        /// New class, effective until the next `SetClass`.
+        class: Option<RequestClass>,
+    },
 }
 
 impl Op {
@@ -87,6 +96,10 @@ impl fmt::Display for Op {
             Op::Atomic { addrs } => write!(f, "atomic[{} lanes]", addrs.iter().flatten().count()),
             Op::Shared => f.write_str("shared"),
             Op::Barrier => f.write_str("barrier"),
+            Op::SetClass { class: Some(c) } => {
+                write!(f, "set_class({:?}/{:?})", c.slack, c.reuse)
+            }
+            Op::SetClass { class: None } => f.write_str("set_class(none)"),
         }
     }
 }
@@ -192,6 +205,7 @@ mod tests {
         assert!(!Op::Compute { cycles: 3 }.is_global_mem());
         assert!(!Op::Shared.is_global_mem());
         assert!(!Op::Barrier.is_global_mem());
+        assert!(!Op::SetClass { class: None }.is_global_mem());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::request::{MemRequest, WarpSlot};
 use gcache_core::addr::{CoreId, LineAddr};
 use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
-use gcache_core::policy::{AccessKind, PolicyKind};
+use gcache_core::policy::{AccessKind, PolicyKind, RequestClass};
 use gcache_core::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use gcache_core::stats::CacheStats;
 use gcache_core::trace::{SharedTraceRing, TraceLevel, TraceSource};
@@ -133,10 +133,18 @@ impl L1Controller {
         self.ctrl.quiesced()
     }
 
-    /// Presents one coalesced transaction to the L1.
-    pub fn access(&mut self, line: LineAddr, kind: AccessKind, warp: WarpSlot) -> L1Outcome {
+    /// Presents one coalesced transaction to the L1. `class` is the
+    /// issuing warp's declared request class; it rides any generated
+    /// downstream request.
+    pub fn access(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        warp: WarpSlot,
+        class: Option<RequestClass>,
+    ) -> L1Outcome {
         let out = self.ctrl.access(line, kind, self.core, warp);
-        translate(line, kind, self.core, warp, out)
+        translate(line, kind, self.core, warp, class, out)
     }
 
     /// [`L1Controller::access`] with the set/tag decode already done — the
@@ -150,11 +158,12 @@ impl L1Controller {
         tag: u64,
         kind: AccessKind,
         warp: WarpSlot,
+        class: Option<RequestClass>,
     ) -> L1Outcome {
         let out = self
             .ctrl
             .access_decoded(line, set, tag, kind, self.core, warp);
-        translate(line, kind, self.core, warp, out)
+        translate(line, kind, self.core, warp, class, out)
     }
 
     /// Handles a returning read fill: applies the (possibly bypassing)
@@ -167,7 +176,7 @@ impl L1Controller {
     /// requested indicates a protocol bug.
     pub fn fill(&mut self, line: LineAddr, victim_hint: bool) -> Vec<WarpSlot> {
         let mut woken = Vec::new();
-        self.fill_into(line, victim_hint, &mut woken);
+        self.fill_into(line, victim_hint, None, &mut woken);
         woken
     }
 
@@ -176,21 +185,41 @@ impl L1Controller {
     /// The per-cycle response path calls this with a scratch buffer owned
     /// by the core, so steady-state fills perform no heap allocation.
     ///
+    /// `class` is the primary requester's class echoed back by the L2 (it
+    /// feeds the bypass plane's fill decision). When the copy-back plane
+    /// elects to push the displaced clean victim downstream, the
+    /// corresponding [`AccessKind::CopyBack`] request is returned for the
+    /// core to queue.
+    ///
     /// # Panics
     ///
     /// Panics if no MSHR entry exists for `line` — a response the L1 never
     /// requested indicates a protocol bug.
-    pub fn fill_into(&mut self, line: LineAddr, victim_hint: bool, out: &mut Vec<WarpSlot>) {
+    pub fn fill_into(
+        &mut self,
+        line: LineAddr,
+        victim_hint: bool,
+        class: Option<RequestClass>,
+        out: &mut Vec<WarpSlot>,
+    ) -> Option<MemRequest> {
         let core = self.core;
         let outcome = self.ctrl.fill_with(line, out, |_| FillParams {
             core,
             victim_hint,
             dirty: false,
+            class,
         });
         debug_assert!(
             outcome.evicted.is_none_or(|e| !e.dirty),
             "write-through L1 evicted a dirty line"
         );
+        outcome.copy_back.map(|ev| MemRequest {
+            line: ev.line,
+            kind: AccessKind::CopyBack,
+            core,
+            warp: 0,
+            class: None,
+        })
     }
 }
 
@@ -200,6 +229,7 @@ fn translate(
     kind: AccessKind,
     core: CoreId,
     warp: WarpSlot,
+    class: Option<RequestClass>,
     out: ControllerOutcome,
 ) -> L1Outcome {
     let request = MemRequest {
@@ -207,6 +237,7 @@ fn translate(
         kind,
         core,
         warp,
+        class,
     };
     match out {
         ControllerOutcome::Hit { .. } => L1Outcome::Hit,
@@ -216,7 +247,9 @@ fn translate(
         ControllerOutcome::Forward => match kind {
             AccessKind::Write => L1Outcome::WriteForward(request),
             AccessKind::Atomic => L1Outcome::AtomicForward(request),
-            AccessKind::Read => unreachable!("reads are never forwarded"),
+            AccessKind::Read | AccessKind::CopyBack => {
+                unreachable!("reads and copy-backs are never forwarded")
+            }
         },
     }
 }
@@ -248,17 +281,20 @@ mod tests {
     fn read_miss_primary_then_merge() {
         let mut l1 = l1();
         let line = LineAddr::new(0x10);
-        let o = l1.access(line, AccessKind::Read, 0);
+        let o = l1.access(line, AccessKind::Read, 0, None);
         let req = match o {
             L1Outcome::MissPrimary(r) => r,
             other => panic!("expected primary miss, got {other:?}"),
         };
         assert_eq!(req.core, CoreId(3));
         assert_eq!(req.line, line);
-        assert_eq!(l1.access(line, AccessKind::Read, 1), L1Outcome::MissMerged);
+        assert_eq!(
+            l1.access(line, AccessKind::Read, 1, None),
+            L1Outcome::MissMerged
+        );
         let woken = l1.fill(line, false);
         assert_eq!(woken, vec![0, 1]);
-        assert_eq!(l1.access(line, AccessKind::Read, 2), L1Outcome::Hit);
+        assert_eq!(l1.access(line, AccessKind::Read, 2, None), L1Outcome::Hit);
         assert!(l1.quiesced());
     }
 
@@ -267,28 +303,31 @@ mod tests {
         let mut l1 = l1();
         for i in 0..4 {
             assert!(matches!(
-                l1.access(LineAddr::new(i), AccessKind::Read, 0),
+                l1.access(LineAddr::new(i), AccessKind::Read, 0, None),
                 L1Outcome::MissPrimary(_)
             ));
         }
         assert_eq!(
-            l1.access(LineAddr::new(9), AccessKind::Read, 0),
+            l1.access(LineAddr::new(9), AccessKind::Read, 0, None),
             L1Outcome::Blocked
         );
         assert_eq!(l1.replays(), 1);
         // Merge-depth exhaustion also blocks.
         l1.fill(LineAddr::new(0), false);
         let line = LineAddr::new(10);
-        l1.access(line, AccessKind::Read, 0);
-        l1.access(line, AccessKind::Read, 1);
-        assert_eq!(l1.access(line, AccessKind::Read, 2), L1Outcome::Blocked);
+        l1.access(line, AccessKind::Read, 0, None);
+        l1.access(line, AccessKind::Read, 1, None);
+        assert_eq!(
+            l1.access(line, AccessKind::Read, 2, None),
+            L1Outcome::Blocked
+        );
     }
 
     #[test]
     fn stores_always_forward_and_never_allocate() {
         let mut l1 = l1();
         let line = LineAddr::new(0x20);
-        let o = l1.access(line, AccessKind::Write, 5);
+        let o = l1.access(line, AccessKind::Write, 5, None);
         assert!(matches!(o, L1Outcome::WriteForward(_)));
         assert!(!l1.cache().contains(line), "write miss must not allocate");
         assert!(l1.quiesced(), "stores must not occupy MSHRs");
@@ -298,9 +337,9 @@ mod tests {
     fn store_to_resident_line_stays_clean() {
         let mut l1 = l1();
         let line = LineAddr::new(0);
-        l1.access(line, AccessKind::Read, 0);
+        l1.access(line, AccessKind::Read, 0, None);
         l1.fill(line, false);
-        let o = l1.access(line, AccessKind::Write, 0);
+        let o = l1.access(line, AccessKind::Write, 0, None);
         assert!(matches!(o, L1Outcome::WriteForward(_)));
         assert!(
             l1.cache_mut().flush().is_empty(),
@@ -311,7 +350,7 @@ mod tests {
     #[test]
     fn atomics_forward() {
         let mut l1 = l1();
-        let o = l1.access(LineAddr::new(4), AccessKind::Atomic, 7);
+        let o = l1.access(LineAddr::new(4), AccessKind::Atomic, 7, None);
         let req = o.request().unwrap();
         assert_eq!(req.kind, AccessKind::Atomic);
         assert!(req.wants_response());
@@ -321,10 +360,10 @@ mod tests {
     fn atomic_invalidates_resident_copy() {
         let mut l1 = l1();
         let line = LineAddr::new(0);
-        l1.access(line, AccessKind::Read, 0);
+        l1.access(line, AccessKind::Read, 0, None);
         l1.fill(line, false);
         assert!(l1.cache().contains(line));
-        l1.access(line, AccessKind::Atomic, 0);
+        l1.access(line, AccessKind::Atomic, 0, None);
         assert!(
             !l1.cache().contains(line),
             "atomic must drop the stale L1 copy"
@@ -344,10 +383,10 @@ mod tests {
         );
         // Fill both ways (protected), then a third line must bypass.
         for i in 0..2u64 {
-            l1.access(LineAddr::new(i), AccessKind::Read, 0);
+            l1.access(LineAddr::new(i), AccessKind::Read, 0, None);
             l1.fill(LineAddr::new(i), false);
         }
-        l1.access(LineAddr::new(2), AccessKind::Read, 9);
+        l1.access(LineAddr::new(2), AccessKind::Read, 9, None);
         let woken = l1.fill(LineAddr::new(2), false);
         assert_eq!(woken, vec![9], "bypass must still deliver data");
         assert!(!l1.cache().contains(LineAddr::new(2)));

@@ -211,6 +211,7 @@ impl L15Cluster {
                         core: resp.core,
                         victim_hint: resp.victim_hint,
                         dirty: false,
+                        class: resp.class,
                     });
                 for t in &targets {
                     self.outgoing.push_back((
@@ -226,7 +227,9 @@ impl L15Cluster {
                 self.target_scratch = targets;
             }
             AccessKind::Atomic => self.outgoing.push_back((resp, now)),
-            AccessKind::Write => unreachable!("stores are fire-and-forget"),
+            AccessKind::Write | AccessKind::CopyBack => {
+                unreachable!("stores and copy-backs are fire-and-forget")
+            }
         }
     }
 
@@ -238,6 +241,14 @@ impl L15Cluster {
         let Some(&req) = self.incoming.front() else {
             return;
         };
+        if req.kind == AccessKind::CopyBack {
+            // Clean copy-backs are maintenance traffic destined for the
+            // L2: they pass straight through without touching the L1.5
+            // lookup path (no hit/miss accounting, no policy ageing).
+            self.forward.push_back(req);
+            self.incoming.pop_front();
+            return;
+        }
         if self.ctrl.would_block(req.line, req.kind) {
             self.stall_cycles += 1;
             return;
@@ -265,6 +276,7 @@ impl L15Cluster {
                         core: req.core,
                         warp: req.warp,
                         victim_hint: false,
+                        class: req.class,
                     },
                     now + self.latency,
                 ));
@@ -389,6 +401,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(core),
             warp,
+            class: None,
         }
     }
 
@@ -421,6 +434,7 @@ mod tests {
             core: CoreId(0),
             warp: 7,
             victim_hint: true,
+            class: None,
         });
         l15.tick(2, &mut rq, &mut rs);
         assert_eq!(rs.from_l15.len(), 2);
@@ -462,6 +476,7 @@ mod tests {
             kind: AccessKind::Write,
             core: CoreId(1),
             warp: 0,
+            class: None,
         };
         let atomic = MemRequest {
             kind: AccessKind::Atomic,
@@ -480,6 +495,7 @@ mod tests {
             core: atomic.core,
             warp: atomic.warp,
             victim_hint: false,
+            class: None,
         });
         l15.tick(2, &mut rq, &mut rs);
         assert_eq!(rs.from_l15.len(), 1);

@@ -16,12 +16,15 @@
 use crate::clocked::Clocked;
 use crate::config::GpuConfig;
 use crate::dram::Dram;
-use crate::request::{partition_local_line, MemRequest, MemResponse, WarpSlot};
+use crate::request::{
+    partition_local_line, restore_request_class, save_request_class, MemRequest, MemResponse,
+    WarpSlot,
+};
 use gcache_core::addr::{CoreId, LineAddr, PartitionId};
 use gcache_core::cache::{Cache, CacheConfig};
 use gcache_core::controller::{AtomicHandling, CacheController, ControllerOutcome, FillParams};
 use gcache_core::policy::lru::Lru;
-use gcache_core::policy::AccessKind;
+use gcache_core::policy::{AccessCtx, AccessKind, RequestClass};
 use gcache_core::snapshot::{
     Snapshot, SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter,
 };
@@ -32,7 +35,13 @@ use std::collections::VecDeque;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum L2Target {
     /// A load from `core`, waking `warp` — needs a response with data.
-    Read { core: CoreId, warp: WarpSlot },
+    /// `class` is the requester's declared [`RequestClass`], echoed back
+    /// on the response so the L1 fill decision sees it.
+    Read {
+        core: CoreId,
+        warp: WarpSlot,
+        class: Option<RequestClass>,
+    },
     /// An atomic from `core` — needs a response after AOU service.
     Atomic { core: CoreId, warp: WarpSlot },
     /// A write-allocate fetch — dirties the fill, no response.
@@ -51,10 +60,11 @@ enum DramToken {
 impl SnapshotPayload for L2Target {
     fn save_payload(&self, w: &mut SnapshotWriter) {
         match self {
-            L2Target::Read { core, warp } => {
+            L2Target::Read { core, warp, class } => {
                 w.u8(0);
                 w.usize(core.index());
                 w.usize(*warp);
+                save_request_class(w, *class);
             }
             L2Target::Atomic { core, warp } => {
                 w.u8(1);
@@ -70,6 +80,7 @@ impl SnapshotPayload for L2Target {
             0 => Ok(L2Target::Read {
                 core: CoreId(r.usize()?),
                 warp: r.usize()?,
+                class: restore_request_class(r)?,
             }),
             1 => Ok(L2Target::Atomic {
                 core: CoreId(r.usize()?),
@@ -299,18 +310,22 @@ impl Partition {
                 let dirty = ts
                     .iter()
                     .any(|t| matches!(t, L2Target::Write | L2Target::Atomic { .. }));
-                let core = ts
+                // The primary requester's core id and declared class drive
+                // the fill decision (atomics carry no class).
+                let (core, class) = ts
                     .iter()
                     .find_map(|t| match t {
-                        L2Target::Read { core, .. } | L2Target::Atomic { core, .. } => Some(*core),
+                        L2Target::Read { core, class, .. } => Some((*core, *class)),
+                        L2Target::Atomic { core, .. } => Some((*core, None)),
                         L2Target::Write => None,
                     })
-                    .unwrap_or(CoreId(0));
+                    .unwrap_or((CoreId(0), None));
                 primary_core = core;
                 FillParams {
                     core,
                     victim_hint: false,
                     dirty,
+                    class,
                 }
             });
             if let Some(ev) = outcome.evicted {
@@ -331,7 +346,7 @@ impl Partition {
             for &t in &targets {
                 match t {
                     L2Target::Write => {}
-                    L2Target::Read { core, warp } => {
+                    L2Target::Read { core, warp, class } => {
                         // The fill already set the primary core's victim
                         // bit; additional requesters observe their own.
                         let hint = if first_responder && core == primary_core {
@@ -343,7 +358,7 @@ impl Partition {
                                 .victim_observe(local, core)
                                 .unwrap_or(false)
                         };
-                        self.queue_response(core, warp, local, AccessKind::Read, hint, now);
+                        self.queue_response(core, warp, local, AccessKind::Read, hint, class, now);
                     }
                     L2Target::Atomic { core, warp } => {
                         first_responder = false;
@@ -355,6 +370,7 @@ impl Partition {
                                 core,
                                 warp,
                                 victim_hint: false,
+                                class: None,
                             },
                             ready,
                         ));
@@ -379,6 +395,35 @@ impl Partition {
         };
         let local = partition_local_line(req.line, self.partitions);
 
+        if req.kind == AccessKind::CopyBack {
+            // Clean copy-back from an upstream cache (RDC-style): install
+            // the line clean, off the hit/miss bookkeeping — maintenance
+            // traffic must not perturb L2 statistics or MSHR state. If a
+            // demand miss for the line is already in flight the DRAM fill
+            // will install identical data, so the copy-back is dropped.
+            if !self.l2.contains(local) && !self.l2.pending_miss(local) {
+                // A clean fill can still evict a dirty victim, which needs
+                // a DRAM write-back slot.
+                if !self.dram.can_accept() {
+                    self.stats.stall_cycles += 1;
+                    return;
+                }
+                let outcome = self
+                    .l2
+                    .cache_mut()
+                    .fill(AccessCtx::plain(local, req.core), false);
+                if let Some(ev) = outcome.evicted {
+                    if ev.dirty {
+                        self.dram
+                            .enqueue(ev.line, true, DramToken::Writeback, now)
+                            .expect("checked can_accept");
+                    }
+                }
+            }
+            self.incoming.pop_front();
+            return;
+        }
+
         // A primary miss needs both a DRAM queue slot and a free MSHR
         // entry; merging misses sidestep both.
         if !self.l2.contains(local)
@@ -394,11 +439,13 @@ impl Partition {
             AccessKind::Read => L2Target::Read {
                 core: req.core,
                 warp: req.warp,
+                class: req.class,
             },
             AccessKind::Atomic => L2Target::Atomic {
                 core: req.core,
                 warp: req.warp,
             },
+            AccessKind::CopyBack => unreachable!("handled above"),
         };
         match self.l2.access(local, req.kind, req.core, target) {
             ControllerOutcome::Blocked(_) => {
@@ -421,6 +468,7 @@ impl Partition {
                         local,
                         AccessKind::Read,
                         victim_hint,
+                        req.class,
                         now,
                     );
                 }
@@ -433,11 +481,13 @@ impl Partition {
                             core: req.core,
                             warp: req.warp,
                             victim_hint: false,
+                            class: None,
                         },
                         ready,
                     ));
                     self.stats.atomics += 1;
                 }
+                AccessKind::CopyBack => unreachable!("handled above"),
             },
             ControllerOutcome::Forward => {
                 unreachable!("the L2 allocates writes and executes atomics locally")
@@ -446,6 +496,7 @@ impl Partition {
         self.incoming.pop_front();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn queue_response(
         &mut self,
         core: CoreId,
@@ -453,6 +504,7 @@ impl Partition {
         local: LineAddr,
         kind: AccessKind,
         victim_hint: bool,
+        class: Option<RequestClass>,
         now: u64,
     ) {
         self.outgoing.push_back((
@@ -462,6 +514,7 @@ impl Partition {
                 core,
                 warp,
                 victim_hint,
+                class,
             },
             now + self.l2_latency,
         ));
@@ -563,6 +616,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(core),
             warp,
+            class: None,
         }
     }
 
@@ -646,6 +700,7 @@ mod tests {
             kind: AccessKind::Write,
             core: CoreId(0),
             warp: 0,
+            class: None,
         });
         for now in 1..2000 {
             p.tick(now);
@@ -665,6 +720,7 @@ mod tests {
             kind: AccessKind::Atomic,
             core: CoreId(1),
             warp: 3,
+            class: None,
         });
         let (resp, _) = run_until_response(&mut p, 1, 2000);
         assert_eq!(resp.kind, AccessKind::Atomic);
@@ -686,6 +742,7 @@ mod tests {
                 kind: AccessKind::Atomic,
                 core: CoreId(0),
                 warp: w,
+                class: None,
             });
         }
         let mut times = Vec::new();
@@ -718,6 +775,7 @@ mod tests {
                 kind: AccessKind::Write,
                 core: CoreId(0),
                 warp: 0,
+                class: None,
             });
         }
         for now in 1..200_000 {

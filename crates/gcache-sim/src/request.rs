@@ -1,7 +1,7 @@
 //! Memory-system messages flowing between cores and partitions.
 
 use gcache_core::addr::{CoreId, LineAddr, PartitionId};
-use gcache_core::policy::AccessKind;
+use gcache_core::policy::{AccessKind, RequestClass};
 use gcache_core::snapshot::{SnapshotError, SnapshotPayload, SnapshotReader, SnapshotWriter};
 
 /// Stable wire encoding for [`AccessKind`] inside snapshots.
@@ -10,6 +10,7 @@ pub(crate) fn save_access_kind(w: &mut SnapshotWriter, kind: AccessKind) {
         AccessKind::Read => 0,
         AccessKind::Write => 1,
         AccessKind::Atomic => 2,
+        AccessKind::CopyBack => 3,
     });
 }
 
@@ -19,11 +20,27 @@ pub(crate) fn restore_access_kind(r: &mut SnapshotReader<'_>) -> Result<AccessKi
         0 => Ok(AccessKind::Read),
         1 => Ok(AccessKind::Write),
         2 => Ok(AccessKind::Atomic),
+        3 => Ok(AccessKind::CopyBack),
         v => Err(SnapshotError::BadValue {
             what: "access kind".to_string(),
             value: v as u64,
         }),
     }
+}
+
+/// Stable wire encoding for an optional [`RequestClass`] inside snapshots.
+pub(crate) fn save_request_class(w: &mut SnapshotWriter, class: Option<RequestClass>) {
+    w.u8(RequestClass::to_wire(class));
+}
+
+/// Inverse of [`save_request_class`].
+pub(crate) fn restore_request_class(
+    r: &mut SnapshotReader<'_>,
+) -> Result<Option<RequestClass>, SnapshotError> {
+    RequestClass::from_wire(r.u8()?).map_err(|v| SnapshotError::BadValue {
+        what: "request class".to_string(),
+        value: v as u64,
+    })
 }
 
 /// A core-local warp slot index, used to wake the right warp when its
@@ -35,26 +52,30 @@ pub type WarpSlot = usize;
 pub struct MemRequest {
     /// Requested line.
     pub line: LineAddr,
-    /// Access kind. Reads and atomics generate a response; stores are
-    /// fire-and-forget.
+    /// Access kind. Reads and atomics generate a response; stores and
+    /// clean copy-backs are fire-and-forget.
     pub kind: AccessKind,
     /// Requesting core.
     pub core: CoreId,
     /// Warp to wake on response (meaningless for stores).
     pub warp: WarpSlot,
+    /// Request class the issuing warp declared (deadline slack + declared
+    /// reuse); `None` for unclassified traffic.
+    pub class: Option<RequestClass>,
 }
 
 impl MemRequest {
     /// Whether the partition must send a response back.
     pub fn wants_response(&self) -> bool {
-        !matches!(self.kind, AccessKind::Write)
+        !matches!(self.kind, AccessKind::Write | AccessKind::CopyBack)
     }
 
-    /// Payload size in bytes as seen by the interconnect: stores carry the
-    /// line's data plus a header; reads and atomics are header-only.
+    /// Payload size in bytes as seen by the interconnect: stores and clean
+    /// copy-backs carry the line's data plus a header; reads and atomics
+    /// are header-only.
     pub fn packet_bytes(&self, line_size: u32) -> u32 {
         match self.kind {
-            AccessKind::Write => line_size + 8,
+            AccessKind::Write | AccessKind::CopyBack => line_size + 8,
             AccessKind::Read => 8,
             AccessKind::Atomic => 16,
         }
@@ -67,6 +88,7 @@ impl SnapshotPayload for MemRequest {
         save_access_kind(w, self.kind);
         w.usize(self.core.index());
         w.usize(self.warp);
+        save_request_class(w, self.class);
     }
 
     fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
@@ -75,6 +97,7 @@ impl SnapshotPayload for MemRequest {
             kind: restore_access_kind(r)?,
             core: CoreId(r.usize()?),
             warp: r.usize()?,
+            class: restore_request_class(r)?,
         })
     }
 }
@@ -94,6 +117,9 @@ pub struct MemResponse {
     /// [`gcache_core::victim_bits`]); travels with the data at no extra
     /// traffic cost (§4.3).
     pub victim_hint: bool,
+    /// The primary requester's declared class, echoed back so the L1's
+    /// fill decision sees it without any MSHR-side storage.
+    pub class: Option<RequestClass>,
 }
 
 impl MemResponse {
@@ -114,6 +140,7 @@ impl SnapshotPayload for MemResponse {
         w.usize(self.core.index());
         w.usize(self.warp);
         w.bool(self.victim_hint);
+        save_request_class(w, self.class);
     }
 
     fn restore_payload(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
@@ -123,6 +150,7 @@ impl SnapshotPayload for MemResponse {
             core: CoreId(r.usize()?),
             warp: r.usize()?,
             victim_hint: r.bool()?,
+            class: restore_request_class(r)?,
         })
     }
 }
@@ -175,6 +203,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(0),
             warp: 0,
+            class: None,
         };
         let write = MemRequest {
             kind: AccessKind::Write,
@@ -184,12 +213,18 @@ mod tests {
             kind: AccessKind::Atomic,
             ..read
         };
+        let copy_back = MemRequest {
+            kind: AccessKind::CopyBack,
+            ..read
+        };
         assert_eq!(read.packet_bytes(128), 8);
         assert_eq!(write.packet_bytes(128), 136);
         assert_eq!(atomic.packet_bytes(128), 16);
+        assert_eq!(copy_back.packet_bytes(128), 136, "carries line data");
         assert!(read.wants_response());
         assert!(!write.wants_response());
         assert!(atomic.wants_response());
+        assert!(!copy_back.wants_response());
 
         let resp = MemResponse {
             line: LineAddr::new(0),
@@ -197,6 +232,7 @@ mod tests {
             core: CoreId(0),
             warp: 0,
             victim_hint: false,
+            class: None,
         };
         assert_eq!(resp.packet_bytes(128), 136);
         let at = MemResponse {

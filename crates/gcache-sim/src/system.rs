@@ -1285,6 +1285,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(0),
             warp: 0,
+            class: None,
         };
         {
             let (_, mut tx) = icnt.core_ports(0);
@@ -1314,6 +1315,7 @@ mod tests {
             core: CoreId(7),
             warp: 3,
             victim_hint: true,
+            class: None,
         };
         {
             let (_, mut tx) = icnt.partition_ports(5);
@@ -1354,6 +1356,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(6), // cluster 1
             warp: 0,
+            class: None,
         };
         {
             let (_, mut tx) = icnt.core_ports(6);
@@ -1381,6 +1384,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(6), // cluster 1
             warp: 0,
+            class: None,
         };
         {
             let (_, mut tx) = icnt.core_ports(6);
@@ -1413,6 +1417,7 @@ mod tests {
             core: CoreId(13), // cluster 3, slot 1
             warp: 2,
             victim_hint: true,
+            class: None,
         };
         // Partition responses still ride the mesh to the cluster node.
         {
@@ -1461,6 +1466,7 @@ mod tests {
             core: CoreId(13), // cluster 3
             warp: 2,
             victim_hint: true,
+            class: None,
         };
         {
             let (_, mut tx) = icnt.partition_ports(5);

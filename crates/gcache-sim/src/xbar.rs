@@ -396,6 +396,7 @@ mod tests {
             kind: AccessKind::Read,
             core: CoreId(core),
             warp: 0,
+            class: None,
         }
     }
 
@@ -406,6 +407,7 @@ mod tests {
             core: CoreId(core),
             warp: 0,
             victim_hint: false,
+            class: None,
         }
     }
 

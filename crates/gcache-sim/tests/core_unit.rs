@@ -168,6 +168,7 @@ fn load_blocks_until_response() {
         core: CoreId(0),
         warp: req.warp,
         victim_hint: false,
+        class: None,
     });
     for now in 200..300 {
         c.tick(now, true);
@@ -263,6 +264,7 @@ fn l1_hit_completes_without_network() {
         core: CoreId(0),
         warp: req.warp,
         victim_hint: false,
+        class: None,
     });
     // Second load hits; no further request may appear.
     for now in 20..100 {

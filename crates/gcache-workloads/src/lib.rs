@@ -41,7 +41,8 @@ pub mod gen;
 pub mod graph;
 pub mod linalg;
 pub mod mapreduce;
+pub mod ml;
 pub mod spec;
 pub mod stencil;
 
-pub use spec::{by_name, registry, Benchmark, Category, Scale, WorkloadInfo};
+pub use spec::{by_name, ml_registry, registry, Benchmark, Category, Scale, WorkloadInfo};

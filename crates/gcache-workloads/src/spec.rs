@@ -97,10 +97,23 @@ pub fn registry(scale: Scale) -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
-/// Looks one benchmark up by its paper abbreviation (case-insensitive).
+/// Instantiates the ML-era extension kernels (GEMM, CONV, ATTN) at the
+/// given scale — kept apart from [`registry`] so the Table 1 set stays
+/// exactly the paper's 17 benchmarks.
+pub fn ml_registry(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(crate::ml::Gemm::new(scale)),
+        Box::new(crate::ml::Conv::new(scale)),
+        Box::new(crate::ml::Attn::new(scale)),
+    ]
+}
+
+/// Looks one benchmark up by its abbreviation (case-insensitive), across
+/// both the Table 1 registry and the ML extension kernels.
 pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
     registry(scale)
         .into_iter()
+        .chain(ml_registry(scale))
         .find(|b| b.info().name.eq_ignore_ascii_case(name))
 }
 
@@ -140,6 +153,21 @@ mod tests {
         assert!(by_name("spmv", Scale::Test).is_some());
         assert!(by_name("SPMV", Scale::Test).is_some());
         assert!(by_name("nosuch", Scale::Test).is_none());
+        assert!(by_name("gemm", Scale::Test).is_some(), "ML kernels resolve");
+    }
+
+    #[test]
+    fn ml_registry_is_separate() {
+        let ml = ml_registry(Scale::Test);
+        let names: Vec<_> = ml.iter().map(|b| b.info().name).collect();
+        assert_eq!(names, vec!["GEMM", "CONV", "ATTN"]);
+        let table1: Vec<_> = registry(Scale::Test)
+            .iter()
+            .map(|b| b.info().name)
+            .collect();
+        for n in names {
+            assert!(!table1.contains(&n), "{n} must not join the Table 1 set");
+        }
     }
 
     #[test]

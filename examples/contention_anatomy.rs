@@ -45,15 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let hint = match l2.access(line, AccessKind::Read, core) {
                     Lookup::Hit { victim_hint } => victim_hint,
                     Lookup::Miss => {
-                        l2.fill(FillCtx::plain(line, core), false);
+                        l2.fill(AccessCtx::plain(line, core), false);
                         false
                     }
                 };
                 let fill = l1.fill(
-                    FillCtx {
+                    AccessCtx {
                         line,
                         core,
                         victim_hint: hint,
+                        class: None,
                     },
                     false,
                 );

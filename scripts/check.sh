@@ -28,6 +28,12 @@ for exp in fig8_fig9 table3 fig10 ablation fig3_fig4 hierarchy; do
     || { echo "golden mismatch: $exp"; exit 1; }
 done
 
+echo "==> ML plane-sweep golden (release mlsweep --quick vs tests/golden)"
+# mlsweep runs its own GEMM/CONV/ATTN registry, so no --bench filter.
+diff crates/gcache-bench/tests/golden/mlsweep_quick.txt \
+     <(./target/release/mlsweep --quick 2>/dev/null) \
+  || { echo "golden mismatch: mlsweep"; exit 1; }
+
 echo "==> fast-forward differential (release, --no-fast-forward vs golden)"
 # Ticking every cycle must reproduce the same bytes the fast-forwarding
 # golden was captured with.

@@ -59,7 +59,7 @@ fn lru_cache_matches_reference() {
             let line = LineAddr::new(raw);
             let dut_hit = dut.access(line, AccessKind::Read, CoreId(0)).is_hit();
             if !dut_hit {
-                dut.fill(FillCtx::plain(line, CoreId(0)), false);
+                dut.fill(AccessCtx::plain(line, CoreId(0)), false);
             }
             let ref_hit = reference.access(line);
             assert_eq!(
@@ -93,10 +93,11 @@ fn cache_global_invariants() {
             if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
                 let hint = rng.gen_bool(0.5);
                 dut.fill(
-                    FillCtx {
+                    AccessCtx {
                         line,
                         core: CoreId(0),
                         victim_hint: hint,
+                        class: None,
                     },
                     false,
                 );
@@ -128,7 +129,7 @@ fn no_bypass_with_free_ways() {
             let free_before =
                 (0..geom.ways() as usize).count() > dut_occupancy_of_set(&dut, set, geom);
             if !dut.access(line, AccessKind::Read, CoreId(0)).is_hit() {
-                let out = dut.fill(FillCtx::plain(line, CoreId(0)), false);
+                let out = dut.fill(AccessCtx::plain(line, CoreId(0)), false);
                 if free_before
                     && dut_occupancy_of_set(&dut, set, geom) < geom.ways() as usize
                     && out.bypassed
