@@ -13,7 +13,7 @@
 //! byte-identical for every N.
 
 use gcache_bench::sweep::parallel_map;
-use gcache_bench::{bench_cli, export_telemetry, run, speedup, Table};
+use gcache_bench::{bench_cli, export_telemetry, export_trace, run, speedup, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind, WarpSchedKind};
 use gcache_sim::gpu::Gpu;
@@ -248,4 +248,5 @@ fn main() {
     println!("{}", sched.render());
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

@@ -1,0 +1,83 @@
+//! The bench regression gate: compares the current `BENCH_sweep.json`
+//! against the committed `BENCH_baseline.json` with per-metric noise
+//! tolerances (see [`gcache_bench::regress`]) and exits non-zero on any
+//! regression, so `check.sh` and CI fail loudly instead of letting perf
+//! drift silently.
+//!
+//! ```text
+//! bench_diff [--baseline PATH] [--current PATH]
+//! ```
+//!
+//! Defaults: `BENCH_baseline.json` and `BENCH_sweep.json` in the current
+//! directory. After a deliberate perf change, refresh the baseline by
+//! copying the regenerated `BENCH_sweep.json` over `BENCH_baseline.json`
+//! and committing both.
+
+use gcache_core::json::Json;
+
+const USAGE: &str = "\
+usage: bench_diff [--baseline PATH] [--current PATH]
+
+  --baseline PATH  committed reference numbers
+                   (default BENCH_baseline.json)
+  --current PATH   freshly generated sweep_bench output
+                   (default BENCH_sweep.json)
+
+Exits 0 when every metric is within its tolerance (improvements always
+pass), 1 on a regression / shape mismatch, 2 on a usage or I/O error.";
+
+fn load(what: &str, path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {what} {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {what} {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut baseline = "BENCH_baseline.json".to_string();
+    let mut current = "BENCH_sweep.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline = p,
+                None => {
+                    eprintln!("error: --baseline requires a value\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--current" => match args.next() {
+                Some(p) => current = p,
+                None => {
+                    eprintln!("error: --current requires a value\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report =
+        gcache_bench::regress::compare(&load("baseline", &baseline), &load("current", &current));
+    print!("{}", report.render());
+    if report.ok() {
+        println!(
+            "bench_diff: ok ({} metrics within tolerance)",
+            report.checks.len()
+        );
+    } else {
+        println!(
+            "bench_diff: {} of {} metrics FAILED against {baseline}",
+            report.failures().len(),
+            report.checks.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin energy`.
 
-use gcache_bench::{bench_cli, export_telemetry, run, Table};
+use gcache_bench::{bench_cli, export_telemetry, export_trace, run, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::energy::EnergyModel;
@@ -50,4 +50,5 @@ fn main() {
     println!("rel. energy < 1.0 means G-Cache reduces memory-system energy.");
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

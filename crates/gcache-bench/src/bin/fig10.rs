@@ -8,7 +8,8 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{
-    bench_cli, export_telemetry, select_optimal_pd, speedup, PolicyPlanes, Table, PD_CANDIDATES,
+    bench_cli, export_telemetry, export_trace, select_optimal_pd, speedup, PolicyPlanes, Table,
+    PD_CANDIDATES,
 };
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
@@ -103,4 +104,5 @@ fn main() {
     println!("{}", t.render());
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

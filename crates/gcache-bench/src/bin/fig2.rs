@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p gcache-bench --bin fig2`.
 
-use gcache_bench::{bench_cli, export_telemetry, pct, run, Table};
+use gcache_bench::{bench_cli, export_telemetry, export_trace, pct, run, Table};
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 
 fn main() {
@@ -29,4 +29,5 @@ fn main() {
     println!("{}", t.render());
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

@@ -68,4 +68,5 @@ fn main() {
     if let Some(path) = &cli.telemetry {
         gcache_bench::write_telemetry_series(path, &series);
     }
+    gcache_bench::export_trace(&cli);
 }

@@ -8,8 +8,8 @@
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
 use gcache_bench::{
-    bench_cli, designs, export_telemetry, pct, select_optimal_pd, speedup, PolicyPlanes, Table,
-    PD_CANDIDATES,
+    bench_cli, designs, export_telemetry, export_trace, pct, select_optimal_pd, speedup,
+    PolicyPlanes, Table, PD_CANDIDATES,
 };
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::geomean;
@@ -121,4 +121,5 @@ fn main() {
     println!("{}", fig9.render());
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

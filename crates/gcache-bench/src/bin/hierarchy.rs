@@ -22,7 +22,7 @@
 //! grid out over worker threads; stdout is byte-identical for every N.
 
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{bench_cli, export_telemetry, pct, speedup, PolicyPlanes, Table};
+use gcache_bench::{bench_cli, export_telemetry, export_trace, pct, speedup, PolicyPlanes, Table};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{Hierarchy, L1PolicyKind};
 use gcache_sim::stats::{geomean, SimStats};
@@ -184,4 +184,5 @@ fn main() {
     }
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

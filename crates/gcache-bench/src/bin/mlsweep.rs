@@ -111,4 +111,5 @@ fn main() {
             .collect();
         write_telemetry_series(path, &series);
     }
+    gcache_bench::export_trace(&cli);
 }

@@ -22,7 +22,9 @@
 
 use gcache_bench::microbench::{l1_access_pass_ns, L1_BENCH_POLICIES};
 use gcache_bench::sweep::{run_design_points, DesignPoint};
-use gcache_bench::{bench_cli, designs, export_telemetry, run, set_fast_forward, PolicyPlanes};
+use gcache_bench::{
+    bench_cli, designs, export_telemetry, export_trace, run, set_fast_forward, PolicyPlanes,
+};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
@@ -292,4 +294,5 @@ fn main() {
     print!("{json}");
 
     export_telemetry(&cli);
+    export_trace(&cli);
 }

@@ -23,6 +23,8 @@
 #![warn(missing_docs)]
 
 pub mod microbench;
+pub mod obs;
+pub mod regress;
 pub mod server;
 pub mod sweep;
 
@@ -30,10 +32,12 @@ use gcache_core::cache::{BypassPlane, CopyBackPlane};
 use gcache_core::policy::gcache::GCacheConfig;
 use gcache_core::policy::pdp_dyn::DynamicPdpConfig;
 use gcache_core::snapshot::{fnv1a, SnapshotError, SnapshotReader, SnapshotWriter};
+use gcache_core::trace::SharedTraceRing;
+use gcache_core::trace_export::ChromeTraceBuilder;
 use gcache_sim::config::{GpuConfig, Hierarchy, L1PolicyKind};
 use gcache_sim::gpu::Gpu;
 use gcache_sim::stats::SimStats;
-use gcache_sim::telemetry::{Sample, Sampler};
+use gcache_sim::telemetry::{Profile, Sample, Sampler};
 use gcache_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -116,8 +120,8 @@ pub const USAGE: &str = "\
 usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                     [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
                     [--no-fast-forward] [--no-ldst-batch] [--telemetry PATH]
-                    [--profile] [--checkpoint PATH] [--checkpoint-every N]
-                    [--resume PATH]
+                    [--trace-out PATH] [--profile] [--checkpoint PATH]
+                    [--checkpoint-every N] [--resume PATH]
 
   --quick        use shrunk workloads (smoke-test scale)
   --bench NAMES  restrict to these benchmarks (paper abbreviations)
@@ -146,6 +150,15 @@ usage: <experiment> [--quick] [--bench NAME[,NAME...]] [--jobs N]
                  design with the per-epoch time-series sampler attached
                  and write the combined series to PATH (CSV; a .json
                  extension selects JSON). The experiment's own stdout
+                 stays byte-identical
+  --trace-out PATH
+                 additionally run the selected benchmarks under the GC
+                 design with the event trace ring and self-profiler
+                 attached, and write the combined timeline to PATH as
+                 Chrome trace_event JSON (load in ui.perfetto.dev).
+                 Simulated cycles map to microseconds, each cache/DRAM
+                 instance gets its own track, and G-Cache switch flips
+                 appear as instant events. The experiment's own stdout
                  stays byte-identical
   --profile      time the simulator itself (per-component wall clock,
                  fast-forward effectiveness); reported by sweep_bench
@@ -186,6 +199,8 @@ pub struct Cli {
     /// Write a per-epoch telemetry time series here (`--telemetry`);
     /// CSV unless the path ends in `.json`.
     pub telemetry: Option<String>,
+    /// Write a Chrome `trace_event` timeline here (`--trace-out`).
+    pub trace_out: Option<String>,
     /// Self-profile the simulator (`--profile`).
     pub profile: bool,
     /// Checkpoint file stem (`--checkpoint`).
@@ -312,6 +327,11 @@ impl Cli {
                     let path = args.next().ok_or("--telemetry requires a value")?;
                     ensure_parent_dir("--telemetry", &path)?;
                     cli.telemetry = Some(path);
+                }
+                "--trace-out" => {
+                    let path = args.next().ok_or("--trace-out requires a value")?;
+                    ensure_parent_dir("--trace-out", &path)?;
+                    cli.trace_out = Some(path);
                 }
                 "--profile" => cli.profile = true,
                 "--checkpoint" => {
@@ -814,6 +834,79 @@ pub fn export_telemetry(cli: &Cli) {
         })
         .collect();
     write_telemetry_series(path, &series);
+}
+
+/// Trace-ring capacity used by [`export_trace`]: large enough to hold a
+/// whole `--quick` run's event stream; a longer run keeps the newest
+/// events and the export records how many older ones the ring dropped.
+pub const TRACE_EXPORT_CAPACITY: usize = 1 << 21;
+
+/// Honours `--trace-out PATH`: re-runs the selected benchmarks under the
+/// GC design (flat Table 2 machine) with the event trace ring and the
+/// self-profiler attached, and writes the combined timeline to `PATH` as
+/// Chrome `trace_event` JSON (loadable in Perfetto). One Perfetto
+/// process per benchmark (its caches/DRAM as tracks, simulated cycles as
+/// microseconds), plus one per-benchmark host-stage process from the
+/// profiler's wall-clock spans. A no-op when the flag was not given, so
+/// every experiment's own stdout stays byte-identical.
+///
+/// # Panics
+///
+/// Panics if a simulation fails or the file cannot be written.
+pub fn export_trace(cli: &Cli) {
+    let Some(path) = &cli.trace_out else {
+        return;
+    };
+    let mut b = ChromeTraceBuilder::new();
+    let mut total_events = 0usize;
+    let mut total_dropped = 0u64;
+    for (i, bench) in cli.benchmarks().iter().enumerate() {
+        let name = bench.info().name;
+        let pid = (i + 1) as u32;
+        let (ring, profile) = trace_gc_run(bench.as_ref());
+        b.add_process(pid, name);
+        total_events += b.add_sim_events(pid, &ring.events());
+        total_dropped += ring.dropped();
+        if let Some(p) = profile {
+            b.add_host_stages(
+                1_000_000 + pid,
+                &format!("host: {name}"),
+                &[
+                    ("core", p.core_ns),
+                    ("icnt", p.icnt_ns),
+                    ("cluster", p.cluster_ns),
+                    ("mem", p.mem_ns),
+                    ("dispatch", p.dispatch_ns),
+                ],
+            );
+        }
+    }
+    b.note("events", &total_events.to_string());
+    b.note("dropped", &total_dropped.to_string());
+    std::fs::write(path, b.finish()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("chrome trace written to {path} ({total_events} events, {total_dropped} dropped)");
+}
+
+/// Runs `bench` under the GC design (flat Table 2 machine) with the
+/// event trace ring and the self-profiler attached, returning the filled
+/// ring and the profile — the per-benchmark leg of [`export_trace`],
+/// public so the trace round-trip test can regenerate the expected event
+/// stream independently of the exported file.
+///
+/// # Panics
+///
+/// Panics if the simulation fails.
+pub fn trace_gc_run(bench: &dyn Benchmark) -> (SharedTraceRing, Option<Profile>) {
+    let policy = L1PolicyKind::GCache(GCacheConfig::default());
+    let ring = SharedTraceRing::new(TRACE_EXPORT_CAPACITY);
+    let cfg = point_config(policy, None, Hierarchy::Flat, 1, PolicyPlanes::default());
+    let mut gpu = Gpu::new(cfg);
+    gpu.attach_trace(&ring);
+    gpu.enable_profiling();
+    gpu.run_kernel(bench)
+        .unwrap_or_else(|e| panic!("{} (trace export) failed: {e}", bench.info().name));
+    let profile = gpu.profile();
+    (ring, profile)
 }
 
 /// Writes labelled telemetry series to `path` — CSV, or JSON when the

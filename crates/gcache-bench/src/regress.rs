@@ -1,0 +1,337 @@
+//! The bench regression gate: compares a freshly generated
+//! `BENCH_sweep.json` against the committed `BENCH_baseline.json` with
+//! per-metric noise tolerances, so a perf regression fails `check.sh`
+//! and CI loudly instead of silently drifting.
+//!
+//! Only *slowdowns* beyond the tolerance fail — an improvement passes
+//! (and is the cue to refresh the baseline). Structural fields
+//! (`grid_runs`, `benches`, `designs`) must match exactly: a mismatch
+//! means the sweep shape changed and the baseline needs a deliberate
+//! refresh, not a tolerance.
+//!
+//! The `bench_diff` binary is the CLI front end; this module holds the
+//! comparison logic so tests can drive it on synthetic documents.
+
+use gcache_core::json::Json;
+use std::fmt::Write as _;
+
+/// Relative slowdown tolerated on the serial/parallel wall-clock times
+/// (host noise on shared CI runners is large).
+pub const TOL_WALL: f64 = 0.20;
+/// Relative slowdown tolerated on the L1 access-path microbenchmark
+/// (ns/access; best-of-3 but still jittery at tens of ns).
+pub const TOL_MICRO: f64 = 0.30;
+/// Relative slowdown tolerated on the full-scale per-bench times.
+pub const TOL_FULLSCALE: f64 = 0.25;
+
+/// The outcome of one metric comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Within tolerance (or faster).
+    Pass,
+    /// Slower than baseline × (1 + tolerance).
+    Regressed,
+    /// Present in the baseline but absent from the current document —
+    /// the sweep shape drifted; refresh the baseline deliberately.
+    Missing,
+    /// Structural field differs from the baseline.
+    ShapeMismatch,
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct MetricCheck {
+    /// Dotted metric path, e.g. `l1_microbench.gcache.ns_per_access`.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`None` when missing).
+    pub current: Option<f64>,
+    /// Relative tolerance applied (0 = exact).
+    pub tol: f64,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+impl MetricCheck {
+    /// Current ÷ baseline, when both sides exist and the baseline is
+    /// non-zero.
+    pub fn ratio(&self) -> Option<f64> {
+        let c = self.current?;
+        (self.baseline != 0.0).then(|| c / self.baseline)
+    }
+}
+
+/// The full comparison report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every metric compared, in document order.
+    pub checks: Vec<MetricCheck>,
+    /// Metrics present in the current document with no baseline
+    /// counterpart (informational — new benches/policies pass).
+    pub unmatched: Vec<String>,
+}
+
+impl Report {
+    /// The failing checks (anything not [`Verdict::Pass`]).
+    pub fn failures(&self) -> Vec<&MetricCheck> {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict != Verdict::Pass)
+            .collect()
+    }
+
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.checks.iter().all(|c| c.verdict == Verdict::Pass)
+    }
+
+    /// Renders the human-readable table printed by `bench_diff`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .checks
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let _ = writeln!(
+            out,
+            "{:name_w$}  {:>10}  {:>10}  {:>7}  {:>5}  verdict",
+            "metric", "baseline", "current", "ratio", "tol"
+        );
+        for c in &self.checks {
+            let current = c.current.map_or("-".to_string(), |v| format!("{v:.1}"));
+            let ratio = c.ratio().map_or("-".to_string(), |r| format!("{r:.3}"));
+            let verdict = match c.verdict {
+                Verdict::Pass => "ok",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Missing => "MISSING",
+                Verdict::ShapeMismatch => "SHAPE MISMATCH",
+            };
+            let _ = writeln!(
+                out,
+                "{:name_w$}  {:>10.1}  {:>10}  {:>7}  {:>5.2}  {verdict}",
+                c.name, c.baseline, current, ratio, c.tol
+            );
+        }
+        for name in &self.unmatched {
+            let _ = writeln!(out, "{name}: no baseline entry (new metric; passes)");
+        }
+        out
+    }
+}
+
+fn f64_at(doc: &Json, path: &[&str]) -> Option<f64> {
+    doc.at(path).and_then(Json::as_f64)
+}
+
+/// Looks up `field` of the array element under `key` whose `tag` field
+/// equals `want` (e.g. the `ns_per_access` of the `l1_microbench` entry
+/// with `policy == "gcache"`).
+fn tagged_f64(doc: &Json, key: &str, tag: &str, want: &str, field: &str) -> Option<f64> {
+    doc.get(key)?.as_arr()?.iter().find_map(|e| {
+        (e.get(tag)?.as_str()? == want)
+            .then(|| e.get(field)?.as_f64())
+            .flatten()
+    })
+}
+
+/// Compares `current` against `baseline` (both parsed
+/// `BENCH_sweep.json` documents) and returns the report.
+pub fn compare(baseline: &Json, current: &Json) -> Report {
+    let mut report = Report::default();
+
+    // Structural fields: exact match or the baseline is stale.
+    for key in ["grid_runs", "benches", "designs"] {
+        if let Some(base) = f64_at(baseline, &[key]) {
+            let cur = f64_at(current, &[key]);
+            report.checks.push(MetricCheck {
+                name: key.to_string(),
+                baseline: base,
+                current: cur,
+                tol: 0.0,
+                verdict: match cur {
+                    Some(c) if c == base => Verdict::Pass,
+                    Some(_) => Verdict::ShapeMismatch,
+                    None => Verdict::Missing,
+                },
+            });
+        }
+    }
+
+    let mut timed = |name: String, base: Option<f64>, cur: Option<f64>, tol: f64| {
+        let Some(base) = base else { return };
+        report.checks.push(MetricCheck {
+            name,
+            baseline: base,
+            current: cur,
+            tol,
+            verdict: match cur {
+                Some(c) if c <= base * (1.0 + tol) => Verdict::Pass,
+                Some(_) => Verdict::Regressed,
+                None => Verdict::Missing,
+            },
+        });
+    };
+
+    for key in ["serial_ms", "serial_no_ff_ms", "parallel_ms"] {
+        timed(
+            key.to_string(),
+            f64_at(baseline, &[key]),
+            f64_at(current, &[key]),
+            TOL_WALL,
+        );
+    }
+
+    if let Some(arr) = baseline.get("l1_microbench").and_then(Json::as_arr) {
+        for entry in arr {
+            let Some(policy) = entry.get("policy").and_then(Json::as_str) else {
+                continue;
+            };
+            timed(
+                format!("l1_microbench.{policy}.ns_per_access"),
+                entry.get("ns_per_access").and_then(Json::as_f64),
+                tagged_f64(current, "l1_microbench", "policy", policy, "ns_per_access"),
+                TOL_MICRO,
+            );
+        }
+    }
+
+    if let Some(arr) = baseline.get("fullscale").and_then(Json::as_arr) {
+        for entry in arr {
+            let Some(bench) = entry.get("bench").and_then(Json::as_str) else {
+                continue;
+            };
+            for field in ["ff_on_ms", "ff_off_ms"] {
+                timed(
+                    format!("fullscale.{bench}.{field}"),
+                    entry.get(field).and_then(Json::as_f64),
+                    tagged_f64(current, "fullscale", "bench", bench, field),
+                    TOL_FULLSCALE,
+                );
+            }
+        }
+    }
+
+    // Current-side entries with no baseline counterpart (informational).
+    if let Some(arr) = current.get("l1_microbench").and_then(Json::as_arr) {
+        for entry in arr {
+            if let Some(policy) = entry.get("policy").and_then(Json::as_str) {
+                if tagged_f64(baseline, "l1_microbench", "policy", policy, "ns_per_access")
+                    .is_none()
+                {
+                    report
+                        .unmatched
+                        .push(format!("l1_microbench.{policy}.ns_per_access"));
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "grid_runs": 102, "benches": 17, "designs": 6,
+        "serial_ms": 1000.0, "serial_no_ff_ms": 1300.0, "parallel_ms": 900.0,
+        "l1_microbench": [
+            { "policy": "lru", "ns_per_access": 50.0 },
+            { "policy": "gcache", "ns_per_access": 80.0 }
+        ],
+        "fullscale": [
+            { "bench": "BFS", "ff_on_ms": 300.0, "ff_off_ms": 350.0 }
+        ]
+    }"#;
+
+    fn base() -> Json {
+        Json::parse(BASE).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let report = compare(&base(), &base());
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn improvements_and_tolerated_noise_pass() {
+        let current = Json::parse(
+            &BASE
+                .replace("\"serial_ms\": 1000.0", "\"serial_ms\": 1150.0") // +15% < 20%
+                .replace("\"parallel_ms\": 900.0", "\"parallel_ms\": 500.0"), // faster
+        )
+        .unwrap();
+        let report = compare(&base(), &current);
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails() {
+        let current = BASE.replace("\"serial_ms\": 1000.0", "\"serial_ms\": 1300.0");
+        let report = compare(&base(), &Json::parse(&current).unwrap());
+        assert!(!report.ok());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "serial_ms");
+        assert_eq!(failures[0].verdict, Verdict::Regressed);
+        assert!((failures[0].ratio().unwrap() - 1.3).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn micro_policy_regression_is_named() {
+        let current = BASE.replace(
+            "{ \"policy\": \"gcache\", \"ns_per_access\": 80.0 }",
+            "{ \"policy\": \"gcache\", \"ns_per_access\": 120.0 }",
+        );
+        let report = compare(&base(), &Json::parse(&current).unwrap());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "l1_microbench.gcache.ns_per_access");
+    }
+
+    #[test]
+    fn shape_mismatch_and_missing_metric_fail() {
+        let current = BASE
+            .replace("\"grid_runs\": 102", "\"grid_runs\": 96")
+            .replace("{ \"policy\": \"lru\", \"ns_per_access\": 50.0 },\n", "");
+        let report = compare(&base(), &Json::parse(&current).unwrap());
+        let verdicts: Vec<(&str, Verdict)> = report
+            .failures()
+            .iter()
+            .map(|c| (c.name.as_str(), c.verdict))
+            .collect();
+        assert!(verdicts.contains(&("grid_runs", Verdict::ShapeMismatch)));
+        assert!(verdicts.contains(&("l1_microbench.lru.ns_per_access", Verdict::Missing)));
+    }
+
+    #[test]
+    fn new_current_metric_is_informational() {
+        let current = BASE.replace(
+            "{ \"policy\": \"lru\", \"ns_per_access\": 50.0 }",
+            "{ \"policy\": \"lru\", \"ns_per_access\": 50.0 },\n{ \"policy\": \"new\", \"ns_per_access\": 1.0 }",
+        );
+        let report = compare(&base(), &Json::parse(&current).unwrap());
+        assert!(report.ok());
+        assert_eq!(report.unmatched, ["l1_microbench.new.ns_per_access"]);
+    }
+
+    #[test]
+    fn real_committed_files_compare_clean() {
+        // The committed baseline must stay in step with BENCH_sweep.json.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let baseline = std::fs::read_to_string(format!("{root}/BENCH_baseline.json"));
+        let current = std::fs::read_to_string(format!("{root}/BENCH_sweep.json"));
+        if let (Ok(b), Ok(c)) = (baseline, current) {
+            let report = compare(&Json::parse(&b).unwrap(), &Json::parse(&c).unwrap());
+            assert!(report.ok(), "{}", report.render());
+        }
+    }
+}

@@ -36,6 +36,10 @@
 //!
 //! [`parallel_map`]: crate::sweep::parallel_map
 
+use crate::obs::{
+    fresh_run_id, status_path, unix_ms, FleetState, Heartbeat, HeartbeatWriter, Logger,
+    ShardStatus, StatusPlane, StatusSnapshot,
+};
 use crate::sweep::parallel_map;
 use crate::{
     designs, point_config, point_label, read_labelled_checkpoint, write_labelled_checkpoint, Cli,
@@ -48,12 +52,20 @@ use gcache_workloads::Benchmark;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How many times the coordinator respawns one shard's worker process
 /// before declaring the sweep failed. A deterministic crash (a panic in
 /// the simulator) repeats on every respawn; the cap turns that into a
 /// clean error instead of a crash loop.
 pub const MAX_RESPAWNS: usize = 5;
+
+/// Default `--stale-after-ms`: a worker whose heartbeat is older than
+/// this while its shard still has work in flight is flagged stale (a
+/// warning event plus a status gauge — detection only, never a kill).
+pub const DEFAULT_STALE_AFTER_MS: u64 = 30_000;
 
 /// First line of `manifest.txt`; bumped if the run-directory layout ever
 /// changes incompatibly.
@@ -69,6 +81,7 @@ pub const FAULT_ENV: &str = "GCACHE_SWEEP_FAULT";
 /// Usage text for the `sweep_server` binary.
 pub const SERVER_USAGE: &str = "\
 usage: sweep_server --dir RUNDIR [--workers N] [--checkpoint-every N]
+                    [--status-addr ADDR] [--stale-after-ms N] [--no-logs]
                     [--quick] [--bench NAME[,NAME...]]
                     [--hierarchy SHAPE[,SHAPE...]] [--cluster-ports N[,N...]]
                     [--no-fast-forward] [--no-ldst-batch]
@@ -83,6 +96,18 @@ usage: sweep_server --dir RUNDIR [--workers N] [--checkpoint-every N]
                  between a run and its resumption
   --checkpoint-every N
                  in-flight points snapshot every N cycles (default 65536)
+  --status-addr ADDR
+                 serve live fleet status over HTTP on ADDR (e.g.
+                 127.0.0.1:0; the bound port is logged at startup).
+                 GET /metrics for a Prometheus-style exposition,
+                 GET /status.json for the aggregated JSON document
+  --stale-after-ms N
+                 flag a shard stale when its heartbeat is older than N ms
+                 while work is still in flight (default 30000; detection
+                 only — a warning event plus a status gauge)
+  --no-logs      disable the observability files (logs/*.jsonl,
+                 heartbeats, status.json); structured records still go
+                 to stderr. The sweep output is byte-identical either way
 
 The remaining flags select the grid and behave exactly as in the other
 experiment binaries:
@@ -188,10 +213,21 @@ pub struct ServerOpts {
     /// `Some(shard)` in a worker process (`--shard`, spawned by the
     /// coordinator — not part of the public interface).
     pub shard: Option<usize>,
+    /// Listen address of the live status endpoint (`--status-addr`),
+    /// coordinator-only.
+    pub status_addr: Option<String>,
+    /// Heartbeat staleness threshold (`--stale-after-ms`).
+    pub stale_after_ms: u64,
+    /// Disable the observability files (`--no-logs`); structured records
+    /// still mirror to stderr.
+    pub no_logs: bool,
+    /// Run identity (`--run-id`, stamped onto worker spawns by the
+    /// coordinator — not part of the public interface).
+    pub run_id: Option<String>,
     /// Shared grid flags.
     pub cli: Cli,
-    /// The original argument list (without `--shard`), re-issued to
-    /// worker processes.
+    /// The original argument list (without `--shard`/`--run-id` and the
+    /// coordinator-only status flags), re-issued to worker processes.
     passthrough: Vec<String>,
 }
 
@@ -207,6 +243,17 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
         args.remove(i);
     }
     Ok(found)
+}
+
+/// Removes every occurrence of the bare `flag` from `args`, returning
+/// whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let mut found = false;
+    while let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        found = true;
+    }
+    found
 }
 
 impl ServerOpts {
@@ -238,18 +285,37 @@ impl ServerOpts {
             },
             None => None,
         };
+        let status_addr = take_flag_value(&mut args, "--status-addr")?;
+        let stale_after_ms = match take_flag_value(&mut args, "--stale-after-ms")? {
+            Some(n) => match n.trim().parse::<u64>() {
+                Ok(ms) if ms >= 1 => ms,
+                _ => {
+                    return Err(format!(
+                        "--stale-after-ms expects a positive integer, got '{n}'"
+                    ))
+                }
+            },
+            None => DEFAULT_STALE_AFTER_MS,
+        };
+        let run_id = take_flag_value(&mut args, "--run-id")?;
+        let no_logs = take_flag(&mut args, "--no-logs");
         let cli = Cli::try_parse(args.iter().cloned())?;
         // Worker-process count: `--workers`, falling back to the shared
         // `--jobs` resolution order.
         let workers = explicit_workers.unwrap_or_else(|| cli.jobs());
-        // `--shard` is stripped; everything else is re-issued to worker
-        // processes so they rebuild the identical grid. The resolved
-        // worker count and cadence are pinned explicitly — the
-        // round-robin deal must match between coordinator and workers
-        // even when the coordinator's count came from the environment.
+        // `--shard`/`--run-id` (re-issued per spawn) and the
+        // coordinator-only status flags are stripped; everything else is
+        // re-issued to worker processes so they rebuild the identical
+        // grid. The resolved worker count and cadence are pinned
+        // explicitly — the round-robin deal must match between
+        // coordinator and workers even when the coordinator's count came
+        // from the environment.
         let mut passthrough = vec!["--dir".into(), dir.clone()];
         passthrough.extend(["--checkpoint-every".to_string(), every.to_string()]);
         passthrough.extend(["--workers".to_string(), workers.to_string()]);
+        if no_logs {
+            passthrough.push("--no-logs".into());
+        }
         passthrough.extend(args.iter().cloned());
         if cli.checkpoint.is_some() || cli.resume.is_some() {
             return Err(
@@ -268,6 +334,10 @@ impl ServerOpts {
             workers,
             every,
             shard,
+            status_addr,
+            stale_after_ms,
+            no_logs,
+            run_id,
             cli,
             passthrough,
         })
@@ -344,18 +414,51 @@ fn parse_fault() -> Option<Fault> {
 /// resuming and checkpointing each through `RUNDIR/ckpt`, publishing
 /// completed points into `RUNDIR/results`.
 fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> Result<(), String> {
+    let run_id = opts.run_id.clone().unwrap_or_else(fresh_run_id);
+    let log = if opts.no_logs {
+        Logger::stderr_only(&run_id, Some(shard))
+    } else {
+        Logger::shard(&opts.dir, &run_id, shard)
+    };
     let fault = parse_fault();
+    let mine: Vec<usize> = (0..grid.len())
+        .filter(|&i| owner(i, workers) == shard)
+        .collect();
+    let mut hb = HeartbeatWriter::new(
+        (!opts.no_logs).then_some(opts.dir.as_path()),
+        shard,
+        mine.len(),
+    );
+    hb.beat();
+    log.info("worker_start")
+        .num("points", mine.len() as i64)
+        .flag("fault_armed", fault.is_some())
+        .emit();
+
     let mut ckpts_written: u64 = 0;
     let mut results_written: u64 = 0;
-    for i in (0..grid.len()).filter(|&i| owner(i, workers) == shard) {
+    for i in mine {
         let res = result_path(&opts.dir, i);
         if res.exists() {
-            continue; // completed on a previous attempt
+            // Completed on a previous attempt.
+            hb.hb.done += 1;
+            hb.beat();
+            continue;
         }
         let p = &grid.points[i];
         let bench = grid.benches[p.bench].as_ref();
         let label = grid.label(i);
         let ckpt = ckpt_path(&opts.dir, i);
+
+        let point_start = Instant::now();
+        hb.hb.current_index = Some(i);
+        hb.hb.current_label = label.clone();
+        hb.hb.last_ckpt_cycle = 0;
+        hb.beat();
+        log.info("point_start")
+            .num("index", i as i64)
+            .str_field("point_label", &label)
+            .emit();
 
         let cfg = point_config(
             p.policy,
@@ -369,27 +472,47 @@ fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> R
         match read_labelled_checkpoint(&ckpt, &label) {
             Ok(None) => {}
             Ok(Some(snapshot)) => match gpu.restore_checkpoint(&snapshot, bench) {
-                Ok(()) => eprintln!(
-                    "[sweep-server w{shard}] resuming {i:05} ({label}) from cycle {}",
-                    gpu.cycle()
-                ),
+                Ok(()) => {
+                    hb.hb.last_ckpt_cycle = gpu.cycle();
+                    hb.beat();
+                    log.info("point_resume")
+                        .num("index", i as i64)
+                        .str_field("point_label", &label)
+                        .num("cycle", gpu.cycle() as i64)
+                        .msg(format!(
+                            "resuming {i:05} ({label}) from cycle {}",
+                            gpu.cycle()
+                        ))
+                        .emit();
+                }
                 Err(e) => {
-                    eprintln!("[sweep-server w{shard}] ignoring checkpoint {i:05}: {e}");
+                    log.warn("ckpt_ignored")
+                        .num("index", i as i64)
+                        .msg(format!("ignoring checkpoint {i:05}: {e}"))
+                        .emit();
                     gpu = build();
                 }
             },
-            Err(e) => eprintln!("[sweep-server w{shard}] ignoring checkpoint {i:05}: {e}"),
+            Err(e) => log
+                .warn("ckpt_ignored")
+                .num("index", i as i64)
+                .msg(format!("ignoring checkpoint {i:05}: {e}"))
+                .emit(),
         }
 
         let stats = gpu
-            .run_kernel_checkpointed(bench, opts.every, |_, snapshot| {
+            .run_kernel_checkpointed(bench, opts.every, |cycle, snapshot| {
                 write_labelled_checkpoint(&ckpt, &label, &snapshot)?;
                 ckpts_written += 1;
+                hb.hb.last_ckpt_cycle = cycle;
+                hb.beat();
                 if let Some(Fault::AfterCkpt(n)) = fault {
                     if ckpts_written == n {
-                        eprintln!(
-                            "[sweep-server w{shard}] fault injection: abort after checkpoint {n}"
-                        );
+                        log.error("fault_abort")
+                            .num("index", i as i64)
+                            .num("nth", n as i64)
+                            .msg(format!("fault injection: abort after checkpoint {n}"))
+                            .emit();
                         std::process::abort();
                     }
                 }
@@ -399,7 +522,11 @@ fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> R
 
         if let Some(Fault::BeforeResult(n)) = fault {
             if results_written + 1 == n {
-                eprintln!("[sweep-server w{shard}] fault injection: abort before result {n}");
+                log.error("fault_abort")
+                    .num("index", i as i64)
+                    .num("nth", n as i64)
+                    .msg(format!("fault injection: abort before result {n}"))
+                    .emit();
                 std::process::abort();
             }
         }
@@ -407,8 +534,22 @@ fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> R
             .map_err(|e| format!("cannot publish {}: {e}", res.display()))?;
         results_written += 1;
         let _ = std::fs::remove_file(&ckpt); // the point is done; only stale now
-        eprintln!("[sweep-server w{shard}] {i:05} ({label}) done");
+        hb.hb.done += 1;
+        hb.hb.current_index = None;
+        hb.hb.current_label.clear();
+        hb.beat();
+        log.info("point_done")
+            .num("index", i as i64)
+            .str_field("point_label", &label)
+            .num("cycles", stats.cycles as i64)
+            .float("point_ms", point_start.elapsed().as_secs_f64() * 1e3)
+            .msg(format!("{i:05} ({label}) done"))
+            .emit();
     }
+    log.info("worker_done")
+        .num("results_written", results_written as i64)
+        .num("ckpts_written", ckpts_written as i64)
+        .emit();
     Ok(())
 }
 
@@ -416,13 +557,22 @@ fn run_worker(opts: &ServerOpts, grid: &Grid, shard: usize, workers: usize) -> R
 /// on any abnormal exit (a `SIGKILL`ed worker included), up to
 /// [`MAX_RESPAWNS`] times. `fault` is forwarded only to the first spawn
 /// of shard 0 — see [`FAULT_ENV`].
-fn supervise(opts: &ServerOpts, shard: usize, fault: Option<&str>) -> Result<(), String> {
+fn supervise(
+    opts: &ServerOpts,
+    shard: usize,
+    fault: Option<&str>,
+    run_id: &str,
+    log: &Logger,
+    fleet: &FleetState,
+) -> Result<(), String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
     for attempt in 0..=MAX_RESPAWNS {
         let mut cmd = Command::new(&exe);
         cmd.args(&opts.passthrough)
             .arg("--shard")
             .arg(shard.to_string())
+            .arg("--run-id")
+            .arg(run_id)
             .env_remove(FAULT_ENV);
         if let (0, 0, Some(spec)) = (shard, attempt, fault) {
             cmd.env(FAULT_ENV, spec);
@@ -433,12 +583,27 @@ fn supervise(opts: &ServerOpts, shard: usize, fault: Option<&str>) -> Result<(),
         if status.success() {
             return Ok(());
         }
-        eprintln!(
-            "[sweep-server] worker {shard} died ({status}); \
-             respawn {}/{MAX_RESPAWNS}",
-            attempt + 1
-        );
+        fleet.respawns[shard].fetch_add(1, Ordering::Relaxed);
+        log.warn("worker_respawn")
+            .num("worker", shard as i64)
+            .num("attempt", (attempt + 1) as i64)
+            .num("max_respawns", MAX_RESPAWNS as i64)
+            .str_field("exit", &status.to_string())
+            .msg(format!(
+                "worker {shard} died ({status}); respawn {}/{MAX_RESPAWNS}",
+                attempt + 1
+            ))
+            .emit();
     }
+    fleet.gave_up[shard].store(true, Ordering::Relaxed);
+    log.error("worker_gave_up")
+        .num("worker", shard as i64)
+        .num("attempts", (MAX_RESPAWNS + 1) as i64)
+        .msg(format!(
+            "worker {shard} failed {} times; giving up",
+            MAX_RESPAWNS + 1
+        ))
+        .emit();
     Err(format!(
         "worker {shard} failed {} times; giving up",
         MAX_RESPAWNS + 1
@@ -479,11 +644,19 @@ fn run_coordinator(opts: &ServerOpts, grid: &Grid, workers: usize) -> Result<(),
         .and_then(|()| std::fs::create_dir_all(opts.dir.join("ckpt")))
         .map_err(|e| format!("cannot prepare {}: {e}", opts.dir.display()))?;
 
+    let run_id = opts.run_id.clone().unwrap_or_else(fresh_run_id);
+    let log = Arc::new(if opts.no_logs {
+        Logger::stderr_only(&run_id, None)
+    } else {
+        Logger::coordinator(&opts.dir, &run_id)
+    });
+
     // The manifest pins the grid to the directory: resuming with
     // different flags (a different grid) must fail loudly instead of
     // merging unrelated results.
     let manifest = grid.manifest();
     let mpath = opts.dir.join("manifest.txt");
+    let mut resumed = false;
     match std::fs::read_to_string(&mpath) {
         Ok(prev) if prev != manifest => {
             return Err(format!(
@@ -492,7 +665,12 @@ fn run_coordinator(opts: &ServerOpts, grid: &Grid, workers: usize) -> Result<(),
                 opts.dir.display()
             ));
         }
-        Ok(_) => eprintln!("[sweep-server] resuming sweep in {}", opts.dir.display()),
+        Ok(_) => {
+            resumed = true;
+            log.info("sweep_resume")
+                .msg(format!("resuming sweep in {}", opts.dir.display()))
+                .emit();
+        }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             write_atomic(&mpath, &manifest)
                 .map_err(|e| format!("cannot write {}: {e}", mpath.display()))?;
@@ -503,40 +681,161 @@ fn run_coordinator(opts: &ServerOpts, grid: &Grid, workers: usize) -> Result<(),
     let done = (0..grid.len())
         .filter(|&i| result_path(&opts.dir, i).exists())
         .count();
-    eprintln!(
-        "[sweep-server] {} points ({} already complete), {workers} worker processes, \
-         checkpoint every {} cycles",
-        grid.len(),
-        done,
-        opts.every
-    );
+    // The fault spec (tests only) is consumed here so the respawned
+    // replacement of a deliberately killed worker runs clean.
+    let fault = std::env::var(FAULT_ENV).ok();
+    log.info("run_start")
+        .num("points", grid.len() as i64)
+        .num("already_done", done as i64)
+        .num("workers", workers as i64)
+        .num("checkpoint_every", opts.every as i64)
+        .flag("resumed", resumed)
+        .msg(format!(
+            "{} points ({done} already complete), {workers} worker processes, \
+             checkpoint every {} cycles",
+            grid.len(),
+            opts.every
+        ))
+        .emit();
+    if let Some(spec) = &fault {
+        log.warn("fault_armed")
+            .str_field("spec", spec)
+            .msg(format!(
+                "fault injection armed: {spec} (first spawn of shard 0)"
+            ))
+            .emit();
+    }
+
+    let fleet = Arc::new(FleetState::new(workers, fault.clone()));
+    let plane = start_status_plane(opts, grid.len(), workers, &run_id, &log, &fleet)?;
+    if let Some(plane) = &plane {
+        if let Some(addr) = plane.addr {
+            log.info("status_endpoint")
+                .str_field("addr", &addr.to_string())
+                .msg(format!(
+                    "status endpoint listening on http://{addr}/metrics"
+                ))
+                .emit();
+        }
+    }
 
     if done < grid.len() {
         // One supervisor thread per shard, over the sweep engine's own
-        // fan-out. The fault spec (tests only) is consumed here so the
-        // respawned replacement of a deliberately killed worker runs
-        // clean.
-        let fault = std::env::var(FAULT_ENV).ok();
+        // fan-out.
         let shards: Vec<usize> = (0..workers).collect();
         let outcomes = parallel_map(&shards, workers, |&shard| {
-            supervise(opts, shard, fault.as_deref())
+            supervise(opts, shard, fault.as_deref(), &run_id, &log, &fleet)
         });
         let failures: Vec<String> = outcomes.into_iter().filter_map(Result::err).collect();
         if !failures.is_empty() {
+            fleet.set_state("failed");
+            if let Some(plane) = plane {
+                plane.finish();
+            }
             return Err(failures.join("; "));
         }
     }
 
+    fleet.set_state("merging");
     let merged = merge(&opts.dir, grid)?;
     let out = opts.dir.join("merged.tsv");
     write_atomic(&out, &merged).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    eprintln!(
-        "[sweep-server] merged {} results into {}",
-        grid.len(),
-        out.display()
-    );
+    fleet.set_state("complete");
+    log.info("run_complete")
+        .num("points", grid.len() as i64)
+        .msg(format!(
+            "merged {} results into {}",
+            grid.len(),
+            out.display()
+        ))
+        .emit();
+    if let Some(plane) = plane {
+        plane.finish();
+    }
     print!("{merged}");
     Ok(())
+}
+
+/// Starts the coordinator's status plane: periodic aggregation of the
+/// worker heartbeats plus the coordinator-owned fleet bookkeeping into
+/// `status.json` (skipped under `--no-logs`) and the optional live
+/// endpoint. Returns `None` when there is nothing to publish at all.
+/// Stale shards are detected here, on each aggregation pass, and logged
+/// once per stale episode.
+fn start_status_plane(
+    opts: &ServerOpts,
+    points_total: usize,
+    workers: usize,
+    run_id: &str,
+    log: &Arc<Logger>,
+    fleet: &Arc<FleetState>,
+) -> Result<Option<StatusPlane>, String> {
+    if opts.no_logs && opts.status_addr.is_none() {
+        return Ok(None);
+    }
+    let dir = opts.dir.clone();
+    let run_id = run_id.to_string();
+    let stale_after_ms = opts.stale_after_ms;
+    let log = Arc::clone(log);
+    let fleet = Arc::clone(fleet);
+    let start = Instant::now();
+    let mut warned = vec![false; workers];
+    let make = move || {
+        let state = fleet.state.lock().unwrap().clone();
+        let running = state == "running";
+        let elapsed_ms = start.elapsed().as_millis() as u64;
+        let now = unix_ms();
+        let points_done = (0..points_total)
+            .filter(|&i| result_path(&dir, i).exists())
+            .count();
+        let shards: Vec<ShardStatus> = (0..workers)
+            .map(|s| {
+                let heartbeat = Heartbeat::read(&dir, s);
+                let age_ms = heartbeat
+                    .as_ref()
+                    .map(|hb| now.saturating_sub(hb.updated_ms));
+                let complete = heartbeat.as_ref().is_some_and(|hb| hb.done >= hb.total);
+                let stale = running && !complete && age_ms.unwrap_or(elapsed_ms) > stale_after_ms;
+                if stale && !warned[s] {
+                    warned[s] = true;
+                    log.warn("shard_stale")
+                        .num("worker", s as i64)
+                        .num("age_ms", age_ms.unwrap_or(elapsed_ms) as i64)
+                        .num("stale_after_ms", stale_after_ms as i64)
+                        .msg(format!(
+                            "worker {s} heartbeat is stale ({} ms old; threshold {stale_after_ms})",
+                            age_ms.unwrap_or(elapsed_ms)
+                        ))
+                        .emit();
+                } else if !stale {
+                    warned[s] = false;
+                }
+                ShardStatus {
+                    heartbeat,
+                    respawns: fleet.respawns[s].load(Ordering::Relaxed),
+                    gave_up: fleet.gave_up[s].load(Ordering::Relaxed),
+                    age_ms,
+                    stale,
+                }
+            })
+            .collect();
+        let eta_ms = (points_done > 0 && points_done < points_total)
+            .then(|| elapsed_ms * (points_total - points_done) as u64 / points_done as u64);
+        StatusSnapshot {
+            run_id: run_id.clone(),
+            state,
+            points_total,
+            points_done,
+            workers,
+            elapsed_ms,
+            eta_ms,
+            stale_after_ms,
+            fault: fleet.fault.clone(),
+            shards,
+        }
+    };
+    let status_file = (!opts.no_logs).then(|| status_path(&opts.dir));
+    StatusPlane::start(opts.status_addr.as_deref(), status_file, make).map(Some)
 }
 
 /// Runs the sweep server with parsed options: as coordinator, or — when

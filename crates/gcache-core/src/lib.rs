@@ -53,6 +53,8 @@
 //! | [`controller`] | cache + MSHRs + the generic miss-handling machine |
 //! | [`reuse`] | offline reuse profiling (Figure 2 infrastructure) |
 //! | [`trace`](mod@trace) | opt-in structured event tracing (sinks, ring buffer, text dumper) |
+//! | [`trace_export`] | trace ring → Chrome `trace_event` JSON (Perfetto-loadable timelines) |
+//! | [`json`] | minimal JSON reader/escaper shared by the observability tooling |
 //! | [`snapshot`] | versioned checkpoint format (writer/reader, sections, checksums) |
 //! | [`overhead`] | the storage-cost arithmetic of §4.3 |
 //! | [`stats`] | counters and reuse histograms |
@@ -64,6 +66,7 @@ pub mod addr;
 pub mod cache;
 pub mod controller;
 pub mod geometry;
+pub mod json;
 pub mod line;
 pub mod mshr;
 pub mod overhead;
@@ -74,6 +77,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod tag_array;
 pub mod trace;
+pub mod trace_export;
 pub mod victim_bits;
 
 /// Commonly used items, re-exported for glob import.

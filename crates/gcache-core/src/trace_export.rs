@@ -1,0 +1,465 @@
+//! Timeline export: [`TraceEvent`] streams → Chrome `trace_event` JSON.
+//!
+//! The [`trace`](crate::trace) ring records *what the hierarchy did*,
+//! event by event, with simulated-cycle timestamps. This module renders
+//! those events (plus optional host-side stage spans, e.g. the
+//! simulator's self-profile) as a Chrome `trace_event` document — the
+//! JSON Object Format understood by `ui.perfetto.dev` and
+//! `chrome://tracing` — so a G-Cache switch-on cascade can be *seen*
+//! scrolling across components instead of only counted.
+//!
+//! Mapping:
+//!
+//! * **time** — one simulated cycle renders as one microsecond (`ts` is
+//!   in µs in the trace_event format), so the Perfetto time axis reads
+//!   directly as cycles with the `µ` ignored;
+//! * **tracks** — one thread ("track") per emitting component instance
+//!   ([`TraceSource`]: every L1, L1.5, L2 bank and DRAM channel), named
+//!   via thread-name metadata events, grouped under one process per
+//!   simulation;
+//! * **events** — every trace kind becomes a thread-scoped *instant*
+//!   event (`"ph":"i"`, `"s":"t"`) carrying its payload in `args`;
+//!   G-Cache switch flips are named `switch open` / `switch close` so
+//!   they stand out when queried;
+//! * **host spans** — optional per-stage wall-clock totals (ns) are laid
+//!   end-to-end as *complete* events (`"ph":"X"`) on their own track,
+//!   giving the host-time budget a visual footprint next to the
+//!   simulated timeline.
+//!
+//! The builder supports multiple processes so one document can hold
+//! several benchmarks' timelines side by side (the `--trace-out` flag of
+//! the experiment binaries does exactly that, one process per selected
+//! benchmark).
+
+use crate::json::escape;
+use crate::trace::{DramRowOutcome, TraceEvent, TraceKind, TraceLevel, TraceSource};
+use std::fmt::Write as _;
+
+/// The stable thread id of a component track within its process: levels
+/// are spaced far apart so tracks sort by hierarchy level first, then by
+/// instance index.
+pub fn track_id(src: TraceSource) -> u32 {
+    let base = match src.level {
+        TraceLevel::L1 => 1_000,
+        TraceLevel::L15 => 2_000,
+        TraceLevel::L2 => 3_000,
+        TraceLevel::Dram => 4_000,
+    };
+    base + u32::from(src.index)
+}
+
+/// Incrementally builds one Chrome `trace_event` JSON document.
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    /// Rendered event objects, in emission order.
+    entries: Vec<String>,
+    /// `otherData` members (stable order).
+    other: Vec<(String, String)>,
+}
+
+impl ChromeTraceBuilder {
+    /// Starts an empty document.
+    pub fn new() -> Self {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Names process `pid` (a Perfetto process groups that simulation's
+    /// tracks under this label).
+    pub fn add_process(&mut self, pid: u32, name: &str) {
+        self.entries.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    /// Renders `events` into process `pid`: one thread-name metadata
+    /// record per distinct [`TraceSource`] plus one instant event per
+    /// trace event (cycle → µs). Returns the number of *instant* events
+    /// emitted (metadata excluded).
+    pub fn add_sim_events(&mut self, pid: u32, events: &[TraceEvent]) -> usize {
+        let mut named: Vec<TraceSource> = Vec::new();
+        for ev in events {
+            if !named.contains(&ev.src) {
+                named.push(ev.src);
+                self.entries.push(format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    track_id(ev.src),
+                    ev.src
+                ));
+                self.entries.push(format!(
+                    "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"sort_index\":{tid}}}}}",
+                    tid = track_id(ev.src)
+                ));
+            }
+            self.entries.push(render_instant(pid, ev));
+        }
+        events.len()
+    }
+
+    /// Lays host-side stage totals (`(stage, nanoseconds)`) end-to-end as
+    /// complete events on track `tid` of process `pid`, converting ns to
+    /// the µs timebase. Use a dedicated pid so host wall-clock is never
+    /// confused with simulated time.
+    pub fn add_host_stages(&mut self, pid: u32, name: &str, stages: &[(&str, u64)]) {
+        self.add_process(pid, name);
+        self.entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\
+             \"args\":{{\"name\":\"host stages\"}}}}"
+        ));
+        let mut at_ns: u64 = 0;
+        for (stage, ns) in stages {
+            self.entries.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":{pid},\"tid\":1,\"args\":{{\"ns\":{ns}}}}}",
+                escape(stage),
+                at_ns as f64 / 1e3,
+                (*ns).max(1) as f64 / 1e3,
+            ));
+            at_ns += ns;
+        }
+    }
+
+    /// Attaches one `otherData` string member (e.g. provenance notes).
+    pub fn note(&mut self, key: &str, value: &str) {
+        self.other.push((key.to_string(), value.to_string()));
+    }
+
+    /// Renders the finished document.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&self.entries.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        for (i, (k, v)) in self.other.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":\"{}\"",
+                if i > 0 { "," } else { "" },
+                escape(k),
+                escape(v)
+            );
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+/// One-call convenience: a single simulation's events (plus optional
+/// host stages) as a complete document. `name` labels the simulated
+/// process; `dropped` is the ring's overwrite count, recorded in
+/// `otherData` so a truncated timeline is never mistaken for a complete
+/// one.
+pub fn chrome_trace_json(
+    name: &str,
+    events: &[TraceEvent],
+    host_stages: &[(&str, u64)],
+    dropped: u64,
+) -> String {
+    let mut b = ChromeTraceBuilder::new();
+    b.add_process(1, name);
+    b.add_sim_events(1, events);
+    if !host_stages.is_empty() {
+        b.add_host_stages(1_000_000, &format!("host: {name}"), host_stages);
+    }
+    b.note("events", &events.len().to_string());
+    b.note("dropped", &dropped.to_string());
+    b.finish()
+}
+
+/// The stable instant-event name of a trace kind (what Perfetto shows on
+/// the track and what queries match on).
+pub fn event_name(kind: &TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Access { kind, hit, .. } => match (kind, hit) {
+            (crate::policy::AccessKind::Read, true) => "ld hit",
+            (crate::policy::AccessKind::Read, false) => "ld miss",
+            (crate::policy::AccessKind::Write, true) => "st hit",
+            (crate::policy::AccessKind::Write, false) => "st miss",
+            (crate::policy::AccessKind::Atomic, true) => "atomic hit",
+            (crate::policy::AccessKind::Atomic, false) => "atomic miss",
+            (crate::policy::AccessKind::CopyBack, true) => "copy-back hit",
+            (crate::policy::AccessKind::CopyBack, false) => "copy-back miss",
+        },
+        TraceKind::FillInsert { .. } => "fill insert",
+        TraceKind::FillBypass { .. } => "fill bypass",
+        TraceKind::CleanCopyBack { .. } => "clean copy-back",
+        TraceKind::SwitchFlip { open: true, .. } => "switch open",
+        TraceKind::SwitchFlip { open: false, .. } => "switch close",
+        TraceKind::EpochReset { .. } => "epoch reset",
+        TraceKind::MshrAlloc { merged: true, .. } => "mshr merge",
+        TraceKind::MshrAlloc { merged: false, .. } => "mshr alloc",
+        TraceKind::MshrRelease { .. } => "mshr release",
+        TraceKind::DramAccess { write: true, .. } => "dram wr",
+        TraceKind::DramAccess { write: false, .. } => "dram rd",
+    }
+}
+
+/// Renders one trace event as a thread-scoped instant event object.
+fn render_instant(pid: u32, ev: &TraceEvent) -> String {
+    let mut args = String::new();
+    let mut arg = |k: &str, v: String| {
+        let _ = write!(
+            args,
+            "{}\"{k}\":{v}",
+            if args.is_empty() { "" } else { "," }
+        );
+    };
+    match ev.kind {
+        TraceKind::Access {
+            line,
+            core,
+            victim_hint,
+            ..
+        } => {
+            arg("line", format!("\"{line}\""));
+            arg("core", core.index().to_string());
+            arg("victim_hint", victim_hint.to_string());
+        }
+        TraceKind::FillInsert {
+            line,
+            core,
+            victim_hint,
+            set,
+            way,
+            depth,
+        } => {
+            arg("line", format!("\"{line}\""));
+            arg("core", core.index().to_string());
+            arg("victim_hint", victim_hint.to_string());
+            arg("set", set.to_string());
+            arg("way", way.to_string());
+            arg("depth", depth.to_string());
+        }
+        TraceKind::FillBypass {
+            line,
+            core,
+            victim_hint,
+            set,
+        } => {
+            arg("line", format!("\"{line}\""));
+            arg("core", core.index().to_string());
+            arg("victim_hint", victim_hint.to_string());
+            arg("set", set.to_string());
+        }
+        TraceKind::CleanCopyBack { line, set, reuse } => {
+            arg("line", format!("\"{line}\""));
+            arg("set", set.to_string());
+            arg("reuse", reuse.to_string());
+        }
+        TraceKind::SwitchFlip { set, open } => {
+            arg("set", set.to_string());
+            arg("open", open.to_string());
+        }
+        TraceKind::EpochReset { open_switches } => {
+            arg("open_switches", open_switches.to_string());
+        }
+        TraceKind::MshrAlloc {
+            line, occupancy, ..
+        } => {
+            arg("line", format!("\"{line}\""));
+            arg("occupancy", occupancy.to_string());
+        }
+        TraceKind::MshrRelease { line, targets } => {
+            arg("line", format!("\"{line}\""));
+            arg("targets", targets.to_string());
+        }
+        TraceKind::DramAccess {
+            bank, row, outcome, ..
+        } => {
+            arg("bank", bank.to_string());
+            arg("row", row.to_string());
+            let o = match outcome {
+                DramRowOutcome::Hit => "hit",
+                DramRowOutcome::Open => "open",
+                DramRowOutcome::Conflict => "conflict",
+            };
+            arg("row_buffer", format!("\"{o}\""));
+        }
+    }
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\"tid\":{},\
+         \"s\":\"t\",\"args\":{{{args}}}}}",
+        event_name(&ev.kind),
+        ev.time,
+        track_id(ev.src),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{CoreId, LineAddr};
+    use crate::json::Json;
+    use crate::policy::AccessKind;
+
+    fn ev(seq: u64, time: u64, src: TraceSource, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            time,
+            src,
+            kind,
+        }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let l1 = TraceSource::new(TraceLevel::L1, 3);
+        let l2 = TraceSource::new(TraceLevel::L2, 0);
+        vec![
+            ev(
+                0,
+                10,
+                l1,
+                TraceKind::Access {
+                    line: LineAddr::new(0x40),
+                    kind: AccessKind::Read,
+                    core: CoreId(3),
+                    hit: false,
+                    victim_hint: false,
+                },
+            ),
+            ev(1, 12, l1, TraceKind::SwitchFlip { set: 5, open: true }),
+            ev(
+                2,
+                20,
+                l2,
+                TraceKind::DramAccess {
+                    bank: 1,
+                    row: 77,
+                    outcome: DramRowOutcome::Conflict,
+                    write: true,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn track_ids_are_stable_and_disjoint_per_level() {
+        assert_eq!(track_id(TraceSource::new(TraceLevel::L1, 0)), 1000);
+        assert_eq!(track_id(TraceSource::new(TraceLevel::L15, 2)), 2002);
+        assert_eq!(track_id(TraceSource::new(TraceLevel::L2, 5)), 3005);
+        assert_eq!(track_id(TraceSource::new(TraceLevel::Dram, 1)), 4001);
+    }
+
+    #[test]
+    fn document_parses_and_counts_match() {
+        let events = sample_events();
+        let doc = chrome_trace_json("BFS", &events, &[("core", 1500), ("icnt", 2500)], 0);
+        let j = Json::parse(&doc).expect("valid JSON");
+        let te = j.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let instants: Vec<&Json> = te
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), events.len(), "one instant per trace event");
+
+        // Thread-scoped, on the right track, at the cycle-as-µs time.
+        let first = instants[0];
+        assert_eq!(first.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(first.get("tid").unwrap().as_f64(), Some(1003.0));
+        assert_eq!(first.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(first.get("name").unwrap().as_str(), Some("ld miss"));
+
+        // The switch flip is present, named, and carries its payload.
+        let flip = instants
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("switch open"))
+            .expect("switch-flip instant");
+        assert_eq!(flip.at(&["args", "set"]).unwrap().as_f64(), Some(5.0));
+
+        // Host stages: complete events laid end-to-end in µs.
+        let spans: Vec<&Json> = te
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(spans[0].get("dur").unwrap().as_f64(), Some(1.5));
+        assert_eq!(spans[1].get("ts").unwrap().as_f64(), Some(1.5));
+
+        // Track metadata names each source once.
+        let names: Vec<&str> = te
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.at(&["args", "name"]).unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"L1#3"));
+        assert!(names.contains(&"L2#0"));
+        assert!(names.contains(&"host stages"));
+
+        // Provenance notes.
+        assert_eq!(j.at(&["otherData", "events"]).unwrap().as_str(), Some("3"));
+    }
+
+    #[test]
+    fn multi_process_documents_keep_benchmarks_apart() {
+        let events = sample_events();
+        let mut b = ChromeTraceBuilder::new();
+        b.add_process(1, "BFS");
+        b.add_sim_events(1, &events);
+        b.add_process(2, "SPMV");
+        b.add_sim_events(2, &events[..1]);
+        let j = Json::parse(&b.finish()).expect("valid JSON");
+        let te = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: Vec<f64> = te
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(pids, [1.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn every_kind_renders_valid_json() {
+        let src = TraceSource::new(TraceLevel::L1, 0);
+        let line = LineAddr::new(0x1234);
+        let kinds = [
+            TraceKind::FillInsert {
+                line,
+                core: CoreId(1),
+                victim_hint: true,
+                set: 2,
+                way: 3,
+                depth: 1,
+            },
+            TraceKind::FillBypass {
+                line,
+                core: CoreId(1),
+                victim_hint: false,
+                set: 2,
+            },
+            TraceKind::CleanCopyBack {
+                line,
+                set: 9,
+                reuse: 4,
+            },
+            TraceKind::EpochReset { open_switches: 12 },
+            TraceKind::MshrAlloc {
+                line,
+                merged: true,
+                occupancy: 7,
+            },
+            TraceKind::MshrRelease { line, targets: 2 },
+            TraceKind::SwitchFlip {
+                set: 1,
+                open: false,
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let doc = chrome_trace_json("x", &[ev(i as u64, i as u64, src, kind)], &[], 0);
+            let j = Json::parse(&doc).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(
+                j.get("traceEvents")
+                    .unwrap()
+                    .as_arr()
+                    .unwrap()
+                    .iter()
+                    .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+                    .count(),
+                1
+            );
+        }
+    }
+}

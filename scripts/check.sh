@@ -101,6 +101,33 @@ rm -rf "$ckdir"
 echo "==> sweep-server kill-resume smoke (worker abort + coordinator SIGKILL)"
 ./scripts/kill_resume_smoke.sh | sed 's/^/   /'
 
+echo "==> status-endpoint smoke (live /metrics + /status.json during a sweep)"
+# The curl-equivalent probe lives in the observability integration test:
+# it spawns the real sweep_server binary, reads the bound port from the
+# startup log record, and GETs both documents while workers run.
+cargo test -q -p gcache-bench --test observability status_endpoint_serves_live_sweep \
+  | sed 's/^/   /'
+
+echo "==> trace export smoke (Chrome trace_event JSON, quick BFS)"
+# The emitted timeline must parse and carry G-Cache switch-flip instants
+# (acceptance: viewable in ui.perfetto.dev, not just countable).
+trace_json=$(mktemp)
+./target/release/fig8_fig9 --quick --bench BFS --trace-out "$trace_json" >/dev/null 2>&1
+python3 - "$trace_json" <<'EOF' || { rm -f "$trace_json"; exit 1; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+flips = [e for e in doc["traceEvents"]
+         if e.get("ph") == "i" and e["name"].startswith("switch ")]
+assert flips, "no switch-flip instant events in the exported trace"
+print(f"    {len(doc['traceEvents'])} trace events, {len(flips)} switch flips")
+EOF
+rm -f "$trace_json"
+
+echo "==> bench regression gate (BENCH_sweep.json vs committed baseline)"
+# Catches perf drift in the numbers PRs 1-8 tracked by hand. Refresh
+# BENCH_baseline.json deliberately after an intentional perf change.
+./target/release/bench_diff | sed 's/^/   /'
+
 echo "==> telemetry smoke (per-epoch switch-on fraction, GC design)"
 # BFS is contention-heavy: its G-Cache switches must open in some interval.
 # STL is pure streaming with no reuse to protect: its switches stay shut.

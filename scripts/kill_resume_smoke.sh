@@ -4,6 +4,10 @@
 # SIGKILL must both converge, on re-run, to merged bytes identical to an
 # uninterrupted sweep. Run from the repo root; builds the release binary
 # if it is missing.
+#
+# Set SMOKE_ARTIFACTS_DIR to keep the interrupted run's observability
+# files (logs/*.jsonl, heartbeats, status.json) after the smoke — CI
+# uploads them as artifacts so a failure is debuggable post-hoc.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,5 +42,18 @@ echo "==> coordinator SIGKILLed mid-sweep, same command re-run"
 "$BIN" --dir "$tmp/ckill" "${FLAGS[@]}" > "$tmp/ckill.tsv" 2>/dev/null
 diff "$tmp/clean.tsv" "$tmp/ckill.tsv" \
   || { echo "coordinator kill changed the merged bytes"; exit 1; }
+
+if [ -n "${SMOKE_ARTIFACTS_DIR:-}" ]; then
+  echo "==> exporting observability artifacts to $SMOKE_ARTIFACTS_DIR"
+  mkdir -p "$SMOKE_ARTIFACTS_DIR"
+  for run in wkill ckill; do
+    if [ -d "$tmp/$run/logs" ]; then
+      mkdir -p "$SMOKE_ARTIFACTS_DIR/$run"
+      cp -r "$tmp/$run/logs" "$SMOKE_ARTIFACTS_DIR/$run/"
+      [ -f "$tmp/$run/status.json" ] \
+        && cp "$tmp/$run/status.json" "$SMOKE_ARTIFACTS_DIR/$run/"
+    fi
+  done
+fi
 
 echo "==> kill-resume smoke passed"
