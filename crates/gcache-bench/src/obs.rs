@@ -237,8 +237,14 @@ impl Event<'_> {
     }
 
     /// Adds a float field (3 decimal places — milliseconds precision).
+    /// Non-finite values render as `null`: `NaN`/`inf` are not valid
+    /// JSON and would corrupt the record.
     pub fn float(mut self, key: &str, value: f64) -> Self {
-        let _ = write!(self.fields, ",\"{}\":{value:.3}", escape(key));
+        if value.is_finite() {
+            let _ = write!(self.fields, ",\"{}\":{value:.3}", escape(key));
+        } else {
+            let _ = write!(self.fields, ",\"{}\":null", escape(key));
+        }
         self
     }
 
@@ -661,19 +667,23 @@ impl StatusPlane {
         let handle = std::thread::Builder::new()
             .name("status-plane".into())
             .spawn(move || {
-                let mut last_pub = Instant::now() - Duration::from_secs(3600);
+                // `None` forces the first publish; `Instant` arithmetic
+                // below an hour of host uptime would panic here.
+                let mut last_pub: Option<Instant> = None;
                 let mut json = String::new();
                 let mut prom = String::new();
                 loop {
                     let stopping = stop2.load(Ordering::Relaxed);
-                    if stopping || last_pub.elapsed().as_millis() as u64 >= STATUS_POLL_MS {
+                    let due =
+                        last_pub.is_none_or(|t| t.elapsed().as_millis() as u64 >= STATUS_POLL_MS);
+                    if stopping || due {
                         let snap = make();
                         json = snap.to_json();
                         prom = snap.prometheus();
                         if let Some(path) = &status_file {
                             let _ = replace_atomic(path, &json);
                         }
-                        last_pub = Instant::now();
+                        last_pub = Some(Instant::now());
                     }
                     if let Some(l) = &listener {
                         while let Ok((stream, _)) = l.accept() {

@@ -107,7 +107,9 @@ usage: sweep_server --dir RUNDIR [--workers N] [--checkpoint-every N]
                  only — a warning event plus a status gauge)
   --no-logs      disable the observability files (logs/*.jsonl,
                  heartbeats, status.json); structured records still go
-                 to stderr. The sweep output is byte-identical either way
+                 to stderr, and stale-shard detection is off (there are
+                 no heartbeats to age). The sweep output is
+                 byte-identical either way
 
 The remaining flags select the grid and behave exactly as in the other
 experiment binaries:
@@ -776,6 +778,11 @@ fn start_status_plane(
     let dir = opts.dir.clone();
     let run_id = run_id.to_string();
     let stale_after_ms = opts.stale_after_ms;
+    // Under --no-logs the workers write no heartbeat files at all, so a
+    // missing/old heartbeat carries no signal — staleness detection
+    // would flag every healthy shard. Keep the plane (endpoint, counts)
+    // but disable the staleness gauge.
+    let heartbeats_enabled = !opts.no_logs;
     let log = Arc::clone(log);
     let fleet = Arc::clone(fleet);
     let start = Instant::now();
@@ -795,7 +802,10 @@ fn start_status_plane(
                     .as_ref()
                     .map(|hb| now.saturating_sub(hb.updated_ms));
                 let complete = heartbeat.as_ref().is_some_and(|hb| hb.done >= hb.total);
-                let stale = running && !complete && age_ms.unwrap_or(elapsed_ms) > stale_after_ms;
+                let stale = heartbeats_enabled
+                    && running
+                    && !complete
+                    && age_ms.unwrap_or(elapsed_ms) > stale_after_ms;
                 if stale && !warned[s] {
                     warned[s] = true;
                     log.warn("shard_stale")

@@ -228,6 +228,40 @@ fn status_endpoint_serves_live_sweep() {
     );
 }
 
+/// `--no-logs` disables heartbeat files, so a missing heartbeat carries
+/// no signal: combined with `--status-addr`, healthy shards must not be
+/// flagged stale (regression: a 1 ms threshold used to mark every shard
+/// stale and warn `shard_stale` because the absent heartbeat's age
+/// defaulted to the coordinator's elapsed time).
+#[test]
+fn no_logs_with_status_endpoint_never_flags_stale() {
+    let dir = rundir("no-logs-endpoint");
+    let out = run_sweep(
+        &dir,
+        &[
+            "--no-logs",
+            "--status-addr",
+            "127.0.0.1:0",
+            "--stale-after-ms",
+            "1",
+        ],
+    );
+    assert_ok(&out, "sweep with --no-logs + --status-addr");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("shard_stale"),
+        "healthy shards flagged stale without heartbeat files:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("status_endpoint"),
+        "endpoint still serves under --no-logs:\n{stderr}"
+    );
+    assert!(
+        !dir.join("status.json").exists() && !dir.join("logs").exists(),
+        "--no-logs run wrote observability files"
+    );
+}
+
 #[test]
 fn trace_out_round_trips() {
     let cli =
